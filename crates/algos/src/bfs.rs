@@ -1,0 +1,257 @@
+//! Breadth-first search: levels and parents.
+//!
+//! Canonical form: expand a frontier of vertices along out-edges,
+//! skipping visited vertices. Algebraic form: the frontier is a boolean
+//! vector; one step is `next⟨¬visited,replace⟩ = frontier (∨,∧) A`; the
+//! parent variant runs over `(min, first)` carrying vertex ids.
+
+use std::collections::VecDeque;
+
+use gblas::ops::{self, semiring, FnUnary};
+use gblas::{Descriptor, Matrix, Vector};
+use graphdata::CsrGraph;
+
+/// Canonical vertex-centric BFS: `levels[v] = hops from source`, `None`
+/// if unreachable.
+pub fn bfs_levels_canonical(g: &CsrGraph, source: usize) -> Vec<Option<usize>> {
+    let mut levels = vec![None; g.num_vertices()];
+    levels[source] = Some(0);
+    let mut queue = VecDeque::from([source]);
+    while let Some(v) = queue.pop_front() {
+        let next = levels[v].expect("queued vertices have levels") + 1;
+        let (targets, _) = g.neighbors(v);
+        for &t in targets {
+            if levels[t].is_none() {
+                levels[t] = Some(next);
+                queue.push_back(t);
+            }
+        }
+    }
+    levels
+}
+
+/// Linear-algebraic BFS on the adjacency matrix: frontier expansion with
+/// the `(∨,∧)` semiring and a complemented visited mask.
+pub fn bfs_levels_gblas(a: &Matrix<bool>, source: usize) -> Vec<Option<usize>> {
+    assert_eq!(a.nrows(), a.ncols(), "adjacency must be square");
+    assert!(source < a.nrows(), "source out of bounds");
+    let n = a.nrows();
+    let mut levels: Vector<usize> = Vector::new(n);
+    levels.set(source, 0).expect("in bounds");
+    let mut frontier: Vector<bool> = Vector::new(n);
+    frontier.set(source, true).expect("in bounds");
+
+    let mut depth = 0usize;
+    while frontier.nvals() > 0 {
+        depth += 1;
+        // next<¬levels, replace> = frontier (∨,∧) A : unvisited reachable.
+        let visited = levels.structure();
+        let mut next: Vector<bool> = Vector::new(n);
+        ops::vxm(
+            &mut next,
+            Some(&visited),
+            None,
+            &semiring::lor_land(),
+            &frontier,
+            a,
+            Descriptor::replace().with_complement_mask(),
+        )
+        .expect("dimensions agree");
+        // levels<next> += depth (assign the new level at the frontier).
+        let d = depth;
+        ops::vector_apply(
+            &mut levels,
+            None,
+            Some(&ops::Second::<usize>::new()),
+            &FnUnary::new(move |_: bool| d),
+            &next,
+            Descriptor::new(),
+        )
+        .expect("dimensions agree");
+        frontier = next;
+    }
+    levels.to_dense()
+}
+
+/// Canonical BFS parent tree: `parent[v]` is the vertex that discovered
+/// `v` (`source` maps to itself; unreached to `None`). Among candidates
+/// discovered in the same level, the smallest parent id wins, matching
+/// the deterministic algebraic version.
+pub fn bfs_parents_canonical(g: &CsrGraph, source: usize) -> Vec<Option<usize>> {
+    let n = g.num_vertices();
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    parent[source] = Some(source);
+    let mut frontier = vec![source];
+    while !frontier.is_empty() {
+        // Gather candidate parents for this level, then commit the minimum
+        // parent per vertex (the "min" tie-break of the algebraic twin).
+        let mut candidate: Vec<Option<usize>> = vec![None; n];
+        for &v in &frontier {
+            let (targets, _) = g.neighbors(v);
+            for &t in targets {
+                if parent[t].is_none() {
+                    candidate[t] = Some(match candidate[t] {
+                        None => v,
+                        Some(c) => c.min(v),
+                    });
+                }
+            }
+        }
+        let mut next = Vec::new();
+        for (t, cand) in candidate.into_iter().enumerate() {
+            if let Some(p) = cand {
+                parent[t] = Some(p);
+                next.push(t);
+            }
+        }
+        frontier = next;
+    }
+    parent
+}
+
+/// Algebraic BFS parent tree: the frontier carries vertex ids and expands
+/// over `(min, first)` — `first` propagates the parent's id, `min`
+/// tie-breaks among same-level discoverers.
+pub fn bfs_parents_gblas(a: &Matrix<bool>, source: usize) -> Vec<Option<usize>> {
+    assert_eq!(a.nrows(), a.ncols(), "adjacency must be square");
+    let n = a.nrows();
+    // Id-carrying adjacency: value irrelevant (first uses the vector side),
+    // but the semiring is typed, so cast the pattern to usize.
+    let mut ids: Matrix<usize> = Matrix::new(n, n);
+    ops::matrix_apply(
+        &mut ids,
+        None,
+        None,
+        &FnUnary::new(|_: bool| 1usize),
+        a,
+        Descriptor::new(),
+    )
+    .expect("same dims");
+
+    let mut parent: Vector<usize> = Vector::new(n);
+    parent.set(source, source).expect("in bounds");
+    let mut frontier: Vector<usize> = Vector::new(n);
+    frontier.set(source, source).expect("in bounds");
+
+    while frontier.nvals() > 0 {
+        let visited = parent.structure();
+        let mut next: Vector<usize> = Vector::new(n);
+        ops::vxm(
+            &mut next,
+            Some(&visited),
+            None,
+            &semiring::min_first::<usize>(),
+            &frontier,
+            &ids,
+            Descriptor::replace().with_complement_mask(),
+        )
+        .expect("dims agree");
+        // Commit discovered parents.
+        ops::vector_apply(
+            &mut parent,
+            None,
+            Some(&ops::Second::<usize>::new()),
+            &ops::Identity::<usize>::new(),
+            &next,
+            Descriptor::new(),
+        )
+        .expect("dims agree");
+        // Next frontier carries each newly discovered vertex's own id.
+        let mut carried: Vector<usize> = Vector::new(n);
+        ops::vector_apply_indexop(
+            &mut carried,
+            None,
+            None,
+            &ops::RowIndex::<usize>::new(),
+            &next,
+            Descriptor::new(),
+        )
+        .expect("dims agree");
+        frontier = carried;
+    }
+    parent.to_dense()
+}
+
+/// Pattern-only adjacency for BFS from a weighted CSR graph.
+pub fn bool_adjacency(g: &CsrGraph) -> Matrix<bool> {
+    let triples = g.iter_edges().map(|(r, c, _)| (r, c, true)).collect();
+    Matrix::from_triples(g.num_vertices(), g.num_vertices(), triples)
+        .expect("CSR edges are in bounds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphdata::gen::{binary_tree, grid2d, star};
+    use graphdata::EdgeList;
+
+    fn check_equiv(g: &CsrGraph, source: usize) {
+        let a = bool_adjacency(g);
+        assert_eq!(
+            bfs_levels_canonical(g, source),
+            bfs_levels_gblas(&a, source),
+            "levels diverge"
+        );
+        assert_eq!(
+            bfs_parents_canonical(g, source),
+            bfs_parents_gblas(&a, source),
+            "parents diverge"
+        );
+    }
+
+    #[test]
+    fn tree_levels() {
+        let g = CsrGraph::from_edge_list(&binary_tree(15)).unwrap();
+        let levels = bfs_levels_canonical(&g, 0);
+        assert_eq!(levels[0], Some(0));
+        assert_eq!(levels[1], Some(1));
+        assert_eq!(levels[7], Some(3));
+        check_equiv(&g, 0);
+    }
+
+    #[test]
+    fn grid_levels_are_manhattan() {
+        let g = CsrGraph::from_edge_list(&grid2d(5, 4)).unwrap();
+        let levels = bfs_levels_gblas(&bool_adjacency(&g), 0);
+        assert_eq!(levels[5 * 3 + 4], Some(3 + 4));
+        check_equiv(&g, 0);
+        check_equiv(&g, 7);
+    }
+
+    #[test]
+    fn star_single_level() {
+        let g = CsrGraph::from_edge_list(&star(8)).unwrap();
+        check_equiv(&g, 0);
+        check_equiv(&g, 3);
+    }
+
+    #[test]
+    fn disconnected_unreached_is_none() {
+        let mut el = EdgeList::from_triples(vec![(0, 1, 1.0)]);
+        el.ensure_vertices(4);
+        let g = CsrGraph::from_edge_list(&el).unwrap();
+        let levels = bfs_levels_gblas(&bool_adjacency(&g), 0);
+        assert_eq!(levels, vec![Some(0), Some(1), None, None]);
+        check_equiv(&g, 0);
+    }
+
+    #[test]
+    fn parents_form_valid_tree() {
+        let g = CsrGraph::from_edge_list(&grid2d(4, 4)).unwrap();
+        let parents = bfs_parents_gblas(&bool_adjacency(&g), 0);
+        let levels = bfs_levels_canonical(&g, 0);
+        for v in 0..16 {
+            match (parents[v], levels[v]) {
+                (Some(p), Some(l)) if v != 0 => {
+                    // Parent is one level above and adjacent.
+                    assert_eq!(levels[p], Some(l - 1));
+                    let (ts, _) = g.neighbors(p);
+                    assert!(ts.contains(&v));
+                }
+                (Some(p), Some(0)) => assert_eq!(p, v),
+                (None, None) => {}
+                other => panic!("inconsistent {other:?} at {v}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Connected components (undirected graphs) by minimum-label propagation.
+//!
+//! Canonical form: every vertex repeatedly adopts the smallest label among
+//! itself and its neighbors until nothing changes — a pure "think like a
+//! vertex" algorithm (Sec. II-B). Algebraic form: one round is
+//! `labels = min(labels, labels (min,second)ᵀ… )`, i.e. a `(min, first)`
+//! `vxm` followed by an element-wise min, iterated to fixpoint.
+
+use gblas::ops::{self, semiring};
+use gblas::{Descriptor, Matrix, Vector};
+use graphdata::CsrGraph;
+
+/// Canonical vertex-centric label propagation. Returns `labels[v]` = the
+/// smallest vertex id in `v`'s component. The graph must be symmetric for
+/// the result to be the undirected components.
+pub fn components_canonical(g: &CsrGraph) -> Vec<usize> {
+    let n = g.num_vertices();
+    let mut labels: Vec<usize> = (0..n).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for v in 0..n {
+            let (targets, _) = g.neighbors(v);
+            let mut best = labels[v];
+            for &t in targets {
+                best = best.min(labels[t]);
+            }
+            if best < labels[v] {
+                labels[v] = best;
+                changed = true;
+            }
+        }
+    }
+    labels
+}
+
+/// Algebraic label propagation: `candidate = labels (min,first) A`, then
+/// `labels = min(labels, candidate)`, until `labels` stops changing.
+pub fn components_gblas(a: &Matrix<bool>) -> Vec<usize> {
+    assert_eq!(a.nrows(), a.ncols(), "adjacency must be square");
+    let n = a.nrows();
+    // Pattern with usize domain for the (min, first) semiring.
+    let mut ids: Matrix<usize> = Matrix::new(n, n);
+    ops::matrix_apply(
+        &mut ids,
+        None,
+        None,
+        &ops::FnUnary::new(|_: bool| 1usize),
+        a,
+        Descriptor::new(),
+    )
+    .expect("same dims");
+
+    let mut labels = Vector::from_entries(n, (0..n).map(|v| (v, v)).collect())
+        .expect("indices in bounds");
+    loop {
+        let mut candidate: Vector<usize> = Vector::new(n);
+        ops::vxm(
+            &mut candidate,
+            None,
+            None,
+            &semiring::min_first::<usize>(),
+            &labels,
+            &ids,
+            Descriptor::replace(),
+        )
+        .expect("dims agree");
+        let mut next: Vector<usize> = Vector::new(n);
+        ops::ewise_add_vector(
+            &mut next,
+            None,
+            None,
+            &ops::Min::<usize>::new(),
+            &labels,
+            &candidate,
+            Descriptor::new(),
+        )
+        .expect("dims agree");
+        if next == labels {
+            break;
+        }
+        labels = next;
+    }
+    labels.to_dense_with(0)
+}
+
+/// Number of distinct components in a label vector.
+pub fn component_count(labels: &[usize]) -> usize {
+    let mut seen: Vec<usize> = labels.to_vec();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::bool_adjacency;
+    use graphdata::gen::{complete, cycle, grid2d};
+    use graphdata::EdgeList;
+
+    fn symmetric(el: &mut EdgeList) -> CsrGraph {
+        el.symmetrize();
+        CsrGraph::from_edge_list(el).unwrap()
+    }
+
+    #[test]
+    fn single_component_grid() {
+        let g = CsrGraph::from_edge_list(&grid2d(4, 3)).unwrap();
+        let labels = components_canonical(&g);
+        assert!(labels.iter().all(|&l| l == 0));
+        assert_eq!(component_count(&labels), 1);
+        assert_eq!(components_gblas(&bool_adjacency(&g)), labels);
+    }
+
+    #[test]
+    fn two_components() {
+        let mut el = EdgeList::from_triples(vec![(0, 1, 1.0), (2, 3, 1.0)]);
+        let g = symmetric(&mut el);
+        let labels = components_canonical(&g);
+        assert_eq!(labels, vec![0, 0, 2, 2]);
+        assert_eq!(components_gblas(&bool_adjacency(&g)), labels);
+        assert_eq!(component_count(&labels), 2);
+    }
+
+    #[test]
+    fn isolated_vertices_are_own_components() {
+        let mut el = EdgeList::from_triples(vec![(0, 1, 1.0)]);
+        el.ensure_vertices(5);
+        let g = symmetric(&mut el);
+        let labels = components_gblas(&bool_adjacency(&g));
+        assert_eq!(labels, vec![0, 0, 2, 3, 4]);
+        assert_eq!(component_count(&labels), 4);
+        assert_eq!(components_canonical(&g), labels);
+    }
+
+    #[test]
+    fn cycle_and_complete_agree() {
+        for el in [cycle(7), complete(5)] {
+            let mut el = el;
+            let g = symmetric(&mut el);
+            assert_eq!(
+                components_canonical(&g),
+                components_gblas(&bool_adjacency(&g))
+            );
+        }
+    }
+
+    #[test]
+    fn random_union_of_cliques() {
+        // Three disjoint cliques with shuffled ids: labels must be the
+        // minimum id of each clique.
+        let mut el = EdgeList::new(9);
+        for clique in [[0usize, 3, 6], [1, 4, 7], [2, 5, 8]] {
+            for &a in &clique {
+                for &b in &clique {
+                    if a != b {
+                        el.push(a, b, 1.0);
+                    }
+                }
+            }
+        }
+        let g = CsrGraph::from_edge_list(&el).unwrap();
+        let labels = components_gblas(&bool_adjacency(&g));
+        assert_eq!(labels, vec![0, 1, 2, 0, 1, 2, 0, 1, 2]);
+        assert_eq!(components_canonical(&g), labels);
+    }
+}

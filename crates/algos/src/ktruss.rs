@@ -1,0 +1,200 @@
+//! k-truss: the maximal subgraph in which every edge participates in at
+//! least `k − 2` triangles. This is the paper's own Sec. II-C example of
+//! an edge-centric computation whose algebraic form needs the Hadamard
+//! product to remove SpGEMM fill-in: `S = (AᵀA) ∘ A`.
+//!
+//! Canonical (edge-centric) form: compute per-edge support by adjacency
+//! intersection; repeatedly delete under-supported edges. Algebraic form:
+//! `S⟨A⟩ = Aᵀ ⊕.pair A` (mask = Hadamard), select `S ≥ k − 2`, rebuild,
+//! repeat until the edge set is stable.
+
+use std::collections::BTreeSet;
+
+use gblas::ops::{self, semiring};
+use gblas::{Descriptor, Matrix};
+use graphdata::CsrGraph;
+
+/// Canonical edge-centric k-truss on a symmetric simple graph. Returns the
+/// surviving undirected edge set as sorted `(u, v)` pairs with `u < v`.
+pub fn ktruss_canonical(g: &CsrGraph, k: usize) -> Vec<(usize, usize)> {
+    assert!(k >= 2, "k-truss needs k >= 2");
+    let min_support = k - 2;
+    // Adjacency as BTreeSets for easy deletion + intersection.
+    let mut adj: Vec<BTreeSet<usize>> = (0..g.num_vertices())
+        .map(|v| g.neighbors(v).0.iter().copied().collect())
+        .collect();
+    loop {
+        let mut doomed: Vec<(usize, usize)> = Vec::new();
+        for u in 0..adj.len() {
+            for &v in adj[u].iter().filter(|&&v| v > u) {
+                let support = adj[u].intersection(&adj[v]).count();
+                if support < min_support {
+                    doomed.push((u, v));
+                }
+            }
+        }
+        if doomed.is_empty() {
+            break;
+        }
+        for (u, v) in doomed {
+            adj[u].remove(&v);
+            adj[v].remove(&u);
+        }
+    }
+    let mut edges = Vec::new();
+    for (u, set) in adj.iter().enumerate() {
+        for &v in set.iter().filter(|&&v| v > u) {
+            edges.push((u, v));
+        }
+    }
+    edges
+}
+
+/// Algebraic k-truss: iterate `S⟨A-structure⟩ = Aᵀ ⊕.pair A`, keep edges
+/// with `S ≥ k − 2`. Returns the surviving edges like
+/// [`ktruss_canonical`].
+pub fn ktruss_gblas(a0: &Matrix<bool>, k: usize) -> Vec<(usize, usize)> {
+    assert!(k >= 2, "k-truss needs k >= 2");
+    assert_eq!(a0.nrows(), a0.ncols(), "adjacency must be square");
+    let n = a0.nrows();
+    let min_support = (k - 2) as u64;
+    if min_support == 0 {
+        // Every edge trivially qualifies; note that S would *omit*
+        // zero-support edges (plus_pair over an empty set stores nothing),
+        // so the generic loop below must not run for k = 2.
+        return a0
+            .iter()
+            .filter(|&(r, c, _)| r < c)
+            .map(|(r, c, _)| (r, c))
+            .collect();
+    }
+    let mut a = a0.clone();
+    loop {
+        // S<A> = A^T (+.pair) A : S[i,j] = common neighbors of i and j,
+        // restricted to A's pattern (the Hadamard of Sec. II-C).
+        let mut s: Matrix<u64> = Matrix::new(n, n);
+        ops::mxm(
+            &mut s,
+            Some(&a.structure()),
+            None,
+            &semiring::plus_pair::<bool, u64>(),
+            &a,
+            &a,
+            Descriptor::replace().with_transpose_a(),
+        )
+        .expect("dims agree");
+        // Keep supported edges.
+        let mut kept: Matrix<u64> = Matrix::new(n, n);
+        ops::select_matrix(
+            &mut kept,
+            None,
+            None,
+            |_, _, sup| sup >= min_support,
+            &s,
+            Descriptor::new(),
+        )
+        .expect("same dims");
+        if kept.nvals() == a.nvals() {
+            break;
+        }
+        // Rebuild the boolean adjacency from the survivors.
+        let mut next: Matrix<bool> = Matrix::new(n, n);
+        ops::matrix_apply(
+            &mut next,
+            None,
+            None,
+            &ops::FnUnary::new(|_: u64| true),
+            &kept,
+            Descriptor::new(),
+        )
+        .expect("same dims");
+        a = next;
+    }
+    a.iter()
+        .filter(|&(r, c, _)| r < c)
+        .map(|(r, c, _)| (r, c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::bool_adjacency;
+    use graphdata::gen::complete;
+    use graphdata::{CsrGraph, EdgeList};
+
+    fn csr(triples: Vec<(usize, usize, f64)>) -> CsrGraph {
+        let mut el = EdgeList::from_triples(triples);
+        el.symmetrize();
+        el.dedup_min();
+        CsrGraph::from_edge_list(&el).unwrap()
+    }
+
+    #[test]
+    fn complete_graph_survives_its_truss() {
+        // K_5 is a 5-truss (every edge in 3 triangles).
+        let g = CsrGraph::from_edge_list(&complete(5)).unwrap();
+        let canonical = ktruss_canonical(&g, 5);
+        assert_eq!(canonical.len(), 10);
+        assert_eq!(ktruss_gblas(&bool_adjacency(&g), 5), canonical);
+        // And vanishes at k = 6.
+        assert!(ktruss_canonical(&g, 6).is_empty());
+        assert!(ktruss_gblas(&bool_adjacency(&g), 6).is_empty());
+    }
+
+    #[test]
+    fn pendant_edges_pruned_at_k3() {
+        // A triangle with a tail: 0-1-2 triangle, 2-3 tail.
+        let g = csr(vec![(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0), (2, 3, 1.0)]);
+        let canonical = ktruss_canonical(&g, 3);
+        assert_eq!(canonical, vec![(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(ktruss_gblas(&bool_adjacency(&g), 3), canonical);
+    }
+
+    #[test]
+    fn cascade_deletion() {
+        // Two triangles sharing an edge, plus a bridge making a chain:
+        // removing weak edges can cascade.
+        let g = csr(vec![
+            (0, 1, 1.0),
+            (1, 2, 1.0),
+            (0, 2, 1.0),
+            (2, 3, 1.0),
+            (3, 4, 1.0),
+            (2, 4, 1.0),
+            (4, 5, 1.0),
+        ]);
+        let canonical = ktruss_canonical(&g, 3);
+        let algebraic = ktruss_gblas(&bool_adjacency(&g), 3);
+        assert_eq!(canonical, algebraic);
+        // Both triangles survive, the pendant 4-5 edge does not.
+        assert!(canonical.contains(&(0, 1)));
+        assert!(canonical.contains(&(2, 4)));
+        assert!(!canonical.contains(&(4, 5)));
+    }
+
+    #[test]
+    fn k2_keeps_everything() {
+        let g = csr(vec![(0, 1, 1.0), (1, 2, 1.0)]);
+        let canonical = ktruss_canonical(&g, 2);
+        assert_eq!(canonical, vec![(0, 1), (1, 2)]);
+        assert_eq!(ktruss_gblas(&bool_adjacency(&g), 2), canonical);
+    }
+
+    #[test]
+    fn random_graphs_agree() {
+        for seed in [3u64, 11, 29] {
+            let mut el = graphdata::gen::gnm(25, 120, seed);
+            el.symmetrize();
+            el.dedup_min();
+            let g = CsrGraph::from_edge_list(&el).unwrap();
+            for k in [3usize, 4] {
+                assert_eq!(
+                    ktruss_canonical(&g, k),
+                    ktruss_gblas(&bool_adjacency(&g), k),
+                    "seed {seed}, k {k}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # graph-algos — the translation methodology, beyond SSSP
+//!
+//! The paper's thesis is a *systematic* method for translating vertex- and
+//! edge-centric algorithms into GraphBLAS (Sec. II defines the patterns;
+//! delta-stepping is the worked example). This crate applies the same
+//! patterns to more algorithms, each in two forms:
+//!
+//! * a **canonical** vertex/edge-centric implementation (frontiers,
+//!   adjacency lists, per-edge loops), and
+//! * a **linear-algebraic** implementation on [`gblas`] (masked `vxm`/
+//!   `mxm` over the appropriate semiring).
+//!
+//! Both forms are tested for equivalence on random and suite graphs —
+//! the same validation discipline the SSSP reproduction uses.
+//!
+//! | algorithm | canonical pattern | algebraic pattern |
+//! |---|---|---|
+//! | [`bfs`] | frontier expansion over out-edges | `(∨,∧)` `vxm` with complemented visited mask |
+//! | [`components`] | label propagation to neighbors | `(min, second)` `vxm` + element-wise min, to fixpoint |
+//! | [`triangles`] | sorted adjacency intersection per edge | `C⟨L⟩ = L ⊕.pair Lᵀ`, reduce (Sec. II-C) |
+//! | [`ktruss`] | iterative support pruning per edge | `S = (AᵀA) ∘ A` masked `mxm`, select, repeat (Sec. II-C) |
+
+pub mod bfs;
+pub mod components;
+pub mod ktruss;
+pub mod triangles;

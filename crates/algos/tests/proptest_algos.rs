@@ -1,0 +1,113 @@
+//! Property tests for the translation gallery: on random symmetric simple
+//! graphs, every canonical algorithm must agree with its linear-algebraic
+//! twin, and cross-algorithm invariants must hold.
+
+use proptest::prelude::*;
+
+use graph_algos::{bfs, components, ktruss, triangles};
+use graphdata::{CsrGraph, EdgeList};
+
+/// Random symmetric simple graph with `n` vertices.
+fn arb_sym_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CsrGraph> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 0..max_m).prop_map(move |pairs| {
+            let mut el = EdgeList::new(n);
+            for (u, v) in pairs {
+                if u != v {
+                    el.push(u, v, 1.0);
+                    el.push(v, u, 1.0);
+                }
+            }
+            el.ensure_vertices(n);
+            CsrGraph::from_edge_list(&el).expect("valid by construction")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bfs_forms_agree(g in arb_sym_graph(30, 100), src_raw in 0usize..30) {
+        let src = src_raw % g.num_vertices();
+        let a = bfs::bool_adjacency(&g);
+        prop_assert_eq!(
+            bfs::bfs_levels_canonical(&g, src),
+            bfs::bfs_levels_gblas(&a, src)
+        );
+        prop_assert_eq!(
+            bfs::bfs_parents_canonical(&g, src),
+            bfs::bfs_parents_gblas(&a, src)
+        );
+    }
+
+    #[test]
+    fn bfs_levels_consistent_with_parents(g in arb_sym_graph(25, 80)) {
+        let a = bfs::bool_adjacency(&g);
+        let levels = bfs::bfs_levels_gblas(&a, 0);
+        let parents = bfs::bfs_parents_gblas(&a, 0);
+        for v in 0..g.num_vertices() {
+            match (levels[v], parents[v]) {
+                (Some(0), Some(p)) => prop_assert_eq!(p, v), // source
+                (Some(l), Some(p)) => prop_assert_eq!(levels[p], Some(l - 1)),
+                (None, None) => {}
+                other => prop_assert!(false, "inconsistent {:?} at {}", other, v),
+            }
+        }
+    }
+
+    #[test]
+    fn components_forms_agree_and_respect_bfs(g in arb_sym_graph(30, 90)) {
+        let a = bfs::bool_adjacency(&g);
+        let canonical = components::components_canonical(&g);
+        let algebraic = components::components_gblas(&a);
+        prop_assert_eq!(&canonical, &algebraic);
+        // Same component <=> mutually BFS-reachable (symmetric graph).
+        let reach0 = bfs::bfs_levels_canonical(&g, 0);
+        for v in 0..g.num_vertices() {
+            prop_assert_eq!(
+                canonical[v] == canonical[0],
+                reach0[v].is_some(),
+                "vertex {}", v
+            );
+        }
+        // Labels are component minima: label[v] <= v and label[label[v]] == label[v].
+        for v in 0..g.num_vertices() {
+            prop_assert!(canonical[v] <= v);
+            prop_assert_eq!(canonical[canonical[v]], canonical[v]);
+        }
+    }
+
+    #[test]
+    fn triangle_forms_agree(g in arb_sym_graph(25, 120)) {
+        let a = bfs::bool_adjacency(&g);
+        prop_assert_eq!(triangles::triangles_canonical(&g), triangles::triangles_gblas(&a));
+    }
+
+    #[test]
+    fn ktruss_forms_agree_and_nest(g in arb_sym_graph(20, 80)) {
+        let a = bfs::bool_adjacency(&g);
+        let mut prev: Option<Vec<(usize, usize)>> = None;
+        for k in [2usize, 3, 4, 5] {
+            let canonical = ktruss::ktruss_canonical(&g, k);
+            let algebraic = ktruss::ktruss_gblas(&a, k);
+            prop_assert_eq!(&canonical, &algebraic, "k = {}", k);
+            // Trusses are nested: the (k+1)-truss is a subset of the k-truss.
+            if let Some(prev_edges) = &prev {
+                for e in &canonical {
+                    prop_assert!(prev_edges.contains(e), "{:?} not in {}-truss", e, k - 1);
+                }
+            }
+            prev = Some(canonical);
+        }
+    }
+
+    #[test]
+    fn triangle_count_bounds_truss_content(g in arb_sym_graph(18, 60)) {
+        // If there are no triangles, the 3-truss must be empty.
+        let a = bfs::bool_adjacency(&g);
+        if triangles::triangles_gblas(&a) == 0 {
+            prop_assert!(ktruss::ktruss_gblas(&a, 3).is_empty());
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Gallery bench: canonical vertex/edge-centric implementations vs their
+//! linear-algebraic twins (BFS, components, triangles) — the same
+//! overhead question Fig. 3 asks, on other algorithms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use graph_algos::{bfs, components, triangles};
+use graphdata::{gen, CsrGraph};
+
+fn setup() -> CsrGraph {
+    let mut el = gen::rmat(gen::RmatParams::graph500(11, 8), 77);
+    el.symmetrize();
+    el.make_unit_weight();
+    CsrGraph::from_edge_list(&el).unwrap()
+}
+
+fn algos(c: &mut Criterion) {
+    let g = setup();
+    let a = bfs::bool_adjacency(&g);
+    let src = (0..g.num_vertices())
+        .max_by_key(|&v| g.out_degree(v))
+        .unwrap();
+
+    let mut group = c.benchmark_group("gallery");
+    group.sample_size(10);
+
+    group.bench_function("bfs_canonical", |b| {
+        b.iter(|| std::hint::black_box(bfs::bfs_levels_canonical(&g, src)));
+    });
+    group.bench_function("bfs_gblas", |b| {
+        b.iter(|| std::hint::black_box(bfs::bfs_levels_gblas(&a, src)));
+    });
+    group.bench_function("components_canonical", |b| {
+        b.iter(|| std::hint::black_box(components::components_canonical(&g)));
+    });
+    group.bench_function("components_gblas", |b| {
+        b.iter(|| std::hint::black_box(components::components_gblas(&a)));
+    });
+    group.bench_function("triangles_canonical", |b| {
+        b.iter(|| std::hint::black_box(triangles::triangles_canonical(&g)));
+    });
+    group.bench_function("triangles_gblas", |b| {
+        b.iter(|| std::hint::black_box(triangles::triangles_gblas(&a)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, algos);
+criterion_main!(benches);

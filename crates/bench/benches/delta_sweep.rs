@@ -1,0 +1,31 @@
+//! Criterion version of ABL-DELTA: fused delta-stepping across Δ on one
+//! weighted graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use graphdata::suite::weighted_suite;
+use graphdata::SuiteScale;
+use sssp_bench::bench_source;
+use sssp_core::fused;
+
+fn delta_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delta_sweep");
+    group.sample_size(10);
+    let suite = weighted_suite(SuiteScale::Smoke);
+    let d = suite.last().expect("suite non-empty");
+    let g = &d.graph;
+    let src = bench_source(g);
+    for delta in [0.125f64, 0.5, 1.0, 4.0] {
+        group.bench_with_input(
+            BenchmarkId::new(&d.name, format!("delta_{delta}")),
+            &delta,
+            |b, &delta| {
+                b.iter(|| std::hint::black_box(fused::delta_stepping_fused(g, src, delta)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, delta_sweep);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! ABL-SELECT: decompose the Fig. 3 fusion speedup into "better library"
+//! (single-pass select filters) vs "user-side fusion".
+//!
+//! Usage: `cargo run -p sssp-bench --release --bin ablation [--scale smoke|default|large]`
+
+use sssp_bench::experiments::{ablation_select, parse_scale};
+use sssp_bench::{markdown_table, write_csv, write_json, Reps};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = parse_scale(&args);
+
+    println!("ABL-SELECT: two-apply GraphBLAS vs select-based GraphBLAS vs fused direct");
+    println!("(how much of Fig. 3's fusion win a better library already captures)\n");
+    let rows = ablation_select::run(scale, Reps::default());
+    let table = ablation_select::to_table(&rows);
+    println!("{}", markdown_table(&ablation_select::HEADER, &table));
+    println!(
+        "geomean: select-based library {:.2}x, full fusion {:.2}x",
+        ablation_select::average_select_speedup(&rows),
+        ablation_select::average_fused_speedup(&rows)
+    );
+
+    write_csv("results/ablation_select.csv", &ablation_select::HEADER, &table).expect("csv");
+    write_json("results/ablation_select.json", &rows).expect("json");
+    println!("\nwrote results/ablation_select.csv, results/ablation_select.json");
+}

@@ -1,0 +1,20 @@
+//! Print the benchmark dataset inventory (the Sec. VI-A setup table).
+//!
+//! Usage: `cargo run -p sssp-bench --release --bin datasets [--scale smoke|default|large]`
+
+use sssp_bench::experiments::{datasets, parse_scale};
+use sssp_bench::{markdown_table, write_csv, write_json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = parse_scale(&args);
+
+    println!("TAB-SETUP: benchmark suite (symmetric, unit weights, ascending |V|)\n");
+    let rows = datasets::run(scale);
+    let table = datasets::to_table(&rows);
+    println!("{}", markdown_table(&datasets::HEADER, &table));
+
+    write_csv("results/datasets.csv", &datasets::HEADER, &table).expect("write csv");
+    write_json("results/datasets.json", &rows).expect("write json");
+    println!("wrote results/datasets.csv, results/datasets.json");
+}

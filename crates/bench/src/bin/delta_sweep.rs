@@ -1,0 +1,22 @@
+//! Δ-sweep ablation (Sec. VII): how bucket width trades phase count
+//! against re-relaxation on weighted graphs.
+//!
+//! Usage: `cargo run -p sssp-bench --release --bin delta_sweep [--scale smoke|default|large]`
+
+use sssp_bench::experiments::{delta_sweep, parse_scale};
+use sssp_bench::{markdown_table, write_csv, write_json, Reps};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = parse_scale(&args);
+    let deltas = [0.125, 0.25, 0.5, 1.0, 2.0, 4.0];
+
+    println!("ABL-DELTA: fused delta-stepping across bucket widths (weighted suite)\n");
+    let rows = delta_sweep::run(scale, &deltas, Reps::default());
+    let table = delta_sweep::to_table(&rows);
+    println!("{}", markdown_table(&delta_sweep::HEADER, &table));
+
+    write_csv("results/delta_sweep.csv", &delta_sweep::HEADER, &table).expect("write csv");
+    write_json("results/delta_sweep.json", &rows).expect("write json");
+    println!("wrote results/delta_sweep.csv, results/delta_sweep.json");
+}

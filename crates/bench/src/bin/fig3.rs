@@ -1,0 +1,28 @@
+//! Regenerate Fig. 3: fused direct implementation vs unfused GraphBLAS,
+//! per graph, sorted by ascending node count.
+//!
+//! Usage: `cargo run -p sssp-bench --release --bin fig3 [--scale smoke|default|large]`
+
+use sssp_bench::experiments::{fig3, parse_scale};
+use sssp_bench::{markdown_table, write_csv, write_json, Reps};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = parse_scale(&args);
+    let reps = Reps::default();
+
+    println!("FIG3: fused direct vs unfused GraphBLAS (delta = 1, unit weights)");
+    println!("paper reference: ~3.7x average improvement from fusion\n");
+
+    let rows = fig3::run(scale, reps);
+    let table = fig3::to_table(&rows);
+    println!("{}", markdown_table(&fig3::HEADER, &table));
+    println!(
+        "geometric-mean speedup (fused over unfused): {:.2}x",
+        fig3::average_speedup(&rows)
+    );
+
+    write_csv("results/fig3.csv", &fig3::HEADER, &table).expect("write csv");
+    write_json("results/fig3.json", &rows).expect("write json");
+    println!("\nwrote results/fig3.csv, results/fig3.json");
+}

@@ -1,0 +1,22 @@
+//! Phase breakdown of the fused implementation (Sec. VI-C's 35–40 %
+//! matrix-filter claim).
+//!
+//! Usage: `cargo run -p sssp-bench --release --bin phase_profile [--scale smoke|default|large]`
+
+use sssp_bench::experiments::{parse_scale, phase_profile};
+use sssp_bench::{markdown_table, write_csv, write_json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = parse_scale(&args);
+
+    println!("ABL-OPS: per-phase time of the fused implementation (delta = 1)");
+    println!("paper reference: matrix filtering takes 35-40% of sequential runtime\n");
+    let rows = phase_profile::run(scale);
+    let table = phase_profile::to_table(&rows);
+    println!("{}", markdown_table(&phase_profile::HEADER, &table));
+
+    write_csv("results/phase_profile.csv", &phase_profile::HEADER, &table).expect("write csv");
+    write_json("results/phase_profile.json", &rows).expect("write json");
+    println!("wrote results/phase_profile.csv, results/phase_profile.json");
+}

@@ -1,0 +1,103 @@
+//! TAB-SETUP — the dataset inventory implicit in Sec. VI-A: which graphs
+//! the evaluation runs on, with their sizes and shapes.
+
+use serde::Serialize;
+
+use graphdata::{paper_suite, SuiteScale};
+use sssp_core::dijkstra::dijkstra;
+
+use crate::bench_source;
+
+/// One suite entry's vital statistics.
+#[derive(Debug, Clone, Serialize)]
+pub struct DatasetRow {
+    /// Dataset name.
+    pub name: String,
+    /// Topology family.
+    pub family: String,
+    /// Vertex count.
+    pub nv: usize,
+    /// Directed edge count.
+    pub ne: usize,
+    /// Mean out-degree.
+    pub mean_degree: f64,
+    /// Benchmark source vertex (maximum degree).
+    pub source: usize,
+    /// Vertices reachable from the source.
+    pub reachable: usize,
+    /// Largest finite distance from the source (hops, since unit weights).
+    pub eccentricity: f64,
+}
+
+/// Compute the inventory at `scale`.
+pub fn run(scale: SuiteScale) -> Vec<DatasetRow> {
+    paper_suite(scale)
+        .into_iter()
+        .map(|d| {
+            let g = &d.graph;
+            let src = bench_source(g);
+            let r = dijkstra(g, src);
+            DatasetRow {
+                name: d.name,
+                family: d.family.to_string(),
+                nv: g.num_vertices(),
+                ne: g.num_edges(),
+                mean_degree: g.mean_degree(),
+                source: src,
+                reachable: r.reachable_count(),
+                eccentricity: r.eccentricity().unwrap_or(0.0),
+            }
+        })
+        .collect()
+}
+
+/// Table rows for printing/CSV.
+pub fn to_table(rows: &[DatasetRow]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.family.clone(),
+                r.nv.to_string(),
+                r.ne.to_string(),
+                format!("{:.2}", r.mean_degree),
+                r.source.to_string(),
+                r.reachable.to_string(),
+                format!("{:.0}", r.eccentricity),
+            ]
+        })
+        .collect()
+}
+
+/// Header matching [`to_table`].
+pub const HEADER: [&str; 8] = [
+    "graph",
+    "family",
+    "|V|",
+    "|E|",
+    "deg",
+    "source",
+    "reachable",
+    "ecc",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_inventory() {
+        let rows = run(SuiteScale::Smoke);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.reachable > 1, "{}: source reaches nothing", r.name);
+            assert!(r.eccentricity >= 1.0);
+            assert!(r.mean_degree > 0.0);
+        }
+        // The grid has a much larger diameter than the RMAT graph of
+        // comparable size — the topology contrast the suite exists for.
+        let grid = rows.iter().find(|r| r.family == "grid").unwrap();
+        let rmat = rows.iter().find(|r| r.family == "rmat").unwrap();
+        assert!(grid.eccentricity > rmat.eccentricity);
+    }
+}

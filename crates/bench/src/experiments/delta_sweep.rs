@@ -1,0 +1,129 @@
+//! ABL-DELTA — the Sec. VII discussion made quantitative: with Δ = 1 on
+//! unit weights, delta-stepping degenerates to Dijkstra (one vertex class
+//! per bucket); larger Δ trades more re-relaxation for fewer, bigger
+//! phases. This sweep runs the fused implementation across Δ on the
+//! *weighted* suite and records both time and phase structure.
+
+use serde::Serialize;
+
+use graphdata::suite::weighted_suite;
+use graphdata::SuiteScale;
+use sssp_core::dijkstra::dijkstra;
+use sssp_core::fused;
+
+use crate::measure::{measure_min, Reps};
+use crate::bench_source;
+
+/// One (graph, Δ) measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct DeltaRow {
+    /// Dataset name (weighted variant).
+    pub name: String,
+    /// The Δ used.
+    pub delta: f64,
+    /// Fused delta-stepping time, milliseconds.
+    pub time_ms: f64,
+    /// Dijkstra baseline on the same graph/source, milliseconds.
+    pub dijkstra_ms: f64,
+    /// Buckets processed (outer iterations).
+    pub buckets: usize,
+    /// Light relaxation phases.
+    pub light_phases: usize,
+    /// Total edge relaxations attempted.
+    pub relaxations: u64,
+}
+
+/// Sweep `deltas` over the weighted suite at `scale`.
+pub fn run(scale: SuiteScale, deltas: &[f64], reps: Reps) -> Vec<DeltaRow> {
+    let mut rows = Vec::new();
+    for d in weighted_suite(scale) {
+        let g = &d.graph;
+        let src = bench_source(g);
+        let dj = dijkstra(g, src);
+        let dj_t = measure_min(
+            || {
+                std::hint::black_box(dijkstra(g, src));
+            },
+            reps,
+        );
+        for &delta in deltas {
+            let r = fused::delta_stepping_fused(g, src, delta);
+            assert!(
+                r.approx_eq(&dj, 1e-9).is_ok(),
+                "{}: delta {delta} disagrees with Dijkstra",
+                d.name
+            );
+            let t = measure_min(
+                || {
+                    std::hint::black_box(fused::delta_stepping_fused(g, src, delta));
+                },
+                reps,
+            );
+            rows.push(DeltaRow {
+                name: d.name.clone(),
+                delta,
+                time_ms: t.as_secs_f64() * 1e3,
+                dijkstra_ms: dj_t.as_secs_f64() * 1e3,
+                buckets: r.stats.buckets_processed,
+                light_phases: r.stats.light_phases,
+                relaxations: r.stats.relaxations,
+            });
+        }
+    }
+    rows
+}
+
+/// Table rows for printing/CSV.
+pub fn to_table(rows: &[DeltaRow]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{}", r.delta),
+                format!("{:.3}", r.time_ms),
+                format!("{:.3}", r.dijkstra_ms),
+                r.buckets.to_string(),
+                r.light_phases.to_string(),
+                r.relaxations.to_string(),
+            ]
+        })
+        .collect()
+}
+
+/// Header matching [`to_table`].
+pub const HEADER: [&str; 7] = [
+    "graph",
+    "delta",
+    "time_ms",
+    "dijkstra_ms",
+    "buckets",
+    "light_phases",
+    "relaxations",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_structure_follows_delta() {
+        let rows = run(
+            SuiteScale::Smoke,
+            &[0.25, 1.0],
+            Reps { warmup: 0, samples: 1 },
+        );
+        // 4 weighted graphs x 2 deltas.
+        assert_eq!(rows.len(), 8);
+        // Bigger delta => fewer (or equal) buckets on each graph.
+        for pair in rows.chunks(2) {
+            assert_eq!(pair[0].name, pair[1].name);
+            assert!(
+                pair[0].buckets >= pair[1].buckets,
+                "{}: buckets {} @0.25 vs {} @1.0",
+                pair[0].name,
+                pair[0].buckets,
+                pair[1].buckets
+            );
+        }
+    }
+}

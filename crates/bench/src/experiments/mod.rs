@@ -1,0 +1,54 @@
+//! One module per experiment in the EXPERIMENTS.md index.
+
+pub mod ablation_select;
+pub mod datasets;
+pub mod delta_sweep;
+pub mod fig3;
+pub mod fig4;
+pub mod phase_profile;
+
+use graphdata::SuiteScale;
+
+/// Parse a `--scale` CLI value (`smoke` / `default` / `large`).
+pub fn parse_scale(args: &[String]) -> SuiteScale {
+    for pair in args.windows(2) {
+        if pair[0] == "--scale" {
+            return match pair[1].as_str() {
+                "smoke" => SuiteScale::Smoke,
+                "default" => SuiteScale::Default,
+                "large" => SuiteScale::Large,
+                other => panic!("unknown --scale '{other}' (smoke|default|large)"),
+            };
+        }
+    }
+    SuiteScale::Default
+}
+
+/// Geometric mean of a slice of positive ratios.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_scale_variants() {
+        let args = |s: &str| vec!["--scale".to_string(), s.to_string()];
+        assert_eq!(parse_scale(&args("smoke")), SuiteScale::Smoke);
+        assert_eq!(parse_scale(&args("large")), SuiteScale::Large);
+        assert_eq!(parse_scale(&[]), SuiteScale::Default);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[3.7]) - 3.7).abs() < 1e-12);
+        assert!(geomean(&[]).is_nan());
+    }
+}

@@ -1,0 +1,107 @@
+//! Result reporting: aligned console/markdown tables plus CSV and JSON
+//! files under `results/`.
+
+use std::io::Write;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// Render rows as a GitHub-flavoured markdown table (also readable on a
+/// terminal). `header` and every row must have the same arity.
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "row arity mismatch");
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(widths.iter())
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        format!("| {} |\n", padded.join(" | "))
+    };
+    out.push_str(&fmt_row(
+        header.iter().map(|s| s.to_string()).collect(),
+        &widths,
+    ));
+    let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&format!("|-{}-|\n", dashes.join("-|-")));
+    for row in rows {
+        out.push_str(&fmt_row(row.clone(), &widths));
+    }
+    out
+}
+
+/// Serialize `records` as pretty JSON into `path`, creating parent
+/// directories.
+pub fn write_json<T: Serialize>(path: impl AsRef<Path>, records: &T) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let json = serde_json::to_string_pretty(records)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    std::fs::write(path, json)
+}
+
+/// Write a CSV file (header + string rows), creating parent directories.
+pub fn write_csv(
+    path: impl AsRef<Path>,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = markdown_table(
+            &["name", "n"],
+            &[
+                vec!["grid".into(), "1024".into()],
+                vec!["rmat-13".into(), "8192".into()],
+            ],
+        );
+        assert!(t.contains("| grid    | 1024 |"));
+        assert!(t.contains("| rmat-13 | 8192 |"));
+        assert!(t.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_rejects_ragged_rows() {
+        markdown_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn csv_and_json_round_trip() {
+        let dir = std::env::temp_dir().join(format!("ssspbench-{}", std::process::id()));
+        let csv = dir.join("t.csv");
+        write_csv(&csv, &["a", "b"], &[vec!["1".into(), "2".into()]]).unwrap();
+        let content = std::fs::read_to_string(&csv).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+        let json = dir.join("t.json");
+        write_json(&json, &vec![("x", 1)]).unwrap();
+        assert!(std::fs::read_to_string(&json).unwrap().contains("x"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

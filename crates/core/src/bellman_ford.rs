@@ -1,0 +1,90 @@
+//! Bellman–Ford: the label-correcting extreme of the SSSP spectrum
+//! (delta-stepping with Δ = ∞ relaxes everything every round, like one
+//! Bellman–Ford pass per phase).
+
+use graphdata::CsrGraph;
+
+use crate::result::SsspResult;
+
+/// Single-source shortest paths by Bellman–Ford with early exit when a full
+/// pass changes nothing.
+pub fn bellman_ford(g: &CsrGraph, source: usize) -> SsspResult {
+    let mut result = SsspResult::init(g.num_vertices(), source);
+    let n = g.num_vertices();
+    for round in 0..n {
+        let mut changed = false;
+        result.stats.buckets_processed = round + 1;
+        for v in 0..n {
+            let dv = result.dist[v];
+            if !dv.is_finite() {
+                continue;
+            }
+            let (targets, weights) = g.neighbors(v);
+            for (&t, &w) in targets.iter().zip(weights.iter()) {
+                result.stats.relaxations += 1;
+                let cand = dv + w;
+                if cand < result.dist[t] {
+                    result.dist[t] = cand;
+                    result.stats.improvements += 1;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+    use graphdata::gen::{cycle, grid2d};
+    use graphdata::EdgeList;
+
+    #[test]
+    fn matches_dijkstra_on_grid() {
+        let g = CsrGraph::from_edge_list(&grid2d(6, 4)).unwrap();
+        let bf = bellman_ford(&g, 0);
+        let dj = dijkstra(&g, 0);
+        assert_eq!(bf.dist, dj.dist);
+    }
+
+    #[test]
+    fn matches_dijkstra_on_weighted_cycle() {
+        let mut el = cycle(10);
+        // Perturb weights so paths differ in both directions.
+        let el2 = EdgeList::from_triples(
+            el.edges()
+                .iter()
+                .enumerate()
+                .map(|(k, e)| (e.src, e.dst, 1.0 + (k % 3) as f64))
+                .collect::<Vec<_>>(),
+        );
+        el = el2;
+        let g = CsrGraph::from_edge_list(&el).unwrap();
+        let bf = bellman_ford(&g, 3);
+        let dj = dijkstra(&g, 3);
+        assert_eq!(bf.dist, dj.dist);
+    }
+
+    #[test]
+    fn early_exit_counts_rounds() {
+        // A path graph needs |V| - 1 improving rounds + 1 quiet round.
+        let g = CsrGraph::from_edge_list(&graphdata::gen::path(5)).unwrap();
+        let bf = bellman_ford(&g, 0);
+        assert!(bf.stats.buckets_processed <= 5);
+        assert_eq!(bf.dist[4], 4.0);
+    }
+
+    #[test]
+    fn isolated_source() {
+        let mut el = EdgeList::from_triples(vec![(1, 2, 1.0)]);
+        el.ensure_vertices(3);
+        let g = CsrGraph::from_edge_list(&el).unwrap();
+        let bf = bellman_ford(&g, 0);
+        assert_eq!(bf.dist, vec![0.0, f64::INFINITY, f64::INFINITY]);
+    }
+}

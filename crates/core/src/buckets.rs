@@ -1,0 +1,137 @@
+//! The bucket priority structure of Meyer–Sanders delta-stepping
+//! (Sec. III-B): bucket `B_i` holds the vertices whose tentative distance
+//! lies in `[iΔ, (i+1)Δ)`.
+
+use std::collections::BTreeMap;
+
+/// Buckets of vertices with O(1) membership moves and ordered access to the
+/// smallest non-empty bucket.
+#[derive(Debug, Clone)]
+pub struct BucketQueue {
+    buckets: BTreeMap<usize, Vec<usize>>,
+    /// `location[v] = Some((bucket, position))` while `v` is queued.
+    location: Vec<Option<(usize, usize)>>,
+}
+
+impl BucketQueue {
+    /// An empty structure for `n` vertices.
+    pub fn new(n: usize) -> Self {
+        BucketQueue {
+            buckets: BTreeMap::new(),
+            location: vec![None; n],
+        }
+    }
+
+    /// True when no bucket holds any vertex.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Index of the smallest non-empty bucket.
+    pub fn min_bucket(&self) -> Option<usize> {
+        self.buckets.keys().next().copied()
+    }
+
+    /// Whether vertex `v` is currently queued, and where.
+    pub fn bucket_of(&self, v: usize) -> Option<usize> {
+        self.location[v].map(|(b, _)| b)
+    }
+
+    /// Move `v` into bucket `b` (removing it from its current bucket first).
+    pub fn insert(&mut self, v: usize, b: usize) {
+        self.remove(v);
+        let vec = self.buckets.entry(b).or_default();
+        vec.push(v);
+        self.location[v] = Some((b, vec.len() - 1));
+    }
+
+    /// Remove `v` if queued. Returns its former bucket.
+    pub fn remove(&mut self, v: usize) -> Option<usize> {
+        let (b, pos) = self.location[v].take()?;
+        let vec = self.buckets.get_mut(&b).expect("location points at live bucket");
+        let last = vec.len() - 1;
+        vec.swap_remove(pos);
+        if pos <= last && pos < vec.len() {
+            let moved = vec[pos];
+            self.location[moved] = Some((b, pos));
+        }
+        if vec.is_empty() {
+            self.buckets.remove(&b);
+        }
+        Some(b)
+    }
+
+    /// Take the entire contents of bucket `b`, emptying it (the
+    /// "simultaneously empties the bucket" step of Sec. III-C).
+    pub fn take_bucket(&mut self, b: usize) -> Vec<usize> {
+        match self.buckets.remove(&b) {
+            None => Vec::new(),
+            Some(vec) => {
+                for &v in &vec {
+                    self.location[v] = None;
+                }
+                vec
+            }
+        }
+    }
+
+    /// Number of queued vertices across all buckets.
+    pub fn len(&self) -> usize {
+        self.buckets.values().map(|v| v.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_min() {
+        let mut q = BucketQueue::new(5);
+        assert!(q.is_empty());
+        q.insert(3, 2);
+        q.insert(1, 0);
+        q.insert(4, 2);
+        assert_eq!(q.min_bucket(), Some(0));
+        assert_eq!(q.bucket_of(3), Some(2));
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn reinsert_moves_between_buckets() {
+        let mut q = BucketQueue::new(4);
+        q.insert(2, 5);
+        q.insert(2, 1);
+        assert_eq!(q.bucket_of(2), Some(1));
+        assert_eq!(q.min_bucket(), Some(1));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn remove_with_swap_updates_locations() {
+        let mut q = BucketQueue::new(6);
+        q.insert(0, 3);
+        q.insert(1, 3);
+        q.insert(2, 3);
+        assert_eq!(q.remove(0), Some(3));
+        // The swapped-in vertex must still be removable correctly.
+        assert_eq!(q.remove(2), Some(3));
+        assert_eq!(q.remove(1), Some(3));
+        assert!(q.is_empty());
+        assert_eq!(q.remove(1), None);
+    }
+
+    #[test]
+    fn take_bucket_empties_and_clears_locations() {
+        let mut q = BucketQueue::new(4);
+        q.insert(0, 1);
+        q.insert(3, 1);
+        q.insert(2, 7);
+        let mut taken = q.take_bucket(1);
+        taken.sort_unstable();
+        assert_eq!(taken, vec![0, 3]);
+        assert_eq!(q.bucket_of(0), None);
+        assert_eq!(q.min_bucket(), Some(7));
+        assert!(q.take_bucket(1).is_empty());
+    }
+}

@@ -1,0 +1,94 @@
+//! Choosing the bucket width Δ.
+
+use graphdata::CsrGraph;
+
+/// Strategies for picking Δ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeltaStrategy {
+    /// Δ = 1, the paper's experimental setting (Sec. VI-A). On unit-weight
+    /// graphs this makes delta-stepping behave like Dijkstra (Sec. VII).
+    Unit,
+    /// A fixed user-chosen Δ.
+    Fixed(f64),
+    /// Meyer & Sanders' heuristic Δ = Θ(1/d): the maximum-weight / mean
+    /// out-degree rule keeps the expected work per phase linear.
+    MeyerSanders,
+}
+
+impl DeltaStrategy {
+    /// Resolve the strategy against a concrete graph.
+    pub fn resolve(&self, g: &CsrGraph) -> f64 {
+        match *self {
+            DeltaStrategy::Unit => 1.0,
+            DeltaStrategy::Fixed(d) => {
+                assert!(d > 0.0 && d.is_finite(), "delta must be positive and finite");
+                d
+            }
+            DeltaStrategy::MeyerSanders => {
+                let d = g.mean_degree();
+                let w = g.max_weight();
+                if d <= 0.0 || w <= 0.0 {
+                    1.0
+                } else {
+                    (w / d).max(f64::MIN_POSITIVE)
+                }
+            }
+        }
+    }
+}
+
+/// The bucket index of a tentative distance: `⌊tent / Δ⌋` (Sec. III-B).
+/// `∞` maps to `usize::MAX` (no bucket).
+#[inline]
+pub fn bucket_of(tent: f64, delta: f64) -> usize {
+    if tent.is_finite() {
+        (tent / delta) as usize
+    } else {
+        usize::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphdata::gen::grid2d;
+
+    fn grid() -> CsrGraph {
+        CsrGraph::from_edge_list(&grid2d(4, 4)).unwrap()
+    }
+
+    #[test]
+    fn unit_is_one() {
+        assert_eq!(DeltaStrategy::Unit.resolve(&grid()), 1.0);
+    }
+
+    #[test]
+    fn fixed_passes_through() {
+        assert_eq!(DeltaStrategy::Fixed(0.25).resolve(&grid()), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn fixed_rejects_nonpositive() {
+        DeltaStrategy::Fixed(0.0).resolve(&grid());
+    }
+
+    #[test]
+    fn meyer_sanders_uses_weight_over_degree() {
+        let g = grid();
+        let expect = g.max_weight() / g.mean_degree();
+        assert_eq!(DeltaStrategy::MeyerSanders.resolve(&g), expect);
+        // Edgeless graph falls back to 1.
+        let empty = CsrGraph::from_edge_list(&graphdata::EdgeList::new(3)).unwrap();
+        assert_eq!(DeltaStrategy::MeyerSanders.resolve(&empty), 1.0);
+    }
+
+    #[test]
+    fn bucket_of_ranges() {
+        assert_eq!(bucket_of(0.0, 1.0), 0);
+        assert_eq!(bucket_of(0.99, 1.0), 0);
+        assert_eq!(bucket_of(1.0, 1.0), 1);
+        assert_eq!(bucket_of(7.5, 2.5), 3);
+        assert_eq!(bucket_of(f64::INFINITY, 1.0), usize::MAX);
+    }
+}

@@ -1,0 +1,56 @@
+//! # sssp-core — delta-stepping SSSP, from vertices and edges to GraphBLAS
+//!
+//! The paper's contribution, reproduced end to end. Five implementations of
+//! single-source shortest paths share one result type so they can be
+//! compared edge-for-edge:
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`canonical`] | Meyer–Sanders delta-stepping with explicit buckets (Fig. 1, right) |
+//! | [`gblas_impl`] | the **unfused GraphBLAS** implementation (Fig. 2, call-for-call) |
+//! | [`fused`] | the **fused direct-C** implementation (Sec. VI-B: Hadamard+vxm fusion, fused vector updates) |
+//! | [`parallel`] | the **OpenMP-task** parallel scheme (Sec. VI-C: 2 matrix-filter tasks + evenly-sized vector chunk tasks) |
+//! | [`parallel_improved`] | the paper's proposed improvement: fine-grained matrix filtering + parallel relaxation |
+//! | [`dijkstra`], [`bellman_ford`] | classic baselines |
+//!
+//! All take a [`graphdata::CsrGraph`], a source vertex, and (where relevant)
+//! a Δ from [`delta::DeltaStrategy`], and return an [`SsspResult`] whose
+//! `dist[v]` is the shortest distance from the source (`f64::INFINITY` when
+//! unreachable). [`validate::check_certificate`] verifies any result against
+//! the SSSP optimality conditions.
+//!
+//! ```
+//! use graphdata::gen::grid2d;
+//! use graphdata::CsrGraph;
+//! use sssp_core::{delta::DeltaStrategy, fused, dijkstra};
+//!
+//! let g = CsrGraph::from_edge_list(&grid2d(8, 8)).unwrap();
+//! let ds = fused::delta_stepping_fused(&g, 0, DeltaStrategy::Unit.resolve(&g));
+//! let dj = dijkstra::dijkstra(&g, 0);
+//! assert_eq!(ds.dist, dj.dist);
+//! assert_eq!(ds.dist[63], 14.0); // Manhattan distance across the grid
+//! ```
+
+pub mod bellman_ford;
+pub mod buckets;
+pub mod canonical;
+pub mod delta;
+pub mod dijkstra;
+pub mod fused;
+pub mod gblas_impl;
+pub mod gblas_parallel;
+pub mod gblas_select;
+pub mod parallel;
+pub mod parallel_improved;
+pub mod parallel_sim;
+pub mod paths;
+pub mod result;
+pub mod schedule;
+pub mod stats;
+pub mod validate;
+
+pub use result::SsspResult;
+pub use stats::SsspStats;
+
+/// The distance value used for unreachable vertices.
+pub const INF: f64 = f64::INFINITY;

@@ -1,0 +1,381 @@
+//! The improvement the paper predicts in Sec. VI-C: "Parallelizing within
+//! the matrix-vector operations and splitting the filtering operations for
+//! `A_H` and `A_L` into smaller tasks would allow more threads to
+//! participate … thereby improving performance and scalability."
+//!
+//! Concretely, relative to [`crate::parallel`]:
+//!
+//! * the light/heavy matrix filtering is chunked by rows
+//!   ([`gblas::parallel::par_select_matrix`]-style, implemented directly on
+//!   the CSR here), so all threads participate instead of two;
+//! * the `(min,+)` relaxation runs as chunked tasks over the frontier with
+//!   a shared atomic `t_Req` accumulator (lock-free f64 min via
+//!   compare-exchange).
+//!
+//! Results are bit-identical to the sequential fused implementation: the
+//! atomic min computes the same minima, and the bookkeeping pass stays
+//! sequential and ordered.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use graphdata::CsrGraph;
+use parking_lot::Mutex;
+use taskpool::{scope, split_evenly, ThreadPool};
+
+use crate::delta::bucket_of;
+use crate::fused::LightHeavy;
+use crate::result::SsspResult;
+use crate::stats::PhaseProfile;
+use crate::INF;
+
+/// Lock-free `min` on an `f64` stored as bits in an `AtomicU64`.
+/// Returns the previous value.
+#[inline]
+pub fn atomic_min_f64(cell: &AtomicU64, value: f64) -> f64 {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let cur_f = f64::from_bits(cur);
+        if value >= cur_f {
+            return cur_f;
+        }
+        match cell.compare_exchange_weak(cur, value.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => return cur_f,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// Build the light/heavy split with fine-grained row chunks — every thread
+/// participates (vs. the two coarse tasks of the paper's scheme).
+pub fn split_light_heavy_chunked(pool: &ThreadPool, g: &CsrGraph, delta: f64) -> LightHeavy {
+    let n = g.num_vertices();
+    if n == 0 {
+        return LightHeavy::build(g, delta);
+    }
+    // 4 chunks per thread: enough slack for load balancing on skewed rows.
+    let pieces = (pool.num_threads() * 4).min(n);
+    let ranges = split_evenly(0..n, pieces);
+
+    struct Chunk {
+        first_row: usize,
+        l_counts: Vec<usize>,
+        l_tgt: Vec<usize>,
+        l_w: Vec<f64>,
+        h_counts: Vec<usize>,
+        h_tgt: Vec<usize>,
+        h_w: Vec<f64>,
+    }
+    let chunks: Mutex<Vec<Chunk>> = Mutex::new(Vec::with_capacity(ranges.len()));
+    scope(pool, |s| {
+        for range in ranges {
+            let chunks = &chunks;
+            s.spawn(move || {
+                let mut c = Chunk {
+                    first_row: range.start,
+                    l_counts: Vec::with_capacity(range.len()),
+                    l_tgt: Vec::new(),
+                    l_w: Vec::new(),
+                    h_counts: Vec::with_capacity(range.len()),
+                    h_tgt: Vec::new(),
+                    h_w: Vec::new(),
+                };
+                for v in range {
+                    let (targets, weights) = g.neighbors(v);
+                    let (lb, hb) = (c.l_tgt.len(), c.h_tgt.len());
+                    for (&t, &w) in targets.iter().zip(weights.iter()) {
+                        if w <= delta {
+                            c.l_tgt.push(t);
+                            c.l_w.push(w);
+                        } else {
+                            c.h_tgt.push(t);
+                            c.h_w.push(w);
+                        }
+                    }
+                    c.l_counts.push(c.l_tgt.len() - lb);
+                    c.h_counts.push(c.h_tgt.len() - hb);
+                }
+                chunks.lock().push(c);
+            });
+        }
+    });
+    let mut parts = chunks.into_inner();
+    parts.sort_unstable_by_key(|c| c.first_row);
+    let mut lh = LightHeavy {
+        light_off: Vec::with_capacity(n + 1),
+        light_tgt: Vec::new(),
+        light_w: Vec::new(),
+        heavy_off: Vec::with_capacity(n + 1),
+        heavy_tgt: Vec::new(),
+        heavy_w: Vec::new(),
+    };
+    lh.light_off.push(0);
+    lh.heavy_off.push(0);
+    for c in parts {
+        for k in 0..c.l_counts.len() {
+            lh.light_off.push(lh.light_off.last().unwrap() + c.l_counts[k]);
+            lh.heavy_off.push(lh.heavy_off.last().unwrap() + c.h_counts[k]);
+        }
+        lh.light_tgt.extend_from_slice(&c.l_tgt);
+        lh.light_w.extend_from_slice(&c.l_w);
+        lh.heavy_tgt.extend_from_slice(&c.h_tgt);
+        lh.heavy_w.extend_from_slice(&c.h_w);
+    }
+    lh
+}
+
+/// Parallel relaxation of `frontier`'s edges (light or heavy per
+/// `use_light`) into the shared atomic request accumulator. Each task
+/// collects the positions it *claimed* (transitioned from `∞`), so the
+/// union of the per-task touched lists is duplicate-free.
+#[allow(clippy::too_many_arguments)]
+fn relax_parallel(
+    pool: &ThreadPool,
+    lh: &LightHeavy,
+    dist: &[f64],
+    frontier: &[usize],
+    use_light: bool,
+    req: &[AtomicU64],
+    touched: &mut Vec<usize>,
+    relaxations: &mut u64,
+) {
+    let nnz: usize = frontier
+        .iter()
+        .map(|&v| {
+            if use_light {
+                lh.light(v).0.len()
+            } else {
+                lh.heavy(v).0.len()
+            }
+        })
+        .sum();
+    *relaxations += nnz as u64;
+    // Small frontiers: sequential scatter is cheaper than task setup.
+    if nnz < 512 || pool.num_threads() == 1 {
+        for &v in frontier {
+            let tv = dist[v];
+            let (targets, weights) = if use_light { lh.light(v) } else { lh.heavy(v) };
+            for (&u, &w) in targets.iter().zip(weights.iter()) {
+                let prev = atomic_min_f64(&req[u], tv + w);
+                if prev == INF {
+                    touched.push(u);
+                }
+            }
+        }
+        return;
+    }
+    let ranges = split_evenly(0..frontier.len(), pool.num_threads() * 4);
+    let parts: Mutex<Vec<Vec<usize>>> = Mutex::new(Vec::with_capacity(ranges.len()));
+    scope(pool, |s| {
+        for range in ranges {
+            let parts = &parts;
+            s.spawn(move || {
+                let mut local = Vec::new();
+                for p in range {
+                    let v = frontier[p];
+                    let tv = dist[v];
+                    let (targets, weights) = if use_light { lh.light(v) } else { lh.heavy(v) };
+                    for (&u, &w) in targets.iter().zip(weights.iter()) {
+                        let prev = atomic_min_f64(&req[u], tv + w);
+                        if prev == INF {
+                            local.push(u);
+                        }
+                    }
+                }
+                parts.lock().push(local);
+            });
+        }
+    });
+    for local in parts.into_inner() {
+        touched.extend_from_slice(&local);
+    }
+    // Deterministic bookkeeping order downstream.
+    touched.sort_unstable();
+}
+
+/// Delta-stepping with the paper's proposed improvements (fine-grained
+/// matrix filtering + intra-relaxation parallelism).
+pub fn delta_stepping_parallel_improved(
+    pool: &ThreadPool,
+    g: &CsrGraph,
+    source: usize,
+    delta: f64,
+) -> SsspResult {
+    delta_stepping_parallel_improved_profiled(pool, g, source, delta).0
+}
+
+/// [`delta_stepping_parallel_improved`] with phase timing.
+pub fn delta_stepping_parallel_improved_profiled(
+    pool: &ThreadPool,
+    g: &CsrGraph,
+    source: usize,
+    delta: f64,
+) -> (SsspResult, PhaseProfile) {
+    assert!(delta > 0.0 && delta.is_finite(), "delta must be positive and finite");
+    let n = g.num_vertices();
+    let mut result = SsspResult::init(n, source);
+    let mut profile = PhaseProfile::default();
+
+    let t0 = Instant::now();
+    let lh = split_light_heavy_chunked(pool, g, delta);
+    profile.matrix_filter += t0.elapsed();
+
+    let req: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF.to_bits())).collect();
+    let mut touched: Vec<usize> = Vec::new();
+    let mut frontier: Vec<usize> = Vec::new();
+    let mut settled: Vec<usize> = Vec::new();
+
+    let mut i = 0usize;
+    loop {
+        let t0 = Instant::now();
+        let next = crate::parallel::scan_bucket_parallel(pool, &result.dist, delta, i, &mut frontier);
+        profile.vector_ops += t0.elapsed();
+        if frontier.is_empty() {
+            if next == usize::MAX {
+                break;
+            }
+            i = next;
+            continue;
+        }
+        result.stats.buckets_processed += 1;
+        settled.clear();
+
+        while !frontier.is_empty() {
+            result.stats.light_phases += 1;
+            let t0 = Instant::now();
+            relax_parallel(
+                pool,
+                &lh,
+                &result.dist,
+                &frontier,
+                true,
+                &req,
+                &mut touched,
+                &mut result.stats.relaxations,
+            );
+            profile.relaxation += t0.elapsed();
+
+            let t0 = Instant::now();
+            settled.extend_from_slice(&frontier);
+            frontier.clear();
+            for &u in &touched {
+                let cand = f64::from_bits(req[u].load(Ordering::Relaxed));
+                req[u].store(INF.to_bits(), Ordering::Relaxed);
+                if cand < result.dist[u] {
+                    result.stats.improvements += 1;
+                    result.dist[u] = cand;
+                    if bucket_of(cand, delta) == i {
+                        frontier.push(u);
+                    }
+                }
+            }
+            touched.clear();
+            profile.vector_ops += t0.elapsed();
+        }
+
+        result.stats.heavy_phases += 1;
+        let t0 = Instant::now();
+        relax_parallel(
+            pool,
+            &lh,
+            &result.dist,
+            &settled,
+            false,
+            &req,
+            &mut touched,
+            &mut result.stats.relaxations,
+        );
+        profile.relaxation += t0.elapsed();
+        let t0 = Instant::now();
+        for &u in &touched {
+            let cand = f64::from_bits(req[u].load(Ordering::Relaxed));
+            req[u].store(INF.to_bits(), Ordering::Relaxed);
+            if cand < result.dist[u] {
+                result.stats.improvements += 1;
+                result.dist[u] = cand;
+            }
+        }
+        touched.clear();
+        profile.vector_ops += t0.elapsed();
+
+        i += 1;
+    }
+    (result, profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+    use crate::fused::delta_stepping_fused;
+    use graphdata::gen;
+
+    #[test]
+    fn atomic_min_behaviour() {
+        let cell = AtomicU64::new(INF.to_bits());
+        assert_eq!(atomic_min_f64(&cell, 5.0), INF);
+        assert_eq!(atomic_min_f64(&cell, 7.0), 5.0); // no change
+        assert_eq!(f64::from_bits(cell.load(Ordering::Relaxed)), 5.0);
+        assert_eq!(atomic_min_f64(&cell, 2.0), 5.0);
+        assert_eq!(f64::from_bits(cell.load(Ordering::Relaxed)), 2.0);
+    }
+
+    #[test]
+    fn chunked_split_matches_sequential() {
+        let pool = ThreadPool::with_threads(4).unwrap();
+        let mut el = gen::gnm(200, 1000, 3);
+        graphdata::weights::assign_symmetric(
+            &mut el,
+            graphdata::WeightModel::UniformFloat { lo: 0.1, hi: 2.0 },
+            9,
+        );
+        let g = CsrGraph::from_edge_list(&el).unwrap();
+        let par = split_light_heavy_chunked(&pool, &g, 1.0);
+        let seq = LightHeavy::build(&g, 1.0);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn matches_dijkstra_and_fused() {
+        let pool = ThreadPool::with_threads(4).unwrap();
+        let mut el = gen::rmat(gen::RmatParams::graph500(9, 8), 17);
+        el.symmetrize();
+        el.make_unit_weight();
+        let g = CsrGraph::from_edge_list(&el).unwrap();
+        let dj = dijkstra(&g, 0);
+        let fu = delta_stepping_fused(&g, 0, 1.0);
+        let pi = delta_stepping_parallel_improved(&pool, &g, 0, 1.0);
+        assert_eq!(pi.dist, dj.dist);
+        assert_eq!(pi.dist, fu.dist);
+    }
+
+    #[test]
+    fn weighted_graph_with_heavy_edges() {
+        let pool = ThreadPool::with_threads(3).unwrap();
+        let mut el = gen::gnm(400, 3000, 5);
+        el.symmetrize();
+        graphdata::weights::assign_symmetric(
+            &mut el,
+            graphdata::WeightModel::UniformFloat { lo: 0.05, hi: 3.0 },
+            11,
+        );
+        let g = CsrGraph::from_edge_list(&el).unwrap();
+        let dj = dijkstra(&g, 7);
+        let pi = delta_stepping_parallel_improved(&pool, &g, 7, 1.0);
+        assert!(pi.approx_eq(&dj, 1e-12).is_ok());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let pool = ThreadPool::with_threads(4).unwrap();
+        let mut el = gen::gnm(500, 4000, 21);
+        el.symmetrize();
+        el.make_unit_weight();
+        let g = CsrGraph::from_edge_list(&el).unwrap();
+        let a = delta_stepping_parallel_improved(&pool, &g, 0, 1.0);
+        let b = delta_stepping_parallel_improved(&pool, &g, 0, 1.0);
+        assert_eq!(a.dist, b.dist);
+        assert_eq!(a.stats, b.stats);
+    }
+}

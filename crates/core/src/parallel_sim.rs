@@ -1,0 +1,406 @@
+//! Simulated task-parallel delta-stepping: execute the fused algorithm
+//! sequentially while recording the task decomposition a threaded run
+//! would create, as a [`ScheduleTrace`].
+//!
+//! Two decompositions, matching the two threaded implementations:
+//!
+//! * [`TaskScheme::PaperTasks`] — Sec. VI-C verbatim: the `A_L`/`A_H`
+//!   filters are **two coarse tasks** (each a full scan of the adjacency),
+//!   vector operations are split into evenly-sized chunk tasks, and the
+//!   relaxation products stay serial.
+//! * [`TaskScheme::Improved`] — the paper's proposed fix: the filter is
+//!   a single pass chunked by rows, and the relaxation is chunked over
+//!   the frontier by edge count.
+//!
+//! Because the simulated run *is* the fused sequential run (same loops,
+//! same order), its distances are bit-identical to
+//! [`crate::fused::delta_stepping_fused`]; only timestamps are added.
+//! What the simulation ignores is memory-bandwidth contention between
+//! concurrent tasks — see EXPERIMENTS.md.
+
+use std::time::Instant;
+
+use graphdata::CsrGraph;
+
+use crate::delta::bucket_of;
+use crate::fused::LightHeavy;
+use crate::result::SsspResult;
+use crate::schedule::ScheduleTrace;
+use crate::INF;
+
+/// Which task decomposition to record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskScheme {
+    /// Sec. VI-C: 2 filter tasks, chunked vector ops, serial relaxation.
+    PaperTasks,
+    /// Fine-grained filter chunks + chunked relaxation.
+    Improved,
+}
+
+/// Granularities of the simulated task decomposition.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Which scheme to record.
+    pub scheme: TaskScheme,
+    /// Elements per vector-operation task (bucket scans, bookkeeping).
+    pub vector_grain: usize,
+    /// Rows per filter task (Improved only).
+    pub row_grain: usize,
+    /// Edges per relaxation task (Improved only).
+    pub edge_grain: usize,
+}
+
+impl SimConfig {
+    /// The paper's scheme with default granularities.
+    pub fn paper() -> Self {
+        SimConfig {
+            scheme: TaskScheme::PaperTasks,
+            vector_grain: 2048,
+            row_grain: 512,
+            edge_grain: 4096,
+        }
+    }
+
+    /// The improved scheme with default granularities.
+    pub fn improved() -> Self {
+        SimConfig {
+            scheme: TaskScheme::Improved,
+            ..SimConfig::paper()
+        }
+    }
+}
+
+/// Run delta-stepping sequentially, recording the chosen scheme's task
+/// structure. Distances equal [`crate::fused::delta_stepping_fused`].
+pub fn delta_stepping_simulated(
+    g: &CsrGraph,
+    source: usize,
+    delta: f64,
+    cfg: SimConfig,
+) -> (SsspResult, ScheduleTrace) {
+    assert!(delta > 0.0 && delta.is_finite(), "delta must be positive and finite");
+    let n = g.num_vertices();
+    let mut result = SsspResult::init(n, source);
+    let mut trace = ScheduleTrace::new();
+
+    // ---- matrix filtering -------------------------------------------------
+    let lh = match cfg.scheme {
+        TaskScheme::PaperTasks => {
+            // Two coarse tasks, each a full pass over the adjacency — the
+            // decomposition that caps this phase at two workers.
+            let t0 = Instant::now();
+            let light = build_one_side(g, delta, true);
+            let d_light = t0.elapsed();
+            let t0 = Instant::now();
+            let heavy = build_one_side(g, delta, false);
+            let d_heavy = t0.elapsed();
+            trace.parallel(vec![d_light, d_heavy]);
+            LightHeavy {
+                light_off: light.0,
+                light_tgt: light.1,
+                light_w: light.2,
+                heavy_off: heavy.0,
+                heavy_tgt: heavy.1,
+                heavy_w: heavy.2,
+            }
+        }
+        TaskScheme::Improved => {
+            // One pass, chunked by rows; every chunk is a task.
+            let mut durs = Vec::new();
+            let mut lh = LightHeavy {
+                light_off: Vec::with_capacity(n + 1),
+                light_tgt: Vec::new(),
+                light_w: Vec::new(),
+                heavy_off: Vec::with_capacity(n + 1),
+                heavy_tgt: Vec::new(),
+                heavy_w: Vec::new(),
+            };
+            lh.light_off.push(0);
+            lh.heavy_off.push(0);
+            let mut row = 0usize;
+            while row < n {
+                let end = (row + cfg.row_grain).min(n);
+                let t0 = Instant::now();
+                for v in row..end {
+                    let (targets, weights) = g.neighbors(v);
+                    for (&t, &w) in targets.iter().zip(weights.iter()) {
+                        if w <= delta {
+                            lh.light_tgt.push(t);
+                            lh.light_w.push(w);
+                        } else {
+                            lh.heavy_tgt.push(t);
+                            lh.heavy_w.push(w);
+                        }
+                    }
+                    lh.light_off.push(lh.light_tgt.len());
+                    lh.heavy_off.push(lh.heavy_tgt.len());
+                }
+                durs.push(t0.elapsed());
+                row = end;
+            }
+            trace.parallel(durs);
+            lh
+        }
+    };
+
+    // ---- main loop --------------------------------------------------------
+    let mut req: Vec<f64> = vec![INF; n];
+    let mut touched: Vec<usize> = Vec::new();
+    let mut frontier: Vec<usize> = Vec::new();
+    let mut settled: Vec<usize> = Vec::new();
+
+    let mut i = 0usize;
+    loop {
+        // Bucket-detection scan: chunked vector op in both schemes.
+        frontier.clear();
+        let mut next_bucket = usize::MAX;
+        let mut durs = Vec::new();
+        let mut lo = 0usize;
+        while lo < n {
+            let hi = (lo + cfg.vector_grain).min(n);
+            let t0 = Instant::now();
+            for (off, &tv) in result.dist[lo..hi].iter().enumerate() {
+                let b = bucket_of(tv, delta);
+                if b == i {
+                    frontier.push(lo + off);
+                } else if b > i && b < next_bucket {
+                    next_bucket = b;
+                }
+            }
+            durs.push(t0.elapsed());
+            lo = hi;
+        }
+        trace.parallel(durs);
+        if frontier.is_empty() {
+            if next_bucket == usize::MAX {
+                break;
+            }
+            i = next_bucket;
+            continue;
+        }
+        result.stats.buckets_processed += 1;
+        settled.clear();
+
+        while !frontier.is_empty() {
+            result.stats.light_phases += 1;
+            relax_simulated(
+                &lh, &result.dist, &frontier, true, &mut req, &mut touched, cfg, &mut trace,
+                &mut result.stats.relaxations,
+            );
+            settled.extend_from_slice(&frontier);
+            frontier.clear();
+            // Bookkeeping over touched: a chunked vector op.
+            let mut durs = Vec::new();
+            let mut lo = 0usize;
+            while lo < touched.len() {
+                let hi = (lo + cfg.vector_grain).min(touched.len());
+                let t0 = Instant::now();
+                for &u in &touched[lo..hi] {
+                    let cand = req[u];
+                    req[u] = INF;
+                    if cand < result.dist[u] {
+                        result.stats.improvements += 1;
+                        result.dist[u] = cand;
+                        if bucket_of(cand, delta) == i {
+                            frontier.push(u);
+                        }
+                    }
+                }
+                durs.push(t0.elapsed());
+                lo = hi;
+            }
+            touched.clear();
+            trace.parallel(durs);
+        }
+
+        result.stats.heavy_phases += 1;
+        relax_simulated(
+            &lh, &result.dist, &settled, false, &mut req, &mut touched, cfg, &mut trace,
+            &mut result.stats.relaxations,
+        );
+        let mut durs = Vec::new();
+        let mut lo = 0usize;
+        while lo < touched.len() {
+            let hi = (lo + cfg.vector_grain).min(touched.len());
+            let t0 = Instant::now();
+            for &u in &touched[lo..hi] {
+                let cand = req[u];
+                req[u] = INF;
+                if cand < result.dist[u] {
+                    result.stats.improvements += 1;
+                    result.dist[u] = cand;
+                }
+            }
+            durs.push(t0.elapsed());
+            lo = hi;
+        }
+        touched.clear();
+        trace.parallel(durs);
+
+        i += 1;
+    }
+    (result, trace)
+}
+
+type Csr = (Vec<usize>, Vec<usize>, Vec<f64>);
+
+fn build_one_side(g: &CsrGraph, delta: f64, light: bool) -> Csr {
+    let n = g.num_vertices();
+    let mut off = Vec::with_capacity(n + 1);
+    off.push(0);
+    let mut tgt = Vec::new();
+    let mut wts = Vec::new();
+    for v in 0..n {
+        let (targets, weights) = g.neighbors(v);
+        for (&t, &w) in targets.iter().zip(weights.iter()) {
+            if (w <= delta) == light {
+                tgt.push(t);
+                wts.push(w);
+            }
+        }
+        off.push(tgt.len());
+    }
+    (off, tgt, wts)
+}
+
+/// Relaxation of one phase, recorded serial (paper) or chunked by edge
+/// budget (improved).
+#[allow(clippy::too_many_arguments)]
+fn relax_simulated(
+    lh: &LightHeavy,
+    dist: &[f64],
+    frontier: &[usize],
+    use_light: bool,
+    req: &mut [f64],
+    touched: &mut Vec<usize>,
+    cfg: SimConfig,
+    trace: &mut ScheduleTrace,
+    relaxations: &mut u64,
+) {
+    let edges_of = |v: usize| {
+        if use_light {
+            lh.light(v)
+        } else {
+            lh.heavy(v)
+        }
+    };
+    let mut scatter = |verts: &[usize], relaxations: &mut u64| {
+        for &v in verts {
+            let tv = dist[v];
+            let (targets, weights) = edges_of(v);
+            for (&u, &w) in targets.iter().zip(weights.iter()) {
+                *relaxations += 1;
+                let cand = tv + w;
+                if req[u] == INF {
+                    touched.push(u);
+                    req[u] = cand;
+                } else if cand < req[u] {
+                    req[u] = cand;
+                }
+            }
+        }
+    };
+    match cfg.scheme {
+        TaskScheme::PaperTasks => {
+            let t0 = Instant::now();
+            scatter(frontier, relaxations);
+            trace.serial(t0.elapsed());
+        }
+        TaskScheme::Improved => {
+            // Chunk the frontier so each task holds ~edge_grain edges.
+            let mut durs = Vec::new();
+            let mut start = 0usize;
+            while start < frontier.len() {
+                let mut end = start;
+                let mut budget = 0usize;
+                while end < frontier.len() && budget < cfg.edge_grain {
+                    budget += if use_light {
+                        lh.light(frontier[end]).0.len()
+                    } else {
+                        lh.heavy(frontier[end]).0.len()
+                    };
+                    end += 1;
+                }
+                let t0 = Instant::now();
+                scatter(&frontier[start..end], relaxations);
+                durs.push(t0.elapsed());
+                start = end;
+            }
+            trace.parallel(durs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fused::delta_stepping_fused;
+    use graphdata::gen;
+
+    fn test_graph() -> CsrGraph {
+        let mut el = gen::rmat(gen::RmatParams::graph500(10, 8), 33);
+        el.symmetrize();
+        el.make_unit_weight();
+        CsrGraph::from_edge_list(&el).unwrap()
+    }
+
+    #[test]
+    fn simulated_distances_match_fused_both_schemes() {
+        let g = test_graph();
+        let fu = delta_stepping_fused(&g, 0, 1.0);
+        let (paper, _) = delta_stepping_simulated(&g, 0, 1.0, SimConfig::paper());
+        assert_eq!(paper.dist, fu.dist);
+        assert_eq!(paper.stats, fu.stats);
+        let (impr, _) = delta_stepping_simulated(&g, 0, 1.0, SimConfig::improved());
+        assert_eq!(impr.dist, fu.dist);
+        assert_eq!(impr.stats, fu.stats);
+    }
+
+    #[test]
+    fn paper_filter_caps_at_two_workers() {
+        let g = test_graph();
+        let (_, trace) = delta_stepping_simulated(&g, 0, 1.0, SimConfig::paper());
+        // Two-task filter: makespan stops improving between 2 and many
+        // workers only if the rest saturates too; at minimum the trace
+        // must be valid and monotone in workers.
+        let m1 = trace.makespan(1);
+        let m2 = trace.makespan(2);
+        let m4 = trace.makespan(4);
+        let m8 = trace.makespan(8);
+        assert!(m1 >= m2 && m2 >= m4 && m4 >= m8, "{m1:?} {m2:?} {m4:?} {m8:?}");
+        assert!(trace.critical_path() <= m8);
+    }
+
+    #[test]
+    fn improved_scales_at_least_as_well_as_paper_scheme() {
+        let g = test_graph();
+        let (_, tp) = delta_stepping_simulated(&g, 0, 1.0, SimConfig::paper());
+        let (_, ti) = delta_stepping_simulated(&g, 0, 1.0, SimConfig::improved());
+        // At 4 workers the fine-grained decomposition must not be
+        // meaningfully worse (allow 15% timing noise).
+        let p4 = tp.makespan(4).as_secs_f64();
+        let i4 = ti.makespan(4).as_secs_f64();
+        assert!(
+            i4 <= p4 * 1.15,
+            "improved ({i4:.6}s) much worse than paper scheme ({p4:.6}s) at 4 workers"
+        );
+    }
+
+    #[test]
+    fn weighted_graph_simulation_agrees() {
+        let mut el = gen::gnm(500, 3000, 9);
+        el.symmetrize();
+        graphdata::weights::assign_symmetric(
+            &mut el,
+            graphdata::WeightModel::UniformFloat { lo: 0.1, hi: 2.5 },
+            4,
+        );
+        let g = CsrGraph::from_edge_list(&el).unwrap();
+        let fu = delta_stepping_fused(&g, 0, 0.75);
+        for cfg in [SimConfig::paper(), SimConfig::improved()] {
+            let (r, trace) = delta_stepping_simulated(&g, 0, 0.75, cfg);
+            assert_eq!(r.dist, fu.dist);
+            assert!(trace.total_work() >= trace.critical_path());
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Path reconstruction from a distance vector alone.
+//!
+//! The GraphBLAS formulation returns only `t` (Fig. 2's `paths` output is
+//! the distance vector), not a parent tree. But distances *are* an
+//! implicit tree: every reachable `v ≠ s` has a witness `u` with
+//! `dist[v] = dist[u] + w(u, v)` (certificate condition 3), and walking
+//! witnesses backwards yields a shortest path. This module makes the
+//! GraphBLAS result as useful as Dijkstra-with-parents.
+
+use graphdata::CsrGraph;
+
+use crate::result::SsspResult;
+
+/// Build a parent vector from distances: `parent[v]` is a witness
+/// predecessor on some shortest path (`source` maps to itself,
+/// unreachable vertices to `usize::MAX`). Requires a valid result
+/// (`validate::check_certificate`); `eps` is the relative float slack.
+pub fn parents_from_distances(g: &CsrGraph, result: &SsspResult, eps: f64) -> Vec<usize> {
+    let n = g.num_vertices();
+    let mut parent = vec![usize::MAX; n];
+    parent[result.source] = result.source;
+    let d = &result.dist;
+    let slack = |x: f64| eps * x.abs().max(1.0);
+    for (u, v, w) in g.iter_edges() {
+        if d[u].is_finite() && d[v].is_finite() && (d[u] + w - d[v]).abs() <= slack(d[v]) {
+            // u witnesses v; keep the smallest witness for determinism.
+            if v != result.source && (parent[v] == usize::MAX || u < parent[v]) {
+                parent[v] = u;
+            }
+        }
+    }
+    parent
+}
+
+/// Reconstruct a shortest path `source → target` from a distance vector.
+/// Returns the vertex sequence, or `None` when `target` is unreachable.
+pub fn shortest_path(
+    g: &CsrGraph,
+    result: &SsspResult,
+    target: usize,
+    eps: f64,
+) -> Option<Vec<usize>> {
+    if !result.dist[target].is_finite() {
+        return None;
+    }
+    let parent = parents_from_distances(g, result, eps);
+    let mut path = vec![target];
+    let mut cur = target;
+    while cur != result.source {
+        let p = parent[cur];
+        if p == usize::MAX || path.len() > g.num_vertices() {
+            // Inconsistent distances (no witness): not a valid certificate.
+            return None;
+        }
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Total weight of a vertex path (`None` if some hop is not an edge).
+pub fn path_weight(g: &CsrGraph, path: &[usize]) -> Option<f64> {
+    let mut total = 0.0;
+    for hop in path.windows(2) {
+        let (targets, weights) = g.neighbors(hop[0]);
+        let p = targets.binary_search(&hop[1]).ok()?;
+        total += weights[p];
+    }
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fused::delta_stepping_fused;
+    use crate::gblas_impl::delta_stepping_gblas;
+    use graphdata::gen::{grid2d, path};
+    use graphdata::EdgeList;
+
+    #[test]
+    fn path_graph_reconstruction() {
+        let g = CsrGraph::from_edge_list(&path(5)).unwrap();
+        let r = delta_stepping_fused(&g, 0, 1.0);
+        assert_eq!(shortest_path(&g, &r, 4, 1e-12), Some(vec![0, 1, 2, 3, 4]));
+        assert_eq!(shortest_path(&g, &r, 0, 1e-12), Some(vec![0]));
+    }
+
+    #[test]
+    fn reconstructed_path_has_optimal_weight() {
+        let g = CsrGraph::from_edge_list(&grid2d(6, 6)).unwrap();
+        let r = delta_stepping_gblas(&g, 0, 1.0);
+        for target in [7, 20, 35] {
+            let p = shortest_path(&g, &r, target, 1e-12).expect("reachable");
+            assert_eq!(p[0], 0);
+            assert_eq!(*p.last().unwrap(), target);
+            assert_eq!(path_weight(&g, &p), Some(r.dist[target]));
+        }
+    }
+
+    #[test]
+    fn weighted_graph_picks_the_cheap_route() {
+        let el = EdgeList::from_triples(vec![
+            (0, 1, 10.0),
+            (0, 2, 1.0),
+            (2, 1, 2.0),
+        ]);
+        let g = CsrGraph::from_edge_list(&el).unwrap();
+        let r = delta_stepping_fused(&g, 0, 1.0);
+        assert_eq!(shortest_path(&g, &r, 1, 1e-12), Some(vec![0, 2, 1]));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut el = EdgeList::from_triples(vec![(0, 1, 1.0)]);
+        el.ensure_vertices(3);
+        let g = CsrGraph::from_edge_list(&el).unwrap();
+        let r = delta_stepping_fused(&g, 0, 1.0);
+        assert_eq!(shortest_path(&g, &r, 2, 1e-12), None);
+        let parent = parents_from_distances(&g, &r, 1e-12);
+        assert_eq!(parent[2], usize::MAX);
+    }
+
+    #[test]
+    fn corrupted_distances_detected() {
+        let g = CsrGraph::from_edge_list(&path(4)).unwrap();
+        let mut r = delta_stepping_fused(&g, 0, 1.0);
+        r.dist[2] = 1.5; // no witness achieves this
+        assert_eq!(shortest_path(&g, &r, 2, 1e-12), None);
+    }
+
+    #[test]
+    fn path_weight_rejects_non_edges() {
+        let g = CsrGraph::from_edge_list(&path(4)).unwrap();
+        assert_eq!(path_weight(&g, &[0, 2]), None);
+        assert_eq!(path_weight(&g, &[0, 1, 2]), Some(2.0));
+        assert_eq!(path_weight(&g, &[3]), Some(0.0));
+    }
+}

@@ -1,0 +1,112 @@
+//! The common result type of every SSSP implementation.
+
+use crate::stats::SsspStats;
+use crate::INF;
+
+/// Distances from one source vertex, plus run statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SsspResult {
+    /// The source vertex.
+    pub source: usize,
+    /// `dist[v]` = weight of the shortest path `source → v`;
+    /// `f64::INFINITY` if unreachable.
+    pub dist: Vec<f64>,
+    /// Counters collected during the run.
+    pub stats: SsspStats,
+}
+
+impl SsspResult {
+    /// A fresh result with every distance at `∞` except the source at `0`.
+    pub fn init(n: usize, source: usize) -> Self {
+        assert!(source < n, "source {source} out of bounds for {n} vertices");
+        let mut dist = vec![INF; n];
+        dist[source] = 0.0;
+        SsspResult {
+            source,
+            dist,
+            stats: SsspStats::default(),
+        }
+    }
+
+    /// Number of vertices with a finite distance.
+    pub fn reachable_count(&self) -> usize {
+        self.dist.iter().filter(|d| d.is_finite()).count()
+    }
+
+    /// Largest finite distance (`None` if only the source is reachable and
+    /// the graph is empty).
+    pub fn eccentricity(&self) -> Option<f64> {
+        self.dist
+            .iter()
+            .copied()
+            .filter(|d| d.is_finite())
+            .fold(None, |acc, d| Some(acc.map_or(d, |a: f64| a.max(d))))
+    }
+
+    /// Compare two results up to floating-point tolerance; `∞` must match
+    /// exactly. Returns the first differing vertex on mismatch.
+    pub fn approx_eq(&self, other: &SsspResult, eps: f64) -> Result<(), usize> {
+        if self.dist.len() != other.dist.len() {
+            return Err(usize::MAX);
+        }
+        for (v, (&a, &b)) in self.dist.iter().zip(other.dist.iter()).enumerate() {
+            let same = if a.is_finite() && b.is_finite() {
+                (a - b).abs() <= eps * a.abs().max(b.abs()).max(1.0)
+            } else {
+                a == b
+            };
+            if !same {
+                return Err(v);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_sets_source_zero() {
+        let r = SsspResult::init(4, 2);
+        assert_eq!(r.dist, vec![INF, INF, 0.0, INF]);
+        assert_eq!(r.reachable_count(), 1);
+        assert_eq!(r.eccentricity(), Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn init_rejects_bad_source() {
+        SsspResult::init(3, 3);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_rounding() {
+        let mut a = SsspResult::init(3, 0);
+        let mut b = SsspResult::init(3, 0);
+        a.dist[1] = 1.0;
+        b.dist[1] = 1.0 + 1e-14;
+        assert!(a.approx_eq(&b, 1e-9).is_ok());
+        b.dist[1] = 1.1;
+        assert_eq!(a.approx_eq(&b, 1e-9), Err(1));
+    }
+
+    #[test]
+    fn approx_eq_infinity_must_match() {
+        let mut a = SsspResult::init(2, 0);
+        let mut b = SsspResult::init(2, 0);
+        a.dist[1] = INF;
+        b.dist[1] = 1e300;
+        assert_eq!(a.approx_eq(&b, 1e-9), Err(1));
+    }
+
+    #[test]
+    fn eccentricity_ignores_unreachable() {
+        let mut r = SsspResult::init(4, 0);
+        r.dist[1] = 5.0;
+        r.dist[2] = 3.0;
+        assert_eq!(r.eccentricity(), Some(5.0));
+        assert_eq!(r.reachable_count(), 3);
+    }
+}

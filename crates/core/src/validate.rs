@@ -1,0 +1,207 @@
+//! SSSP certificate checking: verify any implementation's output against
+//! the optimality conditions, independent of how it was computed.
+//!
+//! A distance vector `d` is the shortest-path solution from `s` iff:
+//!
+//! 1. `d[s] = 0`;
+//! 2. *feasibility*: for every edge `(u, v, w)` with `d[u]` finite,
+//!    `d[v] ≤ d[u] + w`;
+//! 3. *tightness*: every finite `d[v]`, `v ≠ s`, is witnessed by some edge
+//!    `(u, v, w)` with `d[v] = d[u] + w`;
+//! 4. *reachability*: `d[v] = ∞` exactly for the vertices BFS cannot reach
+//!    from `s`.
+
+use graphdata::CsrGraph;
+
+use crate::result::SsspResult;
+
+/// A violated optimality condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CertificateError {
+    /// `dist[source]` is not zero.
+    SourceNotZero(f64),
+    /// Edge `(u, v)` can still relax: `dist[v] > dist[u] + w`.
+    EdgeRelaxable {
+        /// Source of the violating edge.
+        u: usize,
+        /// Target of the violating edge.
+        v: usize,
+        /// Edge weight.
+        w: f64,
+        /// Claimed distance of `v`.
+        dv: f64,
+        /// Achievable distance through `u`.
+        through_u: f64,
+    },
+    /// Finite `dist[v]` has no incoming edge achieving it.
+    NoWitness {
+        /// The unwitnessed vertex.
+        v: usize,
+        /// Its claimed distance.
+        dv: f64,
+    },
+    /// `dist[v]` finiteness disagrees with BFS reachability.
+    ReachabilityMismatch {
+        /// The inconsistent vertex.
+        v: usize,
+        /// Whether BFS can reach it.
+        reachable: bool,
+    },
+    /// Result length does not match the graph.
+    WrongLength,
+}
+
+/// Verify `result` against the SSSP optimality conditions on `g`.
+/// `eps` is the relative floating-point slack for conditions 2 and 3.
+pub fn check_certificate(
+    g: &CsrGraph,
+    result: &SsspResult,
+    eps: f64,
+) -> Result<(), CertificateError> {
+    let n = g.num_vertices();
+    let d = &result.dist;
+    if d.len() != n {
+        return Err(CertificateError::WrongLength);
+    }
+    let s = result.source;
+    if d[s] != 0.0 {
+        return Err(CertificateError::SourceNotZero(d[s]));
+    }
+    let slack = |x: f64| eps * x.abs().max(1.0);
+
+    // Condition 2: no relaxable edge.
+    for (u, v, w) in g.iter_edges() {
+        if d[u].is_finite() && d[v] > d[u] + w + slack(d[u] + w) {
+            return Err(CertificateError::EdgeRelaxable {
+                u,
+                v,
+                w,
+                dv: d[v],
+                through_u: d[u] + w,
+            });
+        }
+    }
+
+    // Condition 3: every finite distance is witnessed.
+    let mut witnessed = vec![false; n];
+    witnessed[s] = true;
+    for (u, v, w) in g.iter_edges() {
+        if d[u].is_finite() && d[v].is_finite() && (d[u] + w - d[v]).abs() <= slack(d[v]) {
+            witnessed[v] = true;
+        }
+    }
+    for v in 0..n {
+        if d[v].is_finite() && !witnessed[v] {
+            return Err(CertificateError::NoWitness { v, dv: d[v] });
+        }
+    }
+
+    // Condition 4: finite ⇔ reachable.
+    let reachable = bfs_reachable(g, s);
+    for v in 0..n {
+        if d[v].is_finite() != reachable[v] {
+            return Err(CertificateError::ReachabilityMismatch {
+                v,
+                reachable: reachable[v],
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Vertices reachable from `s` ignoring weights.
+pub fn bfs_reachable(g: &CsrGraph, s: usize) -> Vec<bool> {
+    let mut seen = vec![false; g.num_vertices()];
+    let mut queue = std::collections::VecDeque::new();
+    seen[s] = true;
+    queue.push_back(s);
+    while let Some(v) = queue.pop_front() {
+        let (targets, _) = g.neighbors(v);
+        for &t in targets {
+            if !seen[t] {
+                seen[t] = true;
+                queue.push_back(t);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+    use graphdata::gen::{grid2d, path};
+    use graphdata::EdgeList;
+
+    #[test]
+    fn dijkstra_output_certifies() {
+        let g = CsrGraph::from_edge_list(&grid2d(6, 6)).unwrap();
+        let r = dijkstra(&g, 0);
+        check_certificate(&g, &r, 1e-12).unwrap();
+    }
+
+    #[test]
+    fn detects_source_not_zero() {
+        let g = CsrGraph::from_edge_list(&path(3)).unwrap();
+        let mut r = dijkstra(&g, 0);
+        r.dist[0] = 0.5;
+        assert!(matches!(
+            check_certificate(&g, &r, 1e-12),
+            Err(CertificateError::SourceNotZero(_))
+        ));
+    }
+
+    #[test]
+    fn detects_relaxable_edge() {
+        let g = CsrGraph::from_edge_list(&path(3)).unwrap();
+        let mut r = dijkstra(&g, 0);
+        r.dist[2] = 5.0; // too large: edge (1,2) can relax
+        assert!(matches!(
+            check_certificate(&g, &r, 1e-12),
+            Err(CertificateError::EdgeRelaxable { u: 1, v: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn detects_unwitnessed_distance() {
+        let g = CsrGraph::from_edge_list(&path(3)).unwrap();
+        let mut r = dijkstra(&g, 0);
+        r.dist[2] = 1.5; // too small: nothing achieves it
+        assert!(matches!(
+            check_certificate(&g, &r, 1e-12),
+            Err(CertificateError::NoWitness { v: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn detects_reachability_mismatch() {
+        let mut el = EdgeList::from_triples(vec![(0, 1, 1.0)]);
+        el.ensure_vertices(3);
+        let g = CsrGraph::from_edge_list(&el).unwrap();
+        let mut r = dijkstra(&g, 0);
+        r.dist[2] = 7.0; // claims to reach the isolated vertex
+        let err = check_certificate(&g, &r, 1e-12).unwrap_err();
+        // The bogus distance is caught as unwitnessed (checked before
+        // reachability).
+        assert!(matches!(err, CertificateError::NoWitness { v: 2, .. }));
+        // And an incorrectly-infinite entry is a reachability mismatch.
+        let mut r2 = dijkstra(&g, 0);
+        r2.dist[1] = f64::INFINITY;
+        // dist[1] = ∞ while reachable: witnessed check passes (∞ skipped),
+        // feasibility: edge (0,1): dist[1] > 0+1 → relaxable.
+        assert!(matches!(
+            check_certificate(&g, &r2, 1e-12),
+            Err(CertificateError::EdgeRelaxable { .. })
+        ));
+    }
+
+    #[test]
+    fn bfs_reachability() {
+        let mut el = EdgeList::from_triples(vec![(0, 1, 1.0), (1, 2, 1.0)]);
+        el.ensure_vertices(4);
+        let g = CsrGraph::from_edge_list(&el).unwrap();
+        let seen = bfs_reachable(&g, 0);
+        assert_eq!(seen, vec![true, true, true, false]);
+    }
+}

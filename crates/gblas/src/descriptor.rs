@@ -1,0 +1,84 @@
+//! Per-operation descriptors (`GrB_Descriptor`).
+
+/// Options modifying a single GraphBLAS call.
+///
+/// * `replace` — `GrB_OUTP = GrB_REPLACE`: clear the output before writing
+///   the masked result (the paper's `clear_desc`). Without it, unmasked old
+///   entries survive.
+/// * `complement_mask` — `GrB_MASK = GrB_COMP`: the mask allows positions it
+///   does *not* contain.
+/// * `transpose_a` / `transpose_b` — `GrB_INP0/1 = GrB_TRAN`: operate on the
+///   transpose of the corresponding matrix input.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Descriptor {
+    /// Clear the output object before the masked write.
+    pub replace: bool,
+    /// Complement the mask.
+    pub complement_mask: bool,
+    /// Use the transpose of the first matrix input.
+    pub transpose_a: bool,
+    /// Use the transpose of the second matrix input.
+    pub transpose_b: bool,
+}
+
+impl Descriptor {
+    /// The default descriptor: merge into the output, plain mask, no
+    /// transposes (`GrB_NULL` in the C API).
+    pub fn new() -> Self {
+        Descriptor::default()
+    }
+
+    /// The paper's `clear_desc`: replace the output.
+    pub fn replace() -> Self {
+        Descriptor {
+            replace: true,
+            ..Descriptor::default()
+        }
+    }
+
+    /// Builder: set `replace`.
+    pub fn with_replace(mut self) -> Self {
+        self.replace = true;
+        self
+    }
+
+    /// Builder: complement the mask.
+    pub fn with_complement_mask(mut self) -> Self {
+        self.complement_mask = true;
+        self
+    }
+
+    /// Builder: transpose the first matrix input.
+    pub fn with_transpose_a(mut self) -> Self {
+        self.transpose_a = true;
+        self
+    }
+
+    /// Builder: transpose the second matrix input.
+    pub fn with_transpose_b(mut self) -> Self {
+        self.transpose_b = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_all_off() {
+        let d = Descriptor::new();
+        assert!(!d.replace && !d.complement_mask && !d.transpose_a && !d.transpose_b);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let d = Descriptor::new()
+            .with_replace()
+            .with_complement_mask()
+            .with_transpose_a()
+            .with_transpose_b();
+        assert!(d.replace && d.complement_mask && d.transpose_a && d.transpose_b);
+        assert_eq!(Descriptor::replace(), Descriptor::new().with_replace());
+    }
+}

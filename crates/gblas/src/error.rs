@@ -1,0 +1,107 @@
+//! Error handling, mirroring the `GrB_Info` return codes of the C API.
+
+use std::fmt;
+
+/// The error half of [`Info`]; corresponds to the non-success `GrB_Info`
+/// codes of the GraphBLAS C API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GblasError {
+    /// Object dimensions are incompatible for the requested operation
+    /// (`GrB_DIMENSION_MISMATCH`).
+    DimensionMismatch {
+        /// What the operation expected, e.g. `"input size 5"`.
+        expected: String,
+        /// What it was given.
+        found: String,
+    },
+    /// An index is outside the bounds of its vector or matrix
+    /// (`GrB_INDEX_OUT_OF_BOUNDS`).
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The dimension it was checked against.
+        bound: usize,
+    },
+    /// A requested element is not stored (`GrB_NO_VALUE`).
+    NoValue,
+    /// An argument value is invalid, e.g. duplicate build indices without a
+    /// duplicate-resolution operator (`GrB_INVALID_VALUE`).
+    InvalidValue(String),
+}
+
+impl GblasError {
+    /// Convenience constructor for dimension mismatches.
+    pub fn dims(expected: impl Into<String>, found: impl Into<String>) -> Self {
+        GblasError::DimensionMismatch {
+            expected: expected.into(),
+            found: found.into(),
+        }
+    }
+}
+
+impl fmt::Display for GblasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GblasError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            GblasError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds (dimension {bound})")
+            }
+            GblasError::NoValue => write!(f, "no value stored at the requested position"),
+            GblasError::InvalidValue(msg) => write!(f, "invalid value: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GblasError {}
+
+/// Result alias used by every fallible GraphBLAS operation (the `GrB_Info`
+/// convention).
+pub type Info<T = ()> = Result<T, GblasError>;
+
+/// Check that `index < bound`, mirroring the C API's index validation.
+#[inline]
+pub(crate) fn check_index(index: usize, bound: usize) -> Info {
+    if index < bound {
+        Ok(())
+    } else {
+        Err(GblasError::IndexOutOfBounds { index, bound })
+    }
+}
+
+/// Check that two dimensions agree.
+#[inline]
+pub(crate) fn check_dims(what: &str, expected: usize, found: usize) -> Info {
+    if expected == found {
+        Ok(())
+    } else {
+        Err(GblasError::dims(
+            format!("{what} = {expected}"),
+            format!("{what} = {found}"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GblasError::dims("size 4", "size 5");
+        assert!(e.to_string().contains("expected size 4"));
+        let e = GblasError::IndexOutOfBounds { index: 9, bound: 3 };
+        assert_eq!(e.to_string(), "index 9 out of bounds (dimension 3)");
+        assert!(GblasError::NoValue.to_string().contains("no value"));
+        assert!(GblasError::InvalidValue("dup".into()).to_string().contains("dup"));
+    }
+
+    #[test]
+    fn check_helpers() {
+        assert!(check_index(2, 3).is_ok());
+        assert!(check_index(3, 3).is_err());
+        assert!(check_dims("size", 4, 4).is_ok());
+        assert!(check_dims("size", 4, 5).is_err());
+    }
+}

@@ -1,0 +1,235 @@
+//! Write masks.
+//!
+//! GraphBLAS masks control which output positions an operation may write.
+//! Here a mask is *pre-evaluated* at construction into the set of allowed
+//! positions: [`VectorMask`] from a vector's truthy values
+//! ([`crate::Vector::mask`]) or its structure ([`crate::Vector::structure`]),
+//! and [`MatrixMask`] likewise from a matrix. Complementing is requested per
+//! call through [`crate::Descriptor::complement_mask`], so one mask object
+//! can serve both polarities.
+
+use crate::matrix::Matrix;
+use crate::types::Scalar;
+
+/// Types usable as mask values: the mask allows a position iff the stored
+/// value is "truthy" (non-zero / `true`), matching GraphBLAS typecast-to-bool.
+pub trait MaskValue: Scalar {
+    /// GraphBLAS truthiness of this value.
+    fn is_truthy(&self) -> bool;
+}
+
+impl MaskValue for bool {
+    #[inline]
+    fn is_truthy(&self) -> bool {
+        *self
+    }
+}
+
+macro_rules! impl_mask_value_num {
+    ($zero:expr => $($t:ty),*) => {$(
+        impl MaskValue for $t {
+            #[inline]
+            fn is_truthy(&self) -> bool {
+                *self != $zero
+            }
+        }
+    )*};
+}
+impl_mask_value_num!(0 => i8, i16, i32, i64, u8, u16, u32, u64, usize);
+impl_mask_value_num!(0.0 => f32, f64);
+
+/// A pre-evaluated vector mask: the sorted set of positions the mask allows
+/// (before any per-call complement).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorMask {
+    size: usize,
+    allowed: Vec<usize>,
+}
+
+impl VectorMask {
+    /// Build from a sparse vector's values: allowed where truthy.
+    pub(crate) fn from_values<T: MaskValue>(
+        size: usize,
+        indices: &[usize],
+        values: &[T],
+    ) -> Self {
+        let allowed = indices
+            .iter()
+            .zip(values.iter())
+            .filter(|(_, v)| v.is_truthy())
+            .map(|(&i, _)| i)
+            .collect();
+        VectorMask { size, allowed }
+    }
+
+    /// Build from a sparse vector's structure: allowed where stored.
+    pub(crate) fn from_structure(size: usize, indices: &[usize]) -> Self {
+        VectorMask {
+            size,
+            allowed: indices.to_vec(),
+        }
+    }
+
+    /// Logical size of the masked dimension.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Whether the (uncomplemented) mask allows position `i`.
+    #[inline]
+    pub fn allows(&self, i: usize) -> bool {
+        self.allowed.binary_search(&i).is_ok()
+    }
+
+    /// Whether the mask, complemented per `complement`, allows position `i`.
+    #[inline]
+    pub fn allows_with(&self, i: usize, complement: bool) -> bool {
+        self.allows(i) != complement
+    }
+
+    /// The sorted allowed positions (before complement).
+    #[inline]
+    pub fn allowed(&self) -> &[usize] {
+        &self.allowed
+    }
+
+    /// Number of allowed positions (before complement).
+    #[inline]
+    pub fn nallowed(&self) -> usize {
+        self.allowed.len()
+    }
+}
+
+/// A pre-evaluated matrix mask in CSR-like form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatrixMask {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+}
+
+impl MatrixMask {
+    /// Build from a matrix's values: allowed where truthy.
+    pub(crate) fn from_values<T: MaskValue>(m: &Matrix<T>) -> Self {
+        let mut row_ptr = vec![0usize; m.nrows() + 1];
+        let mut col_idx = Vec::new();
+        for r in 0..m.nrows() {
+            let (cols, vals) = m.row(r);
+            for (&c, v) in cols.iter().zip(vals.iter()) {
+                if v.is_truthy() {
+                    col_idx.push(c);
+                }
+            }
+            row_ptr[r + 1] = col_idx.len();
+        }
+        MatrixMask {
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+            row_ptr,
+            col_idx,
+        }
+    }
+
+    /// Build from a matrix's structure: allowed where stored.
+    pub(crate) fn from_structure<T: Scalar>(m: &Matrix<T>) -> Self {
+        MatrixMask {
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+            row_ptr: m.row_ptr().to_vec(),
+            col_idx: m.col_indices().to_vec(),
+        }
+    }
+
+    /// Number of rows of the masked matrix.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns of the masked matrix.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// The sorted allowed columns of row `r` (before complement).
+    #[inline]
+    pub fn row(&self, r: usize) -> &[usize] {
+        &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]]
+    }
+
+    /// Whether the (uncomplemented) mask allows `(r, c)`.
+    #[inline]
+    pub fn allows(&self, r: usize, c: usize) -> bool {
+        self.row(r).binary_search(&c).is_ok()
+    }
+
+    /// Whether the mask, complemented per `complement`, allows `(r, c)`.
+    #[inline]
+    pub fn allows_with(&self, r: usize, c: usize, complement: bool) -> bool {
+        self.allows(r, c) != complement
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::Vector;
+
+    #[test]
+    fn value_mask_keeps_truthy_only() {
+        let v = Vector::from_entries(6, vec![(0, 0.0f64), (2, 1.5), (4, -3.0)]).unwrap();
+        let m = v.mask();
+        assert!(!m.allows(0)); // stored but zero
+        assert!(m.allows(2));
+        assert!(m.allows(4));
+        assert!(!m.allows(1)); // absent
+        assert_eq!(m.nallowed(), 2);
+    }
+
+    #[test]
+    fn structural_mask_keeps_all_stored() {
+        let v = Vector::from_entries(6, vec![(0, 0.0f64), (2, 1.5)]).unwrap();
+        let m = v.structure();
+        assert!(m.allows(0));
+        assert!(m.allows(2));
+        assert!(!m.allows(1));
+    }
+
+    #[test]
+    fn complement_flips() {
+        let v = Vector::from_entries(4, vec![(1, true)]).unwrap();
+        let m = v.mask();
+        assert!(m.allows_with(1, false));
+        assert!(!m.allows_with(1, true));
+        assert!(!m.allows_with(0, false));
+        assert!(m.allows_with(0, true));
+    }
+
+    #[test]
+    fn bool_and_int_truthiness() {
+        assert!(true.is_truthy());
+        assert!(!false.is_truthy());
+        assert!(7i32.is_truthy());
+        assert!(!0u8.is_truthy());
+        assert!((0.5f32).is_truthy());
+        assert!(!(0.0f64).is_truthy());
+    }
+
+    #[test]
+    fn matrix_masks() {
+        let m = Matrix::from_triples(2, 3, vec![(0, 1, 0.0f64), (0, 2, 2.0), (1, 0, 5.0)]).unwrap();
+        let vm = m.mask();
+        assert!(!vm.allows(0, 1)); // zero value
+        assert!(vm.allows(0, 2));
+        assert!(vm.allows(1, 0));
+        let sm = m.structure();
+        assert!(sm.allows(0, 1));
+        assert!(!sm.allows(1, 1));
+        assert!(sm.allows_with(1, 1, true));
+        assert_eq!(sm.nrows(), 2);
+        assert_eq!(sm.ncols(), 3);
+    }
+}

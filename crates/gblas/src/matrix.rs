@@ -1,0 +1,430 @@
+//! Sparse matrices (`GrB_Matrix`) in CSR (compressed sparse row) form.
+//!
+//! The adjacency matrix of a graph stores the edge `(i, j)` at row `i`,
+//! column `j` (Sec. II-A): row `i` holds the outgoing edges of vertex `i`.
+
+use crate::error::{check_dims, check_index, GblasError, Info};
+use crate::mask::{MaskValue, MatrixMask};
+use crate::ops::binary::BinaryOp;
+use crate::types::Scalar;
+
+/// A sparse `nrows × ncols` matrix in CSR form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<T> {
+    nrows: usize,
+    ncols: usize,
+    /// `row_ptr[i]..row_ptr[i+1]` is the slice of row `i` in `col_idx`/`values`.
+    row_ptr: Vec<usize>,
+    /// Column indices, sorted within each row.
+    col_idx: Vec<usize>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> Matrix<T> {
+    /// Create an empty matrix (`GrB_Matrix_new`).
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Matrix {
+            nrows,
+            ncols,
+            row_ptr: vec![0; nrows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Build from `(row, col, value)` triples in any order. Duplicate
+    /// coordinates are an error; use [`Matrix::from_triples_dup`] to resolve
+    /// them with an operator (`GrB_Matrix_build`).
+    pub fn from_triples(nrows: usize, ncols: usize, triples: Vec<(usize, usize, T)>) -> Info<Self> {
+        Self::build(nrows, ncols, triples, None)
+    }
+
+    /// Like [`Matrix::from_triples`], combining duplicates with `dup`.
+    pub fn from_triples_dup(
+        nrows: usize,
+        ncols: usize,
+        triples: Vec<(usize, usize, T)>,
+        dup: &dyn BinaryOp<T, T, T>,
+    ) -> Info<Self> {
+        Self::build(nrows, ncols, triples, Some(dup))
+    }
+
+    fn build(
+        nrows: usize,
+        ncols: usize,
+        mut triples: Vec<(usize, usize, T)>,
+        dup: Option<&dyn BinaryOp<T, T, T>>,
+    ) -> Info<Self> {
+        for &(r, c, _) in &triples {
+            check_index(r, nrows)?;
+            check_index(c, ncols)?;
+        }
+        // Stable sort so duplicates combine in input order, as the spec says.
+        triples.sort_by_key(|&(r, c, _)| (r, c));
+        let mut row_ptr = vec![0usize; nrows + 1];
+        let mut col_idx: Vec<usize> = Vec::with_capacity(triples.len());
+        let mut values: Vec<T> = Vec::with_capacity(triples.len());
+        let mut last: Option<(usize, usize)> = None;
+        for (r, c, v) in triples {
+            if last == Some((r, c)) {
+                match dup {
+                    Some(op) => {
+                        let lv = values.last_mut().expect("parallel arrays");
+                        *lv = op.apply(*lv, v);
+                    }
+                    None => {
+                        return Err(GblasError::InvalidValue(format!(
+                            "duplicate coordinate ({r}, {c}) in build without duplicate operator"
+                        )))
+                    }
+                }
+            } else {
+                row_ptr[r + 1] += 1;
+                col_idx.push(c);
+                values.push(v);
+                last = Some((r, c));
+            }
+        }
+        for i in 0..nrows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        Ok(Matrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Build from a dense row-major table of options.
+    pub fn from_dense(rows: &[Vec<Option<T>>]) -> Info<Self> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut triples = Vec::new();
+        for (r, row) in rows.iter().enumerate() {
+            check_dims("row length", ncols, row.len())?;
+            for (c, v) in row.iter().enumerate() {
+                if let Some(v) = v {
+                    triples.push((r, c, *v));
+                }
+            }
+        }
+        Self::from_triples(nrows, ncols, triples)
+    }
+
+    /// Internal: adopt raw CSR arrays. Caller guarantees the CSR invariants
+    /// (monotone `row_ptr`, in-bounds sorted-per-row unique columns).
+    pub(crate) fn from_csr_unchecked(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<T>,
+    ) -> Self {
+        debug_assert_eq!(row_ptr.len(), nrows + 1);
+        debug_assert_eq!(*row_ptr.last().unwrap_or(&0), col_idx.len());
+        debug_assert_eq!(col_idx.len(), values.len());
+        Matrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Number of rows (`GrB_Matrix_nrows`).
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns (`GrB_Matrix_ncols`).
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries (`GrB_Matrix_nvals`).
+    #[inline]
+    pub fn nvals(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Read the entry at `(row, col)`, if stored.
+    pub fn get(&self, row: usize, col: usize) -> Option<T> {
+        if row >= self.nrows {
+            return None;
+        }
+        let (cols, vals) = self.row(row);
+        cols.binary_search(&col).ok().map(|p| vals[p])
+    }
+
+    /// The sorted column indices and values of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[usize], &[T]) {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Number of stored entries in row `r`.
+    #[inline]
+    pub fn row_nvals(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Iterate over all stored `(row, col, value)` triples in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        (0..self.nrows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter()
+                .zip(vals.iter())
+                .map(move |(&c, &v)| (r, c, v))
+        })
+    }
+
+    /// Store `value` at `(row, col)` (`GrB_Matrix_setElement`). O(nnz) in the
+    /// worst case — intended for construction and tests, not inner loops.
+    pub fn set(&mut self, row: usize, col: usize, value: T) -> Info {
+        check_index(row, self.nrows)?;
+        check_index(col, self.ncols)?;
+        let lo = self.row_ptr[row];
+        let hi = self.row_ptr[row + 1];
+        match self.col_idx[lo..hi].binary_search(&col) {
+            Ok(p) => self.values[lo + p] = value,
+            Err(p) => {
+                self.col_idx.insert(lo + p, col);
+                self.values.insert(lo + p, value);
+                for rp in self.row_ptr[row + 1..].iter_mut() {
+                    *rp += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Raw CSR row-pointer array (length `nrows + 1`).
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Raw CSR column-index array.
+    #[inline]
+    pub fn col_indices(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Raw CSR value array, parallel to [`Matrix::col_indices`].
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Convert to a dense row-major table of options.
+    pub fn to_dense(&self) -> Vec<Vec<Option<T>>> {
+        let mut out = vec![vec![None; self.ncols]; self.nrows];
+        for (r, c, v) in self.iter() {
+            out[r][c] = Some(v);
+        }
+        out
+    }
+
+    /// A value mask over this matrix (truthy entries allow writes).
+    pub fn mask(&self) -> MatrixMask
+    where
+        T: MaskValue,
+    {
+        MatrixMask::from_values(self)
+    }
+
+    /// A structural mask over this matrix (every stored entry allows writes).
+    pub fn structure(&self) -> MatrixMask {
+        MatrixMask::from_structure(self)
+    }
+
+    /// Resize the logical dimensions (`GrB_Matrix_resize`): shrinking
+    /// drops out-of-range entries.
+    pub fn resize(&mut self, nrows: usize, ncols: usize) {
+        // Rebuild rows (cheap relative to typical use; resize is rare).
+        let mut row_ptr = Vec::with_capacity(nrows + 1);
+        row_ptr.push(0usize);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..nrows.min(self.nrows) {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                if c < ncols {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        while row_ptr.len() < nrows + 1 {
+            row_ptr.push(col_idx.len());
+        }
+        self.nrows = nrows;
+        self.ncols = ncols;
+        self.row_ptr = row_ptr;
+        self.col_idx = col_idx;
+        self.values = values;
+    }
+
+    /// Copy out the stored `(row, col, value)` triples
+    /// (`GrB_Matrix_extractTuples`).
+    pub fn extract_tuples(&self) -> Vec<(usize, usize, T)> {
+        self.iter().collect()
+    }
+
+    /// Check CSR invariants; used by tests and debug assertions.
+    pub fn check_invariants(&self) -> Info {
+        if self.row_ptr.len() != self.nrows + 1 {
+            return Err(GblasError::InvalidValue("row_ptr length".into()));
+        }
+        if self.row_ptr[0] != 0 || *self.row_ptr.last().unwrap() != self.col_idx.len() {
+            return Err(GblasError::InvalidValue("row_ptr endpoints".into()));
+        }
+        if self.col_idx.len() != self.values.len() {
+            return Err(GblasError::InvalidValue("parallel array length".into()));
+        }
+        for r in 0..self.nrows {
+            if self.row_ptr[r] > self.row_ptr[r + 1] {
+                return Err(GblasError::InvalidValue("row_ptr not monotone".into()));
+            }
+            let (cols, _) = self.row(r);
+            for w in cols.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(GblasError::InvalidValue(format!(
+                        "row {r} columns not strictly sorted"
+                    )));
+                }
+            }
+            if let Some(&c) = cols.last() {
+                check_index(c, self.ncols)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::binary::Plus;
+
+    fn sample() -> Matrix<f64> {
+        Matrix::from_triples(3, 4, vec![(0, 1, 1.0), (0, 3, 2.0), (2, 0, 3.0)]).unwrap()
+    }
+
+    #[test]
+    fn dims_and_nvals() {
+        let m = sample();
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 4);
+        assert_eq!(m.nvals(), 3);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn get_present_and_absent() {
+        let m = sample();
+        assert_eq!(m.get(0, 1), Some(1.0));
+        assert_eq!(m.get(0, 3), Some(2.0));
+        assert_eq!(m.get(2, 0), Some(3.0));
+        assert_eq!(m.get(1, 1), None);
+        assert_eq!(m.get(9, 0), None);
+    }
+
+    #[test]
+    fn rows_are_sorted() {
+        let m = Matrix::from_triples(2, 5, vec![(0, 4, 'a'), (0, 1, 'b'), (0, 2, 'c')]).unwrap();
+        let (cols, vals) = m.row(0);
+        assert_eq!(cols, &[1, 2, 4]);
+        assert_eq!(vals, &['b', 'c', 'a']);
+        assert_eq!(m.row_nvals(0), 3);
+        assert_eq!(m.row_nvals(1), 0);
+    }
+
+    #[test]
+    fn build_rejects_out_of_bounds() {
+        assert!(Matrix::from_triples(2, 2, vec![(2, 0, 1)]).is_err());
+        assert!(Matrix::from_triples(2, 2, vec![(0, 2, 1)]).is_err());
+    }
+
+    #[test]
+    fn build_rejects_duplicates_without_dup() {
+        let err = Matrix::from_triples(2, 2, vec![(0, 0, 1), (0, 0, 2)]).unwrap_err();
+        assert!(matches!(err, GblasError::InvalidValue(_)));
+    }
+
+    #[test]
+    fn build_combines_duplicates_with_dup() {
+        let m =
+            Matrix::from_triples_dup(2, 2, vec![(0, 0, 1), (0, 0, 2)], &Plus::<i32>::new())
+                .unwrap();
+        assert_eq!(m.get(0, 0), Some(3));
+        assert_eq!(m.nvals(), 1);
+    }
+
+    #[test]
+    fn set_inserts_and_overwrites() {
+        let mut m = sample();
+        m.set(1, 2, 9.0).unwrap();
+        assert_eq!(m.get(1, 2), Some(9.0));
+        assert_eq!(m.nvals(), 4);
+        m.set(1, 2, 8.0).unwrap();
+        assert_eq!(m.get(1, 2), Some(8.0));
+        assert_eq!(m.nvals(), 4);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn iter_row_major() {
+        let m = sample();
+        let triples: Vec<_> = m.iter().collect();
+        assert_eq!(triples, vec![(0, 1, 1.0), (0, 3, 2.0), (2, 0, 3.0)]);
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let m = sample();
+        let dense = m.to_dense();
+        let back = Matrix::from_dense(&dense).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn resize_drops_out_of_range() {
+        let mut m = sample();
+        m.resize(2, 2); // drops (0,3,2.0) and (2,0,3.0)
+        assert_eq!(m.nrows(), 2);
+        assert_eq!(m.ncols(), 2);
+        assert_eq!(m.nvals(), 1);
+        assert_eq!(m.get(0, 1), Some(1.0));
+        m.check_invariants().unwrap();
+        m.resize(5, 5);
+        assert_eq!(m.nvals(), 1);
+        m.set(4, 4, 9.0).unwrap();
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn extract_tuples_round_trip() {
+        let m = sample();
+        let triples = m.extract_tuples();
+        let back = Matrix::from_triples(3, 4, triples).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m: Matrix<f64> = Matrix::new(0, 0);
+        assert_eq!(m.nvals(), 0);
+        m.check_invariants().unwrap();
+        let m2: Matrix<f64> = Matrix::new(5, 5);
+        assert_eq!(m2.iter().count(), 0);
+    }
+}

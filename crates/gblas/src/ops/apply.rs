@@ -1,0 +1,230 @@
+//! `GrB_apply`: apply a unary operator to every stored entry.
+//!
+//! Fig. 2 uses this operation more than any other — every filter is a pair
+//! of `GrB_apply` calls, first to evaluate the predicate, then to use the
+//! predicate's output as a mask (Sec. V-A).
+
+use crate::descriptor::Descriptor;
+use crate::error::Info;
+use crate::mask::{MatrixMask, VectorMask};
+use crate::matrix::Matrix;
+use crate::ops::binary::BinaryOp;
+use crate::ops::unary::UnaryOp;
+use crate::ops::write::{
+    accum_merge, accum_merge_matrix, mask_write_matrix, mask_write_vector, SparseMat, SparseVec,
+};
+use crate::types::Scalar;
+use crate::vector::Vector;
+
+/// `out<mask> ⊙= op(input)` for vectors (`GrB_Vector_apply`).
+///
+/// The intermediate result has exactly `input`'s pattern; the mask and
+/// `desc.replace` then control which positions reach `out`.
+pub fn vector_apply<A, B, Op>(
+    out: &mut Vector<B>,
+    mask: Option<&VectorMask>,
+    accum: Option<&dyn BinaryOp<B, B, B>>,
+    op: &Op,
+    input: &Vector<A>,
+    desc: Descriptor,
+) -> Info
+where
+    A: Scalar,
+    B: Scalar,
+    Op: UnaryOp<A, B> + ?Sized,
+{
+    out.check_same_size(input.size())?;
+    if let Some(m) = mask {
+        out.check_same_size(m.size())?;
+    }
+    let mut t = SparseVec::with_capacity(input.nvals());
+    for (i, v) in input.iter() {
+        t.push(i, op.apply(v));
+    }
+    let z = accum_merge(out, t, accum);
+    mask_write_vector(out, z, mask, desc);
+    Ok(())
+}
+
+/// `out<mask> ⊙= op(input)` for matrices (`GrB_Matrix_apply`).
+///
+/// Fig. 2 lines 15–21 build `A_L` and `A_H` with two matrix applies each:
+/// one evaluating the threshold predicate, one writing `A` through that
+/// result as a mask.
+pub fn matrix_apply<A, B, Op>(
+    out: &mut Matrix<B>,
+    mask: Option<&MatrixMask>,
+    accum: Option<&dyn BinaryOp<B, B, B>>,
+    op: &Op,
+    input: &Matrix<A>,
+    desc: Descriptor,
+) -> Info
+where
+    A: Scalar,
+    B: Scalar,
+    Op: UnaryOp<A, B> + ?Sized,
+{
+    crate::error::check_dims("nrows", out.nrows(), input.nrows())?;
+    crate::error::check_dims("ncols", out.ncols(), input.ncols())?;
+    if let Some(m) = mask {
+        crate::error::check_dims("mask nrows", out.nrows(), m.nrows())?;
+        crate::error::check_dims("mask ncols", out.ncols(), m.ncols())?;
+    }
+    let mut t = SparseMat::empty(input.nrows(), input.ncols());
+    for r in 0..input.nrows() {
+        let (cols, vals) = input.row(r);
+        for (&c, &v) in cols.iter().zip(vals.iter()) {
+            t.col_idx.push(c);
+            t.values.push(op.apply(v));
+        }
+        t.row_ptr[r + 1] = t.col_idx.len();
+    }
+    let z = accum_merge_matrix(out, t, accum);
+    mask_write_matrix(out, z, mask, desc);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::binary::Plus;
+    use crate::ops::unary::{FnUnary, Identity};
+
+    #[test]
+    fn vector_apply_plain() {
+        let input = Vector::from_entries(5, vec![(1, 2.0), (3, 4.0)]).unwrap();
+        let mut out = Vector::new(5);
+        vector_apply(
+            &mut out,
+            None,
+            None,
+            &FnUnary::new(|x: f64| x * 10.0),
+            &input,
+            Descriptor::new(),
+        )
+        .unwrap();
+        assert_eq!(out.get(1), Some(20.0));
+        assert_eq!(out.get(3), Some(40.0));
+        assert_eq!(out.nvals(), 2);
+    }
+
+    #[test]
+    fn vector_apply_size_mismatch() {
+        let input: Vector<f64> = Vector::new(5);
+        let mut out: Vector<f64> = Vector::new(4);
+        let r = vector_apply(
+            &mut out,
+            None,
+            None,
+            &Identity::<f64>::new(),
+            &input,
+            Descriptor::new(),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn vector_apply_predicate_then_mask_idiom() {
+        // The Fig. 2 filter idiom: first apply the predicate, then use the
+        // result as a mask to keep only positions where it held.
+        let delta = 2.0f64;
+        let t = Vector::from_entries(5, vec![(0, 1.0), (1, 2.5), (2, 3.0), (4, 0.5)]).unwrap();
+        // Step 1: tb = (t <= delta) — a full-pattern boolean vector.
+        let mut tb: Vector<bool> = Vector::new(5);
+        vector_apply(
+            &mut tb,
+            None,
+            None,
+            &FnUnary::new(move |x: f64| x <= delta),
+            &t,
+            Descriptor::new(),
+        )
+        .unwrap();
+        assert_eq!(tb.nvals(), 4); // false entries are *stored* — the pitfall
+        // Step 2: tmasked<tb,replace> = identity(t) keeps only true ones.
+        let mut tmasked: Vector<f64> = Vector::new(5);
+        vector_apply(
+            &mut tmasked,
+            Some(&tb.mask()),
+            None,
+            &Identity::<f64>::new(),
+            &t,
+            Descriptor::replace(),
+        )
+        .unwrap();
+        assert_eq!(tmasked.nvals(), 2);
+        assert_eq!(tmasked.get(0), Some(1.0));
+        assert_eq!(tmasked.get(4), Some(0.5));
+        assert_eq!(tmasked.get(1), None);
+    }
+
+    #[test]
+    fn vector_apply_with_accum() {
+        let input = Vector::from_entries(3, vec![(0, 1), (1, 2)]).unwrap();
+        let mut out = Vector::from_entries(3, vec![(1, 10), (2, 20)]).unwrap();
+        vector_apply(
+            &mut out,
+            None,
+            Some(&Plus::<i32>::new()),
+            &Identity::<i32>::new(),
+            &input,
+            Descriptor::new(),
+        )
+        .unwrap();
+        assert_eq!(out.get(0), Some(1));
+        assert_eq!(out.get(1), Some(12));
+        assert_eq!(out.get(2), Some(20));
+    }
+
+    #[test]
+    fn matrix_apply_threshold_filter() {
+        // A_L = A .* (0 < A <= delta), the Fig. 2 lines 15-17 idiom.
+        let delta = 1.5f64;
+        let a = Matrix::from_triples(
+            2,
+            2,
+            vec![(0, 0, 1.0), (0, 1, 2.0), (1, 0, 0.5), (1, 1, 3.0)],
+        )
+        .unwrap();
+        let mut ab: Matrix<bool> = Matrix::new(2, 2);
+        matrix_apply(
+            &mut ab,
+            None,
+            None,
+            &FnUnary::new(move |x: f64| x > 0.0 && x <= delta),
+            &a,
+            Descriptor::new(),
+        )
+        .unwrap();
+        let mut al: Matrix<f64> = Matrix::new(2, 2);
+        matrix_apply(
+            &mut al,
+            Some(&ab.mask()),
+            None,
+            &Identity::<f64>::new(),
+            &a,
+            Descriptor::replace(),
+        )
+        .unwrap();
+        assert_eq!(al.get(0, 0), Some(1.0));
+        assert_eq!(al.get(1, 0), Some(0.5));
+        assert_eq!(al.get(0, 1), None);
+        assert_eq!(al.get(1, 1), None);
+        al.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn matrix_apply_dimension_check() {
+        let a: Matrix<f64> = Matrix::new(2, 3);
+        let mut out: Matrix<f64> = Matrix::new(3, 2);
+        assert!(matrix_apply(
+            &mut out,
+            None,
+            None,
+            &Identity::<f64>::new(),
+            &a,
+            Descriptor::new()
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! `GrB_apply` with a binary operator and a bound scalar
+//! (`GrB_Vector_apply_BinaryOp1st/2nd`).
+//!
+//! This is the operation behind the paper's Sec. IV-C observation that
+//! computing a request row is "similar to a scaled vector addition or AXPY
+//! operation": `Req_v = t[v] + a_v` is exactly
+//! `apply_bind_first(Plus, t[v], a_v)` — a scalar bound to the first
+//! argument of `+`, mapped over a sparse row.
+
+use crate::descriptor::Descriptor;
+use crate::error::Info;
+use crate::mask::{MatrixMask, VectorMask};
+use crate::matrix::Matrix;
+use crate::ops::binary::BinaryOp;
+use crate::ops::unary::FnUnary;
+use crate::types::Scalar;
+use crate::vector::Vector;
+
+/// `out<mask> ⊙= op(x, input[i])` — scalar bound to the first operand.
+pub fn vector_apply_bind_first<A, B, C, Op>(
+    out: &mut Vector<C>,
+    mask: Option<&VectorMask>,
+    accum: Option<&dyn BinaryOp<C, C, C>>,
+    op: &Op,
+    x: A,
+    input: &Vector<B>,
+    desc: Descriptor,
+) -> Info
+where
+    A: Scalar,
+    B: Scalar,
+    C: Scalar,
+    Op: BinaryOp<A, B, C>,
+{
+    let unary = FnUnary::new(move |v: B| op.apply(x, v));
+    crate::ops::apply::vector_apply(out, mask, accum, &unary, input, desc)
+}
+
+/// `out<mask> ⊙= op(input[i], y)` — scalar bound to the second operand.
+pub fn vector_apply_bind_second<A, B, C, Op>(
+    out: &mut Vector<C>,
+    mask: Option<&VectorMask>,
+    accum: Option<&dyn BinaryOp<C, C, C>>,
+    op: &Op,
+    input: &Vector<A>,
+    y: B,
+    desc: Descriptor,
+) -> Info
+where
+    A: Scalar,
+    B: Scalar,
+    C: Scalar,
+    Op: BinaryOp<A, B, C>,
+{
+    let unary = FnUnary::new(move |v: A| op.apply(v, y));
+    crate::ops::apply::vector_apply(out, mask, accum, &unary, input, desc)
+}
+
+/// `out<mask> ⊙= op(x, input[i,j])` for matrices.
+pub fn matrix_apply_bind_first<A, B, C, Op>(
+    out: &mut Matrix<C>,
+    mask: Option<&MatrixMask>,
+    accum: Option<&dyn BinaryOp<C, C, C>>,
+    op: &Op,
+    x: A,
+    input: &Matrix<B>,
+    desc: Descriptor,
+) -> Info
+where
+    A: Scalar,
+    B: Scalar,
+    C: Scalar,
+    Op: BinaryOp<A, B, C>,
+{
+    let unary = FnUnary::new(move |v: B| op.apply(x, v));
+    crate::ops::apply::matrix_apply(out, mask, accum, &unary, input, desc)
+}
+
+/// `out<mask> ⊙= op(input[i,j], y)` for matrices — e.g. the edge-centric
+/// point-wise `βA` of Sec. II-C.
+pub fn matrix_apply_bind_second<A, B, C, Op>(
+    out: &mut Matrix<C>,
+    mask: Option<&MatrixMask>,
+    accum: Option<&dyn BinaryOp<C, C, C>>,
+    op: &Op,
+    input: &Matrix<A>,
+    y: B,
+    desc: Descriptor,
+) -> Info
+where
+    A: Scalar,
+    B: Scalar,
+    C: Scalar,
+    Op: BinaryOp<A, B, C>,
+{
+    let unary = FnUnary::new(move |v: A| op.apply(v, y));
+    crate::ops::apply::matrix_apply(out, mask, accum, &unary, input, desc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::binary::{Minus, Plus, PlusSat, Times};
+
+    #[test]
+    fn axpy_request_row() {
+        // Sec. IV-C: Req_v = t[v] + a_v over (min,+)'s multiplicative op.
+        let a_v = Vector::from_entries(5, vec![(1, 1.0), (3, 2.5)]).unwrap();
+        let tent_v = 4.0f64;
+        let mut req: Vector<f64> = Vector::new(5);
+        vector_apply_bind_first(
+            &mut req,
+            None,
+            None,
+            &PlusSat::<f64>::new(),
+            tent_v,
+            &a_v,
+            Descriptor::new(),
+        )
+        .unwrap();
+        assert_eq!(req.get(1), Some(5.0));
+        assert_eq!(req.get(3), Some(6.5));
+        assert_eq!(req.nvals(), 2);
+    }
+
+    #[test]
+    fn bind_order_matters_for_noncommutative() {
+        let v = Vector::from_entries(3, vec![(0, 10.0)]).unwrap();
+        let mut first: Vector<f64> = Vector::new(3);
+        vector_apply_bind_first(&mut first, None, None, &Minus::<f64>::new(), 1.0, &v, Descriptor::new())
+            .unwrap();
+        assert_eq!(first.get(0), Some(-9.0)); // 1 - 10
+        let mut second: Vector<f64> = Vector::new(3);
+        vector_apply_bind_second(&mut second, None, None, &Minus::<f64>::new(), &v, 1.0, Descriptor::new())
+            .unwrap();
+        assert_eq!(second.get(0), Some(9.0)); // 10 - 1
+    }
+
+    #[test]
+    fn matrix_scale_is_beta_a() {
+        // βA: scale every edge (the edge-centric point-wise op).
+        let a = Matrix::from_triples(2, 2, vec![(0, 1, 2.0), (1, 0, 3.0)]).unwrap();
+        let mut out: Matrix<f64> = Matrix::new(2, 2);
+        matrix_apply_bind_first(&mut out, None, None, &Times::<f64>::new(), 10.0, &a, Descriptor::new())
+            .unwrap();
+        assert_eq!(out.get(0, 1), Some(20.0));
+        assert_eq!(out.get(1, 0), Some(30.0));
+    }
+
+    #[test]
+    fn matrix_bind_second_with_accum() {
+        let a = Matrix::from_triples(2, 2, vec![(0, 0, 1)]).unwrap();
+        let mut out = Matrix::from_triples(2, 2, vec![(0, 0, 100), (1, 1, 7)]).unwrap();
+        matrix_apply_bind_second(
+            &mut out,
+            None,
+            Some(&Plus::<i32>::new()),
+            &Plus::<i32>::new(),
+            &a,
+            5,
+            Descriptor::new(),
+        )
+        .unwrap();
+        assert_eq!(out.get(0, 0), Some(106)); // 100 + (1 + 5)
+        assert_eq!(out.get(1, 1), Some(7)); // untouched via accum union
+    }
+}

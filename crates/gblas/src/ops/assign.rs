@@ -1,0 +1,245 @@
+//! `GrB_assign`: scatter a vector (or a constant) into selected positions of
+//! the output.
+//!
+//! Assign differs from every other operation in one respect: positions
+//! *outside* the assigned region are untouched (they are not part of the
+//! computed pattern, so an unmasked, non-replacing assign never deletes
+//! them).
+
+use crate::descriptor::Descriptor;
+use crate::error::{check_dims, check_index, Info};
+use crate::mask::VectorMask;
+use crate::ops::binary::BinaryOp;
+use crate::ops::write::{mask_write_vector, union_merge, SparseVec};
+use crate::types::Scalar;
+use crate::vector::Vector;
+
+/// `out[index] ⊙= value` (`GrB_Vector_assign_Scalar` on one index, i.e.
+/// `setElement` with an accumulator).
+pub fn assign_element<T: Scalar>(
+    out: &mut Vector<T>,
+    accum: Option<&dyn BinaryOp<T, T, T>>,
+    index: usize,
+    value: T,
+) -> Info {
+    check_index(index, out.size())?;
+    let merged = match (accum, out.get(index)) {
+        (Some(op), Some(old)) => op.apply(old, value),
+        _ => value,
+    };
+    out.set(index, merged)
+}
+
+/// `out<mask>(indices) ⊙= u` (`GrB_Vector_assign`): scatter `u[k]` into
+/// `out[indices[k]]`.
+pub fn assign_subvector<T: Scalar>(
+    out: &mut Vector<T>,
+    mask: Option<&VectorMask>,
+    accum: Option<&dyn BinaryOp<T, T, T>>,
+    u: &Vector<T>,
+    indices: &[usize],
+    desc: Descriptor,
+) -> Info {
+    check_dims("u size vs index count", indices.len(), u.size())?;
+    if let Some(m) = mask {
+        check_dims("mask size", out.size(), m.size())?;
+    }
+    for &i in indices {
+        check_index(i, out.size())?;
+    }
+    // Scatter u through the index map into output coordinates.
+    let mut scattered: Vec<(usize, T)> = u
+        .iter()
+        .map(|(k, v)| (indices[k], v))
+        .collect();
+    scattered.sort_unstable_by_key(|&(i, _)| i);
+    let mut t = SparseVec::with_capacity(scattered.len());
+    for (i, v) in scattered {
+        // Last write wins on duplicate targets, like the C API's
+        // "undefined but deterministic here" behaviour.
+        if t.indices.last() == Some(&i) {
+            *t.values.last_mut().expect("parallel") = v;
+        } else {
+            t.push(i, v);
+        }
+    }
+    write_assign(out, t, mask, accum, indices, desc);
+    Ok(())
+}
+
+/// `out<mask>(indices) ⊙= value` (`GrB_Vector_assign` with a scalar): set
+/// every listed position to `value`. Pass `0..n` via `all_indices` helpers
+/// to fill the whole vector — e.g. the `t = ∞` initialization of Fig. 1.
+pub fn assign_vector_constant<T: Scalar>(
+    out: &mut Vector<T>,
+    mask: Option<&VectorMask>,
+    accum: Option<&dyn BinaryOp<T, T, T>>,
+    value: T,
+    indices: &[usize],
+    desc: Descriptor,
+) -> Info {
+    if let Some(m) = mask {
+        check_dims("mask size", out.size(), m.size())?;
+    }
+    let mut sorted: Vec<usize> = indices.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut t = SparseVec::with_capacity(sorted.len());
+    for &i in &sorted {
+        check_index(i, out.size())?;
+        t.push(i, value);
+    }
+    write_assign(out, t, mask, accum, indices, desc);
+    Ok(())
+}
+
+/// Shared tail of the assign family: inside the assigned region apply the
+/// accumulator and mask as usual; outside it, keep the old contents.
+fn write_assign<T: Scalar>(
+    out: &mut Vector<T>,
+    t: SparseVec<T>,
+    mask: Option<&VectorMask>,
+    accum: Option<&dyn BinaryOp<T, T, T>>,
+    indices: &[usize],
+    desc: Descriptor,
+) {
+    // Region membership, sorted.
+    let mut region: Vec<usize> = indices.to_vec();
+    region.sort_unstable();
+    region.dedup();
+
+    // Z inside the region: accumulate with the old values there.
+    let z_in = match accum {
+        None => t,
+        Some(op) => {
+            // Old entries restricted to the region.
+            let mut old_in = SparseVec::with_capacity(region.len());
+            for &i in &region {
+                if let Some(v) = out.get(i) {
+                    old_in.push(i, v);
+                }
+            }
+            union_merge(
+                &old_in.indices,
+                &old_in.values,
+                &t.indices,
+                &t.values,
+                |old| old,
+                |new| new,
+                |old, new| op.apply(old, new),
+            )
+        }
+    };
+
+    // Old entries outside the region always survive (assign semantics).
+    let (old_idx, old_val) = out.take_data();
+    let mut out_of_region = SparseVec::with_capacity(old_idx.len());
+    for (&i, &v) in old_idx.iter().zip(old_val.iter()) {
+        if region.binary_search(&i).is_err() {
+            out_of_region.push(i, v);
+        }
+    }
+    let z = union_merge(
+        &out_of_region.indices,
+        &out_of_region.values,
+        &z_in.indices,
+        &z_in.values,
+        |old| old,
+        |new| new,
+        |_old, new| new,
+    );
+    // Restore old contents so the masked write can consult them, then write.
+    out.replace_data(old_idx, old_val);
+    mask_write_vector(out, z, mask, desc);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::binary::Plus;
+
+    #[test]
+    fn assign_element_with_and_without_accum() {
+        let mut v = Vector::from_entries(4, vec![(0, 10)]).unwrap();
+        assign_element(&mut v, None, 0, 5).unwrap();
+        assert_eq!(v.get(0), Some(5));
+        assign_element(&mut v, Some(&Plus::<i32>::new()), 0, 3).unwrap();
+        assert_eq!(v.get(0), Some(8));
+        assign_element(&mut v, Some(&Plus::<i32>::new()), 1, 7).unwrap();
+        assert_eq!(v.get(1), Some(7)); // no old value: plain set
+    }
+
+    #[test]
+    fn assign_subvector_scatters() {
+        let mut out = Vector::from_entries(6, vec![(0, 100), (5, 500)]).unwrap();
+        let u = Vector::from_entries(2, vec![(0, 1), (1, 2)]).unwrap();
+        assign_subvector(&mut out, None, None, &u, &[3, 4], Descriptor::new()).unwrap();
+        assert_eq!(out.get(3), Some(1));
+        assert_eq!(out.get(4), Some(2));
+        // Outside the region: untouched.
+        assert_eq!(out.get(0), Some(100));
+        assert_eq!(out.get(5), Some(500));
+    }
+
+    #[test]
+    fn assign_inside_region_absent_source_deletes() {
+        // u[1] is absent, so out[4] (inside the region) is deleted.
+        let mut out = Vector::from_entries(6, vec![(4, 9)]).unwrap();
+        let u = Vector::from_entries(2, vec![(0, 1)]).unwrap();
+        assign_subvector(&mut out, None, None, &u, &[3, 4], Descriptor::new()).unwrap();
+        assert_eq!(out.get(3), Some(1));
+        assert_eq!(out.get(4), None);
+    }
+
+    #[test]
+    fn assign_constant_fills_region() {
+        let mut out: Vector<f64> = Vector::new(5);
+        let all: Vec<usize> = (0..5).collect();
+        assign_vector_constant(&mut out, None, None, f64::INFINITY, &all, Descriptor::new())
+            .unwrap();
+        assert_eq!(out.nvals(), 5);
+        assert_eq!(out.get(3), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn assign_constant_with_accum() {
+        let mut out = Vector::from_entries(4, vec![(1, 10)]).unwrap();
+        assign_vector_constant(
+            &mut out,
+            None,
+            Some(&Plus::<i32>::new()),
+            1,
+            &[1, 2],
+            Descriptor::new(),
+        )
+        .unwrap();
+        assert_eq!(out.get(1), Some(11));
+        assert_eq!(out.get(2), Some(1));
+    }
+
+    #[test]
+    fn assign_with_mask() {
+        let mut out: Vector<i32> = Vector::new(4);
+        let mask_v = Vector::from_entries(4, vec![(2, true)]).unwrap();
+        assign_vector_constant(
+            &mut out,
+            Some(&mask_v.mask()),
+            None,
+            7,
+            &[1, 2, 3],
+            Descriptor::new(),
+        )
+        .unwrap();
+        assert_eq!(out.get(1), None); // blocked
+        assert_eq!(out.get(2), Some(7)); // allowed
+        assert_eq!(out.get(3), None);
+    }
+
+    #[test]
+    fn assign_bounds_checked() {
+        let mut out: Vector<i32> = Vector::new(3);
+        assert!(assign_vector_constant(&mut out, None, None, 1, &[5], Descriptor::new()).is_err());
+        let u = Vector::from_entries(2, vec![(0, 1)]).unwrap();
+        assert!(assign_subvector(&mut out, None, None, &u, &[0], Descriptor::new()).is_err());
+    }
+}

@@ -1,0 +1,289 @@
+//! Binary operators (`GrB_BinaryOp`).
+//!
+//! These are the building blocks of element-wise operations, accumulators,
+//! monoids, and the multiplicative half of semirings. All built-ins are
+//! zero-sized types, so passing them by reference costs nothing and the
+//! compiler can fully inline them; they are also object safe for use as
+//! accumulators (`&dyn BinaryOp<T, T, T>`).
+
+use std::marker::PhantomData;
+
+use crate::types::{MinPlusValue, Num};
+
+/// A binary function `(A, B) -> C`.
+pub trait BinaryOp<A, B, C>: Send + Sync {
+    /// Evaluate the operator.
+    fn apply(&self, a: A, b: B) -> C;
+}
+
+macro_rules! simple_binop {
+    ($(#[$doc:meta])* $name:ident<$t:ident : $bound:ident>, |$a:ident, $b:ident| $body:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Default, Clone, Copy)]
+        pub struct $name<$t>(PhantomData<$t>);
+
+        impl<$t> $name<$t> {
+            /// Construct the operator.
+            pub fn new() -> Self {
+                $name(PhantomData)
+            }
+        }
+
+        impl<$t: $bound> BinaryOp<$t, $t, $t> for $name<$t> {
+            #[inline]
+            fn apply(&self, $a: $t, $b: $t) -> $t {
+                $body
+            }
+        }
+    };
+}
+
+simple_binop!(
+    /// `GrB_PLUS_T`: addition.
+    Plus<T: Num>, |a, b| a + b
+);
+simple_binop!(
+    /// `GrB_MINUS_T`: subtraction.
+    Minus<T: Num>, |a, b| a - b
+);
+simple_binop!(
+    /// `GrB_TIMES_T`: multiplication.
+    Times<T: Num>, |a, b| a * b
+);
+simple_binop!(
+    /// `GrB_MIN_T`: minimum (Fig. 2 uses `GrB_MIN_FP64` for `t = min(t, tReq)`).
+    Min<T: Num>, |a, b| if b < a { b } else { a }
+);
+simple_binop!(
+    /// `GrB_MAX_T`: maximum.
+    Max<T: Num>, |a, b| if b > a { b } else { a }
+);
+simple_binop!(
+    /// `GxB_PLUS_SAT` (extension): path-weight addition — saturating for
+    /// integers, IEEE for floats — the multiplicative op of `(min, +)`.
+    PlusSat<T: MinPlusValue>, |a, b| a.plus_weights(b)
+);
+
+/// `GrB_FIRST_T`: return the first operand.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct First<A, B = A>(PhantomData<(A, B)>);
+
+impl<A, B> First<A, B> {
+    /// Construct the operator.
+    pub fn new() -> Self {
+        First(PhantomData)
+    }
+}
+
+impl<A: Copy + Send + Sync, B: Send + Sync> BinaryOp<A, B, A> for First<A, B> {
+    #[inline]
+    fn apply(&self, a: A, _b: B) -> A {
+        a
+    }
+}
+
+/// `GrB_SECOND_T`: return the second operand.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Second<A, B = A>(PhantomData<(A, B)>);
+
+impl<A, B> Second<A, B> {
+    /// Construct the operator.
+    pub fn new() -> Self {
+        Second(PhantomData)
+    }
+}
+
+impl<A: Send + Sync, B: Copy + Send + Sync> BinaryOp<A, B, B> for Second<A, B> {
+    #[inline]
+    fn apply(&self, _a: A, b: B) -> B {
+        b
+    }
+}
+
+/// `GxB_PAIR_T` (extension): return `1` whenever both operands are present —
+/// the multiplicative op of structural (counting) semirings.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Pair<A, B, C = A>(PhantomData<(A, B, C)>);
+
+impl<A, B, C> Pair<A, B, C> {
+    /// Construct the operator.
+    pub fn new() -> Self {
+        Pair(PhantomData)
+    }
+}
+
+impl<A: Send + Sync, B: Send + Sync, C: Num> BinaryOp<A, B, C> for Pair<A, B, C> {
+    #[inline]
+    fn apply(&self, _a: A, _b: B) -> C {
+        C::one()
+    }
+}
+
+macro_rules! cmp_binop {
+    ($(#[$doc:meta])* $name:ident, |$a:ident, $b:ident| $body:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Default, Clone, Copy)]
+        pub struct $name<T>(PhantomData<T>);
+
+        impl<T> $name<T> {
+            /// Construct the comparison operator.
+            pub fn new() -> Self {
+                $name(PhantomData)
+            }
+        }
+
+        impl<T: Num> BinaryOp<T, T, bool> for $name<T> {
+            #[inline]
+            fn apply(&self, $a: T, $b: T) -> bool {
+                $body
+            }
+        }
+    };
+}
+
+cmp_binop!(
+    /// `GrB_LT_T`: less-than — the operator in the paper's problematic
+    /// `t_Req < t` filter (Fig. 2, line 48; Sec. V-B).
+    Lt, |a, b| a < b
+);
+cmp_binop!(
+    /// `GrB_LE_T`: less-than-or-equal.
+    Le, |a, b| a <= b
+);
+cmp_binop!(
+    /// `GrB_GT_T`: greater-than.
+    Gt, |a, b| a > b
+);
+cmp_binop!(
+    /// `GrB_GE_T`: greater-than-or-equal.
+    Ge, |a, b| a >= b
+);
+cmp_binop!(
+    /// `GrB_EQ_T`: equality.
+    Eq, |a, b| a == b
+);
+cmp_binop!(
+    /// `GrB_NE_T`: inequality.
+    Ne, |a, b| a != b
+);
+
+/// `GrB_LOR`: logical or (Fig. 2 line 45 accumulates the processed-vertex
+/// set `s` with `GrB_LOR`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LOr;
+
+impl BinaryOp<bool, bool, bool> for LOr {
+    #[inline]
+    fn apply(&self, a: bool, b: bool) -> bool {
+        a || b
+    }
+}
+
+/// `GrB_LAND`: logical and.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LAnd;
+
+impl BinaryOp<bool, bool, bool> for LAnd {
+    #[inline]
+    fn apply(&self, a: bool, b: bool) -> bool {
+        a && b
+    }
+}
+
+/// `GrB_LXOR`: logical exclusive-or.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LXor;
+
+impl BinaryOp<bool, bool, bool> for LXor {
+    #[inline]
+    fn apply(&self, a: bool, b: bool) -> bool {
+        a != b
+    }
+}
+
+/// A user-defined binary operator from a closure (`GrB_BinaryOp_new`).
+pub struct FnBinary<F>(F);
+
+impl<F> FnBinary<F> {
+    /// Wrap a closure as a binary operator.
+    pub fn new(f: F) -> Self {
+        FnBinary(f)
+    }
+}
+
+impl<A, B, C, F> BinaryOp<A, B, C> for FnBinary<F>
+where
+    F: Fn(A, B) -> C + Send + Sync,
+{
+    #[inline]
+    fn apply(&self, a: A, b: B) -> C {
+        (self.0)(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_ops() {
+        assert_eq!(Plus::<i32>::new().apply(2, 3), 5);
+        assert_eq!(Minus::<i32>::new().apply(2, 3), -1);
+        assert_eq!(Times::<f64>::new().apply(2.0, 3.0), 6.0);
+        assert_eq!(Min::<f64>::new().apply(2.0, 3.0), 2.0);
+        assert_eq!(Max::<f64>::new().apply(2.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn min_prefers_first_on_tie() {
+        // min/max must be deterministic on ties for reproducible reductions.
+        assert_eq!(Min::<f64>::new().apply(-0.0, 0.0), -0.0);
+        assert_eq!(Max::<i32>::new().apply(7, 7), 7);
+    }
+
+    #[test]
+    fn plus_sat_for_distances() {
+        assert_eq!(PlusSat::<i64>::new().apply(i64::MAX, 10), i64::MAX);
+        assert_eq!(PlusSat::<f64>::new().apply(f64::INFINITY, 1.0), f64::INFINITY);
+        assert_eq!(PlusSat::<f64>::new().apply(1.0, 2.0), 3.0);
+    }
+
+    #[test]
+    fn first_second_pair() {
+        assert_eq!(First::<i32>::new().apply(1, 2), 1);
+        assert_eq!(Second::<i32>::new().apply(1, 2), 2);
+        let p: Pair<f64, f64, u64> = Pair::new();
+        assert_eq!(p.apply(9.0, 9.0), 1u64);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(Lt::<f64>::new().apply(1.0, 2.0));
+        assert!(!Lt::<f64>::new().apply(2.0, 2.0));
+        assert!(Le::<f64>::new().apply(2.0, 2.0));
+        assert!(Gt::<i32>::new().apply(3, 2));
+        assert!(Ge::<i32>::new().apply(2, 2));
+        assert!(Eq::<i32>::new().apply(2, 2));
+        assert!(Ne::<i32>::new().apply(2, 3));
+    }
+
+    #[test]
+    fn logical_ops() {
+        assert!(LOr.apply(false, true));
+        assert!(!LAnd.apply(false, true));
+        assert!(LXor.apply(false, true));
+        assert!(!LXor.apply(true, true));
+    }
+
+    #[test]
+    fn accumulator_as_trait_object() {
+        let accum: &dyn BinaryOp<f64, f64, f64> = &Min::<f64>::new();
+        assert_eq!(accum.apply(5.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn fn_binary() {
+        let hypot = FnBinary::new(|a: f64, b: f64| (a * a + b * b).sqrt());
+        assert_eq!(hypot.apply(3.0, 4.0), 5.0);
+    }
+}

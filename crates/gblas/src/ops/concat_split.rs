@@ -1,0 +1,276 @@
+//! `GxB_Matrix_concat` / `GxB_Matrix_split`: assemble a matrix from a
+//! grid of tiles, and cut one back apart.
+//!
+//! Tiling is the blocked-algorithms counterpart of the paper's Sec. VIII
+//! outlook (SuperMatrix/MAGMA-style algorithms-by-blocks for GraphBLAS):
+//! a runtime that schedules per-tile tasks needs exactly these two
+//! operations to move between the flat and the blocked representation.
+
+use crate::error::{GblasError, Info};
+use crate::matrix::Matrix;
+use crate::types::Scalar;
+
+/// Concatenate a `tiles_r × tiles_c` grid of tiles (row-major in `tiles`)
+/// into one matrix (`GxB_Matrix_concat`). Tiles in the same block-row
+/// must agree on `nrows`, tiles in the same block-column on `ncols`.
+pub fn concat<T: Scalar>(tiles: &[&Matrix<T>], tiles_r: usize, tiles_c: usize) -> Info<Matrix<T>> {
+    if tiles_r == 0 || tiles_c == 0 || tiles.len() != tiles_r * tiles_c {
+        return Err(GblasError::InvalidValue(format!(
+            "expected {tiles_r} x {tiles_c} = {} tiles, got {}",
+            tiles_r * tiles_c,
+            tiles.len()
+        )));
+    }
+    let tile = |br: usize, bc: usize| tiles[br * tiles_c + bc];
+    // Validate the grid and compute block offsets.
+    let mut row_heights = Vec::with_capacity(tiles_r);
+    for br in 0..tiles_r {
+        let h = tile(br, 0).nrows();
+        for bc in 1..tiles_c {
+            if tile(br, bc).nrows() != h {
+                return Err(GblasError::dims(
+                    format!("tile row {br} height {h}"),
+                    format!("tile ({br}, {bc}) height {}", tile(br, bc).nrows()),
+                ));
+            }
+        }
+        row_heights.push(h);
+    }
+    let mut col_widths = Vec::with_capacity(tiles_c);
+    for bc in 0..tiles_c {
+        let w = tile(0, bc).ncols();
+        for br in 1..tiles_r {
+            if tile(br, bc).ncols() != w {
+                return Err(GblasError::dims(
+                    format!("tile column {bc} width {w}"),
+                    format!("tile ({br}, {bc}) width {}", tile(br, bc).ncols()),
+                ));
+            }
+        }
+        col_widths.push(w);
+    }
+    let nrows: usize = row_heights.iter().sum();
+    let ncols: usize = col_widths.iter().sum();
+    let col_offsets: Vec<usize> = col_widths
+        .iter()
+        .scan(0usize, |acc, &w| {
+            let off = *acc;
+            *acc += w;
+            Some(off)
+        })
+        .collect();
+
+    let nnz: usize = tiles.iter().map(|t| t.nvals()).sum();
+    let mut row_ptr = Vec::with_capacity(nrows + 1);
+    row_ptr.push(0usize);
+    let mut col_idx = Vec::with_capacity(nnz);
+    let mut values: Vec<T> = Vec::with_capacity(nnz);
+    for (br, &height) in row_heights.iter().enumerate() {
+        for local_r in 0..height {
+            // Tiles in a block-row are disjoint in columns and visited
+            // left-to-right, so the output row stays sorted.
+            for (bc, &off) in col_offsets.iter().enumerate() {
+                let (cols, vals) = tile(br, bc).row(local_r);
+                col_idx.extend(cols.iter().map(|&c| c + off));
+                values.extend_from_slice(vals);
+            }
+            row_ptr.push(col_idx.len());
+        }
+    }
+    Ok(Matrix::from_csr_unchecked(nrows, ncols, row_ptr, col_idx, values))
+}
+
+/// Split a matrix into a grid of tiles (`GxB_Matrix_split`): `row_sizes`
+/// and `col_sizes` give the tile heights/widths and must sum to the
+/// matrix dimensions. Returns tiles row-major.
+pub fn split<T: Scalar>(
+    a: &Matrix<T>,
+    row_sizes: &[usize],
+    col_sizes: &[usize],
+) -> Info<Vec<Matrix<T>>> {
+    if row_sizes.iter().sum::<usize>() != a.nrows() {
+        return Err(GblasError::dims(
+            format!("row sizes summing to {}", a.nrows()),
+            format!("sum {}", row_sizes.iter().sum::<usize>()),
+        ));
+    }
+    if col_sizes.iter().sum::<usize>() != a.ncols() {
+        return Err(GblasError::dims(
+            format!("col sizes summing to {}", a.ncols()),
+            format!("sum {}", col_sizes.iter().sum::<usize>()),
+        ));
+    }
+    if row_sizes.contains(&0) || col_sizes.contains(&0) {
+        return Err(GblasError::InvalidValue("zero-sized tile".into()));
+    }
+    let col_bounds: Vec<usize> = col_sizes
+        .iter()
+        .scan(0usize, |acc, &w| {
+            *acc += w;
+            Some(*acc)
+        })
+        .collect();
+
+    let mut out = Vec::with_capacity(row_sizes.len() * col_sizes.len());
+    let mut row_start = 0usize;
+    for &h in row_sizes {
+        // Build all tiles of this block-row in one sweep over its rows.
+        let mut parts: Vec<(Vec<usize>, Vec<usize>, Vec<T>)> = col_sizes
+            .iter()
+            .map(|_| (vec![0usize], Vec::new(), Vec::new()))
+            .collect();
+        for r in row_start..row_start + h {
+            let (cols, vals) = a.row(r);
+            let mut p = 0usize; // cursor into this row's entries
+            for (bc, &hi) in col_bounds.iter().enumerate() {
+                let lo = if bc == 0 { 0 } else { col_bounds[bc - 1] };
+                let (ref mut rp, ref mut ci, ref mut vv) = parts[bc];
+                while p < cols.len() && cols[p] < hi {
+                    ci.push(cols[p] - lo);
+                    vv.push(vals[p]);
+                    p += 1;
+                }
+                rp.push(ci.len());
+            }
+        }
+        for ((rp, ci, vv), &w) in parts.into_iter().zip(col_sizes.iter()) {
+            out.push(Matrix::from_csr_unchecked(h, w, rp, ci, vv));
+        }
+        row_start += h;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix<i32> {
+        Matrix::from_triples(
+            4,
+            4,
+            vec![
+                (0, 0, 1),
+                (0, 3, 2),
+                (1, 1, 3),
+                (2, 2, 4),
+                (3, 0, 5),
+                (3, 3, 6),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn split_then_concat_round_trips() {
+        let a = sample();
+        for (rs, cs) in [
+            (vec![2usize, 2], vec![2usize, 2]),
+            (vec![1, 3], vec![3, 1]),
+            (vec![4], vec![4]),
+            (vec![1, 1, 1, 1], vec![2, 2]),
+        ] {
+            let tiles = split(&a, &rs, &cs).unwrap();
+            assert_eq!(tiles.len(), rs.len() * cs.len());
+            let refs: Vec<&Matrix<i32>> = tiles.iter().collect();
+            let back = concat(&refs, rs.len(), cs.len()).unwrap();
+            assert_eq!(back, a, "rs {rs:?} cs {cs:?}");
+            back.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn split_places_entries_in_right_tiles() {
+        let a = sample();
+        let tiles = split(&a, &[2, 2], &[2, 2]).unwrap();
+        // Tile (0,0): entries with r<2, c<2.
+        assert_eq!(tiles[0].get(0, 0), Some(1));
+        assert_eq!(tiles[0].get(1, 1), Some(3));
+        assert_eq!(tiles[0].nvals(), 2);
+        // Tile (0,1): (0,3,2) becomes (0,1).
+        assert_eq!(tiles[1].get(0, 1), Some(2));
+        assert_eq!(tiles[1].nvals(), 1);
+        // Tile (1,0): (3,0,5) becomes (1,0).
+        assert_eq!(tiles[2].get(1, 0), Some(5));
+        // Tile (1,1): (2,2,4) -> (0,0), (3,3,6) -> (1,1).
+        assert_eq!(tiles[3].get(0, 0), Some(4));
+        assert_eq!(tiles[3].get(1, 1), Some(6));
+        for t in &tiles {
+            t.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn concat_rejects_ragged_grids() {
+        let a: Matrix<i32> = Matrix::new(2, 2);
+        let b: Matrix<i32> = Matrix::new(3, 2); // wrong height for row 0
+        assert!(concat(&[&a, &b], 1, 2).is_err());
+        let c: Matrix<i32> = Matrix::new(2, 3); // wrong width for column 0
+        assert!(concat(&[&a, &c], 2, 1).is_err());
+        assert!(concat(&[&a], 1, 2).is_err()); // wrong tile count
+        assert!(concat::<i32>(&[], 0, 0).is_err());
+    }
+
+    #[test]
+    fn split_rejects_bad_partitions() {
+        let a = sample();
+        assert!(split(&a, &[2, 3], &[2, 2]).is_err()); // rows sum to 5
+        assert!(split(&a, &[2, 2], &[4, 1]).is_err()); // cols sum to 5
+        assert!(split(&a, &[4, 0], &[2, 2]).is_err()); // zero tile
+    }
+
+    #[test]
+    fn concat_of_empty_tiles() {
+        let z: Matrix<f64> = Matrix::new(2, 3);
+        let m = concat(&[&z, &z, &z, &z], 2, 2).unwrap();
+        assert_eq!(m.nrows(), 4);
+        assert_eq!(m.ncols(), 6);
+        assert_eq!(m.nvals(), 0);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn blocked_spmv_equals_flat_spmv() {
+        // Algorithms-by-blocks sanity: (min,+) vxm over the flat matrix
+        // equals assembling tile-local products.
+        use crate::ops::semiring::min_plus_f64;
+        use crate::vector::Vector;
+        let a = Matrix::from_triples(
+            4,
+            4,
+            vec![(0, 1, 1.0), (1, 3, 2.0), (2, 0, 0.5), (3, 2, 1.5)],
+        )
+        .unwrap();
+        let u = Vector::from_entries(4, vec![(0, 0.0), (2, 1.0)]).unwrap();
+        let mut flat = Vector::new(4);
+        crate::ops::vxm::vxm(
+            &mut flat,
+            None,
+            None,
+            &min_plus_f64(),
+            &u,
+            &a,
+            crate::Descriptor::new(),
+        )
+        .unwrap();
+        // Blocked: split 2x2, compute per-block, merge with min.
+        let tiles = split(&a, &[2, 2], &[2, 2]).unwrap();
+        let u_dense = u.to_dense();
+        let mut blocked = [f64::INFINITY; 4];
+        for br in 0..2 {
+            for bc in 0..2 {
+                let t = &tiles[br * 2 + bc];
+                for (lr, lc, w) in t.iter() {
+                    if let Some(uv) = u_dense[br * 2 + lr] {
+                        let j = bc * 2 + lc;
+                        blocked[j] = blocked[j].min(uv + w);
+                    }
+                }
+            }
+        }
+        for (j, &got) in blocked.iter().enumerate() {
+            let expect = flat.get(j).unwrap_or(f64::INFINITY);
+            assert_eq!(got, expect, "column {j}");
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! `GrB_eWiseAdd` and `GrB_eWiseMult`: element-wise operations on the union
+//! or intersection of two patterns.
+//!
+//! `eWiseAdd` is the operation whose union semantics the paper's Sec. V-B
+//! flags as a pitfall: on positions where only one operand is present, the
+//! present value is passed through *with a typecast into the output domain*
+//! — even when the operator is non-commutative like `<`. We reproduce that
+//! behaviour bit-for-bit (the typecast is [`crate::types::CastTo`]), because
+//! the paper's Fig. 2 line 48 relies on the mask-based workaround.
+
+use crate::descriptor::Descriptor;
+use crate::error::{check_dims, Info};
+use crate::mask::{MatrixMask, VectorMask};
+use crate::matrix::Matrix;
+use crate::ops::binary::BinaryOp;
+use crate::ops::write::{
+    accum_merge, accum_merge_matrix, intersect_merge, mask_write_matrix, mask_write_vector,
+    union_merge, SparseMat,
+};
+use crate::types::{CastTo, Scalar};
+use crate::vector::Vector;
+
+/// `out<mask> ⊙= u (op-union) v` (`GrB_Vector_eWiseAdd`).
+///
+/// Positions present in both operands get `op(u, v)`; positions present in
+/// only one get that operand's value cast into the output domain.
+pub fn ewise_add_vector<A, B, C, Op>(
+    out: &mut Vector<C>,
+    mask: Option<&VectorMask>,
+    accum: Option<&dyn BinaryOp<C, C, C>>,
+    op: &Op,
+    u: &Vector<A>,
+    v: &Vector<B>,
+    desc: Descriptor,
+) -> Info
+where
+    A: Scalar + CastTo<C>,
+    B: Scalar + CastTo<C>,
+    C: Scalar,
+    Op: BinaryOp<A, B, C> + ?Sized,
+{
+    out.check_same_size(u.size())?;
+    out.check_same_size(v.size())?;
+    if let Some(m) = mask {
+        out.check_same_size(m.size())?;
+    }
+    let t = union_merge(
+        u.indices(),
+        u.values(),
+        v.indices(),
+        v.values(),
+        |a| a.cast(),
+        |b| b.cast(),
+        |a, b| op.apply(a, b),
+    );
+    let z = accum_merge(out, t, accum);
+    mask_write_vector(out, z, mask, desc);
+    Ok(())
+}
+
+/// `out<mask> ⊙= u (op-intersect) v` (`GrB_Vector_eWiseMult`).
+///
+/// Only positions present in *both* operands produce a result.
+pub fn ewise_mult_vector<A, B, C, Op>(
+    out: &mut Vector<C>,
+    mask: Option<&VectorMask>,
+    accum: Option<&dyn BinaryOp<C, C, C>>,
+    op: &Op,
+    u: &Vector<A>,
+    v: &Vector<B>,
+    desc: Descriptor,
+) -> Info
+where
+    A: Scalar,
+    B: Scalar,
+    C: Scalar,
+    Op: BinaryOp<A, B, C> + ?Sized,
+{
+    out.check_same_size(u.size())?;
+    out.check_same_size(v.size())?;
+    if let Some(m) = mask {
+        out.check_same_size(m.size())?;
+    }
+    let t = intersect_merge(u.indices(), u.values(), v.indices(), v.values(), |a, b| {
+        op.apply(a, b)
+    });
+    let z = accum_merge(out, t, accum);
+    mask_write_vector(out, z, mask, desc);
+    Ok(())
+}
+
+fn check_matrix_dims<A: Scalar, B: Scalar, C: Scalar>(
+    out: &Matrix<C>,
+    mask: Option<&MatrixMask>,
+    u: &Matrix<A>,
+    v: &Matrix<B>,
+) -> Info {
+    check_dims("nrows", out.nrows(), u.nrows())?;
+    check_dims("ncols", out.ncols(), u.ncols())?;
+    check_dims("nrows", out.nrows(), v.nrows())?;
+    check_dims("ncols", out.ncols(), v.ncols())?;
+    if let Some(m) = mask {
+        check_dims("mask nrows", out.nrows(), m.nrows())?;
+        check_dims("mask ncols", out.ncols(), m.ncols())?;
+    }
+    Ok(())
+}
+
+/// `out<mask> ⊙= u (op-union) v` for matrices (`GrB_Matrix_eWiseAdd`).
+pub fn ewise_add_matrix<A, B, C, Op>(
+    out: &mut Matrix<C>,
+    mask: Option<&MatrixMask>,
+    accum: Option<&dyn BinaryOp<C, C, C>>,
+    op: &Op,
+    u: &Matrix<A>,
+    v: &Matrix<B>,
+    desc: Descriptor,
+) -> Info
+where
+    A: Scalar + CastTo<C>,
+    B: Scalar + CastTo<C>,
+    C: Scalar,
+    Op: BinaryOp<A, B, C> + ?Sized,
+{
+    check_matrix_dims(out, mask, u, v)?;
+    let mut t = SparseMat::empty(u.nrows(), u.ncols());
+    for r in 0..u.nrows() {
+        let (uc, uv) = u.row(r);
+        let (vc, vv) = v.row(r);
+        let merged = union_merge(uc, uv, vc, vv, |a| a.cast(), |b| b.cast(), |a, b| {
+            op.apply(a, b)
+        });
+        t.col_idx.extend_from_slice(&merged.indices);
+        t.values.extend_from_slice(&merged.values);
+        t.row_ptr[r + 1] = t.col_idx.len();
+    }
+    let z = accum_merge_matrix(out, t, accum);
+    mask_write_matrix(out, z, mask, desc);
+    Ok(())
+}
+
+/// `out<mask> ⊙= u (op-intersect) v` for matrices — the Hadamard product
+/// used by the paper's filtering pattern `A_{G1} = B ∘ A_G` (Sec. II-E).
+pub fn ewise_mult_matrix<A, B, C, Op>(
+    out: &mut Matrix<C>,
+    mask: Option<&MatrixMask>,
+    accum: Option<&dyn BinaryOp<C, C, C>>,
+    op: &Op,
+    u: &Matrix<A>,
+    v: &Matrix<B>,
+    desc: Descriptor,
+) -> Info
+where
+    A: Scalar,
+    B: Scalar,
+    C: Scalar,
+    Op: BinaryOp<A, B, C> + ?Sized,
+{
+    check_matrix_dims(out, mask, u, v)?;
+    let mut t = SparseMat::empty(u.nrows(), u.ncols());
+    for r in 0..u.nrows() {
+        let (uc, uv) = u.row(r);
+        let (vc, vv) = v.row(r);
+        let merged = intersect_merge(uc, uv, vc, vv, |a, b| op.apply(a, b));
+        t.col_idx.extend_from_slice(&merged.indices);
+        t.values.extend_from_slice(&merged.values);
+        t.row_ptr[r + 1] = t.col_idx.len();
+    }
+    let z = accum_merge_matrix(out, t, accum);
+    mask_write_matrix(out, z, mask, desc);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::binary::{LOr, Lt, Min, Plus, Times};
+
+    #[test]
+    fn ewise_add_union_semantics() {
+        let u = Vector::from_entries(5, vec![(0, 1.0), (2, 3.0)]).unwrap();
+        let v = Vector::from_entries(5, vec![(2, 10.0), (4, 40.0)]).unwrap();
+        let mut out = Vector::new(5);
+        ewise_add_vector(&mut out, None, None, &Plus::<f64>::new(), &u, &v, Descriptor::new())
+            .unwrap();
+        assert_eq!(out.get(0), Some(1.0)); // u only: passed through
+        assert_eq!(out.get(2), Some(13.0)); // both: op applied
+        assert_eq!(out.get(4), Some(40.0)); // v only: passed through
+    }
+
+    #[test]
+    fn ewise_add_noncommutative_pitfall() {
+        // Sec. V-B: (t_Req < t) with a lone t value passes t through,
+        // cast to bool — true for any non-zero value, NOT "false".
+        let t_req = Vector::from_entries(3, vec![(0, 5.0f64)]).unwrap();
+        let t = Vector::from_entries(3, vec![(0, 9.0f64), (1, 7.0)]).unwrap();
+        let mut tless: Vector<bool> = Vector::new(3);
+        ewise_add_vector(
+            &mut tless,
+            None,
+            None,
+            &Lt::<f64>::new(),
+            &t_req,
+            &t,
+            Descriptor::new(),
+        )
+        .unwrap();
+        assert_eq!(tless.get(0), Some(true)); // both present: 5 < 9
+        assert_eq!(tless.get(1), Some(true)); // t-only: 7.0 cast to bool = true (the pitfall!)
+    }
+
+    #[test]
+    fn ewise_add_pitfall_fix_with_treq_mask() {
+        // The paper's fix: mask the eWiseAdd with t_Req so positions with no
+        // request never reach the output (Fig. 2 line 48).
+        let t_req = Vector::from_entries(3, vec![(0, 5.0f64)]).unwrap();
+        let t = Vector::from_entries(3, vec![(0, 9.0f64), (1, 7.0)]).unwrap();
+        let mut tless: Vector<bool> = Vector::new(3);
+        ewise_add_vector(
+            &mut tless,
+            Some(&t_req.mask()),
+            None,
+            &Lt::<f64>::new(),
+            &t_req,
+            &t,
+            Descriptor::replace(),
+        )
+        .unwrap();
+        assert_eq!(tless.get(0), Some(true));
+        assert_eq!(tless.get(1), None); // masked out: correct
+    }
+
+    #[test]
+    fn ewise_add_min_merges_distances() {
+        // Fig. 2 line 51: t = min(t, tReq).
+        let t = Vector::from_entries(4, vec![(0, 0.0), (1, 5.0)]).unwrap();
+        let t_req = Vector::from_entries(4, vec![(1, 3.0), (2, 8.0)]).unwrap();
+        let mut out = t.clone();
+        ewise_add_vector(&mut out, None, None, &Min::<f64>::new(), &t, &t_req, Descriptor::new())
+            .unwrap();
+        assert_eq!(out.get(0), Some(0.0));
+        assert_eq!(out.get(1), Some(3.0));
+        assert_eq!(out.get(2), Some(8.0));
+    }
+
+    #[test]
+    fn ewise_mult_intersection_semantics() {
+        let u = Vector::from_entries(5, vec![(0, 1.0), (2, 3.0)]).unwrap();
+        let v = Vector::from_entries(5, vec![(2, 10.0), (4, 40.0)]).unwrap();
+        let mut out = Vector::new(5);
+        ewise_mult_vector(&mut out, None, None, &Times::<f64>::new(), &u, &v, Descriptor::new())
+            .unwrap();
+        assert_eq!(out.nvals(), 1);
+        assert_eq!(out.get(2), Some(30.0));
+    }
+
+    #[test]
+    fn ewise_add_bool_accumulates_set_union() {
+        // Fig. 2 line 45: s = s LOR tB.
+        let s = Vector::from_entries(4, vec![(0, true)]).unwrap();
+        let tb = Vector::from_entries(4, vec![(2, true)]).unwrap();
+        let mut out = s.clone();
+        ewise_add_vector(&mut out, None, None, &LOr, &s, &tb, Descriptor::new()).unwrap();
+        assert_eq!(out.get(0), Some(true));
+        assert_eq!(out.get(2), Some(true));
+        assert_eq!(out.nvals(), 2);
+    }
+
+    #[test]
+    fn ewise_dims_checked() {
+        let u: Vector<f64> = Vector::new(3);
+        let v: Vector<f64> = Vector::new(4);
+        let mut out: Vector<f64> = Vector::new(3);
+        assert!(
+            ewise_add_vector(&mut out, None, None, &Plus::<f64>::new(), &u, &v, Descriptor::new())
+                .is_err()
+        );
+        assert!(ewise_mult_vector(
+            &mut out,
+            None,
+            None,
+            &Times::<f64>::new(),
+            &u,
+            &v,
+            Descriptor::new()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn matrix_hadamard_filters_pattern() {
+        // A .* B keeps only positions present in both (Sec. II-E filtering).
+        let a = Matrix::from_triples(2, 2, vec![(0, 0, 2.0), (0, 1, 3.0), (1, 1, 4.0)]).unwrap();
+        let b = Matrix::from_triples(2, 2, vec![(0, 1, 1.0), (1, 1, 1.0)]).unwrap();
+        let mut out: Matrix<f64> = Matrix::new(2, 2);
+        ewise_mult_matrix(&mut out, None, None, &Times::<f64>::new(), &a, &b, Descriptor::new())
+            .unwrap();
+        assert_eq!(out.get(0, 0), None);
+        assert_eq!(out.get(0, 1), Some(3.0));
+        assert_eq!(out.get(1, 1), Some(4.0));
+    }
+
+    #[test]
+    fn matrix_ewise_add_union() {
+        let a = Matrix::from_triples(2, 2, vec![(0, 0, 1)]).unwrap();
+        let b = Matrix::from_triples(2, 2, vec![(0, 0, 10), (1, 0, 20)]).unwrap();
+        let mut out: Matrix<i32> = Matrix::new(2, 2);
+        ewise_add_matrix(&mut out, None, None, &Plus::<i32>::new(), &a, &b, Descriptor::new())
+            .unwrap();
+        assert_eq!(out.get(0, 0), Some(11));
+        assert_eq!(out.get(1, 0), Some(20));
+        out.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,207 @@
+//! `GxB_eWiseUnion`: element-wise union with explicit fill values — the
+//! operation SuiteSparse later added as the *proper* fix for the very
+//! pitfall the paper's Sec. V-B documents.
+//!
+//! Where `eWiseAdd` passes a lone operand through (typecast and all),
+//! `eWiseUnion` always applies the operator, substituting `alpha` for a
+//! missing `u` entry and `beta` for a missing `v` entry. The paper's
+//! troublesome `t_Req < t` becomes simply
+//! `ewise_union(Lt, t_Req, ∞, t, ∞)`: a missing `t` means "still at ∞",
+//! and a missing `t_Req` means "no request" — both compare correctly with
+//! no mask tricks.
+
+use crate::descriptor::Descriptor;
+use crate::error::{check_dims, Info};
+use crate::mask::{MatrixMask, VectorMask};
+use crate::matrix::Matrix;
+use crate::ops::binary::BinaryOp;
+use crate::ops::write::{
+    accum_merge, accum_merge_matrix, mask_write_matrix, mask_write_vector, union_merge, SparseMat,
+};
+use crate::types::Scalar;
+use crate::vector::Vector;
+
+/// `out<mask> ⊙= union(u ∪ alpha, v ∪ beta) under op`
+/// (`GxB_Vector_eWiseUnion`).
+#[allow(clippy::too_many_arguments)]
+pub fn ewise_union_vector<A, B, C, Op>(
+    out: &mut Vector<C>,
+    mask: Option<&VectorMask>,
+    accum: Option<&dyn BinaryOp<C, C, C>>,
+    op: &Op,
+    u: &Vector<A>,
+    alpha: A,
+    v: &Vector<B>,
+    beta: B,
+    desc: Descriptor,
+) -> Info
+where
+    A: Scalar,
+    B: Scalar,
+    C: Scalar,
+    Op: BinaryOp<A, B, C> + ?Sized,
+{
+    out.check_same_size(u.size())?;
+    out.check_same_size(v.size())?;
+    if let Some(m) = mask {
+        out.check_same_size(m.size())?;
+    }
+    let t = union_merge(
+        u.indices(),
+        u.values(),
+        v.indices(),
+        v.values(),
+        |a| op.apply(a, beta),
+        |b| op.apply(alpha, b),
+        |a, b| op.apply(a, b),
+    );
+    let z = accum_merge(out, t, accum);
+    mask_write_vector(out, z, mask, desc);
+    Ok(())
+}
+
+/// Matrix form of [`ewise_union_vector`] (`GxB_Matrix_eWiseUnion`).
+#[allow(clippy::too_many_arguments)]
+pub fn ewise_union_matrix<A, B, C, Op>(
+    out: &mut Matrix<C>,
+    mask: Option<&MatrixMask>,
+    accum: Option<&dyn BinaryOp<C, C, C>>,
+    op: &Op,
+    u: &Matrix<A>,
+    alpha: A,
+    v: &Matrix<B>,
+    beta: B,
+    desc: Descriptor,
+) -> Info
+where
+    A: Scalar,
+    B: Scalar,
+    C: Scalar,
+    Op: BinaryOp<A, B, C> + ?Sized,
+{
+    check_dims("nrows", out.nrows(), u.nrows())?;
+    check_dims("ncols", out.ncols(), u.ncols())?;
+    check_dims("nrows", out.nrows(), v.nrows())?;
+    check_dims("ncols", out.ncols(), v.ncols())?;
+    if let Some(m) = mask {
+        check_dims("mask nrows", out.nrows(), m.nrows())?;
+        check_dims("mask ncols", out.ncols(), m.ncols())?;
+    }
+    let mut t = SparseMat::empty(u.nrows(), u.ncols());
+    for r in 0..u.nrows() {
+        let (uc, uv) = u.row(r);
+        let (vc, vv) = v.row(r);
+        let merged = union_merge(
+            uc,
+            uv,
+            vc,
+            vv,
+            |a| op.apply(a, beta),
+            |b| op.apply(alpha, b),
+            |a, b| op.apply(a, b),
+        );
+        t.col_idx.extend_from_slice(&merged.indices);
+        t.values.extend_from_slice(&merged.values);
+        t.row_ptr[r + 1] = t.col_idx.len();
+    }
+    let z = accum_merge_matrix(out, t, accum);
+    mask_write_matrix(out, z, mask, desc);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::binary::{Lt, Min, Plus};
+
+    #[test]
+    fn union_fills_missing_sides() {
+        let u = Vector::from_entries(4, vec![(0, 1.0), (2, 3.0)]).unwrap();
+        let v = Vector::from_entries(4, vec![(2, 10.0), (3, 30.0)]).unwrap();
+        let mut out: Vector<f64> = Vector::new(4);
+        ewise_union_vector(
+            &mut out, None, None, &Plus::<f64>::new(), &u, 100.0, &v, 200.0, Descriptor::new(),
+        )
+        .unwrap();
+        assert_eq!(out.get(0), Some(201.0)); // u + beta
+        assert_eq!(out.get(2), Some(13.0)); // both
+        assert_eq!(out.get(3), Some(130.0)); // alpha + v
+        assert_eq!(out.get(1), None); // neither: still absent
+    }
+
+    #[test]
+    fn fixes_the_sec_vb_pitfall_directly() {
+        // t_Req < t with missing values defaulting to ∞ — no mask needed,
+        // no typecast pass-through, zero values fine.
+        let t_req = Vector::from_entries(4, vec![(0, 0.0f64), (1, 5.0)]).unwrap();
+        let t = Vector::from_entries(4, vec![(0, 2.0f64), (2, 7.0)]).unwrap();
+        let mut tless: Vector<bool> = Vector::new(4);
+        ewise_union_vector(
+            &mut tless,
+            None,
+            None,
+            &Lt::<f64>::new(),
+            &t_req,
+            f64::INFINITY,
+            &t,
+            f64::INFINITY,
+            Descriptor::new(),
+        )
+        .unwrap();
+        assert_eq!(tless.get(0), Some(true)); // 0.0 < 2.0: zero value handled
+        assert_eq!(tless.get(1), Some(true)); // 5.0 < ∞: new vertex handled
+        assert_eq!(tless.get(2), Some(false)); // ∞ < 7.0: lone t handled
+        assert_eq!(tless.get(3), None); // neither present
+    }
+
+    #[test]
+    fn min_with_infinity_fill_is_ewise_add_min() {
+        // With ∞ fills, union-min equals eWiseAdd-min (a consistency check).
+        let u = Vector::from_entries(5, vec![(0, 4.0), (2, 1.0)]).unwrap();
+        let v = Vector::from_entries(5, vec![(2, 3.0), (4, 2.0)]).unwrap();
+        let mut via_union: Vector<f64> = Vector::new(5);
+        ewise_union_vector(
+            &mut via_union,
+            None,
+            None,
+            &Min::<f64>::new(),
+            &u,
+            f64::INFINITY,
+            &v,
+            f64::INFINITY,
+            Descriptor::new(),
+        )
+        .unwrap();
+        let mut via_add: Vector<f64> = Vector::new(5);
+        crate::ops::ewise::ewise_add_vector(
+            &mut via_add, None, None, &Min::<f64>::new(), &u, &v, Descriptor::new(),
+        )
+        .unwrap();
+        assert_eq!(via_union, via_add);
+    }
+
+    #[test]
+    fn matrix_union() {
+        let a = Matrix::from_triples(2, 2, vec![(0, 0, 1)]).unwrap();
+        let b = Matrix::from_triples(2, 2, vec![(1, 1, 5)]).unwrap();
+        let mut out: Matrix<i32> = Matrix::new(2, 2);
+        ewise_union_matrix(
+            &mut out, None, None, &Plus::<i32>::new(), &a, -10, &b, -20, Descriptor::new(),
+        )
+        .unwrap();
+        assert_eq!(out.get(0, 0), Some(-19)); // 1 + beta
+        assert_eq!(out.get(1, 1), Some(-5)); // alpha + 5
+        assert_eq!(out.nvals(), 2);
+    }
+
+    #[test]
+    fn dims_checked() {
+        let u: Vector<f64> = Vector::new(3);
+        let v: Vector<f64> = Vector::new(4);
+        let mut out: Vector<f64> = Vector::new(3);
+        assert!(ewise_union_vector(
+            &mut out, None, None, &Plus::<f64>::new(), &u, 0.0, &v, 0.0, Descriptor::new(),
+        )
+        .is_err());
+    }
+}

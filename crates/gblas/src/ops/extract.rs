@@ -1,0 +1,158 @@
+//! `GrB_extract`: gather a sub-vector or sub-matrix by index lists, and
+//! `GrB_Vector_extractElement`.
+
+use crate::descriptor::Descriptor;
+use crate::error::{check_dims, check_index, GblasError, Info};
+use crate::mask::{MatrixMask, VectorMask};
+use crate::matrix::Matrix;
+use crate::ops::binary::BinaryOp;
+use crate::ops::write::{
+    accum_merge, accum_merge_matrix, mask_write_matrix, mask_write_vector, SparseMat, SparseVec,
+};
+use crate::types::Scalar;
+use crate::vector::Vector;
+
+/// Read one stored element, `GrB_NO_VALUE` if absent
+/// (`GrB_Vector_extractElement`).
+pub fn extract_element<T: Scalar>(v: &Vector<T>, index: usize) -> Info<T> {
+    check_index(index, v.size())?;
+    v.get(index).ok_or(GblasError::NoValue)
+}
+
+/// `out<mask> ⊙= u(indices)` (`GrB_Vector_extract`): `out[k] = u[indices[k]]`
+/// for each `k`; absent source positions stay absent.
+pub fn extract_subvector<T: Scalar>(
+    out: &mut Vector<T>,
+    mask: Option<&VectorMask>,
+    accum: Option<&dyn BinaryOp<T, T, T>>,
+    u: &Vector<T>,
+    indices: &[usize],
+    desc: Descriptor,
+) -> Info {
+    check_dims("out size vs index count", indices.len(), out.size())?;
+    if let Some(m) = mask {
+        check_dims("mask size", out.size(), m.size())?;
+    }
+    let mut entries: Vec<(usize, T)> = Vec::new();
+    for (k, &i) in indices.iter().enumerate() {
+        check_index(i, u.size())?;
+        if let Some(val) = u.get(i) {
+            entries.push((k, val));
+        }
+    }
+    entries.sort_unstable_by_key(|&(k, _)| k);
+    let mut t = SparseVec::with_capacity(entries.len());
+    for (k, val) in entries {
+        t.push(k, val);
+    }
+    let z = accum_merge(out, t, accum);
+    mask_write_vector(out, z, mask, desc);
+    Ok(())
+}
+
+/// `out<mask> ⊙= A(rows, cols)` (`GrB_Matrix_extract`):
+/// `out[i][j] = A[rows[i]][cols[j]]`.
+pub fn extract_submatrix<T: Scalar>(
+    out: &mut Matrix<T>,
+    mask: Option<&MatrixMask>,
+    accum: Option<&dyn BinaryOp<T, T, T>>,
+    a: &Matrix<T>,
+    rows: &[usize],
+    cols: &[usize],
+    desc: Descriptor,
+) -> Info {
+    check_dims("out nrows vs row count", rows.len(), out.nrows())?;
+    check_dims("out ncols vs col count", cols.len(), out.ncols())?;
+    if let Some(m) = mask {
+        check_dims("mask nrows", out.nrows(), m.nrows())?;
+        check_dims("mask ncols", out.ncols(), m.ncols())?;
+    }
+    for &r in rows {
+        check_index(r, a.nrows())?;
+    }
+    // Inverse column map: source column -> output positions (a column may be
+    // selected more than once).
+    let mut col_map: Vec<Vec<usize>> = vec![Vec::new(); a.ncols()];
+    for (j, &c) in cols.iter().enumerate() {
+        check_index(c, a.ncols())?;
+        col_map[c].push(j);
+    }
+    let mut t = SparseMat::empty(rows.len(), cols.len());
+    let mut row_entries: Vec<(usize, T)> = Vec::new();
+    for (i, &r) in rows.iter().enumerate() {
+        row_entries.clear();
+        let (rcols, rvals) = a.row(r);
+        for (&c, &v) in rcols.iter().zip(rvals.iter()) {
+            for &j in &col_map[c] {
+                row_entries.push((j, v));
+            }
+        }
+        row_entries.sort_unstable_by_key(|&(j, _)| j);
+        for &(j, v) in &row_entries {
+            t.col_idx.push(j);
+            t.values.push(v);
+        }
+        t.row_ptr[i + 1] = t.col_idx.len();
+    }
+    let z = accum_merge_matrix(out, t, accum);
+    mask_write_matrix(out, z, mask, desc);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extract_element_present_and_absent() {
+        let v = Vector::from_entries(4, vec![(1, 5.0)]).unwrap();
+        assert_eq!(extract_element(&v, 1).unwrap(), 5.0);
+        assert_eq!(extract_element(&v, 2), Err(GblasError::NoValue));
+        assert!(matches!(
+            extract_element(&v, 9),
+            Err(GblasError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn extract_subvector_gathers() {
+        let u = Vector::from_entries(6, vec![(0, 10), (2, 20), (5, 50)]).unwrap();
+        let mut out = Vector::new(3);
+        extract_subvector(&mut out, None, None, &u, &[5, 1, 2], Descriptor::new()).unwrap();
+        assert_eq!(out.get(0), Some(50));
+        assert_eq!(out.get(1), None); // u[1] absent
+        assert_eq!(out.get(2), Some(20));
+    }
+
+    #[test]
+    fn extract_subvector_checks() {
+        let u: Vector<i32> = Vector::new(3);
+        let mut out: Vector<i32> = Vector::new(2);
+        assert!(extract_subvector(&mut out, None, None, &u, &[0], Descriptor::new()).is_err());
+        assert!(extract_subvector(&mut out, None, None, &u, &[0, 7], Descriptor::new()).is_err());
+    }
+
+    #[test]
+    fn extract_submatrix_reorders() {
+        let a = Matrix::from_triples(3, 3, vec![(0, 0, 1), (1, 1, 2), (2, 2, 3), (0, 2, 4)])
+            .unwrap();
+        let mut out: Matrix<i32> = Matrix::new(2, 2);
+        // Select rows [2,0], cols [2,0]: a permuted corner.
+        extract_submatrix(&mut out, None, None, &a, &[2, 0], &[2, 0], Descriptor::new()).unwrap();
+        assert_eq!(out.get(0, 0), Some(3)); // a[2][2]
+        assert_eq!(out.get(1, 1), Some(1)); // a[0][0]
+        assert_eq!(out.get(1, 0), Some(4)); // a[0][2]
+        assert_eq!(out.get(0, 1), None); // a[2][0] absent
+        out.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn extract_submatrix_duplicate_columns() {
+        let a = Matrix::from_triples(1, 2, vec![(0, 1, 9)]).unwrap();
+        let mut out: Matrix<i32> = Matrix::new(1, 3);
+        extract_submatrix(&mut out, None, None, &a, &[0], &[1, 1, 0], Descriptor::new()).unwrap();
+        assert_eq!(out.get(0, 0), Some(9));
+        assert_eq!(out.get(0, 1), Some(9));
+        assert_eq!(out.get(0, 2), None);
+    }
+}

@@ -1,0 +1,350 @@
+//! Index-unary operators (`GrB_IndexUnaryOp`, GraphBLAS v2.0): functions
+//! of `(value, row, col)` used by positional `apply` and by `select`.
+//!
+//! These generalize the closure predicates of [`crate::ops::select`] into
+//! named, reusable operators: the structural family (`tril`, `triu`,
+//! `diag`, `offdiag`, `row/col` comparisons) and the value-threshold
+//! family (`value_le`, `value_gt`, …) that delta-stepping's light/heavy
+//! split is an instance of.
+
+use std::marker::PhantomData;
+
+use crate::descriptor::Descriptor;
+use crate::error::Info;
+use crate::mask::{MatrixMask, VectorMask};
+use crate::matrix::Matrix;
+use crate::ops::binary::BinaryOp;
+use crate::ops::select::{select_matrix, select_vector};
+use crate::ops::write::{accum_merge, accum_merge_matrix, mask_write_matrix, mask_write_vector, SparseMat, SparseVec};
+use crate::types::Scalar;
+use crate::vector::Vector;
+
+/// A function of a stored entry and its position: `(value, row, col) -> B`.
+/// For vectors, `col` is `0`.
+pub trait IndexUnaryOp<A, B>: Send + Sync {
+    /// Evaluate at a stored entry.
+    fn apply(&self, value: A, row: usize, col: usize) -> B;
+}
+
+/// An index-unary operator from a closure (`GrB_IndexUnaryOp_new`).
+pub struct FnIndexUnary<F>(F);
+
+impl<F> FnIndexUnary<F> {
+    /// Wrap a closure.
+    pub fn new(f: F) -> Self {
+        FnIndexUnary(f)
+    }
+}
+
+impl<A, B, F> IndexUnaryOp<A, B> for FnIndexUnary<F>
+where
+    F: Fn(A, usize, usize) -> B + Send + Sync,
+{
+    #[inline]
+    fn apply(&self, value: A, row: usize, col: usize) -> B {
+        (self.0)(value, row, col)
+    }
+}
+
+macro_rules! positional_pred {
+    ($(#[$doc:meta])* $name:ident, |$v:ident, $r:ident, $c:ident| $body:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Default, Clone, Copy)]
+        pub struct $name<T>(PhantomData<T>);
+
+        impl<T> $name<T> {
+            /// Construct the operator.
+            pub fn new() -> Self {
+                $name(PhantomData)
+            }
+        }
+
+        impl<T: Scalar> IndexUnaryOp<T, bool> for $name<T> {
+            #[inline]
+            fn apply(&self, $v: T, $r: usize, $c: usize) -> bool {
+                let _ = $v;
+                $body
+            }
+        }
+    };
+}
+
+positional_pred!(
+    /// `GrB_TRIL`: entries on or below the diagonal.
+    Tril, |v, r, c| c <= r
+);
+positional_pred!(
+    /// `GrB_TRIU`: entries on or above the diagonal.
+    Triu, |v, r, c| c >= r
+);
+positional_pred!(
+    /// `GrB_DIAG`: diagonal entries.
+    Diag, |v, r, c| r == c
+);
+positional_pred!(
+    /// `GrB_OFFDIAG`: off-diagonal entries (the simple-graph cleanup of
+    /// Sec. II-A: "the diagonal elements of the adjacency matrix are empty").
+    OffDiag, |v, r, c| r != c
+);
+
+/// `GrB_VALUELE`: `value <= threshold` — the light-edge predicate.
+#[derive(Debug, Clone, Copy)]
+pub struct ValueLe<T>(pub T);
+
+impl<T: Scalar + PartialOrd> IndexUnaryOp<T, bool> for ValueLe<T> {
+    #[inline]
+    fn apply(&self, value: T, _r: usize, _c: usize) -> bool {
+        value <= self.0
+    }
+}
+
+/// `GrB_VALUEGT`: `value > threshold` — the heavy-edge predicate.
+#[derive(Debug, Clone, Copy)]
+pub struct ValueGt<T>(pub T);
+
+impl<T: Scalar + PartialOrd> IndexUnaryOp<T, bool> for ValueGt<T> {
+    #[inline]
+    fn apply(&self, value: T, _r: usize, _c: usize) -> bool {
+        value > self.0
+    }
+}
+
+/// `GrB_ROWINDEX`: returns the row index (plus an offset) — positional
+/// apply, useful for building parent vectors.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RowIndex<T>(PhantomData<T>);
+
+impl<T> RowIndex<T> {
+    /// Construct the operator.
+    pub fn new() -> Self {
+        RowIndex(PhantomData)
+    }
+}
+
+impl<T: Scalar> IndexUnaryOp<T, usize> for RowIndex<T> {
+    #[inline]
+    fn apply(&self, _value: T, row: usize, _col: usize) -> usize {
+        row
+    }
+}
+
+/// `GrB_COLINDEX` for matrices.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ColIndex<T>(PhantomData<T>);
+
+impl<T> ColIndex<T> {
+    /// Construct the operator.
+    pub fn new() -> Self {
+        ColIndex(PhantomData)
+    }
+}
+
+impl<T: Scalar> IndexUnaryOp<T, usize> for ColIndex<T> {
+    #[inline]
+    fn apply(&self, _value: T, _row: usize, col: usize) -> usize {
+        col
+    }
+}
+
+/// `GrB_Vector_apply_IndexOp`: positional apply on a vector.
+pub fn vector_apply_indexop<A, B, Op>(
+    out: &mut Vector<B>,
+    mask: Option<&VectorMask>,
+    accum: Option<&dyn BinaryOp<B, B, B>>,
+    op: &Op,
+    input: &Vector<A>,
+    desc: Descriptor,
+) -> Info
+where
+    A: Scalar,
+    B: Scalar,
+    Op: IndexUnaryOp<A, B> + ?Sized,
+{
+    out.check_same_size(input.size())?;
+    if let Some(m) = mask {
+        out.check_same_size(m.size())?;
+    }
+    let mut t = SparseVec::with_capacity(input.nvals());
+    for (i, v) in input.iter() {
+        t.push(i, op.apply(v, i, 0));
+    }
+    let z = accum_merge(out, t, accum);
+    mask_write_vector(out, z, mask, desc);
+    Ok(())
+}
+
+/// `GrB_Matrix_apply_IndexOp`: positional apply on a matrix.
+pub fn matrix_apply_indexop<A, B, Op>(
+    out: &mut Matrix<B>,
+    mask: Option<&MatrixMask>,
+    accum: Option<&dyn BinaryOp<B, B, B>>,
+    op: &Op,
+    input: &Matrix<A>,
+    desc: Descriptor,
+) -> Info
+where
+    A: Scalar,
+    B: Scalar,
+    Op: IndexUnaryOp<A, B> + ?Sized,
+{
+    crate::error::check_dims("nrows", out.nrows(), input.nrows())?;
+    crate::error::check_dims("ncols", out.ncols(), input.ncols())?;
+    if let Some(m) = mask {
+        crate::error::check_dims("mask nrows", out.nrows(), m.nrows())?;
+        crate::error::check_dims("mask ncols", out.ncols(), m.ncols())?;
+    }
+    let mut t = SparseMat::empty(input.nrows(), input.ncols());
+    for r in 0..input.nrows() {
+        let (cols, vals) = input.row(r);
+        for (&c, &v) in cols.iter().zip(vals.iter()) {
+            t.col_idx.push(c);
+            t.values.push(op.apply(v, r, c));
+        }
+        t.row_ptr[r + 1] = t.col_idx.len();
+    }
+    let z = accum_merge_matrix(out, t, accum);
+    mask_write_matrix(out, z, mask, desc);
+    Ok(())
+}
+
+/// `GrB_Vector_select`: keep entries where the boolean index-unary
+/// operator holds.
+pub fn vector_select_indexop<T, Op>(
+    out: &mut Vector<T>,
+    mask: Option<&VectorMask>,
+    accum: Option<&dyn BinaryOp<T, T, T>>,
+    op: &Op,
+    input: &Vector<T>,
+    desc: Descriptor,
+) -> Info
+where
+    T: Scalar,
+    Op: IndexUnaryOp<T, bool> + ?Sized,
+{
+    select_vector(out, mask, accum, |i, v| op.apply(v, i, 0), input, desc)
+}
+
+/// `GrB_Matrix_select`: keep entries where the boolean index-unary
+/// operator holds. `select(A, ValueLe(Δ))` is the one-call light-edge
+/// split.
+pub fn matrix_select_indexop<T, Op>(
+    out: &mut Matrix<T>,
+    mask: Option<&MatrixMask>,
+    accum: Option<&dyn BinaryOp<T, T, T>>,
+    op: &Op,
+    input: &Matrix<T>,
+    desc: Descriptor,
+) -> Info
+where
+    T: Scalar,
+    Op: IndexUnaryOp<T, bool> + ?Sized,
+{
+    select_matrix(out, mask, accum, |r, c, v| op.apply(v, r, c), input, desc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix<f64> {
+        Matrix::from_triples(
+            3,
+            3,
+            vec![
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tril_triu_partition_with_diag_overlap() {
+        let a = sample();
+        let mut lo: Matrix<f64> = Matrix::new(3, 3);
+        matrix_select_indexop(&mut lo, None, None, &Tril::<f64>::new(), &a, Descriptor::new())
+            .unwrap();
+        let mut hi: Matrix<f64> = Matrix::new(3, 3);
+        matrix_select_indexop(&mut hi, None, None, &Triu::<f64>::new(), &a, Descriptor::new())
+            .unwrap();
+        let mut di: Matrix<f64> = Matrix::new(3, 3);
+        matrix_select_indexop(&mut di, None, None, &Diag::<f64>::new(), &a, Descriptor::new())
+            .unwrap();
+        assert_eq!(lo.nvals() + hi.nvals() - di.nvals(), a.nvals());
+        assert_eq!(lo.get(2, 0), Some(4.0));
+        assert_eq!(hi.get(0, 2), Some(2.0));
+        assert_eq!(di.nvals(), 3);
+    }
+
+    #[test]
+    fn offdiag_removes_self_loops() {
+        let a = sample();
+        let mut simple: Matrix<f64> = Matrix::new(3, 3);
+        matrix_select_indexop(
+            &mut simple,
+            None,
+            None,
+            &OffDiag::<f64>::new(),
+            &a,
+            Descriptor::new(),
+        )
+        .unwrap();
+        assert_eq!(simple.nvals(), 2);
+        assert_eq!(simple.get(0, 0), None);
+    }
+
+    #[test]
+    fn value_thresholds_split_light_heavy() {
+        let a = sample();
+        let mut light: Matrix<f64> = Matrix::new(3, 3);
+        matrix_select_indexop(&mut light, None, None, &ValueLe(2.5), &a, Descriptor::new())
+            .unwrap();
+        let mut heavy: Matrix<f64> = Matrix::new(3, 3);
+        matrix_select_indexop(&mut heavy, None, None, &ValueGt(2.5), &a, Descriptor::new())
+            .unwrap();
+        assert_eq!(light.nvals(), 2);
+        assert_eq!(heavy.nvals(), 3);
+        assert_eq!(light.nvals() + heavy.nvals(), a.nvals());
+    }
+
+    #[test]
+    fn positional_apply_row_and_col_index() {
+        let a = sample();
+        let mut rows: Matrix<usize> = Matrix::new(3, 3);
+        matrix_apply_indexop(&mut rows, None, None, &RowIndex::<f64>::new(), &a, Descriptor::new())
+            .unwrap();
+        assert_eq!(rows.get(2, 0), Some(2));
+        let mut cols: Matrix<usize> = Matrix::new(3, 3);
+        matrix_apply_indexop(&mut cols, None, None, &ColIndex::<f64>::new(), &a, Descriptor::new())
+            .unwrap();
+        assert_eq!(cols.get(2, 0), Some(0));
+        assert_eq!(cols.get(0, 2), Some(2));
+    }
+
+    #[test]
+    fn vector_indexop_select_and_apply() {
+        let v = Vector::from_entries(6, vec![(0, 5.0), (2, 1.0), (4, 3.0)]).unwrap();
+        let mut small: Vector<f64> = Vector::new(6);
+        vector_select_indexop(&mut small, None, None, &ValueLe(3.0), &v, Descriptor::new())
+            .unwrap();
+        assert_eq!(small.nvals(), 2);
+        let mut idx: Vector<usize> = Vector::new(6);
+        vector_apply_indexop(&mut idx, None, None, &RowIndex::<f64>::new(), &v, Descriptor::new())
+            .unwrap();
+        assert_eq!(idx.get(4), Some(4));
+    }
+
+    #[test]
+    fn closure_indexop() {
+        let a = sample();
+        // Keep strictly-upper entries with even column index.
+        let op = FnIndexUnary::new(|_v: f64, r: usize, c: usize| c > r && c.is_multiple_of(2));
+        let mut out: Matrix<f64> = Matrix::new(3, 3);
+        matrix_select_indexop(&mut out, None, None, &op, &a, Descriptor::new()).unwrap();
+        assert_eq!(out.nvals(), 1);
+        assert_eq!(out.get(0, 2), Some(2.0));
+    }
+}

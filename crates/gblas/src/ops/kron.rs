@@ -1,0 +1,125 @@
+//! Kronecker product (`GxB_kron`): the generator of the Kronecker/RMAT
+//! graph family the GraphChallenge datasets (Sec. VI-A) are built from.
+//!
+//! `C = A ⊗ B` has size `(A.nrows·B.nrows) × (A.ncols·B.ncols)` with
+//! `C[i_a·B.nrows + i_b, j_a·B.ncols + j_b] = mul(A[i_a,j_a], B[i_b,j_b])`.
+
+use crate::matrix::Matrix;
+use crate::ops::binary::BinaryOp;
+use crate::types::Scalar;
+
+/// Compute the Kronecker product `A ⊗ B` under `mul`.
+pub fn kron<A, B, C, Op>(mul: &Op, a: &Matrix<A>, b: &Matrix<B>) -> Matrix<C>
+where
+    A: Scalar,
+    B: Scalar,
+    C: Scalar,
+    Op: BinaryOp<A, B, C> + ?Sized,
+{
+    let nrows = a.nrows() * b.nrows();
+    let ncols = a.ncols() * b.ncols();
+    let nnz = a.nvals() * b.nvals();
+    let mut row_ptr = Vec::with_capacity(nrows + 1);
+    row_ptr.push(0usize);
+    let mut col_idx = Vec::with_capacity(nnz);
+    let mut values: Vec<C> = Vec::with_capacity(nnz);
+    for ia in 0..a.nrows() {
+        let (acols, avals) = a.row(ia);
+        for ib in 0..b.nrows() {
+            let (bcols, bvals) = b.row(ib);
+            // Output columns ja*B.ncols + jb ascend because ja and jb do.
+            for (&ja, &av) in acols.iter().zip(avals.iter()) {
+                for (&jb, &bv) in bcols.iter().zip(bvals.iter()) {
+                    col_idx.push(ja * b.ncols() + jb);
+                    values.push(mul.apply(av, bv));
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+    }
+    Matrix::from_csr_unchecked(nrows, ncols, row_ptr, col_idx, values)
+}
+
+/// The `k`-th Kronecker power `A ⊗ A ⊗ … ⊗ A` (`k ≥ 1`) — `k` levels of
+/// the recursive RMAT construction.
+pub fn kron_power<T, Op>(mul: &Op, a: &Matrix<T>, k: u32) -> Matrix<T>
+where
+    T: Scalar,
+    Op: BinaryOp<T, T, T> + ?Sized,
+{
+    assert!(k >= 1, "kron power needs k >= 1");
+    let mut acc = a.clone();
+    for _ in 1..k {
+        acc = kron(mul, &acc, a);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::binary::Times;
+
+    #[test]
+    fn kron_small_dense() {
+        // [1 2] ⊗ [0 1]  has block structure [0 1 0 2; 1 0 2 0; ...]
+        // [3 4]   [1 0]
+        let a = Matrix::from_dense(&[
+            vec![Some(1.0), Some(2.0)],
+            vec![Some(3.0), Some(4.0)],
+        ])
+        .unwrap();
+        let b = Matrix::from_dense(&[
+            vec![None, Some(1.0)],
+            vec![Some(1.0), None],
+        ])
+        .unwrap();
+        let c = kron(&Times::<f64>::new(), &a, &b);
+        assert_eq!(c.nrows(), 4);
+        assert_eq!(c.ncols(), 4);
+        assert_eq!(c.nvals(), 8);
+        assert_eq!(c.get(0, 1), Some(1.0)); // a00*b01
+        assert_eq!(c.get(1, 0), Some(1.0)); // a00*b10
+        assert_eq!(c.get(0, 3), Some(2.0)); // a01*b01
+        assert_eq!(c.get(3, 2), Some(4.0)); // a11*b10
+        assert_eq!(c.get(0, 0), None);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn kron_nnz_is_product() {
+        let a = Matrix::from_triples(3, 3, vec![(0, 1, 2.0), (2, 0, 3.0)]).unwrap();
+        let b = Matrix::from_triples(2, 2, vec![(0, 0, 1.0), (1, 1, 5.0), (0, 1, 7.0)]).unwrap();
+        let c = kron(&Times::<f64>::new(), &a, &b);
+        assert_eq!(c.nvals(), a.nvals() * b.nvals());
+        assert_eq!(c.nrows(), 6);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn kron_power_grows_like_rmat() {
+        // The 2x2 seed of the Kronecker graph model; its k-th power has
+        // 4^k vertices... rows: 2^k.
+        let seed = Matrix::from_dense(&[
+            vec![Some(1.0), Some(1.0)],
+            vec![Some(1.0), None],
+        ])
+        .unwrap();
+        let g3 = kron_power(&Times::<f64>::new(), &seed, 3);
+        assert_eq!(g3.nrows(), 8);
+        assert_eq!(g3.nvals(), 27); // 3^k edges
+        g3.check_invariants().unwrap();
+        let g1 = kron_power(&Times::<f64>::new(), &seed, 1);
+        assert_eq!(g1, seed);
+    }
+
+    #[test]
+    fn kron_with_empty_factor() {
+        let a = Matrix::from_triples(2, 2, vec![(0, 0, 1.0)]).unwrap();
+        let empty: Matrix<f64> = Matrix::new(2, 2);
+        let c = kron(&Times::<f64>::new(), &a, &empty);
+        assert_eq!(c.nvals(), 0);
+        assert_eq!(c.nrows(), 4);
+        c.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,131 @@
+//! Monoids (`GrB_Monoid`): an associative, commutative binary operator with
+//! an identity element. Monoids are the additive half of semirings and the
+//! operator of reductions.
+
+use crate::ops::binary::{BinaryOp, LAnd, LOr, LXor, Max, Min, Plus, Times};
+use crate::types::Num;
+
+/// A commutative monoid over `T`.
+pub trait Monoid<T>: BinaryOp<T, T, T> {
+    /// The identity element of the operation.
+    fn identity(&self) -> T;
+}
+
+/// A monoid built from any binary operator plus an explicit identity —
+/// the counterpart of `GrB_Monoid_new`.
+///
+/// The caller asserts associativity and commutativity; the property tests in
+/// this crate check them for all built-ins.
+#[derive(Debug, Clone, Copy)]
+pub struct CommutativeMonoid<Op, T> {
+    op: Op,
+    id: T,
+}
+
+impl<Op, T: Copy> CommutativeMonoid<Op, T> {
+    /// Construct a monoid from `op` with identity `id`.
+    pub fn new(op: Op, id: T) -> Self {
+        CommutativeMonoid { op, id }
+    }
+}
+
+impl<Op, T> BinaryOp<T, T, T> for CommutativeMonoid<Op, T>
+where
+    Op: BinaryOp<T, T, T>,
+    T: Send + Sync,
+{
+    #[inline]
+    fn apply(&self, a: T, b: T) -> T {
+        self.op.apply(a, b)
+    }
+}
+
+impl<Op, T> Monoid<T> for CommutativeMonoid<Op, T>
+where
+    Op: BinaryOp<T, T, T>,
+    T: Copy + Send + Sync,
+{
+    #[inline]
+    fn identity(&self) -> T {
+        self.id
+    }
+}
+
+/// `GrB_MIN_MONOID_T`: minimum with identity `+∞` / `T::MAX`.
+pub fn min<T: Num>() -> CommutativeMonoid<Min<T>, T> {
+    CommutativeMonoid::new(Min::new(), T::max_value())
+}
+
+/// `GrB_MAX_MONOID_T`: maximum with identity `-∞` / `T::MIN`.
+pub fn max<T: Num>() -> CommutativeMonoid<Max<T>, T> {
+    CommutativeMonoid::new(Max::new(), T::min_value())
+}
+
+/// `GrB_PLUS_MONOID_T`: addition with identity `0`.
+pub fn plus<T: Num>() -> CommutativeMonoid<Plus<T>, T> {
+    CommutativeMonoid::new(Plus::new(), T::zero())
+}
+
+/// `GrB_TIMES_MONOID_T`: multiplication with identity `1`.
+pub fn times<T: Num>() -> CommutativeMonoid<Times<T>, T> {
+    CommutativeMonoid::new(Times::new(), T::one())
+}
+
+/// `GrB_LOR_MONOID`: logical or with identity `false`.
+pub fn lor() -> CommutativeMonoid<LOr, bool> {
+    CommutativeMonoid::new(LOr, false)
+}
+
+/// `GrB_LAND_MONOID`: logical and with identity `true`.
+pub fn land() -> CommutativeMonoid<LAnd, bool> {
+    CommutativeMonoid::new(LAnd, true)
+}
+
+/// `GrB_LXOR_MONOID`: logical exclusive-or with identity `false`.
+pub fn lxor() -> CommutativeMonoid<LXor, bool> {
+    CommutativeMonoid::new(LXor, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities() {
+        assert_eq!(min::<f64>().identity(), f64::INFINITY);
+        assert_eq!(max::<i32>().identity(), i32::MIN);
+        assert_eq!(plus::<u64>().identity(), 0);
+        assert_eq!(times::<f32>().identity(), 1.0);
+        assert!(!lor().identity());
+        assert!(land().identity());
+        assert!(!lxor().identity());
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let m = min::<f64>();
+        assert_eq!(m.apply(m.identity(), 3.5), 3.5);
+        assert_eq!(m.apply(3.5, m.identity()), 3.5);
+        let p = plus::<i64>();
+        assert_eq!(p.apply(p.identity(), -7), -7);
+    }
+
+    #[test]
+    fn fold_with_monoid() {
+        let m = min::<i32>();
+        let values = [5, 3, 9, -2, 7];
+        let folded = values.iter().fold(m.identity(), |acc, &v| m.apply(acc, v));
+        assert_eq!(folded, -2);
+    }
+
+    #[test]
+    fn custom_monoid() {
+        // gcd is associative and commutative with identity 0.
+        fn gcd(a: u64, b: u64) -> u64 {
+            if b == 0 { a } else { gcd(b, a % b) }
+        }
+        let m = CommutativeMonoid::new(crate::ops::binary::FnBinary::new(gcd), 0u64);
+        assert_eq!(m.apply(12, 18), 6);
+        assert_eq!(m.apply(m.identity(), 42), 42);
+    }
+}

@@ -1,0 +1,243 @@
+//! `GrB_mxm`: sparse matrix × sparse matrix over a semiring, using
+//! Gustavson's row-wise algorithm with a dense accumulator.
+//!
+//! Needed for edge-centric patterns like the k-truss computation the paper
+//! cites in Sec. II-C (`S = A^T A ∘ A`), where the Hadamard mask removes
+//! fill-in.
+
+use crate::descriptor::Descriptor;
+use crate::error::{check_dims, Info};
+use crate::mask::MatrixMask;
+use crate::matrix::Matrix;
+use crate::ops::binary::BinaryOp;
+use crate::ops::monoid::Monoid;
+use crate::ops::semiring::Semiring;
+use crate::ops::transpose::transpose;
+use crate::ops::write::{accum_merge_matrix, mask_write_matrix, SparseMat};
+use crate::types::Scalar;
+use crate::vector::Vector;
+
+/// `out<mask> ⊙= A ⊕.⊗ B` (`GrB_mxm`).
+///
+/// With `desc.transpose_a` / `desc.transpose_b` the corresponding input is
+/// transposed first (materialized; O(nnz)).
+pub fn mxm<AD, BD, C, S>(
+    out: &mut Matrix<C>,
+    mask: Option<&MatrixMask>,
+    accum: Option<&dyn BinaryOp<C, C, C>>,
+    semiring: &S,
+    a: &Matrix<AD>,
+    b: &Matrix<BD>,
+    desc: Descriptor,
+) -> Info
+where
+    AD: Scalar,
+    BD: Scalar,
+    C: Scalar,
+    S: Semiring<AD, BD, C>,
+{
+    if desc.transpose_a {
+        let at = transpose(a);
+        let inner = Descriptor {
+            transpose_a: false,
+            ..desc
+        };
+        return mxm(out, mask, accum, semiring, &at, b, inner);
+    }
+    if desc.transpose_b {
+        let bt = transpose(b);
+        let inner = Descriptor {
+            transpose_b: false,
+            ..desc
+        };
+        return mxm(out, mask, accum, semiring, a, &bt, inner);
+    }
+    check_dims("inner (A.ncols vs B.nrows)", a.ncols(), b.nrows())?;
+    check_dims("out nrows", out.nrows(), a.nrows())?;
+    check_dims("out ncols", out.ncols(), b.ncols())?;
+    if let Some(m) = mask {
+        check_dims("mask nrows", out.nrows(), m.nrows())?;
+        check_dims("mask ncols", out.ncols(), m.ncols())?;
+    }
+
+    let add = semiring.add();
+    let mul = semiring.mul();
+    let ncols = b.ncols();
+    let mut t = SparseMat::empty(a.nrows(), ncols);
+    // Gustavson: per output row, scatter partial products into a dense
+    // accumulator, then compress the touched positions.
+    let mut acc: Vec<C> = vec![add.identity(); ncols];
+    let mut present = vec![false; ncols];
+    let mut touched: Vec<usize> = Vec::new();
+    for i in 0..a.nrows() {
+        touched.clear();
+        let (acols, avals) = a.row(i);
+        for (&k, &av) in acols.iter().zip(avals.iter()) {
+            let (bcols, bvals) = b.row(k);
+            for (&j, &bv) in bcols.iter().zip(bvals.iter()) {
+                let prod = mul.apply(av, bv);
+                if present[j] {
+                    acc[j] = add.apply(acc[j], prod);
+                } else {
+                    acc[j] = prod;
+                    present[j] = true;
+                    touched.push(j);
+                }
+            }
+        }
+        touched.sort_unstable();
+        for &j in &touched {
+            t.col_idx.push(j);
+            t.values.push(acc[j]);
+            present[j] = false;
+        }
+        t.row_ptr[i + 1] = t.col_idx.len();
+    }
+    let z = accum_merge_matrix(out, t, accum);
+    mask_write_matrix(out, z, mask, desc);
+    Ok(())
+}
+
+/// Convenience: `out = diag(v)`, a square matrix with `v`'s entries on the
+/// diagonal (`GrB_Matrix_diag`). Useful for building selector matrices
+/// (Sec. II-E's alternative filtering approach).
+pub fn diag<T: Scalar>(v: &Vector<T>) -> Matrix<T> {
+    let triples = v.iter().map(|(i, val)| (i, i, val)).collect();
+    Matrix::from_triples(v.size(), v.size(), triples)
+        .expect("diagonal indices are in bounds by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::ewise::ewise_mult_matrix;
+    use crate::ops::semiring::{plus_pair, plus_times};
+
+    #[test]
+    fn mxm_plus_times_small() {
+        // [1 2] [5 6]   [19 22]
+        // [3 4] [7 8] = [43 50]
+        let a = Matrix::from_dense(&[
+            vec![Some(1.0), Some(2.0)],
+            vec![Some(3.0), Some(4.0)],
+        ])
+        .unwrap();
+        let b = Matrix::from_dense(&[
+            vec![Some(5.0), Some(6.0)],
+            vec![Some(7.0), Some(8.0)],
+        ])
+        .unwrap();
+        let mut c: Matrix<f64> = Matrix::new(2, 2);
+        mxm(&mut c, None, None, &plus_times::<f64>(), &a, &b, Descriptor::new()).unwrap();
+        assert_eq!(c.get(0, 0), Some(19.0));
+        assert_eq!(c.get(0, 1), Some(22.0));
+        assert_eq!(c.get(1, 0), Some(43.0));
+        assert_eq!(c.get(1, 1), Some(50.0));
+    }
+
+    #[test]
+    fn mxm_sparse_no_fill_where_structurally_zero() {
+        let a = Matrix::from_triples(2, 2, vec![(0, 0, 1.0)]).unwrap();
+        let b = Matrix::from_triples(2, 2, vec![(1, 1, 1.0)]).unwrap();
+        let mut c: Matrix<f64> = Matrix::new(2, 2);
+        mxm(&mut c, None, None, &plus_times::<f64>(), &a, &b, Descriptor::new()).unwrap();
+        assert_eq!(c.nvals(), 0);
+    }
+
+    #[test]
+    fn ktruss_support_pattern() {
+        // Sec. II-C: S = (A^T A) ∘ A — triangle support per edge of an
+        // undirected triangle graph 0-1-2.
+        let edges = vec![
+            (0, 1, 1.0),
+            (1, 0, 1.0),
+            (1, 2, 1.0),
+            (2, 1, 1.0),
+            (0, 2, 1.0),
+            (2, 0, 1.0),
+        ];
+        let a = Matrix::from_triples(3, 3, edges).unwrap();
+        let mut ata: Matrix<u64> = Matrix::new(3, 3);
+        mxm(
+            &mut ata,
+            None,
+            None,
+            &plus_pair::<f64, u64>(),
+            &a,
+            &a,
+            Descriptor::new().with_transpose_a(),
+        )
+        .unwrap();
+        // Hadamard with A's structure removes fill-in (e.g. the diagonal).
+        let mut s: Matrix<u64> = Matrix::new(3, 3);
+        ewise_mult_matrix(
+            &mut s,
+            None,
+            None,
+            &crate::ops::binary::First::<u64, f64>::new(),
+            &ata,
+            &a,
+            Descriptor::new(),
+        )
+        .unwrap();
+        // Every edge of a triangle has support 1 (one common neighbour).
+        assert_eq!(s.nvals(), 6);
+        for (_, _, v) in s.iter() {
+            assert_eq!(v, 1);
+        }
+        assert_eq!(s.get(0, 0), None); // fill-in removed
+    }
+
+    #[test]
+    fn mxm_with_mask() {
+        let a = Matrix::from_dense(&[
+            vec![Some(1.0), Some(1.0)],
+            vec![Some(1.0), Some(1.0)],
+        ])
+        .unwrap();
+        let mask_m = Matrix::from_triples(2, 2, vec![(0, 0, true), (1, 1, true)]).unwrap();
+        let mut c: Matrix<f64> = Matrix::new(2, 2);
+        mxm(
+            &mut c,
+            Some(&mask_m.mask()),
+            None,
+            &plus_times::<f64>(),
+            &a,
+            &a,
+            Descriptor::replace(),
+        )
+        .unwrap();
+        assert_eq!(c.nvals(), 2);
+        assert_eq!(c.get(0, 0), Some(2.0));
+        assert_eq!(c.get(0, 1), None);
+    }
+
+    #[test]
+    fn mxm_dimension_checks() {
+        let a: Matrix<f64> = Matrix::new(2, 3);
+        let b: Matrix<f64> = Matrix::new(2, 2); // inner mismatch
+        let mut c: Matrix<f64> = Matrix::new(2, 2);
+        assert!(mxm(&mut c, None, None, &plus_times::<f64>(), &a, &b, Descriptor::new()).is_err());
+    }
+
+    #[test]
+    fn diag_builds_selector() {
+        let v = Vector::from_entries(3, vec![(0, 2.0), (2, 3.0)]).unwrap();
+        let d = diag(&v);
+        assert_eq!(d.get(0, 0), Some(2.0));
+        assert_eq!(d.get(2, 2), Some(3.0));
+        assert_eq!(d.nvals(), 2);
+        // Left-multiplying by diag(v) scales rows: selector-matrix filtering.
+        let a = Matrix::from_dense(&[
+            vec![Some(1.0), Some(1.0)],
+            vec![Some(1.0), Some(1.0)],
+            vec![Some(1.0), None],
+        ])
+        .unwrap();
+        let mut out: Matrix<f64> = Matrix::new(3, 2);
+        mxm(&mut out, None, None, &plus_times::<f64>(), &d, &a, Descriptor::new()).unwrap();
+        assert_eq!(out.get(0, 0), Some(2.0));
+        assert_eq!(out.get(1, 0), None); // row 1 deselected
+        assert_eq!(out.get(2, 0), Some(3.0));
+    }
+}

@@ -1,0 +1,141 @@
+//! `GrB_mxv`: matrix × column-vector over a semiring.
+//!
+//! With CSR storage this is the *pull* direction: each output row gathers
+//! over the intersection of its stored columns with `u`'s entries.
+
+use crate::descriptor::Descriptor;
+use crate::error::{check_dims, Info};
+use crate::mask::VectorMask;
+use crate::matrix::Matrix;
+use crate::ops::binary::BinaryOp;
+use crate::ops::monoid::Monoid;
+use crate::ops::semiring::Semiring;
+use crate::ops::transpose::transpose;
+use crate::ops::write::{accum_merge, mask_write_vector, SparseVec};
+use crate::types::Scalar;
+use crate::vector::Vector;
+
+/// `out<mask> ⊙= A ⊕.⊗ u` (`GrB_mxv`).
+///
+/// `u` has size `A.ncols()`; `out` has size `A.nrows()`. With
+/// `desc.transpose_a`, `A` is transposed first (materialized; O(nnz)).
+pub fn mxv<MD, UD, C, S>(
+    out: &mut Vector<C>,
+    mask: Option<&VectorMask>,
+    accum: Option<&dyn BinaryOp<C, C, C>>,
+    semiring: &S,
+    a: &Matrix<MD>,
+    u: &Vector<UD>,
+    desc: Descriptor,
+) -> Info
+where
+    MD: Scalar,
+    UD: Scalar,
+    C: Scalar,
+    S: Semiring<MD, UD, C>,
+{
+    if desc.transpose_a {
+        let at = transpose(a);
+        let inner = Descriptor {
+            transpose_a: false,
+            ..desc
+        };
+        return mxv(out, mask, accum, semiring, &at, u, inner);
+    }
+    check_dims("u size vs ncols", a.ncols(), u.size())?;
+    check_dims("out size vs nrows", a.nrows(), out.size())?;
+    if let Some(m) = mask {
+        check_dims("mask size", out.size(), m.size())?;
+    }
+
+    let add = semiring.add();
+    let mul = semiring.mul();
+    // Dense image of u for O(1) gather.
+    let u_dense = u.to_dense();
+    let mut t = SparseVec::with_capacity(a.nrows().min(64));
+    for i in 0..a.nrows() {
+        let (cols, vals) = a.row(i);
+        let mut acc = add.identity();
+        let mut any = false;
+        for (&j, &av) in cols.iter().zip(vals.iter()) {
+            if let Some(uv) = u_dense[j] {
+                let prod = mul.apply(av, uv);
+                acc = if any { add.apply(acc, prod) } else { prod };
+                any = true;
+            }
+        }
+        if any {
+            t.push(i, acc);
+        }
+    }
+    let z = accum_merge(out, t, accum);
+    mask_write_vector(out, z, mask, desc);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::semiring::{min_plus_f64, plus_times};
+
+    fn graph() -> Matrix<f64> {
+        Matrix::from_triples(
+            4,
+            4,
+            vec![(0, 1, 1.0), (0, 2, 4.0), (1, 2, 2.0), (2, 3, 1.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mxv_pull_direction() {
+        // A x over (min,+): out[i] = min_j A[i,j] + x[j] — distances *to*
+        // the frontier through out-edges.
+        let a = graph();
+        let x = Vector::from_entries(4, vec![(2, 0.0)]).unwrap();
+        let mut out = Vector::new(4);
+        mxv(&mut out, None, None, &min_plus_f64(), &a, &x, Descriptor::new()).unwrap();
+        assert_eq!(out.get(0), Some(4.0)); // 0 -> 2
+        assert_eq!(out.get(1), Some(2.0)); // 1 -> 2
+        assert_eq!(out.get(3), None);
+    }
+
+    #[test]
+    fn mxv_equals_vxm_on_transpose() {
+        let a = graph();
+        let x = Vector::from_entries(4, vec![(0, 0.0), (1, 1.0)]).unwrap();
+        let mut via_mxv = Vector::new(4);
+        mxv(
+            &mut via_mxv,
+            None,
+            None,
+            &min_plus_f64(),
+            &a,
+            &x,
+            Descriptor::new().with_transpose_a(),
+        )
+        .unwrap();
+        let mut via_vxm = Vector::new(4);
+        crate::ops::vxm::vxm(&mut via_vxm, None, None, &min_plus_f64(), &x, &a, Descriptor::new())
+            .unwrap();
+        assert_eq!(via_mxv, via_vxm);
+    }
+
+    #[test]
+    fn mxv_plus_times() {
+        let a = Matrix::from_triples(2, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]).unwrap();
+        let x = Vector::from_entries(3, vec![(0, 1.0), (1, 1.0), (2, 1.0)]).unwrap();
+        let mut out = Vector::new(2);
+        mxv(&mut out, None, None, &plus_times::<f64>(), &a, &x, Descriptor::new()).unwrap();
+        assert_eq!(out.get(0), Some(3.0));
+        assert_eq!(out.get(1), Some(3.0));
+    }
+
+    #[test]
+    fn mxv_dimension_checks() {
+        let a = graph();
+        let x: Vector<f64> = Vector::new(3);
+        let mut out: Vector<f64> = Vector::new(4);
+        assert!(mxv(&mut out, None, None, &min_plus_f64(), &a, &x, Descriptor::new()).is_err());
+    }
+}

@@ -1,0 +1,135 @@
+//! `GrB_reduce`: fold the stored entries of an object with a monoid.
+
+use crate::descriptor::Descriptor;
+use crate::error::{check_dims, Info};
+use crate::mask::VectorMask;
+use crate::matrix::Matrix;
+use crate::ops::binary::BinaryOp;
+use crate::ops::monoid::Monoid;
+use crate::ops::write::{accum_merge, mask_write_vector, SparseVec};
+use crate::types::Scalar;
+use crate::vector::Vector;
+
+/// Reduce all stored entries of a vector to a scalar
+/// (`GrB_Vector_reduce`). Returns the monoid identity when the vector
+/// stores nothing.
+pub fn reduce_vector<T: Scalar, M: Monoid<T>>(monoid: &M, v: &Vector<T>) -> T {
+    v.values()
+        .iter()
+        .fold(monoid.identity(), |acc, &x| monoid.apply(acc, x))
+}
+
+/// Reduce all stored entries of a matrix to a scalar
+/// (`GrB_Matrix_reduce`).
+pub fn reduce_matrix<T: Scalar, M: Monoid<T>>(monoid: &M, a: &Matrix<T>) -> T {
+    a.values()
+        .iter()
+        .fold(monoid.identity(), |acc, &x| monoid.apply(acc, x))
+}
+
+/// Row-wise reduction of a matrix into a vector
+/// (`GrB_Matrix_reduce_Monoid`): `out[i] = ⊕ over row i`. Rows with no
+/// stored entries produce no output entry. With `desc.transpose_a` the
+/// reduction runs over columns instead.
+pub fn reduce_matrix_to_vector<T: Scalar, M: Monoid<T>>(
+    out: &mut Vector<T>,
+    mask: Option<&VectorMask>,
+    accum: Option<&dyn BinaryOp<T, T, T>>,
+    monoid: &M,
+    a: &Matrix<T>,
+    desc: Descriptor,
+) -> Info {
+    if desc.transpose_a {
+        let at = crate::ops::transpose::transpose(a);
+        let inner = Descriptor {
+            transpose_a: false,
+            ..desc
+        };
+        return reduce_matrix_to_vector(out, mask, accum, monoid, &at, inner);
+    }
+    check_dims("out size vs nrows", a.nrows(), out.size())?;
+    if let Some(m) = mask {
+        check_dims("mask size", out.size(), m.size())?;
+    }
+    let mut t = SparseVec::with_capacity(a.nrows().min(64));
+    for i in 0..a.nrows() {
+        let (_, vals) = a.row(i);
+        if let Some((&first, rest)) = vals.split_first() {
+            let folded = rest.iter().fold(first, |acc, &x| monoid.apply(acc, x));
+            t.push(i, folded);
+        }
+    }
+    let z = accum_merge(out, t, accum);
+    mask_write_vector(out, z, mask, desc);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::monoid;
+
+    #[test]
+    fn reduce_vector_sum_and_min() {
+        let v = Vector::from_entries(5, vec![(0, 3.0), (2, 1.0), (4, 2.0)]).unwrap();
+        assert_eq!(reduce_vector(&monoid::plus::<f64>(), &v), 6.0);
+        assert_eq!(reduce_vector(&monoid::min::<f64>(), &v), 1.0);
+    }
+
+    #[test]
+    fn reduce_empty_vector_is_identity() {
+        let v: Vector<f64> = Vector::new(5);
+        assert_eq!(reduce_vector(&monoid::plus::<f64>(), &v), 0.0);
+        assert_eq!(reduce_vector(&monoid::min::<f64>(), &v), f64::INFINITY);
+    }
+
+    #[test]
+    fn reduce_matrix_scalar() {
+        let a = Matrix::from_triples(2, 2, vec![(0, 0, 1), (1, 1, 2)]).unwrap();
+        assert_eq!(reduce_matrix(&monoid::plus::<i32>(), &a), 3);
+    }
+
+    #[test]
+    fn reduce_rows_skips_empty_rows() {
+        let a = Matrix::from_triples(3, 3, vec![(0, 0, 1.0), (0, 2, 5.0), (2, 1, 2.0)]).unwrap();
+        let mut out = Vector::new(3);
+        reduce_matrix_to_vector(&mut out, None, None, &monoid::min::<f64>(), &a, Descriptor::new())
+            .unwrap();
+        assert_eq!(out.get(0), Some(1.0));
+        assert_eq!(out.get(1), None); // empty row: no entry
+        assert_eq!(out.get(2), Some(2.0));
+    }
+
+    #[test]
+    fn reduce_columns_with_transpose() {
+        let a = Matrix::from_triples(2, 3, vec![(0, 0, 1.0), (1, 0, 4.0), (1, 2, 2.0)]).unwrap();
+        let mut out = Vector::new(3);
+        reduce_matrix_to_vector(
+            &mut out,
+            None,
+            None,
+            &monoid::plus::<f64>(),
+            &a,
+            Descriptor::new().with_transpose_a(),
+        )
+        .unwrap();
+        assert_eq!(out.get(0), Some(5.0));
+        assert_eq!(out.get(1), None);
+        assert_eq!(out.get(2), Some(2.0));
+    }
+
+    #[test]
+    fn reduce_rows_dimension_check() {
+        let a: Matrix<f64> = Matrix::new(3, 3);
+        let mut out: Vector<f64> = Vector::new(2);
+        assert!(reduce_matrix_to_vector(
+            &mut out,
+            None,
+            None,
+            &monoid::min::<f64>(),
+            &a,
+            Descriptor::new()
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,139 @@
+//! `GxB_select`-style filtering: keep entries satisfying a predicate on
+//! `(position, value)`.
+//!
+//! The GraphBLAS C 1.x API has no select, which is why Fig. 2 needs *two*
+//! `GrB_apply` calls per filter; `select` does the same thing in one pass
+//! and is the obvious single-operation fusion of that idiom (Sec. VI-B's
+//! first fusion target). The unfused delta-stepping deliberately avoids it;
+//! the fused variants use it.
+
+use crate::descriptor::Descriptor;
+use crate::error::{check_dims, Info};
+use crate::mask::{MatrixMask, VectorMask};
+use crate::matrix::Matrix;
+use crate::ops::binary::BinaryOp;
+use crate::ops::write::{
+    accum_merge, accum_merge_matrix, mask_write_matrix, mask_write_vector, SparseMat, SparseVec,
+};
+use crate::types::Scalar;
+use crate::vector::Vector;
+
+/// `out<mask> ⊙= input where pred(index, value)`.
+pub fn select_vector<T, P>(
+    out: &mut Vector<T>,
+    mask: Option<&VectorMask>,
+    accum: Option<&dyn BinaryOp<T, T, T>>,
+    pred: P,
+    input: &Vector<T>,
+    desc: Descriptor,
+) -> Info
+where
+    T: Scalar,
+    P: Fn(usize, T) -> bool,
+{
+    out.check_same_size(input.size())?;
+    if let Some(m) = mask {
+        check_dims("mask size", out.size(), m.size())?;
+    }
+    let mut t = SparseVec::with_capacity(input.nvals());
+    for (i, v) in input.iter() {
+        if pred(i, v) {
+            t.push(i, v);
+        }
+    }
+    let z = accum_merge(out, t, accum);
+    mask_write_vector(out, z, mask, desc);
+    Ok(())
+}
+
+/// `out<mask> ⊙= input where pred(row, col, value)`.
+///
+/// Building the light-edge matrix in one pass — `A_L = select(A, w ≤ Δ)` —
+/// replaces the two-apply idiom of Fig. 2 lines 15–17.
+pub fn select_matrix<T, P>(
+    out: &mut Matrix<T>,
+    mask: Option<&MatrixMask>,
+    accum: Option<&dyn BinaryOp<T, T, T>>,
+    pred: P,
+    input: &Matrix<T>,
+    desc: Descriptor,
+) -> Info
+where
+    T: Scalar,
+    P: Fn(usize, usize, T) -> bool,
+{
+    check_dims("nrows", out.nrows(), input.nrows())?;
+    check_dims("ncols", out.ncols(), input.ncols())?;
+    if let Some(m) = mask {
+        check_dims("mask nrows", out.nrows(), m.nrows())?;
+        check_dims("mask ncols", out.ncols(), m.ncols())?;
+    }
+    let mut t = SparseMat::empty(input.nrows(), input.ncols());
+    for r in 0..input.nrows() {
+        let (cols, vals) = input.row(r);
+        for (&c, &v) in cols.iter().zip(vals.iter()) {
+            if pred(r, c, v) {
+                t.col_idx.push(c);
+                t.values.push(v);
+            }
+        }
+        t.row_ptr[r + 1] = t.col_idx.len();
+    }
+    let z = accum_merge_matrix(out, t, accum);
+    mask_write_matrix(out, z, mask, desc);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_vector_by_value() {
+        let v = Vector::from_entries(5, vec![(0, 1.0), (1, 3.0), (3, 2.0)]).unwrap();
+        let mut out = Vector::new(5);
+        select_vector(&mut out, None, None, |_, x| x <= 2.0, &v, Descriptor::new()).unwrap();
+        assert_eq!(out.get(0), Some(1.0));
+        assert_eq!(out.get(1), None);
+        assert_eq!(out.get(3), Some(2.0));
+    }
+
+    #[test]
+    fn select_vector_by_index() {
+        let v = Vector::full(6, 1u8);
+        let mut out = Vector::new(6);
+        select_vector(&mut out, None, None, |i, _| i % 2 == 0, &v, Descriptor::new()).unwrap();
+        assert_eq!(out.nvals(), 3);
+        assert_eq!(out.indices(), &[0, 2, 4]);
+    }
+
+    #[test]
+    fn select_matrix_light_edges_single_pass() {
+        let delta = 1.5f64;
+        let a = Matrix::from_triples(
+            2,
+            2,
+            vec![(0, 0, 1.0), (0, 1, 2.0), (1, 0, 0.5), (1, 1, 3.0)],
+        )
+        .unwrap();
+        let mut al: Matrix<f64> = Matrix::new(2, 2);
+        select_matrix(&mut al, None, None, |_, _, w| w <= delta, &a, Descriptor::new()).unwrap();
+        assert_eq!(al.get(0, 0), Some(1.0));
+        assert_eq!(al.get(1, 0), Some(0.5));
+        assert_eq!(al.get(0, 1), None);
+        al.check_invariants().unwrap();
+        // And the heavy complement:
+        let mut ah: Matrix<f64> = Matrix::new(2, 2);
+        select_matrix(&mut ah, None, None, |_, _, w| w > delta, &a, Descriptor::new()).unwrap();
+        assert_eq!(ah.nvals() + al.nvals(), a.nvals());
+    }
+
+    #[test]
+    fn select_off_diagonal() {
+        let a = Matrix::from_triples(2, 2, vec![(0, 0, 1), (0, 1, 2), (1, 1, 3)]).unwrap();
+        let mut out: Matrix<i32> = Matrix::new(2, 2);
+        select_matrix(&mut out, None, None, |r, c, _| r != c, &a, Descriptor::new()).unwrap();
+        assert_eq!(out.nvals(), 1);
+        assert_eq!(out.get(0, 1), Some(2));
+    }
+}

@@ -1,0 +1,206 @@
+//! Semirings (`GrB_Semiring`): an additive monoid paired with a
+//! multiplicative binary operator, driving `vxm`/`mxv`/`mxm`.
+//!
+//! The star of the paper is the tropical `(min, +)` semiring
+//! ([`min_plus_f64`] and friends), which turns sparse matrix–vector
+//! multiplication into simultaneous edge relaxation (Sec. IV-C).
+
+use crate::ops::binary::{BinaryOp, First, LAnd, Pair, PlusSat, Second, Times};
+use crate::ops::monoid::{self, CommutativeMonoid, Monoid};
+use crate::types::{MinPlusValue, Num};
+
+/// A semiring `(⊕, ⊗)` with `⊕` a commutative monoid over the output domain
+/// `C` and `⊗ : (A, B) -> C`.
+pub trait Semiring<A, B, C>: Send + Sync {
+    /// The additive monoid.
+    type Add: Monoid<C>;
+    /// The multiplicative operator.
+    type Mul: BinaryOp<A, B, C>;
+
+    /// Access the additive monoid.
+    fn add(&self) -> &Self::Add;
+    /// Access the multiplicative operator.
+    fn mul(&self) -> &Self::Mul;
+}
+
+/// A semiring assembled from parts (`GrB_Semiring_new`).
+#[derive(Debug, Clone, Copy)]
+pub struct SemiringPair<AddM, MulOp> {
+    add: AddM,
+    mul: MulOp,
+}
+
+impl<AddM, MulOp> SemiringPair<AddM, MulOp> {
+    /// Pair an additive monoid with a multiplicative operator.
+    pub fn new(add: AddM, mul: MulOp) -> Self {
+        SemiringPair { add, mul }
+    }
+}
+
+impl<A, B, C, AddM, MulOp> Semiring<A, B, C> for SemiringPair<AddM, MulOp>
+where
+    AddM: Monoid<C>,
+    MulOp: BinaryOp<A, B, C>,
+{
+    type Add = AddM;
+    type Mul = MulOp;
+
+    #[inline]
+    fn add(&self) -> &AddM {
+        &self.add
+    }
+    #[inline]
+    fn mul(&self) -> &MulOp {
+        &self.mul
+    }
+}
+
+/// The type of [`min_plus`] semirings.
+pub type MinPlusSemiring<T> =
+    SemiringPair<CommutativeMonoid<crate::ops::binary::Min<T>, T>, PlusSat<T>>;
+
+/// The tropical `(min, +)` semiring over any distance type: `⊕ = min` with
+/// identity `∞`, `⊗ =` saturating/IEEE addition. The paper's
+/// `min_plus_sring`.
+pub fn min_plus<T: MinPlusValue>() -> MinPlusSemiring<T> {
+    SemiringPair::new(
+        CommutativeMonoid::new(crate::ops::binary::Min::new(), T::infinity()),
+        PlusSat::new(),
+    )
+}
+
+/// `(min, +)` over `f64` — the semiring of Fig. 2's `GrB_vxm` calls.
+pub fn min_plus_f64() -> MinPlusSemiring<f64> {
+    min_plus()
+}
+
+/// `(min, +)` over `f32`.
+pub fn min_plus_f32() -> MinPlusSemiring<f32> {
+    min_plus()
+}
+
+/// `(min, +)` over `i64` (saturating weight addition).
+pub fn min_plus_i64() -> MinPlusSemiring<i64> {
+    min_plus()
+}
+
+/// The type of [`plus_times`] semirings.
+pub type PlusTimesSemiring<T> =
+    SemiringPair<CommutativeMonoid<crate::ops::binary::Plus<T>, T>, Times<T>>;
+
+/// The conventional arithmetic `(+, ×)` semiring.
+pub fn plus_times<T: Num>() -> PlusTimesSemiring<T> {
+    SemiringPair::new(monoid::plus(), Times::new())
+}
+
+/// The type of [`plus_pair`] semirings.
+pub type PlusPairSemiring<A, C> =
+    SemiringPair<CommutativeMonoid<crate::ops::binary::Plus<C>, C>, Pair<A, A, C>>;
+
+/// The structural counting semiring `(+, pair)`: each structural match adds
+/// one — used e.g. in triangle counting / k-truss (Sec. II-C).
+pub fn plus_pair<A: Send + Sync, C: Num>() -> PlusPairSemiring<A, C> {
+    SemiringPair::new(monoid::plus(), Pair::new())
+}
+
+/// The type of [`lor_land`] semirings.
+pub type LorLandSemiring = SemiringPair<CommutativeMonoid<crate::ops::binary::LOr, bool>, LAnd>;
+
+/// The boolean `(∨, ∧)` semiring for reachability (BFS frontier expansion).
+pub fn lor_land() -> LorLandSemiring {
+    SemiringPair::new(monoid::lor(), LAnd)
+}
+
+/// The type of [`min_first`] semirings.
+pub type MinFirstSemiring<T> =
+    SemiringPair<CommutativeMonoid<crate::ops::binary::Min<T>, T>, First<T, T>>;
+
+/// `(min, first)`: propagate the vector value along structure, keeping the
+/// minimum — useful for label propagation / parent selection.
+pub fn min_first<T: Num>() -> MinFirstSemiring<T> {
+    SemiringPair::new(monoid::min(), First::new())
+}
+
+/// The type of [`min_second`] semirings.
+pub type MinSecondSemiring<T> =
+    SemiringPair<CommutativeMonoid<crate::ops::binary::Min<T>, T>, Second<T, T>>;
+
+/// `(min, second)`: propagate the matrix value, keeping the minimum.
+pub fn min_second<T: Num>() -> MinSecondSemiring<T> {
+    SemiringPair::new(monoid::min(), Second::new())
+}
+
+/// The type of [`max_times`] semirings.
+pub type MaxTimesSemiring<T> =
+    SemiringPair<CommutativeMonoid<crate::ops::binary::Max<T>, T>, Times<T>>;
+
+/// `(max, ×)` — e.g. widest-probability paths.
+pub fn max_times<T: Num>() -> MaxTimesSemiring<T> {
+    SemiringPair::new(monoid::max(), Times::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_plus_relaxation_step() {
+        let s = min_plus_f64();
+        // relax: candidate = tent(v) ⊗ w(v, u); best = ⊕ over candidates
+        let c1 = s.mul().apply(2.0, 3.0);
+        let c2 = s.mul().apply(4.0, 0.5);
+        let best = s.add().apply(s.add().apply(s.add().identity(), c1), c2);
+        assert_eq!(best, 4.5);
+    }
+
+    #[test]
+    fn min_plus_identity_annihilates() {
+        let s = min_plus_f64();
+        // ∞ ⊗ w = ∞ (an unreached vertex produces no useful request).
+        assert_eq!(s.mul().apply(f64::INFINITY, 1.0), f64::INFINITY);
+        assert_eq!(s.add().identity(), f64::INFINITY);
+    }
+
+    #[test]
+    fn min_plus_i64_saturates() {
+        let s = min_plus_i64();
+        assert_eq!(s.mul().apply(i64::MAX, 100), i64::MAX);
+        assert_eq!(s.add().identity(), i64::MAX);
+    }
+
+    #[test]
+    fn plus_times_dot_product() {
+        let s = plus_times::<i64>();
+        let dot = [(2, 3), (4, 5)]
+            .iter()
+            .fold(s.add().identity(), |acc, &(a, b)| {
+                s.add().apply(acc, s.mul().apply(a, b))
+            });
+        assert_eq!(dot, 26);
+    }
+
+    #[test]
+    fn lor_land_reachability() {
+        let s = lor_land();
+        assert!(s.mul().apply(true, true));
+        assert!(!s.mul().apply(true, false));
+        assert!(!s.add().identity());
+    }
+
+    #[test]
+    fn plus_pair_counts_matches() {
+        let s = plus_pair::<f64, u64>();
+        let count = (0..5).fold(s.add().identity(), |acc, _| {
+            s.add().apply(acc, s.mul().apply(1.0, 2.0))
+        });
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn min_first_and_second() {
+        let sf = min_first::<f64>();
+        assert_eq!(sf.mul().apply(3.0, 9.0), 3.0);
+        let ss = min_second::<f64>();
+        assert_eq!(ss.mul().apply(3.0, 9.0), 9.0);
+    }
+}

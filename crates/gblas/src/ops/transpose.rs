@@ -1,0 +1,95 @@
+//! `GrB_transpose`: materialize the transpose of a CSR matrix with a
+//! counting sort — O(nnz + nrows + ncols), output rows sorted by
+//! construction.
+
+use crate::matrix::Matrix;
+use crate::types::Scalar;
+
+/// Return `Aᵀ`.
+pub fn transpose<T: Scalar>(a: &Matrix<T>) -> Matrix<T> {
+    let nrows = a.nrows();
+    let ncols = a.ncols();
+    let nnz = a.nvals();
+    // Count entries per output row (= input column).
+    let mut row_ptr = vec![0usize; ncols + 1];
+    for &c in a.col_indices() {
+        row_ptr[c + 1] += 1;
+    }
+    for i in 0..ncols {
+        row_ptr[i + 1] += row_ptr[i];
+    }
+    // Scatter; input is scanned in row-major order, so each output row
+    // receives its column indices (= input rows) in ascending order.
+    let mut cursor = row_ptr.clone();
+    let mut col_idx = vec![0usize; nnz];
+    let mut values: Vec<T> = Vec::with_capacity(nnz);
+    // SAFETY-free approach: fill values via placeholder then overwrite.
+    // Instead, collect triples positionally.
+    let mut slots: Vec<Option<T>> = vec![None; nnz];
+    for r in 0..nrows {
+        let (cols, vals) = a.row(r);
+        for (&c, &v) in cols.iter().zip(vals.iter()) {
+            let p = cursor[c];
+            cursor[c] += 1;
+            col_idx[p] = r;
+            slots[p] = Some(v);
+        }
+    }
+    values.extend(slots.into_iter().map(|s| s.expect("every slot filled")));
+    Matrix::from_csr_unchecked(ncols, nrows, row_ptr, col_idx, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_rectangular() {
+        let a = Matrix::from_triples(2, 3, vec![(0, 1, 10), (0, 2, 20), (1, 0, 30)]).unwrap();
+        let at = transpose(&a);
+        assert_eq!(at.nrows(), 3);
+        assert_eq!(at.ncols(), 2);
+        assert_eq!(at.get(1, 0), Some(10));
+        assert_eq!(at.get(2, 0), Some(20));
+        assert_eq!(at.get(0, 1), Some(30));
+        assert_eq!(at.nvals(), 3);
+        at.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let a = Matrix::from_triples(
+            4,
+            4,
+            vec![(0, 1, 1.0), (1, 3, 2.0), (2, 0, 3.0), (3, 3, 4.0)],
+        )
+        .unwrap();
+        assert_eq!(transpose(&transpose(&a)), a);
+    }
+
+    #[test]
+    fn transpose_empty() {
+        let a: Matrix<f64> = Matrix::new(3, 5);
+        let at = transpose(&a);
+        assert_eq!(at.nrows(), 5);
+        assert_eq!(at.ncols(), 3);
+        assert_eq!(at.nvals(), 0);
+        at.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn transpose_preserves_dense_semantics() {
+        let a = Matrix::from_dense(&[
+            vec![Some(1), None, Some(3)],
+            vec![None, Some(5), None],
+        ])
+        .unwrap();
+        let at = transpose(&a);
+        let dense = at.to_dense();
+        for (c, row) in dense.iter().enumerate() {
+            for (r, cell) in row.iter().enumerate() {
+                assert_eq!(*cell, a.get(r, c));
+            }
+        }
+    }
+}

@@ -1,0 +1,496 @@
+//! Shared implementation of the GraphBLAS write semantics.
+//!
+//! Every operation computes an intermediate result `T`, merges it with the
+//! output through the optional accumulator (`Z = out ⊙ T`), and writes `Z`
+//! through the (possibly complemented) mask:
+//!
+//! ```text
+//! out[i] = mask allows i ? Z[i]                    (absent if Z[i] absent)
+//!        :                 replace ? absent : out_old[i]
+//! ```
+
+use crate::descriptor::Descriptor;
+use crate::mask::{MatrixMask, VectorMask};
+use crate::matrix::Matrix;
+use crate::ops::binary::BinaryOp;
+use crate::types::Scalar;
+use crate::vector::Vector;
+
+/// A sorted sparse vector payload: the intermediate `T`/`Z` of an operation.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SparseVec<T> {
+    pub indices: Vec<usize>,
+    pub values: Vec<T>,
+}
+
+impl<T: Scalar> SparseVec<T> {
+    pub(crate) fn with_capacity(cap: usize) -> Self {
+        SparseVec {
+            indices: Vec::with_capacity(cap),
+            values: Vec::with_capacity(cap),
+        }
+    }
+
+    pub(crate) fn push(&mut self, index: usize, value: T) {
+        debug_assert!(self.indices.last().is_none_or(|&last| last < index));
+        self.indices.push(index);
+        self.values.push(value);
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.indices.len()
+    }
+}
+
+/// A sparse matrix payload in CSR form: the intermediate `T`/`Z` of a matrix
+/// operation.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SparseMat<T> {
+    pub nrows: usize,
+    pub ncols: usize,
+    pub row_ptr: Vec<usize>,
+    pub col_idx: Vec<usize>,
+    pub values: Vec<T>,
+}
+
+impl<T: Scalar> SparseMat<T> {
+    pub(crate) fn empty(nrows: usize, ncols: usize) -> Self {
+        SparseMat {
+            nrows,
+            ncols,
+            row_ptr: vec![0; nrows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn from_matrix(m: &Matrix<T>) -> Self {
+        SparseMat {
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+            row_ptr: m.row_ptr().to_vec(),
+            col_idx: m.col_indices().to_vec(),
+            values: m.values().to_vec(),
+        }
+    }
+
+    pub(crate) fn row(&self, r: usize) -> (&[usize], &[T]) {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    pub(crate) fn into_matrix(self) -> Matrix<T> {
+        Matrix::from_csr_unchecked(self.nrows, self.ncols, self.row_ptr, self.col_idx, self.values)
+    }
+}
+
+/// Union-merge two sorted sparse vectors with per-side transforms:
+/// positions present in both get `both(a, b)`; positions present in only one
+/// side get `only_a(a)` / `only_b(b)`. This is the engine of `eWiseAdd` and
+/// of accumulator merging.
+pub(crate) fn union_merge<A, B, C>(
+    ai: &[usize],
+    av: &[A],
+    bi: &[usize],
+    bv: &[B],
+    only_a: impl Fn(A) -> C,
+    only_b: impl Fn(B) -> C,
+    both: impl Fn(A, B) -> C,
+) -> SparseVec<C>
+where
+    A: Scalar,
+    B: Scalar,
+    C: Scalar,
+{
+    let mut out = SparseVec::with_capacity(ai.len() + bi.len());
+    let (mut p, mut q) = (0usize, 0usize);
+    while p < ai.len() && q < bi.len() {
+        match ai[p].cmp(&bi[q]) {
+            std::cmp::Ordering::Less => {
+                out.push(ai[p], only_a(av[p]));
+                p += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(bi[q], only_b(bv[q]));
+                q += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(ai[p], both(av[p], bv[q]));
+                p += 1;
+                q += 1;
+            }
+        }
+    }
+    while p < ai.len() {
+        out.push(ai[p], only_a(av[p]));
+        p += 1;
+    }
+    while q < bi.len() {
+        out.push(bi[q], only_b(bv[q]));
+        q += 1;
+    }
+    out
+}
+
+/// Intersection-merge two sorted sparse vectors: only positions present in
+/// both sides survive. The engine of `eWiseMult`.
+pub(crate) fn intersect_merge<A, B, C>(
+    ai: &[usize],
+    av: &[A],
+    bi: &[usize],
+    bv: &[B],
+    both: impl Fn(A, B) -> C,
+) -> SparseVec<C>
+where
+    A: Scalar,
+    B: Scalar,
+    C: Scalar,
+{
+    let mut out = SparseVec::with_capacity(ai.len().min(bi.len()));
+    let (mut p, mut q) = (0usize, 0usize);
+    while p < ai.len() && q < bi.len() {
+        match ai[p].cmp(&bi[q]) {
+            std::cmp::Ordering::Less => p += 1,
+            std::cmp::Ordering::Greater => q += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(ai[p], both(av[p], bv[q]));
+                p += 1;
+                q += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Merge the freshly computed `T` with the existing output through the
+/// optional accumulator: `Z = accum.is_some() ? out ⊙ T : T`.
+pub(crate) fn accum_merge<T: Scalar>(
+    out: &Vector<T>,
+    t: SparseVec<T>,
+    accum: Option<&dyn BinaryOp<T, T, T>>,
+) -> SparseVec<T> {
+    match accum {
+        None => t,
+        Some(op) => union_merge(
+            out.indices(),
+            out.values(),
+            &t.indices,
+            &t.values,
+            |old| old,
+            |new| new,
+            |old, new| op.apply(old, new),
+        ),
+    }
+}
+
+/// Write `Z` into `out` through the mask, honouring `replace` and
+/// `complement_mask` from the descriptor.
+pub(crate) fn mask_write_vector<T: Scalar>(
+    out: &mut Vector<T>,
+    z: SparseVec<T>,
+    mask: Option<&VectorMask>,
+    desc: Descriptor,
+) {
+    match mask {
+        None => {
+            if desc.complement_mask {
+                // Implicit all-true mask complemented: nothing may be
+                // written; replace clears the output.
+                if desc.replace {
+                    out.clear();
+                }
+            } else {
+                out.replace_data(z.indices, z.values);
+            }
+        }
+        Some(m) => {
+            let comp = desc.complement_mask;
+            let (old_idx, old_val) = out.take_data();
+            let mut indices = Vec::with_capacity(old_idx.len() + z.len());
+            let mut values = Vec::with_capacity(old_idx.len() + z.len());
+            // Walk the union of Z's and the old entries' index sets in order.
+            let (mut zp, mut op) = (0usize, 0usize);
+            while zp < z.indices.len() || op < old_idx.len() {
+                let zi = z.indices.get(zp).copied().unwrap_or(usize::MAX);
+                let oi = old_idx.get(op).copied().unwrap_or(usize::MAX);
+                let i = zi.min(oi);
+                let in_z = zi == i;
+                let in_old = oi == i;
+                let keep = if m.allows_with(i, comp) {
+                    // Mask allows: the position becomes whatever Z holds
+                    // (deleting a stale old entry when Z is absent there).
+                    in_z.then(|| z.values[zp])
+                } else if in_old && !desc.replace {
+                    // Mask blocks: old survives unless replace.
+                    Some(old_val[op])
+                } else {
+                    None
+                };
+                if let Some(val) = keep {
+                    indices.push(i);
+                    values.push(val);
+                }
+                zp += usize::from(in_z);
+                op += usize::from(in_old);
+            }
+            out.replace_data(indices, values);
+        }
+    }
+}
+
+/// Matrix counterpart of [`accum_merge`].
+pub(crate) fn accum_merge_matrix<T: Scalar>(
+    out: &Matrix<T>,
+    t: SparseMat<T>,
+    accum: Option<&dyn BinaryOp<T, T, T>>,
+) -> SparseMat<T> {
+    match accum {
+        None => t,
+        Some(op) => {
+            let mut z = SparseMat::empty(t.nrows, t.ncols);
+            for r in 0..t.nrows {
+                let (ocols, ovals) = out.row(r);
+                let (tcols, tvals) = t.row(r);
+                let merged = union_merge(
+                    ocols,
+                    ovals,
+                    tcols,
+                    tvals,
+                    |old| old,
+                    |new| new,
+                    |old, new| op.apply(old, new),
+                );
+                z.col_idx.extend_from_slice(&merged.indices);
+                z.values.extend_from_slice(&merged.values);
+                z.row_ptr[r + 1] = z.col_idx.len();
+            }
+            z
+        }
+    }
+}
+
+/// Matrix counterpart of [`mask_write_vector`].
+pub(crate) fn mask_write_matrix<T: Scalar>(
+    out: &mut Matrix<T>,
+    z: SparseMat<T>,
+    mask: Option<&MatrixMask>,
+    desc: Descriptor,
+) {
+    match mask {
+        None => {
+            if desc.complement_mask {
+                if desc.replace {
+                    *out = Matrix::new(z.nrows, z.ncols);
+                }
+            } else {
+                *out = z.into_matrix();
+            }
+        }
+        Some(m) => {
+            let comp = desc.complement_mask;
+            let mut result = SparseMat::empty(z.nrows, z.ncols);
+            for r in 0..z.nrows {
+                let (zc, zv) = z.row(r);
+                let (oc, ov) = out.row(r);
+                let (mut zp, mut op) = (0usize, 0usize);
+                // Walk the union of the row's Z and old entries in order.
+                while zp < zc.len() || op < oc.len() {
+                    let zi = zc.get(zp).copied().unwrap_or(usize::MAX);
+                    let oi = oc.get(op).copied().unwrap_or(usize::MAX);
+                    let c = zi.min(oi);
+                    let in_z = zi == c;
+                    let in_old = oi == c;
+                    let allowed = m.allows_with(r, c, comp);
+                    let keep = if allowed {
+                        if in_z {
+                            Some(zv[zp])
+                        } else {
+                            None
+                        }
+                    } else if in_old && !desc.replace {
+                        Some(ov[op])
+                    } else {
+                        None
+                    };
+                    if let Some(v) = keep {
+                        result.col_idx.push(c);
+                        result.values.push(v);
+                    }
+                    if in_z {
+                        zp += 1;
+                    }
+                    if in_old {
+                        op += 1;
+                    }
+                }
+                result.row_ptr[r + 1] = result.col_idx.len();
+            }
+            *out = result.into_matrix();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::binary::Plus;
+
+    #[test]
+    fn union_merge_all_cases() {
+        let m = union_merge(
+            &[0, 2, 4],
+            &[10, 20, 40],
+            &[2, 3],
+            &[200, 300],
+            |a| a,
+            |b| b,
+            |a, b| a + b,
+        );
+        assert_eq!(m.indices, vec![0, 2, 3, 4]);
+        assert_eq!(m.values, vec![10, 220, 300, 40]);
+    }
+
+    #[test]
+    fn intersect_merge_keeps_common_only() {
+        let m = intersect_merge(&[0, 2, 4], &[1, 2, 3], &[2, 4, 6], &[10, 20, 30], |a, b| a * b);
+        assert_eq!(m.indices, vec![2, 4]);
+        assert_eq!(m.values, vec![20, 60]);
+    }
+
+    #[test]
+    fn accum_merge_none_is_t() {
+        let out = Vector::from_entries(5, vec![(0, 1)]).unwrap();
+        let t = SparseVec {
+            indices: vec![2],
+            values: vec![9],
+        };
+        let z = accum_merge(&out, t.clone(), None);
+        assert_eq!(z, t);
+    }
+
+    #[test]
+    fn accum_merge_union_with_op() {
+        let out = Vector::from_entries(5, vec![(0, 1), (2, 2)]).unwrap();
+        let t = SparseVec {
+            indices: vec![2, 3],
+            values: vec![10, 30],
+        };
+        let z = accum_merge(&out, t, Some(&Plus::<i32>::new()));
+        assert_eq!(z.indices, vec![0, 2, 3]);
+        assert_eq!(z.values, vec![1, 12, 30]);
+    }
+
+    #[test]
+    fn mask_write_no_mask_replaces_contents() {
+        let mut out = Vector::from_entries(4, vec![(0, 5)]).unwrap();
+        let z = SparseVec {
+            indices: vec![1],
+            values: vec![7],
+        };
+        mask_write_vector(&mut out, z, None, Descriptor::new());
+        assert_eq!(out.get(0), None);
+        assert_eq!(out.get(1), Some(7));
+    }
+
+    #[test]
+    fn mask_write_blocked_entries_survive_without_replace() {
+        let mut out = Vector::from_entries(4, vec![(0, 5), (2, 6)]).unwrap();
+        let mask_v = Vector::from_entries(4, vec![(1, true), (2, true)]).unwrap();
+        let m = mask_v.mask();
+        let z = SparseVec {
+            indices: vec![1, 2],
+            values: vec![70, 80],
+        };
+        mask_write_vector(&mut out, z, Some(&m), Descriptor::new());
+        assert_eq!(out.get(0), Some(5)); // blocked, kept
+        assert_eq!(out.get(1), Some(70));
+        assert_eq!(out.get(2), Some(80));
+    }
+
+    #[test]
+    fn mask_write_replace_deletes_blocked_entries() {
+        let mut out = Vector::from_entries(4, vec![(0, 5), (2, 6)]).unwrap();
+        let mask_v = Vector::from_entries(4, vec![(1, true)]).unwrap();
+        let m = mask_v.mask();
+        let z = SparseVec {
+            indices: vec![1],
+            values: vec![70],
+        };
+        mask_write_vector(&mut out, z, Some(&m), Descriptor::replace());
+        assert_eq!(out.get(0), None); // blocked + replace: deleted
+        assert_eq!(out.get(1), Some(70));
+        assert_eq!(out.get(2), None);
+    }
+
+    #[test]
+    fn mask_write_allowed_position_with_no_z_entry_is_deleted() {
+        let mut out = Vector::from_entries(4, vec![(1, 5)]).unwrap();
+        let mask_v = Vector::from_entries(4, vec![(1, true)]).unwrap();
+        let m = mask_v.mask();
+        let z = SparseVec {
+            indices: vec![],
+            values: vec![],
+        };
+        mask_write_vector::<i32>(&mut out, z, Some(&m), Descriptor::new());
+        assert_eq!(out.get(1), None);
+    }
+
+    #[test]
+    fn mask_write_complement() {
+        let mut out: Vector<i32> = Vector::new(4);
+        let mask_v = Vector::from_entries(4, vec![(1, true)]).unwrap();
+        let m = mask_v.mask();
+        let z = SparseVec {
+            indices: vec![0, 1],
+            values: vec![10, 11],
+        };
+        mask_write_vector(
+            &mut out,
+            z,
+            Some(&m),
+            Descriptor::new().with_complement_mask(),
+        );
+        assert_eq!(out.get(0), Some(10)); // complemented mask allows 0
+        assert_eq!(out.get(1), None); // and blocks 1
+    }
+
+    #[test]
+    fn mask_write_no_mask_complement_is_all_false() {
+        let mut out = Vector::from_entries(3, vec![(0, 1)]).unwrap();
+        let z = SparseVec {
+            indices: vec![1],
+            values: vec![2],
+        };
+        mask_write_vector(&mut out, z.clone(), None, Descriptor::new().with_complement_mask());
+        assert_eq!(out.get(0), Some(1)); // nothing written, old kept
+        assert_eq!(out.get(1), None);
+        mask_write_vector(
+            &mut out,
+            z,
+            None,
+            Descriptor::new().with_complement_mask().with_replace(),
+        );
+        assert_eq!(out.nvals(), 0); // replace clears
+    }
+
+    #[test]
+    fn matrix_mask_write_round_trip() {
+        let mut out = Matrix::from_triples(2, 2, vec![(0, 0, 1), (1, 1, 2)]).unwrap();
+        let z = SparseMat {
+            nrows: 2,
+            ncols: 2,
+            row_ptr: vec![0, 1, 1],
+            col_idx: vec![1],
+            values: vec![9],
+        };
+        let mask_m = Matrix::from_triples(2, 2, vec![(0, 1, true)]).unwrap();
+        let m = mask_m.mask();
+        mask_write_matrix(&mut out, z, Some(&m), Descriptor::new());
+        assert_eq!(out.get(0, 0), Some(1)); // blocked, kept
+        assert_eq!(out.get(0, 1), Some(9)); // allowed, written
+        assert_eq!(out.get(1, 1), Some(2)); // blocked, kept
+        out.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,215 @@
+//! Scalar type machinery: the [`Scalar`] bound every stored value satisfies,
+//! the numeric [`Num`] trait for arithmetic semirings, the [`MinPlusValue`]
+//! trait for tropical (shortest-path) algebra, and [`CastTo`] — the
+//! GraphBLAS-style typecast used by `eWiseAdd` pass-through.
+
+/// Index type for vector and matrix coordinates (`GrB_Index`).
+pub type Index = usize;
+
+/// The bound every value stored in a [`crate::Vector`] or [`crate::Matrix`]
+/// must satisfy.
+pub trait Scalar: Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static {}
+impl<T: Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static> Scalar for T {}
+
+/// Minimal numeric abstraction for arithmetic monoids and semirings.
+///
+/// Deliberately tiny (this is not a general numerics crate): just what the
+/// built-in operators in [`crate::ops`] need.
+pub trait Num:
+    Scalar
+    + PartialOrd
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Largest representable value (identity of the `min` monoid).
+    fn max_value() -> Self;
+    /// Smallest representable value (identity of the `max` monoid).
+    fn min_value() -> Self;
+}
+
+macro_rules! impl_num_int {
+    ($($t:ty),*) => {$(
+        impl Num for $t {
+            #[inline] fn zero() -> Self { 0 }
+            #[inline] fn one() -> Self { 1 }
+            #[inline] fn max_value() -> Self { <$t>::MAX }
+            #[inline] fn min_value() -> Self { <$t>::MIN }
+        }
+    )*};
+}
+impl_num_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+macro_rules! impl_num_float {
+    ($($t:ty),*) => {$(
+        impl Num for $t {
+            #[inline] fn zero() -> Self { 0.0 }
+            #[inline] fn one() -> Self { 1.0 }
+            #[inline] fn max_value() -> Self { <$t>::INFINITY }
+            #[inline] fn min_value() -> Self { <$t>::NEG_INFINITY }
+        }
+    )*};
+}
+impl_num_float!(f32, f64);
+
+/// Values usable in the `(min, +)` (tropical) semiring for shortest paths.
+///
+/// The key subtlety is the "plus": with an integer distance type, `∞` is
+/// `MAX`, and `∞ + w` must stay `∞` rather than wrap — so integer types use
+/// saturating addition. Floats use IEEE addition, where `∞ + w = ∞` already
+/// holds.
+pub trait MinPlusValue: Num {
+    /// The semiring's additive-monoid identity (`∞`).
+    fn infinity() -> Self {
+        Self::max_value()
+    }
+    /// The semiring's multiplicative operation: weight accumulation along a
+    /// path, saturating at `∞` for integer types.
+    fn plus_weights(self, other: Self) -> Self;
+    /// Whether this value is the `∞` sentinel (vertex unreached).
+    fn is_infinite_dist(self) -> bool {
+        self == Self::infinity()
+    }
+}
+
+macro_rules! impl_minplus_int {
+    ($($t:ty),*) => {$(
+        impl MinPlusValue for $t {
+            #[inline]
+            fn plus_weights(self, other: Self) -> Self {
+                self.saturating_add(other)
+            }
+        }
+    )*};
+}
+impl_minplus_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+impl MinPlusValue for f32 {
+    #[inline]
+    fn plus_weights(self, other: Self) -> Self {
+        self + other
+    }
+}
+impl MinPlusValue for f64 {
+    #[inline]
+    fn plus_weights(self, other: Self) -> Self {
+        self + other
+    }
+}
+
+/// GraphBLAS-style typecast between domains.
+///
+/// The C API freely casts between the built-in types when an operator's
+/// domain differs from an object's domain. We only need it in one place —
+/// `eWiseAdd`'s pass-through of a lone operand into the output domain — but
+/// that one place is exactly the Sec. V-B pitfall, so the cast semantics
+/// must match the C API: numeric → bool is "non-zero is true", bool →
+/// numeric is 0/1.
+pub trait CastTo<C>: Copy {
+    /// Convert `self` into the target domain.
+    fn cast(self) -> C;
+}
+
+macro_rules! impl_cast_num {
+    ($from:ty => $($to:ty),*) => {$(
+        impl CastTo<$to> for $from {
+            #[inline]
+            #[allow(clippy::unnecessary_cast)]
+            fn cast(self) -> $to {
+                self as $to
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_casts_for {
+    ($($from:ty),*) => {$(
+        impl_cast_num!($from => i8, i16, i32, i64, u8, u16, u32, u64, usize, f32, f64);
+        impl CastTo<bool> for $from {
+            #[inline]
+            fn cast(self) -> bool {
+                // GraphBLAS cast to bool: non-zero is true.
+                self != (0 as $from)
+            }
+        }
+    )*};
+}
+impl_casts_for!(i8, i16, i32, i64, u8, u16, u32, u64, usize, f32, f64);
+
+macro_rules! impl_cast_from_bool {
+    ($($to:ty),*) => {$(
+        impl CastTo<$to> for bool {
+            #[inline]
+            fn cast(self) -> $to {
+                if self { 1 as $to } else { 0 as $to }
+            }
+        }
+    )*};
+}
+impl_cast_from_bool!(i8, i16, i32, i64, u8, u16, u32, u64, usize, f32, f64);
+
+impl CastTo<bool> for bool {
+    #[inline]
+    fn cast(self) -> bool {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_identities() {
+        assert_eq!(<f64 as Num>::zero(), 0.0);
+        assert_eq!(<f64 as Num>::max_value(), f64::INFINITY);
+        assert_eq!(<i32 as Num>::max_value(), i32::MAX);
+        assert_eq!(<u8 as Num>::min_value(), 0);
+    }
+
+    #[test]
+    fn minplus_saturates_for_ints() {
+        let inf = <i64 as MinPlusValue>::infinity();
+        assert_eq!(inf.plus_weights(5), inf);
+        assert_eq!(10i64.plus_weights(7), 17);
+        assert!(inf.is_infinite_dist());
+        assert!(!0i64.is_infinite_dist());
+    }
+
+    #[test]
+    fn minplus_floats_propagate_infinity() {
+        let inf = <f64 as MinPlusValue>::infinity();
+        assert_eq!(inf.plus_weights(3.0), f64::INFINITY);
+        assert_eq!(1.5f64.plus_weights(2.5), 4.0);
+    }
+
+    #[test]
+    fn cast_numeric_to_bool_is_nonzero() {
+        assert!(CastTo::<bool>::cast(3.5f64));
+        assert!(!CastTo::<bool>::cast(0.0f64));
+        assert!(CastTo::<bool>::cast(-1i32));
+        assert!(!CastTo::<bool>::cast(0u8));
+    }
+
+    #[test]
+    fn cast_bool_to_numeric_is_01() {
+        assert_eq!(CastTo::<f64>::cast(true), 1.0);
+        assert_eq!(CastTo::<i32>::cast(false), 0);
+    }
+
+    #[test]
+    fn cast_identity() {
+        assert_eq!(CastTo::<f64>::cast(2.5f64), 2.5);
+        assert!(CastTo::<bool>::cast(true));
+    }
+
+    #[test]
+    fn cast_between_numeric_domains() {
+        assert_eq!(CastTo::<i64>::cast(2.9f64), 2);
+        assert_eq!(CastTo::<f32>::cast(7u32), 7.0);
+    }
+}

@@ -1,0 +1,380 @@
+//! Sparse vectors (`GrB_Vector`).
+//!
+//! A [`Vector`] stores a logically size-`n` vector as parallel arrays of
+//! sorted indices and values. Sets of vertices (Sec. II-D) are vectors whose
+//! stored entries mark the members.
+
+use crate::error::{check_dims, check_index, GblasError, Info};
+use crate::mask::{MaskValue, VectorMask};
+use crate::ops::binary::BinaryOp;
+use crate::types::Scalar;
+
+/// A sparse vector of logical size `size` holding `nvals` stored entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vector<T> {
+    size: usize,
+    indices: Vec<usize>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> Vector<T> {
+    /// Create an empty vector of logical size `size` (`GrB_Vector_new`).
+    pub fn new(size: usize) -> Self {
+        Vector {
+            size,
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Create a vector from `(index, value)` entries. Entries may be in any
+    /// order; duplicate indices are an error (use [`Vector::from_entries_dup`]
+    /// to resolve duplicates with an operator, like `GrB_Vector_build`).
+    pub fn from_entries(size: usize, entries: Vec<(usize, T)>) -> Info<Self> {
+        let mut entries = entries;
+        entries.sort_unstable_by_key(|&(i, _)| i);
+        let mut indices = Vec::with_capacity(entries.len());
+        let mut values = Vec::with_capacity(entries.len());
+        for (i, v) in entries {
+            check_index(i, size)?;
+            if indices.last() == Some(&i) {
+                return Err(GblasError::InvalidValue(format!(
+                    "duplicate index {i} in build without duplicate operator"
+                )));
+            }
+            indices.push(i);
+            values.push(v);
+        }
+        Ok(Vector {
+            size,
+            indices,
+            values,
+        })
+    }
+
+    /// Like [`Vector::from_entries`], resolving duplicate indices with `dup`
+    /// (applied left-to-right in input order, as the C API specifies).
+    pub fn from_entries_dup(
+        size: usize,
+        entries: Vec<(usize, T)>,
+        dup: &dyn BinaryOp<T, T, T>,
+    ) -> Info<Self> {
+        let mut entries = entries;
+        entries.sort_by_key(|&(i, _)| i); // stable: preserves input order per index
+        let mut indices: Vec<usize> = Vec::with_capacity(entries.len());
+        let mut values: Vec<T> = Vec::with_capacity(entries.len());
+        for (i, v) in entries {
+            check_index(i, size)?;
+            if indices.last() == Some(&i) {
+                let last = values.last_mut().expect("values parallel to indices");
+                *last = dup.apply(*last, v);
+            } else {
+                indices.push(i);
+                values.push(v);
+            }
+        }
+        Ok(Vector {
+            size,
+            indices,
+            values,
+        })
+    }
+
+    /// Build from a dense slice of options: `Some(v)` is a stored entry.
+    pub fn from_dense(dense: &[Option<T>]) -> Self {
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for (i, v) in dense.iter().enumerate() {
+            if let Some(v) = v {
+                indices.push(i);
+                values.push(*v);
+            }
+        }
+        Vector {
+            size: dense.len(),
+            indices,
+            values,
+        }
+    }
+
+    /// Build a fully dense vector where every position holds `value`.
+    pub fn full(size: usize, value: T) -> Self {
+        Vector {
+            size,
+            indices: (0..size).collect(),
+            values: vec![value; size],
+        }
+    }
+
+    /// Logical size (`GrB_Vector_size`).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of stored entries (`GrB_Vector_nvals`).
+    #[inline]
+    pub fn nvals(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True if no entries are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Read the entry at `index`, if stored (`GrB_Vector_extractElement`,
+    /// with absence reported as `None` rather than `GrB_NO_VALUE`).
+    pub fn get(&self, index: usize) -> Option<T> {
+        self.position(index).map(|p| self.values[p])
+    }
+
+    /// Store `value` at `index` (`GrB_Vector_setElement`).
+    pub fn set(&mut self, index: usize, value: T) -> Info {
+        check_index(index, self.size)?;
+        match self.indices.binary_search(&index) {
+            Ok(p) => self.values[p] = value,
+            Err(p) => {
+                self.indices.insert(p, index);
+                self.values.insert(p, value);
+            }
+        }
+        Ok(())
+    }
+
+    /// Delete the entry at `index` if present (`GrB_Vector_removeElement`).
+    pub fn remove(&mut self, index: usize) -> Info {
+        check_index(index, self.size)?;
+        if let Ok(p) = self.indices.binary_search(&index) {
+            self.indices.remove(p);
+            self.values.remove(p);
+        }
+        Ok(())
+    }
+
+    /// Remove all stored entries (`GrB_Vector_clear`).
+    pub fn clear(&mut self) {
+        self.indices.clear();
+        self.values.clear();
+    }
+
+    /// Iterate over stored `(index, value)` pairs in ascending index order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, T)> + '_ {
+        self.indices.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// The sorted stored indices.
+    #[inline]
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// The values, parallel to [`Vector::indices`].
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Convert to a dense `Vec<Option<T>>` of length `size`.
+    pub fn to_dense(&self) -> Vec<Option<T>> {
+        let mut out = vec![None; self.size];
+        for (i, v) in self.iter() {
+            out[i] = Some(v);
+        }
+        out
+    }
+
+    /// Convert to a dense `Vec<T>`, filling unstored positions with `fill`.
+    pub fn to_dense_with(&self, fill: T) -> Vec<T> {
+        let mut out = vec![fill; self.size];
+        for (i, v) in self.iter() {
+            out[i] = v;
+        }
+        out
+    }
+
+    /// A value mask over this vector: positions whose stored value is truthy
+    /// (`GrB_Vector` used as `mask` parameter).
+    pub fn mask(&self) -> VectorMask
+    where
+        T: MaskValue,
+    {
+        VectorMask::from_values(self.size, &self.indices, &self.values)
+    }
+
+    /// A structural mask: every stored position, regardless of value
+    /// (`GrB_STRUCTURE`).
+    pub fn structure(&self) -> VectorMask {
+        VectorMask::from_structure(self.size, &self.indices)
+    }
+
+    /// Resize the logical dimension (`GrB_Vector_resize`): shrinking
+    /// drops stored entries at positions `>= new_size`.
+    pub fn resize(&mut self, new_size: usize) {
+        if new_size < self.size {
+            let keep = self.indices.partition_point(|&i| i < new_size);
+            self.indices.truncate(keep);
+            self.values.truncate(keep);
+        }
+        self.size = new_size;
+    }
+
+    /// Copy out the stored `(index, value)` pairs
+    /// (`GrB_Vector_extractTuples`).
+    pub fn extract_tuples(&self) -> Vec<(usize, T)> {
+        self.iter().collect()
+    }
+
+    /// Internal: position of `index` in the stored arrays.
+    #[inline]
+    pub(crate) fn position(&self, index: usize) -> Option<usize> {
+        self.indices.binary_search(&index).ok()
+    }
+
+    /// Internal: replace this vector's contents wholesale. `indices` must be
+    /// sorted, unique, and in bounds; `values` parallel.
+    pub(crate) fn replace_data(&mut self, indices: Vec<usize>, values: Vec<T>) {
+        debug_assert_eq!(indices.len(), values.len());
+        debug_assert!(indices.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(indices.last().is_none_or(|&i| i < self.size));
+        self.indices = indices;
+        self.values = values;
+    }
+
+    /// Internal: take the stored arrays out, leaving the vector empty.
+    pub(crate) fn take_data(&mut self) -> (Vec<usize>, Vec<T>) {
+        (
+            std::mem::take(&mut self.indices),
+            std::mem::take(&mut self.values),
+        )
+    }
+
+    /// Check that `other` has the same logical size.
+    pub(crate) fn check_same_size(&self, other_size: usize) -> Info {
+        check_dims("vector size", self.size, other_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::binary::Plus;
+
+    #[test]
+    fn new_is_empty() {
+        let v: Vector<f64> = Vector::new(10);
+        assert_eq!(v.size(), 10);
+        assert_eq!(v.nvals(), 0);
+        assert!(v.is_empty());
+        assert_eq!(v.get(3), None);
+    }
+
+    #[test]
+    fn set_get_remove() {
+        let mut v = Vector::new(5);
+        v.set(3, 1.5).unwrap();
+        v.set(1, 2.5).unwrap();
+        assert_eq!(v.get(3), Some(1.5));
+        assert_eq!(v.get(1), Some(2.5));
+        assert_eq!(v.nvals(), 2);
+        v.set(3, 9.0).unwrap(); // overwrite
+        assert_eq!(v.get(3), Some(9.0));
+        assert_eq!(v.nvals(), 2);
+        v.remove(3).unwrap();
+        assert_eq!(v.get(3), None);
+        assert_eq!(v.nvals(), 1);
+        v.remove(3).unwrap(); // removing absent entry is a no-op
+        assert_eq!(v.nvals(), 1);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut v: Vector<i32> = Vector::new(4);
+        assert!(v.set(4, 1).is_err());
+        assert!(v.remove(9).is_err());
+        assert!(Vector::from_entries(3, vec![(3, 1)]).is_err());
+    }
+
+    #[test]
+    fn from_entries_sorts() {
+        let v = Vector::from_entries(6, vec![(4, 40), (0, 0), (2, 20)]).unwrap();
+        assert_eq!(v.indices(), &[0, 2, 4]);
+        assert_eq!(v.values(), &[0, 20, 40]);
+    }
+
+    #[test]
+    fn from_entries_rejects_duplicates() {
+        let err = Vector::from_entries(6, vec![(2, 1), (2, 3)]).unwrap_err();
+        assert!(matches!(err, GblasError::InvalidValue(_)));
+    }
+
+    #[test]
+    fn from_entries_dup_combines() {
+        let v =
+            Vector::from_entries_dup(6, vec![(2, 1), (4, 5), (2, 3)], &Plus::<i32>::new()).unwrap();
+        assert_eq!(v.get(2), Some(4));
+        assert_eq!(v.get(4), Some(5));
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let dense = vec![Some(1.0), None, Some(3.0), None];
+        let v = Vector::from_dense(&dense);
+        assert_eq!(v.nvals(), 2);
+        assert_eq!(v.to_dense(), dense);
+        assert_eq!(v.to_dense_with(0.0), vec![1.0, 0.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn full_vector() {
+        let v = Vector::full(3, 7i64);
+        assert_eq!(v.nvals(), 3);
+        assert_eq!(v.get(2), Some(7));
+    }
+
+    #[test]
+    fn iter_in_index_order() {
+        let v = Vector::from_entries(10, vec![(7, 'c'), (1, 'a'), (3, 'b')]).unwrap();
+        let got: Vec<(usize, char)> = v.iter().collect();
+        assert_eq!(got, vec![(1, 'a'), (3, 'b'), (7, 'c')]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut v = Vector::from_entries(4, vec![(0, 1), (1, 2)]).unwrap();
+        v.clear();
+        assert_eq!(v.nvals(), 0);
+        assert_eq!(v.size(), 4);
+    }
+
+    #[test]
+    fn resize_shrinks_and_grows() {
+        let mut v = Vector::from_entries(6, vec![(1, 10), (4, 40)]).unwrap();
+        v.resize(3);
+        assert_eq!(v.size(), 3);
+        assert_eq!(v.nvals(), 1);
+        assert_eq!(v.get(1), Some(10));
+        v.resize(10);
+        assert_eq!(v.size(), 10);
+        assert_eq!(v.nvals(), 1);
+        v.set(9, 90).unwrap();
+        assert_eq!(v.get(9), Some(90));
+    }
+
+    #[test]
+    fn extract_tuples_round_trip() {
+        let v = Vector::from_entries(5, vec![(0, 1), (3, 2)]).unwrap();
+        let tuples = v.extract_tuples();
+        assert_eq!(tuples, vec![(0, 1), (3, 2)]);
+        let back = Vector::from_entries(5, tuples).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn zero_size_vector() {
+        let v: Vector<f64> = Vector::new(0);
+        assert_eq!(v.size(), 0);
+        assert!(v.get(0).is_none());
+    }
+}

@@ -1,0 +1,216 @@
+//! CSR adjacency: the read-optimized representation consumed by the
+//! direct (non-GraphBLAS) SSSP implementations — the counterpart of the
+//! paper's "direct C" data layout.
+
+use crate::edge_list::EdgeList;
+use crate::error::GraphError;
+
+/// A weighted digraph in compressed sparse row form. Duplicate edges are
+/// collapsed to minimum weight at construction; self-loops are dropped
+/// (simple graphs, Sec. II-A).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrGraph {
+    num_vertices: usize,
+    offsets: Vec<usize>,
+    targets: Vec<usize>,
+    weights: Vec<f64>,
+}
+
+impl CsrGraph {
+    /// Build from an edge list. Validates weights, removes self-loops, and
+    /// collapses duplicates to minimum weight.
+    pub fn from_edge_list(el: &EdgeList) -> Result<Self, GraphError> {
+        el.validate()?;
+        let mut cleaned = el.clone();
+        cleaned.remove_self_loops();
+        cleaned.dedup_min();
+        let n = cleaned.num_vertices();
+        let mut offsets = vec![0usize; n + 1];
+        for e in cleaned.edges() {
+            offsets[e.src + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let nnz = cleaned.num_edges();
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0usize; nnz];
+        let mut weights = vec![0.0f64; nnz];
+        // dedup_min sorted by (src, dst): scatter preserves per-row order.
+        for e in cleaned.edges() {
+            let p = cursor[e.src];
+            cursor[e.src] += 1;
+            targets[p] = e.dst;
+            weights[p] = e.weight;
+        }
+        Ok(CsrGraph {
+            num_vertices: n,
+            offsets,
+            targets,
+            weights,
+        })
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-neighbors of `v` with their weights, sorted by target id.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> (&[usize], &[f64]) {
+        let lo = self.offsets[v];
+        let hi = self.offsets[v + 1];
+        (&self.targets[lo..hi], &self.weights[lo..hi])
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Raw offsets array (length `|V| + 1`).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Raw target array.
+    #[inline]
+    pub fn targets(&self) -> &[usize] {
+        &self.targets
+    }
+
+    /// Raw weight array, parallel to [`CsrGraph::targets`].
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Iterate all `(src, dst, weight)` edges in row-major order.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.num_vertices).flat_map(move |v| {
+            let (ts, ws) = self.neighbors(v);
+            ts.iter().zip(ws.iter()).map(move |(&t, &w)| (v, t, w))
+        })
+    }
+
+    /// Maximum edge weight (0 for an edgeless graph).
+    pub fn max_weight(&self) -> f64 {
+        self.weights.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean out-degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.num_vertices == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_vertices as f64
+        }
+    }
+
+    /// Mean edge weight (0 for an edgeless graph).
+    pub fn mean_weight(&self) -> f64 {
+        if self.weights.is_empty() {
+            0.0
+        } else {
+            self.weights.iter().sum::<f64>() / self.weights.len() as f64
+        }
+    }
+
+    /// Convert to the [`gblas::Matrix`] adjacency used by the GraphBLAS
+    /// implementations.
+    pub fn to_adjacency(&self) -> gblas::Matrix<f64> {
+        let triples = self.iter_edges().collect();
+        gblas::Matrix::from_triples(self.num_vertices, self.num_vertices, triples)
+            .expect("CSR invariants guarantee valid triples")
+    }
+
+    /// Back to an edge list (e.g. for re-weighting or I/O).
+    pub fn to_edge_list(&self) -> EdgeList {
+        let mut el = EdgeList::new(self.num_vertices);
+        for (s, d, w) in self.iter_edges() {
+            el.push(s, d, w);
+        }
+        el
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrGraph {
+        let el = EdgeList::from_triples(vec![
+            (0, 1, 1.0),
+            (0, 2, 4.0),
+            (1, 2, 2.0),
+            (2, 3, 1.0),
+            (3, 3, 9.0), // self-loop: dropped
+            (0, 1, 0.5), // duplicate: min kept
+        ]);
+        CsrGraph::from_edge_list(&el).unwrap()
+    }
+
+    #[test]
+    fn construction_cleans_input() {
+        let g = sample();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        let (ts, ws) = g.neighbors(0);
+        assert_eq!(ts, &[1, 2]);
+        assert_eq!(ws, &[0.5, 4.0]);
+        assert_eq!(g.out_degree(3), 0);
+    }
+
+    #[test]
+    fn iter_edges_row_major() {
+        let g = sample();
+        let edges: Vec<_> = g.iter_edges().collect();
+        assert_eq!(
+            edges,
+            vec![(0, 1, 0.5), (0, 2, 4.0), (1, 2, 2.0), (2, 3, 1.0)]
+        );
+    }
+
+    #[test]
+    fn stats() {
+        let g = sample();
+        assert_eq!(g.max_weight(), 4.0);
+        assert!((g.mean_degree() - 1.0).abs() < 1e-12);
+        assert!((g.mean_weight() - 7.5 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjacency_round_trip() {
+        let g = sample();
+        let a = g.to_adjacency();
+        assert_eq!(a.nvals(), g.num_edges());
+        assert_eq!(a.get(0, 1), Some(0.5));
+        let el = g.to_edge_list();
+        let g2 = CsrGraph::from_edge_list(&el).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn rejects_invalid_weights() {
+        let el = EdgeList::from_triples(vec![(0, 1, -2.0)]);
+        assert!(CsrGraph::from_edge_list(&el).is_err());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edge_list(&EdgeList::new(3)).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.mean_weight(), 0.0);
+    }
+}

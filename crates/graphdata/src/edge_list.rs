@@ -1,0 +1,230 @@
+//! Weighted edge lists: the mutable, order-free graph representation used
+//! during construction, generation, and I/O.
+
+use crate::error::GraphError;
+
+/// One weighted directed edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: usize,
+    /// Destination vertex.
+    pub dst: usize,
+    /// Edge weight; SSSP requires non-negative weights.
+    pub weight: f64,
+}
+
+impl Edge {
+    /// Construct an edge.
+    pub fn new(src: usize, dst: usize, weight: f64) -> Self {
+        Edge { src, dst, weight }
+    }
+}
+
+/// A graph as a list of weighted directed edges over `num_vertices`
+/// vertices (ids `0..num_vertices`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EdgeList {
+    num_vertices: usize,
+    edges: Vec<Edge>,
+}
+
+impl EdgeList {
+    /// Empty graph with `num_vertices` isolated vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        EdgeList {
+            num_vertices,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Build from raw `(src, dst, weight)` triples; `num_vertices` grows to
+    /// cover every endpoint.
+    pub fn from_triples(triples: impl IntoIterator<Item = (usize, usize, f64)>) -> Self {
+        let mut el = EdgeList::new(0);
+        for (s, d, w) in triples {
+            el.push(s, d, w);
+        }
+        el
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of directed edges currently stored.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The stored edges.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Append an edge, growing `num_vertices` to cover its endpoints.
+    pub fn push(&mut self, src: usize, dst: usize, weight: f64) {
+        self.num_vertices = self.num_vertices.max(src + 1).max(dst + 1);
+        self.edges.push(Edge::new(src, dst, weight));
+    }
+
+    /// Grow the vertex count (no-op if already at least `n`).
+    pub fn ensure_vertices(&mut self, n: usize) {
+        self.num_vertices = self.num_vertices.max(n);
+    }
+
+    /// Add the reverse of every edge, making the graph symmetric
+    /// (undirected), as the paper's inputs are. Existing reverse edges are
+    /// not detected — call [`EdgeList::dedup_min`] afterwards if the input
+    /// may already contain both directions.
+    pub fn symmetrize(&mut self) {
+        let rev: Vec<Edge> = self
+            .edges
+            .iter()
+            .filter(|e| e.src != e.dst)
+            .map(|e| Edge::new(e.dst, e.src, e.weight))
+            .collect();
+        self.edges.extend(rev);
+    }
+
+    /// Remove self-loops (the paper assumes simple graphs: empty diagonal).
+    pub fn remove_self_loops(&mut self) {
+        self.edges.retain(|e| e.src != e.dst);
+    }
+
+    /// Collapse duplicate `(src, dst)` pairs keeping the minimum weight
+    /// (the right resolution for shortest paths).
+    pub fn dedup_min(&mut self) {
+        self.edges
+            .sort_by(|a, b| (a.src, a.dst).cmp(&(b.src, b.dst)).then(a.weight.total_cmp(&b.weight)));
+        self.edges.dedup_by_key(|e| (e.src, e.dst));
+    }
+
+    /// Overwrite every weight with `1.0` (the paper's unit-weight setting).
+    pub fn make_unit_weight(&mut self) {
+        for e in &mut self.edges {
+            e.weight = 1.0;
+        }
+    }
+
+    /// Validate for SSSP use: weights non-negative and finite, endpoints in
+    /// bounds.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        for (k, e) in self.edges.iter().enumerate() {
+            if e.src >= self.num_vertices || e.dst >= self.num_vertices {
+                return Err(GraphError::InvalidGraph(format!(
+                    "edge {k} ({}, {}) exceeds vertex count {}",
+                    e.src, e.dst, self.num_vertices
+                )));
+            }
+            if !e.weight.is_finite() || e.weight < 0.0 {
+                return Err(GraphError::InvalidGraph(format!(
+                    "edge {k} ({}, {}) has invalid weight {} (must be finite and >= 0)",
+                    e.src, e.dst, e.weight
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Maximum edge weight (0 for an edgeless graph).
+    pub fn max_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.weight).fold(0.0, f64::max)
+    }
+
+    /// Mean out-degree `|E| / |V|` (0 for an empty graph).
+    pub fn mean_degree(&self) -> f64 {
+        if self.num_vertices == 0 {
+            0.0
+        } else {
+            self.edges.len() as f64 / self.num_vertices as f64
+        }
+    }
+
+    /// Convert to the adjacency matrix `A ∈ R^{|V|×|V|}` with `A[i][j] =
+    /// w(i → j)`; duplicates resolve to the minimum weight.
+    pub fn to_adjacency(&self) -> gblas::Matrix<f64> {
+        let triples = self.edges.iter().map(|e| (e.src, e.dst, e.weight)).collect();
+        gblas::Matrix::from_triples_dup(
+            self.num_vertices,
+            self.num_vertices,
+            triples,
+            &gblas::ops::Min::<f64>::new(),
+        )
+        .expect("edge endpoints validated against num_vertices")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_grows_vertex_count() {
+        let mut el = EdgeList::new(0);
+        el.push(0, 5, 1.0);
+        assert_eq!(el.num_vertices(), 6);
+        assert_eq!(el.num_edges(), 1);
+        el.ensure_vertices(10);
+        assert_eq!(el.num_vertices(), 10);
+        el.ensure_vertices(3);
+        assert_eq!(el.num_vertices(), 10);
+    }
+
+    #[test]
+    fn symmetrize_adds_reverses_skipping_loops() {
+        let mut el = EdgeList::from_triples(vec![(0, 1, 2.0), (2, 2, 1.0)]);
+        el.symmetrize();
+        assert_eq!(el.num_edges(), 3); // loop not mirrored
+        assert!(el.edges().iter().any(|e| e.src == 1 && e.dst == 0 && e.weight == 2.0));
+    }
+
+    #[test]
+    fn remove_self_loops() {
+        let mut el = EdgeList::from_triples(vec![(0, 0, 1.0), (0, 1, 1.0)]);
+        el.remove_self_loops();
+        assert_eq!(el.num_edges(), 1);
+    }
+
+    #[test]
+    fn dedup_keeps_min_weight() {
+        let mut el = EdgeList::from_triples(vec![(0, 1, 3.0), (0, 1, 1.0), (0, 1, 2.0)]);
+        el.dedup_min();
+        assert_eq!(el.num_edges(), 1);
+        assert_eq!(el.edges()[0].weight, 1.0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_weights() {
+        let el = EdgeList::from_triples(vec![(0, 1, -1.0)]);
+        assert!(el.validate().is_err());
+        let el = EdgeList::from_triples(vec![(0, 1, f64::NAN)]);
+        assert!(el.validate().is_err());
+        let el = EdgeList::from_triples(vec![(0, 1, f64::INFINITY)]);
+        assert!(el.validate().is_err());
+        let el = EdgeList::from_triples(vec![(0, 1, 0.0)]);
+        assert!(el.validate().is_ok());
+    }
+
+    #[test]
+    fn unit_weights_and_stats() {
+        let mut el = EdgeList::from_triples(vec![(0, 1, 3.0), (1, 2, 5.0)]);
+        assert_eq!(el.max_weight(), 5.0);
+        el.make_unit_weight();
+        assert_eq!(el.max_weight(), 1.0);
+        assert!((el.mean_degree() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjacency_resolves_duplicates_with_min() {
+        let el = EdgeList::from_triples(vec![(0, 1, 3.0), (0, 1, 1.0)]);
+        let a = el.to_adjacency();
+        assert_eq!(a.get(0, 1), Some(1.0));
+        assert_eq!(a.nvals(), 1);
+        assert_eq!(a.nrows(), 2);
+    }
+}

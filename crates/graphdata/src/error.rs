@@ -1,0 +1,70 @@
+//! Errors for graph construction and I/O.
+
+use std::fmt;
+
+/// Errors produced by graph construction, generation, and I/O.
+#[derive(Debug)]
+pub enum GraphError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line of an input file could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The graph data is structurally invalid (bad vertex id, negative
+    /// weight, inconsistent header, …).
+    InvalidGraph(String),
+}
+
+impl GraphError {
+    /// Convenience constructor for parse errors.
+    pub fn parse(line: usize, message: impl Into<String>) -> Self {
+        GraphError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::InvalidGraph(m) => write!(f, "invalid graph: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = GraphError::parse(3, "bad token");
+        assert_eq!(e.to_string(), "parse error at line 3: bad token");
+        let e = GraphError::InvalidGraph("negative weight".into());
+        assert!(e.to_string().contains("negative weight"));
+        let e: GraphError = std::io::Error::new(std::io::ErrorKind::NotFound, "nope").into();
+        assert!(e.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Deterministic graph shapes with known shortest-path structure — the
+//! ground truth of the unit and property tests.
+
+use crate::edge_list::EdgeList;
+
+/// Directed path `0 → 1 → … → n-1` with unit weights: `dist(0, k) = k`.
+pub fn path(n: usize) -> EdgeList {
+    let mut el = EdgeList::new(n);
+    for i in 1..n {
+        el.push(i - 1, i, 1.0);
+    }
+    el
+}
+
+/// Directed cycle `0 → 1 → … → n-1 → 0` with unit weights.
+pub fn cycle(n: usize) -> EdgeList {
+    let mut el = path(n);
+    if n > 1 {
+        el.push(n - 1, 0, 1.0);
+    }
+    el
+}
+
+/// Undirected star: center `0` connected to `1..n` with unit weights.
+pub fn star(n: usize) -> EdgeList {
+    let mut el = EdgeList::new(n);
+    for i in 1..n {
+        el.push(0, i, 1.0);
+        el.push(i, 0, 1.0);
+    }
+    el
+}
+
+/// Undirected complete graph on `n` vertices with unit weights.
+pub fn complete(n: usize) -> EdgeList {
+    let mut el = EdgeList::new(n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                el.push(i, j, 1.0);
+            }
+        }
+    }
+    el
+}
+
+/// Complete binary tree with `n` vertices, edges directed parent → child,
+/// unit weights: `dist(0, k) = ⌊log2(k+1)⌋`.
+pub fn binary_tree(n: usize) -> EdgeList {
+    let mut el = EdgeList::new(n);
+    for i in 1..n {
+        el.push((i - 1) / 2, i, 1.0);
+    }
+    el
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let el = path(4);
+        assert_eq!(el.num_vertices(), 4);
+        assert_eq!(el.num_edges(), 3);
+    }
+
+    #[test]
+    fn cycle_closes() {
+        let el = cycle(4);
+        assert_eq!(el.num_edges(), 4);
+        assert!(el.edges().iter().any(|e| e.src == 3 && e.dst == 0));
+        assert_eq!(cycle(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn star_is_symmetric() {
+        let el = star(5);
+        assert_eq!(el.num_edges(), 8);
+    }
+
+    #[test]
+    fn complete_has_all_pairs() {
+        let el = complete(4);
+        assert_eq!(el.num_edges(), 12);
+    }
+
+    #[test]
+    fn binary_tree_parents() {
+        let el = binary_tree(7);
+        assert_eq!(el.num_edges(), 6);
+        assert!(el.edges().iter().any(|e| e.src == 2 && e.dst == 6));
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        assert_eq!(path(0).num_edges(), 0);
+        assert_eq!(path(1).num_edges(), 0);
+        assert_eq!(complete(1).num_edges(), 0);
+        assert_eq!(binary_tree(1).num_edges(), 0);
+    }
+}

@@ -1,0 +1,55 @@
+//! 2-D grid graphs: the road-network-like regime — bounded degree, large
+//! diameter — where delta-stepping's bucketing matters most.
+
+use crate::edge_list::EdgeList;
+
+/// Undirected `width × height` 4-neighbor grid with unit weights. Vertex
+/// `(x, y)` has id `y * width + x`. `dist((0,0), (x,y)) = x + y`.
+pub fn grid2d(width: usize, height: usize) -> EdgeList {
+    let n = width * height;
+    let mut el = EdgeList::new(n);
+    let id = |x: usize, y: usize| y * width + x;
+    for y in 0..height {
+        for x in 0..width {
+            if x + 1 < width {
+                el.push(id(x, y), id(x + 1, y), 1.0);
+                el.push(id(x + 1, y), id(x, y), 1.0);
+            }
+            if y + 1 < height {
+                el.push(id(x, y), id(x, y + 1), 1.0);
+                el.push(id(x, y + 1), id(x, y), 1.0);
+            }
+        }
+    }
+    el
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count() {
+        // Undirected edges: w(h-1) + h(w-1), doubled for both directions.
+        let el = grid2d(4, 3);
+        assert_eq!(el.num_vertices(), 12);
+        assert_eq!(el.num_edges(), 2 * (4 * 2 + 3 * 3));
+    }
+
+    #[test]
+    fn corner_degrees() {
+        let el = grid2d(3, 3);
+        let deg = |v: usize| el.edges().iter().filter(|e| e.src == v).count();
+        assert_eq!(deg(0), 2); // corner
+        assert_eq!(deg(1), 3); // edge
+        assert_eq!(deg(4), 4); // center
+    }
+
+    #[test]
+    fn degenerate_grids() {
+        assert_eq!(grid2d(1, 1).num_edges(), 0);
+        let line = grid2d(5, 1);
+        assert_eq!(line.num_edges(), 8);
+        assert_eq!(grid2d(0, 7).num_vertices(), 0);
+    }
+}

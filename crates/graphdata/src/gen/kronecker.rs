@@ -1,0 +1,109 @@
+//! Deterministic Kronecker graphs: the k-th Kronecker power of a small
+//! seed pattern — the noiseless core of the RMAT model (RMAT is the
+//! stochastic sampler of exactly this structure). Built directly on
+//! [`gblas::ops::kron_power`], closing the loop between the data layer
+//! and the GraphBLAS substrate.
+
+use gblas::ops::{kron_power, Times};
+use gblas::Matrix;
+
+use crate::edge_list::EdgeList;
+
+/// A seed pattern for Kronecker expansion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KroneckerSeed {
+    /// Seed dimension (the graph has `dim^k` vertices after `k` powers).
+    pub dim: usize,
+    /// Present positions of the seed adjacency.
+    pub edges: &'static [(usize, usize)],
+}
+
+/// The classic 2×2 "star" seed `[[1,1],[1,0]]` producing hierarchical
+/// scale-free structure (the Graph500 intuition).
+pub const STAR_SEED: KroneckerSeed = KroneckerSeed {
+    dim: 2,
+    edges: &[(0, 0), (0, 1), (1, 0)],
+};
+
+/// A 3×3 seed with a hub row.
+pub const HUB3_SEED: KroneckerSeed = KroneckerSeed {
+    dim: 3,
+    edges: &[(0, 0), (0, 1), (0, 2), (1, 0), (2, 0)],
+};
+
+/// The `k`-th Kronecker power of `seed` as a unit-weight edge list
+/// (self-loops retained; clean via [`crate::CsrGraph`] construction).
+pub fn kronecker(seed: KroneckerSeed, k: u32) -> EdgeList {
+    assert!(k >= 1, "kronecker power needs k >= 1");
+    let triples: Vec<(usize, usize, f64)> = seed
+        .edges
+        .iter()
+        .map(|&(r, c)| {
+            assert!(r < seed.dim && c < seed.dim, "seed edge out of bounds");
+            (r, c, 1.0)
+        })
+        .collect();
+    let m = Matrix::from_triples(seed.dim, seed.dim, triples).expect("seed validated");
+    let g = kron_power(&Times::<f64>::new(), &m, k);
+    let mut el = EdgeList::new(g.nrows());
+    for (r, c, w) in g.iter() {
+        el.push(r, c, w);
+    }
+    el.ensure_vertices(g.nrows());
+    el
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_grow_exponentially() {
+        let g1 = kronecker(STAR_SEED, 1);
+        assert_eq!(g1.num_vertices(), 2);
+        assert_eq!(g1.num_edges(), 3);
+        let g4 = kronecker(STAR_SEED, 4);
+        assert_eq!(g4.num_vertices(), 16);
+        assert_eq!(g4.num_edges(), 81); // 3^4
+    }
+
+    #[test]
+    fn vertex_zero_is_the_hub() {
+        // With the star seed, vertex 0 (all-zeros digits) has the largest
+        // out-degree in every power.
+        let g = kronecker(STAR_SEED, 5);
+        let mut deg = vec![0usize; g.num_vertices()];
+        for e in g.edges() {
+            deg[e.src] += 1;
+        }
+        let max = *deg.iter().max().unwrap();
+        assert_eq!(deg[0], max);
+        assert_eq!(deg[0], 2usize.pow(5)); // row 0 of seed has 2 entries
+    }
+
+    #[test]
+    fn hub3_seed_valid() {
+        let g = kronecker(HUB3_SEED, 3);
+        assert_eq!(g.num_vertices(), 27);
+        assert_eq!(g.num_edges(), 125); // 5^3
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(kronecker(STAR_SEED, 3), kronecker(STAR_SEED, 3));
+    }
+
+    #[test]
+    fn usable_for_sssp_after_cleanup() {
+        let mut el = kronecker(STAR_SEED, 6);
+        el.symmetrize();
+        let g = crate::CsrGraph::from_edge_list(&el).unwrap();
+        assert_eq!(g.num_vertices(), 64);
+        assert!(g.num_edges() > 0);
+        // Self-loops were dropped by the CSR cleanup.
+        for (s, t, _) in g.iter_edges() {
+            assert_ne!(s, t);
+        }
+    }
+}

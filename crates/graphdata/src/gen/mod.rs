@@ -1,0 +1,22 @@
+//! Synthetic graph generators.
+//!
+//! These stand in for the paper's SNAP / GraphChallenge datasets (see
+//! DESIGN.md §3): [`rmat()`](rmat()) covers the Kronecker/scale-free family that
+//! GraphChallenge uses, [`erdos_renyi`] gives uniform random graphs,
+//! [`grid`] gives road-network-like low-degree high-diameter graphs, and
+//! [`preferential`] gives Barabási–Albert power-law graphs. [`classic`]
+//! holds deterministic shapes for unit tests.
+
+pub mod classic;
+pub mod erdos_renyi;
+pub mod grid;
+pub mod kronecker;
+pub mod preferential;
+pub mod rmat;
+
+pub use classic::{binary_tree, complete, cycle, path, star};
+pub use erdos_renyi::{gnm, gnp};
+pub use grid::grid2d;
+pub use kronecker::{kronecker, KroneckerSeed, HUB3_SEED, STAR_SEED};
+pub use preferential::barabasi_albert;
+pub use rmat::{rmat, RmatParams};

@@ -1,0 +1,109 @@
+//! Barabási–Albert preferential attachment: power-law degree
+//! distributions like the SNAP social-network datasets.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::edge_list::EdgeList;
+
+/// Undirected Barabási–Albert graph: start from a clique on `m0 = m`
+/// vertices; every new vertex attaches to `m` existing vertices chosen with
+/// probability proportional to their degree (via the repeated-endpoint
+/// trick). Unit weights; both edge directions stored.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> EdgeList {
+    assert!(m >= 1, "attachment count must be at least 1");
+    let mut el = EdgeList::new(n);
+    if n == 0 {
+        return el;
+    }
+    let m0 = m.min(n);
+    // Seed clique.
+    for i in 0..m0 {
+        for j in (i + 1)..m0 {
+            el.push(i, j, 1.0);
+            el.push(j, i, 1.0);
+        }
+    }
+    // Every endpoint occurrence in `targets` is one unit of degree.
+    let mut targets: Vec<usize> = Vec::new();
+    for e in el.edges() {
+        targets.push(e.src);
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for v in m0..n {
+        let mut chosen: Vec<usize> = Vec::with_capacity(m);
+        while chosen.len() < m.min(v) {
+            let pick = if targets.is_empty() {
+                rng.gen_range(0..v)
+            } else {
+                targets[rng.gen_range(0..targets.len())]
+            };
+            if pick != v && !chosen.contains(&pick) {
+                chosen.push(pick);
+            }
+        }
+        for &u in &chosen {
+            el.push(v, u, 1.0);
+            el.push(u, v, 1.0);
+            targets.push(v);
+            targets.push(u);
+        }
+    }
+    el.ensure_vertices(n);
+    el
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_and_edge_counts() {
+        let n = 200;
+        let m = 3;
+        let el = barabasi_albert(n, m, 4);
+        assert_eq!(el.num_vertices(), n);
+        // clique edges + m per new vertex, both directions.
+        let expected = m * (m - 1) + 2 * m * (n - m);
+        assert_eq!(el.num_edges(), expected);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(barabasi_albert(50, 2, 9), barabasi_albert(50, 2, 9));
+        assert_ne!(barabasi_albert(50, 2, 9), barabasi_albert(50, 2, 10));
+    }
+
+    #[test]
+    fn power_law_hub_emerges() {
+        let el = barabasi_albert(500, 2, 13);
+        let mut deg = vec![0usize; el.num_vertices()];
+        for e in el.edges() {
+            deg[e.src] += 1;
+        }
+        let max = *deg.iter().max().unwrap();
+        let mean = el.num_edges() as f64 / el.num_vertices() as f64;
+        assert!(max as f64 > 4.0 * mean, "hub degree {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicate_attachments() {
+        let el = barabasi_albert(100, 3, 21);
+        for e in el.edges() {
+            assert_ne!(e.src, e.dst);
+        }
+        let mut cleaned = el.clone();
+        cleaned.dedup_min();
+        assert_eq!(cleaned.num_edges(), el.num_edges());
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        assert_eq!(barabasi_albert(0, 2, 1).num_vertices(), 0);
+        let el = barabasi_albert(1, 2, 1);
+        assert_eq!(el.num_vertices(), 1);
+        assert_eq!(el.num_edges(), 0);
+        let el = barabasi_albert(3, 5, 1); // m > n clamps
+        assert_eq!(el.num_vertices(), 3);
+    }
+}

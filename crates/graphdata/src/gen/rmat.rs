@@ -1,0 +1,168 @@
+//! RMAT (recursive matrix) generator — the Kronecker-style power-law
+//! family used by Graph500 and the GraphChallenge datasets the paper
+//! evaluates on.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::edge_list::EdgeList;
+
+/// RMAT quadrant probabilities and size parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// log2 of the vertex count.
+    pub scale: u32,
+    /// Edges per vertex (Graph500 uses 16).
+    pub edge_factor: usize,
+    /// Probability of the top-left quadrant.
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+    /// Per-level multiplicative noise applied to `a` (0 = none).
+    pub noise: f64,
+}
+
+impl RmatParams {
+    /// The Graph500 reference parameters `(a, b, c, d) =
+    /// (0.57, 0.19, 0.19, 0.05)`.
+    pub fn graph500(scale: u32, edge_factor: usize) -> Self {
+        RmatParams {
+            scale,
+            edge_factor,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            noise: 0.0,
+        }
+    }
+
+    fn validate(&self) {
+        let d = 1.0 - self.a - self.b - self.c;
+        assert!(
+            self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && d >= -1e-9,
+            "RMAT quadrant probabilities must be non-negative and sum to <= 1"
+        );
+    }
+}
+
+/// Generate an RMAT graph: `2^scale` vertices, `edge_factor · 2^scale`
+/// directed unit-weight edges (duplicates and self-loops retained, as in
+/// Graph500 — clean with [`EdgeList::remove_self_loops`] /
+/// [`EdgeList::dedup_min`] or by converting to [`crate::CsrGraph`]).
+pub fn rmat(params: RmatParams, seed: u64) -> EdgeList {
+    params.validate();
+    let n = 1usize << params.scale;
+    let m = params.edge_factor * n;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut el = EdgeList::new(n);
+    for _ in 0..m {
+        let (u, v) = sample_edge(&params, &mut rng);
+        el.push(u, v, 1.0);
+    }
+    el
+}
+
+fn sample_edge(p: &RmatParams, rng: &mut SmallRng) -> (usize, usize) {
+    let mut u = 0usize;
+    let mut v = 0usize;
+    for _ in 0..p.scale {
+        u <<= 1;
+        v <<= 1;
+        let (mut a, b, c) = (p.a, p.b, p.c);
+        if p.noise > 0.0 {
+            // SSCA-style noise: jitter a, renormalizing the rest.
+            let jitter = 1.0 + p.noise * (rng.gen::<f64>() - 0.5);
+            a = (a * jitter).clamp(0.0, 1.0);
+        }
+        let r: f64 = rng.gen();
+        if r < a {
+            // top-left: both high bits 0
+        } else if r < a + b {
+            v |= 1; // top-right
+        } else if r < a + b + c {
+            u |= 1; // bottom-left
+        } else {
+            u |= 1;
+            v |= 1; // bottom-right
+        }
+    }
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_parameters() {
+        let el = rmat(RmatParams::graph500(8, 8), 3);
+        assert_eq!(el.num_vertices(), 256);
+        assert_eq!(el.num_edges(), 8 * 256);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let p = RmatParams::graph500(6, 4);
+        assert_eq!(rmat(p, 11), rmat(p, 11));
+        assert_ne!(rmat(p, 11), rmat(p, 12));
+    }
+
+    #[test]
+    fn skewed_parameters_concentrate_low_ids() {
+        // With a = 0.57 the low-id quadrant dominates: vertex ids in the
+        // lower half must receive well over half the edge endpoints.
+        let el = rmat(RmatParams::graph500(10, 8), 5);
+        let n = el.num_vertices();
+        let low = el
+            .edges()
+            .iter()
+            .filter(|e| e.src < n / 2 && e.dst < n / 2)
+            .count();
+        assert!(
+            low as f64 > 0.5 * el.num_edges() as f64,
+            "low-quadrant edges: {low} of {}",
+            el.num_edges()
+        );
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let el = rmat(RmatParams::graph500(10, 16), 9);
+        let mut deg = vec![0usize; el.num_vertices()];
+        for e in el.edges() {
+            deg[e.src] += 1;
+        }
+        let max = *deg.iter().max().unwrap();
+        let mean = el.num_edges() as f64 / el.num_vertices() as f64;
+        assert!(
+            max as f64 > 5.0 * mean,
+            "power-law hub expected: max {max}, mean {mean}"
+        );
+    }
+
+    #[test]
+    fn noise_changes_output_but_keeps_size() {
+        let mut p = RmatParams::graph500(7, 4);
+        let plain = rmat(p, 2);
+        p.noise = 0.3;
+        let noisy = rmat(p, 2);
+        assert_eq!(plain.num_edges(), noisy.num_edges());
+        assert_ne!(plain, noisy);
+    }
+
+    #[test]
+    #[should_panic(expected = "quadrant probabilities")]
+    fn invalid_probabilities_panic() {
+        let p = RmatParams {
+            scale: 4,
+            edge_factor: 2,
+            a: 0.9,
+            b: 0.2,
+            c: 0.2,
+            noise: 0.0,
+        };
+        rmat(p, 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Compact binary graph format: a fixed little-endian layout built with the
+//! `bytes` crate. Layout:
+//!
+//! ```text
+//! magic   [u8; 8]  = b"GBSSSP01"
+//! nv      u64
+//! ne      u64
+//! edges   ne × (src u64, dst u64, weight f64)
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::edge_list::EdgeList;
+use crate::error::GraphError;
+
+const MAGIC: &[u8; 8] = b"GBSSSP01";
+
+/// Serialize an edge list to the binary format.
+pub fn write_binary(el: &EdgeList) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + 16 + el.num_edges() * 24);
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(el.num_vertices() as u64);
+    buf.put_u64_le(el.num_edges() as u64);
+    for e in el.edges() {
+        buf.put_u64_le(e.src as u64);
+        buf.put_u64_le(e.dst as u64);
+        buf.put_f64_le(e.weight);
+    }
+    buf.freeze()
+}
+
+/// Deserialize the binary format.
+pub fn read_binary(mut data: &[u8]) -> Result<EdgeList, GraphError> {
+    if data.len() < 24 {
+        return Err(GraphError::InvalidGraph("binary graph truncated header".into()));
+    }
+    let mut magic = [0u8; 8];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(GraphError::InvalidGraph(format!(
+            "bad magic {:?}, expected {:?}",
+            magic, MAGIC
+        )));
+    }
+    let nv = data.get_u64_le() as usize;
+    let ne = data.get_u64_le() as usize;
+    let need = ne
+        .checked_mul(24)
+        .ok_or_else(|| GraphError::InvalidGraph("edge count overflow".into()))?;
+    if data.remaining() < need {
+        return Err(GraphError::InvalidGraph(format!(
+            "binary graph truncated: need {need} bytes of edges, have {}",
+            data.remaining()
+        )));
+    }
+    let mut el = EdgeList::new(nv);
+    for _ in 0..ne {
+        let src = data.get_u64_le() as usize;
+        let dst = data.get_u64_le() as usize;
+        let w = data.get_f64_le();
+        if src >= nv || dst >= nv {
+            return Err(GraphError::InvalidGraph(format!(
+                "edge ({src}, {dst}) out of bounds for {nv} vertices"
+            )));
+        }
+        el.push(src, dst, w);
+    }
+    Ok(el)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let el = EdgeList::from_triples(vec![(0, 1, 1.5), (4, 2, 0.125)]);
+        let bytes = write_binary(&el);
+        let back = read_binary(&bytes).unwrap();
+        assert_eq!(el, back);
+    }
+
+    #[test]
+    fn empty_graph_round_trip() {
+        let mut el = EdgeList::new(7);
+        el.ensure_vertices(7);
+        let back = read_binary(&write_binary(&el)).unwrap();
+        assert_eq!(back.num_vertices(), 7);
+        assert_eq!(back.num_edges(), 0);
+    }
+
+    #[test]
+    fn corrupt_inputs_rejected() {
+        assert!(read_binary(&[]).is_err());
+        assert!(read_binary(b"NOTMAGIC\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0").is_err());
+        // Valid header, truncated edge payload.
+        let el = EdgeList::from_triples(vec![(0, 1, 1.0)]);
+        let bytes = write_binary(&el);
+        assert!(read_binary(&bytes[..bytes.len() - 4]).is_err());
+        // Out-of-bounds edge: header claims 1 vertex but edge says 5.
+        let mut buf = bytes::BytesMut::new();
+        buf.put_slice(b"GBSSSP01");
+        buf.put_u64_le(1);
+        buf.put_u64_le(1);
+        buf.put_u64_le(5);
+        buf.put_u64_le(0);
+        buf.put_f64_le(1.0);
+        assert!(read_binary(&buf).is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! Matrix Market coordinate format — the interchange format of the
+//! SuiteSparse collection. Supports `real`, `integer`, and `pattern`
+//! fields with `general` or `symmetric` symmetry.
+
+use std::io::{BufRead, Write};
+
+use crate::edge_list::EdgeList;
+use crate::error::GraphError;
+
+/// Parse a Matrix Market coordinate stream into an edge list.
+///
+/// * `pattern` entries get weight `1.0`.
+/// * `symmetric` storage emits both directions (except the diagonal).
+/// * 1-based indices become 0-based vertex ids.
+pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<EdgeList, GraphError> {
+    let mut lines = reader.lines().enumerate();
+
+    // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
+    let (hline_no, header) = loop {
+        match lines.next() {
+            Some((no, line)) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break (no + 1, line);
+                }
+            }
+            None => return Err(GraphError::parse(1, "empty file")),
+        }
+    };
+    let h: Vec<String> = header.split_whitespace().map(|t| t.to_lowercase()).collect();
+    if h.len() < 5 || h[0] != "%%matrixmarket" || h[1] != "matrix" || h[2] != "coordinate" {
+        return Err(GraphError::parse(
+            hline_no,
+            format!("unsupported Matrix Market header: {header}"),
+        ));
+    }
+    let field = h[3].as_str();
+    if !matches!(field, "real" | "integer" | "pattern") {
+        return Err(GraphError::parse(hline_no, format!("unsupported field {field}")));
+    }
+    let symmetry = h[4].as_str();
+    if !matches!(symmetry, "general" | "symmetric") {
+        return Err(GraphError::parse(
+            hline_no,
+            format!("unsupported symmetry {symmetry}"),
+        ));
+    }
+    let pattern = field == "pattern";
+    let symmetric = symmetry == "symmetric";
+
+    // Size line: rows cols nnz (skipping % comments).
+    let (sline_no, size_line) = loop {
+        match lines.next() {
+            Some((no, line)) => {
+                let line = line?;
+                let t = line.trim();
+                if !t.is_empty() && !t.starts_with('%') {
+                    break (no + 1, line);
+                }
+            }
+            None => return Err(GraphError::parse(hline_no, "missing size line")),
+        }
+    };
+    let sizes: Vec<&str> = size_line.split_whitespace().collect();
+    if sizes.len() != 3 {
+        return Err(GraphError::parse(sline_no, "size line must be 'rows cols nnz'"));
+    }
+    let rows: usize = sizes[0]
+        .parse()
+        .map_err(|_| GraphError::parse(sline_no, "bad row count"))?;
+    let cols: usize = sizes[1]
+        .parse()
+        .map_err(|_| GraphError::parse(sline_no, "bad column count"))?;
+    let nnz: usize = sizes[2]
+        .parse()
+        .map_err(|_| GraphError::parse(sline_no, "bad nnz count"))?;
+    if rows != cols {
+        return Err(GraphError::InvalidGraph(format!(
+            "adjacency matrix must be square, got {rows}×{cols}"
+        )));
+    }
+
+    let mut el = EdgeList::new(rows);
+    let mut read = 0usize;
+    for (no, line) in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let no = no + 1;
+        let tok: Vec<&str> = t.split_whitespace().collect();
+        let expect = if pattern { 2 } else { 3 };
+        if tok.len() < expect {
+            return Err(GraphError::parse(no, format!("expected {expect} fields")));
+        }
+        let r: usize = tok[0].parse().map_err(|_| GraphError::parse(no, "bad row index"))?;
+        let c: usize = tok[1].parse().map_err(|_| GraphError::parse(no, "bad column index"))?;
+        if r == 0 || c == 0 || r > rows || c > cols {
+            return Err(GraphError::parse(no, format!("index ({r}, {c}) out of range")));
+        }
+        let w: f64 = if pattern {
+            1.0
+        } else {
+            tok[2]
+                .parse()
+                .map_err(|_| GraphError::parse(no, "bad weight value"))?
+        };
+        let (r, c) = (r - 1, c - 1);
+        el.push(r, c, w);
+        if symmetric && r != c {
+            el.push(c, r, w);
+        }
+        read += 1;
+    }
+    if read != nnz {
+        return Err(GraphError::InvalidGraph(format!(
+            "size line promised {nnz} entries, file contains {read}"
+        )));
+    }
+    el.ensure_vertices(rows);
+    Ok(el)
+}
+
+/// Write an edge list as `%%MatrixMarket matrix coordinate real general`.
+pub fn write_matrix_market<W: Write>(mut w: W, el: &EdgeList) -> Result<(), GraphError> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by graphdata")?;
+    writeln!(w, "{} {} {}", el.num_vertices(), el.num_vertices(), el.num_edges())?;
+    for e in el.edges() {
+        writeln!(w, "{} {} {}", e.src + 1, e.dst + 1, e.weight)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(s: &str) -> Result<EdgeList, GraphError> {
+        read_matrix_market(BufReader::new(s.as_bytes()))
+    }
+
+    #[test]
+    fn general_real_round_trip() {
+        let el = EdgeList::from_triples(vec![(0, 1, 1.5), (2, 0, 3.0)]);
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &el).unwrap();
+        let back = parse(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(back.num_vertices(), 3);
+        assert_eq!(back.num_edges(), 2);
+        assert!(back.edges().iter().any(|e| e.src == 0 && e.dst == 1 && e.weight == 1.5));
+    }
+
+    #[test]
+    fn symmetric_mirrors_off_diagonal() {
+        let el = parse(
+            "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5.0\n3 3 7.0\n",
+        )
+        .unwrap();
+        assert_eq!(el.num_edges(), 3); // (1,0), (0,1), (2,2)
+        assert!(el.edges().iter().any(|e| e.src == 0 && e.dst == 1));
+    }
+
+    #[test]
+    fn pattern_gets_unit_weights() {
+        let el = parse("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n").unwrap();
+        assert_eq!(el.edges()[0].weight, 1.0);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let el = parse(
+            "%%MatrixMarket matrix coordinate real general\n% a comment\n\n2 2 1\n% more\n1 2 4.0\n",
+        )
+        .unwrap();
+        assert_eq!(el.num_edges(), 1);
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(parse("").is_err());
+        assert!(parse("garbage\n").is_err());
+        assert!(parse("%%MatrixMarket matrix array real general\n2 2 1\n").is_err());
+        assert!(parse("%%MatrixMarket matrix coordinate complex general\n2 2 1\n").is_err());
+        assert!(parse("%%MatrixMarket matrix coordinate real general\n2 3 0\n").is_err()); // non-square
+        assert!(parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n").is_err()); // out of range
+        assert!(parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n").is_err()); // 1-based
+        assert!(parse("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 2 1.0\n").is_err()); // count mismatch
+        assert!(parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 abc\n").is_err()); // bad weight
+    }
+}

@@ -1,0 +1,102 @@
+//! SNAP-style whitespace-separated edge lists: `src dst [weight]` per line,
+//! `#` comments — the format of the Stanford SNAP datasets the paper uses.
+
+use std::io::{BufRead, Write};
+
+use crate::edge_list::EdgeList;
+use crate::error::GraphError;
+
+/// Parse a SNAP edge list. Vertex ids are 0-based as found in the file; a
+/// missing third column means weight `1.0`.
+pub fn read_snap_tsv<R: BufRead>(reader: R) -> Result<EdgeList, GraphError> {
+    let mut el = EdgeList::new(0);
+    for (no, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            // SNAP headers often carry "# Nodes: N Edges: M"; honour the
+            // node count so trailing isolated vertices survive round trips.
+            if let Some(rest) = t.strip_prefix('#') {
+                let tok: Vec<&str> = rest.split_whitespace().collect();
+                if tok.len() >= 2 && tok[0].eq_ignore_ascii_case("nodes:") {
+                    if let Ok(n) = tok[1].parse::<usize>() {
+                        el.ensure_vertices(n);
+                    }
+                }
+            }
+            continue;
+        }
+        let no = no + 1;
+        let tok: Vec<&str> = t.split_whitespace().collect();
+        if tok.len() < 2 {
+            return Err(GraphError::parse(no, "expected 'src dst [weight]'"));
+        }
+        let src: usize = tok[0]
+            .parse()
+            .map_err(|_| GraphError::parse(no, format!("bad source id '{}'", tok[0])))?;
+        let dst: usize = tok[1]
+            .parse()
+            .map_err(|_| GraphError::parse(no, format!("bad destination id '{}'", tok[1])))?;
+        let weight: f64 = if tok.len() >= 3 {
+            tok[2]
+                .parse()
+                .map_err(|_| GraphError::parse(no, format!("bad weight '{}'", tok[2])))?
+        } else {
+            1.0
+        };
+        el.push(src, dst, weight);
+    }
+    Ok(el)
+}
+
+/// Write a SNAP-style edge list with weights.
+pub fn write_snap_tsv<W: Write>(mut w: W, el: &EdgeList) -> Result<(), GraphError> {
+    writeln!(w, "# Nodes: {} Edges: {}", el.num_vertices(), el.num_edges())?;
+    for e in el.edges() {
+        writeln!(w, "{}\t{}\t{}", e.src, e.dst, e.weight)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(s: &str) -> Result<EdgeList, GraphError> {
+        read_snap_tsv(BufReader::new(s.as_bytes()))
+    }
+
+    #[test]
+    fn basic_parse_with_comments() {
+        let el = parse("# comment\n0\t1\n1 2 2.5\n\n").unwrap();
+        assert_eq!(el.num_edges(), 2);
+        assert_eq!(el.edges()[0].weight, 1.0);
+        assert_eq!(el.edges()[1].weight, 2.5);
+        assert_eq!(el.num_vertices(), 3);
+    }
+
+    #[test]
+    fn round_trip() {
+        let el = EdgeList::from_triples(vec![(0, 3, 1.0), (3, 1, 0.25)]);
+        let mut buf = Vec::new();
+        write_snap_tsv(&mut buf, &el).unwrap();
+        let back = parse(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(el.edges(), back.edges());
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(parse("0\n").is_err());
+        assert!(parse("a b\n").is_err());
+        assert!(parse("0 1 xyz\n").is_err());
+        assert!(parse("-1 2\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let el = parse("# only comments\n").unwrap();
+        assert_eq!(el.num_vertices(), 0);
+        assert_eq!(el.num_edges(), 0);
+    }
+}

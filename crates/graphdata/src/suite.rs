@@ -1,0 +1,189 @@
+//! The benchmark dataset suite.
+//!
+//! Stands in for the paper's Sec. VI-A inputs: "symmetric and undirected
+//! graphs with unit edge weights" from SNAP and the GraphChallenge, plotted
+//! in Figs. 3–4 sorted by ascending node count. Each suite entry is a
+//! deterministic synthetic graph from one of the topology families those
+//! collections contain (Kronecker/RMAT, uniform random, road-like grid,
+//! power-law preferential attachment).
+
+use crate::csr::CsrGraph;
+use crate::gen;
+use crate::weights::WeightModel;
+
+/// How big a suite to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteScale {
+    /// Tiny graphs for unit/integration tests (hundreds of vertices).
+    Smoke,
+    /// The default benchmarking suite (2^10 – 2^16 vertices).
+    Default,
+    /// Larger runs for scaling studies (up to 2^18 vertices).
+    Large,
+}
+
+/// A named benchmark graph.
+pub struct Dataset {
+    /// Short identifier used in result tables (e.g. `rmat-13`).
+    pub name: String,
+    /// Topology family (`grid`, `er`, `rmat`, `ba`).
+    pub family: &'static str,
+    /// The graph, cleaned (simple, deduplicated) in CSR form.
+    pub graph: CsrGraph,
+}
+
+impl Dataset {
+    fn new(name: impl Into<String>, family: &'static str, el: crate::EdgeList) -> Self {
+        let graph = CsrGraph::from_edge_list(&el).expect("generated graphs are valid");
+        Dataset {
+            name: name.into(),
+            family,
+            graph,
+        }
+    }
+}
+
+fn grid_dataset(side: usize) -> Dataset {
+    let el = gen::grid2d(side, side);
+    Dataset::new(format!("grid-{side}x{side}"), "grid", el)
+}
+
+fn er_dataset(n: usize, deg: usize, seed: u64) -> Dataset {
+    let mut el = gen::gnm(n, n * deg / 2, seed);
+    el.symmetrize();
+    el.make_unit_weight();
+    Dataset::new(format!("er-{n}"), "er", el)
+}
+
+fn rmat_dataset(scale: u32, edge_factor: usize, seed: u64) -> Dataset {
+    let mut el = gen::rmat(gen::RmatParams::graph500(scale, edge_factor), seed);
+    el.symmetrize();
+    el.make_unit_weight();
+    Dataset::new(format!("rmat-{scale}"), "rmat", el)
+}
+
+fn ba_dataset(n: usize, m: usize, seed: u64) -> Dataset {
+    let el = gen::barabasi_albert(n, m, seed);
+    Dataset::new(format!("ba-{n}"), "ba", el)
+}
+
+/// The unit-weight suite of Figs. 3–4, sorted by ascending vertex count
+/// (the x-axis ordering of both figures).
+pub fn paper_suite(scale: SuiteScale) -> Vec<Dataset> {
+    let mut suite = match scale {
+        SuiteScale::Smoke => vec![
+            grid_dataset(8),
+            er_dataset(256, 8, 101),
+            rmat_dataset(9, 8, 102),
+            ba_dataset(768, 3, 103),
+        ],
+        SuiteScale::Default => vec![
+            grid_dataset(32),
+            er_dataset(2_048, 16, 201),
+            ba_dataset(4_096, 4, 202),
+            rmat_dataset(13, 8, 203),
+            grid_dataset(128),
+            er_dataset(32_768, 8, 204),
+            rmat_dataset(15, 8, 205),
+            ba_dataset(65_536, 3, 206),
+        ],
+        SuiteScale::Large => vec![
+            grid_dataset(64),
+            er_dataset(8_192, 16, 301),
+            rmat_dataset(14, 8, 302),
+            grid_dataset(256),
+            ba_dataset(131_072, 3, 303),
+            rmat_dataset(17, 8, 304),
+            er_dataset(262_144, 8, 305),
+        ],
+    };
+    suite.sort_by_key(|d| d.graph.num_vertices());
+    suite
+}
+
+/// A weighted suite for the Δ-sweep ablation: the same topologies with
+/// uniform real weights in `[0, 1)`, symmetric across edge directions.
+pub fn weighted_suite(scale: SuiteScale) -> Vec<Dataset> {
+    paper_suite(scale)
+        .into_iter()
+        .map(|d| {
+            let mut el = d.graph.to_edge_list();
+            crate::weights::assign_symmetric(
+                &mut el,
+                WeightModel::UniformFloat { lo: 1e-3, hi: 1.0 },
+                0xC0FFEE ^ d.graph.num_vertices() as u64,
+            );
+            Dataset::new(format!("{}-w", d.name), d.family, el)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_suite_is_sorted_and_unit_weight() {
+        let suite = paper_suite(SuiteScale::Smoke);
+        assert_eq!(suite.len(), 4);
+        for w in suite.windows(2) {
+            assert!(w[0].graph.num_vertices() <= w[1].graph.num_vertices());
+        }
+        for d in &suite {
+            assert!(d.graph.num_edges() > 0, "{} has no edges", d.name);
+            assert_eq!(d.graph.max_weight(), 1.0, "{} not unit weight", d.name);
+        }
+    }
+
+    #[test]
+    fn smoke_suite_graphs_are_symmetric() {
+        for d in paper_suite(SuiteScale::Smoke) {
+            let g = &d.graph;
+            for (s, t, w) in g.iter_edges() {
+                let (ts, ws) = g.neighbors(t);
+                let p = ts.binary_search(&s).unwrap_or_else(|_| {
+                    panic!("{}: edge ({s},{t}) has no reverse", d.name)
+                });
+                assert_eq!(ws[p], w);
+            }
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = paper_suite(SuiteScale::Smoke);
+        let b = paper_suite(SuiteScale::Smoke);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.graph, y.graph);
+        }
+    }
+
+    #[test]
+    fn weighted_suite_has_fractional_weights() {
+        let suite = weighted_suite(SuiteScale::Smoke);
+        for d in &suite {
+            assert!(d.name.ends_with("-w"));
+            let frac = d
+                .graph
+                .weights()
+                .iter()
+                .filter(|w| w.fract() != 0.0)
+                .count();
+            assert!(frac > 0, "{} has no fractional weights", d.name);
+            assert!(d.graph.weights().iter().all(|&w| w > 0.0 && w < 1.0));
+        }
+    }
+
+    #[test]
+    fn weighted_suite_stays_symmetric_in_weight() {
+        for d in weighted_suite(SuiteScale::Smoke) {
+            let g = &d.graph;
+            for (s, t, w) in g.iter_edges() {
+                let (ts, ws) = g.neighbors(t);
+                let p = ts.binary_search(&s).expect("reverse edge");
+                assert_eq!(ws[p], w, "{}: asymmetric weight on ({s},{t})", d.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Edge-weight models.
+//!
+//! The paper's main experiments use unit weights (Δ = 1 then mimics
+//! Dijkstra, Sec. VII); the Δ-sweep ablation needs real-valued weights.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::edge_list::EdgeList;
+
+/// How to assign weights to a generated topology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightModel {
+    /// Every edge weighs `1.0` (the paper's setting).
+    Unit,
+    /// Uniform real weights in `[lo, hi)`.
+    UniformFloat {
+        /// Inclusive lower bound (must be ≥ 0).
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+    },
+    /// Uniform integer weights in `[lo, hi]`, stored as `f64`.
+    UniformInt {
+        /// Inclusive lower bound.
+        lo: u32,
+        /// Inclusive upper bound.
+        hi: u32,
+    },
+}
+
+impl WeightModel {
+    /// Overwrite the weights of `el` according to the model, deterministic
+    /// in `seed`.
+    pub fn assign(&self, el: &mut EdgeList, seed: u64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = el.num_vertices();
+        let mut updated = EdgeList::new(n);
+        for e in el.edges() {
+            let w = self.sample(&mut rng);
+            updated.push(e.src, e.dst, w);
+        }
+        *el = updated;
+    }
+
+    /// Draw one weight.
+    pub fn sample(&self, rng: &mut SmallRng) -> f64 {
+        match *self {
+            WeightModel::Unit => 1.0,
+            WeightModel::UniformFloat { lo, hi } => rng.gen_range(lo..hi),
+            WeightModel::UniformInt { lo, hi } => rng.gen_range(lo..=hi) as f64,
+        }
+    }
+}
+
+/// Assign weights symmetrically: both directions of an undirected edge get
+/// the same weight. Edges are paired by unordered endpoints.
+pub fn assign_symmetric(el: &mut EdgeList, model: WeightModel, seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = el.num_vertices();
+    let mut by_pair: std::collections::HashMap<(usize, usize), f64> = std::collections::HashMap::new();
+    let mut updated = EdgeList::new(n);
+    for e in el.edges() {
+        let key = (e.src.min(e.dst), e.src.max(e.dst));
+        let w = *by_pair.entry(key).or_insert_with(|| model.sample(&mut rng));
+        updated.push(e.src, e.dst, w);
+    }
+    *el = updated;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_weights() {
+        let mut el = EdgeList::from_triples(vec![(0, 1, 9.0), (1, 2, 8.0)]);
+        WeightModel::Unit.assign(&mut el, 1);
+        assert!(el.edges().iter().all(|e| e.weight == 1.0));
+    }
+
+    #[test]
+    fn uniform_float_in_range_and_deterministic() {
+        let mut a = EdgeList::from_triples((0..100).map(|i| (i, i + 1, 0.0)).collect::<Vec<_>>());
+        let mut b = a.clone();
+        let model = WeightModel::UniformFloat { lo: 0.5, hi: 2.5 };
+        model.assign(&mut a, 42);
+        model.assign(&mut b, 42);
+        assert_eq!(a, b);
+        assert!(a.edges().iter().all(|e| (0.5..2.5).contains(&e.weight)));
+        let mut c = a.clone();
+        model.assign(&mut c, 43);
+        assert_ne!(a, c); // different seed, different weights
+    }
+
+    #[test]
+    fn uniform_int_values() {
+        let mut el = EdgeList::from_triples((0..50).map(|i| (i, i + 1, 0.0)).collect::<Vec<_>>());
+        WeightModel::UniformInt { lo: 1, hi: 4 }.assign(&mut el, 7);
+        for e in el.edges() {
+            assert!(e.weight >= 1.0 && e.weight <= 4.0);
+            assert_eq!(e.weight.fract(), 0.0);
+        }
+    }
+
+    #[test]
+    fn symmetric_assignment_matches_directions() {
+        let mut el = EdgeList::from_triples(vec![(0, 1, 0.0), (1, 0, 0.0), (1, 2, 0.0), (2, 1, 0.0)]);
+        assign_symmetric(&mut el, WeightModel::UniformFloat { lo: 0.0, hi: 1.0 }, 5);
+        let w01 = el.edges().iter().find(|e| e.src == 0 && e.dst == 1).unwrap().weight;
+        let w10 = el.edges().iter().find(|e| e.src == 1 && e.dst == 0).unwrap().weight;
+        assert_eq!(w01, w10);
+    }
+}

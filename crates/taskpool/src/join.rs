@@ -1,0 +1,79 @@
+//! Binary fork-join: run two closures potentially in parallel and return
+//! both results — the primitive underlying the paper's "creation of the
+//! light and heavy edges are independent and were each made into a task".
+
+use parking_lot::Mutex;
+
+use crate::pool::ThreadPool;
+use crate::scope::scope;
+
+/// Run `a` and `b` (potentially concurrently) on `pool`; return both
+/// results. Panics in either closure propagate after both complete or
+/// abort.
+pub fn join<A, B, RA, RB>(pool: &ThreadPool, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let result_a: Mutex<Option<RA>> = Mutex::new(None);
+    let result_b: Mutex<Option<RB>> = Mutex::new(None);
+    scope(pool, |s| {
+        s.spawn(|| {
+            *result_a.lock() = Some(a());
+        });
+        s.spawn(|| {
+            *result_b.lock() = Some(b());
+        });
+    });
+    (
+        result_a.into_inner().expect("scope completed task a"),
+        result_b.into_inner().expect("scope completed task b"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_both_results() {
+        let pool = ThreadPool::with_threads(2).unwrap();
+        let (x, y) = join(&pool, || 6 * 7, || "hello".len());
+        assert_eq!(x, 42);
+        assert_eq!(y, 5);
+    }
+
+    #[test]
+    fn closures_borrow_environment() {
+        let pool = ThreadPool::with_threads(2).unwrap();
+        let data = [1u64, 2, 3, 4, 5, 6];
+        let (front, back) = join(
+            &pool,
+            || data[..3].iter().sum::<u64>(),
+            || data[3..].iter().sum::<u64>(),
+        );
+        assert_eq!(front + back, 21);
+    }
+
+    #[test]
+    fn nested_joins() {
+        let pool = ThreadPool::with_threads(2).unwrap();
+        let ((a, b), (c, d)) = join(
+            &pool,
+            || join(&pool, || 1, || 2),
+            || join(&pool, || 3, || 4),
+        );
+        assert_eq!((a, b, c, d), (1, 2, 3, 4));
+    }
+
+    #[test]
+    fn panic_in_one_side_propagates() {
+        let pool = ThreadPool::with_threads(2).unwrap();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            join(&pool, || panic!("left side"), || 1);
+        }));
+        assert!(caught.is_err());
+    }
+}

@@ -1,0 +1,194 @@
+//! Chunked data-parallel loops — the paper's "splitting the vector into
+//! evenly-sized tasks" (Sec. VI-C) expressed as library functions.
+
+use std::ops::Range;
+
+use crate::pool::ThreadPool;
+use crate::scope::scope;
+
+/// Split `range` into at most `pieces` contiguous sub-ranges whose lengths
+/// differ by at most one. Empty sub-ranges are never produced.
+pub fn split_evenly(range: Range<usize>, pieces: usize) -> Vec<Range<usize>> {
+    let len = range.end.saturating_sub(range.start);
+    if len == 0 || pieces == 0 {
+        return Vec::new();
+    }
+    let pieces = pieces.min(len);
+    let base = len / pieces;
+    let extra = len % pieces;
+    let mut out = Vec::with_capacity(pieces);
+    let mut start = range.start;
+    for i in 0..pieces {
+        let sz = base + usize::from(i < extra);
+        out.push(start..start + sz);
+        start += sz;
+    }
+    debug_assert_eq!(start, range.end);
+    out
+}
+
+/// Run `body` over `range` split into one evenly-sized task per pool thread
+/// (matching the paper's scheme). `body` receives each sub-range.
+pub fn parallel_for<F>(pool: &ThreadPool, range: Range<usize>, body: F)
+where
+    F: Fn(Range<usize>) + Send + Sync,
+{
+    parallel_for_chunks(pool, range, 0, body)
+}
+
+/// Like [`parallel_for`] but with an explicit `grain`: sub-ranges are at most
+/// `grain` long (0 means "one chunk per thread"). A finer grain exposes more
+/// tasks — the improvement the paper proposes for the matrix-filter phase.
+pub fn parallel_for_chunks<F>(pool: &ThreadPool, range: Range<usize>, grain: usize, body: F)
+where
+    F: Fn(Range<usize>) + Send + Sync,
+{
+    let len = range.end.saturating_sub(range.start);
+    if len == 0 {
+        return;
+    }
+    let pieces = if grain == 0 {
+        pool.num_threads()
+    } else {
+        len.div_ceil(grain)
+    };
+    if pieces <= 1 {
+        body(range);
+        return;
+    }
+    let chunks = split_evenly(range, pieces);
+    let body = &body;
+    scope(pool, |s| {
+        for chunk in chunks {
+            s.spawn(move || body(chunk));
+        }
+    });
+}
+
+/// Mutate `data` in parallel, `chunk_len` elements per task. `body` receives
+/// the chunk's starting offset within `data` and the mutable chunk itself.
+/// `chunk_len == 0` means "one chunk per thread".
+pub fn par_chunks_mut<T, F>(pool: &ThreadPool, data: &mut [T], chunk_len: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Send + Sync,
+{
+    let len = data.len();
+    if len == 0 {
+        return;
+    }
+    let chunk_len = if chunk_len == 0 {
+        len.div_ceil(pool.num_threads())
+    } else {
+        chunk_len
+    };
+    if chunk_len >= len {
+        body(0, data);
+        return;
+    }
+    let body = &body;
+    scope(pool, |s| {
+        let mut offset = 0usize;
+        let mut rest = data;
+        while !rest.is_empty() {
+            let take = chunk_len.min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            let this_offset = offset;
+            s.spawn(move || body(this_offset, chunk));
+            offset += take;
+            rest = tail;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ThreadPool;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn split_evenly_basic() {
+        let parts = split_evenly(0..10, 3);
+        assert_eq!(parts, vec![0..4, 4..7, 7..10]);
+    }
+
+    #[test]
+    fn split_evenly_more_pieces_than_items() {
+        let parts = split_evenly(5..8, 10);
+        assert_eq!(parts, vec![5..6, 6..7, 7..8]);
+    }
+
+    #[test]
+    fn split_evenly_empty() {
+        assert!(split_evenly(3..3, 4).is_empty());
+        assert!(split_evenly(0..10, 0).is_empty());
+    }
+
+    #[test]
+    fn split_evenly_covers_range_exactly() {
+        for len in 0..50 {
+            for pieces in 1..10 {
+                let parts = split_evenly(0..len, pieces);
+                let total: usize = parts.iter().map(|r| r.len()).sum();
+                assert_eq!(total, len);
+                let mut cursor = 0;
+                for p in &parts {
+                    assert_eq!(p.start, cursor);
+                    assert!(!p.is_empty());
+                    cursor = p.end;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_for_touches_every_index() {
+        let pool = ThreadPool::with_threads(4).unwrap();
+        let n = 1000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(&pool, 0..n, |r| {
+            for i in r {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_chunks_respects_grain() {
+        let pool = ThreadPool::with_threads(2).unwrap();
+        let max_seen = AtomicUsize::new(0);
+        parallel_for_chunks(&pool, 0..100, 7, |r| {
+            max_seen.fetch_max(r.len(), Ordering::Relaxed);
+        });
+        assert!(max_seen.load(Ordering::Relaxed) <= 7);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint() {
+        let pool = ThreadPool::with_threads(4).unwrap();
+        let mut data = vec![0usize; 513];
+        par_chunks_mut(&pool, &mut data, 32, |offset, chunk| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = offset + i;
+            }
+        });
+        for (i, x) in data.iter().enumerate() {
+            assert_eq!(*x, i);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_empty_and_small() {
+        let pool = ThreadPool::with_threads(4).unwrap();
+        let mut empty: Vec<u8> = vec![];
+        par_chunks_mut(&pool, &mut empty, 8, |_, _| panic!("must not run"));
+        let mut one = vec![7u8];
+        par_chunks_mut(&pool, &mut one, 8, |off, c| {
+            assert_eq!(off, 0);
+            c[0] = 9;
+        });
+        assert_eq!(one, vec![9]);
+    }
+}

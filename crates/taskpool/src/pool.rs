@@ -1,0 +1,217 @@
+//! The worker pool: a shared injector queue drained by a fixed set of worker
+//! threads, with idle workers parked on a condition variable.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::deque::{Injector, Steal};
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::PoolError;
+
+/// A unit of work queued on the pool. Tasks submitted through [`crate::scope`]
+/// are lifetime-erased to `'static`; the scope guarantees they complete before
+/// the borrowed data goes out of scope.
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+pub(crate) struct Shared {
+    injector: Injector<Job>,
+    /// Number of jobs pushed but not yet finished executing; used only for
+    /// the idle-park heuristic, not for correctness.
+    pending: AtomicUsize,
+    shutdown: AtomicBool,
+    sleep_lock: Mutex<()>,
+    wakeup: Condvar,
+}
+
+impl Shared {
+    pub(crate) fn push(&self, job: Job) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.injector.push(job);
+        self.wakeup.notify_one();
+    }
+
+    /// Try to run one queued job on the calling thread. Returns `true` if a
+    /// job was executed. This is the "helping" primitive used by waiting
+    /// scopes so that nested parallelism cannot deadlock the pool.
+    pub(crate) fn try_run_one(&self) -> bool {
+        loop {
+            match self.injector.steal() {
+                Steal::Success(job) => {
+                    job();
+                    self.pending.fetch_sub(1, Ordering::SeqCst);
+                    return true;
+                }
+                Steal::Retry => continue,
+                Steal::Empty => return false,
+            }
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            if self.try_run_one() {
+                continue;
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let mut guard = self.sleep_lock.lock();
+            // Re-check under the lock to avoid missing a notify between the
+            // failed steal and the park.
+            if !self.injector.is_empty() || self.shutdown.load(Ordering::SeqCst) {
+                continue;
+            }
+            self.wakeup
+                .wait_for(&mut guard, Duration::from_millis(10));
+        }
+    }
+
+    pub(crate) fn notify_all(&self) {
+        self.wakeup.notify_all();
+    }
+}
+
+/// A fixed-size pool of worker threads.
+///
+/// Workers pull lifetime-erased jobs from a shared [`Injector`]. The pool is
+/// cheap to share (`&ThreadPool` everywhere); dropping it joins all workers.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Create a pool with `threads` workers (at least 1).
+    pub fn with_threads(threads: usize) -> Result<Self, PoolError> {
+        if threads == 0 {
+            return Err(PoolError::ZeroThreads);
+        }
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            pending: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            sleep_lock: Mutex::new(()),
+            wakeup: Condvar::new(),
+        });
+        let mut handles = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let sh = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("taskpool-worker-{i}"))
+                .spawn(move || sh.worker_loop())
+                .map_err(|e| PoolError::SpawnFailed(e.to_string()))?;
+            handles.push(handle);
+        }
+        Ok(ThreadPool {
+            shared,
+            handles,
+            threads,
+        })
+    }
+
+    /// Create a pool sized to the machine's available parallelism.
+    pub fn new() -> Result<Self, PoolError> {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_threads(n)
+    }
+
+    /// Number of worker threads in this pool.
+    pub fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    pub(crate) fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+
+    /// Submit a detached `'static` job. Most callers should prefer
+    /// [`crate::scope`], which permits borrowing and waits for completion.
+    pub fn spawn_detached<F: FnOnce() + Send + 'static>(&self, f: F) {
+        self.shared.push(Box::new(f));
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// The process-wide default pool, sized to available parallelism and created
+/// on first use.
+pub fn global() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| ThreadPool::new().expect("failed to create global thread pool"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
+
+    #[test]
+    fn zero_threads_rejected() {
+        assert!(matches!(
+            ThreadPool::with_threads(0),
+            Err(PoolError::ZeroThreads)
+        ));
+    }
+
+    #[test]
+    fn num_threads_reported() {
+        let pool = ThreadPool::with_threads(3).unwrap();
+        assert_eq!(pool.num_threads(), 3);
+    }
+
+    #[test]
+    fn detached_jobs_run() {
+        let pool = ThreadPool::with_threads(2).unwrap();
+        let (tx, rx) = mpsc::channel();
+        for i in 0..16 {
+            let tx = tx.clone();
+            pool.spawn_detached(move || tx.send(i).unwrap());
+        }
+        drop(tx);
+        let mut got: Vec<i32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::with_threads(4).unwrap();
+            for _ in 0..64 {
+                let c = Arc::clone(&counter);
+                pool.spawn_detached(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // Dropping the pool must not lose queued work that is in flight;
+            // workers drain until shutdown AND empty queue.
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn global_pool_is_singleton() {
+        let a = global() as *const ThreadPool;
+        let b = global() as *const ThreadPool;
+        assert_eq!(a, b);
+        assert!(global().num_threads() >= 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Chunked map-reduce over an index range.
+
+use std::ops::Range;
+
+use parking_lot::Mutex;
+
+use crate::parallel_for::split_evenly;
+use crate::pool::ThreadPool;
+use crate::scope::scope;
+
+/// Apply `map` to evenly-split sub-ranges of `range` in parallel, then fold
+/// the per-chunk results with `fold` starting from `identity`.
+///
+/// `fold` must be associative and `identity` its identity element for the
+/// result to be deterministic; chunk results are folded in ascending range
+/// order, so non-commutative (but associative) folds are safe.
+pub fn parallel_map_reduce<T, M, F>(
+    pool: &ThreadPool,
+    range: Range<usize>,
+    identity: T,
+    map: M,
+    fold: F,
+) -> T
+where
+    T: Send,
+    M: Fn(Range<usize>) -> T + Send + Sync,
+    F: Fn(T, T) -> T,
+{
+    let chunks = split_evenly(range, pool.num_threads());
+    if chunks.is_empty() {
+        return identity;
+    }
+    if chunks.len() == 1 {
+        return fold(identity, map(chunks.into_iter().next().unwrap()));
+    }
+    let n = chunks.len();
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let map = &map;
+    scope(pool, |s| {
+        for (idx, chunk) in chunks.into_iter().enumerate() {
+            let results = &results;
+            s.spawn(move || {
+                let r = map(chunk);
+                results.lock()[idx] = Some(r);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("scope guarantees all chunks completed"))
+        .fold(identity, fold)
+}
+
+/// Parallel sum of `f(i)` over `range`, for `f64` values.
+pub fn parallel_sum_f64<F>(pool: &ThreadPool, range: Range<usize>, f: F) -> f64
+where
+    F: Fn(usize) -> f64 + Send + Sync,
+{
+    parallel_map_reduce(
+        pool,
+        range,
+        0.0,
+        |r| r.map(&f).sum::<f64>(),
+        |a, b| a + b,
+    )
+}
+
+/// Parallel sum of `f(i)` over `range`, for `usize` values.
+pub fn parallel_sum_usize<F>(pool: &ThreadPool, range: Range<usize>, f: F) -> usize
+where
+    F: Fn(usize) -> usize + Send + Sync,
+{
+    parallel_map_reduce(
+        pool,
+        range,
+        0usize,
+        |r| r.map(&f).sum::<usize>(),
+        |a, b| a + b,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ThreadPool;
+
+    #[test]
+    fn sum_matches_sequential() {
+        let pool = ThreadPool::with_threads(4).unwrap();
+        let n = 10_000;
+        let got = parallel_sum_usize(&pool, 0..n, |i| i);
+        assert_eq!(got, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn empty_range_yields_identity() {
+        let pool = ThreadPool::with_threads(2).unwrap();
+        let got = parallel_map_reduce(&pool, 5..5, 99usize, |_| panic!("no chunks"), |a, _| a);
+        assert_eq!(got, 99);
+    }
+
+    #[test]
+    fn float_sum_close() {
+        let pool = ThreadPool::with_threads(3).unwrap();
+        let got = parallel_sum_f64(&pool, 0..1000, |i| i as f64 * 0.5);
+        let want: f64 = (0..1000).map(|i| i as f64 * 0.5).sum();
+        assert!((got - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ordered_fold_is_deterministic() {
+        // String concatenation is associative but not commutative: results
+        // must come back in ascending chunk order.
+        let pool = ThreadPool::with_threads(4).unwrap();
+        let got = parallel_map_reduce(
+            &pool,
+            0..26,
+            String::new(),
+            |r| {
+                r.map(|i| char::from(b'a' + i as u8)).collect::<String>()
+            },
+            |mut a, b| {
+                a.push_str(&b);
+                a
+            },
+        );
+        assert_eq!(got, "abcdefghijklmnopqrstuvwxyz");
+    }
+
+    #[test]
+    fn min_reduce() {
+        let pool = ThreadPool::with_threads(4).unwrap();
+        let data: Vec<i64> = (0..5000).map(|i| ((i * 7919) % 4099) as i64).collect();
+        let data_ref = &data;
+        let got = parallel_map_reduce(
+            &pool,
+            0..data.len(),
+            i64::MAX,
+            |r| r.map(|i| data_ref[i]).min().unwrap_or(i64::MAX),
+            |a, b| a.min(b),
+        );
+        assert_eq!(got, *data.iter().min().unwrap());
+    }
+}

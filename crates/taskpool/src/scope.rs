@@ -1,0 +1,229 @@
+//! Structured (scoped) task spawning with panic propagation.
+//!
+//! The lifetime discipline follows the same idea as `rayon::scope` /
+//! `std::thread::scope`: a task may borrow anything that outlives the scope
+//! (`'env`), because [`scope`] does not return until every spawned task has
+//! finished. Internally the task closure's lifetime is erased to `'static`
+//! before being queued on the pool; the completion counter restores safety.
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::pool::{Job, ThreadPool};
+
+struct ScopeState {
+    /// Tasks spawned but not yet completed.
+    pending: AtomicUsize,
+    /// First panic payload captured from a task, if any.
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    done_lock: Mutex<()>,
+    done: Condvar,
+}
+
+impl ScopeState {
+    fn task_finished(&self) {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _guard = self.done_lock.lock();
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Handle passed to the closure given to [`scope`]; used to spawn tasks that
+/// borrow from the environment `'env`.
+pub struct Scope<'pool, 'env> {
+    pool: &'pool ThreadPool,
+    state: Arc<ScopeState>,
+    /// Invariant over `'env` so borrows cannot be shortened behind our back.
+    _marker: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'pool, 'env> Scope<'pool, 'env> {
+    /// Spawn a task on the pool. The task may borrow from the environment;
+    /// it is guaranteed to finish before [`scope`] returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.state.pending.fetch_add(1, Ordering::SeqCst);
+        let state = Arc::clone(&self.state);
+        let task = move || {
+            let result = catch_unwind(AssertUnwindSafe(f));
+            if let Err(payload) = result {
+                let mut slot = state.panic.lock();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            state.task_finished();
+        };
+        // SAFETY: `scope` blocks until `pending` reaches zero, so the closure
+        // (and everything it borrows from `'env`) outlives its execution.
+        let job: Job = unsafe { erase_lifetime(Box::new(task)) };
+        self.pool.shared().push(job);
+    }
+
+    /// Number of worker threads in the underlying pool.
+    pub fn num_threads(&self) -> usize {
+        self.pool.num_threads()
+    }
+}
+
+/// Erase the `'env` lifetime from a boxed task. Sound only because the scope
+/// joins all tasks before returning control to code that could invalidate
+/// `'env` borrows.
+unsafe fn erase_lifetime<'env>(f: Box<dyn FnOnce() + Send + 'env>) -> Job {
+    std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(f)
+}
+
+/// Run `f` with a [`Scope`] on `pool`; wait for all spawned tasks, then
+/// return `f`'s result. If any task panicked, the panic is resumed here.
+///
+/// While waiting, the calling thread helps execute queued tasks, so nesting
+/// `scope` inside a pool task cannot deadlock.
+pub fn scope<'env, F, R>(pool: &ThreadPool, f: F) -> R
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    let state = Arc::new(ScopeState {
+        pending: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+        done_lock: Mutex::new(()),
+        done: Condvar::new(),
+    });
+    let scope_handle = Scope {
+        pool,
+        state: Arc::clone(&state),
+        _marker: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| f(&scope_handle)));
+
+    // Wait for all tasks, helping with queued work while we wait.
+    while state.pending.load(Ordering::SeqCst) != 0 {
+        if pool.shared().try_run_one() {
+            continue;
+        }
+        let mut guard = state.done_lock.lock();
+        if state.pending.load(Ordering::SeqCst) == 0 {
+            break;
+        }
+        // Short timeout: a queued-but-unstolen job could otherwise leave us
+        // parked while work sits in the injector.
+        state.done.wait_for(&mut guard, Duration::from_millis(1));
+    }
+
+    if let Some(payload) = state.panic.lock().take() {
+        std::panic::resume_unwind(payload);
+    }
+    match result {
+        Ok(r) => r,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ThreadPool;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn tasks_borrow_stack_data() {
+        let pool = ThreadPool::with_threads(4).unwrap();
+        let data = [1u32, 2, 3, 4, 5, 6, 7, 8];
+        let total = AtomicUsize::new(0);
+        scope(&pool, |s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|| {
+                    let sum: u32 = chunk.iter().sum();
+                    total.fetch_add(sum as usize, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 36);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let pool = ThreadPool::with_threads(2).unwrap();
+        let v = scope(&pool, |s| {
+            s.spawn(|| {});
+            42
+        });
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn empty_scope_is_fine() {
+        let pool = ThreadPool::with_threads(1).unwrap();
+        let v = scope(&pool, |_| "ok");
+        assert_eq!(v, "ok");
+    }
+
+    #[test]
+    fn task_panic_propagates() {
+        let pool = ThreadPool::with_threads(2).unwrap();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            scope(&pool, |s| {
+                s.spawn(|| panic!("task boom"));
+            });
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn remaining_tasks_still_run_after_panic() {
+        let pool = ThreadPool::with_threads(2).unwrap();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            scope(&pool, |s| {
+                s.spawn(|| panic!("boom"));
+                for _ in 0..8 {
+                    let c = Arc::clone(&c2);
+                    s.spawn(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn single_thread_pool_nested_scope_no_deadlock() {
+        let pool = ThreadPool::with_threads(1).unwrap();
+        let counter = AtomicUsize::new(0);
+        scope(&pool, |s| {
+            s.spawn(|| {
+                scope(&pool, |inner| {
+                    inner.spawn(|| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn many_tasks_complete() {
+        let pool = ThreadPool::with_threads(4).unwrap();
+        let counter = AtomicUsize::new(0);
+        scope(&pool, |s| {
+            for _ in 0..1000 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 1000);
+    }
+}

@@ -1,0 +1,135 @@
+//! Stress and property tests for the task pool: heavy concurrent load,
+//! deep nesting, randomized chunked computations checked against
+//! sequential references.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use taskpool::{join, par_chunks_mut, parallel_for_chunks, parallel_map_reduce, scope, ThreadPool};
+
+#[test]
+fn ten_thousand_tasks_across_many_scopes() {
+    let pool = ThreadPool::with_threads(4).unwrap();
+    let counter = AtomicUsize::new(0);
+    for _ in 0..100 {
+        scope(&pool, |s| {
+            for _ in 0..100 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+    }
+    assert_eq!(counter.load(Ordering::Relaxed), 10_000);
+}
+
+#[test]
+fn deep_nesting_does_not_deadlock() {
+    let pool = ThreadPool::with_threads(2).unwrap();
+    fn recurse(pool: &ThreadPool, depth: usize, hits: &AtomicUsize) {
+        hits.fetch_add(1, Ordering::Relaxed);
+        if depth == 0 {
+            return;
+        }
+        scope(pool, |s| {
+            s.spawn(|| recurse(pool, depth - 1, hits));
+            s.spawn(|| recurse(pool, depth - 1, hits));
+        });
+    }
+    let hits = AtomicUsize::new(0);
+    recurse(&pool, 8, &hits);
+    assert_eq!(hits.load(Ordering::Relaxed), 2usize.pow(9) - 1);
+}
+
+#[test]
+fn concurrent_scopes_from_multiple_os_threads() {
+    let pool = Arc::new(ThreadPool::with_threads(3).unwrap());
+    let counter = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let pool = Arc::clone(&pool);
+        let counter = Arc::clone(&counter);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..50 {
+                scope(&pool, |s| {
+                    for _ in 0..10 {
+                        let c = Arc::clone(&counter);
+                        s.spawn(move || {
+                            c.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(counter.load(Ordering::Relaxed), 4 * 50 * 10);
+}
+
+#[test]
+fn join_under_contention() {
+    let pool = ThreadPool::with_threads(2).unwrap();
+    for i in 0..200u64 {
+        let (a, b) = join(&pool, move || i * 2, move || i * 3);
+        assert_eq!(a + b, i * 5);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn chunked_map_reduce_matches_sequential(
+        data in proptest::collection::vec(-1000i64..1000, 0..2000),
+        threads in 1usize..5,
+    ) {
+        let pool = ThreadPool::with_threads(threads).unwrap();
+        let data_ref = &data;
+        let got = parallel_map_reduce(
+            &pool,
+            0..data.len(),
+            0i64,
+            |r| r.map(|i| data_ref[i]).sum::<i64>(),
+            |a, b| a + b,
+        );
+        prop_assert_eq!(got, data.iter().sum::<i64>());
+    }
+
+    #[test]
+    fn par_chunks_mut_equals_sequential_transform(
+        mut data in proptest::collection::vec(0u32..10_000, 0..1500),
+        chunk in 1usize..130,
+        threads in 1usize..5,
+    ) {
+        let pool = ThreadPool::with_threads(threads).unwrap();
+        let mut expect = data.clone();
+        for (i, x) in expect.iter_mut().enumerate() {
+            *x = x.wrapping_mul(3).wrapping_add(i as u32);
+        }
+        par_chunks_mut(&pool, &mut data, chunk, |offset, slice| {
+            for (k, x) in slice.iter_mut().enumerate() {
+                *x = x.wrapping_mul(3).wrapping_add((offset + k) as u32);
+            }
+        });
+        prop_assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn parallel_for_chunks_visits_each_index_once(
+        n in 0usize..3000,
+        grain in 1usize..200,
+    ) {
+        let pool = ThreadPool::with_threads(3).unwrap();
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let hits_ref = &hits;
+        parallel_for_chunks(&pool, 0..n, grain, |r| {
+            for i in r {
+                hits_ref[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        prop_assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+}

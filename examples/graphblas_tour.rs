@@ -1,0 +1,123 @@
+//! A tour of the GraphBLAS substrate: the translation patterns of the
+//! paper's Sec. II, executed one by one on a small graph —
+//! vertex-centric operations as applies, edge-centric operations as
+//! element-wise products, sets as vectors, filtering as masks, and the
+//! `(min,+)` relaxation as `vxm`. Ends with the Sec. V-B `eWiseAdd`
+//! pitfall, live.
+//!
+//! ```bash
+//! cargo run --release --example graphblas_tour
+//! ```
+
+use gblas::ops::{self, semiring, FnUnary, Identity, LOr, Lt};
+use gblas::{Descriptor, Matrix, Vector};
+
+fn main() {
+    // The adjacency matrix of a 4-vertex weighted digraph (Sec. II-A):
+    // row i holds the outgoing edges of vertex i.
+    let a = Matrix::from_triples(
+        4,
+        4,
+        vec![(0, 1, 0.5), (0, 2, 3.0), (1, 2, 0.9), (2, 3, 0.4)],
+    )
+    .unwrap();
+    println!("adjacency: {} vertices, {} edges", a.nrows(), a.nvals());
+
+    // --- Sec. II-E filtering: A_L = A .* (0 < A <= delta) --------------
+    let delta = 1.0;
+    let mut pattern: Matrix<bool> = Matrix::new(4, 4);
+    let light_pred = FnUnary::new(move |w: f64| w > 0.0 && w <= delta);
+    ops::matrix_apply(&mut pattern, None, None, &light_pred, &a, Descriptor::new()).unwrap();
+    let mut a_l: Matrix<f64> = Matrix::new(4, 4);
+    ops::matrix_apply(
+        &mut a_l,
+        Some(&pattern.mask()),
+        None,
+        &Identity::<f64>::new(),
+        &a,
+        Descriptor::replace(),
+    )
+    .unwrap();
+    println!("light edges (w <= {delta}): {} of {}", a_l.nvals(), a.nvals());
+
+    // --- Sec. II-D sets as vectors: the current bucket -----------------
+    let mut t: Vector<f64> = Vector::new(4);
+    t.set(0, 0.0).unwrap(); // tent(source) = 0
+    let bucket0 = FnUnary::new(move |x: f64| (0.0..delta).contains(&x));
+    let mut t_b: Vector<bool> = Vector::new(4);
+    ops::vector_apply(&mut t_b, None, None, &bucket0, &t, Descriptor::replace()).unwrap();
+    println!("bucket B_0 holds {} vertex/vertices", t_b.mask().nallowed());
+
+    // --- Sec. IV-C relaxation: t_Req = A_L^T (t ∘ t_B) over (min,+) -----
+    let mut t_masked: Vector<f64> = Vector::new(4);
+    ops::vector_apply(
+        &mut t_masked,
+        Some(&t_b.mask()),
+        None,
+        &Identity::<f64>::new(),
+        &t,
+        Descriptor::replace(),
+    )
+    .unwrap();
+    let mut t_req: Vector<f64> = Vector::new(4);
+    ops::vxm(
+        &mut t_req,
+        None,
+        None,
+        &semiring::min_plus_f64(),
+        &t_masked,
+        &a_l,
+        Descriptor::replace(),
+    )
+    .unwrap();
+    println!("requests after one light relaxation:");
+    for (v, d) in t_req.iter() {
+        println!("  proposed tent({v}) = {d}");
+    }
+
+    // --- Sec. V-B: the eWiseAdd pitfall, live ---------------------------
+    // t has an entry t[0] = 0... compute (t_req < t) naively:
+    let mut naive: Vector<bool> = Vector::new(4);
+    ops::ewise_add_vector(&mut naive, None, None, &Lt::<f64>::new(), &t_req, &t, Descriptor::new())
+        .unwrap();
+    // Position 0 exists only in t (no request), so eWiseAdd passes t[0]
+    // through, cast to bool: 0.0 -> false here, but a *non-zero* lone t
+    // value would come out true — the trap:
+    let mut t2 = t.clone();
+    t2.set(3, 7.0).unwrap(); // pretend vertex 3 already had distance 7
+    let mut trapped: Vector<bool> = Vector::new(4);
+    ops::ewise_add_vector(
+        &mut trapped,
+        None,
+        None,
+        &Lt::<f64>::new(),
+        &t_req,
+        &t2,
+        Descriptor::new(),
+    )
+    .unwrap();
+    println!(
+        "pitfall: with no request for vertex 3, (t_req < t)[3] = {:?} (pass-through, not false!)",
+        trapped.get(3)
+    );
+
+    // The paper's fix: mask the comparison with t_req.
+    let mut fixed: Vector<bool> = Vector::new(4);
+    ops::ewise_add_vector(
+        &mut fixed,
+        Some(&t_req.mask()),
+        None,
+        &Lt::<f64>::new(),
+        &t_req,
+        &t2,
+        Descriptor::replace(),
+    )
+    .unwrap();
+    println!("fixed with t_req as mask: (t_req < t)[3] = {:?} (absent)", fixed.get(3));
+
+    // --- bonus: set union via eWiseAdd LOR (Sec. IV-D) ------------------
+    let s = Vector::from_entries(4, vec![(0, true)]).unwrap();
+    let mut s_next: Vector<bool> = Vector::new(4);
+    ops::ewise_add_vector(&mut s_next, None, None, &LOr, &s, &t_b, Descriptor::new()).unwrap();
+    println!("settled set S now stores {} entries", s_next.nvals());
+}

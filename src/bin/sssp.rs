@@ -1,0 +1,333 @@
+//! `sssp` — command-line single-source shortest paths.
+//!
+//! Loads a graph (Matrix Market, SNAP TSV, or the crate's binary format,
+//! chosen by extension or `--format`), runs the selected implementation,
+//! and prints distances (or a summary).
+//!
+//! ```bash
+//! sssp --gen grid:64x64 --impl fused --source 0 --summary
+//! sssp graph.mtx --impl gblas --delta 1.0
+//! sssp edges.tsv --impl parallel --threads 4 --validate
+//! ```
+
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use graphdata::{gen, io as gio, CsrGraph, EdgeList, WeightModel};
+use sssp_core::delta::DeltaStrategy;
+use sssp_core::{
+    bellman_ford, canonical, dijkstra, fused, gblas_impl, gblas_parallel, gblas_select, parallel,
+    parallel_improved, validate, SsspResult,
+};
+use taskpool::ThreadPool;
+
+struct Options {
+    input: Option<String>,
+    format: Option<String>,
+    generate: Option<String>,
+    implementation: String,
+    source: usize,
+    delta: Option<f64>,
+    threads: usize,
+    symmetrize: bool,
+    unit_weights: bool,
+    random_weights: bool,
+    validate: bool,
+    summary: bool,
+}
+
+const USAGE: &str = "\
+usage: sssp [INPUT] [options]
+
+input (one of):
+  INPUT                    graph file: .mtx (Matrix Market), .tsv/.txt (SNAP), .bin
+  --format mm|tsv|bin      override format detection
+  --gen SPEC               synthetic graph instead of a file:
+                           grid:WxH | er:N,M | rmat:SCALE,EF | ba:N,M | path:N | cycle:N
+
+options:
+  --impl NAME              dijkstra | bellman-ford | canonical | gblas |
+                           gblas-select | gblas-parallel | fused (default) |
+                           parallel | improved
+  --source V               source vertex (default 0)
+  --delta X                bucket width (default: 1.0; 'ms' = Meyer-Sanders rule)
+  --threads T              pool size for parallel impls (default 4)
+  --symmetrize             add reverse edges
+  --unit-weights           overwrite weights with 1.0
+  --random-weights         uniform weights in [0.1, 1.0), symmetric
+  --validate               check the SSSP optimality certificate
+  --summary                print statistics instead of every distance
+  --help                   this text
+";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut o = Options {
+        input: None,
+        format: None,
+        generate: None,
+        implementation: "fused".into(),
+        source: 0,
+        delta: None,
+        threads: 4,
+        symmetrize: false,
+        unit_weights: false,
+        random_weights: false,
+        validate: false,
+        summary: false,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize, what: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {what}"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--format" => o.format = Some(value(&mut i, "--format")?),
+            "--gen" => o.generate = Some(value(&mut i, "--gen")?),
+            "--impl" => o.implementation = value(&mut i, "--impl")?,
+            "--source" => {
+                o.source = value(&mut i, "--source")?
+                    .parse()
+                    .map_err(|_| "bad --source".to_string())?
+            }
+            "--delta" => {
+                let v = value(&mut i, "--delta")?;
+                o.delta = Some(if v == "ms" {
+                    f64::NAN // resolved later via Meyer-Sanders
+                } else {
+                    v.parse().map_err(|_| "bad --delta".to_string())?
+                });
+            }
+            "--threads" => {
+                o.threads = value(&mut i, "--threads")?
+                    .parse()
+                    .map_err(|_| "bad --threads".to_string())?
+            }
+            "--symmetrize" => o.symmetrize = true,
+            "--unit-weights" => o.unit_weights = true,
+            "--random-weights" => o.random_weights = true,
+            "--validate" => o.validate = true,
+            "--summary" => o.summary = true,
+            other if !other.starts_with('-') && o.input.is_none() => {
+                o.input = Some(other.to_string())
+            }
+            other => return Err(format!("unknown argument '{other}'\n\n{USAGE}")),
+        }
+        i += 1;
+    }
+    if o.input.is_none() && o.generate.is_none() {
+        return Err(format!("no input given\n\n{USAGE}"));
+    }
+    Ok(o)
+}
+
+fn generate(spec: &str) -> Result<EdgeList, String> {
+    let (kind, params) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("bad --gen spec '{spec}'"))?;
+    let nums = |sep: char| -> Result<Vec<usize>, String> {
+        params
+            .split(sep)
+            .map(|t| t.parse().map_err(|_| format!("bad number in '{spec}'")))
+            .collect()
+    };
+    match kind {
+        "grid" => {
+            let d = nums('x')?;
+            if d.len() != 2 {
+                return Err("grid needs WxH".into());
+            }
+            Ok(gen::grid2d(d[0], d[1]))
+        }
+        "er" => {
+            let d = nums(',')?;
+            if d.len() != 2 {
+                return Err("er needs N,M".into());
+            }
+            Ok(gen::gnm(d[0], d[1], 42))
+        }
+        "rmat" => {
+            let d = nums(',')?;
+            if d.len() != 2 {
+                return Err("rmat needs SCALE,EDGEFACTOR".into());
+            }
+            Ok(gen::rmat(gen::RmatParams::graph500(d[0] as u32, d[1]), 42))
+        }
+        "ba" => {
+            let d = nums(',')?;
+            if d.len() != 2 {
+                return Err("ba needs N,M".into());
+            }
+            Ok(gen::barabasi_albert(d[0], d[1], 42))
+        }
+        "path" => Ok(gen::path(nums(',')?[0])),
+        "cycle" => Ok(gen::cycle(nums(',')?[0])),
+        other => Err(format!("unknown generator '{other}'")),
+    }
+}
+
+fn load(path: &str, format: Option<&str>) -> Result<EdgeList, String> {
+    let fmt = match format {
+        Some(f) => f.to_string(),
+        None => match path.rsplit_once('.').map(|(_, e)| e) {
+            Some("mtx") => "mm".into(),
+            Some("tsv") | Some("txt") | Some("el") => "tsv".into(),
+            Some("bin") => "bin".into(),
+            _ => return Err(format!("cannot infer format of '{path}'; use --format")),
+        },
+    };
+    let err = |e: graphdata::GraphError| e.to_string();
+    match fmt.as_str() {
+        "mm" => {
+            let f = std::fs::File::open(path).map_err(|e| e.to_string())?;
+            gio::read_matrix_market(BufReader::new(f)).map_err(err)
+        }
+        "tsv" => {
+            let f = std::fs::File::open(path).map_err(|e| e.to_string())?;
+            gio::read_snap_tsv(BufReader::new(f)).map_err(err)
+        }
+        "bin" => {
+            let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+            gio::read_binary(&bytes).map_err(err)
+        }
+        other => Err(format!("unknown format '{other}'")),
+    }
+}
+
+fn run(o: &Options, g: &CsrGraph, delta: f64) -> Result<SsspResult, String> {
+    Ok(match o.implementation.as_str() {
+        "dijkstra" => dijkstra::dijkstra(g, o.source),
+        "bellman-ford" => bellman_ford::bellman_ford(g, o.source),
+        "canonical" => canonical::delta_stepping_canonical(g, o.source, delta),
+        "gblas" => gblas_impl::delta_stepping_gblas(g, o.source, delta),
+        "gblas-select" => gblas_select::delta_stepping_gblas_select(g, o.source, delta),
+        "gblas-parallel" => {
+            let pool = ThreadPool::with_threads(o.threads).map_err(|e| e.to_string())?;
+            gblas_parallel::delta_stepping_gblas_parallel(&pool, g, o.source, delta)
+        }
+        "fused" => fused::delta_stepping_fused(g, o.source, delta),
+        "parallel" => {
+            let pool = ThreadPool::with_threads(o.threads).map_err(|e| e.to_string())?;
+            parallel::delta_stepping_parallel(&pool, g, o.source, delta)
+        }
+        "improved" => {
+            let pool = ThreadPool::with_threads(o.threads).map_err(|e| e.to_string())?;
+            parallel_improved::delta_stepping_parallel_improved(&pool, g, o.source, delta)
+        }
+        other => return Err(format!("unknown --impl '{other}'\n\n{USAGE}")),
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let o = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut el = match (&o.generate, &o.input) {
+        (Some(spec), _) => match generate(spec) {
+            Ok(el) => el,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, Some(path)) => match load(path, o.format.as_deref()) {
+            Ok(el) => el,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, None) => unreachable!("parse_args enforces an input"),
+    };
+    if o.symmetrize {
+        el.symmetrize();
+    }
+    if o.unit_weights {
+        el.make_unit_weight();
+    }
+    if o.random_weights {
+        graphdata::weights::assign_symmetric(
+            &mut el,
+            WeightModel::UniformFloat { lo: 0.1, hi: 1.0 },
+            42,
+        );
+    }
+    let g = match CsrGraph::from_edge_list(&el) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if o.source >= g.num_vertices() {
+        eprintln!(
+            "error: source {} out of bounds ({} vertices)",
+            o.source,
+            g.num_vertices()
+        );
+        return ExitCode::FAILURE;
+    }
+    let delta = match o.delta {
+        Some(d) if d.is_nan() => DeltaStrategy::MeyerSanders.resolve(&g),
+        Some(d) => d,
+        None => 1.0,
+    };
+
+    let t0 = std::time::Instant::now();
+    let result = match run(&o, &g, delta) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = t0.elapsed();
+
+    if o.validate {
+        if let Err(e) = validate::check_certificate(&g, &result, 1e-9) {
+            eprintln!("VALIDATION FAILED: {e:?}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("certificate: OK");
+    }
+
+    if o.summary {
+        println!(
+            "graph: {} vertices, {} edges | impl: {} | delta: {delta}",
+            g.num_vertices(),
+            g.num_edges(),
+            o.implementation
+        );
+        println!(
+            "source {} reaches {} vertices; eccentricity {:?}",
+            o.source,
+            result.reachable_count(),
+            result.eccentricity()
+        );
+        println!(
+            "stats: {} buckets, {} light phases, {} relaxations, {} improvements",
+            result.stats.buckets_processed,
+            result.stats.light_phases,
+            result.stats.relaxations,
+            result.stats.improvements
+        );
+        println!("time: {elapsed:?}");
+    } else {
+        for (v, d) in result.dist.iter().enumerate() {
+            if d.is_finite() {
+                println!("{v}\t{d}");
+            } else {
+                println!("{v}\tinf");
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,26 @@
+//! # delta-stepping-graphblas
+//!
+//! Umbrella crate for the reproduction of *"Delta-stepping SSSP: from
+//! Vertices and Edges to GraphBLAS Implementations"* (Sridhar et al.,
+//! GrAPL/IPDPSW 2019). Re-exports the workspace crates and hosts the
+//! runnable examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`).
+//!
+//! * [`gblas`] — the GraphBLAS substrate (sparse containers, semirings,
+//!   masked operations).
+//! * [`graphdata`] — graphs, generators, I/O, and the benchmark suite.
+//! * [`sssp_core`] — the five delta-stepping implementations and the
+//!   baselines.
+//! * [`taskpool`] — the OpenMP-tasks-style parallel runtime.
+//!
+//! Start with `examples/quickstart.rs`:
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+pub use gblas;
+pub use graph_algos;
+pub use graphdata;
+pub use sssp_core;
+pub use taskpool;

@@ -1,0 +1,141 @@
+//! End-to-end tests of the `sssp` command-line binary: generator specs,
+//! file formats, implementation selection, validation, and error paths.
+
+use std::process::{Command, Output};
+
+fn sssp(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sssp"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn path_graph_distances_on_stdout() {
+    let out = sssp(&["--gen", "path:5", "--impl", "dijkstra"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    let lines: Vec<&str> = text.lines().map(str::trim).collect();
+    assert_eq!(lines, vec!["0\t0", "1\t1", "2\t2", "3\t3", "4\t4"]);
+}
+
+#[test]
+fn all_implementations_selectable() {
+    for imp in [
+        "dijkstra",
+        "bellman-ford",
+        "canonical",
+        "gblas",
+        "gblas-select",
+        "gblas-parallel",
+        "fused",
+        "parallel",
+        "improved",
+    ] {
+        let out = sssp(&["--gen", "grid:6x6", "--impl", imp, "--validate", "--summary"]);
+        assert!(out.status.success(), "{imp}: {}", stderr(&out));
+        assert!(stderr(&out).contains("certificate: OK"), "{imp}");
+        assert!(stdout(&out).contains("reaches 36 vertices"), "{imp}");
+    }
+}
+
+#[test]
+fn unreachable_prints_inf() {
+    // A directed path run from its last vertex reaches only itself.
+    let out = sssp(&["--gen", "path:3", "--source", "2"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("0\tinf"));
+    assert!(text.contains("2\t0"));
+}
+
+#[test]
+fn file_formats_round_trip_through_cli() {
+    let dir = std::env::temp_dir().join(format!("sssp-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Write a small graph in each format.
+    let el = graphdata::EdgeList::from_triples(vec![(0, 1, 1.0), (1, 2, 2.0)]);
+    let mtx = dir.join("g.mtx");
+    let mut buf = Vec::new();
+    graphdata::io::write_matrix_market(&mut buf, &el).unwrap();
+    std::fs::write(&mtx, &buf).unwrap();
+
+    let tsv = dir.join("g.tsv");
+    let mut buf = Vec::new();
+    graphdata::io::write_snap_tsv(&mut buf, &el).unwrap();
+    std::fs::write(&tsv, &buf).unwrap();
+
+    let bin = dir.join("g.bin");
+    std::fs::write(&bin, graphdata::io::write_binary(&el)).unwrap();
+
+    for path in [&mtx, &tsv, &bin] {
+        let out = sssp(&[path.to_str().unwrap(), "--impl", "fused", "--delta", "2.0"]);
+        assert!(out.status.success(), "{path:?}: {}", stderr(&out));
+        let text = stdout(&out);
+        assert!(text.contains("2\t3"), "{path:?}: {text}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn meyer_sanders_delta_accepted() {
+    let out = sssp(&[
+        "--gen",
+        "grid:8x8",
+        "--random-weights",
+        "--delta",
+        "ms",
+        "--summary",
+        "--validate",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+}
+
+#[test]
+fn error_paths_fail_cleanly() {
+    // No input.
+    let out = sssp(&["--impl", "fused"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("no input given"));
+    // Unknown implementation.
+    let out = sssp(&["--gen", "path:4", "--impl", "warshall"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown --impl"));
+    // Bad generator spec.
+    let out = sssp(&["--gen", "donut:7"]);
+    assert!(!out.status.success());
+    // Out-of-bounds source.
+    let out = sssp(&["--gen", "path:4", "--source", "9"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("out of bounds"));
+    // Missing file.
+    let out = sssp(&["/nonexistent/graph.mtx"]);
+    assert!(!out.status.success());
+    // Unknown extension without --format.
+    let out = sssp(&["/tmp/whatever.xyz"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("cannot infer format"));
+}
+
+#[test]
+fn help_exits_nonzero_with_usage() {
+    let out = sssp(&["--help"]);
+    assert!(stderr(&out).contains("usage: sssp"));
+}
+
+#[test]
+fn symmetrize_and_unit_weights() {
+    // Directed path reversed source; with --symmetrize everything reachable.
+    let out = sssp(&["--gen", "path:4", "--symmetrize", "--source", "3", "--summary"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("reaches 4 vertices"));
+}

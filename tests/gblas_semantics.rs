@@ -1,0 +1,335 @@
+//! Systematic checks of the GraphBLAS write semantics: the full
+//! mask × accumulator × replace matrix of cases, verified against a dense
+//! reference model.
+
+use gblas::ops::{self, Plus, Second};
+use gblas::{Descriptor, Vector};
+
+/// Dense reference of the write semantics for a vector operation whose
+/// intermediate result is `t` (as dense options).
+fn reference_write(
+    old: &[Option<i64>],
+    t: &[Option<i64>],
+    mask: Option<&[bool]>,
+    accum: bool,
+    complement: bool,
+    replace: bool,
+) -> Vec<Option<i64>> {
+    let n = old.len();
+    // Z = accum ? merge(old, t) : t
+    let z: Vec<Option<i64>> = (0..n)
+        .map(|i| {
+            if accum {
+                match (old[i], t[i]) {
+                    (Some(a), Some(b)) => Some(a + b),
+                    (Some(a), None) => Some(a),
+                    (None, Some(b)) => Some(b),
+                    (None, None) => None,
+                }
+            } else {
+                t[i]
+            }
+        })
+        .collect();
+    (0..n)
+        .map(|i| {
+            let allowed = match mask {
+                None => !complement,
+                Some(m) => m[i] != complement,
+            };
+            if allowed {
+                z[i]
+            } else if replace {
+                None
+            } else {
+                old[i]
+            }
+        })
+        .collect()
+}
+
+fn to_vector(dense: &[Option<i64>]) -> Vector<i64> {
+    Vector::from_dense(dense)
+}
+
+#[test]
+fn write_semantics_exhaustive_small_cases() {
+    // All combinations over a 4-element space with a fixed old/t pattern.
+    let old = [Some(10), None, Some(30), Some(40)];
+    let t_in = [Some(1), Some(2), None, Some(4)];
+    let mask_bits = [true, false, true, false];
+
+    for use_mask in [false, true] {
+        for accum in [false, true] {
+            for complement in [false, true] {
+                for replace in [false, true] {
+                    let mut out = to_vector(&old);
+                    let input = to_vector(&t_in);
+                    let mask_v = Vector::from_dense(
+                        &mask_bits.iter().map(|&b| Some(b)).collect::<Vec<_>>(),
+                    );
+                    let mask_obj = mask_v.mask();
+                    let mask = if use_mask { Some(&mask_obj) } else { None };
+                    let desc = Descriptor {
+                        replace,
+                        complement_mask: complement,
+                        ..Descriptor::default()
+                    };
+                    let accum_op = Plus::<i64>::new();
+                    let accum_ref: Option<&dyn ops::BinaryOp<i64, i64, i64>> =
+                        if accum { Some(&accum_op) } else { None };
+                    // The operation: identity apply (T = input's pattern).
+                    ops::vector_apply(
+                        &mut out,
+                        mask,
+                        accum_ref,
+                        &ops::Identity::<i64>::new(),
+                        &input,
+                        desc,
+                    )
+                    .unwrap();
+
+                    let expect = reference_write(
+                        &old,
+                        &t_in,
+                        if use_mask { Some(&mask_bits) } else { None },
+                        accum,
+                        complement,
+                        replace,
+                    );
+                    assert_eq!(
+                        out.to_dense(),
+                        expect,
+                        "mask={use_mask} accum={accum} comp={complement} repl={replace}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn structural_vs_value_masks() {
+    let data = Vector::from_entries(4, vec![(0, 0i64), (1, 5)]).unwrap();
+    let input = Vector::full(4, 9i64);
+    // Value mask: only index 1 (non-zero value).
+    let mut out: Vector<i64> = Vector::new(4);
+    ops::vector_apply(
+        &mut out,
+        Some(&data.mask()),
+        None,
+        &ops::Identity::<i64>::new(),
+        &input,
+        Descriptor::replace(),
+    )
+    .unwrap();
+    assert_eq!(out.to_dense(), vec![None, Some(9), None, None]);
+    // Structural mask: indices 0 and 1 (stored entries).
+    let mut out: Vector<i64> = Vector::new(4);
+    ops::vector_apply(
+        &mut out,
+        Some(&data.structure()),
+        None,
+        &ops::Identity::<i64>::new(),
+        &input,
+        Descriptor::replace(),
+    )
+    .unwrap();
+    assert_eq!(out.to_dense(), vec![Some(9), Some(9), None, None]);
+}
+
+#[test]
+fn accumulator_union_semantics_on_vxm() {
+    // vxm with accum keeps old entries not produced by the product.
+    let a = gblas::Matrix::from_triples(3, 3, vec![(0, 1, 1.0)]).unwrap();
+    let u = Vector::from_entries(3, vec![(0, 10.0)]).unwrap();
+    let mut out = Vector::from_entries(3, vec![(2, 99.0)]).unwrap();
+    let accum = Second::<f64>::new();
+    ops::vxm(
+        &mut out,
+        None,
+        Some(&accum),
+        &ops::semiring::min_plus_f64(),
+        &u,
+        &a,
+        Descriptor::new(),
+    )
+    .unwrap();
+    assert_eq!(out.get(1), Some(11.0)); // product result
+    assert_eq!(out.get(2), Some(99.0)); // old entry survives via accum union
+}
+
+#[test]
+fn no_mask_no_accum_write_is_destructive() {
+    // Without mask and accum, the output is exactly the new pattern.
+    let a = gblas::Matrix::from_triples(3, 3, vec![(0, 1, 1.0)]).unwrap();
+    let u = Vector::from_entries(3, vec![(0, 10.0)]).unwrap();
+    let mut out = Vector::from_entries(3, vec![(2, 99.0)]).unwrap();
+    ops::vxm(
+        &mut out,
+        None,
+        None,
+        &ops::semiring::min_plus_f64(),
+        &u,
+        &a,
+        Descriptor::new(),
+    )
+    .unwrap();
+    assert_eq!(out.get(2), None); // destroyed
+    assert_eq!(out.nvals(), 1);
+}
+
+#[test]
+fn empty_mask_with_replace_clears_everything() {
+    let empty_mask_v: Vector<bool> = Vector::new(3);
+    let mut out = Vector::from_entries(3, vec![(0, 1i64), (2, 2)]).unwrap();
+    let input = Vector::full(3, 7i64);
+    ops::vector_apply(
+        &mut out,
+        Some(&empty_mask_v.mask()),
+        None,
+        &ops::Identity::<i64>::new(),
+        &input,
+        Descriptor::replace(),
+    )
+    .unwrap();
+    assert_eq!(out.nvals(), 0);
+}
+
+#[test]
+fn matrix_write_semantics_match_vector_semantics() {
+    // Same scenario expressed per-row on a 1-row matrix must agree with
+    // the vector case.
+    let old = [Some(10i64), None, Some(30), Some(40)];
+    let t_in = [Some(1i64), Some(2), None, Some(4)];
+    let mask_bits = [true, false, true, false];
+
+    let mut mat_out = gblas::Matrix::from_dense(&[old.to_vec()]).unwrap();
+    let mat_in = gblas::Matrix::from_dense(&[t_in.to_vec()]).unwrap();
+    let mask_m = gblas::Matrix::from_dense(&[mask_bits.iter().map(|&b| Some(b)).collect()])
+        .unwrap();
+    ops::matrix_apply(
+        &mut mat_out,
+        Some(&mask_m.mask()),
+        None,
+        &ops::Identity::<i64>::new(),
+        &mat_in,
+        Descriptor::replace(),
+    )
+    .unwrap();
+
+    let expect = reference_write(&old, &t_in, Some(&mask_bits), false, false, true);
+    assert_eq!(mat_out.to_dense()[0], expect);
+}
+
+/// The same exhaustive mask × accum × replace sweep, through `vxm` (the
+/// algorithm's hot operation) instead of `apply`.
+#[test]
+fn vxm_write_semantics_exhaustive() {
+    use gblas::ops::semiring;
+    // 3x4 matrix and a frontier such that T = u ⊕.⊗ A has a known pattern.
+    let a = gblas::Matrix::from_triples(
+        3,
+        4,
+        vec![(0, 0, 2i64), (0, 3, 5), (1, 1, 7), (2, 3, 1)],
+    )
+    .unwrap();
+    let u = Vector::from_entries(3, vec![(0, 10i64), (2, 100)]).unwrap();
+    // plus_times: T[0] = 10*2 = 20, T[3] = 10*5 + 100*1 = 150; T[1], T[2] absent.
+    let t_dense: [Option<i64>; 4] = [Some(20), None, None, Some(150)];
+    let old = [Some(1i64), Some(2), None, Some(4)];
+    let mask_bits = [true, true, false, false];
+
+    for use_mask in [false, true] {
+        for accum in [false, true] {
+            for complement in [false, true] {
+                for replace in [false, true] {
+                    let mut out = to_vector(&old);
+                    let mask_v = Vector::from_dense(
+                        &mask_bits.iter().map(|&b| Some(b)).collect::<Vec<_>>(),
+                    );
+                    let mask_obj = mask_v.mask();
+                    let mask = if use_mask { Some(&mask_obj) } else { None };
+                    let desc = Descriptor {
+                        replace,
+                        complement_mask: complement,
+                        ..Descriptor::default()
+                    };
+                    let accum_op = Plus::<i64>::new();
+                    let accum_ref: Option<&dyn ops::BinaryOp<i64, i64, i64>> =
+                        if accum { Some(&accum_op) } else { None };
+                    ops::vxm(
+                        &mut out,
+                        mask,
+                        accum_ref,
+                        &semiring::plus_times::<i64>(),
+                        &u,
+                        &a,
+                        desc,
+                    )
+                    .unwrap();
+                    let expect = reference_write(
+                        &old,
+                        &t_dense,
+                        if use_mask { Some(&mask_bits) } else { None },
+                        accum,
+                        complement,
+                        replace,
+                    );
+                    assert_eq!(
+                        out.to_dense(),
+                        expect,
+                        "mask={use_mask} accum={accum} comp={complement} repl={replace}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// And through `mxm`, with a matrix mask.
+#[test]
+fn mxm_write_semantics_with_mask_accum_replace() {
+    use gblas::ops::semiring;
+    // A = [[1, 2], [0, 3]], B = I: T = A exactly.
+    let a = gblas::Matrix::from_triples(2, 2, vec![(0, 0, 1i64), (0, 1, 2), (1, 1, 3)]).unwrap();
+    let b = gblas::Matrix::from_triples(2, 2, vec![(0, 0, 1i64), (1, 1, 1)]).unwrap();
+    let old = gblas::Matrix::from_triples(2, 2, vec![(0, 0, 10i64), (1, 0, 40)]).unwrap();
+    let mask_m = gblas::Matrix::from_triples(2, 2, vec![(0, 0, true), (1, 1, true)]).unwrap();
+
+    // accum + mask + replace in one shot.
+    let mut out = old.clone();
+    let accum_op = Plus::<i64>::new();
+    ops::mxm(
+        &mut out,
+        Some(&mask_m.mask()),
+        Some(&accum_op),
+        &semiring::plus_times::<i64>(),
+        &a,
+        &b,
+        Descriptor::replace(),
+    )
+    .unwrap();
+    // Z = old ⊙ T = {(0,0): 10+1, (0,1): 2, (1,0): 40, (1,1): 3};
+    // mask allows diag; replace deletes blocked (0,1) and (1,0).
+    assert_eq!(out.get(0, 0), Some(11));
+    assert_eq!(out.get(1, 1), Some(3));
+    assert_eq!(out.get(0, 1), None);
+    assert_eq!(out.get(1, 0), None);
+    assert_eq!(out.nvals(), 2);
+
+    // Same but without replace: blocked old entry survives.
+    let mut out = old.clone();
+    ops::mxm(
+        &mut out,
+        Some(&mask_m.mask()),
+        Some(&accum_op),
+        &semiring::plus_times::<i64>(),
+        &a,
+        &b,
+        Descriptor::new(),
+    )
+    .unwrap();
+    assert_eq!(out.get(1, 0), Some(40));
+    assert_eq!(out.nvals(), 3);
+}

@@ -1,0 +1,192 @@
+//! Property-based tests of the GraphBLAS matrix kernels against dense
+//! reference models: `mxm`, `mxv`, Kronecker products, reductions, and
+//! the extract/assign pair.
+
+use proptest::prelude::*;
+
+use gblas::ops::{self, monoid, semiring, Times};
+use gblas::{Descriptor, Matrix, Vector};
+
+type DenseMat = Vec<Vec<Option<i64>>>;
+
+/// Random sparse matrix as a dense table of options (small ints keep the
+/// plus-times arithmetic exact).
+fn arb_matrix(max_r: usize, max_c: usize) -> impl Strategy<Value = DenseMat> {
+    (1..max_r, 1..max_c).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(
+            proptest::collection::vec(proptest::option::weighted(0.35, -8i64..8), c),
+            r,
+        )
+    })
+}
+
+fn dense_to_matrix(d: &DenseMat) -> Matrix<i64> {
+    Matrix::from_dense(d).expect("rectangular by construction")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mxm_matches_dense_reference(a in arb_matrix(8, 6), b_cols in 1usize..7, seed in 0u64..1000) {
+        // Build B with inner dimension = a's column count.
+        let inner = a[0].len();
+        let mut rng = seed;
+        let mut next = || { rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1); rng };
+        let b: DenseMat = (0..inner).map(|_| {
+            (0..b_cols).map(|_| {
+                if next() % 3 == 0 { Some((next() % 7) as i64 - 3) } else { None }
+            }).collect()
+        }).collect();
+
+        let am = dense_to_matrix(&a);
+        let bm = dense_to_matrix(&b);
+        let mut cm: Matrix<i64> = Matrix::new(am.nrows(), bm.ncols());
+        ops::mxm(&mut cm, None, None, &semiring::plus_times::<i64>(), &am, &bm, Descriptor::new())
+            .unwrap();
+
+        for (i, arow) in a.iter().enumerate() {
+            #[allow(clippy::needless_range_loop)]
+            for j in 0..bm.ncols() {
+                let mut acc: Option<i64> = None;
+                for (k, &av) in arow.iter().enumerate() {
+                    if let (Some(x), Some(y)) = (av, b[k][j]) {
+                        acc = Some(acc.unwrap_or(0) + x * y);
+                    }
+                }
+                prop_assert_eq!(cm.get(i, j), acc, "({}, {})", i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn mxv_matches_dense_reference(a in arb_matrix(10, 10), seed in 0u64..1000) {
+        let ncols = a[0].len();
+        let mut rng = seed;
+        let mut next = || { rng = rng.wrapping_mul(2862933555777941757).wrapping_add(3037000493); rng };
+        let u_dense: Vec<Option<i64>> = (0..ncols)
+            .map(|_| if next() % 2 == 0 { Some((next() % 9) as i64 - 4) } else { None })
+            .collect();
+        let am = dense_to_matrix(&a);
+        let u = Vector::from_dense(&u_dense);
+        let mut out: Vector<i64> = Vector::new(am.nrows());
+        ops::mxv(&mut out, None, None, &semiring::plus_times::<i64>(), &am, &u, Descriptor::new())
+            .unwrap();
+        for (i, row) in a.iter().enumerate() {
+            let mut acc: Option<i64> = None;
+            for (k, &av) in row.iter().enumerate() {
+                if let (Some(x), Some(y)) = (av, u_dense[k]) {
+                    acc = Some(acc.unwrap_or(0) + x * y);
+                }
+            }
+            prop_assert_eq!(out.get(i), acc, "row {}", i);
+        }
+    }
+
+    #[test]
+    fn mxv_agrees_with_vxm_on_transpose(a in arb_matrix(9, 9), seed in 0u64..500) {
+        let am = dense_to_matrix(&a);
+        let mut rng = seed;
+        let mut next = || { rng = rng.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1); rng };
+        let u_dense: Vec<Option<i64>> = (0..am.nrows())
+            .map(|_| if next() % 2 == 0 { Some((next() % 5) as i64) } else { None })
+            .collect();
+        let u = Vector::from_dense(&u_dense);
+        let mut via_vxm: Vector<i64> = Vector::new(am.ncols());
+        ops::vxm(&mut via_vxm, None, None, &semiring::plus_times::<i64>(), &u, &am, Descriptor::new())
+            .unwrap();
+        let mut via_mxv: Vector<i64> = Vector::new(am.ncols());
+        ops::mxv(
+            &mut via_mxv,
+            None,
+            None,
+            &semiring::plus_times::<i64>(),
+            &am,
+            &u,
+            Descriptor::new().with_transpose_a(),
+        )
+        .unwrap();
+        prop_assert_eq!(via_vxm, via_mxv);
+    }
+
+    #[test]
+    fn kron_matches_pointwise_definition(a in arb_matrix(4, 4), b in arb_matrix(4, 4)) {
+        let am = dense_to_matrix(&a);
+        let bm = dense_to_matrix(&b);
+        let c = ops::kron(&Times::<i64>::new(), &am, &bm);
+        prop_assert_eq!(c.nvals(), am.nvals() * bm.nvals());
+        c.check_invariants().unwrap();
+        for (ia, ja, av) in am.iter() {
+            for (ib, jb, bv) in bm.iter() {
+                let r = ia * bm.nrows() + ib;
+                let cc = ja * bm.ncols() + jb;
+                prop_assert_eq!(c.get(r, cc), Some(av * bv));
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_row_and_column_sums(a in arb_matrix(8, 8)) {
+        let am = dense_to_matrix(&a);
+        // Row sums.
+        let mut rows: Vector<i64> = Vector::new(am.nrows());
+        ops::reduce_matrix_to_vector(&mut rows, None, None, &monoid::plus::<i64>(), &am, Descriptor::new())
+            .unwrap();
+        for (i, row) in a.iter().enumerate() {
+            let vals: Vec<i64> = row.iter().flatten().copied().collect();
+            let expect = if vals.is_empty() { None } else { Some(vals.iter().sum()) };
+            prop_assert_eq!(rows.get(i), expect);
+        }
+        // Total via scalar reduce equals sum of row sums.
+        let total = ops::reduce_matrix(&monoid::plus::<i64>(), &am);
+        let row_total: i64 = rows.values().iter().sum();
+        prop_assert_eq!(total, row_total);
+    }
+
+    #[test]
+    fn extract_then_assign_round_trips(a in arb_matrix(6, 6)) {
+        // Extract full index sets in order: must reproduce the matrix.
+        let am = dense_to_matrix(&a);
+        let rows: Vec<usize> = (0..am.nrows()).collect();
+        let cols: Vec<usize> = (0..am.ncols()).collect();
+        let mut out: Matrix<i64> = Matrix::new(am.nrows(), am.ncols());
+        ops::extract_submatrix(&mut out, None, None, &am, &rows, &cols, Descriptor::new())
+            .unwrap();
+        prop_assert_eq!(&out, &am);
+    }
+
+    #[test]
+    fn select_partitions_pattern(a in arb_matrix(7, 7), threshold in -8i64..8) {
+        let am = dense_to_matrix(&a);
+        let mut le: Matrix<i64> = Matrix::new(am.nrows(), am.ncols());
+        ops::select_matrix(&mut le, None, None, |_, _, v| v <= threshold, &am, Descriptor::new())
+            .unwrap();
+        let mut gt: Matrix<i64> = Matrix::new(am.nrows(), am.ncols());
+        ops::select_matrix(&mut gt, None, None, |_, _, v| v > threshold, &am, Descriptor::new())
+            .unwrap();
+        prop_assert_eq!(le.nvals() + gt.nvals(), am.nvals());
+        // Recombining with eWiseAdd (First) reproduces the original.
+        let mut whole: Matrix<i64> = Matrix::new(am.nrows(), am.ncols());
+        ops::ewise_add_matrix(
+            &mut whole,
+            None,
+            None,
+            &ops::First::<i64>::new(),
+            &le,
+            &gt,
+            Descriptor::new(),
+        )
+        .unwrap();
+        prop_assert_eq!(whole, am);
+    }
+
+    #[test]
+    fn transpose_distributes_over_kron_pattern(a in arb_matrix(3, 4), b in arb_matrix(3, 3)) {
+        // (A ⊗ B)^T == A^T ⊗ B^T
+        let am = dense_to_matrix(&a);
+        let bm = dense_to_matrix(&b);
+        let lhs = ops::transpose(&ops::kron(&Times::<i64>::new(), &am, &bm));
+        let rhs = ops::kron(&Times::<i64>::new(), &ops::transpose(&am), &ops::transpose(&bm));
+        prop_assert_eq!(lhs, rhs);
+    }
+}
