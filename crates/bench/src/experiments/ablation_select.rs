@@ -9,17 +9,16 @@
 //!    applied ([`sssp_core::gblas_select`]);
 //! 3. `fused`    — the direct fused implementation ([`sssp_core::fused`]).
 
-use serde::Serialize;
-
 use graphdata::{paper_suite, SuiteScale};
 use sssp_core::{fused, gblas_impl, gblas_select};
 
 use crate::experiments::geomean;
 use crate::measure::{measure_min, Reps};
+use crate::report::{Json, ToJson};
 use crate::bench_source;
 
 /// One graph's three-way comparison.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AblationRow {
     /// Dataset name.
     pub name: String,
@@ -35,6 +34,20 @@ pub struct AblationRow {
     pub select_speedup: f64,
     /// `two_apply / fused`: the full fusion win (Fig. 3's bar).
     pub fused_speedup: f64,
+}
+
+impl ToJson for AblationRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("nv", self.nv.to_json()),
+            ("two_apply_ms", self.two_apply_ms.to_json()),
+            ("select_ms", self.select_ms.to_json()),
+            ("fused_ms", self.fused_ms.to_json()),
+            ("select_speedup", self.select_speedup.to_json()),
+            ("fused_speedup", self.fused_speedup.to_json()),
+        ])
+    }
 }
 
 /// Run the three-way ablation at `scale`.

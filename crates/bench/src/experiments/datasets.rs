@@ -1,15 +1,14 @@
 //! TAB-SETUP — the dataset inventory implicit in Sec. VI-A: which graphs
 //! the evaluation runs on, with their sizes and shapes.
 
-use serde::Serialize;
-
 use graphdata::{paper_suite, SuiteScale};
 use sssp_core::dijkstra::dijkstra;
 
+use crate::report::{Json, ToJson};
 use crate::bench_source;
 
 /// One suite entry's vital statistics.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DatasetRow {
     /// Dataset name.
     pub name: String,
@@ -27,6 +26,21 @@ pub struct DatasetRow {
     pub reachable: usize,
     /// Largest finite distance from the source (hops, since unit weights).
     pub eccentricity: f64,
+}
+
+impl ToJson for DatasetRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("family", self.family.to_json()),
+            ("nv", self.nv.to_json()),
+            ("ne", self.ne.to_json()),
+            ("mean_degree", self.mean_degree.to_json()),
+            ("source", self.source.to_json()),
+            ("reachable", self.reachable.to_json()),
+            ("eccentricity", self.eccentricity.to_json()),
+        ])
+    }
 }
 
 /// Compute the inventory at `scale`.

@@ -4,18 +4,17 @@
 //! phases. This sweep runs the fused implementation across Δ on the
 //! *weighted* suite and records both time and phase structure.
 
-use serde::Serialize;
-
 use graphdata::suite::weighted_suite;
 use graphdata::SuiteScale;
 use sssp_core::dijkstra::dijkstra;
 use sssp_core::fused;
 
 use crate::measure::{measure_min, Reps};
+use crate::report::{Json, ToJson};
 use crate::bench_source;
 
 /// One (graph, Δ) measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DeltaRow {
     /// Dataset name (weighted variant).
     pub name: String,
@@ -31,6 +30,20 @@ pub struct DeltaRow {
     pub light_phases: usize,
     /// Total edge relaxations attempted.
     pub relaxations: u64,
+}
+
+impl ToJson for DeltaRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("delta", self.delta.to_json()),
+            ("time_ms", self.time_ms.to_json()),
+            ("dijkstra_ms", self.dijkstra_ms.to_json()),
+            ("buckets", self.buckets.to_json()),
+            ("light_phases", self.light_phases.to_json()),
+            ("relaxations", self.relaxations.to_json()),
+        ])
+    }
 }
 
 /// Sweep `deltas` over the weighted suite at `scale`.

@@ -7,17 +7,16 @@
 //! sorted by ascending node count, with Δ = 1 and unit weights — the
 //! paper's exact setting.
 
-use serde::Serialize;
-
 use graphdata::{paper_suite, SuiteScale};
 use sssp_core::{fused, gblas_impl};
 
 use crate::experiments::geomean;
 use crate::measure::{measure_min, Reps};
+use crate::report::{Json, ToJson};
 use crate::bench_source;
 
 /// One bar pair of Fig. 3.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig3Row {
     /// Dataset name.
     pub name: String,
@@ -31,6 +30,19 @@ pub struct Fig3Row {
     pub fused_ms: f64,
     /// `unfused / fused` — the figure's bar height.
     pub speedup: f64,
+}
+
+impl ToJson for Fig3Row {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("nv", self.nv.to_json()),
+            ("ne", self.ne.to_json()),
+            ("unfused_ms", self.unfused_ms.to_json()),
+            ("fused_ms", self.fused_ms.to_json()),
+            ("speedup", self.speedup.to_json()),
+        ])
+    }
 }
 
 /// Run the FIG3 experiment over the suite at `scale`.

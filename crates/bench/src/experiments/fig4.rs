@@ -18,8 +18,6 @@
 //! On a real multi-core machine, [`run_wallclock`] measures the actual
 //! threaded implementations instead (also used by the Criterion bench).
 
-use serde::Serialize;
-
 use graphdata::{paper_suite, SuiteScale};
 use sssp_core::parallel_sim::{delta_stepping_simulated, SimConfig};
 use sssp_core::{fused, parallel, parallel_improved};
@@ -27,10 +25,11 @@ use taskpool::ThreadPool;
 
 use crate::experiments::geomean;
 use crate::measure::{measure_min, Reps};
+use crate::report::{Json, ToJson};
 use crate::bench_source;
 
 /// One graph's scaling measurements.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig4Row {
     /// Dataset name.
     pub name: String,
@@ -45,6 +44,19 @@ pub struct Fig4Row {
     pub parallel_speedup: Vec<f64>,
     /// Improved-scheme speedups, per thread count.
     pub improved_speedup: Vec<f64>,
+}
+
+impl ToJson for Fig4Row {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("nv", self.nv.to_json()),
+            ("sequential_ms", self.sequential_ms.to_json()),
+            ("threads", self.threads.to_json()),
+            ("parallel_speedup", self.parallel_speedup.to_json()),
+            ("improved_speedup", self.improved_speedup.to_json()),
+        ])
+    }
 }
 
 /// Run FIG4 with the schedule simulation (primary mode; single-core safe).

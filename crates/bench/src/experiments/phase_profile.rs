@@ -3,15 +3,14 @@
 //! implementation." This experiment reproduces that phase breakdown for
 //! the fused implementation, per suite graph.
 
-use serde::Serialize;
-
 use graphdata::{paper_suite, SuiteScale};
 use sssp_core::fused;
 
+use crate::report::{Json, ToJson};
 use crate::bench_source;
 
 /// One graph's phase breakdown.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ProfileRow {
     /// Dataset name.
     pub name: String,
@@ -25,6 +24,19 @@ pub struct ProfileRow {
     pub vector_ops_ms: f64,
     /// Matrix-filter share of accounted time (the paper's 0.35–0.40).
     pub filter_fraction: f64,
+}
+
+impl ToJson for ProfileRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("nv", self.nv.to_json()),
+            ("matrix_filter_ms", self.matrix_filter_ms.to_json()),
+            ("relaxation_ms", self.relaxation_ms.to_json()),
+            ("vector_ops_ms", self.vector_ops_ms.to_json()),
+            ("filter_fraction", self.filter_fraction.to_json()),
+        ])
+    }
 }
 
 /// Profile each suite graph (single run per graph; the phases are timed

@@ -1,10 +1,205 @@
 //! Result reporting: aligned console/markdown tables plus CSV and JSON
 //! files under `results/`.
+//!
+//! JSON output is hand-rolled (no external serializer): record types
+//! implement [`ToJson`] by building a [`Json`] tree, which renders as
+//! pretty-printed standards-compliant JSON (non-finite floats become
+//! `null`).
 
 use std::io::Write;
 use std::path::Path;
 
-use serde::Serialize;
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Signed integer.
+    Int(i64),
+    /// Floating-point number (`null` if not finite).
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for objects.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(u) => out.push_str(&u.to_string()),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Float(f) => {
+                if f.is_finite() {
+                    out.push_str(&format!("{f}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.render_into(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str(&"  ".repeat(indent + 1));
+                    Json::Str(k.clone()).render_into(out, indent + 1);
+                    out.push_str(": ");
+                    v.render_into(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+
+    /// Render as pretty-printed JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+}
+
+/// Conversion into a [`Json`] tree, implemented by every record type that
+/// [`write_json`] accepts.
+pub trait ToJson {
+    /// Build the JSON representation.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_string())
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+macro_rules! impl_to_json_uint {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+
+impl_to_json_uint!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_to_json_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+impl_to_json_int!(isize, i64, i32, i16, i8);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
 
 /// Render rows as a GitHub-flavoured markdown table (also readable on a
 /// terminal). `header` and every row must have the same arity.
@@ -40,14 +235,12 @@ pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
 
 /// Serialize `records` as pretty JSON into `path`, creating parent
 /// directories.
-pub fn write_json<T: Serialize>(path: impl AsRef<Path>, records: &T) -> std::io::Result<()> {
+pub fn write_json<T: ToJson + ?Sized>(path: impl AsRef<Path>, records: &T) -> std::io::Result<()> {
     let path = path.as_ref();
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }
-    let json = serde_json::to_string_pretty(records)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-    std::fs::write(path, json)
+    std::fs::write(path, records.to_json().render())
 }
 
 /// Write a CSV file (header + string rows), creating parent directories.
@@ -103,5 +296,21 @@ mod tests {
         write_json(&json, &vec![("x", 1)]).unwrap();
         assert!(std::fs::read_to_string(&json).unwrap().contains("x"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_structures() {
+        let j = Json::obj(vec![
+            ("s", Json::Str("a\"b\\c\n".into())),
+            ("n", Json::Float(1.5)),
+            ("bad", Json::Float(f64::NAN)),
+            ("v", Json::Arr(vec![Json::UInt(1), Json::Int(-2)])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let text = j.render();
+        assert!(text.contains("\"a\\\"b\\\\c\\n\""));
+        assert!(text.contains("\"bad\": null"));
+        assert!(text.contains("\"empty\": []"));
+        assert!(text.contains("1.5"));
     }
 }

@@ -9,6 +9,7 @@ use graphdata::CsrGraph;
 
 use crate::buckets::BucketQueue;
 use crate::delta::bucket_of;
+use crate::guard::{SsspError, Watchdog};
 use crate::result::SsspResult;
 
 /// Per-vertex light/heavy adjacency (the `light(v)` / `heavy(v)` sets of
@@ -57,7 +58,29 @@ fn relax(
 /// Meyer–Sanders delta-stepping with explicit buckets.
 pub fn delta_stepping_canonical(g: &CsrGraph, source: usize, delta: f64) -> SsspResult {
     assert!(delta > 0.0 && delta.is_finite(), "delta must be positive and finite");
+    delta_stepping_canonical_checked(g, source, delta, &mut Watchdog::unlimited())
+        .expect("inputs asserted valid and the watchdog is unlimited")
+}
+
+/// [`delta_stepping_canonical`] under a [`Watchdog`]: returns
+/// [`SsspError`] instead of panicking on a bad Δ or source, and trips
+/// the watchdog instead of looping forever on malformed weight data.
+pub fn delta_stepping_canonical_checked(
+    g: &CsrGraph,
+    source: usize,
+    delta: f64,
+    watchdog: &mut Watchdog,
+) -> Result<SsspResult, SsspError> {
+    if !(delta > 0.0 && delta.is_finite()) {
+        return Err(SsspError::InvalidDelta { delta });
+    }
     let n = g.num_vertices();
+    if source >= n {
+        return Err(SsspError::SourceOutOfBounds {
+            source,
+            num_vertices: n,
+        });
+    }
     let adj = SplitAdjacency::build(g, delta);
     let mut result = SsspResult::init(n, source);
     let mut buckets = BucketQueue::new(n);
@@ -66,6 +89,7 @@ pub fn delta_stepping_canonical(g: &CsrGraph, source: usize, delta: f64) -> Sssp
 
     let mut requests: Vec<(usize, f64)> = Vec::new();
     while let Some(i) = buckets.min_bucket() {
+        watchdog.tick()?;
         result.stats.buckets_processed += 1;
         // S: vertices that have left bucket i this round (deleted set).
         let mut settled: Vec<usize> = Vec::new();
@@ -75,6 +99,7 @@ pub fn delta_stepping_canonical(g: &CsrGraph, source: usize, delta: f64) -> Sssp
             if batch.is_empty() {
                 break;
             }
+            watchdog.tick()?;
             result.stats.light_phases += 1;
             // Req = {(w, tent(v) + c(v, w)) : v ∈ B[i], (v, w) light}
             requests.clear();
@@ -102,7 +127,7 @@ pub fn delta_stepping_canonical(g: &CsrGraph, source: usize, delta: f64) -> Sssp
             relax(v, x, delta, &mut result, &mut buckets);
         }
     }
-    result
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -177,6 +202,50 @@ mod tests {
     fn rejects_bad_delta() {
         let g = CsrGraph::from_edge_list(&path(2)).unwrap();
         delta_stepping_canonical(&g, 0, 0.0);
+    }
+
+    #[test]
+    fn checked_rejects_bad_inputs_and_trips_watchdog() {
+        let g = CsrGraph::from_edge_list(&path(8)).unwrap();
+        let wd = &mut Watchdog::unlimited();
+        assert!(matches!(
+            delta_stepping_canonical_checked(&g, 0, 0.0, wd),
+            Err(SsspError::InvalidDelta { .. })
+        ));
+        assert!(matches!(
+            delta_stepping_canonical_checked(&g, 42, 1.0, wd),
+            Err(SsspError::SourceOutOfBounds { .. })
+        ));
+        // A path of 8 vertices needs 7 bucket epochs at delta 1; budget 2
+        // cannot cover it.
+        let mut tight = Watchdog::with_limit(2);
+        assert!(matches!(
+            delta_stepping_canonical_checked(&g, 0, 1.0, &mut tight),
+            Err(SsspError::IterationLimitExceeded { .. })
+        ));
+        // A negative-weight cycle (inexpressible via from_edge_list) would
+        // otherwise loop forever: distances keep improving.
+        let cyc = CsrGraph::from_raw_parts_unchecked(
+            2,
+            vec![0, 1, 2],
+            vec![1, 0],
+            vec![1.0, -2.0],
+        );
+        let mut wd = Watchdog::with_limit(1000);
+        assert!(matches!(
+            delta_stepping_canonical_checked(&cyc, 0, 1.0, &mut wd),
+            Err(SsspError::IterationLimitExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn checked_matches_unchecked_on_valid_input() {
+        let g = CsrGraph::from_edge_list(&grid2d(5, 5)).unwrap();
+        let plain = delta_stepping_canonical(&g, 0, 1.0);
+        let mut wd = Watchdog::for_run(&g, 1.0, &crate::guard::GuardConfig::default());
+        let checked = delta_stepping_canonical_checked(&g, 0, 1.0, &mut wd).unwrap();
+        assert_eq!(plain.dist, checked.dist);
+        assert!(wd.ticks() > 0);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use std::time::Instant;
 use graphdata::CsrGraph;
 
 use crate::delta::bucket_of;
+use crate::guard::{SsspError, Watchdog};
 use crate::result::SsspResult;
 use crate::stats::PhaseProfile;
 use crate::INF;
@@ -141,7 +142,29 @@ pub fn delta_stepping_fused_profiled(
     delta: f64,
 ) -> (SsspResult, PhaseProfile) {
     assert!(delta > 0.0 && delta.is_finite(), "delta must be positive and finite");
+    delta_stepping_fused_checked(g, source, delta, &mut Watchdog::unlimited())
+        .expect("inputs asserted valid and the watchdog is unlimited")
+}
+
+/// [`delta_stepping_fused`] under a [`Watchdog`]: returns [`SsspError`]
+/// instead of panicking on a bad Δ or source, and trips the watchdog
+/// instead of looping forever on malformed weight data.
+pub fn delta_stepping_fused_checked(
+    g: &CsrGraph,
+    source: usize,
+    delta: f64,
+    watchdog: &mut Watchdog,
+) -> Result<(SsspResult, PhaseProfile), SsspError> {
+    if !(delta > 0.0 && delta.is_finite()) {
+        return Err(SsspError::InvalidDelta { delta });
+    }
     let n = g.num_vertices();
+    if source >= n {
+        return Err(SsspError::SourceOutOfBounds {
+            source,
+            num_vertices: n,
+        });
+    }
     let mut result = SsspResult::init(n, source);
     let mut profile = PhaseProfile::default();
 
@@ -157,6 +180,7 @@ pub fn delta_stepping_fused_profiled(
 
     let mut i = bucket_of(0.0, delta); // source's bucket: 0
     loop {
+        watchdog.tick()?;
         // Vector phase: find the members of bucket i (one scan of t), or
         // the next non-empty bucket if i is empty.
         let t0 = Instant::now();
@@ -184,6 +208,7 @@ pub fn delta_stepping_fused_profiled(
 
         // Light-edge phases until the bucket stops refilling.
         while !frontier.is_empty() {
+            watchdog.tick()?;
             result.stats.light_phases += 1;
             // Fusion 1: t_Req = A_L^T (t ∘ t_Bi) in one scatter loop.
             let t0 = Instant::now();
@@ -244,7 +269,7 @@ pub fn delta_stepping_fused_profiled(
 
         i += 1;
     }
-    (result, profile)
+    Ok((result, profile))
 }
 
 #[cfg(test)]
@@ -314,6 +339,45 @@ mod tests {
         let (r, profile) = delta_stepping_fused_profiled(&g, 0, 1.0);
         assert_eq!(r.dist[40 * 40 - 1], 78.0);
         assert!(profile.total().as_nanos() > 0);
+    }
+
+    #[test]
+    fn checked_rejects_bad_inputs_and_trips_watchdog() {
+        let g = CsrGraph::from_edge_list(&path(8)).unwrap();
+        assert!(matches!(
+            delta_stepping_fused_checked(&g, 0, f64::NAN, &mut Watchdog::unlimited()),
+            Err(SsspError::InvalidDelta { .. })
+        ));
+        assert!(matches!(
+            delta_stepping_fused_checked(&g, 100, 1.0, &mut Watchdog::unlimited()),
+            Err(SsspError::SourceOutOfBounds { .. })
+        ));
+        let mut tight = Watchdog::with_limit(2);
+        assert!(matches!(
+            delta_stepping_fused_checked(&g, 0, 1.0, &mut tight),
+            Err(SsspError::IterationLimitExceeded { .. })
+        ));
+        // Negative-weight cycle: bucket 0 refills forever without a guard.
+        let cyc = CsrGraph::from_raw_parts_unchecked(
+            2,
+            vec![0, 1, 2],
+            vec![1, 0],
+            vec![0.5, -1.0],
+        );
+        let mut wd = Watchdog::with_limit(1000);
+        assert!(matches!(
+            delta_stepping_fused_checked(&cyc, 0, 1.0, &mut wd),
+            Err(SsspError::IterationLimitExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn checked_matches_unchecked_on_valid_input() {
+        let g = CsrGraph::from_edge_list(&grid2d(6, 6)).unwrap();
+        let plain = delta_stepping_fused(&g, 0, 1.0);
+        let mut wd = Watchdog::for_run(&g, 1.0, &crate::guard::GuardConfig::default());
+        let (checked, _) = delta_stepping_fused_checked(&g, 0, 1.0, &mut wd).unwrap();
+        assert_eq!(plain.dist, checked.dist);
     }
 
     #[test]

@@ -22,6 +22,7 @@ use gblas::ops::{self, semiring, FnUnary, Identity, LOr, Lt, Min};
 use gblas::{Descriptor, Matrix, Vector};
 use graphdata::CsrGraph;
 
+use crate::guard::{SsspError, Watchdog};
 use crate::result::SsspResult;
 
 /// Build `A_L` and `A_H` from the adjacency matrix with the two-apply
@@ -77,6 +78,29 @@ pub fn sssp_delta_step(a: &Matrix<f64>, delta: f64, src: usize) -> SsspResult {
         "gblas delta-stepping requires strictly positive weights \
          (t_Req is used as a value mask, Sec. V-B)"
     );
+    sssp_delta_step_checked(a, delta, src, &mut Watchdog::unlimited())
+        .expect("inputs asserted valid and the watchdog is unlimited")
+}
+
+/// [`sssp_delta_step`] under a [`Watchdog`]: returns [`SsspError`]
+/// instead of panicking on a bad Δ or source. The outer loop of Fig. 2
+/// visits *every* bucket index up to the last non-empty one, so an
+/// impractically small Δ trips the watchdog here even on valid inputs.
+pub fn sssp_delta_step_checked(
+    a: &Matrix<f64>,
+    delta: f64,
+    src: usize,
+    watchdog: &mut Watchdog,
+) -> Result<SsspResult, SsspError> {
+    if !(delta > 0.0 && delta.is_finite()) {
+        return Err(SsspError::InvalidDelta { delta });
+    }
+    if a.nrows() != a.ncols() || src >= a.nrows() {
+        return Err(SsspError::SourceOutOfBounds {
+            source: src,
+            num_vertices: a.nrows().min(a.ncols()),
+        });
+    }
     let n = a.nrows();
     let clear = Descriptor::replace(); // the paper's clear_desc
     let null = Descriptor::new(); // GrB_NULL descriptor
@@ -105,6 +129,7 @@ pub fn sssp_delta_step(a: &Matrix<f64>, delta: f64, src: usize) -> SsspResult {
     // Outer loop: while (t .>= i*delta) != 0 (lines 27-30).
     let min_plus = semiring::min_plus_f64();
     loop {
+        watchdog.tick()?;
         let i_delta = i as f64 * delta;
         let delta_i_geq = FnUnary::new(move |x: f64| x >= i_delta);
         ops::vector_apply(&mut t_geq, None, None, &delta_i_geq, &t, clear).expect("sized alike");
@@ -142,6 +167,7 @@ pub fn sssp_delta_step(a: &Matrix<f64>, delta: f64, src: usize) -> SsspResult {
 
         // Inner loop: while tBi != 0 (lines 40-57).
         while t_masked.nvals() > 0 {
+            watchdog.tick()?;
             result.stats.light_phases += 1;
             // tReq = A_L' (min.+) (t .* tBi)  (line 43).
             ops::vxm(&mut t_req, None, None, &min_plus, &t_masked, &al, clear)
@@ -219,13 +245,25 @@ pub fn sssp_delta_step(a: &Matrix<f64>, delta: f64, src: usize) -> SsspResult {
     for (v, d) in t.iter() {
         result.dist[v] = d;
     }
-    result
+    Ok(result)
 }
 
 /// Convenience wrapper taking a [`CsrGraph`] like the other implementations.
 pub fn delta_stepping_gblas(g: &CsrGraph, source: usize, delta: f64) -> SsspResult {
     let a = g.to_adjacency();
     sssp_delta_step(&a, delta, source)
+}
+
+/// [`delta_stepping_gblas`] under a [`Watchdog`].
+pub fn delta_stepping_gblas_checked(
+    g: &CsrGraph,
+    source: usize,
+    delta: f64,
+    watchdog: &mut Watchdog,
+) -> Result<SsspResult, SsspError> {
+    crate::guard::reject_zero_weights(g, "gblas")?;
+    let a = g.to_adjacency();
+    sssp_delta_step_checked(&a, delta, source, watchdog)
 }
 
 #[cfg(test)]
@@ -308,6 +346,38 @@ mod tests {
         let el = EdgeList::from_triples(vec![(0, 1, 0.0)]);
         let g = CsrGraph::from_edge_list(&el).unwrap();
         delta_stepping_gblas(&g, 0, 1.0);
+    }
+
+    #[test]
+    fn checked_rejects_bad_inputs_and_trips_watchdog() {
+        let g = CsrGraph::from_edge_list(&path(8)).unwrap();
+        assert!(matches!(
+            delta_stepping_gblas_checked(&g, 0, -1.0, &mut Watchdog::unlimited()),
+            Err(SsspError::InvalidDelta { .. })
+        ));
+        assert!(matches!(
+            delta_stepping_gblas_checked(&g, 8, 1.0, &mut Watchdog::unlimited()),
+            Err(SsspError::SourceOutOfBounds { .. })
+        ));
+        let zero = CsrGraph::from_edge_list(&EdgeList::from_triples(vec![(0, 1, 0.0)])).unwrap();
+        assert!(matches!(
+            delta_stepping_gblas_checked(&zero, 0, 1.0, &mut Watchdog::unlimited()),
+            Err(SsspError::ZeroWeightUnsupported { .. })
+        ));
+        let mut tight = Watchdog::with_limit(2);
+        assert!(matches!(
+            delta_stepping_gblas_checked(&g, 0, 1.0, &mut tight),
+            Err(SsspError::IterationLimitExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn checked_matches_unchecked_on_valid_input() {
+        let g = CsrGraph::from_edge_list(&grid2d(4, 4)).unwrap();
+        let plain = delta_stepping_gblas(&g, 0, 1.0);
+        let mut wd = Watchdog::for_run(&g, 1.0, &crate::guard::GuardConfig::default());
+        let checked = delta_stepping_gblas_checked(&g, 0, 1.0, &mut wd).unwrap();
+        assert_eq!(plain.dist, checked.dist);
     }
 
     #[test]

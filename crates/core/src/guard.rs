@@ -1,0 +1,421 @@
+//! The hardened execution layer: error taxonomy, preflight input
+//! validation, and the non-termination watchdog.
+//!
+//! The five delta-stepping implementations in this crate follow the
+//! paper's contract — finite non-negative weights, an in-range source,
+//! and a positive finite Δ — and historically enforced it with `assert!`
+//! (or, for inputs that slip past the asserts, by looping forever: a
+//! negative-weight cycle makes every bucket refill indefinitely). This
+//! module gives callers a non-panicking front door:
+//!
+//! * [`SsspError`] names every way a run can fail;
+//! * [`preflight`] scans the CSR once (`O(|V| + |E|)`) and rejects bad
+//!   weights, sources, and Δ before any work starts, optionally deriving
+//!   a fallback Δ for degenerate requests;
+//! * [`Watchdog`] bounds the number of bucket epochs and light-relaxation
+//!   rounds by the theoretical maximum for a valid input, so malformed
+//!   state surfaces as [`SsspError::IterationLimitExceeded`] instead of a
+//!   hang.
+//!
+//! [`crate::run::run_checked`] wires all three in front of every
+//! implementation.
+
+use std::fmt;
+
+use graphdata::CsrGraph;
+
+use crate::delta::DeltaStrategy;
+
+/// Everything that can go wrong in a checked SSSP run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SsspError {
+    /// An edge weight is NaN or infinite.
+    NonFiniteWeight {
+        /// Edge source vertex.
+        src: usize,
+        /// Edge target vertex.
+        dst: usize,
+        /// The offending weight.
+        weight: f64,
+    },
+    /// An edge weight is negative. Delta-stepping's bucket invariant
+    /// (settled vertices never improve) requires non-negative weights.
+    NegativeWeight {
+        /// Edge source vertex.
+        src: usize,
+        /// Edge target vertex.
+        dst: usize,
+        /// The offending weight.
+        weight: f64,
+    },
+    /// An edge weight is exactly zero and the selected implementation
+    /// cannot handle it (the unfused GraphBLAS formulation uses `t_Req`
+    /// as a *value* mask, Sec. V-B, so a stored 0 silently disappears).
+    ZeroWeightUnsupported {
+        /// Edge source vertex.
+        src: usize,
+        /// Edge target vertex.
+        dst: usize,
+        /// Name of the implementation that cannot run this input.
+        implementation: &'static str,
+    },
+    /// The source vertex does not exist in the graph.
+    SourceOutOfBounds {
+        /// Requested source.
+        source: usize,
+        /// Number of vertices in the graph.
+        num_vertices: usize,
+    },
+    /// Δ is zero, negative, NaN, or infinite, and no fallback was allowed.
+    InvalidDelta {
+        /// The rejected Δ (may be NaN).
+        delta: f64,
+    },
+    /// The watchdog tripped: the run exceeded the epoch budget derived
+    /// from the theoretical maximum for a valid input. Indicates
+    /// malformed state (e.g. a negative-weight cycle smuggled past
+    /// validation) or a Δ so small the run is impractical.
+    IterationLimitExceeded {
+        /// Epochs (bucket + light-phase rounds) executed before tripping.
+        ticks: u64,
+        /// The budget that was exceeded.
+        limit: u64,
+    },
+    /// A worker task panicked during a parallel run and degradation to
+    /// the sequential path was disabled.
+    WorkerPanicked {
+        /// Stringified panic payload.
+        message: String,
+    },
+}
+
+impl fmt::Display for SsspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SsspError::NonFiniteWeight { src, dst, weight } => {
+                write!(f, "edge {src} -> {dst} has non-finite weight {weight}")
+            }
+            SsspError::NegativeWeight { src, dst, weight } => {
+                write!(f, "edge {src} -> {dst} has negative weight {weight}")
+            }
+            SsspError::ZeroWeightUnsupported {
+                src,
+                dst,
+                implementation,
+            } => write!(
+                f,
+                "edge {src} -> {dst} has zero weight, unsupported by the \
+                 '{implementation}' implementation (value-mask caveat)"
+            ),
+            SsspError::SourceOutOfBounds {
+                source,
+                num_vertices,
+            } => write!(
+                f,
+                "source vertex {source} out of bounds for a graph with \
+                 {num_vertices} vertices"
+            ),
+            SsspError::InvalidDelta { delta } => {
+                write!(f, "delta must be positive and finite, got {delta}")
+            }
+            SsspError::IterationLimitExceeded { ticks, limit } => write!(
+                f,
+                "iteration watchdog tripped after {ticks} epochs (limit {limit}); \
+                 input is malformed or delta is impractically small"
+            ),
+            SsspError::WorkerPanicked { message } => {
+                write!(f, "parallel worker panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SsspError {}
+
+/// Tunables for [`preflight`] and [`Watchdog::for_run`].
+#[derive(Debug, Clone)]
+pub struct GuardConfig {
+    /// When the caller's Δ is degenerate (zero, negative, NaN, infinite),
+    /// derive a usable Δ with the Meyer–Sanders rule instead of failing
+    /// with [`SsspError::InvalidDelta`]. Off by default: a garbage Δ
+    /// usually signals a caller bug worth surfacing.
+    pub delta_fallback: bool,
+    /// When a worker panics in a parallel implementation, re-run on the
+    /// sequential fused path instead of returning
+    /// [`SsspError::WorkerPanicked`]. On by default.
+    pub degrade_on_panic: bool,
+    /// Hard upper bound on watchdog epochs regardless of the derived
+    /// theoretical limit. Guards against Δ so small that the "valid"
+    /// epoch count is itself astronomical.
+    pub max_ticks: u64,
+    /// Additive slack on the derived epoch limit, absorbing off-by-a-few
+    /// differences between implementations' loop structures.
+    pub tick_slack: u64,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            delta_fallback: false,
+            degrade_on_panic: true,
+            max_ticks: 10_000_000,
+            tick_slack: 64,
+        }
+    }
+}
+
+/// Validate a run's inputs in one cheap pass. Returns the Δ to use —
+/// either the caller's, or (with [`GuardConfig::delta_fallback`]) a
+/// Meyer–Sanders-derived replacement for a degenerate one.
+pub fn preflight(
+    g: &CsrGraph,
+    source: usize,
+    delta: f64,
+    cfg: &GuardConfig,
+) -> Result<f64, SsspError> {
+    if source >= g.num_vertices() {
+        return Err(SsspError::SourceOutOfBounds {
+            source,
+            num_vertices: g.num_vertices(),
+        });
+    }
+    for (src, dst, weight) in g.iter_edges() {
+        if !weight.is_finite() {
+            return Err(SsspError::NonFiniteWeight { src, dst, weight });
+        }
+        if weight < 0.0 {
+            return Err(SsspError::NegativeWeight { src, dst, weight });
+        }
+    }
+    if delta.is_finite() && delta > 0.0 {
+        Ok(delta)
+    } else if cfg.delta_fallback {
+        Ok(DeltaStrategy::MeyerSanders.resolve(g))
+    } else {
+        Err(SsspError::InvalidDelta { delta })
+    }
+}
+
+/// Reject zero weights for implementations that cannot represent them
+/// (the unfused GraphBLAS value-mask caveat).
+pub fn reject_zero_weights(g: &CsrGraph, implementation: &'static str) -> Result<(), SsspError> {
+    for (src, dst, weight) in g.iter_edges() {
+        if weight == 0.0 {
+            return Err(SsspError::ZeroWeightUnsupported {
+                src,
+                dst,
+                implementation,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// An epoch counter with a budget. The delta-stepping loops call
+/// [`Watchdog::tick`] once per outer bucket epoch and once per inner
+/// light-relaxation round; on a valid input the total is bounded (see
+/// [`Watchdog::for_run`]), so exceeding the budget means the run cannot
+/// be making progress.
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    limit: u64,
+    ticks: u64,
+}
+
+impl Watchdog {
+    /// A watchdog with an explicit epoch budget.
+    pub fn with_limit(limit: u64) -> Self {
+        Watchdog { limit, ticks: 0 }
+    }
+
+    /// A watchdog that never trips — used by the unchecked entry points,
+    /// which keep their historical "garbage in, garbage out" contract.
+    pub fn unlimited() -> Self {
+        Watchdog::with_limit(u64::MAX)
+    }
+
+    /// Derive the epoch budget for running on `g` with bucket width
+    /// `delta`, from the theoretical maxima:
+    ///
+    /// * the largest finite distance is at most `(|V| − 1) · max_w`, so
+    ///   at most `⌈(|V| − 1) · max_w / Δ⌉ + 1` bucket indices exist (the
+    ///   unfused GraphBLAS loop visits every index up to the last
+    ///   non-empty one);
+    /// * each bucket is processed with one heavy phase and at most
+    ///   `|members| + 1` light phases, so light phases sum to at most
+    ///   `|V|` plus one per processed bucket.
+    ///
+    /// The combined bound, plus [`GuardConfig::tick_slack`], is clamped
+    /// to [`GuardConfig::max_ticks`].
+    pub fn for_run(g: &CsrGraph, delta: f64, cfg: &GuardConfig) -> Self {
+        let n = g.num_vertices() as u64;
+        let max_path = g.num_vertices().saturating_sub(1) as f64 * g.max_weight();
+        let buckets = if delta > 0.0 && max_path.is_finite() {
+            let b = (max_path / delta).ceil();
+            if b >= u64::MAX as f64 {
+                u64::MAX
+            } else {
+                b as u64 + 1
+            }
+        } else {
+            u64::MAX
+        };
+        // Outer epochs + heavy phases + light phases, generously.
+        let derived = buckets
+            .saturating_mul(3)
+            .saturating_add(n)
+            .saturating_add(cfg.tick_slack);
+        Watchdog::with_limit(derived.min(cfg.max_ticks))
+    }
+
+    /// Record one epoch; fails once the budget is exhausted.
+    #[inline]
+    pub fn tick(&mut self) -> Result<(), SsspError> {
+        self.ticks += 1;
+        if self.ticks > self.limit {
+            Err(SsspError::IterationLimitExceeded {
+                ticks: self.ticks,
+                limit: self.limit,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Epochs recorded so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// The epoch budget.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphdata::gen::{grid2d, path};
+
+    fn grid() -> CsrGraph {
+        CsrGraph::from_edge_list(&grid2d(4, 4)).unwrap()
+    }
+
+    #[test]
+    fn preflight_accepts_valid_input() {
+        let g = grid();
+        assert_eq!(preflight(&g, 0, 1.0, &GuardConfig::default()), Ok(1.0));
+    }
+
+    #[test]
+    fn preflight_rejects_out_of_bounds_source() {
+        let g = grid();
+        let err = preflight(&g, 99, 1.0, &GuardConfig::default()).unwrap_err();
+        assert_eq!(
+            err,
+            SsspError::SourceOutOfBounds {
+                source: 99,
+                num_vertices: 16
+            }
+        );
+        // Empty graph: every source is out of bounds.
+        let empty = CsrGraph::from_edge_list(&graphdata::EdgeList::new(0)).unwrap();
+        assert!(matches!(
+            preflight(&empty, 0, 1.0, &GuardConfig::default()),
+            Err(SsspError::SourceOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn preflight_rejects_nan_and_negative_weights() {
+        let nan = CsrGraph::from_raw_parts_unchecked(2, vec![0, 1, 1], vec![1], vec![f64::NAN]);
+        assert!(matches!(
+            preflight(&nan, 0, 1.0, &GuardConfig::default()),
+            Err(SsspError::NonFiniteWeight { src: 0, dst: 1, .. })
+        ));
+        let neg = CsrGraph::from_raw_parts_unchecked(2, vec![0, 1, 1], vec![1], vec![-3.0]);
+        assert_eq!(
+            preflight(&neg, 0, 1.0, &GuardConfig::default()),
+            Err(SsspError::NegativeWeight {
+                src: 0,
+                dst: 1,
+                weight: -3.0
+            })
+        );
+    }
+
+    #[test]
+    fn preflight_delta_handling() {
+        let g = grid();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = preflight(&g, 0, bad, &GuardConfig::default()).unwrap_err();
+            assert!(matches!(err, SsspError::InvalidDelta { .. }), "delta {bad}");
+        }
+        let fallback = GuardConfig {
+            delta_fallback: true,
+            ..GuardConfig::default()
+        };
+        for bad in [0.0, f64::NAN, f64::INFINITY] {
+            let d = preflight(&g, 0, bad, &fallback).unwrap();
+            assert!(d.is_finite() && d > 0.0, "fallback for delta {bad} gave {d}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_rejection_is_per_implementation() {
+        let el = graphdata::EdgeList::from_triples(vec![(0, 1, 0.0), (1, 2, 1.0)]);
+        let g = CsrGraph::from_edge_list(&el).unwrap();
+        assert!(preflight(&g, 0, 1.0, &GuardConfig::default()).is_ok());
+        assert_eq!(
+            reject_zero_weights(&g, "gblas"),
+            Err(SsspError::ZeroWeightUnsupported {
+                src: 0,
+                dst: 1,
+                implementation: "gblas"
+            })
+        );
+        let positive = CsrGraph::from_edge_list(&grid2d(3, 3)).unwrap();
+        assert!(reject_zero_weights(&positive, "gblas").is_ok());
+    }
+
+    #[test]
+    fn watchdog_trips_at_limit() {
+        let mut wd = Watchdog::with_limit(3);
+        assert!(wd.tick().is_ok());
+        assert!(wd.tick().is_ok());
+        assert!(wd.tick().is_ok());
+        let err = wd.tick().unwrap_err();
+        assert_eq!(err, SsspError::IterationLimitExceeded { ticks: 4, limit: 3 });
+        assert_eq!(wd.ticks(), 4);
+    }
+
+    #[test]
+    fn derived_limit_covers_real_runs() {
+        // A path graph maximises bucket count: n - 1 buckets at delta 1.
+        let g = CsrGraph::from_edge_list(&path(64)).unwrap();
+        let wd = Watchdog::for_run(&g, 1.0, &GuardConfig::default());
+        assert!(wd.limit() >= 3 * 64, "limit {} too small", wd.limit());
+        // Tiny delta explodes the derived bound; the hard cap clamps it.
+        let wd = Watchdog::for_run(&g, 1e-300, &GuardConfig::default());
+        assert_eq!(wd.limit(), GuardConfig::default().max_ticks);
+    }
+
+    #[test]
+    fn error_display_mentions_the_facts() {
+        let text = SsspError::NonFiniteWeight {
+            src: 3,
+            dst: 7,
+            weight: f64::NAN,
+        }
+        .to_string();
+        assert!(text.contains('3') && text.contains('7') && text.contains("NaN"));
+        let text = SsspError::IterationLimitExceeded { ticks: 11, limit: 10 }.to_string();
+        assert!(text.contains("11") && text.contains("10"));
+        let text = SsspError::WorkerPanicked {
+            message: "boom".into(),
+        }
+        .to_string();
+        assert!(text.contains("boom"));
+    }
+}

@@ -40,16 +40,20 @@ pub mod fused;
 pub mod gblas_impl;
 pub mod gblas_parallel;
 pub mod gblas_select;
+pub mod guard;
 pub mod parallel;
 pub mod parallel_improved;
 pub mod parallel_sim;
 pub mod paths;
 pub mod result;
+pub mod run;
 pub mod schedule;
 pub mod stats;
 pub mod validate;
 
+pub use guard::{GuardConfig, SsspError, Watchdog};
 pub use result::SsspResult;
+pub use run::{run_checked, Implementation, RunReport};
 pub use stats::SsspStats;
 
 /// The distance value used for unreachable vertices.

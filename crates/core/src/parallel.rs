@@ -20,6 +20,7 @@ use taskpool::{scope, split_evenly, ThreadPool};
 
 use crate::delta::bucket_of;
 use crate::fused::LightHeavy;
+use crate::guard::{SsspError, Watchdog};
 use crate::result::SsspResult;
 use crate::stats::PhaseProfile;
 use crate::INF;
@@ -153,7 +154,33 @@ pub fn delta_stepping_parallel_profiled(
     delta: f64,
 ) -> (SsspResult, PhaseProfile) {
     assert!(delta > 0.0 && delta.is_finite(), "delta must be positive and finite");
+    delta_stepping_parallel_checked(pool, g, source, delta, &mut Watchdog::unlimited())
+        .expect("inputs asserted valid and the watchdog is unlimited")
+}
+
+/// [`delta_stepping_parallel`] under a [`Watchdog`]: returns
+/// [`SsspError`] instead of panicking on a bad Δ or source, and trips
+/// the watchdog instead of looping forever on malformed weight data.
+/// Worker panics still propagate; wrap the call in
+/// [`taskpool::install_try`] (as [`crate::run::run_checked`] does) to
+/// convert them into errors.
+pub fn delta_stepping_parallel_checked(
+    pool: &ThreadPool,
+    g: &CsrGraph,
+    source: usize,
+    delta: f64,
+    watchdog: &mut Watchdog,
+) -> Result<(SsspResult, PhaseProfile), SsspError> {
+    if !(delta > 0.0 && delta.is_finite()) {
+        return Err(SsspError::InvalidDelta { delta });
+    }
     let n = g.num_vertices();
+    if source >= n {
+        return Err(SsspError::SourceOutOfBounds {
+            source,
+            num_vertices: n,
+        });
+    }
     let mut result = SsspResult::init(n, source);
     let mut profile = PhaseProfile::default();
 
@@ -168,6 +195,7 @@ pub fn delta_stepping_parallel_profiled(
 
     let mut i = 0usize;
     loop {
+        watchdog.tick()?;
         let t0 = Instant::now();
         let next = scan_bucket_parallel(pool, &result.dist, delta, i, &mut frontier);
         profile.vector_ops += t0.elapsed();
@@ -182,6 +210,7 @@ pub fn delta_stepping_parallel_profiled(
         settled.clear();
 
         while !frontier.is_empty() {
+            watchdog.tick()?;
             result.stats.light_phases += 1;
             // Sequential relaxation (the paper's scheme).
             let t0 = Instant::now();
@@ -250,7 +279,7 @@ pub fn delta_stepping_parallel_profiled(
 
         i += 1;
     }
-    (result, profile)
+    Ok((result, profile))
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@ use taskpool::{scope, split_evenly, ThreadPool};
 
 use crate::delta::bucket_of;
 use crate::fused::LightHeavy;
+use crate::guard::{SsspError, Watchdog};
 use crate::result::SsspResult;
 use crate::stats::PhaseProfile;
 use crate::INF;
@@ -213,7 +214,33 @@ pub fn delta_stepping_parallel_improved_profiled(
     delta: f64,
 ) -> (SsspResult, PhaseProfile) {
     assert!(delta > 0.0 && delta.is_finite(), "delta must be positive and finite");
+    delta_stepping_parallel_improved_checked(pool, g, source, delta, &mut Watchdog::unlimited())
+        .expect("inputs asserted valid and the watchdog is unlimited")
+}
+
+/// [`delta_stepping_parallel_improved`] under a [`Watchdog`]: returns
+/// [`SsspError`] instead of panicking on a bad Δ or source, and trips
+/// the watchdog instead of looping forever on malformed weight data.
+/// Worker panics still propagate; wrap the call in
+/// [`taskpool::install_try`] (as [`crate::run::run_checked`] does) to
+/// convert them into errors.
+pub fn delta_stepping_parallel_improved_checked(
+    pool: &ThreadPool,
+    g: &CsrGraph,
+    source: usize,
+    delta: f64,
+    watchdog: &mut Watchdog,
+) -> Result<(SsspResult, PhaseProfile), SsspError> {
+    if !(delta > 0.0 && delta.is_finite()) {
+        return Err(SsspError::InvalidDelta { delta });
+    }
     let n = g.num_vertices();
+    if source >= n {
+        return Err(SsspError::SourceOutOfBounds {
+            source,
+            num_vertices: n,
+        });
+    }
     let mut result = SsspResult::init(n, source);
     let mut profile = PhaseProfile::default();
 
@@ -228,6 +255,7 @@ pub fn delta_stepping_parallel_improved_profiled(
 
     let mut i = 0usize;
     loop {
+        watchdog.tick()?;
         let t0 = Instant::now();
         let next = crate::parallel::scan_bucket_parallel(pool, &result.dist, delta, i, &mut frontier);
         profile.vector_ops += t0.elapsed();
@@ -242,6 +270,7 @@ pub fn delta_stepping_parallel_improved_profiled(
         settled.clear();
 
         while !frontier.is_empty() {
+            watchdog.tick()?;
             result.stats.light_phases += 1;
             let t0 = Instant::now();
             relax_parallel(
@@ -301,7 +330,7 @@ pub fn delta_stepping_parallel_improved_profiled(
 
         i += 1;
     }
-    (result, profile)
+    Ok((result, profile))
 }
 
 #[cfg(test)]

@@ -1,0 +1,313 @@
+//! The checked front door: one entry point wrapping all five
+//! delta-stepping implementations with preflight validation, a
+//! watchdog, and panic-isolating graceful degradation.
+//!
+//! [`run_checked`] never panics and never hangs on the inputs the
+//! robustness test-suite throws at it: NaN or negative weights,
+//! out-of-range sources, degenerate Δ, and injected worker panics all
+//! come back as [`SsspError`] values (or, for worker panics with
+//! [`GuardConfig::degrade_on_panic`] set, as a successful run on the
+//! sequential fallback path, reported in [`RunReport::degraded`]).
+
+use graphdata::CsrGraph;
+use taskpool::{install_try, PoolError, ThreadPool};
+
+use crate::guard::{preflight, reject_zero_weights, GuardConfig, SsspError, Watchdog};
+use crate::result::SsspResult;
+use crate::{canonical, fused, gblas_impl, parallel, parallel_improved};
+
+/// The five guarded delta-stepping implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Implementation {
+    /// Meyer–Sanders with explicit buckets ([`crate::canonical`]).
+    Canonical,
+    /// The fused direct implementation ([`crate::fused`]).
+    Fused,
+    /// The unfused GraphBLAS implementation ([`crate::gblas_impl`]).
+    Gblas,
+    /// The paper's task-parallel scheme ([`crate::parallel`]).
+    Parallel,
+    /// The improved parallel scheme ([`crate::parallel_improved`]).
+    ParallelImproved,
+}
+
+impl Implementation {
+    /// All guarded implementations, for exhaustive test sweeps.
+    pub const ALL: [Implementation; 5] = [
+        Implementation::Canonical,
+        Implementation::Fused,
+        Implementation::Gblas,
+        Implementation::Parallel,
+        Implementation::ParallelImproved,
+    ];
+
+    /// Parse a CLI-style name. `"delta"` is an alias for the canonical
+    /// vertex/edge formulation.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "delta" | "canonical" => Some(Implementation::Canonical),
+            "fused" => Some(Implementation::Fused),
+            "gblas" => Some(Implementation::Gblas),
+            "parallel" => Some(Implementation::Parallel),
+            "improved" | "parallel-improved" => Some(Implementation::ParallelImproved),
+            _ => None,
+        }
+    }
+
+    /// Canonical display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Implementation::Canonical => "canonical",
+            Implementation::Fused => "fused",
+            Implementation::Gblas => "gblas",
+            Implementation::Parallel => "parallel",
+            Implementation::ParallelImproved => "improved",
+        }
+    }
+
+    /// Whether this implementation runs tasks on a [`ThreadPool`].
+    pub fn is_parallel(self) -> bool {
+        matches!(
+            self,
+            Implementation::Parallel | Implementation::ParallelImproved
+        )
+    }
+}
+
+/// Outcome of a successful [`run_checked`].
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Distances and counters.
+    pub result: SsspResult,
+    /// The Δ actually used (differs from the request when
+    /// [`GuardConfig::delta_fallback`] replaced a degenerate value).
+    pub delta: f64,
+    /// The implementation requested.
+    pub implementation: Implementation,
+    /// `Some(panic message)` when a worker panicked and the run was
+    /// completed on the sequential fused fallback path instead.
+    pub degraded: Option<String>,
+}
+
+/// Run `implementation` on `g` from `source` with bucket width `delta`,
+/// behind the full hardened execution layer:
+///
+/// 1. [`preflight`] validates weights, source, and Δ (deriving a
+///    fallback Δ when configured);
+/// 2. a [`Watchdog`] sized by [`Watchdog::for_run`] bounds bucket epochs
+///    and light-relaxation rounds;
+/// 3. parallel implementations run inside [`taskpool::install_try`], so
+///    a panicking worker task becomes either a sequential fused re-run
+///    (default) or [`SsspError::WorkerPanicked`].
+///
+/// `pool` is used only by the parallel implementations; `None` selects
+/// the process-global pool.
+pub fn run_checked(
+    implementation: Implementation,
+    g: &CsrGraph,
+    source: usize,
+    delta: f64,
+    pool: Option<&ThreadPool>,
+    cfg: &GuardConfig,
+) -> Result<RunReport, SsspError> {
+    let delta = preflight(g, source, delta, cfg)?;
+    let report = |result: SsspResult| RunReport {
+        result,
+        delta,
+        implementation,
+        degraded: None,
+    };
+    match implementation {
+        Implementation::Canonical => {
+            let mut wd = Watchdog::for_run(g, delta, cfg);
+            canonical::delta_stepping_canonical_checked(g, source, delta, &mut wd).map(report)
+        }
+        Implementation::Fused => {
+            let mut wd = Watchdog::for_run(g, delta, cfg);
+            fused::delta_stepping_fused_checked(g, source, delta, &mut wd)
+                .map(|(result, _)| report(result))
+        }
+        Implementation::Gblas => {
+            reject_zero_weights(g, "gblas")?;
+            let mut wd = Watchdog::for_run(g, delta, cfg);
+            gblas_impl::delta_stepping_gblas_checked(g, source, delta, &mut wd).map(report)
+        }
+        Implementation::Parallel | Implementation::ParallelImproved => {
+            let pool = match pool {
+                Some(p) => p,
+                None => taskpool::global(),
+            };
+            let mut wd = Watchdog::for_run(g, delta, cfg);
+            let attempt = install_try(pool, || match implementation {
+                Implementation::Parallel => {
+                    parallel::delta_stepping_parallel_checked(pool, g, source, delta, &mut wd)
+                }
+                _ => parallel_improved::delta_stepping_parallel_improved_checked(
+                    pool, g, source, delta, &mut wd,
+                ),
+            });
+            match attempt {
+                Ok(inner) => inner.map(|(result, _)| report(result)),
+                Err(PoolError::TaskPanicked { message }) => {
+                    if !cfg.degrade_on_panic {
+                        return Err(SsspError::WorkerPanicked { message });
+                    }
+                    eprintln!(
+                        "sssp: worker panicked during '{}' run ({message}); \
+                         degrading to the sequential fused path",
+                        implementation.name()
+                    );
+                    let mut wd = Watchdog::for_run(g, delta, cfg);
+                    fused::delta_stepping_fused_checked(g, source, delta, &mut wd).map(
+                        |(result, _)| RunReport {
+                            result,
+                            delta,
+                            implementation,
+                            degraded: Some(message),
+                        },
+                    )
+                }
+                Err(other) => Err(SsspError::WorkerPanicked {
+                    message: other.to_string(),
+                }),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+    use graphdata::gen::grid2d;
+
+    fn grid() -> CsrGraph {
+        CsrGraph::from_edge_list(&grid2d(6, 6)).unwrap()
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(Implementation::parse("delta"), Some(Implementation::Canonical));
+        assert_eq!(Implementation::parse("canonical"), Some(Implementation::Canonical));
+        assert_eq!(Implementation::parse("improved"), Some(Implementation::ParallelImproved));
+        assert_eq!(Implementation::parse("dijkstra"), None);
+        for imp in Implementation::ALL {
+            assert_eq!(Implementation::parse(imp.name()), Some(imp));
+        }
+    }
+
+    #[test]
+    fn all_implementations_agree_with_dijkstra() {
+        let g = grid();
+        let dj = dijkstra(&g, 0);
+        let pool = ThreadPool::with_threads(2).unwrap();
+        for imp in Implementation::ALL {
+            let report =
+                run_checked(imp, &g, 0, 1.0, Some(&pool), &GuardConfig::default()).unwrap();
+            assert_eq!(report.result.dist, dj.dist, "{}", imp.name());
+            assert!(report.degraded.is_none());
+            assert_eq!(report.delta, 1.0);
+        }
+    }
+
+    #[test]
+    fn every_implementation_rejects_every_bad_input() {
+        let g = grid();
+        let nan_graph =
+            CsrGraph::from_raw_parts_unchecked(2, vec![0, 1, 1], vec![1], vec![f64::NAN]);
+        let neg_graph =
+            CsrGraph::from_raw_parts_unchecked(2, vec![0, 1, 1], vec![1], vec![-1.0]);
+        let pool = ThreadPool::with_threads(2).unwrap();
+        let cfg = GuardConfig::default();
+        for imp in Implementation::ALL {
+            assert!(matches!(
+                run_checked(imp, &nan_graph, 0, 1.0, Some(&pool), &cfg),
+                Err(SsspError::NonFiniteWeight { .. })
+            ));
+            assert!(matches!(
+                run_checked(imp, &neg_graph, 0, 1.0, Some(&pool), &cfg),
+                Err(SsspError::NegativeWeight { .. })
+            ));
+            assert!(matches!(
+                run_checked(imp, &g, 999, 1.0, Some(&pool), &cfg),
+                Err(SsspError::SourceOutOfBounds { .. })
+            ));
+            for bad_delta in [0.0, f64::NAN, f64::INFINITY] {
+                assert!(matches!(
+                    run_checked(imp, &g, 0, bad_delta, Some(&pool), &cfg),
+                    Err(SsspError::InvalidDelta { .. })
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn delta_fallback_rescues_degenerate_delta() {
+        let g = grid();
+        let cfg = GuardConfig {
+            delta_fallback: true,
+            ..GuardConfig::default()
+        };
+        let report = run_checked(Implementation::Fused, &g, 0, f64::NAN, None, &cfg).unwrap();
+        assert!(report.delta.is_finite() && report.delta > 0.0);
+        assert_eq!(report.result.dist, dijkstra(&g, 0).dist);
+    }
+
+    #[test]
+    fn watchdog_cap_surfaces_as_error() {
+        let g = CsrGraph::from_edge_list(&graphdata::gen::path(64)).unwrap();
+        let cfg = GuardConfig {
+            max_ticks: 4,
+            ..GuardConfig::default()
+        };
+        for imp in Implementation::ALL {
+            assert!(
+                matches!(
+                    run_checked(imp, &g, 0, 1.0, None, &cfg),
+                    Err(SsspError::IterationLimitExceeded { .. })
+                ),
+                "{}",
+                imp.name()
+            );
+        }
+    }
+
+    #[test]
+    fn injected_worker_panic_becomes_error_when_degradation_off() {
+        let g = grid();
+        let pool = ThreadPool::with_threads(2).unwrap();
+        let cfg = GuardConfig {
+            degrade_on_panic: false,
+            ..GuardConfig::default()
+        };
+        taskpool::fault::arm_panic_after(0);
+        let outcome = run_checked(Implementation::Parallel, &g, 0, 1.0, Some(&pool), &cfg);
+        taskpool::fault::disarm();
+        match outcome {
+            Err(SsspError::WorkerPanicked { message }) => {
+                assert!(message.contains(taskpool::fault::INJECTED_PANIC_MESSAGE));
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        assert!(pool.panicked_tasks() >= 1);
+    }
+
+    #[test]
+    fn injected_worker_panic_degrades_to_certified_sequential_run() {
+        let g = grid();
+        let pool = ThreadPool::with_threads(2).unwrap();
+        let cfg = GuardConfig::default(); // degrade_on_panic: true
+        taskpool::fault::arm_panic_after(0);
+        let report =
+            run_checked(Implementation::ParallelImproved, &g, 0, 1.0, Some(&pool), &cfg)
+                .expect("degradation must rescue the run");
+        taskpool::fault::disarm();
+        let message = report.degraded.expect("run must be marked degraded");
+        assert!(message.contains(taskpool::fault::INJECTED_PANIC_MESSAGE));
+        // The fallback distances are not just plausible — they carry the
+        // full SSSP optimality certificate and match Dijkstra.
+        crate::validate::check_certificate(&g, &report.result, 1e-12)
+            .expect("degraded result must still be optimal");
+        assert_eq!(report.result.dist, dijkstra(&g, 0).dist);
+    }
+}

@@ -51,6 +51,86 @@ impl CsrGraph {
         })
     }
 
+    /// Build directly from CSR arrays, validating every structural and
+    /// value invariant: `offsets` must be monotone with
+    /// `offsets.len() == num_vertices + 1`, start at 0, and end at
+    /// `targets.len()`; `targets` must be in range; `weights` must be
+    /// finite, non-negative, and parallel to `targets`.
+    pub fn from_raw_parts(
+        num_vertices: usize,
+        offsets: Vec<usize>,
+        targets: Vec<usize>,
+        weights: Vec<f64>,
+    ) -> Result<Self, GraphError> {
+        if offsets.len() != num_vertices + 1 {
+            return Err(GraphError::InvalidGraph(format!(
+                "offsets length {} != num_vertices + 1 = {}",
+                offsets.len(),
+                num_vertices + 1
+            )));
+        }
+        if offsets[0] != 0 {
+            return Err(GraphError::InvalidGraph("offsets must start at 0".into()));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(GraphError::InvalidGraph("offsets must be monotone".into()));
+        }
+        if *offsets.last().expect("len >= 1 checked above") != targets.len() {
+            return Err(GraphError::InvalidGraph(format!(
+                "offsets end at {} but there are {} targets",
+                offsets.last().unwrap(),
+                targets.len()
+            )));
+        }
+        if targets.len() != weights.len() {
+            return Err(GraphError::InvalidGraph(format!(
+                "{} targets vs {} weights",
+                targets.len(),
+                weights.len()
+            )));
+        }
+        if let Some(&t) = targets.iter().find(|&&t| t >= num_vertices) {
+            return Err(GraphError::InvalidGraph(format!(
+                "edge target {t} out of range for {num_vertices} vertices"
+            )));
+        }
+        if let Some(&w) = weights.iter().find(|w| !w.is_finite() || **w < 0.0) {
+            return Err(GraphError::InvalidGraph(format!(
+                "edge weight {w} is not finite and non-negative"
+            )));
+        }
+        Ok(CsrGraph {
+            num_vertices,
+            offsets,
+            targets,
+            weights,
+        })
+    }
+
+    /// Build from CSR arrays without *value* validation. The structural
+    /// invariants (offset monotonicity, lengths, target bounds) must still
+    /// hold or later accessors will panic or index out of bounds — but
+    /// weights are taken as-is, so callers can construct graphs carrying
+    /// NaN, infinite, or negative weights. This exists for robustness
+    /// testing (exercising solver-level preflight rejection and
+    /// watchdogs on inputs [`CsrGraph::from_edge_list`] refuses to build);
+    /// production code should use the validating constructors.
+    pub fn from_raw_parts_unchecked(
+        num_vertices: usize,
+        offsets: Vec<usize>,
+        targets: Vec<usize>,
+        weights: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(offsets.len(), num_vertices + 1);
+        debug_assert_eq!(targets.len(), weights.len());
+        CsrGraph {
+            num_vertices,
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn num_vertices(&self) -> usize {
@@ -204,6 +284,43 @@ mod tests {
     fn rejects_invalid_weights() {
         let el = EdgeList::from_triples(vec![(0, 1, -2.0)]);
         assert!(CsrGraph::from_edge_list(&el).is_err());
+    }
+
+    #[test]
+    fn from_raw_parts_validates() {
+        // A valid 3-vertex graph: 0 -> 1 (1.0), 0 -> 2 (2.0), 1 -> 2 (0.5).
+        let ok = CsrGraph::from_raw_parts(
+            3,
+            vec![0, 2, 3, 3],
+            vec![1, 2, 2],
+            vec![1.0, 2.0, 0.5],
+        )
+        .unwrap();
+        assert_eq!(ok.num_edges(), 3);
+        assert_eq!(ok.neighbors(0).0, &[1, 2]);
+
+        // Structural violations.
+        assert!(CsrGraph::from_raw_parts(3, vec![0, 2, 3], vec![1, 2, 2], vec![1.0; 3]).is_err());
+        assert!(CsrGraph::from_raw_parts(3, vec![1, 2, 3, 3], vec![1, 2, 2], vec![1.0; 3]).is_err());
+        assert!(CsrGraph::from_raw_parts(3, vec![0, 3, 2, 3], vec![1, 2, 2], vec![1.0; 3]).is_err());
+        assert!(CsrGraph::from_raw_parts(3, vec![0, 2, 3, 4], vec![1, 2, 2], vec![1.0; 3]).is_err());
+        assert!(CsrGraph::from_raw_parts(3, vec![0, 2, 3, 3], vec![1, 2, 3], vec![1.0; 3]).is_err());
+        assert!(CsrGraph::from_raw_parts(3, vec![0, 2, 3, 3], vec![1, 2, 2], vec![1.0; 2]).is_err());
+
+        // Value violations.
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            assert!(
+                CsrGraph::from_raw_parts(2, vec![0, 1, 1], vec![1], vec![bad]).is_err(),
+                "weight {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn from_raw_parts_unchecked_admits_bad_weights() {
+        let g = CsrGraph::from_raw_parts_unchecked(2, vec![0, 1, 1], vec![1], vec![f64::NAN]);
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.weights()[0].is_nan());
     }
 
     #[test]

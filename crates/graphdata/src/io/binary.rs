@@ -1,5 +1,4 @@
-//! Compact binary graph format: a fixed little-endian layout built with the
-//! `bytes` crate. Layout:
+//! Compact binary graph format with a fixed little-endian layout:
 //!
 //! ```text
 //! magic   [u8; 8]  = b"GBSSSP01"
@@ -7,8 +6,11 @@
 //! ne      u64
 //! edges   ne × (src u64, dst u64, weight f64)
 //! ```
-
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+//!
+//! The reader is total: every malformed input — truncated header or
+//! payload, bad magic, overflowing edge count, out-of-bounds endpoints,
+//! non-finite or negative weights — yields a `GraphError` rather than a
+//! panic.
 
 use crate::edge_list::EdgeList;
 use crate::error::GraphError;
@@ -16,51 +18,95 @@ use crate::error::GraphError;
 const MAGIC: &[u8; 8] = b"GBSSSP01";
 
 /// Serialize an edge list to the binary format.
-pub fn write_binary(el: &EdgeList) -> Bytes {
-    let mut buf = BytesMut::with_capacity(8 + 16 + el.num_edges() * 24);
-    buf.put_slice(MAGIC);
-    buf.put_u64_le(el.num_vertices() as u64);
-    buf.put_u64_le(el.num_edges() as u64);
+pub fn write_binary(el: &EdgeList) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(8 + 16 + el.num_edges() * 24);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&(el.num_vertices() as u64).to_le_bytes());
+    buf.extend_from_slice(&(el.num_edges() as u64).to_le_bytes());
     for e in el.edges() {
-        buf.put_u64_le(e.src as u64);
-        buf.put_u64_le(e.dst as u64);
-        buf.put_f64_le(e.weight);
+        buf.extend_from_slice(&(e.src as u64).to_le_bytes());
+        buf.extend_from_slice(&(e.dst as u64).to_le_bytes());
+        buf.extend_from_slice(&e.weight.to_le_bytes());
     }
-    buf.freeze()
+    buf
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Cursor { data, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take<const N: usize>(&mut self, what: &str) -> Result<[u8; N], GraphError> {
+        match self.data.get(self.pos..self.pos + N) {
+            Some(chunk) => {
+                self.pos += N;
+                let mut out = [0u8; N];
+                out.copy_from_slice(chunk);
+                Ok(out)
+            }
+            None => Err(GraphError::InvalidGraph(format!(
+                "binary graph truncated reading {what}: need {N} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            ))),
+        }
+    }
+
+    fn u64_le(&mut self, what: &str) -> Result<u64, GraphError> {
+        Ok(u64::from_le_bytes(self.take::<8>(what)?))
+    }
+
+    fn f64_le(&mut self, what: &str) -> Result<f64, GraphError> {
+        Ok(f64::from_le_bytes(self.take::<8>(what)?))
+    }
 }
 
 /// Deserialize the binary format.
-pub fn read_binary(mut data: &[u8]) -> Result<EdgeList, GraphError> {
-    if data.len() < 24 {
-        return Err(GraphError::InvalidGraph("binary graph truncated header".into()));
-    }
-    let mut magic = [0u8; 8];
-    data.copy_to_slice(&mut magic);
+pub fn read_binary(data: &[u8]) -> Result<EdgeList, GraphError> {
+    let mut cur = Cursor::new(data);
+    let magic = cur.take::<8>("magic")?;
     if &magic != MAGIC {
         return Err(GraphError::InvalidGraph(format!(
             "bad magic {:?}, expected {:?}",
             magic, MAGIC
         )));
     }
-    let nv = data.get_u64_le() as usize;
-    let ne = data.get_u64_le() as usize;
+    let nv = usize::try_from(cur.u64_le("vertex count")?)
+        .map_err(|_| GraphError::InvalidGraph("vertex count overflows usize".into()))?;
+    let ne = usize::try_from(cur.u64_le("edge count")?)
+        .map_err(|_| GraphError::InvalidGraph("edge count overflows usize".into()))?;
     let need = ne
         .checked_mul(24)
         .ok_or_else(|| GraphError::InvalidGraph("edge count overflow".into()))?;
-    if data.remaining() < need {
+    if cur.remaining() < need {
         return Err(GraphError::InvalidGraph(format!(
             "binary graph truncated: need {need} bytes of edges, have {}",
-            data.remaining()
+            cur.remaining()
         )));
     }
     let mut el = EdgeList::new(nv);
-    for _ in 0..ne {
-        let src = data.get_u64_le() as usize;
-        let dst = data.get_u64_le() as usize;
-        let w = data.get_f64_le();
+    for i in 0..ne {
+        let src = cur.u64_le("edge source")? as usize;
+        let dst = cur.u64_le("edge target")? as usize;
+        let w = cur.f64_le("edge weight")?;
         if src >= nv || dst >= nv {
             return Err(GraphError::InvalidGraph(format!(
-                "edge ({src}, {dst}) out of bounds for {nv} vertices"
+                "edge {i} ({src}, {dst}) out of bounds for {nv} vertices"
+            )));
+        }
+        if !w.is_finite() || w < 0.0 {
+            return Err(GraphError::InvalidGraph(format!(
+                "edge {i} ({src}, {dst}) has invalid weight {w}"
             )));
         }
         el.push(src, dst, w);
@@ -98,13 +144,38 @@ mod tests {
         let bytes = write_binary(&el);
         assert!(read_binary(&bytes[..bytes.len() - 4]).is_err());
         // Out-of-bounds edge: header claims 1 vertex but edge says 5.
-        let mut buf = bytes::BytesMut::new();
-        buf.put_slice(b"GBSSSP01");
-        buf.put_u64_le(1);
-        buf.put_u64_le(1);
-        buf.put_u64_le(5);
-        buf.put_u64_le(0);
-        buf.put_f64_le(1.0);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"GBSSSP01");
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&5u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&1.0f64.to_le_bytes());
+        assert!(read_binary(&buf).is_err());
+    }
+
+    #[test]
+    fn invalid_weights_rejected() {
+        for w in [f64::NAN, f64::INFINITY, -1.0] {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(b"GBSSSP01");
+            buf.extend_from_slice(&2u64.to_le_bytes());
+            buf.extend_from_slice(&1u64.to_le_bytes());
+            buf.extend_from_slice(&0u64.to_le_bytes());
+            buf.extend_from_slice(&1u64.to_le_bytes());
+            buf.extend_from_slice(&w.to_le_bytes());
+            let err = read_binary(&buf).unwrap_err();
+            assert!(err.to_string().contains("invalid weight"), "{err}");
+        }
+    }
+
+    #[test]
+    fn lying_edge_count_rejected_without_allocation_blowup() {
+        // Header claims u64::MAX edges with an empty payload.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"GBSSSP01");
+        buf.extend_from_slice(&3u64.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
         assert!(read_binary(&buf).is_err());
     }
 }

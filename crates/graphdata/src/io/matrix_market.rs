@@ -106,6 +106,12 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<EdgeList, GraphError>
                 .parse()
                 .map_err(|_| GraphError::parse(no, "bad weight value"))?
         };
+        if !w.is_finite() || w < 0.0 {
+            return Err(GraphError::parse(
+                no,
+                format!("weight {w} must be finite and non-negative"),
+            ));
+        }
         let (r, c) = (r - 1, c - 1);
         el.push(r, c, w);
         if symmetric && r != c {
@@ -189,5 +195,13 @@ mod tests {
         assert!(parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n").is_err()); // 1-based
         assert!(parse("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 2 1.0\n").is_err()); // count mismatch
         assert!(parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 abc\n").is_err()); // bad weight
+    }
+
+    #[test]
+    fn invalid_weight_values_rejected() {
+        for w in ["nan", "inf", "-inf", "-2.5"] {
+            let input = format!("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 {w}\n");
+            assert!(parse(&input).is_err(), "weight {w} must be rejected");
+        }
     }
 }

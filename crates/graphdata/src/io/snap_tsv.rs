@@ -44,6 +44,12 @@ pub fn read_snap_tsv<R: BufRead>(reader: R) -> Result<EdgeList, GraphError> {
         } else {
             1.0
         };
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(GraphError::parse(
+                no,
+                format!("weight {weight} must be finite and non-negative"),
+            ));
+        }
         el.push(src, dst, weight);
     }
     Ok(el)
@@ -91,6 +97,13 @@ mod tests {
         assert!(parse("a b\n").is_err());
         assert!(parse("0 1 xyz\n").is_err());
         assert!(parse("-1 2\n").is_err());
+    }
+
+    #[test]
+    fn invalid_weight_values_rejected() {
+        for w in ["nan", "inf", "-inf", "-0.5"] {
+            assert!(parse(&format!("0 1 {w}\n")).is_err(), "weight {w} must be rejected");
+        }
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Fault injection: a test hook that makes the Nth subsequently spawned
+//! scoped task panic.
+//!
+//! Used to prove panic isolation and graceful degradation end-to-end
+//! (a fault-injected parallel SSSP run must fall back to the sequential
+//! path and still produce certified distances) without instrumenting
+//! production code paths. The hook is a process-global countdown checked
+//! at the start of every scoped task; it costs one relaxed atomic load
+//! when disarmed.
+//!
+//! The hook is global state: arm it immediately before the call under
+//! test and disarm it right after, and do not run two fault-injection
+//! tests concurrently in one process.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// Countdown until the injected panic: negative means disarmed, `n ≥ 0`
+/// means "the task that observes `n == 0` panics".
+static COUNTDOWN: AtomicI64 = AtomicI64::new(-1);
+
+/// Message carried by injected panics, so tests can assert the failure
+/// they observe is the one they injected.
+pub const INJECTED_PANIC_MESSAGE: &str = "taskpool: injected fault";
+
+/// Arm the hook: the `n`-th scoped task spawned from now on panics
+/// (`n = 0` → the very next task).
+pub fn arm_panic_after(n: u64) {
+    COUNTDOWN.store(n.min(i64::MAX as u64) as i64, Ordering::SeqCst);
+}
+
+/// Disarm the hook. Idempotent.
+pub fn disarm() {
+    COUNTDOWN.store(-1, Ordering::SeqCst);
+}
+
+/// Whether the hook is currently armed.
+pub fn is_armed() -> bool {
+    COUNTDOWN.load(Ordering::SeqCst) >= 0
+}
+
+/// Called at the start of every scoped task; panics if this task is the
+/// armed target.
+pub(crate) fn check_injected_fault() {
+    // Fast path: disarmed. Relaxed is fine — a stale read only delays the
+    // injection by a task or two, which tests tolerate by arming before
+    // the run they observe.
+    if COUNTDOWN.load(Ordering::Relaxed) < 0 {
+        return;
+    }
+    if COUNTDOWN.fetch_sub(1, Ordering::SeqCst) == 0 {
+        panic!("{INJECTED_PANIC_MESSAGE}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_by_default_and_after_disarm() {
+        disarm();
+        assert!(!is_armed());
+        check_injected_fault(); // must not panic
+        arm_panic_after(5);
+        assert!(is_armed());
+        disarm();
+        assert!(!is_armed());
+        check_injected_fault(); // must not panic
+    }
+
+    #[test]
+    fn countdown_hits_zero() {
+        arm_panic_after(1);
+        check_injected_fault(); // 1 -> 0, no panic yet
+        let hit = std::panic::catch_unwind(check_injected_fault);
+        disarm();
+        assert!(hit.is_err());
+    }
+}

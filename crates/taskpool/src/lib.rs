@@ -32,6 +32,7 @@
 //! ```
 
 mod error;
+pub mod fault;
 mod join;
 mod parallel_for;
 mod pool;
@@ -43,7 +44,7 @@ pub use join::join;
 pub use parallel_for::{par_chunks_mut, parallel_for, parallel_for_chunks, split_evenly};
 pub use pool::{global, ThreadPool};
 pub use reduce::{parallel_map_reduce, parallel_sum_f64, parallel_sum_usize};
-pub use scope::{scope, Scope};
+pub use scope::{install_try, scope, scope_try, Scope};
 
 #[cfg(test)]
 mod tests {

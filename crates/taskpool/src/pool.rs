@@ -24,9 +24,17 @@ pub(crate) struct Shared {
     shutdown: AtomicBool,
     sleep_lock: Mutex<()>,
     wakeup: Condvar,
+    /// Lifetime count of scoped tasks that panicked on this pool — the
+    /// pool's health indicator. Workers survive task panics (the panic is
+    /// caught at the task boundary), so a non-zero count means degraded
+    /// runs happened, not dead threads.
+    panicked_tasks: AtomicUsize,
 }
 
 impl Shared {
+    pub(crate) fn note_panicked_task(&self) {
+        self.panicked_tasks.fetch_add(1, Ordering::SeqCst);
+    }
     pub(crate) fn push(&self, job: Job) {
         self.pending.fetch_add(1, Ordering::SeqCst);
         self.injector.push(job);
@@ -96,6 +104,7 @@ impl ThreadPool {
             shutdown: AtomicBool::new(false),
             sleep_lock: Mutex::new(()),
             wakeup: Condvar::new(),
+            panicked_tasks: AtomicUsize::new(0),
         });
         let mut handles = Vec::with_capacity(threads);
         for i in 0..threads {
@@ -124,6 +133,13 @@ impl ThreadPool {
     /// Number of worker threads in this pool.
     pub fn num_threads(&self) -> usize {
         self.threads
+    }
+
+    /// Pool health: how many scoped tasks have panicked on this pool over
+    /// its lifetime. Worker threads survive task panics, so a non-zero
+    /// value records degraded runs rather than lost capacity.
+    pub fn panicked_tasks(&self) -> usize {
+        self.shared.panicked_tasks.load(Ordering::SeqCst)
     }
 
     pub(crate) fn shared(&self) -> &Arc<Shared> {

@@ -15,13 +15,17 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::error::PoolError;
 use crate::pool::{Job, ThreadPool};
+
+/// A captured panic payload, as produced by [`catch_unwind`].
+type PanicPayload = Box<dyn Any + Send + 'static>;
 
 struct ScopeState {
     /// Tasks spawned but not yet completed.
     pending: AtomicUsize,
     /// First panic payload captured from a task, if any.
-    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    panic: Mutex<Option<PanicPayload>>,
     done_lock: Mutex<()>,
     done: Condvar,
 }
@@ -53,9 +57,14 @@ impl<'pool, 'env> Scope<'pool, 'env> {
     {
         self.state.pending.fetch_add(1, Ordering::SeqCst);
         let state = Arc::clone(&self.state);
+        let shared = Arc::clone(self.pool.shared());
         let task = move || {
-            let result = catch_unwind(AssertUnwindSafe(f));
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                crate::fault::check_injected_fault();
+                f()
+            }));
             if let Err(payload) = result {
+                shared.note_panicked_task();
                 let mut slot = state.panic.lock();
                 if slot.is_none() {
                     *slot = Some(payload);
@@ -82,12 +91,13 @@ unsafe fn erase_lifetime<'env>(f: Box<dyn FnOnce() + Send + 'env>) -> Job {
     std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(f)
 }
 
-/// Run `f` with a [`Scope`] on `pool`; wait for all spawned tasks, then
-/// return `f`'s result. If any task panicked, the panic is resumed here.
-///
-/// While waiting, the calling thread helps execute queued tasks, so nesting
-/// `scope` inside a pool task cannot deadlock.
-pub fn scope<'env, F, R>(pool: &ThreadPool, f: F) -> R
+/// Shared implementation of [`scope`] and [`scope_try`]: run `f` with a
+/// [`Scope`], wait for (and help with) all spawned tasks, and return `f`'s
+/// outcome plus the first captured task panic, if any.
+fn scope_impl<'env, F, R>(
+    pool: &ThreadPool,
+    f: F,
+) -> (Result<R, PanicPayload>, Option<PanicPayload>)
 where
     F: FnOnce(&Scope<'_, 'env>) -> R,
 {
@@ -118,12 +128,75 @@ where
         state.done.wait_for(&mut guard, Duration::from_millis(1));
     }
 
-    if let Some(payload) = state.panic.lock().take() {
+    let task_panic = state.panic.lock().take();
+    (result, task_panic)
+}
+
+/// Run `f` with a [`Scope`] on `pool`; wait for all spawned tasks, then
+/// return `f`'s result. If any task panicked, the panic is resumed here.
+///
+/// While waiting, the calling thread helps execute queued tasks, so nesting
+/// `scope` inside a pool task cannot deadlock.
+pub fn scope<'env, F, R>(pool: &ThreadPool, f: F) -> R
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    let (result, task_panic) = scope_impl(pool, f);
+    if let Some(payload) = task_panic {
         std::panic::resume_unwind(payload);
     }
     match result {
         Ok(r) => r,
         Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Fault-isolating variant of [`scope`]: identical task semantics (all
+/// spawned tasks are waited for, the waiting thread helps), but panics —
+/// whether from a spawned task or from `f` itself — are converted into
+/// [`PoolError::TaskPanicked`] instead of being resumed. The first panic
+/// wins; remaining tasks still run to completion, so the pool and its
+/// queue stay consistent.
+pub fn scope_try<'env, F, R>(pool: &ThreadPool, f: F) -> Result<R, PoolError>
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    let (result, task_panic) = scope_impl(pool, f);
+    if let Some(payload) = task_panic {
+        return Err(PoolError::TaskPanicked {
+            message: payload_message(payload.as_ref()),
+        });
+    }
+    result.map_err(|payload| PoolError::TaskPanicked {
+        message: payload_message(payload.as_ref()),
+    })
+}
+
+/// Run `f` (typically a pool-based parallel computation) and convert any
+/// panic escaping it into [`PoolError::TaskPanicked`]. The outermost
+/// safety net: wraps code that uses [`scope`] internally without requiring
+/// it to be restructured around [`scope_try`]. Scoped-task panics are
+/// already recorded in [`ThreadPool::panicked_tasks`] at the task
+/// boundary; this function only converts, it does not double-count.
+pub fn install_try<F, R>(pool: &ThreadPool, f: F) -> Result<R, PoolError>
+where
+    F: FnOnce() -> R,
+{
+    let _ = pool;
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| PoolError::TaskPanicked {
+        message: payload_message(payload.as_ref()),
+    })
+}
+
+/// Extract a human-readable message from a panic payload (`&str` and
+/// `String` payloads cover `panic!`, `assert!`, and friends).
+fn payload_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -211,6 +284,102 @@ mod tests {
             });
         });
         assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn scope_try_converts_task_panic() {
+        let pool = ThreadPool::with_threads(2).unwrap();
+        let before = pool.panicked_tasks();
+        let result = scope_try(&pool, |s| {
+            s.spawn(|| panic!("try boom"));
+        });
+        match result {
+            Err(PoolError::TaskPanicked { message }) => assert_eq!(message, "try boom"),
+            other => panic!("expected TaskPanicked, got {other:?}"),
+        }
+        assert_eq!(pool.panicked_tasks(), before + 1);
+    }
+
+    #[test]
+    fn scope_try_ok_passes_value_through() {
+        let pool = ThreadPool::with_threads(2).unwrap();
+        let total = AtomicUsize::new(0);
+        let r = scope_try(&pool, |s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    total.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            "done"
+        });
+        assert_eq!(r, Ok("done"));
+        assert_eq!(total.load(Ordering::SeqCst), 4);
+        assert_eq!(pool.panicked_tasks(), 0);
+    }
+
+    #[test]
+    fn scope_try_remaining_tasks_complete_after_panic() {
+        let pool = ThreadPool::with_threads(2).unwrap();
+        let counter = AtomicUsize::new(0);
+        let result = scope_try(&pool, |s| {
+            s.spawn(|| panic!("first"));
+            for _ in 0..8 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert!(matches!(result, Err(PoolError::TaskPanicked { .. })));
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+        // The pool is still healthy for subsequent scopes.
+        let v = scope(&pool, |s| {
+            s.spawn(|| {});
+            7
+        });
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn scope_try_converts_closure_panic() {
+        let pool = ThreadPool::with_threads(1).unwrap();
+        let result: Result<(), _> = scope_try(&pool, |_| panic!("closure {}", "boom"));
+        match result {
+            Err(PoolError::TaskPanicked { message }) => assert_eq!(message, "closure boom"),
+            other => panic!("expected TaskPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn install_try_converts_nested_scope_panic() {
+        let pool = ThreadPool::with_threads(2).unwrap();
+        let result = install_try(&pool, || {
+            scope(&pool, |s| {
+                s.spawn(|| panic!("deep boom"));
+            });
+            42
+        });
+        match result {
+            Err(PoolError::TaskPanicked { message }) => assert_eq!(message, "deep boom"),
+            other => panic!("expected TaskPanicked, got {other:?}"),
+        }
+        let ok = install_try(&pool, || 42);
+        assert_eq!(ok, Ok(42));
+    }
+
+    #[test]
+    fn injected_fault_surfaces_as_task_panicked() {
+        let pool = ThreadPool::with_threads(2).unwrap();
+        crate::fault::arm_panic_after(0);
+        let result = scope_try(&pool, |s| {
+            s.spawn(|| {});
+        });
+        crate::fault::disarm();
+        match result {
+            Err(PoolError::TaskPanicked { message }) => {
+                assert_eq!(message, crate::fault::INJECTED_PANIC_MESSAGE);
+            }
+            other => panic!("expected injected TaskPanicked, got {other:?}"),
+        }
     }
 
     #[test]

@@ -16,10 +16,57 @@ use std::process::ExitCode;
 use graphdata::{gen, io as gio, CsrGraph, EdgeList, WeightModel};
 use sssp_core::delta::DeltaStrategy;
 use sssp_core::{
-    bellman_ford, canonical, dijkstra, fused, gblas_impl, gblas_parallel, gblas_select, parallel,
-    parallel_improved, validate, SsspResult,
+    bellman_ford, dijkstra, gblas_parallel, gblas_select, run_checked, validate, GuardConfig,
+    Implementation, SsspError, SsspResult,
 };
 use taskpool::ThreadPool;
+
+/// Exit codes: each failure class gets its own, so scripts can tell a
+/// typo from a broken input file from a solver-level rejection.
+const EXIT_USAGE: u8 = 1;
+/// Input could not be loaded or is not a valid graph.
+const EXIT_INPUT: u8 = 2;
+/// The solver rejected the run ([`SsspError`]) or its result failed
+/// certificate validation.
+const EXIT_SSSP: u8 = 3;
+/// An internal panic was caught at the top level (always a bug).
+const EXIT_PANIC: u8 = 4;
+
+/// A CLI failure: what to print and which exit code to use.
+enum Failure {
+    Usage(String),
+    Input(String),
+    Sssp(SsspError),
+}
+
+impl Failure {
+    fn report(self) -> ExitCode {
+        match self {
+            Failure::Usage(msg) => {
+                eprintln!("{msg}");
+                ExitCode::from(EXIT_USAGE)
+            }
+            Failure::Input(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::from(EXIT_INPUT)
+            }
+            Failure::Sssp(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(EXIT_SSSP)
+            }
+        }
+    }
+}
+
+/// `--delta` argument: an explicit width (including degenerate values the
+/// solver will reject) or the Meyer–Sanders rule, resolved once the graph
+/// is loaded. A distinct variant — not a NaN sentinel — so a user-typed
+/// `--delta nan` still reaches preflight and is rejected there.
+#[derive(Clone, Copy)]
+enum DeltaArg {
+    Value(f64),
+    MeyerSanders,
+}
 
 struct Options {
     input: Option<String>,
@@ -27,7 +74,7 @@ struct Options {
     generate: Option<String>,
     implementation: String,
     source: usize,
-    delta: Option<f64>,
+    delta: Option<DeltaArg>,
     threads: usize,
     symmetrize: bool,
     unit_weights: bool,
@@ -46,7 +93,7 @@ input (one of):
                            grid:WxH | er:N,M | rmat:SCALE,EF | ba:N,M | path:N | cycle:N
 
 options:
-  --impl NAME              dijkstra | bellman-ford | canonical | gblas |
+  --impl NAME              dijkstra | bellman-ford | delta/canonical | gblas |
                            gblas-select | gblas-parallel | fused (default) |
                            parallel | improved
   --source V               source vertex (default 0)
@@ -58,6 +105,9 @@ options:
   --validate               check the SSSP optimality certificate
   --summary                print statistics instead of every distance
   --help                   this text
+
+exit codes:
+  1 usage error | 2 bad input graph | 3 solver rejected the run | 4 internal panic
 ";
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -96,15 +146,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--delta" => {
                 let v = value(&mut i, "--delta")?;
                 o.delta = Some(if v == "ms" {
-                    f64::NAN // resolved later via Meyer-Sanders
+                    DeltaArg::MeyerSanders
                 } else {
-                    v.parse().map_err(|_| "bad --delta".to_string())?
+                    DeltaArg::Value(v.parse().map_err(|_| "bad --delta".to_string())?)
                 });
             }
             "--threads" => {
                 o.threads = value(&mut i, "--threads")?
                     .parse()
-                    .map_err(|_| "bad --threads".to_string())?
+                    .map_err(|_| "bad --threads".to_string())?;
+                if o.threads == 0 {
+                    return Err("bad --threads: need at least one thread".to_string());
+                }
             }
             "--symmetrize" => o.symmetrize = true,
             "--unit-weights" => o.unit_weights = true,
@@ -197,53 +250,71 @@ fn load(path: &str, format: Option<&str>) -> Result<EdgeList, String> {
     }
 }
 
-fn run(o: &Options, g: &CsrGraph, delta: f64) -> Result<SsspResult, String> {
+fn run(o: &Options, g: &CsrGraph, delta: f64) -> Result<SsspResult, Failure> {
+    // The five delta-stepping implementations go through the hardened
+    // front door: preflight validation, watchdog, panic degradation.
+    if let Some(imp) = Implementation::parse(&o.implementation) {
+        let owned_pool;
+        let pool = if imp.is_parallel() {
+            owned_pool = ThreadPool::with_threads(o.threads)
+                .map_err(|e| Failure::Input(e.to_string()))?;
+            Some(&owned_pool)
+        } else {
+            None
+        };
+        let report = run_checked(imp, g, o.source, delta, pool, &GuardConfig::default())
+            .map_err(Failure::Sssp)?;
+        if let Some(msg) = report.degraded {
+            eprintln!("warning: run degraded to the sequential fused path ({msg})");
+        }
+        return Ok(report.result);
+    }
     Ok(match o.implementation.as_str() {
         "dijkstra" => dijkstra::dijkstra(g, o.source),
         "bellman-ford" => bellman_ford::bellman_ford(g, o.source),
-        "canonical" => canonical::delta_stepping_canonical(g, o.source, delta),
-        "gblas" => gblas_impl::delta_stepping_gblas(g, o.source, delta),
         "gblas-select" => gblas_select::delta_stepping_gblas_select(g, o.source, delta),
         "gblas-parallel" => {
-            let pool = ThreadPool::with_threads(o.threads).map_err(|e| e.to_string())?;
+            let pool =
+                ThreadPool::with_threads(o.threads).map_err(|e| Failure::Input(e.to_string()))?;
             gblas_parallel::delta_stepping_gblas_parallel(&pool, g, o.source, delta)
         }
-        "fused" => fused::delta_stepping_fused(g, o.source, delta),
-        "parallel" => {
-            let pool = ThreadPool::with_threads(o.threads).map_err(|e| e.to_string())?;
-            parallel::delta_stepping_parallel(&pool, g, o.source, delta)
-        }
-        "improved" => {
-            let pool = ThreadPool::with_threads(o.threads).map_err(|e| e.to_string())?;
-            parallel_improved::delta_stepping_parallel_improved(&pool, g, o.source, delta)
-        }
-        other => return Err(format!("unknown --impl '{other}'\n\n{USAGE}")),
+        other => return Err(Failure::Usage(format!("unknown --impl '{other}'\n\n{USAGE}"))),
     })
 }
 
 fn main() -> ExitCode {
+    // No panic may reach the user as a raw backtrace: replace the hook
+    // with a one-line report and map caught panics to a distinct code.
+    std::panic::set_hook(Box::new(|info| {
+        let message = if let Some(s) = info.payload().downcast_ref::<&str>() {
+            s
+        } else if let Some(s) = info.payload().downcast_ref::<String>() {
+            s.as_str()
+        } else {
+            "unexpected internal failure"
+        };
+        eprintln!("sssp: internal error: {message}");
+    }));
+    match std::panic::catch_unwind(real_main) {
+        Ok(code) => code,
+        Err(_) => ExitCode::from(EXIT_PANIC),
+    }
+}
+
+fn real_main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let o = match parse_args(&args) {
         Ok(o) => o,
-        Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::FAILURE;
-        }
+        Err(msg) => return Failure::Usage(msg).report(),
     };
     let mut el = match (&o.generate, &o.input) {
         (Some(spec), _) => match generate(spec) {
             Ok(el) => el,
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
+            Err(e) => return Failure::Usage(format!("error: {e}")).report(),
         },
         (None, Some(path)) => match load(path, o.format.as_deref()) {
             Ok(el) => el,
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
+            Err(e) => return Failure::Input(e).report(),
         },
         (None, None) => unreachable!("parse_args enforces an input"),
     };
@@ -262,39 +333,32 @@ fn main() -> ExitCode {
     }
     let g = match CsrGraph::from_edge_list(&el) {
         Ok(g) => g,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return Failure::Input(e.to_string()).report(),
     };
     if o.source >= g.num_vertices() {
-        eprintln!(
-            "error: source {} out of bounds ({} vertices)",
-            o.source,
-            g.num_vertices()
-        );
-        return ExitCode::FAILURE;
+        return Failure::Sssp(SsspError::SourceOutOfBounds {
+            source: o.source,
+            num_vertices: g.num_vertices(),
+        })
+        .report();
     }
     let delta = match o.delta {
-        Some(d) if d.is_nan() => DeltaStrategy::MeyerSanders.resolve(&g),
-        Some(d) => d,
+        Some(DeltaArg::MeyerSanders) => DeltaStrategy::MeyerSanders.resolve(&g),
+        Some(DeltaArg::Value(d)) => d,
         None => 1.0,
     };
 
     let t0 = std::time::Instant::now();
     let result = match run(&o, &g, delta) {
         Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(f) => return f.report(),
     };
     let elapsed = t0.elapsed();
 
     if o.validate {
         if let Err(e) = validate::check_certificate(&g, &result, 1e-9) {
             eprintln!("VALIDATION FAILED: {e:?}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_SSSP);
         }
         eprintln!("certificate: OK");
     }

@@ -127,6 +127,76 @@ fn error_paths_fail_cleanly() {
 }
 
 #[test]
+fn distinct_exit_codes_per_failure_class() {
+    // 1: usage errors (bad flags, unknown implementation).
+    let out = sssp(&["--impl", "fused"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    let out = sssp(&["--gen", "path:4", "--impl", "warshall"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+
+    // 2: input errors (unreadable or malformed graph files).
+    let out = sssp(&["/nonexistent/graph.mtx"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    let dir = std::env::temp_dir().join(format!("sssp-cli-codes-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.mtx");
+    std::fs::write(&bad, "not a matrix market file\n").unwrap();
+    let out = sssp(&[bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // 3: solver-level rejections (out-of-bounds source, bad delta).
+    let out = sssp(&["--gen", "path:4", "--source", "9"]);
+    assert_eq!(out.status.code(), Some(3), "{}", stderr(&out));
+    assert!(stderr(&out).contains("out of bounds"));
+    let out = sssp(&["--gen", "path:4", "--impl", "fused", "--delta", "0"]);
+    assert_eq!(out.status.code(), Some(3), "{}", stderr(&out));
+    assert!(stderr(&out).contains("delta"));
+}
+
+#[test]
+fn solver_errors_are_one_line_not_panics() {
+    for args in [
+        &["--gen", "path:4", "--impl", "canonical", "--delta", "-2"][..],
+        &["--gen", "path:4", "--impl", "gblas", "--delta", "inf"][..],
+        &["--gen", "path:4", "--impl", "parallel", "--delta", "0"][..],
+        &["--gen", "path:4", "--impl", "improved", "--delta", "0"][..],
+    ] {
+        let out = sssp(args);
+        assert_eq!(out.status.code(), Some(3), "{args:?}: {}", stderr(&out));
+        let err = stderr(&out);
+        assert!(
+            !err.contains("panicked at") && !err.contains("RUST_BACKTRACE"),
+            "{args:?} leaked a panic: {err}"
+        );
+        assert_eq!(err.trim().lines().count(), 1, "{args:?}: {err}");
+    }
+}
+
+#[test]
+fn explicit_nan_delta_rejected_not_silently_replaced() {
+    // "--delta ms" opts into the Meyer-Sanders rule; a literal NaN must
+    // NOT be treated as that sentinel — it reaches preflight and fails.
+    let out = sssp(&["--gen", "path:4", "--impl", "fused", "--delta", "nan"]);
+    assert_eq!(out.status.code(), Some(3), "{}", stderr(&out));
+    assert!(stderr(&out).contains("delta"), "{}", stderr(&out));
+}
+
+#[test]
+fn zero_threads_is_a_usage_error() {
+    let out = sssp(&["--gen", "path:4", "--impl", "parallel", "--threads", "0"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stderr(&out).contains("--threads"), "{}", stderr(&out));
+}
+
+#[test]
+fn delta_alias_selects_canonical() {
+    let out = sssp(&["--gen", "grid:4x4", "--impl", "delta", "--validate", "--summary"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stderr(&out).contains("certificate: OK"));
+}
+
+#[test]
 fn help_exits_nonzero_with_usage() {
     let out = sssp(&["--help"]);
     assert!(stderr(&out).contains("usage: sssp"));

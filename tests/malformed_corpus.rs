@@ -1,0 +1,137 @@
+//! Malformed-input corpus: every parser must return `Err` (or a valid
+//! `Ok`) on hostile bytes — never panic, never loop. The corpus mixes
+//! truncations, lies about sizes, non-UTF-8 bytes, numeric overflow,
+//! and plain garbage.
+
+use std::io::BufReader;
+
+use graphdata::io::{read_binary, read_matrix_market, read_snap_tsv};
+
+/// Hostile byte strings thrown at every text parser.
+fn text_corpus() -> Vec<(&'static str, Vec<u8>)> {
+    vec![
+        ("empty", b"".to_vec()),
+        ("garbage", b"lorem ipsum dolor sit amet\n".to_vec()),
+        ("nul-bytes", b"0\x001\n".to_vec()),
+        ("non-utf8", vec![0xFF, 0xFE, 0x30, 0x20, 0x31, 0x0A]),
+        ("huge-ids", b"99999999999999999999999 1\n".to_vec()),
+        ("negative-ids", b"-1 -2 1.0\n".to_vec()),
+        ("float-ids", b"1.5 2.5 1.0\n".to_vec()),
+        ("weight-overflow", b"0 1 1e999999\n".to_vec()),
+        ("nan-weight", b"0 1 nan\n".to_vec()),
+        ("neg-weight", b"0 1 -3.5\n".to_vec()),
+        (
+            "mm-truncated-header",
+            b"%%MatrixMarket matrix coord".to_vec(),
+        ),
+        (
+            "mm-missing-size",
+            b"%%MatrixMarket matrix coordinate real general\n".to_vec(),
+        ),
+        (
+            "mm-huge-counts",
+            b"%%MatrixMarket matrix coordinate real general\n99999999999999999999 99999999999999999999 1\n1 1 1.0\n"
+                .to_vec(),
+        ),
+        (
+            "mm-lying-nnz",
+            b"%%MatrixMarket matrix coordinate real general\n3 3 100\n1 2 1.0\n".to_vec(),
+        ),
+        (
+            "mm-zero-index",
+            b"%%MatrixMarket matrix coordinate real general\n3 3 1\n0 1 1.0\n".to_vec(),
+        ),
+        ("only-comments", b"# Nodes: x Edges: y\n# more\n".to_vec()),
+        ("whitespace-soup", b" \t \n\t\t\n   \n".to_vec()),
+    ]
+}
+
+/// Hostile byte strings for the binary reader specifically.
+fn binary_corpus() -> Vec<(&'static str, Vec<u8>)> {
+    let mut corpus = vec![
+        ("empty", Vec::new()),
+        ("short-magic", b"GBSS".to_vec()),
+        ("bad-magic", b"NOTAGRPH\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0".to_vec()),
+        ("all-ff", vec![0xFF; 64]),
+    ];
+    // Valid magic, truncated header.
+    corpus.push(("truncated-header", b"GBSSSP01\x02\0\0\0".to_vec()));
+    // Valid header claiming more edges than the payload holds.
+    let mut lying = Vec::new();
+    lying.extend_from_slice(b"GBSSSP01");
+    lying.extend_from_slice(&4u64.to_le_bytes()); // nv
+    lying.extend_from_slice(&u64::MAX.to_le_bytes()); // ne: absurd
+    corpus.push(("lying-edge-count", lying));
+    // Well-formed header, truncated mid-edge.
+    let mut cut = Vec::new();
+    cut.extend_from_slice(b"GBSSSP01");
+    cut.extend_from_slice(&2u64.to_le_bytes());
+    cut.extend_from_slice(&1u64.to_le_bytes());
+    cut.extend_from_slice(&0u64.to_le_bytes()); // src
+    cut.extend_from_slice(&[0x01, 0x00]); // dst cut short
+    corpus.push(("truncated-edge", cut));
+    // Structurally complete but endpoint out of bounds.
+    let mut oob = Vec::new();
+    oob.extend_from_slice(b"GBSSSP01");
+    oob.extend_from_slice(&2u64.to_le_bytes());
+    oob.extend_from_slice(&1u64.to_le_bytes());
+    oob.extend_from_slice(&0u64.to_le_bytes());
+    oob.extend_from_slice(&9u64.to_le_bytes()); // dst ≥ nv
+    oob.extend_from_slice(&1.0f64.to_le_bytes());
+    corpus.push(("oob-endpoint", oob));
+    // Structurally complete but NaN weight.
+    let mut nan = Vec::new();
+    nan.extend_from_slice(b"GBSSSP01");
+    nan.extend_from_slice(&2u64.to_le_bytes());
+    nan.extend_from_slice(&1u64.to_le_bytes());
+    nan.extend_from_slice(&0u64.to_le_bytes());
+    nan.extend_from_slice(&1u64.to_le_bytes());
+    nan.extend_from_slice(&f64::NAN.to_le_bytes());
+    corpus.push(("nan-weight", nan));
+    corpus
+}
+
+#[test]
+fn matrix_market_never_panics_on_corpus() {
+    for (name, bytes) in text_corpus() {
+        let outcome = read_matrix_market(BufReader::new(&bytes[..]));
+        // Returning at all is the property; Ok is fine only if the bytes
+        // happened to form a valid stream (none of this corpus does).
+        assert!(outcome.is_err(), "matrix_market accepted corpus entry '{name}'");
+    }
+}
+
+#[test]
+fn snap_tsv_never_panics_on_corpus() {
+    // SNAP is permissive: comments-only and blank files are valid empty
+    // graphs, so only assert totality (and Err where weights/ids are bad).
+    for (_name, bytes) in text_corpus() {
+        let _outcome = read_snap_tsv(BufReader::new(&bytes[..]));
+    }
+    for bad in ["-1 2\n", "0 1 nan\n", "0 1 -3.5\n", "0 1 inf\n", "1.5 2 1.0\n"] {
+        assert!(
+            read_snap_tsv(BufReader::new(bad.as_bytes())).is_err(),
+            "snap_tsv accepted {bad:?}"
+        );
+    }
+}
+
+#[test]
+fn binary_never_panics_on_corpus() {
+    for (name, bytes) in binary_corpus() {
+        assert!(read_binary(&bytes).is_err(), "binary accepted corpus entry '{name}'");
+    }
+}
+
+#[test]
+fn binary_corpus_does_not_overallocate() {
+    // A header claiming u64::MAX edges must fail fast on truncation, not
+    // try to reserve 24 × u64::MAX bytes up front.
+    let mut lying = Vec::new();
+    lying.extend_from_slice(b"GBSSSP01");
+    lying.extend_from_slice(&4u64.to_le_bytes());
+    lying.extend_from_slice(&u64::MAX.to_le_bytes());
+    let before = std::time::Instant::now();
+    assert!(read_binary(&lying).is_err());
+    assert!(before.elapsed().as_secs() < 5, "reader stalled on lying edge count");
+}

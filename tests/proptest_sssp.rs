@@ -7,7 +7,10 @@ use proptest::prelude::*;
 use gblas::ops::{self, Min, Plus};
 use gblas::{Descriptor, Vector};
 use graphdata::{CsrGraph, EdgeList};
-use sssp_core::{canonical, dijkstra, fused, gblas_impl, parallel_improved, validate};
+use sssp_core::{
+    canonical, dijkstra, fused, gblas_impl, parallel_improved, run_checked, validate, GuardConfig,
+    Implementation,
+};
 use taskpool::ThreadPool;
 
 /// Random weighted digraph: up to `max_n` vertices, strictly positive
@@ -24,6 +27,46 @@ fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = EdgeList> {
             el
         })
     })
+}
+
+/// Random graph whose weights may be NaN, infinite, negative, or zero —
+/// inputs [`CsrGraph::from_edge_list`] refuses, assembled into a
+/// structurally valid CSR through the unchecked constructor.
+fn arb_hostile_graph(
+    max_n: usize,
+    max_m: usize,
+) -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec(
+            (0..n, 0..n, 0u8..6, 1u32..64).prop_map(|(u, v, kind, m)| {
+                let w = match kind {
+                    0 => f64::NAN,
+                    1 => f64::INFINITY,
+                    2 => -(m as f64) / 8.0,
+                    3 => 0.0,
+                    _ => m as f64 / 8.0,
+                };
+                (u, v, w)
+            }),
+            0..max_m,
+        )
+        .prop_map(move |triples| (n, triples))
+    })
+}
+
+/// Assemble arbitrary (possibly invalid-valued) triples into a CSR.
+fn csr_unchecked(n: usize, mut triples: Vec<(usize, usize, f64)>) -> CsrGraph {
+    triples.sort_by_key(|t| t.0);
+    let mut offsets = vec![0usize; n + 1];
+    for &(s, _, _) in &triples {
+        offsets[s + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let targets = triples.iter().map(|t| t.1).collect();
+    let weights = triples.iter().map(|t| t.2).collect();
+    CsrGraph::from_raw_parts_unchecked(n, offsets, targets, weights)
 }
 
 /// Sparse vector as (size, dense options).
@@ -202,6 +245,60 @@ proptest! {
         prop_assert_eq!(mul(x, add(y, z)), add(mul(x, y), mul(x, z)));
         // Annihilation: infinity absorbs multiplication.
         prop_assert_eq!(mul(s.add().identity(), x), f64::INFINITY);
+    }
+
+    #[test]
+    fn run_checked_is_total_on_hostile_inputs(
+        (n, triples) in arb_hostile_graph(10, 30),
+        src in 0usize..16,
+        delta_idx in 0usize..6,
+    ) {
+        let delta = [0.5, 1.0, 0.0, f64::NAN, f64::INFINITY, -1.0][delta_idx];
+        let g = csr_unchecked(n, triples.clone());
+        let cfg = GuardConfig::default();
+        for imp in Implementation::ALL {
+            // Whatever the input, run_checked must return — no panic, no
+            // hang. Ok is only legal when every input was actually valid.
+            // An Err is a clean rejection — exactly what the guard is for.
+            if let Ok(report) = run_checked(imp, &g, src, delta, None, &cfg) {
+                prop_assert!(src < n, "{}: accepted OOB source", imp.name());
+                prop_assert!(
+                    delta.is_finite() && delta > 0.0,
+                    "{}: accepted delta {delta}", imp.name()
+                );
+                prop_assert!(
+                    triples.iter().all(|t| t.2.is_finite() && t.2 >= 0.0),
+                    "{}: accepted an invalid weight", imp.name()
+                );
+                prop_assert!(
+                    validate::check_certificate(&g, &report.result, 1e-9).is_ok(),
+                    "{}: accepted input but produced uncertified distances", imp.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_checked_succeeds_within_watchdog_on_valid_graphs(
+        el in arb_graph(25, 100),
+        delta_idx in 0usize..3,
+    ) {
+        let g = CsrGraph::from_edge_list(&el).unwrap();
+        let delta = [0.5, 1.0, 2.5][delta_idx];
+        let truth = dijkstra::dijkstra(&g, 0);
+        for imp in Implementation::ALL {
+            let report = run_checked(imp, &g, 0, delta, None, &GuardConfig::default());
+            match report {
+                Ok(r) => {
+                    prop_assert!(r.degraded.is_none(), "{}: spurious degradation", imp.name());
+                    prop_assert!(
+                        r.result.approx_eq(&truth, 1e-9).is_ok(),
+                        "{}: diverged from Dijkstra", imp.name()
+                    );
+                }
+                Err(e) => prop_assert!(false, "{}: rejected a valid graph: {e}", imp.name()),
+            }
+        }
     }
 
     #[test]

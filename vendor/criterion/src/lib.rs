@@ -1,0 +1,193 @@
+//! Offline stand-in for the `criterion` crate, implementing the subset this
+//! workspace's benches use: `Criterion::benchmark_group`, groups with
+//! `sample_size`/`bench_function`/`bench_with_input`/`finish`,
+//! `BenchmarkId::new`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery this harness runs each
+//! benchmark for a fixed number of timed iterations (after one warm-up) and
+//! prints the mean wall-clock time per iteration. Good enough to execute
+//! every bench target offline and get a ballpark number; not a substitute
+//! for real criterion statistics.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Compose an id from a function name and a parameter label.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iterations: u64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record its mean wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up iteration, outside the timed window.
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / self.iterations as f64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1) as u64;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iterations: self.samples,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        report(&self.name, &id.id, b.mean_ns);
+        self
+    }
+
+    /// Run one benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iterations: self.samples,
+            mean_ns: 0.0,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.id, b.mean_ns);
+        self
+    }
+
+    /// Finish the group (no-op beyond matching criterion's API).
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &str, mean_ns: f64) {
+    let (value, unit) = if mean_ns >= 1e9 {
+        (mean_ns / 1e9, "s")
+    } else if mean_ns >= 1e6 {
+        (mean_ns / 1e6, "ms")
+    } else if mean_ns >= 1e3 {
+        (mean_ns / 1e3, "µs")
+    } else {
+        (mean_ns, "ns")
+    };
+    println!("{group}/{id}: {value:.3} {unit}/iter");
+}
+
+/// Benchmark driver: hands out groups.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 100,
+            _criterion: self,
+        }
+    }
+}
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundle benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Emit a `main` running the given group entry points.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("self-test");
+        group.sample_size(3);
+        group.bench_function("add", |b| b.iter(|| 1u64 + 1));
+        group.bench_with_input(BenchmarkId::new("mul", "x7"), &7u64, |b, &x| {
+            b.iter(|| x * 3)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

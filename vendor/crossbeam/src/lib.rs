@@ -1,0 +1,125 @@
+//! Offline stand-in for the `crossbeam` crate, implementing the subset this
+//! workspace uses: `deque::{Injector, Steal}`.
+//!
+//! The real `Injector` is a lock-free FIFO; this stand-in is a
+//! `Mutex<VecDeque>` with the same observable behaviour (FIFO order,
+//! `Steal`-style results). On a handful of worker threads the lock is not a
+//! bottleneck for this workspace's coarse-grained tasks.
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// FIFO injector queue shared between producers and stealers.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    /// Result of a steal attempt.
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// A task was stolen.
+        Success(T),
+        /// The operation lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Whether this is `Steal::Success`.
+        pub fn is_success(&self) -> bool {
+            matches!(self, Steal::Success(_))
+        }
+
+        /// Extract the stolen value, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Create an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Push a task onto the back of the queue.
+        pub fn push(&self, task: T) {
+            self.lock().push_back(task);
+        }
+
+        /// Steal a task from the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.lock().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.lock().len()
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            match self.queue.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            }
+        }
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_order() {
+            let inj = Injector::new();
+            inj.push(1);
+            inj.push(2);
+            assert!(!inj.is_empty());
+            assert_eq!(inj.steal().success(), Some(1));
+            assert_eq!(inj.steal().success(), Some(2));
+            assert!(matches!(inj.steal(), Steal::Empty));
+        }
+
+        #[test]
+        fn shared_across_threads() {
+            let inj = std::sync::Arc::new(Injector::new());
+            for i in 0..100 {
+                inj.push(i);
+            }
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let inj = std::sync::Arc::clone(&inj);
+                    std::thread::spawn(move || {
+                        let mut got = 0;
+                        while inj.steal().is_success() {
+                            got += 1;
+                        }
+                        got
+                    })
+                })
+                .collect();
+            let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(total, 100);
+        }
+    }
+}
