@@ -1,0 +1,177 @@
+//! Perf-regression harness: run the fig3/fig4 workloads across the
+//! fused, prior-atomic, and request-buffer implementations, emit
+//! `BENCH_sssp.json`, and optionally diff against a committed baseline.
+//!
+//! Usage:
+//!   cargo run -p sssp-bench --release --bin bench -- [FLAGS]
+//!
+//! Flags:
+//!   --smoke             run only the smoke-scale suite (CI mode; the
+//!                       default runs smoke + default scales so the
+//!                       emitted baseline covers both)
+//!   --threads N         worker threads for the parallel entries (default 4)
+//!   --out PATH          where to write the JSON document (default
+//!                       BENCH_sssp.json; suppressed in --check mode
+//!                       unless given explicitly)
+//!   --check PATH        compare this run against a committed baseline;
+//!                       exits non-zero if any entry's ratio-vs-fused
+//!                       regresses by more than 25%
+//!   --refresh-results   also regenerate the results/*.csv and
+//!                       results/*.json files for every experiment at the
+//!                       scale in effect, so they can't go stale
+
+use graphdata::SuiteScale;
+use sssp_bench::experiments::{
+    ablation_select, baseline, datasets, delta_sweep, fig3, fig4, phase_profile,
+};
+use sssp_bench::{markdown_table, write_csv, write_json, Reps};
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.windows(2)
+        .find(|pair| pair[0] == name)
+        .map(|pair| pair[1].clone())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let threads: usize = flag_value(&args, "--threads")
+        .map(|v| v.parse().expect("--threads expects a positive integer"))
+        .unwrap_or(4);
+    assert!(threads > 0, "--threads expects a positive integer");
+    let check_path = flag_value(&args, "--check");
+    let out_path = flag_value(&args, "--out");
+    let refresh = args.iter().any(|a| a == "--refresh-results");
+
+    let scales: &[SuiteScale] = if smoke {
+        &[SuiteScale::Smoke]
+    } else {
+        &[SuiteScale::Smoke, SuiteScale::Default]
+    };
+    println!("BENCH: fused vs improved-atomic vs improved (delta = 1, unit weights)");
+    println!("threads: {threads}, scales: {}\n", if smoke { "smoke" } else { "smoke+default" });
+
+    let mut entries = Vec::new();
+    for &scale in scales {
+        // Smoke graphs finish in microseconds, so medians there need many
+        // more samples to be stable enough for the 25% regression check.
+        let reps = match scale {
+            SuiteScale::Smoke => Reps { warmup: 3, samples: 15 },
+            _ => Reps { warmup: 1, samples: 3 },
+        };
+        entries.extend(baseline::run(scale, threads, reps));
+    }
+    let table = baseline::to_table(&entries);
+    println!("{}", markdown_table(&baseline::HEADER, &table));
+
+    // Headline: per-graph speedup of the request-buffer path over the
+    // prior atomic scheme at the same thread count (minima: stable on
+    // shared machines, see the check's doc).
+    for chunk in entries.chunks(3) {
+        let (atomic, improved) = (&chunk[1], &chunk[2]);
+        if improved.min_ms > 0.0 {
+            println!(
+                "{}/{}: improved vs improved-atomic {:.2}x",
+                atomic.scale,
+                atomic.graph,
+                atomic.min_ms / improved.min_ms
+            );
+        }
+    }
+
+    if let Some(path) = &check_path {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let doc = sssp_bench::report::Json::parse(&text)
+            .unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
+        let report = baseline::check_against(&doc, &entries);
+        if report.passed() {
+            println!(
+                "\ncheck against {path}: OK ({} timing datapoint(s) within {:.0}%, \
+                 {} sub-{}ms datapoint(s) stats-checked only)",
+                report.timed,
+                baseline::TOLERANCE * 100.0,
+                report.skipped,
+                baseline::MIN_TIMED_MS,
+            );
+        } else {
+            println!("\ncheck against {path}: FAILED");
+            for f in &report.failures {
+                println!("  regression: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+
+    // In check mode only write when asked to; otherwise refresh the
+    // default baseline file.
+    let write_target = match (&out_path, &check_path) {
+        (Some(p), _) => Some(p.clone()),
+        (None, None) => Some("BENCH_sssp.json".to_string()),
+        (None, Some(_)) => None,
+    };
+    if let Some(path) = write_target {
+        let doc = baseline::to_document(&entries);
+        std::fs::write(&path, doc.render() + "\n")
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("\nwrote {path}");
+    }
+
+    if refresh {
+        let scale = if smoke { SuiteScale::Smoke } else { SuiteScale::Default };
+        refresh_results(scale);
+    }
+}
+
+/// Regenerate every committed `results/` artifact (what the standalone
+/// experiment binaries write), so the files track the current code.
+fn refresh_results(scale: SuiteScale) {
+    let reps = Reps::default();
+    println!("\nrefreshing results/ at {scale:?} scale...");
+
+    let rows = fig3::run(scale, reps);
+    write_csv("results/fig3.csv", &fig3::HEADER, &fig3::to_table(&rows)).expect("write csv");
+    write_json("results/fig3.json", &rows).expect("write json");
+    println!("  results/fig3.{{csv,json}}");
+
+    let threads = [1usize, 2, 4, 8];
+    let rows = fig4::run(scale, &threads, reps);
+    let header = fig4::header(&threads);
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    write_csv("results/fig4.csv", &header_refs, &fig4::to_table(&rows)).expect("write csv");
+    write_json("results/fig4.json", &rows).expect("write json");
+    println!("  results/fig4.{{csv,json}}");
+
+    let rows = datasets::run(scale);
+    write_csv("results/datasets.csv", &datasets::HEADER, &datasets::to_table(&rows))
+        .expect("write csv");
+    write_json("results/datasets.json", &rows).expect("write json");
+    println!("  results/datasets.{{csv,json}}");
+
+    let rows = ablation_select::run(scale, reps);
+    write_csv(
+        "results/ablation_select.csv",
+        &ablation_select::HEADER,
+        &ablation_select::to_table(&rows),
+    )
+    .expect("write csv");
+    write_json("results/ablation_select.json", &rows).expect("write json");
+    println!("  results/ablation_select.{{csv,json}}");
+
+    let deltas = [0.125, 0.25, 0.5, 1.0, 2.0, 4.0];
+    let rows = delta_sweep::run(scale, &deltas, reps);
+    write_csv("results/delta_sweep.csv", &delta_sweep::HEADER, &delta_sweep::to_table(&rows))
+        .expect("write csv");
+    write_json("results/delta_sweep.json", &rows).expect("write json");
+    println!("  results/delta_sweep.{{csv,json}}");
+
+    let rows = phase_profile::run(scale);
+    write_csv(
+        "results/phase_profile.csv",
+        &phase_profile::HEADER,
+        &phase_profile::to_table(&rows),
+    )
+    .expect("write csv");
+    write_json("results/phase_profile.json", &rows).expect("write json");
+    println!("  results/phase_profile.{{csv,json}}");
+}

@@ -1,6 +1,7 @@
 //! One module per experiment in the EXPERIMENTS.md index.
 
 pub mod ablation_select;
+pub mod baseline;
 pub mod datasets;
 pub mod delta_sweep;
 pub mod fig3;

@@ -47,6 +47,13 @@ pub fn measure_min<F: FnMut()>(f: F, reps: Reps) -> Duration {
     collect(f, reps).into_iter().min().expect("samples >= 1")
 }
 
+/// Median and minimum wall time of `f` from a single set of samples.
+pub fn measure_median_min<F: FnMut()>(f: F, reps: Reps) -> (Duration, Duration) {
+    let mut times = collect(f, reps);
+    times.sort_unstable();
+    (times[times.len() / 2], times[0])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -128,6 +128,42 @@ impl ReqBuffer {
     }
 }
 
+/// Reusable per-run state for [`delta_stepping_fused_with`]: the dense
+/// request accumulator and the frontier/settled scratch vectors. Callers
+/// that run many queries (multi-source, bench loops) keep one of these so
+/// repeated runs allocate nothing.
+pub struct FusedWorkspace {
+    reqs: ReqBuffer,
+    frontier: Vec<usize>,
+    settled: Vec<usize>,
+}
+
+impl std::fmt::Debug for FusedWorkspace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FusedWorkspace")
+            .field("capacity", &self.reqs.req.len())
+            .finish()
+    }
+}
+
+impl FusedWorkspace {
+    /// Workspace sized for an `n`-vertex graph.
+    pub fn new(n: usize) -> Self {
+        FusedWorkspace {
+            reqs: ReqBuffer::new(n),
+            frontier: Vec::new(),
+            settled: Vec::new(),
+        }
+    }
+
+    /// Grow (never shrink) to fit an `n`-vertex graph.
+    pub fn ensure(&mut self, n: usize) {
+        if self.reqs.req.len() < n {
+            self.reqs.req.resize(n, INF);
+        }
+    }
+}
+
 /// Fused delta-stepping. Equivalent to [`crate::gblas_impl::sssp_delta_step`]
 /// but with dense state and fused loops.
 pub fn delta_stepping_fused(g: &CsrGraph, source: usize, delta: f64) -> SsspResult {
@@ -158,6 +194,32 @@ pub fn delta_stepping_fused_checked(
     if !(delta > 0.0 && delta.is_finite()) {
         return Err(SsspError::InvalidDelta { delta });
     }
+    // Matrix filtering phase: A_L / A_H in one fused pass.
+    let t0 = Instant::now();
+    let lh = LightHeavy::build(g, delta);
+    let filter_time = t0.elapsed();
+    let mut ws = FusedWorkspace::new(g.num_vertices());
+    let (result, mut profile) =
+        delta_stepping_fused_with(g, &lh, source, delta, watchdog, &mut ws)?;
+    profile.matrix_filter += filter_time;
+    Ok((result, profile))
+}
+
+/// The fused main loop over a **prebuilt** light/heavy split and a
+/// caller-owned workspace — the entry point [`crate::engine::SsspEngine`]'s
+/// split cache uses. The returned profile contains no `matrix_filter` time
+/// (the caller decides whether a cached split costs anything).
+pub fn delta_stepping_fused_with(
+    g: &CsrGraph,
+    lh: &LightHeavy,
+    source: usize,
+    delta: f64,
+    watchdog: &mut Watchdog,
+    ws: &mut FusedWorkspace,
+) -> Result<(SsspResult, PhaseProfile), SsspError> {
+    if !(delta > 0.0 && delta.is_finite()) {
+        return Err(SsspError::InvalidDelta { delta });
+    }
     let n = g.num_vertices();
     if source >= n {
         return Err(SsspError::SourceOutOfBounds {
@@ -168,15 +230,16 @@ pub fn delta_stepping_fused_checked(
     let mut result = SsspResult::init(n, source);
     let mut profile = PhaseProfile::default();
 
-    // Matrix filtering phase: A_L / A_H in one fused pass.
-    let t0 = Instant::now();
-    let lh = LightHeavy::build(g, delta);
-    profile.matrix_filter += t0.elapsed();
+    ws.ensure(n);
+    let FusedWorkspace {
+        reqs,
+        frontier,
+        settled,
+    } = ws;
+    frontier.clear();
+    settled.clear();
 
     let t = &mut result.dist;
-    let mut reqs = ReqBuffer::new(n);
-    let mut frontier: Vec<usize> = Vec::new();
-    let mut settled: Vec<usize> = Vec::new();
 
     let mut i = bucket_of(0.0, delta); // source's bucket: 0
     loop {
@@ -212,7 +275,7 @@ pub fn delta_stepping_fused_checked(
             result.stats.light_phases += 1;
             // Fusion 1: t_Req = A_L^T (t ∘ t_Bi) in one scatter loop.
             let t0 = Instant::now();
-            for &v in &frontier {
+            for &v in frontier.iter() {
                 let tv = t[v];
                 let (targets, weights) = lh.light(v);
                 for (&u, &w) in targets.iter().zip(weights.iter()) {
@@ -225,7 +288,7 @@ pub fn delta_stepping_fused_checked(
             // Fusion 2: S ∪= frontier; t = min(t, t_Req); t_Bi =
             // reintroduced vertices — one pass over the touched set.
             let t0 = Instant::now();
-            settled.extend_from_slice(&frontier);
+            settled.extend_from_slice(frontier);
             frontier.clear();
             for &u in &reqs.touched {
                 let cand = reqs.req[u];
@@ -245,7 +308,7 @@ pub fn delta_stepping_fused_checked(
         // Heavy phase over everything settled from bucket i.
         result.stats.heavy_phases += 1;
         let t0 = Instant::now();
-        for &v in &settled {
+        for &v in settled.iter() {
             let tv = t[v];
             let (targets, weights) = lh.heavy(v);
             for (&u, &w) in targets.iter().zip(weights.iter()) {

@@ -10,8 +10,13 @@
 //! | [`gblas_impl`] | the **unfused GraphBLAS** implementation (Fig. 2, call-for-call) |
 //! | [`fused`] | the **fused direct-C** implementation (Sec. VI-B: Hadamard+vxm fusion, fused vector updates) |
 //! | [`parallel`] | the **OpenMP-task** parallel scheme (Sec. VI-C: 2 matrix-filter tasks + evenly-sized vector chunk tasks) |
-//! | [`parallel_improved`] | the paper's proposed improvement: fine-grained matrix filtering + parallel relaxation |
+//! | [`parallel_improved`] | the paper's proposed improvement: fine-grained matrix filtering + contention-free request-buffer relaxation ([`reqbuf`]) |
+//! | [`parallel_atomic`] | the prior atomic-CAS relaxation scheme, kept as the before/after benchmark baseline |
 //! | [`dijkstra`], [`bellman_ford`] | classic baselines |
+//!
+//! Multi-source / repeated runs should go through [`engine::SsspEngine`],
+//! which caches the light/heavy matrix split per `(graph, Δ)` and reuses
+//! relaxation workspaces across calls.
 //!
 //! All take a [`graphdata::CsrGraph`], a source vertex, and (where relevant)
 //! a Δ from [`delta::DeltaStrategy`], and return an [`SsspResult`] whose
@@ -36,13 +41,16 @@ pub mod buckets;
 pub mod canonical;
 pub mod delta;
 pub mod dijkstra;
+pub mod engine;
 pub mod fused;
 pub mod gblas_impl;
 pub mod gblas_parallel;
 pub mod gblas_select;
 pub mod guard;
 pub mod parallel;
+pub mod parallel_atomic;
 pub mod parallel_improved;
+pub mod reqbuf;
 pub mod parallel_sim;
 pub mod paths;
 pub mod result;

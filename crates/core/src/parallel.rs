@@ -15,8 +15,7 @@
 use std::time::Instant;
 
 use graphdata::CsrGraph;
-use parking_lot::Mutex;
-use taskpool::{scope, split_evenly, ThreadPool};
+use taskpool::{join, scope_collect, split_evenly, ThreadPool};
 
 use crate::delta::bucket_of;
 use crate::fused::LightHeavy;
@@ -31,46 +30,26 @@ type CsrParts = (Vec<usize>, Vec<usize>, Vec<f64>);
 
 pub fn split_light_heavy_two_tasks(pool: &ThreadPool, g: &CsrGraph, delta: f64) -> LightHeavy {
     let n = g.num_vertices();
-    let light: Mutex<Option<CsrParts>> = Mutex::new(None);
-    let heavy: Mutex<Option<CsrParts>> = Mutex::new(None);
-    scope(pool, |s| {
-        s.spawn(|| {
-            let mut off = Vec::with_capacity(n + 1);
-            off.push(0);
-            let mut tgt = Vec::new();
-            let mut wts = Vec::new();
-            for v in 0..n {
-                let (targets, weights) = g.neighbors(v);
-                for (&t, &w) in targets.iter().zip(weights.iter()) {
-                    if w <= delta {
-                        tgt.push(t);
-                        wts.push(w);
-                    }
+    let filter = |keep: fn(f64, f64) -> bool| -> CsrParts {
+        let mut off = Vec::with_capacity(n + 1);
+        off.push(0);
+        let mut tgt = Vec::new();
+        let mut wts = Vec::new();
+        for v in 0..n {
+            let (targets, weights) = g.neighbors(v);
+            for (&t, &w) in targets.iter().zip(weights.iter()) {
+                if keep(w, delta) {
+                    tgt.push(t);
+                    wts.push(w);
                 }
-                off.push(tgt.len());
             }
-            *light.lock() = Some((off, tgt, wts));
-        });
-        s.spawn(|| {
-            let mut off = Vec::with_capacity(n + 1);
-            off.push(0);
-            let mut tgt = Vec::new();
-            let mut wts = Vec::new();
-            for v in 0..n {
-                let (targets, weights) = g.neighbors(v);
-                for (&t, &w) in targets.iter().zip(weights.iter()) {
-                    if w > delta {
-                        tgt.push(t);
-                        wts.push(w);
-                    }
-                }
-                off.push(tgt.len());
-            }
-            *heavy.lock() = Some((off, tgt, wts));
-        });
-    });
-    let (light_off, light_tgt, light_w) = light.into_inner().expect("task completed");
-    let (heavy_off, heavy_tgt, heavy_w) = heavy.into_inner().expect("task completed");
+            off.push(tgt.len());
+        }
+        (off, tgt, wts)
+    };
+    let (light, heavy) = join(pool, || filter(|w, d| w <= d), || filter(|w, d| w > d));
+    let (light_off, light_tgt, light_w) = light;
+    let (heavy_off, heavy_tgt, heavy_w) = heavy;
     LightHeavy {
         light_off,
         light_tgt,
@@ -106,29 +85,23 @@ pub(crate) fn scan_bucket_parallel(
         }
         return next;
     }
-    let parts: Mutex<Vec<(usize, Vec<usize>, usize)>> = Mutex::new(Vec::with_capacity(ranges.len()));
-    scope(pool, |s| {
-        for (k, range) in ranges.into_iter().enumerate() {
-            let parts = &parts;
-            s.spawn(move || {
-                let mut local = Vec::new();
-                let mut next = usize::MAX;
-                for v in range {
-                    let b = bucket_of(t[v], delta);
-                    if b == i {
-                        local.push(v);
-                    } else if b > i && b < next {
-                        next = b;
-                    }
-                }
-                parts.lock().push((k, local, next));
-            });
+    // Per-chunk results come back in range order (no lock, no sort), so
+    // the concatenated frontier is ascending by construction.
+    let parts = scope_collect(pool, ranges, |_, range| {
+        let mut local = Vec::new();
+        let mut next = usize::MAX;
+        for v in range {
+            let b = bucket_of(t[v], delta);
+            if b == i {
+                local.push(v);
+            } else if b > i && b < next {
+                next = b;
+            }
         }
+        (local, next)
     });
-    let mut parts = parts.into_inner();
-    parts.sort_unstable_by_key(|&(k, _, _)| k);
     let mut next = usize::MAX;
-    for (_, local, local_next) in parts {
+    for (local, local_next) in parts {
         frontier.extend_from_slice(&local);
         next = next.min(local_next);
     }

@@ -1,55 +1,44 @@
-//! The improvement the paper predicts in Sec. VI-C: "Parallelizing within
+//! The improvement the paper predicts in Sec. VI-C — "parallelizing within
 //! the matrix-vector operations and splitting the filtering operations for
-//! `A_H` and `A_L` into smaller tasks would allow more threads to
-//! participate … thereby improving performance and scalability."
+//! `A_H` and `A_L` into smaller tasks" — rebuilt around **contention-free
+//! per-task request buffers** ([`crate::reqbuf`]).
 //!
 //! Concretely, relative to [`crate::parallel`]:
 //!
-//! * the light/heavy matrix filtering is chunked by rows
-//!   ([`gblas::parallel::par_select_matrix`]-style, implemented directly on
-//!   the CSR here), so all threads participate instead of two;
-//! * the `(min,+)` relaxation runs as chunked tasks over the frontier with
-//!   a shared atomic `t_Req` accumulator (lock-free f64 min via
-//!   compare-exchange).
+//! * the light/heavy matrix filtering is chunked by rows, so all threads
+//!   participate instead of two ([`split_light_heavy_chunked`]);
+//! * the `(min,+)` relaxation runs as chunked producer tasks over the
+//!   frontier, each filling its own sparse request buffer; the buffers
+//!   merge deterministically at phase end — no atomic request vector, no
+//!   locked touched-list collection (that earlier design is preserved as
+//!   [`crate::parallel_atomic`] for before/after benchmarking).
 //!
-//! Results are bit-identical to the sequential fused implementation: the
-//! atomic min computes the same minima, and the bookkeeping pass stays
-//! sequential and ordered.
+//! Results are bit-identical to the sequential fused implementation and
+//! across thread counts: the merge computes the same minima whatever the
+//! chunking, and the touched list is sorted on every path.
+//!
+//! Repeated runs (multi-source queries, bench loops) should go through
+//! [`crate::engine::SsspEngine`], which caches the light/heavy split per
+//! `(graph, Δ)` — the paper measures that filter at 35–40 % of runtime —
+//! and reuses this module's workspaces across calls via
+//! [`delta_stepping_parallel_improved_with`].
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use graphdata::CsrGraph;
-use parking_lot::Mutex;
-use taskpool::{scope, split_evenly, ThreadPool};
+use taskpool::{scope_collect, split_evenly, ThreadPool};
 
 use crate::delta::bucket_of;
 use crate::fused::LightHeavy;
 use crate::guard::{SsspError, Watchdog};
+use crate::reqbuf::{relax_buffered, RelaxWorkspace};
 use crate::result::SsspResult;
 use crate::stats::PhaseProfile;
-use crate::INF;
-
-/// Lock-free `min` on an `f64` stored as bits in an `AtomicU64`.
-/// Returns the previous value.
-#[inline]
-pub fn atomic_min_f64(cell: &AtomicU64, value: f64) -> f64 {
-    let mut cur = cell.load(Ordering::Relaxed);
-    loop {
-        let cur_f = f64::from_bits(cur);
-        if value >= cur_f {
-            return cur_f;
-        }
-        match cell.compare_exchange_weak(cur, value.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
-        {
-            Ok(_) => return cur_f,
-            Err(actual) => cur = actual,
-        }
-    }
-}
 
 /// Build the light/heavy split with fine-grained row chunks — every thread
-/// participates (vs. the two coarse tasks of the paper's scheme).
+/// participates (vs. the two coarse tasks of the paper's scheme). Chunk
+/// results come back in row order from [`scope_collect`] (no lock, no
+/// sort) and concatenate into the CSR pair.
 pub fn split_light_heavy_chunked(pool: &ThreadPool, g: &CsrGraph, delta: f64) -> LightHeavy {
     let n = g.num_vertices();
     if n == 0 {
@@ -60,7 +49,6 @@ pub fn split_light_heavy_chunked(pool: &ThreadPool, g: &CsrGraph, delta: f64) ->
     let ranges = split_evenly(0..n, pieces);
 
     struct Chunk {
-        first_row: usize,
         l_counts: Vec<usize>,
         l_tgt: Vec<usize>,
         l_w: Vec<f64>,
@@ -68,41 +56,32 @@ pub fn split_light_heavy_chunked(pool: &ThreadPool, g: &CsrGraph, delta: f64) ->
         h_tgt: Vec<usize>,
         h_w: Vec<f64>,
     }
-    let chunks: Mutex<Vec<Chunk>> = Mutex::new(Vec::with_capacity(ranges.len()));
-    scope(pool, |s| {
-        for range in ranges {
-            let chunks = &chunks;
-            s.spawn(move || {
-                let mut c = Chunk {
-                    first_row: range.start,
-                    l_counts: Vec::with_capacity(range.len()),
-                    l_tgt: Vec::new(),
-                    l_w: Vec::new(),
-                    h_counts: Vec::with_capacity(range.len()),
-                    h_tgt: Vec::new(),
-                    h_w: Vec::new(),
-                };
-                for v in range {
-                    let (targets, weights) = g.neighbors(v);
-                    let (lb, hb) = (c.l_tgt.len(), c.h_tgt.len());
-                    for (&t, &w) in targets.iter().zip(weights.iter()) {
-                        if w <= delta {
-                            c.l_tgt.push(t);
-                            c.l_w.push(w);
-                        } else {
-                            c.h_tgt.push(t);
-                            c.h_w.push(w);
-                        }
-                    }
-                    c.l_counts.push(c.l_tgt.len() - lb);
-                    c.h_counts.push(c.h_tgt.len() - hb);
+    let parts = scope_collect(pool, ranges, |_, range| {
+        let mut c = Chunk {
+            l_counts: Vec::with_capacity(range.len()),
+            l_tgt: Vec::new(),
+            l_w: Vec::new(),
+            h_counts: Vec::with_capacity(range.len()),
+            h_tgt: Vec::new(),
+            h_w: Vec::new(),
+        };
+        for v in range {
+            let (targets, weights) = g.neighbors(v);
+            let (lb, hb) = (c.l_tgt.len(), c.h_tgt.len());
+            for (&t, &w) in targets.iter().zip(weights.iter()) {
+                if w <= delta {
+                    c.l_tgt.push(t);
+                    c.l_w.push(w);
+                } else {
+                    c.h_tgt.push(t);
+                    c.h_w.push(w);
                 }
-                chunks.lock().push(c);
-            });
+            }
+            c.l_counts.push(c.l_tgt.len() - lb);
+            c.h_counts.push(c.h_tgt.len() - hb);
         }
+        c
     });
-    let mut parts = chunks.into_inner();
-    parts.sort_unstable_by_key(|c| c.first_row);
     let mut lh = LightHeavy {
         light_off: Vec::with_capacity(n + 1),
         light_tgt: Vec::new(),
@@ -126,77 +105,36 @@ pub fn split_light_heavy_chunked(pool: &ThreadPool, g: &CsrGraph, delta: f64) ->
     lh
 }
 
-/// Parallel relaxation of `frontier`'s edges (light or heavy per
-/// `use_light`) into the shared atomic request accumulator. Each task
-/// collects the positions it *claimed* (transitioned from `∞`), so the
-/// union of the per-task touched lists is duplicate-free.
-#[allow(clippy::too_many_arguments)]
-fn relax_parallel(
-    pool: &ThreadPool,
-    lh: &LightHeavy,
-    dist: &[f64],
-    frontier: &[usize],
-    use_light: bool,
-    req: &[AtomicU64],
-    touched: &mut Vec<usize>,
-    relaxations: &mut u64,
-) {
-    let nnz: usize = frontier
-        .iter()
-        .map(|&v| {
-            if use_light {
-                lh.light(v).0.len()
-            } else {
-                lh.heavy(v).0.len()
-            }
-        })
-        .sum();
-    *relaxations += nnz as u64;
-    // Small frontiers: sequential scatter is cheaper than task setup.
-    if nnz < 512 || pool.num_threads() == 1 {
-        for &v in frontier {
-            let tv = dist[v];
-            let (targets, weights) = if use_light { lh.light(v) } else { lh.heavy(v) };
-            for (&u, &w) in targets.iter().zip(weights.iter()) {
-                let prev = atomic_min_f64(&req[u], tv + w);
-                if prev == INF {
-                    touched.push(u);
-                }
-            }
+/// Reusable per-run state: the relaxation workspace (dense request
+/// accumulator + per-task buffers) and the frontier/settled scratch
+/// vectors. Owned by callers that run many queries (the engine, bench
+/// loops) so per-bucket allocation disappears after the first run.
+#[derive(Debug, Default)]
+pub struct ImprovedWorkspace {
+    relax: RelaxWorkspace,
+    frontier: Vec<usize>,
+    settled: Vec<usize>,
+}
+
+impl ImprovedWorkspace {
+    /// Workspace sized for an `n`-vertex graph.
+    pub fn new(n: usize) -> Self {
+        ImprovedWorkspace {
+            relax: RelaxWorkspace::new(n),
+            frontier: Vec::new(),
+            settled: Vec::new(),
         }
-        return;
     }
-    let ranges = split_evenly(0..frontier.len(), pool.num_threads() * 4);
-    let parts: Mutex<Vec<Vec<usize>>> = Mutex::new(Vec::with_capacity(ranges.len()));
-    scope(pool, |s| {
-        for range in ranges {
-            let parts = &parts;
-            s.spawn(move || {
-                let mut local = Vec::new();
-                for p in range {
-                    let v = frontier[p];
-                    let tv = dist[v];
-                    let (targets, weights) = if use_light { lh.light(v) } else { lh.heavy(v) };
-                    for (&u, &w) in targets.iter().zip(weights.iter()) {
-                        let prev = atomic_min_f64(&req[u], tv + w);
-                        if prev == INF {
-                            local.push(u);
-                        }
-                    }
-                }
-                parts.lock().push(local);
-            });
-        }
-    });
-    for local in parts.into_inner() {
-        touched.extend_from_slice(&local);
+
+    /// Grow (never shrink) to fit an `n`-vertex graph.
+    pub fn ensure(&mut self, n: usize) {
+        self.relax.ensure(n);
     }
-    // Deterministic bookkeeping order downstream.
-    touched.sort_unstable();
 }
 
 /// Delta-stepping with the paper's proposed improvements (fine-grained
-/// matrix filtering + intra-relaxation parallelism).
+/// matrix filtering + intra-relaxation parallelism) on the request-buffer
+/// core.
 pub fn delta_stepping_parallel_improved(
     pool: &ThreadPool,
     g: &CsrGraph,
@@ -234,6 +172,32 @@ pub fn delta_stepping_parallel_improved_checked(
     if !(delta > 0.0 && delta.is_finite()) {
         return Err(SsspError::InvalidDelta { delta });
     }
+    let t0 = Instant::now();
+    let lh = split_light_heavy_chunked(pool, g, delta);
+    let filter_time = t0.elapsed();
+    let mut ws = ImprovedWorkspace::new(g.num_vertices());
+    let (result, mut profile) =
+        delta_stepping_parallel_improved_with(pool, g, &lh, source, delta, watchdog, &mut ws)?;
+    profile.matrix_filter += filter_time;
+    Ok((result, profile))
+}
+
+/// The core loop over a **prebuilt** light/heavy split and a caller-owned
+/// workspace — the entry point the engine's split cache uses. The returned
+/// profile contains no `matrix_filter` time (the caller decides whether a
+/// cached split costs anything).
+pub fn delta_stepping_parallel_improved_with(
+    pool: &ThreadPool,
+    g: &CsrGraph,
+    lh: &LightHeavy,
+    source: usize,
+    delta: f64,
+    watchdog: &mut Watchdog,
+    ws: &mut ImprovedWorkspace,
+) -> Result<(SsspResult, PhaseProfile), SsspError> {
+    if !(delta > 0.0 && delta.is_finite()) {
+        return Err(SsspError::InvalidDelta { delta });
+    }
     let n = g.num_vertices();
     if source >= n {
         return Err(SsspError::SourceOutOfBounds {
@@ -243,21 +207,20 @@ pub fn delta_stepping_parallel_improved_checked(
     }
     let mut result = SsspResult::init(n, source);
     let mut profile = PhaseProfile::default();
-
-    let t0 = Instant::now();
-    let lh = split_light_heavy_chunked(pool, g, delta);
-    profile.matrix_filter += t0.elapsed();
-
-    let req: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF.to_bits())).collect();
-    let mut touched: Vec<usize> = Vec::new();
-    let mut frontier: Vec<usize> = Vec::new();
-    let mut settled: Vec<usize> = Vec::new();
+    ws.ensure(n);
+    let ImprovedWorkspace {
+        relax,
+        frontier,
+        settled,
+    } = ws;
+    frontier.clear();
+    settled.clear();
 
     let mut i = 0usize;
     loop {
         watchdog.tick()?;
         let t0 = Instant::now();
-        let next = crate::parallel::scan_bucket_parallel(pool, &result.dist, delta, i, &mut frontier);
+        let next = crate::parallel::scan_bucket_parallel(pool, &result.dist, delta, i, frontier);
         profile.vector_ops += t0.elapsed();
         if frontier.is_empty() {
             if next == usize::MAX {
@@ -273,59 +236,55 @@ pub fn delta_stepping_parallel_improved_checked(
             watchdog.tick()?;
             result.stats.light_phases += 1;
             let t0 = Instant::now();
-            relax_parallel(
+            relax_buffered(
                 pool,
-                &lh,
+                lh,
                 &result.dist,
-                &frontier,
+                frontier,
                 true,
-                &req,
-                &mut touched,
+                relax,
                 &mut result.stats.relaxations,
             );
             profile.relaxation += t0.elapsed();
 
             let t0 = Instant::now();
-            settled.extend_from_slice(&frontier);
+            settled.extend_from_slice(frontier);
             frontier.clear();
-            for &u in &touched {
-                let cand = f64::from_bits(req[u].load(Ordering::Relaxed));
-                req[u].store(INF.to_bits(), Ordering::Relaxed);
-                if cand < result.dist[u] {
-                    result.stats.improvements += 1;
-                    result.dist[u] = cand;
+            let dist = &mut result.dist;
+            let stats = &mut result.stats;
+            relax.drain_requests(|u, cand| {
+                if cand < dist[u] {
+                    stats.improvements += 1;
+                    dist[u] = cand;
                     if bucket_of(cand, delta) == i {
                         frontier.push(u);
                     }
                 }
-            }
-            touched.clear();
+            });
             profile.vector_ops += t0.elapsed();
         }
 
         result.stats.heavy_phases += 1;
         let t0 = Instant::now();
-        relax_parallel(
+        relax_buffered(
             pool,
-            &lh,
+            lh,
             &result.dist,
-            &settled,
+            settled,
             false,
-            &req,
-            &mut touched,
+            relax,
             &mut result.stats.relaxations,
         );
         profile.relaxation += t0.elapsed();
         let t0 = Instant::now();
-        for &u in &touched {
-            let cand = f64::from_bits(req[u].load(Ordering::Relaxed));
-            req[u].store(INF.to_bits(), Ordering::Relaxed);
-            if cand < result.dist[u] {
-                result.stats.improvements += 1;
-                result.dist[u] = cand;
+        let dist = &mut result.dist;
+        let stats = &mut result.stats;
+        relax.drain_requests(|u, cand| {
+            if cand < dist[u] {
+                stats.improvements += 1;
+                dist[u] = cand;
             }
-        }
-        touched.clear();
+        });
         profile.vector_ops += t0.elapsed();
 
         i += 1;
@@ -339,16 +298,6 @@ mod tests {
     use crate::dijkstra::dijkstra;
     use crate::fused::delta_stepping_fused;
     use graphdata::gen;
-
-    #[test]
-    fn atomic_min_behaviour() {
-        let cell = AtomicU64::new(INF.to_bits());
-        assert_eq!(atomic_min_f64(&cell, 5.0), INF);
-        assert_eq!(atomic_min_f64(&cell, 7.0), 5.0); // no change
-        assert_eq!(f64::from_bits(cell.load(Ordering::Relaxed)), 5.0);
-        assert_eq!(atomic_min_f64(&cell, 2.0), 5.0);
-        assert_eq!(f64::from_bits(cell.load(Ordering::Relaxed)), 2.0);
-    }
 
     #[test]
     fn chunked_split_matches_sequential() {
@@ -377,6 +326,8 @@ mod tests {
         let pi = delta_stepping_parallel_improved(&pool, &g, 0, 1.0);
         assert_eq!(pi.dist, dj.dist);
         assert_eq!(pi.dist, fu.dist);
+        // The rebuild preserves the work counters too.
+        assert_eq!(pi.stats, fu.stats);
     }
 
     #[test]
@@ -406,5 +357,25 @@ mod tests {
         let b = delta_stepping_parallel_improved(&pool, &g, 0, 1.0);
         assert_eq!(a.dist, b.dist);
         assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn workspace_reuse_across_sources_is_exact() {
+        let pool = ThreadPool::with_threads(4).unwrap();
+        let mut el = gen::gnm(400, 2500, 31);
+        el.symmetrize();
+        el.make_unit_weight();
+        let g = CsrGraph::from_edge_list(&el).unwrap();
+        let lh = split_light_heavy_chunked(&pool, &g, 1.0);
+        let mut ws = ImprovedWorkspace::new(g.num_vertices());
+        for src in [0, 7, 113, 0] {
+            let (reused, _) = delta_stepping_parallel_improved_with(
+                &pool, &g, &lh, src, 1.0, &mut Watchdog::unlimited(), &mut ws,
+            )
+            .unwrap();
+            let fresh = delta_stepping_parallel_improved(&pool, &g, src, 1.0);
+            assert_eq!(reused.dist, fresh.dist, "source {src}");
+            assert_eq!(reused.stats, fresh.stats, "source {src}");
+        }
     }
 }

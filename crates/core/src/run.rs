@@ -1,4 +1,4 @@
-//! The checked front door: one entry point wrapping all five
+//! The checked front door: one entry point wrapping all six
 //! delta-stepping implementations with preflight validation, a
 //! watchdog, and panic-isolating graceful degradation.
 //!
@@ -14,9 +14,9 @@ use taskpool::{install_try, PoolError, ThreadPool};
 
 use crate::guard::{preflight, reject_zero_weights, GuardConfig, SsspError, Watchdog};
 use crate::result::SsspResult;
-use crate::{canonical, fused, gblas_impl, parallel, parallel_improved};
+use crate::{canonical, fused, gblas_impl, parallel, parallel_atomic, parallel_improved};
 
-/// The five guarded delta-stepping implementations.
+/// The six guarded delta-stepping implementations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Implementation {
     /// Meyer–Sanders with explicit buckets ([`crate::canonical`]).
@@ -27,18 +27,23 @@ pub enum Implementation {
     Gblas,
     /// The paper's task-parallel scheme ([`crate::parallel`]).
     Parallel,
-    /// The improved parallel scheme ([`crate::parallel_improved`]).
+    /// The improved parallel scheme on contention-free request buffers
+    /// ([`crate::parallel_improved`]).
     ParallelImproved,
+    /// The prior atomic-CAS improved scheme, kept as the before/after
+    /// benchmark baseline ([`crate::parallel_atomic`]).
+    ParallelAtomic,
 }
 
 impl Implementation {
     /// All guarded implementations, for exhaustive test sweeps.
-    pub const ALL: [Implementation; 5] = [
+    pub const ALL: [Implementation; 6] = [
         Implementation::Canonical,
         Implementation::Fused,
         Implementation::Gblas,
         Implementation::Parallel,
         Implementation::ParallelImproved,
+        Implementation::ParallelAtomic,
     ];
 
     /// Parse a CLI-style name. `"delta"` is an alias for the canonical
@@ -50,6 +55,7 @@ impl Implementation {
             "gblas" => Some(Implementation::Gblas),
             "parallel" => Some(Implementation::Parallel),
             "improved" | "parallel-improved" => Some(Implementation::ParallelImproved),
+            "atomic" | "improved-atomic" => Some(Implementation::ParallelAtomic),
             _ => None,
         }
     }
@@ -62,6 +68,7 @@ impl Implementation {
             Implementation::Gblas => "gblas",
             Implementation::Parallel => "parallel",
             Implementation::ParallelImproved => "improved",
+            Implementation::ParallelAtomic => "improved-atomic",
         }
     }
 
@@ -69,7 +76,9 @@ impl Implementation {
     pub fn is_parallel(self) -> bool {
         matches!(
             self,
-            Implementation::Parallel | Implementation::ParallelImproved
+            Implementation::Parallel
+                | Implementation::ParallelImproved
+                | Implementation::ParallelAtomic
         )
     }
 }
@@ -132,7 +141,9 @@ pub fn run_checked(
             let mut wd = Watchdog::for_run(g, delta, cfg);
             gblas_impl::delta_stepping_gblas_checked(g, source, delta, &mut wd).map(report)
         }
-        Implementation::Parallel | Implementation::ParallelImproved => {
+        Implementation::Parallel
+        | Implementation::ParallelImproved
+        | Implementation::ParallelAtomic => {
             let pool = match pool {
                 Some(p) => p,
                 None => taskpool::global(),
@@ -141,6 +152,11 @@ pub fn run_checked(
             let attempt = install_try(pool, || match implementation {
                 Implementation::Parallel => {
                     parallel::delta_stepping_parallel_checked(pool, g, source, delta, &mut wd)
+                }
+                Implementation::ParallelAtomic => {
+                    parallel_atomic::delta_stepping_parallel_atomic_checked(
+                        pool, g, source, delta, &mut wd,
+                    )
                 }
                 _ => parallel_improved::delta_stepping_parallel_improved_checked(
                     pool, g, source, delta, &mut wd,

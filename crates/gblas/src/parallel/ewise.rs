@@ -1,10 +1,11 @@
 //! Parallel element-wise vector operations: the index space is split into
 //! contiguous ranges; each task merges its slice of both operands; the
-//! per-task results concatenate in order (no cross-chunk interaction,
-//! because element-wise outputs at an index depend only on that index).
+//! per-task results come back **already in range order** through
+//! [`scope_collect`] — no completion lock, no sort-by-chunk-key — and
+//! concatenate directly (element-wise outputs at an index depend only on
+//! that index, so there is no cross-chunk interaction).
 
-use parking_lot::Mutex;
-use taskpool::{scope, split_evenly, ThreadPool};
+use taskpool::{scope_collect, split_evenly, ThreadPool};
 
 use crate::descriptor::Descriptor;
 use crate::error::Info;
@@ -27,11 +28,12 @@ fn slice_bounds(indices: &[usize], ranges: &[std::ops::Range<usize>]) -> Vec<(us
         .collect()
 }
 
-fn concat_parts<C: Scalar>(mut parts: Vec<(usize, SparseVec<C>)>) -> SparseVec<C> {
-    parts.sort_unstable_by_key(|&(k, _)| k);
-    let total: usize = parts.iter().map(|(_, p)| p.len()).sum();
+/// Concatenate per-range partials that are already in ascending index
+/// order (the order [`scope_collect`] returns them in).
+fn concat_ordered<C: Scalar>(parts: Vec<SparseVec<C>>) -> SparseVec<C> {
+    let total: usize = parts.iter().map(|p| p.len()).sum();
     let mut out = SparseVec::with_capacity(total);
-    for (_, p) in parts {
+    for p in parts {
         out.indices.extend_from_slice(&p.indices);
         out.values.extend_from_slice(&p.values);
     }
@@ -71,27 +73,20 @@ where
     }
     let ub = slice_bounds(u.indices(), &ranges);
     let vb = slice_bounds(v.indices(), &ranges);
-    let parts: Mutex<Vec<(usize, SparseVec<C>)>> = Mutex::new(Vec::with_capacity(ranges.len()));
-    scope(pool, |s| {
-        for (k, _) in ranges.iter().enumerate() {
-            let parts = &parts;
-            let (ulo, uhi) = ub[k];
-            let (vlo, vhi) = vb[k];
-            s.spawn(move || {
-                let part = union_merge(
-                    &u.indices()[ulo..uhi],
-                    &u.values()[ulo..uhi],
-                    &v.indices()[vlo..vhi],
-                    &v.values()[vlo..vhi],
-                    |a| a.cast(),
-                    |b| b.cast(),
-                    |a, b| op.apply(a, b),
-                );
-                parts.lock().push((k, part));
-            });
-        }
+    let bounds: Vec<((usize, usize), (usize, usize))> =
+        ub.into_iter().zip(vb).collect();
+    let parts = scope_collect(pool, bounds, |_, ((ulo, uhi), (vlo, vhi))| {
+        union_merge(
+            &u.indices()[ulo..uhi],
+            &u.values()[ulo..uhi],
+            &v.indices()[vlo..vhi],
+            &v.values()[vlo..vhi],
+            |a| a.cast(),
+            |b| b.cast(),
+            |a, b| op.apply(a, b),
+        )
     });
-    let t = concat_parts(parts.into_inner());
+    let t = concat_ordered(parts);
     let z = accum_merge(out, t, accum);
     mask_write_vector(out, z, mask, desc);
     Ok(())
@@ -131,25 +126,18 @@ where
     }
     let ub = slice_bounds(u.indices(), &ranges);
     let vb = slice_bounds(v.indices(), &ranges);
-    let parts: Mutex<Vec<(usize, SparseVec<C>)>> = Mutex::new(Vec::with_capacity(ranges.len()));
-    scope(pool, |s| {
-        for (k, _) in ranges.iter().enumerate() {
-            let parts = &parts;
-            let (ulo, uhi) = ub[k];
-            let (vlo, vhi) = vb[k];
-            s.spawn(move || {
-                let part = intersect_merge(
-                    &u.indices()[ulo..uhi],
-                    &u.values()[ulo..uhi],
-                    &v.indices()[vlo..vhi],
-                    &v.values()[vlo..vhi],
-                    |a, b| op.apply(a, b),
-                );
-                parts.lock().push((k, part));
-            });
-        }
+    let bounds: Vec<((usize, usize), (usize, usize))> =
+        ub.into_iter().zip(vb).collect();
+    let parts = scope_collect(pool, bounds, |_, ((ulo, uhi), (vlo, vhi))| {
+        intersect_merge(
+            &u.indices()[ulo..uhi],
+            &u.values()[ulo..uhi],
+            &v.indices()[vlo..vhi],
+            &v.values()[vlo..vhi],
+            |a, b| op.apply(a, b),
+        )
     });
-    let t = concat_parts(parts.into_inner());
+    let t = concat_ordered(parts);
     let z = accum_merge(out, t, accum);
     mask_write_vector(out, z, mask, desc);
     Ok(())
@@ -179,20 +167,14 @@ where
         return crate::ops::apply::vector_apply(out, mask, accum, op, input, desc);
     }
     let chunks = split_evenly(0..nnz, pool.num_threads());
-    let parts: Mutex<Vec<(usize, SparseVec<B>)>> = Mutex::new(Vec::with_capacity(chunks.len()));
-    scope(pool, |s| {
-        for (k, chunk) in chunks.into_iter().enumerate() {
-            let parts = &parts;
-            s.spawn(move || {
-                let mut part = SparseVec::with_capacity(chunk.len());
-                for p in chunk {
-                    part.push(input.indices()[p], op.apply(input.values()[p]));
-                }
-                parts.lock().push((k, part));
-            });
+    let parts = scope_collect(pool, chunks, |_, chunk| {
+        let mut part = SparseVec::with_capacity(chunk.len());
+        for p in chunk {
+            part.push(input.indices()[p], op.apply(input.values()[p]));
         }
+        part
     });
-    let t = concat_parts(parts.into_inner());
+    let t = concat_ordered(parts);
     let z = accum_merge(out, t, accum);
     mask_write_vector(out, z, mask, desc);
     Ok(())

@@ -3,10 +3,11 @@
 //! runtime and was a single task per matrix in the paper's scheme).
 //!
 //! Rows are split into contiguous chunks; each task filters its rows into a
-//! private buffer; buffers concatenate in row order into a CSR result.
+//! private buffer; [`scope_collect`] returns the buffers already in row
+//! order (no completion lock, no sort), and they concatenate into a CSR
+//! result.
 
-use parking_lot::Mutex;
-use taskpool::{scope, split_evenly, ThreadPool};
+use taskpool::{scope_collect, split_evenly, ThreadPool};
 
 use crate::matrix::Matrix;
 use crate::types::Scalar;
@@ -19,12 +20,8 @@ struct RowChunk<T> {
     values: Vec<T>,
 }
 
-fn assemble<T: Scalar>(
-    nrows: usize,
-    ncols: usize,
-    mut chunks: Vec<RowChunk<T>>,
-) -> Matrix<T> {
-    chunks.sort_unstable_by_key(|c| c.first_row);
+/// Stitch row-ordered chunks (as returned by [`scope_collect`]) into CSR.
+fn assemble<T: Scalar>(nrows: usize, ncols: usize, chunks: Vec<RowChunk<T>>) -> Matrix<T> {
     let nnz: usize = chunks.iter().map(|c| c.col_idx.len()).sum();
     let mut row_ptr = Vec::with_capacity(nrows + 1);
     row_ptr.push(0usize);
@@ -65,34 +62,27 @@ where
         nrows.div_ceil(grain)
     };
     let ranges = split_evenly(0..nrows, pieces);
-    let pred = &pred;
-    let chunks: Mutex<Vec<RowChunk<T>>> = Mutex::new(Vec::with_capacity(ranges.len()));
-    scope(pool, |s| {
-        for range in ranges {
-            let chunks = &chunks;
-            s.spawn(move || {
-                let mut rc = RowChunk {
-                    first_row: range.start,
-                    row_counts: Vec::with_capacity(range.len()),
-                    col_idx: Vec::new(),
-                    values: Vec::new(),
-                };
-                for r in range {
-                    let (cols, vals) = a.row(r);
-                    let before = rc.col_idx.len();
-                    for (&c, &v) in cols.iter().zip(vals.iter()) {
-                        if pred(r, c, v) {
-                            rc.col_idx.push(c);
-                            rc.values.push(v);
-                        }
-                    }
-                    rc.row_counts.push(rc.col_idx.len() - before);
+    let chunks = scope_collect(pool, ranges, |_, range| {
+        let mut rc = RowChunk {
+            first_row: range.start,
+            row_counts: Vec::with_capacity(range.len()),
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        };
+        for r in range {
+            let (cols, vals) = a.row(r);
+            let before = rc.col_idx.len();
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                if pred(r, c, v) {
+                    rc.col_idx.push(c);
+                    rc.values.push(v);
                 }
-                chunks.lock().push(rc);
-            });
+            }
+            rc.row_counts.push(rc.col_idx.len() - before);
         }
+        rc
     });
-    assemble(nrows, a.ncols(), chunks.into_inner())
+    assemble(nrows, a.ncols(), chunks)
 }
 
 /// Parallel value transform with unchanged pattern: `B[i,j] = f(A[i,j])`.
@@ -117,29 +107,22 @@ where
         nrows.div_ceil(grain)
     };
     let ranges = split_evenly(0..nrows, pieces);
-    let f = &f;
-    let chunks: Mutex<Vec<RowChunk<U>>> = Mutex::new(Vec::with_capacity(ranges.len()));
-    scope(pool, |s| {
-        for range in ranges {
-            let chunks = &chunks;
-            s.spawn(move || {
-                let mut rc = RowChunk {
-                    first_row: range.start,
-                    row_counts: Vec::with_capacity(range.len()),
-                    col_idx: Vec::new(),
-                    values: Vec::new(),
-                };
-                for r in range {
-                    let (cols, vals) = a.row(r);
-                    rc.row_counts.push(cols.len());
-                    rc.col_idx.extend_from_slice(cols);
-                    rc.values.extend(vals.iter().map(|&v| f(v)));
-                }
-                chunks.lock().push(rc);
-            });
+    let chunks = scope_collect(pool, ranges, |_, range| {
+        let mut rc = RowChunk {
+            first_row: range.start,
+            row_counts: Vec::with_capacity(range.len()),
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        };
+        for r in range {
+            let (cols, vals) = a.row(r);
+            rc.row_counts.push(cols.len());
+            rc.col_idx.extend_from_slice(cols);
+            rc.values.extend(vals.iter().map(|&v| f(v)));
         }
+        rc
     });
-    assemble(nrows, a.ncols(), chunks.into_inner())
+    assemble(nrows, a.ncols(), chunks)
 }
 
 #[cfg(test)]

@@ -1,9 +1,13 @@
 //! Parallel `vxm`: split the frontier's stored entries into chunks, give
 //! each task a private dense accumulator, and merge with the semiring's
 //! additive monoid.
+//!
+//! Per-task partials come back through [`scope_collect`] — no lock on the
+//! completion path, and the merge folds them in **chunk order**, so the
+//! result is deterministic even for additive monoids where evaluation
+//! order shows up in the bits (floating `+`), not just for `min`.
 
-use parking_lot::Mutex;
-use taskpool::{scope, split_evenly, ThreadPool};
+use taskpool::{scope_collect, split_evenly, ThreadPool};
 
 use crate::descriptor::Descriptor;
 use crate::error::{check_dims, Info};
@@ -57,47 +61,42 @@ where
 
     let chunks = split_evenly(0..nnz, pool.num_threads());
     let add = semiring.add();
-    let partials: Mutex<Vec<SparseVec<C>>> = Mutex::new(Vec::with_capacity(chunks.len()));
-    scope(pool, |s| {
-        for chunk in chunks {
-            let partials = &partials;
-            s.spawn(move || {
-                let mul = semiring.mul();
-                let add = semiring.add();
-                let mut acc: Vec<C> = vec![add.identity(); ncols];
-                let mut present = vec![false; ncols];
-                let mut touched: Vec<usize> = Vec::new();
-                for p in chunk {
-                    let i = u.indices()[p];
-                    let uv = u.values()[p];
-                    let (cols, vals) = a.row(i);
-                    for (&j, &av) in cols.iter().zip(vals.iter()) {
-                        let prod = mul.apply(uv, av);
-                        if present[j] {
-                            acc[j] = add.apply(acc[j], prod);
-                        } else {
-                            acc[j] = prod;
-                            present[j] = true;
-                            touched.push(j);
-                        }
-                    }
+    let partials: Vec<SparseVec<C>> = scope_collect(pool, chunks, |_, chunk| {
+        let mul = semiring.mul();
+        let add = semiring.add();
+        let mut acc: Vec<C> = vec![add.identity(); ncols];
+        let mut present = vec![false; ncols];
+        let mut touched: Vec<usize> = Vec::new();
+        for p in chunk {
+            let i = u.indices()[p];
+            let uv = u.values()[p];
+            let (cols, vals) = a.row(i);
+            for (&j, &av) in cols.iter().zip(vals.iter()) {
+                let prod = mul.apply(uv, av);
+                if present[j] {
+                    acc[j] = add.apply(acc[j], prod);
+                } else {
+                    acc[j] = prod;
+                    present[j] = true;
+                    touched.push(j);
                 }
-                touched.sort_unstable();
-                let mut part = SparseVec::with_capacity(touched.len());
-                for j in touched {
-                    part.push(j, acc[j]);
-                }
-                partials.lock().push(part);
-            });
+            }
         }
+        touched.sort_unstable();
+        let mut part = SparseVec::with_capacity(touched.len());
+        for j in touched {
+            part.push(j, acc[j]);
+        }
+        part
     });
 
-    // Sequential tree-free merge of the per-task partials with ⊕.
+    // Sequential tree-free merge of the per-task partials with ⊕, in
+    // chunk order.
     let mut t = SparseVec {
         indices: Vec::new(),
         values: Vec::new(),
     };
-    for part in partials.into_inner() {
+    for part in partials {
         t = crate::ops::write::union_merge(
             &t.indices,
             &t.values,

@@ -1,0 +1,220 @@
+//! Contention-free collection of per-task results.
+//!
+//! The pre-existing pattern for "each task produces a value, the caller
+//! wants them in task order" was a `Mutex<Vec<_>>` that every finishing
+//! task locked, followed by a sort on the caller side. Under load that
+//! serializes task completion on one lock and costs an O(k log k) sort
+//! per phase. The helpers here remove both:
+//!
+//! * [`scope_collect`] gives every task its own pre-allocated output slot
+//!   (one `&mut` per task, no lock, no sort) and returns the results in
+//!   spawn order — deterministic regardless of which thread ran what.
+//! * [`scope_with_buffers`] is the same discipline for *reusable* per-task
+//!   buffers: the caller owns a `Vec<B>` of workspaces that survive across
+//!   phases (no per-phase allocation), and each task gets exclusive `&mut`
+//!   access to exactly one of them.
+//!
+//! Both are the building blocks for the contention-free request-buffer
+//! relaxation in `sssp-core`.
+
+use std::cell::UnsafeCell;
+
+use crate::pool::ThreadPool;
+use crate::scope::scope;
+
+/// One task's output slot. `Sync` is sound because each slot is written by
+/// exactly one task (the one holding its index) and read only after the
+/// scope barrier has joined every task.
+struct Slot<T>(UnsafeCell<Option<T>>);
+
+// SAFETY: access discipline documented on the type; `T: Send` is required
+// because values move from worker threads to the caller.
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+/// Run `f(index, input)` as one scoped task per element of `inputs` and
+/// return the produced values **in input order**, without any shared lock
+/// or post-hoc sort.
+///
+/// Panics from tasks propagate exactly like [`scope`]. With an empty
+/// `inputs` the pool is never touched.
+pub fn scope_collect<I, T, F>(pool: &ThreadPool, inputs: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    if inputs.is_empty() {
+        return Vec::new();
+    }
+    if inputs.len() == 1 {
+        let input = inputs.into_iter().next().expect("len checked");
+        return vec![f(0, input)];
+    }
+    let slots: Vec<Slot<T>> = (0..inputs.len())
+        .map(|_| Slot(UnsafeCell::new(None)))
+        .collect();
+    let f = &f;
+    let slots_ref = &slots;
+    scope(pool, |s| {
+        for (k, input) in inputs.into_iter().enumerate() {
+            s.spawn(move || {
+                let value = f(k, input);
+                // SAFETY: slot `k` belongs to this task alone; the caller
+                // reads it only after `scope` joins all tasks.
+                unsafe { *slots_ref[k].0.get() = Some(value) };
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.0
+                .into_inner()
+                .expect("scope joined every task, so every slot is filled")
+        })
+        .collect()
+}
+
+/// Run `f(index, &mut bufs[index], input)` as one scoped task per element
+/// of `inputs`, giving each task **exclusive** access to its own buffer.
+///
+/// `bufs` is grown (never shrunk) to `inputs.len()` with `B::default()`,
+/// so a caller that keeps the `Vec<B>` across phases pays the allocation
+/// once and reuses warm buffers on every subsequent call — the "per-thread
+/// request buffer" discipline of the parallel relaxation core. Buffers are
+/// handed out by spawn index, so a given input range sees the same buffer
+/// on every call with the same fan-out.
+///
+/// Tasks must not assume buffers are empty: clearing (cheap, capacity-
+/// preserving) is the task's first move if it needs a fresh buffer.
+pub fn scope_with_buffers<B, I, F>(pool: &ThreadPool, bufs: &mut Vec<B>, inputs: Vec<I>, f: F)
+where
+    B: Default + Send,
+    I: Send,
+    F: Fn(usize, &mut B, I) + Sync,
+{
+    if inputs.is_empty() {
+        return;
+    }
+    if bufs.len() < inputs.len() {
+        bufs.resize_with(inputs.len(), B::default);
+    }
+    if inputs.len() == 1 {
+        let input = inputs.into_iter().next().expect("len checked");
+        f(0, &mut bufs[0], input);
+        return;
+    }
+    let f = &f;
+    scope(pool, |s| {
+        // `iter_mut` hands out disjoint `&mut B`s, so every task owns its
+        // buffer outright for the duration of the scope — no lock needed.
+        for ((k, buf), input) in bufs.iter_mut().enumerate().zip(inputs) {
+            s.spawn(move || f(k, buf, input));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn collect_preserves_input_order() {
+        let pool = ThreadPool::with_threads(4).unwrap();
+        let inputs: Vec<usize> = (0..100).collect();
+        let out = scope_collect(&pool, inputs, |k, x| {
+            assert_eq!(k, x);
+            x * 3
+        });
+        assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_empty_and_single() {
+        let pool = ThreadPool::with_threads(2).unwrap();
+        let empty: Vec<u8> = scope_collect(&pool, Vec::<u8>::new(), |_, x| x);
+        assert!(empty.is_empty());
+        let one = scope_collect(&pool, vec![7u8], |k, x| {
+            assert_eq!(k, 0);
+            x + 1
+        });
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn collect_moves_non_copy_values() {
+        let pool = ThreadPool::with_threads(3).unwrap();
+        let inputs: Vec<String> = (0..20).map(|i| format!("s{i}")).collect();
+        let out = scope_collect(&pool, inputs, |_, s| format!("{s}!"));
+        assert_eq!(out[5], "s5!");
+        assert_eq!(out.len(), 20);
+    }
+
+    #[test]
+    fn collect_propagates_task_panic() {
+        let pool = ThreadPool::with_threads(2).unwrap();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            scope_collect(&pool, vec![0usize, 1, 2], |_, x| {
+                if x == 1 {
+                    panic!("boom");
+                }
+                x
+            })
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn buffers_grow_and_are_reused() {
+        let pool = ThreadPool::with_threads(4).unwrap();
+        let mut bufs: Vec<Vec<usize>> = Vec::new();
+        scope_with_buffers(&pool, &mut bufs, (0..8).collect(), |k, buf, x| {
+            buf.clear();
+            buf.push(k + x);
+        });
+        assert_eq!(bufs.len(), 8);
+        let caps: Vec<usize> = bufs.iter().map(|b| b.capacity()).collect();
+        // A smaller fan-out keeps the extra buffers around (no shrink).
+        scope_with_buffers(&pool, &mut bufs, (0..3).collect(), |_, buf, x| {
+            buf.clear();
+            buf.push(x * 10);
+        });
+        assert_eq!(bufs.len(), 8);
+        for (k, b) in bufs.iter().enumerate().take(3) {
+            assert_eq!(b[..], [k * 10]);
+        }
+        // Reused buffers kept their allocations.
+        for (c, b) in caps.iter().zip(bufs.iter()).take(3) {
+            assert!(b.capacity() >= *c);
+        }
+    }
+
+    #[test]
+    fn buffers_are_exclusive_per_task() {
+        let pool = ThreadPool::with_threads(4).unwrap();
+        let mut bufs: Vec<Vec<usize>> = Vec::new();
+        // Each task writes many entries; any sharing would corrupt counts.
+        scope_with_buffers(&pool, &mut bufs, (0..16).collect(), |k, buf, _x: usize| {
+            buf.clear();
+            for i in 0..1000 {
+                buf.push(k * 1000 + i);
+            }
+        });
+        for (k, b) in bufs.iter().enumerate() {
+            assert_eq!(b.len(), 1000);
+            assert_eq!(b[0], k * 1000);
+            assert_eq!(b[999], k * 1000 + 999);
+        }
+    }
+
+    #[test]
+    fn buffers_empty_inputs_no_growth() {
+        let pool = ThreadPool::with_threads(2).unwrap();
+        let mut bufs: Vec<Vec<u8>> = Vec::new();
+        scope_with_buffers(&pool, &mut bufs, Vec::<usize>::new(), |_, _, _| {
+            panic!("must not run")
+        });
+        assert!(bufs.is_empty());
+    }
+}

@@ -12,6 +12,9 @@
 //!   mirroring the paper's "splitting the vector into evenly-sized tasks".
 //! * [`parallel_map_reduce`] — a chunked map + sequential tree reduce.
 //! * [`par_chunks_mut`] — data-parallel mutation over disjoint slice chunks.
+//! * [`scope_collect`] / [`scope_with_buffers`] — contention-free per-task
+//!   result slots and reusable per-task buffers: no shared lock on the
+//!   completion path, results deterministic in spawn order.
 //!
 //! Waiting threads *help*: while a scope waits for its tasks, the waiting
 //! thread (including pool workers running a task that opened a nested scope)
@@ -31,6 +34,7 @@
 //! assert_eq!(data[10], 20);
 //! ```
 
+mod collect;
 mod error;
 pub mod fault;
 mod join;
@@ -39,6 +43,7 @@ mod pool;
 mod reduce;
 mod scope;
 
+pub use collect::{scope_collect, scope_with_buffers};
 pub use error::PoolError;
 pub use join::join;
 pub use parallel_for::{par_chunks_mut, parallel_for, parallel_for_chunks, split_evenly};

@@ -1,0 +1,114 @@
+//! Determinism suite: every parallel implementation must be a pure
+//! function of `(graph, source, delta)` — bit-identical distance vectors
+//! and identical [`SsspStats`] across repeated runs and across thread
+//! counts. This is the contract the request-buffer relaxation core was
+//! built to honour: requests are merged in spawn order, so no schedule
+//! interleaving can leak into the result.
+
+use graphdata::{paper_suite, suite::weighted_suite, CsrGraph, SuiteScale};
+use sssp_core::engine::SsspEngine;
+use sssp_core::guard::Watchdog;
+use sssp_core::result::SsspResult;
+use sssp_core::{gblas_parallel, parallel, parallel_atomic, parallel_improved};
+use taskpool::ThreadPool;
+
+const RUNS: usize = 20;
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// Distances must be bit-identical, not approximately equal.
+fn bits(dist: &[f64]) -> Vec<u64> {
+    dist.iter().map(|d| d.to_bits()).collect()
+}
+
+fn assert_stable<F>(name: &str, graph_name: &str, mut run: F)
+where
+    F: FnMut(&ThreadPool) -> SsspResult,
+{
+    let reference_pool = ThreadPool::with_threads(THREADS[0]).expect("pool");
+    let reference = run(&reference_pool);
+    for &threads in &THREADS {
+        let pool = ThreadPool::with_threads(threads).expect("pool");
+        for rep in 0..RUNS {
+            let r = run(&pool);
+            assert_eq!(
+                bits(&r.dist),
+                bits(&reference.dist),
+                "{name} on {graph_name}: distances diverged at {threads} thread(s), rep {rep}"
+            );
+            assert_eq!(
+                r.stats, reference.stats,
+                "{name} on {graph_name}: stats diverged at {threads} thread(s), rep {rep}"
+            );
+        }
+    }
+}
+
+fn check_graph(name: &str, g: &CsrGraph, src: usize, delta: f64) {
+    assert_stable("parallel", name, |pool| {
+        parallel::delta_stepping_parallel(pool, g, src, delta)
+    });
+    assert_stable("parallel-improved", name, |pool| {
+        parallel_improved::delta_stepping_parallel_improved(pool, g, src, delta)
+    });
+    assert_stable("parallel-atomic", name, |pool| {
+        parallel_atomic::delta_stepping_parallel_atomic(pool, g, src, delta)
+    });
+    assert_stable("gblas-parallel", name, |pool| {
+        gblas_parallel::delta_stepping_gblas_parallel(pool, g, src, delta)
+    });
+}
+
+#[test]
+fn parallel_implementations_are_deterministic_on_unit_weights() {
+    for d in paper_suite(SuiteScale::Smoke) {
+        let src = d.graph.num_vertices() / 2;
+        check_graph(&d.name, &d.graph, src, 1.0);
+    }
+}
+
+#[test]
+fn parallel_implementations_are_deterministic_on_real_weights() {
+    // Real-valued weights are where float reduction order would show:
+    // min over the same candidate multiset is order-independent, but any
+    // accidental completion-order merge would not be.
+    for d in weighted_suite(SuiteScale::Smoke).into_iter().take(2) {
+        let src = 1;
+        check_graph(&d.name, &d.graph, src, 0.25);
+    }
+}
+
+#[test]
+fn engine_reuse_is_deterministic_and_matches_direct_calls() {
+    // Warm engine state (cached split + reused workspaces) must not
+    // change results: run the same sources repeatedly through one
+    // engine and compare against fresh direct calls.
+    let d = paper_suite(SuiteScale::Smoke).remove(1);
+    let g = &d.graph;
+    let delta = 1.0;
+    let sources = [0, g.num_vertices() / 3, g.num_vertices() - 1];
+    for &threads in &THREADS {
+        let pool = ThreadPool::with_threads(threads).expect("pool");
+        let mut engine = SsspEngine::new(g);
+        for rep in 0..RUNS {
+            for &src in &sources {
+                let (warm, _) = engine
+                    .run_parallel_improved(&pool, src, delta, &mut Watchdog::unlimited())
+                    .expect("valid inputs");
+                let cold =
+                    parallel_improved::delta_stepping_parallel_improved(&pool, g, src, delta);
+                assert_eq!(
+                    bits(&warm.dist),
+                    bits(&cold.dist),
+                    "engine warm run diverged from direct call at {threads} thread(s), rep {rep}"
+                );
+                assert_eq!(warm.stats, cold.stats);
+            }
+        }
+        // One split build total, regardless of reps x sources.
+        assert_eq!(engine.stats().split_builds, 1);
+        assert_eq!(
+            engine.stats().split_hits as usize,
+            RUNS * sources.len() - 1
+        );
+    }
+}
