@@ -18,10 +18,9 @@
 
 use graphdata::{paper_suite, SuiteScale};
 use sssp_core::engine::SsspEngine;
-use sssp_core::guard::Watchdog;
 use sssp_core::parallel_atomic::delta_stepping_parallel_atomic;
 use sssp_core::stats::SsspStats;
-use sssp_core::{dijkstra, fused};
+use sssp_core::{dijkstra, fused, Implementation, RunBudget};
 use taskpool::ThreadPool;
 
 use crate::bench_source;
@@ -101,7 +100,7 @@ pub fn run(scale: SuiteScale, threads: usize, reps: Reps) -> Vec<BenchEntry> {
         let at = delta_stepping_parallel_atomic(&pool, g, src, DELTA);
         let mut engine = SsspEngine::new(g);
         let (im, _) = engine
-            .run_parallel_improved(&pool, src, DELTA, &mut Watchdog::unlimited())
+            .run_parallel_improved(&pool, src, DELTA, &mut RunBudget::unlimited())
             .expect("suite graphs are valid");
         assert_eq!(fu.dist, dj.dist, "{}: fused disagrees with Dijkstra", d.name);
         assert_eq!(at.dist, dj.dist, "{}: atomic disagrees with Dijkstra", d.name);
@@ -133,7 +132,7 @@ pub fn run(scale: SuiteScale, threads: usize, reps: Reps) -> Vec<BenchEntry> {
             },
             reps,
         );
-        entries.push(entry("fused", 1, ms(t), fu.stats.clone()));
+        entries.push(entry(Implementation::Fused.name(), 1, ms(t), fu.stats.clone()));
 
         let t = measure_median_min(
             || {
@@ -141,7 +140,12 @@ pub fn run(scale: SuiteScale, threads: usize, reps: Reps) -> Vec<BenchEntry> {
             },
             reps,
         );
-        entries.push(entry("improved-atomic", threads, ms(t), at.stats.clone()));
+        entries.push(entry(
+            Implementation::ParallelAtomic.name(),
+            threads,
+            ms(t),
+            at.stats.clone(),
+        ));
 
         // The engine already holds the Δ=1 split from the correctness
         // gate, so every timed sample exercises the cache-hit path —
@@ -149,13 +153,18 @@ pub fn run(scale: SuiteScale, threads: usize, reps: Reps) -> Vec<BenchEntry> {
         let t = measure_median_min(
             || {
                 let (r, _) = engine
-                    .run_parallel_improved(&pool, src, DELTA, &mut Watchdog::unlimited())
+                    .run_parallel_improved(&pool, src, DELTA, &mut RunBudget::unlimited())
                     .expect("already ran once above");
                 std::hint::black_box(r);
             },
             reps,
         );
-        entries.push(entry("improved", threads, ms(t), im.stats.clone()));
+        entries.push(entry(
+            Implementation::ParallelImproved.name(),
+            threads,
+            ms(t),
+            im.stats.clone(),
+        ));
     }
     entries
 }

@@ -1,0 +1,496 @@
+//! The resilient batch front door: run many SSSP queries against one
+//! graph with bounded admission, per-job deadlines, and panic-isolated
+//! workers that degrade instead of dying.
+//!
+//! [`BatchRunner`] is the multi-source counterpart of
+//! [`run_with_budget`](crate::run::run_with_budget). It owns a bounded
+//! job queue (admission control: jobs beyond the queue capacity are
+//! **rejected**, not silently queued forever), a small worker crew, and
+//! a per-job degradation ladder:
+//!
+//! 1. the requested implementation runs under a [`RunBudget`] carrying
+//!    the per-job deadline and the batch-wide [`CancelToken`];
+//! 2. a budget stop (deadline, cancellation, watchdog) becomes
+//!    [`BatchOutcome::Partial`] carrying the certified
+//!    [`Checkpoint`] — partial work is reported, never discarded;
+//! 3. a worker panic is caught, and the job is retried **once** on the
+//!    sequential fused path under [`RunBudget::retry_budget`] (fresh
+//!    epoch allowance, same deadline/token — the job's SLO does not
+//!    reset because a worker died); only a second failure yields
+//!    [`BatchOutcome::Failed`].
+//!
+//! One batch, one graph: every worker shares the immutable
+//! [`CsrGraph`], so the queue holds only `(index, source)` pairs.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use graphdata::CsrGraph;
+use taskpool::ThreadPool;
+
+use crate::budget::{CancelToken, RunBudget};
+use crate::checkpoint::Checkpoint;
+use crate::guard::{GuardConfig, SsspError};
+use crate::result::SsspResult;
+use crate::run::{run_with_budget, Implementation};
+
+/// Configuration for a [`BatchRunner`].
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Implementation every job runs on (first attempt; the panic-retry
+    /// ladder always falls back to sequential fused).
+    pub implementation: Implementation,
+    /// Bucket width Δ for every job.
+    pub delta: f64,
+    /// Worker threads draining the queue. Clamped to at least 1.
+    pub workers: usize,
+    /// Admission bound: a batch submitting more jobs than this sees the
+    /// excess rejected up front ([`BatchOutcome::Rejected`]).
+    pub queue_capacity: usize,
+    /// Per-job wall-clock budget, applied from the moment the job
+    /// *starts executing* (queue wait does not consume it).
+    pub deadline: Option<Duration>,
+    /// Batch-wide cancellation: flipping this token stops every running
+    /// job at its next epoch boundary (each reports a checkpointed
+    /// partial result) and makes queued jobs stop on their first check.
+    pub cancel: Option<CancelToken>,
+    /// Guard tunables for preflight and the epoch budget.
+    pub guard: GuardConfig,
+    /// Threads per worker-owned [`ThreadPool`] when
+    /// [`BatchConfig::implementation`] is parallel.
+    pub pool_threads: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            implementation: Implementation::Fused,
+            delta: 1.0,
+            workers: 2,
+            queue_capacity: 1024,
+            deadline: None,
+            cancel: None,
+            guard: GuardConfig::default(),
+            pool_threads: 2,
+        }
+    }
+}
+
+/// Terminal state of one batch job.
+#[derive(Debug, Clone)]
+pub enum BatchOutcome {
+    /// The job ran to completion (possibly on the degraded sequential
+    /// path after a worker panic — see `degraded`).
+    Complete {
+        /// Full distances and counters.
+        result: SsspResult,
+        /// The Δ actually used (after any configured fallback).
+        delta: f64,
+        /// `Some(panic message)` when the result came from the
+        /// sequential-fused retry after a worker panic.
+        degraded: Option<String>,
+    },
+    /// The job was stopped by its budget (deadline, cancellation, or
+    /// epoch limit) and left a certified partial result behind.
+    Partial {
+        /// Checkpoint with partial distances; every distance below
+        /// [`Checkpoint::settled_below`] is final.
+        checkpoint: Checkpoint,
+        /// Human-readable stop reason (the underlying error display).
+        reason: String,
+    },
+    /// The job failed without a usable partial result (bad input, or a
+    /// panic that survived the sequential retry).
+    Failed {
+        /// Human-readable failure reason.
+        error: String,
+    },
+    /// Admission control refused the job: the queue was already at
+    /// capacity when the batch was submitted.
+    Rejected {
+        /// The capacity that was exceeded.
+        queue_capacity: usize,
+    },
+}
+
+impl BatchOutcome {
+    /// Whether the job produced full final distances.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, BatchOutcome::Complete { .. })
+    }
+
+    /// Whether the job produced a checkpointed partial result.
+    pub fn is_partial(&self) -> bool {
+        matches!(self, BatchOutcome::Partial { .. })
+    }
+
+    /// The checkpoint, when this outcome carries one.
+    pub fn checkpoint(&self) -> Option<&Checkpoint> {
+        match self {
+            BatchOutcome::Partial { checkpoint, .. } => Some(checkpoint),
+            _ => None,
+        }
+    }
+}
+
+/// Everything a finished batch reports: one outcome per submitted
+/// source, in submission order, plus summary counts.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// `(source, outcome)` in submission order.
+    pub jobs: Vec<(usize, BatchOutcome)>,
+}
+
+impl BatchReport {
+    /// Jobs that ran to completion.
+    pub fn completed(&self) -> usize {
+        self.count(|o| matches!(o, BatchOutcome::Complete { .. }))
+    }
+
+    /// Jobs stopped with a checkpointed partial result.
+    pub fn partial(&self) -> usize {
+        self.count(|o| matches!(o, BatchOutcome::Partial { .. }))
+    }
+
+    /// Jobs that failed outright.
+    pub fn failed(&self) -> usize {
+        self.count(|o| matches!(o, BatchOutcome::Failed { .. }))
+    }
+
+    /// Jobs refused by admission control.
+    pub fn rejected(&self) -> usize {
+        self.count(|o| matches!(o, BatchOutcome::Rejected { .. }))
+    }
+
+    /// Jobs that completed on the degraded sequential path.
+    pub fn degraded(&self) -> usize {
+        self.count(|o| matches!(o, BatchOutcome::Complete { degraded: Some(_), .. }))
+    }
+
+    /// Whether every submitted job completed fully.
+    pub fn all_complete(&self) -> bool {
+        self.completed() == self.jobs.len()
+    }
+
+    fn count(&self, pred: impl Fn(&BatchOutcome) -> bool) -> usize {
+        self.jobs.iter().filter(|(_, o)| pred(o)).count()
+    }
+}
+
+/// Multi-source SSSP front door with admission control and panic
+/// isolation. See the module docs for the degradation ladder.
+///
+/// ```
+/// use graphdata::{gen::grid2d, CsrGraph};
+/// use sssp_core::{BatchConfig, BatchRunner};
+///
+/// let g = CsrGraph::from_edge_list(&grid2d(6, 6)).unwrap();
+/// let runner = BatchRunner::new(BatchConfig::default());
+/// let report = runner.run(&g, &[0, 7, 35]);
+/// assert!(report.all_complete());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchRunner {
+    cfg: BatchConfig,
+}
+
+impl BatchRunner {
+    /// A runner with the given configuration.
+    pub fn new(cfg: BatchConfig) -> Self {
+        BatchRunner {
+            cfg: BatchConfig {
+                workers: cfg.workers.max(1),
+                pool_threads: cfg.pool_threads.max(1),
+                ..cfg
+            },
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &BatchConfig {
+        &self.cfg
+    }
+
+    /// Run one job per source and block until the whole batch settles.
+    ///
+    /// Admission is decided up front and deterministically: the first
+    /// `queue_capacity` sources are accepted, the rest come back as
+    /// [`BatchOutcome::Rejected`]. Accepted jobs are drained by
+    /// `workers` threads; each worker owns its own [`ThreadPool`] (for
+    /// parallel implementations), so one panicking pool cannot poison a
+    /// neighbour's jobs.
+    pub fn run(&self, g: &CsrGraph, sources: &[usize]) -> BatchReport {
+        let mut outcomes: Vec<Option<BatchOutcome>> = Vec::with_capacity(sources.len());
+        let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
+        for (idx, &source) in sources.iter().enumerate() {
+            if queue.len() < self.cfg.queue_capacity {
+                queue.push_back((idx, source));
+                outcomes.push(None);
+            } else {
+                outcomes.push(Some(BatchOutcome::Rejected {
+                    queue_capacity: self.cfg.queue_capacity,
+                }));
+            }
+        }
+        let accepted = queue.len();
+        let queue = Mutex::new(queue);
+        let outcomes = Mutex::new(outcomes);
+
+        let workers = self.cfg.workers.min(accepted.max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    // Per-worker pool: jobs on this worker survive a
+                    // neighbouring worker's panicked pool untouched.
+                    let pool = if self.cfg.implementation.is_parallel() {
+                        ThreadPool::with_threads(self.cfg.pool_threads).ok()
+                    } else {
+                        None
+                    };
+                    loop {
+                        let job = queue.lock().expect("queue lock").pop_front();
+                        let Some((idx, source)) = job else { break };
+                        let outcome = self.run_job(g, pool.as_ref(), source);
+                        outcomes.lock().expect("outcomes lock")[idx] = Some(outcome);
+                    }
+                });
+            }
+        });
+
+        let outcomes = outcomes.into_inner().expect("outcomes lock");
+        BatchReport {
+            jobs: sources
+                .iter()
+                .copied()
+                .zip(outcomes.into_iter().map(|o| o.expect("every job settled")))
+                .collect(),
+        }
+    }
+
+    /// One job through the degradation ladder.
+    fn run_job(&self, g: &CsrGraph, pool: Option<&ThreadPool>, source: usize) -> BatchOutcome {
+        let mut budget = self.job_budget(g);
+        // The ladder owns panic recovery: disable run_with_budget's
+        // internal fused fallback so every panic surfaces here and the
+        // retry policy lives in exactly one place.
+        let first_cfg = GuardConfig {
+            degrade_on_panic: false,
+            ..self.cfg.guard.clone()
+        };
+        let first = catch_unwind(AssertUnwindSafe(|| {
+            run_with_budget(
+                self.cfg.implementation,
+                g,
+                source,
+                self.cfg.delta,
+                pool,
+                &first_cfg,
+                &mut budget,
+            )
+        }));
+        let panic_reason = match first {
+            Ok(Ok(report)) => {
+                return BatchOutcome::Complete {
+                    result: report.result,
+                    delta: report.delta,
+                    degraded: report.degraded,
+                }
+            }
+            Ok(Err(SsspError::WorkerPanicked { message })) => message,
+            Ok(Err(other)) => return Self::error_outcome(other),
+            Err(payload) => panic_message(payload),
+        };
+        // Retry once on the sequential fused path: fresh epoch
+        // allowance, inherited deadline and cancellation token.
+        let mut retry = budget.retry_budget(g, self.cfg.delta, &self.cfg.guard);
+        let second = catch_unwind(AssertUnwindSafe(|| {
+            run_with_budget(
+                Implementation::Fused,
+                g,
+                source,
+                self.cfg.delta,
+                None,
+                &self.cfg.guard,
+                &mut retry,
+            )
+        }));
+        match second {
+            Ok(Ok(report)) => BatchOutcome::Complete {
+                result: report.result,
+                delta: report.delta,
+                degraded: Some(panic_reason),
+            },
+            Ok(Err(err)) => Self::error_outcome(err),
+            Err(payload) => BatchOutcome::Failed {
+                error: format!(
+                    "worker panicked ({panic_reason}); sequential retry also panicked ({})",
+                    panic_message(payload)
+                ),
+            },
+        }
+    }
+
+    fn job_budget(&self, g: &CsrGraph) -> RunBudget {
+        let mut budget = RunBudget::for_run(g, self.cfg.delta, &self.cfg.guard);
+        if let Some(deadline) = self.cfg.deadline {
+            budget = budget.with_timeout(deadline);
+        }
+        if let Some(token) = &self.cfg.cancel {
+            budget = budget.with_cancel(token.clone());
+        }
+        budget
+    }
+
+    /// Budget stops become checkpointed partials; everything else fails.
+    fn error_outcome(err: SsspError) -> BatchOutcome {
+        let reason = err.to_string();
+        match err.into_checkpoint() {
+            Some(checkpoint) => BatchOutcome::Partial { checkpoint, reason },
+            None => BatchOutcome::Failed { error: reason },
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of unknown type".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+    use graphdata::gen::grid2d;
+
+    fn grid() -> CsrGraph {
+        CsrGraph::from_edge_list(&grid2d(6, 6)).unwrap()
+    }
+
+    #[test]
+    fn batch_completes_all_sources_with_correct_distances() {
+        let g = grid();
+        let runner = BatchRunner::new(BatchConfig::default());
+        let sources = [0usize, 7, 17, 35, 0];
+        let report = runner.run(&g, &sources);
+        assert!(report.all_complete());
+        assert_eq!(report.jobs.len(), sources.len());
+        for (source, outcome) in &report.jobs {
+            match outcome {
+                BatchOutcome::Complete { result, degraded, .. } => {
+                    assert!(degraded.is_none());
+                    assert_eq!(result.dist, dijkstra(&g, *source).dist, "source {source}");
+                }
+                other => panic!("source {source}: expected Complete, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn admission_control_rejects_beyond_capacity() {
+        let g = grid();
+        let runner = BatchRunner::new(BatchConfig {
+            queue_capacity: 3,
+            ..BatchConfig::default()
+        });
+        let report = runner.run(&g, &[0, 1, 2, 3, 4]);
+        assert_eq!(report.completed(), 3);
+        assert_eq!(report.rejected(), 2);
+        // Rejection is deterministic: the last two submissions.
+        assert!(matches!(report.jobs[3].1, BatchOutcome::Rejected { queue_capacity: 3 }));
+        assert!(matches!(report.jobs[4].1, BatchOutcome::Rejected { queue_capacity: 3 }));
+    }
+
+    #[test]
+    fn expired_deadline_yields_certified_partials_not_failures() {
+        let g = grid();
+        let runner = BatchRunner::new(BatchConfig {
+            deadline: Some(Duration::ZERO),
+            ..BatchConfig::default()
+        });
+        let report = runner.run(&g, &[0, 35]);
+        assert_eq!(report.partial(), 2);
+        for (source, outcome) in &report.jobs {
+            let cp = outcome.checkpoint().expect("deadline leaves a checkpoint");
+            cp.validate(g.num_vertices()).unwrap();
+            assert_eq!(cp.source, *source);
+            match outcome {
+                BatchOutcome::Partial { reason, .. } => {
+                    assert!(reason.contains("deadline"), "{reason}");
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_wide_cancel_token_stops_every_job() {
+        let g = grid();
+        let token = CancelToken::new();
+        token.cancel();
+        let runner = BatchRunner::new(BatchConfig {
+            cancel: Some(token),
+            ..BatchConfig::default()
+        });
+        let report = runner.run(&g, &[0, 7, 35]);
+        assert_eq!(report.partial(), 3);
+        for (_, outcome) in &report.jobs {
+            match outcome {
+                BatchOutcome::Partial { reason, .. } => {
+                    assert!(reason.contains("cancelled"), "{reason}");
+                }
+                other => panic!("expected Partial, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn injected_panic_retries_once_on_sequential_fused() {
+        let g = grid();
+        let runner = BatchRunner::new(BatchConfig {
+            implementation: Implementation::ParallelImproved,
+            workers: 1,
+            ..BatchConfig::default()
+        });
+        taskpool::fault::arm_panic_after(0);
+        let report = runner.run(&g, &[0]);
+        taskpool::fault::disarm();
+        match &report.jobs[0].1 {
+            BatchOutcome::Complete { result, degraded, .. } => {
+                let message = degraded.as_ref().expect("job must be marked degraded");
+                assert!(message.contains(taskpool::fault::INJECTED_PANIC_MESSAGE));
+                assert_eq!(result.dist, dijkstra(&g, 0).dist);
+            }
+            other => panic!("expected degraded Complete, got {other:?}"),
+        }
+        assert_eq!(report.degraded(), 1);
+    }
+
+    #[test]
+    fn bad_source_fails_without_poisoning_the_batch() {
+        let g = grid();
+        let runner = BatchRunner::new(BatchConfig::default());
+        let report = runner.run(&g, &[0, 999, 35]);
+        assert_eq!(report.completed(), 2);
+        assert_eq!(report.failed(), 1);
+        match &report.jobs[1].1 {
+            BatchOutcome::Failed { error } => assert!(error.contains("out of bounds")),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_clean_noop() {
+        let g = grid();
+        let runner = BatchRunner::new(BatchConfig::default());
+        let report = runner.run(&g, &[]);
+        assert!(report.jobs.is_empty());
+        assert!(report.all_complete());
+    }
+}

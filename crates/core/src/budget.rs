@@ -1,0 +1,313 @@
+//! Cooperative run budgets: deadline + cancellation + epoch limit.
+//!
+//! [`RunBudget`] generalizes the [`Watchdog`](crate::guard::Watchdog) of
+//! the hardened execution layer. Every delta-stepping implementation
+//! calls [`RunBudget::check`] once per outer bucket epoch and once per
+//! inner light-relaxation round — the same places the watchdog used to
+//! tick — so *all* stop conditions observe the same epoch granularity:
+//!
+//! * **cancellation** — a [`CancelToken`] flipped from another thread
+//!   (an impatient caller, an admission controller shedding load);
+//! * **deadline** — a wall-clock [`Instant`] after which the run must
+//!   stop (latency SLOs);
+//! * **epoch budget** — the watchdog's iteration limit, still guarding
+//!   against malformed inputs that never converge.
+//!
+//! A tripped budget does not discard the work done so far: the
+//! implementations catch the [`BudgetStop`] and wrap the run state into a
+//! [`Checkpoint`](crate::checkpoint::Checkpoint) carried inside the
+//! returned [`SsspError`](crate::guard::SsspError), certifying every
+//! distance below the current bucket boundary as final (the
+//! delta-stepping settled-bucket invariant) and — on the frontier-based
+//! implementations — allowing a bit-identical resume.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use graphdata::CsrGraph;
+
+use crate::guard::{GuardConfig, Watchdog};
+
+/// A shareable cancellation flag. Cloning is cheap (one `Arc`); any clone
+/// can [`cancel`](CancelToken::cancel) and every holder observes it at
+/// its next epoch boundary.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; takes effect at the next epoch
+    /// boundary of every run holding a clone of this token.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Why a budget stopped a run. Checked in this order: cancellation, then
+/// deadline, then the epoch limit — so a run that is both cancelled and
+/// past its deadline reports the cancellation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BudgetStop {
+    /// The [`CancelToken`] was flipped (or a test-armed tick trigger
+    /// fired).
+    Cancelled,
+    /// The wall-clock deadline passed.
+    DeadlineExceeded,
+    /// The epoch budget ran out (the classic watchdog trip).
+    IterationLimit {
+        /// Epochs recorded when the budget tripped.
+        ticks: u64,
+        /// The exhausted epoch budget.
+        limit: u64,
+    },
+}
+
+/// Deadline + cancellation token + epoch budget, checked cooperatively at
+/// every bucket-epoch and light-phase boundary.
+///
+/// The epoch component reuses [`Watchdog`] unchanged; `RunBudget` is the
+/// watchdog plus the two wall-clock-facing stop conditions, so existing
+/// "unlimited"/"for_run" call shapes carry over:
+///
+/// ```
+/// use graphdata::{gen::grid2d, CsrGraph};
+/// use sssp_core::{budget::RunBudget, fused, GuardConfig};
+///
+/// let g = CsrGraph::from_edge_list(&grid2d(4, 4)).unwrap();
+/// let mut budget = RunBudget::for_run(&g, 1.0, &GuardConfig::default());
+/// let (r, _) = fused::delta_stepping_fused_checked(&g, 0, 1.0, &mut budget).unwrap();
+/// assert_eq!(r.dist[15], 6.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunBudget {
+    watchdog: Watchdog,
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
+    /// Deterministic cancellation for tests: report [`BudgetStop::Cancelled`]
+    /// once this many checks have passed.
+    cancel_after_ticks: Option<u64>,
+}
+
+impl RunBudget {
+    /// A budget that never stops a run — the unchecked entry points'
+    /// "garbage in, garbage out" contract.
+    pub fn unlimited() -> Self {
+        RunBudget::from_watchdog(Watchdog::unlimited())
+    }
+
+    /// A budget with only an epoch limit (no deadline, no cancellation).
+    pub fn with_limit(limit: u64) -> Self {
+        RunBudget::from_watchdog(Watchdog::with_limit(limit))
+    }
+
+    /// Wrap an existing watchdog.
+    pub fn from_watchdog(watchdog: Watchdog) -> Self {
+        RunBudget {
+            watchdog,
+            deadline: None,
+            cancel: None,
+            cancel_after_ticks: None,
+        }
+    }
+
+    /// The standard checked-run budget: epoch limit derived from the
+    /// theoretical maximum for `(g, delta)` (see [`Watchdog::for_run`]),
+    /// no deadline, no cancellation.
+    pub fn for_run(g: &CsrGraph, delta: f64, cfg: &GuardConfig) -> Self {
+        RunBudget::from_watchdog(Watchdog::for_run(g, delta, cfg))
+    }
+
+    /// Add an absolute wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Add a deadline `timeout` from now.
+    pub fn with_timeout(self, timeout: Duration) -> Self {
+        let deadline = Instant::now()
+            .checked_add(timeout)
+            .unwrap_or_else(|| Instant::now() + Duration::from_secs(86_400 * 365));
+        self.with_deadline(deadline)
+    }
+
+    /// Attach a cancellation token (a clone; the caller keeps the original
+    /// to flip).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Deterministic test hook: behave as if the cancel token flipped
+    /// after `n` successful checks (`n = 0` → the very first check
+    /// reports [`BudgetStop::Cancelled`]).
+    pub fn cancel_after(mut self, n: u64) -> Self {
+        self.cancel_after_ticks = Some(n);
+        self
+    }
+
+    /// A fresh budget for a degraded retry of the same run: the deadline
+    /// and cancellation token carry over (the caller's SLO does not reset
+    /// because a worker panicked), but the epoch count restarts.
+    pub fn retry_budget(&self, g: &CsrGraph, delta: f64, cfg: &GuardConfig) -> Self {
+        RunBudget {
+            watchdog: Watchdog::for_run(g, delta, cfg),
+            deadline: self.deadline,
+            cancel: self.cancel.clone(),
+            cancel_after_ticks: None,
+        }
+    }
+
+    /// Record one epoch and evaluate every stop condition. The order is
+    /// cancellation → deadline → epoch limit (see [`BudgetStop`]).
+    ///
+    /// Cost when nothing is armed: one counter increment and three branch
+    /// tests; `Instant::now()` is only taken when a deadline exists.
+    #[inline]
+    pub fn check(&mut self) -> Result<(), BudgetStop> {
+        // Reuse the watchdog's tick counter as the epoch count; evaluate
+        // its verdict last so cancellation/deadline win ties.
+        let epoch_verdict = self.watchdog.tick();
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(BudgetStop::Cancelled);
+            }
+        }
+        if let Some(n) = self.cancel_after_ticks {
+            if self.watchdog.ticks() > n {
+                return Err(BudgetStop::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(BudgetStop::DeadlineExceeded);
+            }
+        }
+        if epoch_verdict.is_err() {
+            return Err(BudgetStop::IterationLimit {
+                ticks: self.watchdog.ticks(),
+                limit: self.watchdog.limit(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Epochs recorded so far.
+    pub fn ticks(&self) -> u64 {
+        self.watchdog.ticks()
+    }
+
+    /// The epoch budget.
+    pub fn limit(&self) -> u64 {
+        self.watchdog.limit()
+    }
+
+    /// Time remaining before the deadline (`None` when no deadline is
+    /// set; zero when already past it).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_stops() {
+        let mut b = RunBudget::unlimited();
+        for _ in 0..10_000 {
+            assert!(b.check().is_ok());
+        }
+        assert_eq!(b.ticks(), 10_000);
+        assert_eq!(b.remaining(), None);
+    }
+
+    #[test]
+    fn epoch_limit_trips_like_the_watchdog() {
+        let mut b = RunBudget::with_limit(3);
+        assert!(b.check().is_ok());
+        assert!(b.check().is_ok());
+        assert!(b.check().is_ok());
+        assert_eq!(
+            b.check(),
+            Err(BudgetStop::IterationLimit { ticks: 4, limit: 3 })
+        );
+    }
+
+    #[test]
+    fn cancel_token_observed_at_next_check() {
+        let token = CancelToken::new();
+        let mut b = RunBudget::unlimited().with_cancel(token.clone());
+        assert!(b.check().is_ok());
+        assert!(!token.is_cancelled());
+        token.cancel();
+        assert!(token.is_cancelled());
+        assert_eq!(b.check(), Err(BudgetStop::Cancelled));
+        // Cancellation is sticky.
+        assert_eq!(b.check(), Err(BudgetStop::Cancelled));
+    }
+
+    #[test]
+    fn cancel_after_is_deterministic() {
+        let mut b = RunBudget::unlimited().cancel_after(2);
+        assert!(b.check().is_ok());
+        assert!(b.check().is_ok());
+        assert_eq!(b.check(), Err(BudgetStop::Cancelled));
+        // n = 0: first check already cancelled.
+        let mut b = RunBudget::unlimited().cancel_after(0);
+        assert_eq!(b.check(), Err(BudgetStop::Cancelled));
+    }
+
+    #[test]
+    fn past_deadline_stops() {
+        let mut b = RunBudget::unlimited().with_deadline(Instant::now() - Duration::from_secs(1));
+        assert_eq!(b.check(), Err(BudgetStop::DeadlineExceeded));
+        assert_eq!(b.remaining(), Some(Duration::ZERO));
+        let mut generous =
+            RunBudget::unlimited().with_timeout(Duration::from_secs(3600));
+        assert!(generous.check().is_ok());
+        assert!(generous.remaining().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn cancellation_wins_over_deadline_and_limit() {
+        let token = CancelToken::new();
+        token.cancel();
+        let mut b = RunBudget::with_limit(0)
+            .with_deadline(Instant::now() - Duration::from_secs(1))
+            .with_cancel(token);
+        assert_eq!(b.check(), Err(BudgetStop::Cancelled));
+    }
+
+    #[test]
+    fn retry_budget_keeps_deadline_and_token_but_resets_ticks() {
+        use graphdata::gen::grid2d;
+        let g = CsrGraph::from_edge_list(&grid2d(3, 3)).unwrap();
+        let token = CancelToken::new();
+        let cfg = GuardConfig::default();
+        let mut b = RunBudget::for_run(&g, 1.0, &cfg)
+            .with_timeout(Duration::from_secs(3600))
+            .with_cancel(token.clone());
+        for _ in 0..5 {
+            b.check().unwrap();
+        }
+        let retry = b.retry_budget(&g, 1.0, &cfg);
+        assert_eq!(retry.ticks(), 0);
+        assert!(retry.deadline.is_some());
+        token.cancel();
+        let mut retry = retry;
+        assert_eq!(retry.check(), Err(BudgetStop::Cancelled));
+    }
+}

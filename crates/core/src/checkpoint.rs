@@ -1,0 +1,278 @@
+//! Checkpointed partial results: what an interrupted delta-stepping run
+//! leaves behind, and the invariant that makes it usable.
+//!
+//! A delta-stepping run stopped at an epoch boundary (cancellation,
+//! deadline, watchdog trip) is not wasted work. The bucket invariant —
+//! once bucket `j` has been emptied, no later relaxation can improve a
+//! distance below `(j+1)·Δ` — means that at the moment bucket `i` is
+//! current, **every tentative distance strictly below `i·Δ` is already
+//! the final shortest-path distance**. [`Checkpoint::settled_below`]
+//! records that bound, turning a partial run into a certified partial
+//! answer.
+//!
+//! For the frontier-based implementations (fused, parallel, improved,
+//! atomic — all bit-identical to each other by construction), the
+//! checkpoint additionally captures the exact loop state (current bucket,
+//! pending frontier, settled set of the current bucket, counters), so
+//! [`crate::fused::delta_stepping_fused_resume`] and
+//! [`crate::parallel_improved::delta_stepping_parallel_improved_resume`]
+//! can continue the run and land on **bit-identical distances and stats**
+//! versus an uninterrupted run. The canonical and GraphBLAS
+//! implementations emit distance-only checkpoints (`resumable == false`):
+//! their internal state (bucket queue, masked GraphBLAS vectors) does not
+//! map onto the frontier loop, so a resume could reproduce the distances
+//! but not their exact counter provenance.
+
+use crate::budget::BudgetStop;
+use crate::guard::SsspError;
+use crate::stats::SsspStats;
+
+/// Where inside a bucket the run was stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopPoint {
+    /// At an outer epoch boundary: about to scan for the members of
+    /// `bucket`. The frontier and settled sets are empty.
+    BucketStart,
+    /// At a light-phase boundary inside `bucket`: the frontier holds the
+    /// vertices still to be light-relaxed, the settled set holds the
+    /// bucket members already processed this bucket.
+    LightPhase,
+}
+
+/// The state an interrupted run leaves behind.
+///
+/// Invariants (established by the emitting implementation, checked again
+/// by the resume entry points):
+///
+/// * `dist[v] < settled_below` implies `dist[v]` is the final
+///   shortest-path distance from `source` to `v`;
+/// * `settled_below == bucket as f64 * delta`;
+/// * when `stop_point == StopPoint::BucketStart`, `frontier` and
+///   `settled` are empty;
+/// * when `resumable`, replaying the frontier loop from this state is
+///   bit-identical (distances *and* [`SsspStats`]) to the uninterrupted
+///   run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Name of the implementation that emitted this checkpoint.
+    pub implementation: &'static str,
+    /// The run's source vertex.
+    pub source: usize,
+    /// The run's bucket width Δ.
+    pub delta: f64,
+    /// Tentative distances at the stop point (final below
+    /// [`Checkpoint::settled_below`]).
+    pub dist: Vec<f64>,
+    /// Counters accumulated up to the stop point.
+    pub stats: SsspStats,
+    /// The bucket index that was current when the run stopped.
+    pub bucket: usize,
+    /// Where inside the bucket the run stopped.
+    pub stop_point: StopPoint,
+    /// Vertices awaiting light relaxation (empty at
+    /// [`StopPoint::BucketStart`]).
+    pub frontier: Vec<usize>,
+    /// Current-bucket members already light-relaxed (empty at
+    /// [`StopPoint::BucketStart`]).
+    pub settled: Vec<usize>,
+    /// Whether the frontier loop can be resumed bit-identically from this
+    /// checkpoint (true for the fused/parallel/improved/atomic family).
+    pub resumable: bool,
+}
+
+impl Checkpoint {
+    /// The partial-result certificate: every `dist[v]` strictly below this
+    /// bound is the final shortest-path distance (the bucket invariant —
+    /// all buckets before `bucket` have been emptied, and relaxations out
+    /// of bucket `i` can only produce values `≥ i·Δ`).
+    pub fn settled_below(&self) -> f64 {
+        self.bucket as f64 * self.delta
+    }
+
+    /// Number of vertices whose distance is certified final.
+    pub fn settled_count(&self) -> usize {
+        let bound = self.settled_below();
+        self.dist.iter().filter(|&&d| d < bound).count()
+    }
+
+    /// Iterator over `(vertex, distance)` pairs certified final.
+    pub fn settled_distances(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let bound = self.settled_below();
+        self.dist
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(move |&(_, d)| d < bound)
+    }
+
+    /// Structural sanity check against the graph the checkpoint claims to
+    /// belong to. The resume entry points run this before trusting any
+    /// index in the checkpoint.
+    pub fn validate(&self, num_vertices: usize) -> Result<(), SsspError> {
+        let fail = |reason: &'static str| Err(SsspError::InvalidCheckpoint { reason });
+        if self.dist.len() != num_vertices {
+            return fail("distance vector length does not match the graph");
+        }
+        if self.source >= num_vertices {
+            return fail("source out of bounds");
+        }
+        if !(self.delta > 0.0 && self.delta.is_finite()) {
+            return fail("non-positive or non-finite delta");
+        }
+        if self.frontier.iter().chain(self.settled.iter()).any(|&v| v >= num_vertices) {
+            return fail("frontier/settled vertex out of bounds");
+        }
+        if self.stop_point == StopPoint::BucketStart
+            && !(self.frontier.is_empty() && self.settled.is_empty())
+        {
+            return fail("bucket-start checkpoint carries a frontier");
+        }
+        Ok(())
+    }
+}
+
+/// Borrowed view of a running implementation's state, used to build a
+/// [`Checkpoint`] at the instant a [`BudgetStop`] fires.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveState<'a> {
+    /// Emitting implementation's canonical name.
+    pub implementation: &'static str,
+    /// Run source.
+    pub source: usize,
+    /// Run Δ.
+    pub delta: f64,
+    /// Current tentative distances.
+    pub dist: &'a [f64],
+    /// Counters so far.
+    pub stats: &'a SsspStats,
+    /// Current bucket index.
+    pub bucket: usize,
+    /// Stop location within the bucket.
+    pub stop_point: StopPoint,
+    /// Pending frontier (empty at bucket start).
+    pub frontier: &'a [usize],
+    /// Settled set of the current bucket (empty at bucket start).
+    pub settled: &'a [usize],
+    /// Whether this implementation's checkpoints support bit-identical
+    /// resume.
+    pub resumable: bool,
+}
+
+impl LiveState<'_> {
+    /// Snapshot the live state into an owned [`Checkpoint`].
+    pub fn capture(&self) -> Checkpoint {
+        Checkpoint {
+            implementation: self.implementation,
+            source: self.source,
+            delta: self.delta,
+            dist: self.dist.to_vec(),
+            stats: self.stats.clone(),
+            bucket: self.bucket,
+            stop_point: self.stop_point,
+            frontier: self.frontier.to_vec(),
+            settled: self.settled.to_vec(),
+            resumable: self.resumable,
+        }
+    }
+
+    /// Wrap a [`BudgetStop`] into the matching [`SsspError`], carrying the
+    /// captured checkpoint.
+    pub fn stop(&self, stop: BudgetStop) -> SsspError {
+        let checkpoint = Box::new(self.capture());
+        match stop {
+            BudgetStop::Cancelled => SsspError::Cancelled { checkpoint },
+            BudgetStop::DeadlineExceeded => SsspError::DeadlineExceeded { checkpoint },
+            BudgetStop::IterationLimit { ticks, limit } => SsspError::IterationLimitExceeded {
+                ticks,
+                limit,
+                checkpoint: Some(checkpoint),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::INF;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            implementation: "fused",
+            source: 0,
+            delta: 0.5,
+            dist: vec![0.0, 0.4, 1.1, INF],
+            stats: SsspStats::default(),
+            bucket: 2,
+            stop_point: StopPoint::BucketStart,
+            frontier: Vec::new(),
+            settled: Vec::new(),
+            resumable: true,
+        }
+    }
+
+    #[test]
+    fn settled_bound_counts_only_finalized_vertices() {
+        let cp = sample();
+        assert_eq!(cp.settled_below(), 1.0);
+        assert_eq!(cp.settled_count(), 2); // 0.0 and 0.4; 1.1 and INF are not certified
+        let settled: Vec<_> = cp.settled_distances().collect();
+        assert_eq!(settled, vec![(0, 0.0), (1, 0.4)]);
+    }
+
+    #[test]
+    fn validate_rejects_structural_corruption() {
+        let cp = sample();
+        assert!(cp.validate(4).is_ok());
+        assert!(matches!(
+            cp.validate(5),
+            Err(SsspError::InvalidCheckpoint { .. })
+        ));
+        let mut bad = sample();
+        bad.delta = f64::NAN;
+        assert!(bad.validate(4).is_err());
+        let mut bad = sample();
+        bad.frontier = vec![99];
+        bad.stop_point = StopPoint::LightPhase;
+        assert!(bad.validate(4).is_err());
+        let mut bad = sample();
+        bad.frontier = vec![1];
+        // BucketStart must not carry a frontier.
+        assert!(bad.validate(4).is_err());
+    }
+
+    #[test]
+    fn live_state_capture_and_stop_wrap_the_budget_verdict() {
+        let stats = SsspStats::default();
+        let dist = [0.0, 0.3, INF];
+        let frontier = [2usize];
+        let settled = [1usize];
+        let live = LiveState {
+            implementation: "improved",
+            source: 0,
+            delta: 1.0,
+            dist: &dist,
+            stats: &stats,
+            bucket: 1,
+            stop_point: StopPoint::LightPhase,
+            frontier: &frontier,
+            settled: &settled,
+            resumable: true,
+        };
+        match live.stop(BudgetStop::Cancelled) {
+            SsspError::Cancelled { checkpoint } => {
+                assert_eq!(checkpoint.bucket, 1);
+                assert_eq!(checkpoint.frontier, vec![2]);
+                assert_eq!(checkpoint.settled, vec![1]);
+                assert_eq!(checkpoint.settled_below(), 1.0);
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        match live.stop(BudgetStop::IterationLimit { ticks: 7, limit: 6 }) {
+            SsspError::IterationLimitExceeded { ticks: 7, limit: 6, checkpoint: Some(cp) } => {
+                assert_eq!(cp.implementation, "improved");
+            }
+            other => panic!("expected IterationLimitExceeded, got {other:?}"),
+        }
+    }
+}

@@ -18,10 +18,15 @@ use std::time::Instant;
 use graphdata::CsrGraph;
 use taskpool::ThreadPool;
 
-use crate::fused::{delta_stepping_fused_with, FusedWorkspace, LightHeavy};
-use crate::guard::{SsspError, Watchdog};
+use crate::budget::RunBudget;
+use crate::checkpoint::Checkpoint;
+use crate::fused::{
+    delta_stepping_fused_resume_with, delta_stepping_fused_with, FusedWorkspace, LightHeavy,
+};
+use crate::guard::{self, GuardConfig, SsspError};
 use crate::parallel_improved::{
-    delta_stepping_parallel_improved_with, split_light_heavy_chunked, ImprovedWorkspace,
+    delta_stepping_parallel_improved_resume_with, delta_stepping_parallel_improved_with,
+    split_light_heavy_chunked, ImprovedWorkspace,
 };
 use crate::result::SsspResult;
 use crate::stats::PhaseProfile;
@@ -33,19 +38,23 @@ pub struct EngineStats {
     pub split_builds: usize,
     /// Runs served from a cached split.
     pub split_hits: usize,
+    /// `O(|V| + |E|)` weight-validation scans actually executed. Stays at
+    /// 1 across any number of checked runs on the same engine — the
+    /// verdict is cached alongside the split cache.
+    pub preflight_scans: usize,
 }
 
 /// Per-graph SSSP engine with a Δ-keyed split cache and warm workspaces.
 ///
 /// ```
 /// use graphdata::{gen::grid2d, CsrGraph};
-/// use sssp_core::{engine::SsspEngine, Watchdog};
+/// use sssp_core::{engine::SsspEngine, RunBudget};
 ///
 /// let g = CsrGraph::from_edge_list(&grid2d(8, 8)).unwrap();
 /// let mut engine = SsspEngine::new(&g);
 /// for src in [0, 9, 27] {
 ///     let (r, _) = engine
-///         .run_fused(src, 1.0, &mut Watchdog::unlimited())
+///         .run_fused(src, 1.0, &mut RunBudget::unlimited())
 ///         .unwrap();
 ///     assert_eq!(r.dist[src], 0.0);
 /// }
@@ -61,6 +70,10 @@ pub struct SsspEngine<'g> {
     splits: Vec<(u64, LightHeavy)>,
     fused_ws: FusedWorkspace,
     improved_ws: ImprovedWorkspace,
+    /// Cached verdict of the `O(|V| + |E|)` weight scan. The engine
+    /// borrows the graph immutably for its whole lifetime, so the verdict
+    /// can never go stale.
+    weights_verdict: Option<Result<(), SsspError>>,
     stats: EngineStats,
 }
 
@@ -73,6 +86,7 @@ impl<'g> SsspEngine<'g> {
             splits: Vec::new(),
             fused_ws: FusedWorkspace::new(n),
             improved_ws: ImprovedWorkspace::new(n),
+            weights_verdict: None,
             stats: EngineStats::default(),
         }
     }
@@ -88,9 +102,38 @@ impl<'g> SsspEngine<'g> {
     }
 
     /// Drop all cached splits (workspaces are kept — they are graph-sized,
-    /// not Δ-dependent).
+    /// not Δ-dependent). The preflight verdict survives: the graph cannot
+    /// have changed under the engine's borrow.
     pub fn clear_cache(&mut self) {
         self.splits.clear();
+    }
+
+    /// [`guard::preflight`] with the weight scan cached: the first call
+    /// pays `O(|V| + |E|)`, every later call on this engine only does the
+    /// `O(1)` source and Δ checks.
+    pub fn preflight(
+        &mut self,
+        source: usize,
+        delta: f64,
+        cfg: &GuardConfig,
+    ) -> Result<f64, SsspError> {
+        if source >= self.g.num_vertices() {
+            return Err(SsspError::SourceOutOfBounds {
+                source,
+                num_vertices: self.g.num_vertices(),
+            });
+        }
+        let verdict = match &self.weights_verdict {
+            Some(v) => v.clone(),
+            None => {
+                self.stats.preflight_scans += 1;
+                let v = guard::scan_weights(self.g);
+                self.weights_verdict = Some(v.clone());
+                v
+            }
+        };
+        verdict?;
+        guard::resolve_delta(self.g, delta, cfg)
     }
 
     /// Index of the split for `delta`, building it on a miss. Build time is
@@ -124,7 +167,7 @@ impl<'g> SsspEngine<'g> {
         &mut self,
         source: usize,
         delta: f64,
-        watchdog: &mut Watchdog,
+        budget: &mut RunBudget,
     ) -> Result<(SsspResult, PhaseProfile), SsspError> {
         if !(delta > 0.0 && delta.is_finite()) {
             return Err(SsspError::InvalidDelta { delta });
@@ -133,7 +176,7 @@ impl<'g> SsspEngine<'g> {
         let idx = self.split_index(None, delta, &mut profile);
         let lh = &self.splits[idx].1;
         let (result, loop_profile) =
-            delta_stepping_fused_with(self.g, lh, source, delta, watchdog, &mut self.fused_ws)?;
+            delta_stepping_fused_with(self.g, lh, source, delta, budget, &mut self.fused_ws)?;
         profile.relaxation += loop_profile.relaxation;
         profile.vector_ops += loop_profile.vector_ops;
         profile.matrix_filter += loop_profile.matrix_filter;
@@ -149,7 +192,7 @@ impl<'g> SsspEngine<'g> {
         pool: &ThreadPool,
         source: usize,
         delta: f64,
-        watchdog: &mut Watchdog,
+        budget: &mut RunBudget,
     ) -> Result<(SsspResult, PhaseProfile), SsspError> {
         if !(delta > 0.0 && delta.is_finite()) {
             return Err(SsspError::InvalidDelta { delta });
@@ -163,7 +206,52 @@ impl<'g> SsspEngine<'g> {
             lh,
             source,
             delta,
-            watchdog,
+            budget,
+            &mut self.improved_ws,
+        )?;
+        profile.relaxation += loop_profile.relaxation;
+        profile.vector_ops += loop_profile.vector_ops;
+        profile.matrix_filter += loop_profile.matrix_filter;
+        Ok((result, profile))
+    }
+
+    /// Resume an interrupted run on the sequential fused path, through
+    /// the split cache. Bit-identical to the uninterrupted run.
+    pub fn resume_fused(
+        &mut self,
+        cp: &Checkpoint,
+        budget: &mut RunBudget,
+    ) -> Result<(SsspResult, PhaseProfile), SsspError> {
+        cp.validate(self.g.num_vertices())?;
+        let mut profile = PhaseProfile::default();
+        let idx = self.split_index(None, cp.delta, &mut profile);
+        let lh = &self.splits[idx].1;
+        let (result, loop_profile) =
+            delta_stepping_fused_resume_with(self.g, lh, cp, budget, &mut self.fused_ws)?;
+        profile.relaxation += loop_profile.relaxation;
+        profile.vector_ops += loop_profile.vector_ops;
+        profile.matrix_filter += loop_profile.matrix_filter;
+        Ok((result, profile))
+    }
+
+    /// Resume an interrupted run on the parallel improved path, through
+    /// the split cache. Bit-identical to the uninterrupted run.
+    pub fn resume_parallel_improved(
+        &mut self,
+        pool: &ThreadPool,
+        cp: &Checkpoint,
+        budget: &mut RunBudget,
+    ) -> Result<(SsspResult, PhaseProfile), SsspError> {
+        cp.validate(self.g.num_vertices())?;
+        let mut profile = PhaseProfile::default();
+        let idx = self.split_index(Some(pool), cp.delta, &mut profile);
+        let lh = &self.splits[idx].1;
+        let (result, loop_profile) = delta_stepping_parallel_improved_resume_with(
+            pool,
+            self.g,
+            lh,
+            cp,
+            budget,
             &mut self.improved_ws,
         )?;
         profile.relaxation += loop_profile.relaxation;
@@ -196,7 +284,7 @@ mod tests {
         let g = test_graph();
         let mut engine = SsspEngine::new(&g);
         for src in [0, 11, 250, 0] {
-            let (cached, _) = engine.run_fused(src, 1.0, &mut Watchdog::unlimited()).unwrap();
+            let (cached, _) = engine.run_fused(src, 1.0, &mut RunBudget::unlimited()).unwrap();
             let direct = delta_stepping_fused(&g, src, 1.0);
             assert_eq!(cached.dist, direct.dist, "source {src}");
             assert_eq!(cached.stats, direct.stats, "source {src}");
@@ -212,7 +300,7 @@ mod tests {
         let mut engine = SsspEngine::new(&g);
         for src in [5, 77, 5] {
             let (cached, _) = engine
-                .run_parallel_improved(&pool, src, 1.0, &mut Watchdog::unlimited())
+                .run_parallel_improved(&pool, src, 1.0, &mut RunBudget::unlimited())
                 .unwrap();
             let direct = delta_stepping_parallel_improved(&pool, &g, src, 1.0);
             assert_eq!(cached.dist, direct.dist, "source {src}");
@@ -225,14 +313,14 @@ mod tests {
     fn distinct_deltas_get_distinct_splits() {
         let g = test_graph();
         let mut engine = SsspEngine::new(&g);
-        let wd = &mut Watchdog::unlimited();
-        engine.run_fused(0, 0.5, wd).unwrap();
-        engine.run_fused(0, 1.5, wd).unwrap();
-        engine.run_fused(0, 0.5, wd).unwrap();
+        let budget = &mut RunBudget::unlimited();
+        engine.run_fused(0, 0.5, budget).unwrap();
+        engine.run_fused(0, 1.5, budget).unwrap();
+        engine.run_fused(0, 0.5, budget).unwrap();
         assert_eq!(engine.stats().split_builds, 2);
         assert_eq!(engine.stats().split_hits, 1);
         engine.clear_cache();
-        engine.run_fused(0, 0.5, wd).unwrap();
+        engine.run_fused(0, 0.5, budget).unwrap();
         assert_eq!(engine.stats().split_builds, 3);
     }
 
@@ -240,9 +328,9 @@ mod tests {
     fn cache_hit_reports_zero_filter_time() {
         let g = test_graph();
         let mut engine = SsspEngine::new(&g);
-        let wd = &mut Watchdog::unlimited();
-        engine.run_fused(0, 1.0, wd).unwrap();
-        let (_, profile) = engine.run_fused(1, 1.0, wd).unwrap();
+        let budget = &mut RunBudget::unlimited();
+        engine.run_fused(0, 1.0, budget).unwrap();
+        let (_, profile) = engine.run_fused(1, 1.0, budget).unwrap();
         assert_eq!(profile.matrix_filter.as_nanos(), 0);
     }
 
@@ -251,11 +339,11 @@ mod tests {
         let g = test_graph();
         let mut engine = SsspEngine::new(&g);
         assert!(matches!(
-            engine.run_fused(0, f64::NAN, &mut Watchdog::unlimited()),
+            engine.run_fused(0, f64::NAN, &mut RunBudget::unlimited()),
             Err(SsspError::InvalidDelta { .. })
         ));
         assert!(matches!(
-            engine.run_fused(10_000, 1.0, &mut Watchdog::unlimited()),
+            engine.run_fused(10_000, 1.0, &mut RunBudget::unlimited()),
             Err(SsspError::SourceOutOfBounds { .. })
         ));
     }
@@ -265,11 +353,71 @@ mod tests {
         let g = test_graph();
         let pool = ThreadPool::with_threads(2).unwrap();
         let mut engine = SsspEngine::new(&g);
-        let wd = &mut Watchdog::unlimited();
-        engine.run_fused(0, 1.0, wd).unwrap();
+        let budget = &mut RunBudget::unlimited();
+        engine.run_fused(0, 1.0, budget).unwrap();
         // Same Δ: the parallel run reuses the sequentially built split.
-        engine.run_parallel_improved(&pool, 0, 1.0, wd).unwrap();
+        engine.run_parallel_improved(&pool, 0, 1.0, budget).unwrap();
         assert_eq!(engine.stats().split_builds, 1);
         assert_eq!(engine.stats().split_hits, 1);
+    }
+
+    #[test]
+    fn preflight_scans_once_across_repeated_runs() {
+        let g = test_graph();
+        let mut engine = SsspEngine::new(&g);
+        let cfg = GuardConfig::default();
+        for src in [0, 11, 250, 0, 42] {
+            let delta = engine.preflight(src, 1.0, &cfg).unwrap();
+            engine.run_fused(src, delta, &mut RunBudget::unlimited()).unwrap();
+        }
+        assert_eq!(engine.stats().preflight_scans, 1);
+        // The cached verdict still enforces the per-call O(1) checks.
+        assert!(matches!(
+            engine.preflight(10_000, 1.0, &cfg),
+            Err(SsspError::SourceOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            engine.preflight(0, f64::NAN, &cfg),
+            Err(SsspError::InvalidDelta { .. })
+        ));
+        assert_eq!(engine.stats().preflight_scans, 1);
+    }
+
+    #[test]
+    fn preflight_cache_replays_a_bad_verdict() {
+        let bad = CsrGraph::from_raw_parts_unchecked(2, vec![0, 1, 1], vec![1], vec![-3.0]);
+        let mut engine = SsspEngine::new(&bad);
+        let cfg = GuardConfig::default();
+        for _ in 0..3 {
+            assert!(matches!(
+                engine.preflight(0, 1.0, &cfg),
+                Err(SsspError::NegativeWeight { .. })
+            ));
+        }
+        assert_eq!(engine.stats().preflight_scans, 1);
+    }
+
+    #[test]
+    fn engine_resume_matches_uninterrupted_run() {
+        let g = test_graph();
+        let pool = ThreadPool::with_threads(4).unwrap();
+        let mut engine = SsspEngine::new(&g);
+        let full = engine.run_fused(3, 1.0, &mut RunBudget::unlimited()).unwrap().0;
+        for k in [0, 2, 7] {
+            let err = engine
+                .run_fused(3, 1.0, &mut RunBudget::unlimited().cancel_after(k))
+                .unwrap_err();
+            let cp = err.into_checkpoint().expect("cancellation carries a checkpoint");
+            let (seq, _) = engine.resume_fused(&cp, &mut RunBudget::unlimited()).unwrap();
+            assert_eq!(seq.dist, full.dist, "fused resume, epoch {k}");
+            assert_eq!(seq.stats, full.stats, "fused resume, epoch {k}");
+            let (par, _) = engine
+                .resume_parallel_improved(&pool, &cp, &mut RunBudget::unlimited())
+                .unwrap();
+            assert_eq!(par.dist, full.dist, "improved resume, epoch {k}");
+            assert_eq!(par.stats, full.stats, "improved resume, epoch {k}");
+        }
+        // All resumes reused the single cached split.
+        assert_eq!(engine.stats().split_builds, 1);
     }
 }

@@ -19,8 +19,10 @@ use std::time::Instant;
 
 use graphdata::CsrGraph;
 
+use crate::budget::RunBudget;
+use crate::checkpoint::{Checkpoint, LiveState, StopPoint};
 use crate::delta::bucket_of;
-use crate::guard::{SsspError, Watchdog};
+use crate::guard::SsspError;
 use crate::result::SsspResult;
 use crate::stats::PhaseProfile;
 use crate::INF;
@@ -178,18 +180,20 @@ pub fn delta_stepping_fused_profiled(
     delta: f64,
 ) -> (SsspResult, PhaseProfile) {
     assert!(delta > 0.0 && delta.is_finite(), "delta must be positive and finite");
-    delta_stepping_fused_checked(g, source, delta, &mut Watchdog::unlimited())
-        .expect("inputs asserted valid and the watchdog is unlimited")
+    delta_stepping_fused_checked(g, source, delta, &mut RunBudget::unlimited())
+        .expect("inputs asserted valid and the budget is unlimited")
 }
 
-/// [`delta_stepping_fused`] under a [`Watchdog`]: returns [`SsspError`]
-/// instead of panicking on a bad Δ or source, and trips the watchdog
-/// instead of looping forever on malformed weight data.
+/// [`delta_stepping_fused`] under a [`RunBudget`]: returns [`SsspError`]
+/// instead of panicking on a bad Δ or source, trips the epoch budget
+/// instead of looping forever on malformed weight data, and observes
+/// cancellation/deadlines at every epoch boundary — emitting a
+/// resumable [`Checkpoint`] inside the error when stopped.
 pub fn delta_stepping_fused_checked(
     g: &CsrGraph,
     source: usize,
     delta: f64,
-    watchdog: &mut Watchdog,
+    budget: &mut RunBudget,
 ) -> Result<(SsspResult, PhaseProfile), SsspError> {
     if !(delta > 0.0 && delta.is_finite()) {
         return Err(SsspError::InvalidDelta { delta });
@@ -200,7 +204,7 @@ pub fn delta_stepping_fused_checked(
     let filter_time = t0.elapsed();
     let mut ws = FusedWorkspace::new(g.num_vertices());
     let (result, mut profile) =
-        delta_stepping_fused_with(g, &lh, source, delta, watchdog, &mut ws)?;
+        delta_stepping_fused_with(g, &lh, source, delta, budget, &mut ws)?;
     profile.matrix_filter += filter_time;
     Ok((result, profile))
 }
@@ -214,8 +218,60 @@ pub fn delta_stepping_fused_with(
     lh: &LightHeavy,
     source: usize,
     delta: f64,
-    watchdog: &mut Watchdog,
+    budget: &mut RunBudget,
     ws: &mut FusedWorkspace,
+) -> Result<(SsspResult, PhaseProfile), SsspError> {
+    fused_loop(g, lh, source, delta, budget, ws, None)
+}
+
+/// Resume an interrupted fused run from a [`Checkpoint`], rebuilding the
+/// light/heavy split. The continued run is **bit-identical** (distances
+/// and [`crate::SsspStats`]) to an uninterrupted run — the checkpoint
+/// captures the loop state exactly at an epoch boundary, and the loop is
+/// deterministic from there.
+pub fn delta_stepping_fused_resume(
+    g: &CsrGraph,
+    cp: &Checkpoint,
+    budget: &mut RunBudget,
+) -> Result<(SsspResult, PhaseProfile), SsspError> {
+    cp.validate(g.num_vertices())?;
+    let t0 = Instant::now();
+    let lh = LightHeavy::build(g, cp.delta);
+    let filter_time = t0.elapsed();
+    let mut ws = FusedWorkspace::new(g.num_vertices());
+    let (result, mut profile) = delta_stepping_fused_resume_with(g, &lh, cp, budget, &mut ws)?;
+    profile.matrix_filter += filter_time;
+    Ok((result, profile))
+}
+
+/// [`delta_stepping_fused_resume`] over a prebuilt split and caller-owned
+/// workspace (the [`crate::engine::SsspEngine`] resume path).
+pub fn delta_stepping_fused_resume_with(
+    g: &CsrGraph,
+    lh: &LightHeavy,
+    cp: &Checkpoint,
+    budget: &mut RunBudget,
+    ws: &mut FusedWorkspace,
+) -> Result<(SsspResult, PhaseProfile), SsspError> {
+    cp.validate(g.num_vertices())?;
+    if !cp.resumable {
+        return Err(SsspError::InvalidCheckpoint {
+            reason: "checkpoint was emitted by a non-resumable implementation",
+        });
+    }
+    fused_loop(g, lh, cp.source, cp.delta, budget, ws, Some(cp))
+}
+
+/// The fused main loop, optionally continuing from a checkpoint instead of
+/// starting at the source's bucket.
+fn fused_loop(
+    g: &CsrGraph,
+    lh: &LightHeavy,
+    source: usize,
+    delta: f64,
+    budget: &mut RunBudget,
+    ws: &mut FusedWorkspace,
+    resume: Option<&Checkpoint>,
 ) -> Result<(SsspResult, PhaseProfile), SsspError> {
     if !(delta > 0.0 && delta.is_finite()) {
         return Err(SsspError::InvalidDelta { delta });
@@ -239,39 +295,85 @@ pub fn delta_stepping_fused_with(
     frontier.clear();
     settled.clear();
 
+    let mut i = bucket_of(0.0, delta); // source's bucket: 0
+    // Continuing mid-bucket re-enters the light-phase loop with the saved
+    // frontier/settled sets, skipping the outer boundary work (budget
+    // check, bucket scan, buckets_processed) that already happened before
+    // the interruption.
+    let mut entering_mid = false;
+    if let Some(cp) = resume {
+        result.dist.clone_from(&cp.dist);
+        result.stats = cp.stats.clone();
+        i = cp.bucket;
+        frontier.extend_from_slice(&cp.frontier);
+        settled.extend_from_slice(&cp.settled);
+        entering_mid = cp.stop_point == StopPoint::LightPhase;
+    }
+
     let t = &mut result.dist;
 
-    let mut i = bucket_of(0.0, delta); // source's bucket: 0
     loop {
-        watchdog.tick()?;
-        // Vector phase: find the members of bucket i (one scan of t), or
-        // the next non-empty bucket if i is empty.
-        let t0 = Instant::now();
-        frontier.clear();
-        let mut next_bucket = usize::MAX;
-        for (v, &tv) in t.iter().enumerate() {
-            let b = bucket_of(tv, delta);
-            if b == i {
-                frontier.push(v);
-            } else if b > i && b < next_bucket {
-                next_bucket = b;
+        if entering_mid {
+            entering_mid = false;
+        } else {
+            if let Err(stop) = budget.check() {
+                return Err(LiveState {
+                    implementation: "fused",
+                    source,
+                    delta,
+                    dist: t,
+                    stats: &result.stats,
+                    bucket: i,
+                    stop_point: StopPoint::BucketStart,
+                    frontier: &[],
+                    settled: &[],
+                    resumable: true,
+                }
+                .stop(stop));
             }
-        }
-        profile.vector_ops += t0.elapsed();
-        if frontier.is_empty() {
-            if next_bucket == usize::MAX {
-                break; // no vertex at distance >= i*delta: done
+            // Vector phase: find the members of bucket i (one scan of t), or
+            // the next non-empty bucket if i is empty.
+            let t0 = Instant::now();
+            frontier.clear();
+            let mut next_bucket = usize::MAX;
+            for (v, &tv) in t.iter().enumerate() {
+                let b = bucket_of(tv, delta);
+                if b == i {
+                    frontier.push(v);
+                } else if b > i && b < next_bucket {
+                    next_bucket = b;
+                }
             }
-            i = next_bucket;
-            continue;
-        }
+            profile.vector_ops += t0.elapsed();
+            if frontier.is_empty() {
+                if next_bucket == usize::MAX {
+                    break; // no vertex at distance >= i*delta: done
+                }
+                i = next_bucket;
+                continue;
+            }
 
-        result.stats.buckets_processed += 1;
-        settled.clear();
+            result.stats.buckets_processed += 1;
+            settled.clear();
+        }
 
         // Light-edge phases until the bucket stops refilling.
         while !frontier.is_empty() {
-            watchdog.tick()?;
+            if let Err(stop) = budget.check() {
+                return Err(LiveState {
+                    implementation: "fused",
+                    source,
+                    delta,
+                    dist: t,
+                    stats: &result.stats,
+                    bucket: i,
+                    stop_point: StopPoint::LightPhase,
+                    frontier,
+                    settled,
+                    resumable: true,
+                }
+                .stop(stop));
+            }
             result.stats.light_phases += 1;
             // Fusion 1: t_Req = A_L^T (t ∘ t_Bi) in one scatter loop.
             let t0 = Instant::now();
@@ -408,14 +510,14 @@ mod tests {
     fn checked_rejects_bad_inputs_and_trips_watchdog() {
         let g = CsrGraph::from_edge_list(&path(8)).unwrap();
         assert!(matches!(
-            delta_stepping_fused_checked(&g, 0, f64::NAN, &mut Watchdog::unlimited()),
+            delta_stepping_fused_checked(&g, 0, f64::NAN, &mut RunBudget::unlimited()),
             Err(SsspError::InvalidDelta { .. })
         ));
         assert!(matches!(
-            delta_stepping_fused_checked(&g, 100, 1.0, &mut Watchdog::unlimited()),
+            delta_stepping_fused_checked(&g, 100, 1.0, &mut RunBudget::unlimited()),
             Err(SsspError::SourceOutOfBounds { .. })
         ));
-        let mut tight = Watchdog::with_limit(2);
+        let mut tight = RunBudget::with_limit(2);
         assert!(matches!(
             delta_stepping_fused_checked(&g, 0, 1.0, &mut tight),
             Err(SsspError::IterationLimitExceeded { .. })
@@ -427,9 +529,9 @@ mod tests {
             vec![1, 0],
             vec![0.5, -1.0],
         );
-        let mut wd = Watchdog::with_limit(1000);
+        let mut budget = RunBudget::with_limit(1000);
         assert!(matches!(
-            delta_stepping_fused_checked(&cyc, 0, 1.0, &mut wd),
+            delta_stepping_fused_checked(&cyc, 0, 1.0, &mut budget),
             Err(SsspError::IterationLimitExceeded { .. })
         ));
     }
@@ -438,9 +540,76 @@ mod tests {
     fn checked_matches_unchecked_on_valid_input() {
         let g = CsrGraph::from_edge_list(&grid2d(6, 6)).unwrap();
         let plain = delta_stepping_fused(&g, 0, 1.0);
-        let mut wd = Watchdog::for_run(&g, 1.0, &crate::guard::GuardConfig::default());
-        let (checked, _) = delta_stepping_fused_checked(&g, 0, 1.0, &mut wd).unwrap();
+        let mut budget = RunBudget::for_run(&g, 1.0, &crate::guard::GuardConfig::default());
+        let (checked, _) = delta_stepping_fused_checked(&g, 0, 1.0, &mut budget).unwrap();
         assert_eq!(plain.dist, checked.dist);
+    }
+
+    #[test]
+    fn watchdog_trip_carries_a_checkpoint_with_partial_progress() {
+        let g = CsrGraph::from_edge_list(&path(16)).unwrap();
+        let err = delta_stepping_fused_checked(&g, 0, 1.0, &mut RunBudget::with_limit(6))
+            .unwrap_err();
+        let cp = err.checkpoint().expect("checked fused runs checkpoint on trip");
+        assert!(cp.resumable);
+        // Everything certified settled must match the full run exactly.
+        let full = delta_stepping_fused(&g, 0, 1.0);
+        for (v, d) in cp.settled_distances() {
+            assert_eq!(d.to_bits(), full.dist[v].to_bits(), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn resume_is_bit_identical_at_every_cancellation_epoch() {
+        let g = CsrGraph::from_edge_list(&grid2d(7, 5)).unwrap();
+        let delta = 1.0;
+        let full = {
+            let mut b = RunBudget::unlimited();
+            delta_stepping_fused_checked(&g, 0, delta, &mut b).unwrap().0
+        };
+        // Count the epochs of the uninterrupted run, then cancel at each one.
+        let total_epochs = {
+            let mut b = RunBudget::unlimited();
+            delta_stepping_fused_checked(&g, 0, delta, &mut b).unwrap();
+            b.ticks()
+        };
+        for k in 0..total_epochs {
+            let err = delta_stepping_fused_checked(
+                &g,
+                0,
+                delta,
+                &mut RunBudget::unlimited().cancel_after(k),
+            )
+            .unwrap_err();
+            let cp = err.into_checkpoint().expect("cancellation carries a checkpoint");
+            let (resumed, _) =
+                delta_stepping_fused_resume(&g, &cp, &mut RunBudget::unlimited()).unwrap();
+            assert_eq!(
+                resumed.dist.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+                full.dist.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+                "cancelled at epoch {k}"
+            );
+            assert_eq!(resumed.stats, full.stats, "cancelled at epoch {k}");
+        }
+    }
+
+    #[test]
+    fn resume_rejects_corrupt_and_foreign_checkpoints() {
+        let g = CsrGraph::from_edge_list(&path(8)).unwrap();
+        let err = delta_stepping_fused_checked(&g, 0, 1.0, &mut RunBudget::with_limit(2))
+            .unwrap_err();
+        let cp = err.into_checkpoint().unwrap();
+        let mut foreign = cp.clone();
+        foreign.resumable = false;
+        assert!(matches!(
+            delta_stepping_fused_resume(&g, &foreign, &mut RunBudget::unlimited()),
+            Err(SsspError::InvalidCheckpoint { .. })
+        ));
+        let other = CsrGraph::from_edge_list(&path(4)).unwrap();
+        assert!(matches!(
+            delta_stepping_fused_resume(&other, &cp, &mut RunBudget::unlimited()),
+            Err(SsspError::InvalidCheckpoint { .. })
+        ));
     }
 
     #[test]

@@ -24,6 +24,7 @@ use std::fmt;
 
 use graphdata::CsrGraph;
 
+use crate::checkpoint::Checkpoint;
 use crate::delta::DeltaStrategy;
 
 /// Everything that can go wrong in a checked SSSP run.
@@ -80,6 +81,30 @@ pub enum SsspError {
         ticks: u64,
         /// The budget that was exceeded.
         limit: u64,
+        /// Partial-result checkpoint captured at the trip point (absent
+        /// only when the bare [`Watchdog`] is used outside a
+        /// checkpoint-aware loop).
+        checkpoint: Option<Box<Checkpoint>>,
+    },
+    /// The run's [`CancelToken`](crate::budget::CancelToken) was flipped.
+    /// The work done so far is preserved in the checkpoint.
+    Cancelled {
+        /// Partial-result checkpoint captured at the cancellation point.
+        checkpoint: Box<Checkpoint>,
+    },
+    /// The run's wall-clock deadline passed. The work done so far is
+    /// preserved in the checkpoint.
+    DeadlineExceeded {
+        /// Partial-result checkpoint captured when the deadline fired.
+        checkpoint: Box<Checkpoint>,
+    },
+    /// A checkpoint handed to a `resume_from` entry point is structurally
+    /// inconsistent with the graph (wrong vertex count, out-of-bounds
+    /// indices, degenerate Δ) or was emitted by a non-resumable
+    /// implementation.
+    InvalidCheckpoint {
+        /// What failed validation.
+        reason: &'static str,
     },
     /// A worker task panicked during a parallel run and degradation to
     /// the sequential path was disabled.
@@ -87,6 +112,32 @@ pub enum SsspError {
         /// Stringified panic payload.
         message: String,
     },
+}
+
+impl SsspError {
+    /// The partial-result checkpoint carried by this error, when one was
+    /// captured (cancellation, deadline, and checkpoint-aware watchdog
+    /// trips).
+    pub fn checkpoint(&self) -> Option<&Checkpoint> {
+        match self {
+            SsspError::Cancelled { checkpoint } | SsspError::DeadlineExceeded { checkpoint } => {
+                Some(checkpoint)
+            }
+            SsspError::IterationLimitExceeded { checkpoint, .. } => checkpoint.as_deref(),
+            _ => None,
+        }
+    }
+
+    /// Take ownership of the carried checkpoint, if any.
+    pub fn into_checkpoint(self) -> Option<Checkpoint> {
+        match self {
+            SsspError::Cancelled { checkpoint } | SsspError::DeadlineExceeded { checkpoint } => {
+                Some(*checkpoint)
+            }
+            SsspError::IterationLimitExceeded { checkpoint, .. } => checkpoint.map(|c| *c),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for SsspError {
@@ -118,11 +169,39 @@ impl fmt::Display for SsspError {
             SsspError::InvalidDelta { delta } => {
                 write!(f, "delta must be positive and finite, got {delta}")
             }
-            SsspError::IterationLimitExceeded { ticks, limit } => write!(
+            SsspError::IterationLimitExceeded { ticks, limit, checkpoint } => {
+                write!(
+                    f,
+                    "iteration watchdog tripped after {ticks} epochs (limit {limit}); \
+                     input is malformed or delta is impractically small"
+                )?;
+                if let Some(cp) = checkpoint {
+                    write!(
+                        f,
+                        " (partial result: {} distances settled below {})",
+                        cp.settled_count(),
+                        cp.settled_below()
+                    )?;
+                }
+                Ok(())
+            }
+            SsspError::Cancelled { checkpoint } => write!(
                 f,
-                "iteration watchdog tripped after {ticks} epochs (limit {limit}); \
-                 input is malformed or delta is impractically small"
+                "run cancelled at bucket {} (partial result: {} distances settled below {})",
+                checkpoint.bucket,
+                checkpoint.settled_count(),
+                checkpoint.settled_below()
             ),
+            SsspError::DeadlineExceeded { checkpoint } => write!(
+                f,
+                "deadline exceeded at bucket {} (partial result: {} distances settled below {})",
+                checkpoint.bucket,
+                checkpoint.settled_count(),
+                checkpoint.settled_below()
+            ),
+            SsspError::InvalidCheckpoint { reason } => {
+                write!(f, "cannot resume from checkpoint: {reason}")
+            }
             SsspError::WorkerPanicked { message } => {
                 write!(f, "parallel worker panicked: {message}")
             }
@@ -179,6 +258,15 @@ pub fn preflight(
             num_vertices: g.num_vertices(),
         });
     }
+    scan_weights(g)?;
+    resolve_delta(g, delta, cfg)
+}
+
+/// The `O(|V| + |E|)` weight-validation scan of [`preflight`], exposed
+/// separately so callers with a per-graph lifetime — the
+/// [`crate::engine::SsspEngine`] — can run it once and cache the verdict
+/// across repeated runs on the same graph.
+pub fn scan_weights(g: &CsrGraph) -> Result<(), SsspError> {
     for (src, dst, weight) in g.iter_edges() {
         if !weight.is_finite() {
             return Err(SsspError::NonFiniteWeight { src, dst, weight });
@@ -187,6 +275,12 @@ pub fn preflight(
             return Err(SsspError::NegativeWeight { src, dst, weight });
         }
     }
+    Ok(())
+}
+
+/// The Δ-resolution half of [`preflight`]: accept a positive finite Δ,
+/// or (with [`GuardConfig::delta_fallback`]) derive a replacement.
+pub fn resolve_delta(g: &CsrGraph, delta: f64, cfg: &GuardConfig) -> Result<f64, SsspError> {
     if delta.is_finite() && delta > 0.0 {
         Ok(delta)
     } else if cfg.delta_fallback {
@@ -276,6 +370,7 @@ impl Watchdog {
             Err(SsspError::IterationLimitExceeded {
                 ticks: self.ticks,
                 limit: self.limit,
+                checkpoint: None,
             })
         } else {
             Ok(())
@@ -386,7 +481,14 @@ mod tests {
         assert!(wd.tick().is_ok());
         assert!(wd.tick().is_ok());
         let err = wd.tick().unwrap_err();
-        assert_eq!(err, SsspError::IterationLimitExceeded { ticks: 4, limit: 3 });
+        assert_eq!(
+            err,
+            SsspError::IterationLimitExceeded {
+                ticks: 4,
+                limit: 3,
+                checkpoint: None
+            }
+        );
         assert_eq!(wd.ticks(), 4);
     }
 
@@ -410,7 +512,12 @@ mod tests {
         }
         .to_string();
         assert!(text.contains('3') && text.contains('7') && text.contains("NaN"));
-        let text = SsspError::IterationLimitExceeded { ticks: 11, limit: 10 }.to_string();
+        let text = SsspError::IterationLimitExceeded {
+            ticks: 11,
+            limit: 10,
+            checkpoint: None,
+        }
+        .to_string();
         assert!(text.contains("11") && text.contains("10"));
         let text = SsspError::WorkerPanicked {
             message: "boom".into(),

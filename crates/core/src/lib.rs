@@ -36,9 +36,12 @@
 //! assert_eq!(ds.dist[63], 14.0); // Manhattan distance across the grid
 //! ```
 
+pub mod batch;
 pub mod bellman_ford;
 pub mod buckets;
+pub mod budget;
 pub mod canonical;
+pub mod checkpoint;
 pub mod delta;
 pub mod dijkstra;
 pub mod engine;
@@ -59,9 +62,12 @@ pub mod schedule;
 pub mod stats;
 pub mod validate;
 
+pub use batch::{BatchConfig, BatchOutcome, BatchReport, BatchRunner};
+pub use budget::{BudgetStop, CancelToken, RunBudget};
+pub use checkpoint::{Checkpoint, StopPoint};
 pub use guard::{GuardConfig, SsspError, Watchdog};
 pub use result::SsspResult;
-pub use run::{run_checked, Implementation, RunReport};
+pub use run::{run_checked, run_with_budget, Implementation, RunReport};
 pub use stats::SsspStats;
 
 /// The distance value used for unreachable vertices.

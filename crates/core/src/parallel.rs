@@ -17,9 +17,11 @@ use std::time::Instant;
 use graphdata::CsrGraph;
 use taskpool::{join, scope_collect, split_evenly, ThreadPool};
 
+use crate::budget::RunBudget;
+use crate::checkpoint::{LiveState, StopPoint};
 use crate::delta::bucket_of;
 use crate::fused::LightHeavy;
-use crate::guard::{SsspError, Watchdog};
+use crate::guard::SsspError;
 use crate::result::SsspResult;
 use crate::stats::PhaseProfile;
 use crate::INF;
@@ -127,13 +129,16 @@ pub fn delta_stepping_parallel_profiled(
     delta: f64,
 ) -> (SsspResult, PhaseProfile) {
     assert!(delta > 0.0 && delta.is_finite(), "delta must be positive and finite");
-    delta_stepping_parallel_checked(pool, g, source, delta, &mut Watchdog::unlimited())
-        .expect("inputs asserted valid and the watchdog is unlimited")
+    delta_stepping_parallel_checked(pool, g, source, delta, &mut RunBudget::unlimited())
+        .expect("inputs asserted valid and the budget is unlimited")
 }
 
-/// [`delta_stepping_parallel`] under a [`Watchdog`]: returns
-/// [`SsspError`] instead of panicking on a bad Δ or source, and trips
-/// the watchdog instead of looping forever on malformed weight data.
+/// [`delta_stepping_parallel`] under a [`RunBudget`]: returns
+/// [`SsspError`] instead of panicking on a bad Δ or source, trips the
+/// epoch budget instead of looping forever on malformed weight data, and
+/// observes cancellation/deadlines at every epoch boundary, emitting a
+/// resumable checkpoint (this implementation is bit-identical to the
+/// fused loop, so its checkpoints resume on the fused/improved paths).
 /// Worker panics still propagate; wrap the call in
 /// [`taskpool::install_try`] (as [`crate::run::run_checked`] does) to
 /// convert them into errors.
@@ -142,7 +147,7 @@ pub fn delta_stepping_parallel_checked(
     g: &CsrGraph,
     source: usize,
     delta: f64,
-    watchdog: &mut Watchdog,
+    budget: &mut RunBudget,
 ) -> Result<(SsspResult, PhaseProfile), SsspError> {
     if !(delta > 0.0 && delta.is_finite()) {
         return Err(SsspError::InvalidDelta { delta });
@@ -168,7 +173,21 @@ pub fn delta_stepping_parallel_checked(
 
     let mut i = 0usize;
     loop {
-        watchdog.tick()?;
+        if let Err(stop) = budget.check() {
+            return Err(LiveState {
+                implementation: "parallel",
+                source,
+                delta,
+                dist: &result.dist,
+                stats: &result.stats,
+                bucket: i,
+                stop_point: StopPoint::BucketStart,
+                frontier: &[],
+                settled: &[],
+                resumable: true,
+            }
+            .stop(stop));
+        }
         let t0 = Instant::now();
         let next = scan_bucket_parallel(pool, &result.dist, delta, i, &mut frontier);
         profile.vector_ops += t0.elapsed();
@@ -183,7 +202,21 @@ pub fn delta_stepping_parallel_checked(
         settled.clear();
 
         while !frontier.is_empty() {
-            watchdog.tick()?;
+            if let Err(stop) = budget.check() {
+                return Err(LiveState {
+                    implementation: "parallel",
+                    source,
+                    delta,
+                    dist: &result.dist,
+                    stats: &result.stats,
+                    bucket: i,
+                    stop_point: StopPoint::LightPhase,
+                    frontier: &frontier,
+                    settled: &settled,
+                    resumable: true,
+                }
+                .stop(stop));
+            }
             result.stats.light_phases += 1;
             // Sequential relaxation (the paper's scheme).
             let t0 = Instant::now();

@@ -28,9 +28,11 @@ use graphdata::CsrGraph;
 use parking_lot::Mutex;
 use taskpool::{scope, split_evenly, ThreadPool};
 
+use crate::budget::RunBudget;
+use crate::checkpoint::{LiveState, StopPoint};
 use crate::delta::bucket_of;
 use crate::fused::LightHeavy;
-use crate::guard::{SsspError, Watchdog};
+use crate::guard::SsspError;
 use crate::parallel_improved::split_light_heavy_chunked;
 use crate::result::SsspResult;
 use crate::stats::PhaseProfile;
@@ -171,14 +173,17 @@ pub fn delta_stepping_parallel_atomic(
     delta: f64,
 ) -> SsspResult {
     assert!(delta > 0.0 && delta.is_finite(), "delta must be positive and finite");
-    delta_stepping_parallel_atomic_checked(pool, g, source, delta, &mut Watchdog::unlimited())
-        .expect("inputs asserted valid and the watchdog is unlimited")
+    delta_stepping_parallel_atomic_checked(pool, g, source, delta, &mut RunBudget::unlimited())
+        .expect("inputs asserted valid and the budget is unlimited")
         .0
 }
 
-/// [`delta_stepping_parallel_atomic`] under a [`Watchdog`]: returns
-/// [`SsspError`] instead of panicking on a bad Δ or source, and trips
-/// the watchdog instead of looping forever on malformed weight data.
+/// [`delta_stepping_parallel_atomic`] under a [`RunBudget`]: returns
+/// [`SsspError`] instead of panicking on a bad Δ or source, trips the
+/// epoch budget instead of looping forever on malformed weight data, and
+/// observes cancellation/deadlines at every epoch boundary, emitting a
+/// resumable checkpoint (this implementation is bit-identical to the
+/// fused loop, so its checkpoints resume on the fused/improved paths).
 /// Worker panics still propagate; wrap the call in
 /// [`taskpool::install_try`] (as [`crate::run::run_checked`] does) to
 /// convert them into errors.
@@ -187,7 +192,7 @@ pub fn delta_stepping_parallel_atomic_checked(
     g: &CsrGraph,
     source: usize,
     delta: f64,
-    watchdog: &mut Watchdog,
+    budget: &mut RunBudget,
 ) -> Result<(SsspResult, PhaseProfile), SsspError> {
     if !(delta > 0.0 && delta.is_finite()) {
         return Err(SsspError::InvalidDelta { delta });
@@ -213,7 +218,21 @@ pub fn delta_stepping_parallel_atomic_checked(
 
     let mut i = 0usize;
     loop {
-        watchdog.tick()?;
+        if let Err(stop) = budget.check() {
+            return Err(LiveState {
+                implementation: "atomic",
+                source,
+                delta,
+                dist: &result.dist,
+                stats: &result.stats,
+                bucket: i,
+                stop_point: StopPoint::BucketStart,
+                frontier: &[],
+                settled: &[],
+                resumable: true,
+            }
+            .stop(stop));
+        }
         let t0 = Instant::now();
         let next = crate::parallel::scan_bucket_parallel(pool, &result.dist, delta, i, &mut frontier);
         profile.vector_ops += t0.elapsed();
@@ -228,7 +247,21 @@ pub fn delta_stepping_parallel_atomic_checked(
         settled.clear();
 
         while !frontier.is_empty() {
-            watchdog.tick()?;
+            if let Err(stop) = budget.check() {
+                return Err(LiveState {
+                    implementation: "atomic",
+                    source,
+                    delta,
+                    dist: &result.dist,
+                    stats: &result.stats,
+                    bucket: i,
+                    stop_point: StopPoint::LightPhase,
+                    frontier: &frontier,
+                    settled: &settled,
+                    resumable: true,
+                }
+                .stop(stop));
+            }
             result.stats.light_phases += 1;
             let t0 = Instant::now();
             relax_atomic(

@@ -28,9 +28,11 @@ use std::time::Instant;
 use graphdata::CsrGraph;
 use taskpool::{scope_collect, split_evenly, ThreadPool};
 
+use crate::budget::RunBudget;
+use crate::checkpoint::{Checkpoint, LiveState, StopPoint};
 use crate::delta::bucket_of;
 use crate::fused::LightHeavy;
-use crate::guard::{SsspError, Watchdog};
+use crate::guard::SsspError;
 use crate::reqbuf::{relax_buffered, RelaxWorkspace};
 use crate::result::SsspResult;
 use crate::stats::PhaseProfile;
@@ -152,13 +154,15 @@ pub fn delta_stepping_parallel_improved_profiled(
     delta: f64,
 ) -> (SsspResult, PhaseProfile) {
     assert!(delta > 0.0 && delta.is_finite(), "delta must be positive and finite");
-    delta_stepping_parallel_improved_checked(pool, g, source, delta, &mut Watchdog::unlimited())
-        .expect("inputs asserted valid and the watchdog is unlimited")
+    delta_stepping_parallel_improved_checked(pool, g, source, delta, &mut RunBudget::unlimited())
+        .expect("inputs asserted valid and the budget is unlimited")
 }
 
-/// [`delta_stepping_parallel_improved`] under a [`Watchdog`]: returns
-/// [`SsspError`] instead of panicking on a bad Δ or source, and trips
-/// the watchdog instead of looping forever on malformed weight data.
+/// [`delta_stepping_parallel_improved`] under a [`RunBudget`]: returns
+/// [`SsspError`] instead of panicking on a bad Δ or source, trips the
+/// epoch budget instead of looping forever on malformed weight data, and
+/// observes cancellation/deadlines at every epoch boundary — emitting a
+/// resumable [`Checkpoint`] inside the error when stopped.
 /// Worker panics still propagate; wrap the call in
 /// [`taskpool::install_try`] (as [`crate::run::run_checked`] does) to
 /// convert them into errors.
@@ -167,7 +171,7 @@ pub fn delta_stepping_parallel_improved_checked(
     g: &CsrGraph,
     source: usize,
     delta: f64,
-    watchdog: &mut Watchdog,
+    budget: &mut RunBudget,
 ) -> Result<(SsspResult, PhaseProfile), SsspError> {
     if !(delta > 0.0 && delta.is_finite()) {
         return Err(SsspError::InvalidDelta { delta });
@@ -177,7 +181,7 @@ pub fn delta_stepping_parallel_improved_checked(
     let filter_time = t0.elapsed();
     let mut ws = ImprovedWorkspace::new(g.num_vertices());
     let (result, mut profile) =
-        delta_stepping_parallel_improved_with(pool, g, &lh, source, delta, watchdog, &mut ws)?;
+        delta_stepping_parallel_improved_with(pool, g, &lh, source, delta, budget, &mut ws)?;
     profile.matrix_filter += filter_time;
     Ok((result, profile))
 }
@@ -192,8 +196,65 @@ pub fn delta_stepping_parallel_improved_with(
     lh: &LightHeavy,
     source: usize,
     delta: f64,
-    watchdog: &mut Watchdog,
+    budget: &mut RunBudget,
     ws: &mut ImprovedWorkspace,
+) -> Result<(SsspResult, PhaseProfile), SsspError> {
+    improved_loop(pool, g, lh, source, delta, budget, ws, None)
+}
+
+/// Resume an interrupted run from a [`Checkpoint`], rebuilding the
+/// light/heavy split in parallel. Accepts checkpoints from any of the
+/// frontier-family implementations (fused / parallel / improved / atomic
+/// — they are bit-identical step for step), and the continued run is
+/// **bit-identical** (distances and [`crate::SsspStats`]) to an
+/// uninterrupted run.
+pub fn delta_stepping_parallel_improved_resume(
+    pool: &ThreadPool,
+    g: &CsrGraph,
+    cp: &Checkpoint,
+    budget: &mut RunBudget,
+) -> Result<(SsspResult, PhaseProfile), SsspError> {
+    cp.validate(g.num_vertices())?;
+    let t0 = Instant::now();
+    let lh = split_light_heavy_chunked(pool, g, cp.delta);
+    let filter_time = t0.elapsed();
+    let mut ws = ImprovedWorkspace::new(g.num_vertices());
+    let (result, mut profile) =
+        delta_stepping_parallel_improved_resume_with(pool, g, &lh, cp, budget, &mut ws)?;
+    profile.matrix_filter += filter_time;
+    Ok((result, profile))
+}
+
+/// [`delta_stepping_parallel_improved_resume`] over a prebuilt split and
+/// caller-owned workspace (the [`crate::engine::SsspEngine`] resume path).
+pub fn delta_stepping_parallel_improved_resume_with(
+    pool: &ThreadPool,
+    g: &CsrGraph,
+    lh: &LightHeavy,
+    cp: &Checkpoint,
+    budget: &mut RunBudget,
+    ws: &mut ImprovedWorkspace,
+) -> Result<(SsspResult, PhaseProfile), SsspError> {
+    cp.validate(g.num_vertices())?;
+    if !cp.resumable {
+        return Err(SsspError::InvalidCheckpoint {
+            reason: "checkpoint was emitted by a non-resumable implementation",
+        });
+    }
+    improved_loop(pool, g, lh, cp.source, cp.delta, budget, ws, Some(cp))
+}
+
+/// The improved main loop, optionally continuing from a checkpoint.
+#[allow(clippy::too_many_arguments)]
+fn improved_loop(
+    pool: &ThreadPool,
+    g: &CsrGraph,
+    lh: &LightHeavy,
+    source: usize,
+    delta: f64,
+    budget: &mut RunBudget,
+    ws: &mut ImprovedWorkspace,
+    resume: Option<&Checkpoint>,
 ) -> Result<(SsspResult, PhaseProfile), SsspError> {
     if !(delta > 0.0 && delta.is_finite()) {
         return Err(SsspError::InvalidDelta { delta });
@@ -217,23 +278,69 @@ pub fn delta_stepping_parallel_improved_with(
     settled.clear();
 
     let mut i = 0usize;
+    // Mid-bucket resumes re-enter the light-phase loop with the saved
+    // frontier/settled sets, skipping the outer boundary work that already
+    // happened before the interruption.
+    let mut entering_mid = false;
+    if let Some(cp) = resume {
+        result.dist.clone_from(&cp.dist);
+        result.stats = cp.stats.clone();
+        i = cp.bucket;
+        frontier.extend_from_slice(&cp.frontier);
+        settled.extend_from_slice(&cp.settled);
+        entering_mid = cp.stop_point == StopPoint::LightPhase;
+    }
+
     loop {
-        watchdog.tick()?;
-        let t0 = Instant::now();
-        let next = crate::parallel::scan_bucket_parallel(pool, &result.dist, delta, i, frontier);
-        profile.vector_ops += t0.elapsed();
-        if frontier.is_empty() {
-            if next == usize::MAX {
-                break;
+        if entering_mid {
+            entering_mid = false;
+        } else {
+            if let Err(stop) = budget.check() {
+                return Err(LiveState {
+                    implementation: "improved",
+                    source,
+                    delta,
+                    dist: &result.dist,
+                    stats: &result.stats,
+                    bucket: i,
+                    stop_point: StopPoint::BucketStart,
+                    frontier: &[],
+                    settled: &[],
+                    resumable: true,
+                }
+                .stop(stop));
             }
-            i = next;
-            continue;
+            let t0 = Instant::now();
+            let next =
+                crate::parallel::scan_bucket_parallel(pool, &result.dist, delta, i, frontier);
+            profile.vector_ops += t0.elapsed();
+            if frontier.is_empty() {
+                if next == usize::MAX {
+                    break;
+                }
+                i = next;
+                continue;
+            }
+            result.stats.buckets_processed += 1;
+            settled.clear();
         }
-        result.stats.buckets_processed += 1;
-        settled.clear();
 
         while !frontier.is_empty() {
-            watchdog.tick()?;
+            if let Err(stop) = budget.check() {
+                return Err(LiveState {
+                    implementation: "improved",
+                    source,
+                    delta,
+                    dist: &result.dist,
+                    stats: &result.stats,
+                    bucket: i,
+                    stop_point: StopPoint::LightPhase,
+                    frontier,
+                    settled,
+                    resumable: true,
+                }
+                .stop(stop));
+            }
             result.stats.light_phases += 1;
             let t0 = Instant::now();
             relax_buffered(
@@ -370,12 +477,44 @@ mod tests {
         let mut ws = ImprovedWorkspace::new(g.num_vertices());
         for src in [0, 7, 113, 0] {
             let (reused, _) = delta_stepping_parallel_improved_with(
-                &pool, &g, &lh, src, 1.0, &mut Watchdog::unlimited(), &mut ws,
+                &pool, &g, &lh, src, 1.0, &mut RunBudget::unlimited(), &mut ws,
             )
             .unwrap();
             let fresh = delta_stepping_parallel_improved(&pool, &g, src, 1.0);
             assert_eq!(reused.dist, fresh.dist, "source {src}");
             assert_eq!(reused.stats, fresh.stats, "source {src}");
+        }
+    }
+
+    #[test]
+    fn cross_family_resume_from_a_fused_checkpoint_is_bit_identical() {
+        // The frontier-family implementations are bit-identical step for
+        // step, so a checkpoint cut by the sequential fused path must
+        // resume exactly on the parallel improved path (and vice versa).
+        let pool = ThreadPool::with_threads(4).unwrap();
+        let mut el = gen::gnm(300, 1800, 13);
+        el.symmetrize();
+        el.make_unit_weight();
+        let g = CsrGraph::from_edge_list(&el).unwrap();
+        let full = delta_stepping_parallel_improved(&pool, &g, 0, 1.0);
+        for k in [0, 1, 3, 5] {
+            let err = crate::fused::delta_stepping_fused_checked(
+                &g,
+                0,
+                1.0,
+                &mut RunBudget::unlimited().cancel_after(k),
+            )
+            .unwrap_err();
+            let cp = err.into_checkpoint().expect("cancellation carries a checkpoint");
+            let (resumed, _) = delta_stepping_parallel_improved_resume(
+                &pool,
+                &g,
+                &cp,
+                &mut RunBudget::unlimited(),
+            )
+            .unwrap();
+            assert_eq!(resumed.dist, full.dist, "cancelled at epoch {k}");
+            assert_eq!(resumed.stats, full.stats, "cancelled at epoch {k}");
         }
     }
 }

@@ -1,18 +1,26 @@
 //! The checked front door: one entry point wrapping all six
 //! delta-stepping implementations with preflight validation, a
-//! watchdog, and panic-isolating graceful degradation.
+//! run budget (epoch limit + deadline + cancellation), and
+//! panic-isolating graceful degradation.
 //!
 //! [`run_checked`] never panics and never hangs on the inputs the
 //! robustness test-suite throws at it: NaN or negative weights,
 //! out-of-range sources, degenerate Δ, and injected worker panics all
 //! come back as [`SsspError`] values (or, for worker panics with
 //! [`GuardConfig::degrade_on_panic`] set, as a successful run on the
-//! sequential fallback path, reported in [`RunReport::degraded`]).
+//! sequential fused fallback path, reported in [`RunReport::degraded`]).
+//! [`run_with_budget`] is the same door with a caller-supplied
+//! [`RunBudget`], so deadlines and cancellation tokens reach every
+//! epoch boundary; when the budget stops a run mid-flight the error
+//! carries a [`crate::checkpoint::Checkpoint`] with the partial result.
+
+use std::str::FromStr;
 
 use graphdata::CsrGraph;
 use taskpool::{install_try, PoolError, ThreadPool};
 
-use crate::guard::{preflight, reject_zero_weights, GuardConfig, SsspError, Watchdog};
+use crate::budget::RunBudget;
+use crate::guard::{preflight, reject_zero_weights, GuardConfig, SsspError};
 use crate::result::SsspResult;
 use crate::{canonical, fused, gblas_impl, parallel, parallel_atomic, parallel_improved};
 
@@ -47,7 +55,10 @@ impl Implementation {
     ];
 
     /// Parse a CLI-style name. `"delta"` is an alias for the canonical
-    /// vertex/edge formulation.
+    /// vertex/edge formulation. This is the single source of truth for
+    /// implementation names: the CLI and the bench harness both go
+    /// through it (via [`FromStr`]), so a name accepted by one is
+    /// accepted by the other.
     pub fn parse(name: &str) -> Option<Self> {
         match name {
             "delta" | "canonical" => Some(Implementation::Canonical),
@@ -60,7 +71,8 @@ impl Implementation {
         }
     }
 
-    /// Canonical display name.
+    /// Canonical display name. `parse(name())` round-trips for every
+    /// variant.
     pub fn name(self) -> &'static str {
         match self {
             Implementation::Canonical => "canonical",
@@ -80,6 +92,34 @@ impl Implementation {
                 | Implementation::ParallelImproved
                 | Implementation::ParallelAtomic
         )
+    }
+}
+
+/// The error type of [`Implementation::from_str`]: the rejected name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownImplementation {
+    /// The name that failed to parse.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownImplementation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown implementation '{}' (expected one of: delta, canonical, fused, gblas, \
+             parallel, improved, parallel-improved, atomic, improved-atomic)",
+            self.name
+        )
+    }
+}
+
+impl std::error::Error for UnknownImplementation {}
+
+impl FromStr for Implementation {
+    type Err = UnknownImplementation;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Implementation::parse(s).ok_or_else(|| UnknownImplementation { name: s.to_string() })
     }
 }
 
@@ -103,8 +143,8 @@ pub struct RunReport {
 ///
 /// 1. [`preflight`] validates weights, source, and Δ (deriving a
 ///    fallback Δ when configured);
-/// 2. a [`Watchdog`] sized by [`Watchdog::for_run`] bounds bucket epochs
-///    and light-relaxation rounds;
+/// 2. a [`RunBudget`] sized by [`RunBudget::for_run`] bounds bucket
+///    epochs and light-relaxation rounds;
 /// 3. parallel implementations run inside [`taskpool::install_try`], so
 ///    a panicking worker task becomes either a sequential fused re-run
 ///    (default) or [`SsspError::WorkerPanicked`].
@@ -119,6 +159,36 @@ pub fn run_checked(
     pool: Option<&ThreadPool>,
     cfg: &GuardConfig,
 ) -> Result<RunReport, SsspError> {
+    let mut budget = RunBudget::for_run(g, delta, cfg);
+    run_with_budget(implementation, g, source, delta, pool, cfg, &mut budget)
+}
+
+/// [`run_checked`] with a caller-supplied [`RunBudget`], so deadlines
+/// and [`crate::budget::CancelToken`]s reach every bucket-epoch and
+/// light-phase boundary of every implementation.
+///
+/// When the budget stops the run, the returned [`SsspError`] carries a
+/// [`crate::checkpoint::Checkpoint`] with the partial distances and a
+/// `settled_below` certificate; checkpoints from the frontier family
+/// (fused, parallel, improved, atomic) can be continued via
+/// [`crate::engine::SsspEngine::resume_fused`] or
+/// [`crate::engine::SsspEngine::resume_parallel_improved`].
+///
+/// On a worker panic with [`GuardConfig::degrade_on_panic`] set, the
+/// sequential retry runs under [`RunBudget::retry_budget`]: watchdog
+/// ticks reset (the fallback gets a fresh epoch allowance) but the
+/// deadline and cancellation token carry over — a deadline is an SLO on
+/// the whole job, not per attempt.
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_budget(
+    implementation: Implementation,
+    g: &CsrGraph,
+    source: usize,
+    delta: f64,
+    pool: Option<&ThreadPool>,
+    cfg: &GuardConfig,
+    budget: &mut RunBudget,
+) -> Result<RunReport, SsspError> {
     let delta = preflight(g, source, delta, cfg)?;
     let report = |result: SsspResult| RunReport {
         result,
@@ -128,18 +198,13 @@ pub fn run_checked(
     };
     match implementation {
         Implementation::Canonical => {
-            let mut wd = Watchdog::for_run(g, delta, cfg);
-            canonical::delta_stepping_canonical_checked(g, source, delta, &mut wd).map(report)
+            canonical::delta_stepping_canonical_checked(g, source, delta, budget).map(report)
         }
-        Implementation::Fused => {
-            let mut wd = Watchdog::for_run(g, delta, cfg);
-            fused::delta_stepping_fused_checked(g, source, delta, &mut wd)
-                .map(|(result, _)| report(result))
-        }
+        Implementation::Fused => fused::delta_stepping_fused_checked(g, source, delta, budget)
+            .map(|(result, _)| report(result)),
         Implementation::Gblas => {
             reject_zero_weights(g, "gblas")?;
-            let mut wd = Watchdog::for_run(g, delta, cfg);
-            gblas_impl::delta_stepping_gblas_checked(g, source, delta, &mut wd).map(report)
+            gblas_impl::delta_stepping_gblas_checked(g, source, delta, budget).map(report)
         }
         Implementation::Parallel
         | Implementation::ParallelImproved
@@ -148,18 +213,17 @@ pub fn run_checked(
                 Some(p) => p,
                 None => taskpool::global(),
             };
-            let mut wd = Watchdog::for_run(g, delta, cfg);
             let attempt = install_try(pool, || match implementation {
                 Implementation::Parallel => {
-                    parallel::delta_stepping_parallel_checked(pool, g, source, delta, &mut wd)
+                    parallel::delta_stepping_parallel_checked(pool, g, source, delta, budget)
                 }
                 Implementation::ParallelAtomic => {
                     parallel_atomic::delta_stepping_parallel_atomic_checked(
-                        pool, g, source, delta, &mut wd,
+                        pool, g, source, delta, budget,
                     )
                 }
                 _ => parallel_improved::delta_stepping_parallel_improved_checked(
-                    pool, g, source, delta, &mut wd,
+                    pool, g, source, delta, budget,
                 ),
             });
             match attempt {
@@ -173,8 +237,10 @@ pub fn run_checked(
                          degrading to the sequential fused path",
                         implementation.name()
                     );
-                    let mut wd = Watchdog::for_run(g, delta, cfg);
-                    fused::delta_stepping_fused_checked(g, source, delta, &mut wd).map(
+                    // Fresh epoch allowance, same deadline and token:
+                    // the SLO does not reset because a worker died.
+                    let mut retry = budget.retry_budget(g, delta, cfg);
+                    fused::delta_stepping_fused_checked(g, source, delta, &mut retry).map(
                         |(result, _)| RunReport {
                             result,
                             delta,
@@ -210,6 +276,35 @@ mod tests {
         for imp in Implementation::ALL {
             assert_eq!(Implementation::parse(imp.name()), Some(imp));
         }
+    }
+
+    #[test]
+    fn from_str_round_trips_every_name_and_alias() {
+        // The canonical name of every implementation round-trips.
+        for imp in Implementation::ALL {
+            assert_eq!(imp.name().parse::<Implementation>(), Ok(imp), "{}", imp.name());
+        }
+        // Every documented alias resolves, and FromStr agrees with
+        // parse() on all of them (the CLI and bench share this path).
+        for alias in [
+            "delta",
+            "canonical",
+            "fused",
+            "gblas",
+            "parallel",
+            "improved",
+            "parallel-improved",
+            "atomic",
+            "improved-atomic",
+        ] {
+            let via_parse = Implementation::parse(alias);
+            let via_from_str = alias.parse::<Implementation>().ok();
+            assert_eq!(via_parse, via_from_str, "{alias}");
+            assert!(via_parse.is_some(), "{alias} must be accepted");
+        }
+        let err = "dijkstra".parse::<Implementation>().unwrap_err();
+        assert!(err.to_string().contains("dijkstra"));
+        assert!(err.to_string().contains("improved-atomic"));
     }
 
     #[test]
@@ -289,6 +384,50 @@ mod tests {
     }
 
     #[test]
+    fn cancellation_surfaces_a_checkpoint_from_every_implementation() {
+        let g = CsrGraph::from_edge_list(&graphdata::gen::path(32)).unwrap();
+        let pool = ThreadPool::with_threads(2).unwrap();
+        let cfg = GuardConfig::default();
+        for imp in Implementation::ALL {
+            let mut budget = RunBudget::for_run(&g, 1.0, &cfg).cancel_after(3);
+            let err = run_with_budget(imp, &g, 0, 1.0, Some(&pool), &cfg, &mut budget)
+                .expect_err("cancel_after(3) must stop a 31-epoch run");
+            let cp = match &err {
+                SsspError::Cancelled { checkpoint } => checkpoint,
+                other => panic!("{}: expected Cancelled, got {other:?}", imp.name()),
+            };
+            let expected_tag = match imp {
+                Implementation::Canonical => "canonical",
+                Implementation::Fused => "fused",
+                Implementation::Gblas => "gblas",
+                Implementation::Parallel => "parallel",
+                Implementation::ParallelImproved => "improved",
+                Implementation::ParallelAtomic => "atomic",
+            };
+            assert_eq!(cp.implementation, expected_tag);
+            assert!(cp.settled_below() >= 0.0, "{}", imp.name());
+            cp.validate(g.num_vertices())
+                .expect("checkpoint must be well-formed");
+        }
+    }
+
+    #[test]
+    fn deadline_in_the_past_stops_immediately_with_checkpoint() {
+        let g = grid();
+        let cfg = GuardConfig::default();
+        let mut budget = RunBudget::for_run(&g, 1.0, &cfg)
+            .with_deadline(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        let err = run_with_budget(Implementation::Fused, &g, 0, 1.0, None, &cfg, &mut budget)
+            .expect_err("expired deadline must stop the run");
+        match err {
+            SsspError::DeadlineExceeded { checkpoint } => {
+                assert_eq!(checkpoint.settled_count(), 0);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn injected_worker_panic_becomes_error_when_degradation_off() {
         let g = grid();
         let pool = ThreadPool::with_threads(2).unwrap();
@@ -325,5 +464,34 @@ mod tests {
         crate::validate::check_certificate(&g, &report.result, 1e-12)
             .expect("degraded result must still be optimal");
         assert_eq!(report.result.dist, dijkstra(&g, 0).dist);
+    }
+
+    #[test]
+    fn degraded_retry_inherits_cancellation_not_ticks() {
+        // A cancelled token must stop the sequential retry too: the
+        // deadline/token are an SLO on the whole job, not per attempt.
+        let g = grid();
+        let pool = ThreadPool::with_threads(2).unwrap();
+        let cfg = GuardConfig::default();
+        let token = crate::budget::CancelToken::new();
+        token.cancel();
+        let mut budget = RunBudget::for_run(&g, 1.0, &cfg).with_cancel(token);
+        taskpool::fault::arm_panic_after(0);
+        let outcome = run_with_budget(
+            Implementation::ParallelImproved,
+            &g,
+            0,
+            1.0,
+            Some(&pool),
+            &cfg,
+            &mut budget,
+        );
+        taskpool::fault::disarm();
+        // The run stops with Cancelled — either before the panic fires
+        // or on the retry path; both prove the token reached the loop.
+        assert!(
+            matches!(outcome, Err(SsspError::Cancelled { .. })),
+            "got {outcome:?}"
+        );
     }
 }

@@ -12,14 +12,15 @@
 
 use std::io::BufReader;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use graphdata::{gen, io as gio, CsrGraph, EdgeList, WeightModel};
 use sssp_core::delta::DeltaStrategy;
 use sssp_core::engine::SsspEngine;
 use sssp_core::guard::preflight;
 use sssp_core::{
-    bellman_ford, dijkstra, gblas_parallel, gblas_select, run_checked, validate, GuardConfig,
-    Implementation, SsspError, SsspResult, Watchdog,
+    bellman_ford, dijkstra, gblas_parallel, gblas_select, run_with_budget, validate, BatchConfig,
+    BatchOutcome, BatchRunner, GuardConfig, Implementation, RunBudget, SsspError, SsspResult,
 };
 use taskpool::ThreadPool;
 
@@ -33,12 +34,18 @@ const EXIT_INPUT: u8 = 2;
 const EXIT_SSSP: u8 = 3;
 /// An internal panic was caught at the top level (always a bug).
 const EXIT_PANIC: u8 = 4;
+/// The run was stopped by its deadline/cancellation budget but left a
+/// certified partial result (checkpoint) behind.
+const EXIT_PARTIAL: u8 = 5;
 
 /// A CLI failure: what to print and which exit code to use.
 enum Failure {
     Usage(String),
     Input(String),
     Sssp(SsspError),
+    /// A budget stop carrying a checkpoint: reported as a partial
+    /// result, not a hard failure.
+    Partial(SsspError),
 }
 
 impl Failure {
@@ -56,7 +63,29 @@ impl Failure {
                 eprintln!("error: {e}");
                 ExitCode::from(EXIT_SSSP)
             }
+            Failure::Partial(e) => {
+                eprintln!("partial: {e}");
+                if let Some(cp) = e.checkpoint() {
+                    eprintln!(
+                        "partial: {} distances certified final below {}; \
+                         rerun with a larger --deadline-ms to finish",
+                        cp.settled_count(),
+                        cp.settled_below()
+                    );
+                }
+                ExitCode::from(EXIT_PARTIAL)
+            }
         }
+    }
+}
+
+/// Budget stops that carry a checkpoint are partial results (exit 5);
+/// everything else is a solver rejection (exit 3).
+fn sssp_failure(e: SsspError) -> Failure {
+    if e.checkpoint().is_some() {
+        Failure::Partial(e)
+    } else {
+        Failure::Sssp(e)
     }
 }
 
@@ -80,6 +109,12 @@ struct Options {
     /// one [`SsspEngine`], so the light/heavy split is built once.
     sources: Vec<usize>,
     delta: Option<DeltaArg>,
+    /// Per-run (or per-job, in batch mode) wall-clock budget.
+    deadline_ms: Option<u64>,
+    /// `--sources` batch mode: worker threads for the [`BatchRunner`]
+    /// front door. Setting this (or `--deadline-ms`) routes `--sources`
+    /// through the batch runner instead of the single-engine loop.
+    batch_workers: Option<usize>,
     threads: usize,
     symmetrize: bool,
     unit_weights: bool,
@@ -104,7 +139,14 @@ options:
   --source V               source vertex (default 0)
   --sources V1,V2,...      run several sources through one engine (the
                            light/heavy split is built once and cached);
-                           prints a per-source summary. fused/improved only
+                           prints a per-source summary. fused/improved only,
+                           unless batch mode is selected (see below)
+  --deadline-ms MS         wall-clock budget per run/job; a run stopped by
+                           the deadline reports a certified partial result
+                           and exits 5. With --sources, selects batch mode
+  --batch-workers N        run --sources through the resilient batch runner
+                           with N workers (any of the six --impl names;
+                           panicking jobs retry once on sequential fused)
   --delta X                bucket width (default: 1.0; 'ms' = Meyer-Sanders rule)
   --threads T              pool size for parallel impls (default 4)
   --symmetrize             add reverse edges
@@ -115,7 +157,8 @@ options:
   --help                   this text
 
 exit codes:
-  1 usage error | 2 bad input graph | 3 solver rejected the run | 4 internal panic
+  1 usage error | 2 bad input graph | 3 solver rejected the run |
+  4 internal panic | 5 deadline hit, certified partial result reported
 ";
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -127,6 +170,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         source: 0,
         sources: Vec::new(),
         delta: None,
+        deadline_ms: None,
+        batch_workers: None,
         threads: 4,
         symmetrize: false,
         unit_weights: false,
@@ -168,6 +213,22 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 } else {
                     DeltaArg::Value(v.parse().map_err(|_| "bad --delta".to_string())?)
                 });
+            }
+            "--deadline-ms" => {
+                o.deadline_ms = Some(
+                    value(&mut i, "--deadline-ms")?
+                        .parse()
+                        .map_err(|_| "bad --deadline-ms".to_string())?,
+                );
+            }
+            "--batch-workers" => {
+                let n: usize = value(&mut i, "--batch-workers")?
+                    .parse()
+                    .map_err(|_| "bad --batch-workers".to_string())?;
+                if n == 0 {
+                    return Err("bad --batch-workers: need at least one worker".to_string());
+                }
+                o.batch_workers = Some(n);
             }
             "--threads" => {
                 o.threads = value(&mut i, "--threads")?
@@ -270,8 +331,11 @@ fn load(path: &str, format: Option<&str>) -> Result<EdgeList, String> {
 
 fn run(o: &Options, g: &CsrGraph, delta: f64) -> Result<SsspResult, Failure> {
     // The six delta-stepping implementations go through the hardened
-    // front door: preflight validation, watchdog, panic degradation.
-    if let Some(imp) = Implementation::parse(&o.implementation) {
+    // front door: preflight validation, run budget (epoch limit plus the
+    // --deadline-ms wall clock), panic degradation. Name parsing is the
+    // shared sssp_core FromStr, so the CLI and bench accept identical
+    // names.
+    if let Ok(imp) = o.implementation.parse::<Implementation>() {
         let owned_pool;
         let pool = if imp.is_parallel() {
             owned_pool = ThreadPool::with_threads(o.threads)
@@ -280,8 +344,13 @@ fn run(o: &Options, g: &CsrGraph, delta: f64) -> Result<SsspResult, Failure> {
         } else {
             None
         };
-        let report = run_checked(imp, g, o.source, delta, pool, &GuardConfig::default())
-            .map_err(Failure::Sssp)?;
+        let cfg = GuardConfig::default();
+        let mut budget = RunBudget::for_run(g, delta, &cfg);
+        if let Some(ms) = o.deadline_ms {
+            budget = budget.with_timeout(Duration::from_millis(ms));
+        }
+        let report = run_with_budget(imp, g, o.source, delta, pool, &cfg, &mut budget)
+            .map_err(sssp_failure)?;
         if let Some(msg) = report.degraded {
             eprintln!("warning: run degraded to the sequential fused path ({msg})");
         }
@@ -335,11 +404,11 @@ fn run_multi(o: &Options, g: &CsrGraph, delta: f64) -> Result<(), Failure> {
     let mut engine = SsspEngine::new(g);
     let t0 = std::time::Instant::now();
     for &src in &o.sources {
-        let mut wd = Watchdog::for_run(g, delta, &cfg);
+        let mut budget = RunBudget::for_run(g, delta, &cfg);
         let t1 = std::time::Instant::now();
         let (result, _) = match &mode {
-            Mode::Fused => engine.run_fused(src, delta, &mut wd),
-            Mode::Improved(pool) => engine.run_parallel_improved(pool, src, delta, &mut wd),
+            Mode::Fused => engine.run_fused(src, delta, &mut budget),
+            Mode::Improved(pool) => engine.run_parallel_improved(pool, src, delta, &mut budget),
         }
         .map_err(Failure::Sssp)?;
         let elapsed = t1.elapsed();
@@ -363,6 +432,81 @@ fn run_multi(o: &Options, g: &CsrGraph, delta: f64) -> Result<(), Failure> {
         stats.split_hits
     );
     Ok(())
+}
+
+/// `--sources` batch mode (`--deadline-ms` and/or `--batch-workers`):
+/// every source becomes a job on the resilient [`BatchRunner`] front
+/// door — per-job deadline, panic-isolated workers with a one-shot
+/// sequential-fused retry, and checkpointed partial results instead of
+/// lost work. Exit code: 3 if any job failed outright, 5 if any job
+/// ended partial, 0 when everything completed.
+fn run_batch(o: &Options, g: &CsrGraph, delta: f64) -> Result<ExitCode, Failure> {
+    let imp = o
+        .implementation
+        .parse::<Implementation>()
+        .map_err(|e| Failure::Usage(format!("batch mode: {e}\n\n{USAGE}")))?;
+    let runner = BatchRunner::new(BatchConfig {
+        implementation: imp,
+        delta,
+        workers: o.batch_workers.unwrap_or(2),
+        queue_capacity: o.sources.len(),
+        deadline: o.deadline_ms.map(Duration::from_millis),
+        cancel: None,
+        guard: GuardConfig::default(),
+        pool_threads: o.threads,
+    });
+    let t0 = std::time::Instant::now();
+    let report = runner.run(g, &o.sources);
+    for (source, outcome) in &report.jobs {
+        match outcome {
+            BatchOutcome::Complete { result, degraded, .. } => {
+                if let Some(msg) = degraded {
+                    eprintln!("warning: source {source} degraded to sequential fused ({msg})");
+                }
+                if o.validate {
+                    validate::check_certificate(g, result, 1e-9).map_err(|e| {
+                        Failure::Input(format!("validation failed for source {source}: {e:?}"))
+                    })?;
+                }
+                println!(
+                    "source {source}: reaches {} vertices, eccentricity {:?}, {} relaxations",
+                    result.reachable_count(),
+                    result.eccentricity(),
+                    result.stats.relaxations
+                );
+            }
+            BatchOutcome::Partial { checkpoint, reason } => {
+                println!(
+                    "source {source}: PARTIAL — {} of {} distances certified below {} ({reason})",
+                    checkpoint.settled_count(),
+                    g.num_vertices(),
+                    checkpoint.settled_below()
+                );
+            }
+            BatchOutcome::Failed { error } => {
+                println!("source {source}: FAILED — {error}");
+            }
+            BatchOutcome::Rejected { queue_capacity } => {
+                println!("source {source}: REJECTED (queue capacity {queue_capacity})");
+            }
+        }
+    }
+    println!(
+        "batch: {} complete ({} degraded), {} partial, {} failed, {} rejected in {:?}",
+        report.completed(),
+        report.degraded(),
+        report.partial(),
+        report.failed(),
+        report.rejected(),
+        t0.elapsed()
+    );
+    Ok(if report.failed() > 0 || report.rejected() > 0 {
+        ExitCode::from(EXIT_SSSP)
+    } else if report.partial() > 0 {
+        ExitCode::from(EXIT_PARTIAL)
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn main() -> ExitCode {
@@ -432,6 +576,15 @@ fn real_main() -> ExitCode {
     };
 
     if !o.sources.is_empty() {
+        // Deadline or explicit workers => the resilient batch front
+        // door; otherwise the single-engine loop with its shared split
+        // cache.
+        if o.deadline_ms.is_some() || o.batch_workers.is_some() {
+            return match run_batch(&o, &g, delta) {
+                Ok(code) => code,
+                Err(f) => f.report(),
+            };
+        }
         return match run_multi(&o, &g, delta) {
             Ok(()) => ExitCode::SUCCESS,
             Err(f) => f.report(),

@@ -1,0 +1,205 @@
+//! Chaos suite: deterministic fault injection at every boundary.
+//!
+//! Three properties, exercised exhaustively rather than sampled:
+//!
+//! 1. **Cancellation at every epoch boundary** — for each of the six
+//!    implementations, cancel at epoch `k` for *every* `k` the full run
+//!    passes through. The checkpoint must validate, and every distance
+//!    it certifies (below `settled_below`) must bit-match the
+//!    uninterrupted run.
+//! 2. **Resume always reconverges** — every resumable checkpoint,
+//!    continued on both resume paths, must land on bit-identical
+//!    distances *and* stats versus the uninterrupted run.
+//! 3. **Panic injection at every task boundary** — for the parallel
+//!    implementations, arm the taskpool fault hook at task `j` for a
+//!    sweep of `j` and demand the degraded run still produces exact
+//!    distances.
+//!
+//! The worker-pool size is taken from `CHAOS_THREADS` (default 2) so CI
+//! can sweep 1/2/4 without recompiling.
+
+use graphdata::gen::grid2d;
+use graphdata::CsrGraph;
+use std::sync::Mutex;
+use sssp_core::engine::SsspEngine;
+use sssp_core::{
+    dijkstra::dijkstra, run_checked, run_with_budget, GuardConfig, Implementation, RunBudget,
+    SsspError,
+};
+use taskpool::ThreadPool;
+
+/// The taskpool fault hook is process-global: fault-armed tests must not
+/// overlap each other (or any test running pool tasks). Serialize every
+/// test in this binary through one lock.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+fn pool_threads() -> usize {
+    std::env::var("CHAOS_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(2)
+}
+
+fn bits(dist: &[f64]) -> Vec<u64> {
+    dist.iter().map(|d| d.to_bits()).collect()
+}
+
+fn chaos_graph() -> CsrGraph {
+    CsrGraph::from_edge_list(&grid2d(10, 10)).unwrap()
+}
+
+/// Weighted graph with several buckets' worth of work and no zero
+/// weights (so the gblas implementation can run it too).
+fn weighted_chaos_graph() -> CsrGraph {
+    let mut el = graphdata::gen::gnm(150, 900, 11);
+    el.symmetrize();
+    graphdata::weights::assign_symmetric(
+        &mut el,
+        graphdata::WeightModel::UniformFloat { lo: 0.1, hi: 2.0 },
+        5,
+    );
+    CsrGraph::from_edge_list(&el).unwrap()
+}
+
+/// Total budget checks an uninterrupted run of `imp` performs.
+fn total_epochs(
+    imp: Implementation,
+    g: &CsrGraph,
+    src: usize,
+    delta: f64,
+    pool: &ThreadPool,
+    cfg: &GuardConfig,
+) -> u64 {
+    let mut budget = RunBudget::unlimited();
+    run_with_budget(imp, g, src, delta, Some(pool), cfg, &mut budget).expect("valid input");
+    budget.ticks()
+}
+
+fn cancel_everywhere(g: &CsrGraph, src: usize, delta: f64) {
+    let pool = ThreadPool::with_threads(pool_threads()).unwrap();
+    let cfg = GuardConfig::default();
+    for imp in Implementation::ALL {
+        let reference = run_checked(imp, g, src, delta, Some(&pool), &cfg)
+            .expect("valid input")
+            .result;
+        let epochs = total_epochs(imp, g, src, delta, &pool, &cfg);
+        assert!(epochs > 2, "{}: too few epochs to be interesting", imp.name());
+        let mut engine = SsspEngine::new(g);
+        for k in 0..epochs {
+            let mut budget = RunBudget::unlimited().cancel_after(k);
+            let err = run_with_budget(imp, g, src, delta, Some(&pool), &cfg, &mut budget)
+                .expect_err("cancel_after inside the run must stop it");
+            let cp = match err {
+                SsspError::Cancelled { checkpoint } => *checkpoint,
+                other => panic!("{} epoch {k}: expected Cancelled, got {other}", imp.name()),
+            };
+            cp.validate(g.num_vertices()).expect("checkpoint must validate");
+            // Property 1: everything the checkpoint certifies is final.
+            for (v, d) in cp.settled_distances() {
+                assert_eq!(
+                    d.to_bits(),
+                    reference.dist[v].to_bits(),
+                    "{} epoch {k}: certified distance of vertex {v} is not final",
+                    imp.name()
+                );
+            }
+            // Property 2: resumable checkpoints reconverge bit-identically
+            // on both resume paths.
+            if cp.resumable {
+                let (seq, _) = engine
+                    .resume_fused(&cp, &mut RunBudget::unlimited())
+                    .expect("resume must reconverge");
+                assert_eq!(bits(&seq.dist), bits(&reference.dist), "{} epoch {k}", imp.name());
+                assert_eq!(seq.stats, reference.stats, "{} epoch {k}", imp.name());
+                let (par, _) = engine
+                    .resume_parallel_improved(&pool, &cp, &mut RunBudget::unlimited())
+                    .expect("resume must reconverge");
+                assert_eq!(bits(&par.dist), bits(&reference.dist), "{} epoch {k}", imp.name());
+                assert_eq!(par.stats, reference.stats, "{} epoch {k}", imp.name());
+            } else {
+                assert!(
+                    matches!(imp, Implementation::Canonical | Implementation::Gblas),
+                    "{}: only canonical/gblas may be non-resumable",
+                    imp.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cancellation_at_every_epoch_is_certified_and_resumable_unit_weights() {
+    let _guard = CHAOS_LOCK.lock().unwrap();
+    let g = chaos_graph();
+    cancel_everywhere(&g, 0, 1.0);
+}
+
+#[test]
+fn cancellation_at_every_epoch_is_certified_and_resumable_real_weights() {
+    let _guard = CHAOS_LOCK.lock().unwrap();
+    let g = weighted_chaos_graph();
+    cancel_everywhere(&g, 1, 0.5);
+}
+
+#[test]
+fn panic_injection_at_every_task_boundary_degrades_to_exact_distances() {
+    let _guard = CHAOS_LOCK.lock().unwrap();
+    let g = chaos_graph();
+    let reference = dijkstra(&g, 0);
+    let pool = ThreadPool::with_threads(pool_threads()).unwrap();
+    let cfg = GuardConfig::default(); // degrade_on_panic: true
+    for imp in [
+        Implementation::Parallel,
+        Implementation::ParallelImproved,
+        Implementation::ParallelAtomic,
+    ] {
+        // Sweep the injection point across the first 24 spawned tasks;
+        // beyond the run's task count the hook simply never fires.
+        for j in 0..24 {
+            taskpool::fault::arm_panic_after(j);
+            let outcome = run_checked(imp, &g, 0, 1.0, Some(&pool), &cfg);
+            taskpool::fault::disarm();
+            let report = outcome.unwrap_or_else(|e| {
+                panic!("{} with fault at task {j}: degradation failed: {e}", imp.name())
+            });
+            assert_eq!(
+                bits(&report.result.dist),
+                bits(&reference.dist),
+                "{} with fault at task {j}: degraded distances diverged",
+                imp.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn panic_then_budget_stop_still_yields_a_certified_checkpoint() {
+    // The degraded sequential retry runs under the job's surviving
+    // budget: inject a panic AND cancel, and the partial result must
+    // still come back certified (not lost to the panic path).
+    let _guard = CHAOS_LOCK.lock().unwrap();
+    let g = chaos_graph();
+    let full = dijkstra(&g, 0);
+    let pool = ThreadPool::with_threads(pool_threads()).unwrap();
+    let cfg = GuardConfig::default();
+    let token = sssp_core::CancelToken::new();
+    token.cancel();
+    let mut budget = RunBudget::for_run(&g, 1.0, &cfg).with_cancel(token);
+    taskpool::fault::arm_panic_after(0);
+    let err = run_with_budget(
+        Implementation::ParallelImproved,
+        &g,
+        0,
+        1.0,
+        Some(&pool),
+        &cfg,
+        &mut budget,
+    )
+    .expect_err("pre-cancelled token must stop the run");
+    taskpool::fault::disarm();
+    let cp = err.into_checkpoint().expect("budget stop carries a checkpoint");
+    for (v, d) in cp.settled_distances() {
+        assert_eq!(d.to_bits(), full.dist[v].to_bits(), "vertex {v}");
+    }
+}

@@ -203,6 +203,126 @@ fn help_exits_nonzero_with_usage() {
 }
 
 #[test]
+fn expired_deadline_exits_5_with_partial_report() {
+    let out = sssp(&[
+        "--gen",
+        "grid:30x30",
+        "--impl",
+        "fused",
+        "--deadline-ms",
+        "0",
+        "--summary",
+    ]);
+    assert_eq!(out.status.code(), Some(5), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("deadline exceeded"), "{err}");
+    assert!(err.contains("certified final"), "{err}");
+    assert!(
+        !err.contains("panicked at") && !err.contains("RUST_BACKTRACE"),
+        "leaked a panic: {err}"
+    );
+}
+
+#[test]
+fn generous_deadline_completes_normally() {
+    let out = sssp(&[
+        "--gen",
+        "grid:8x8",
+        "--impl",
+        "improved",
+        "--deadline-ms",
+        "60000",
+        "--summary",
+        "--validate",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stderr(&out).contains("certificate: OK"));
+}
+
+#[test]
+fn batch_mode_runs_every_source_and_reports_summary() {
+    let out = sssp(&[
+        "--gen",
+        "grid:12x12",
+        "--sources",
+        "0,71,143",
+        "--batch-workers",
+        "2",
+        "--impl",
+        "improved",
+        "--validate",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    for src in ["source 0:", "source 71:", "source 143:"] {
+        assert!(text.contains(src), "{text}");
+    }
+    assert!(text.contains("batch: 3 complete"), "{text}");
+}
+
+#[test]
+fn batch_mode_with_expired_deadline_exits_5_with_certified_partials() {
+    let out = sssp(&[
+        "--gen",
+        "grid:20x20",
+        "--sources",
+        "0,100,399",
+        "--deadline-ms",
+        "0",
+        "--impl",
+        "fused",
+    ]);
+    assert_eq!(out.status.code(), Some(5), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("PARTIAL"), "{text}");
+    assert!(text.contains("0 complete"), "{text}");
+    assert!(text.contains("3 partial"), "{text}");
+}
+
+#[test]
+fn batch_mode_accepts_any_of_the_six_implementations() {
+    // Unlike the engine-only --sources path (fused/improved), batch mode
+    // takes every guarded implementation through the shared name parser.
+    for imp in ["canonical", "gblas", "parallel", "atomic", "fused", "improved"] {
+        let out = sssp(&[
+            "--gen",
+            "grid:6x6",
+            "--sources",
+            "0,35",
+            "--batch-workers",
+            "1",
+            "--impl",
+            imp,
+        ]);
+        assert!(out.status.success(), "{imp}: {}", stderr(&out));
+        assert!(stdout(&out).contains("batch: 2 complete"), "{imp}");
+    }
+}
+
+#[test]
+fn batch_mode_rejects_non_solver_implementations_as_usage_error() {
+    let out = sssp(&[
+        "--gen",
+        "grid:4x4",
+        "--sources",
+        "0,1",
+        "--batch-workers",
+        "2",
+        "--impl",
+        "dijkstra",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stderr(&out).contains("unknown implementation"), "{}", stderr(&out));
+}
+
+#[test]
+fn zero_batch_workers_is_a_usage_error() {
+    let out = sssp(&["--gen", "path:4", "--sources", "0,1", "--batch-workers", "0"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stderr(&out).contains("--batch-workers"), "{}", stderr(&out));
+}
+
+#[test]
 fn symmetrize_and_unit_weights() {
     // Directed path reversed source; with --symmetrize everything reachable.
     let out = sssp(&["--gen", "path:4", "--symmetrize", "--source", "3", "--summary"]);

@@ -7,9 +7,8 @@
 
 use graphdata::{paper_suite, suite::weighted_suite, CsrGraph, SuiteScale};
 use sssp_core::engine::SsspEngine;
-use sssp_core::guard::Watchdog;
 use sssp_core::result::SsspResult;
-use sssp_core::{gblas_parallel, parallel, parallel_atomic, parallel_improved};
+use sssp_core::{fused, gblas_parallel, parallel, parallel_atomic, parallel_improved, RunBudget};
 use taskpool::ThreadPool;
 
 const RUNS: usize = 20;
@@ -92,7 +91,7 @@ fn engine_reuse_is_deterministic_and_matches_direct_calls() {
         for rep in 0..RUNS {
             for &src in &sources {
                 let (warm, _) = engine
-                    .run_parallel_improved(&pool, src, delta, &mut Watchdog::unlimited())
+                    .run_parallel_improved(&pool, src, delta, &mut RunBudget::unlimited())
                     .expect("valid inputs");
                 let cold =
                     parallel_improved::delta_stepping_parallel_improved(&pool, g, src, delta);
@@ -110,5 +109,116 @@ fn engine_reuse_is_deterministic_and_matches_direct_calls() {
             engine.stats().split_hits as usize,
             RUNS * sources.len() - 1
         );
+    }
+}
+
+#[test]
+fn cancelled_then_resumed_runs_are_bit_identical() {
+    // Determinism must survive interruption: cancel each frontier-family
+    // implementation at a seeded pseudo-random epoch, resume the
+    // checkpoint on both resume paths (sequential fused and parallel
+    // improved), and demand bit-identical distances AND stats versus the
+    // uninterrupted run — at every thread count.
+    let d = paper_suite(SuiteScale::Smoke).remove(1);
+    let g = &d.graph;
+    let delta = 1.0;
+    let src = g.num_vertices() / 2;
+
+    let mut full_budget = RunBudget::unlimited();
+    let (reference, _) =
+        fused::delta_stepping_fused_checked(g, src, delta, &mut full_budget).expect("valid input");
+    let total_epochs = full_budget.ticks();
+    assert!(total_epochs > 1, "graph too small to interrupt");
+
+    // Seeded LCG: deterministic across runs, different epochs per trial.
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut next_epoch = |bound: u64| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state % bound
+    };
+
+    for &threads in &THREADS {
+        let pool = ThreadPool::with_threads(threads).expect("pool");
+        let mut engine = SsspEngine::new(g);
+        for trial in 0..4 {
+            let k = next_epoch(total_epochs);
+            let cancelled: Vec<(&str, sssp_core::SsspError)> = vec![
+                (
+                    "fused",
+                    fused::delta_stepping_fused_checked(
+                        g,
+                        src,
+                        delta,
+                        &mut RunBudget::unlimited().cancel_after(k),
+                    )
+                    .expect_err("cancel_after must stop the run"),
+                ),
+                (
+                    "parallel",
+                    parallel::delta_stepping_parallel_checked(
+                        &pool,
+                        g,
+                        src,
+                        delta,
+                        &mut RunBudget::unlimited().cancel_after(k),
+                    )
+                    .expect_err("cancel_after must stop the run"),
+                ),
+                (
+                    "improved",
+                    parallel_improved::delta_stepping_parallel_improved_checked(
+                        &pool,
+                        g,
+                        src,
+                        delta,
+                        &mut RunBudget::unlimited().cancel_after(k),
+                    )
+                    .expect_err("cancel_after must stop the run"),
+                ),
+                (
+                    "atomic",
+                    parallel_atomic::delta_stepping_parallel_atomic_checked(
+                        &pool,
+                        g,
+                        src,
+                        delta,
+                        &mut RunBudget::unlimited().cancel_after(k),
+                    )
+                    .expect_err("cancel_after must stop the run"),
+                ),
+            ];
+            for (name, err) in cancelled {
+                let cp = err.into_checkpoint().expect("cancellation carries a checkpoint");
+                assert!(cp.resumable, "{name}: frontier family must be resumable");
+                let (seq, _) = engine
+                    .resume_fused(&cp, &mut RunBudget::unlimited())
+                    .expect("resume must reconverge");
+                assert_eq!(
+                    bits(&seq.dist),
+                    bits(&reference.dist),
+                    "{name} -> fused resume diverged at {threads} thread(s), trial {trial}, epoch {k}"
+                );
+                assert_eq!(
+                    seq.stats, reference.stats,
+                    "{name} -> fused resume stats diverged at {threads} thread(s), trial {trial}, epoch {k}"
+                );
+                let (par, _) = engine
+                    .resume_parallel_improved(&pool, &cp, &mut RunBudget::unlimited())
+                    .expect("resume must reconverge");
+                assert_eq!(
+                    bits(&par.dist),
+                    bits(&reference.dist),
+                    "{name} -> improved resume diverged at {threads} thread(s), trial {trial}, epoch {k}"
+                );
+                assert_eq!(
+                    par.stats, reference.stats,
+                    "{name} -> improved resume stats diverged at {threads} thread(s), trial {trial}, epoch {k}"
+                );
+            }
+        }
+        // Every cancel/resume rode the one cached split.
+        assert_eq!(engine.stats().split_builds, 1);
     }
 }
