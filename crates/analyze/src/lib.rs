@@ -1,0 +1,930 @@
+//! Repo-invariant lints for the sssp workspace, enforced in CI.
+//!
+//! Four invariants, all checked by plain line-level source scanning (no
+//! external parser — the scans are deliberately syntactic so the tool
+//! has zero dependencies and sub-second runtime):
+//!
+//! 1. **`safety-comment`** — every `unsafe` block, fn, or impl carries a
+//!    `SAFETY:` justification (same line, or in the contiguous
+//!    comment/attribute block directly above, or a `# Safety` doc
+//!    section).
+//! 2. **`atomic-ordering`** — every `Ordering::{Relaxed, Acquire,
+//!    Release, AcqRel, SeqCst}` site is accounted for, with a one-line
+//!    reason, in `analyze/atomics.toml`. Counts are exact per
+//!    `(file, ordering)`, so adding *or removing* an atomic op forces a
+//!    human to re-justify the file's ordering story. `std::cmp::Ordering`
+//!    match arms (`Less`/`Equal`/`Greater`) never match the pattern and
+//!    are out of scope by construction.
+//! 3. **`hot-path-lock`** — no `Mutex`/`RwLock` in the relaxation hot
+//!    paths (`crates/core/src/parallel*`, `crates/core/src/reqbuf.rs`,
+//!    `crates/gblas/src/parallel/`). Deliberate uses are suppressed with
+//!    a `lint:allow(hot-path-lock): <reason>` comment on the same or the
+//!    preceding line.
+//! 4. **`impl-coverage`** — every name accepted by
+//!    `Implementation::parse` maps to a variant dispatched inside
+//!    `run_with_budget`, and every canonical `name()` string appears as
+//!    a literal in `tests/determinism.rs`, so no implementation can be
+//!    reachable from the CLI without being in the determinism suite.
+//!
+//! Scanned roots: `crates/`, `src/`, `tests/`, `examples/`. Excluded:
+//! `vendor/` (third-party stubs), `target/`, and `crates/analyze` itself
+//! (this crate's fixtures intentionally contain violations).
+//!
+//! Known syntactic limits, acceptable for this repo: `/* block */`
+//! comments and raw strings are not modelled (the workspace uses line
+//! comments and ordinary string literals throughout — the repo-clean
+//! self-test keeps that true).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One lint violation, addressed by repo-relative file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub file: String,
+    pub line: usize,
+    pub lint: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// A source file loaded for scanning: repo-relative path + raw lines.
+pub struct SourceFile {
+    pub rel: String,
+    pub lines: Vec<String>,
+}
+
+impl SourceFile {
+    pub fn from_str(rel: &str, src: &str) -> SourceFile {
+        SourceFile {
+            rel: rel.to_string(),
+            lines: src.lines().map(str::to_string).collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Line-level helpers
+// ---------------------------------------------------------------------------
+
+/// The code part of a line: the `// comment` tail removed and string
+/// literal *contents* blanked to spaces, so identifier searches can
+/// never match inside comments or strings. `'` is left alone (it is
+/// almost always a lifetime); none of the searched identifiers can
+/// appear in a char literal.
+fn code_portion(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            match c {
+                '\\' => {
+                    chars.next();
+                    out.push(' ');
+                }
+                '"' => {
+                    in_str = false;
+                    out.push('"');
+                }
+                _ => out.push(' '),
+            }
+        } else {
+            match c {
+                '"' => {
+                    in_str = true;
+                    out.push('"');
+                }
+                '/' if chars.peek() == Some(&'/') => break,
+                _ => out.push(c),
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Occurrences of `word` in `code` at identifier boundaries. `word` may
+/// itself contain `::`; only its outer edges are boundary-checked.
+fn count_word(code: &str, word: &str) -> usize {
+    let bytes = code.as_bytes();
+    let mut n = 0;
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(word) {
+        let i = from + pos;
+        let j = i + word.len();
+        let before_ok = i == 0 || !is_ident_byte(bytes[i - 1]);
+        let after_ok = j >= bytes.len() || !is_ident_byte(bytes[j]);
+        if before_ok && after_ok {
+            n += 1;
+        }
+        from = j;
+    }
+    n
+}
+
+fn has_word(code: &str, word: &str) -> bool {
+    count_word(code, word) > 0
+}
+
+/// Whether `line` is part of a comment/attribute block (what we are
+/// willing to walk back through when looking for a SAFETY note).
+fn is_comment_or_attr(line: &str) -> bool {
+    let t = line.trim_start();
+    t.starts_with("//") || t.starts_with("#[") || t.starts_with("#!") || t == ")]"
+}
+
+// ---------------------------------------------------------------------------
+// Lint 1: SAFETY comments on unsafe
+// ---------------------------------------------------------------------------
+
+const SAFETY_MARKERS: [&str; 2] = ["SAFETY:", "# Safety"];
+
+fn line_has_safety_marker(raw: &str) -> bool {
+    SAFETY_MARKERS.iter().any(|m| raw.contains(m))
+}
+
+/// Every `unsafe` keyword in code must have a `SAFETY:` (or `# Safety`
+/// doc section) on the same line or in the contiguous comment/attribute
+/// block directly above it.
+pub fn lint_safety(f: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (idx, raw) in f.lines.iter().enumerate() {
+        if !has_word(&code_portion(raw), "unsafe") {
+            continue;
+        }
+        if line_has_safety_marker(raw) {
+            continue;
+        }
+        let mut justified = false;
+        let mut j = idx;
+        while j > 0 && is_comment_or_attr(&f.lines[j - 1]) {
+            j -= 1;
+            if line_has_safety_marker(&f.lines[j]) {
+                justified = true;
+                break;
+            }
+        }
+        if !justified {
+            out.push(Finding {
+                file: f.rel.clone(),
+                line: idx + 1,
+                lint: "safety-comment",
+                message: "`unsafe` without a SAFETY: justification on the same line \
+                          or in the comment block above"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Lint 2: atomic-ordering allowlist
+// ---------------------------------------------------------------------------
+
+pub const ATOMIC_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Count `Ordering::<variant>` sites in one file, keyed by variant name.
+pub fn count_atomics(f: &SourceFile) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    for raw in &f.lines {
+        let code = code_portion(raw);
+        for ord in ATOMIC_ORDERINGS {
+            let n = count_word(&code, &format!("Ordering::{ord}"));
+            if n > 0 {
+                *counts.entry(ord.to_string()).or_insert(0) += n;
+            }
+        }
+    }
+    counts
+}
+
+/// One `[[site]]` entry from `analyze/atomics.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomicSite {
+    pub file: String,
+    pub ordering: String,
+    pub count: usize,
+    pub reason: String,
+}
+
+/// Parse the TOML subset used by `analyze/atomics.toml`: comments,
+/// blank lines, `[[site]]` headers, and `key = value` pairs where value
+/// is a quoted string or an integer. Anything else is an error — the
+/// allowlist is a lint input and must not silently half-parse.
+pub fn parse_allowlist(src: &str) -> Result<Vec<AtomicSite>, String> {
+    struct Partial {
+        file: Option<String>,
+        ordering: Option<String>,
+        count: Option<usize>,
+        reason: Option<String>,
+        line: usize,
+    }
+    fn finish(p: Partial) -> Result<AtomicSite, String> {
+        let at = format!("[[site]] at line {}", p.line);
+        let site = AtomicSite {
+            file: p.file.ok_or(format!("{at}: missing `file`"))?,
+            ordering: p.ordering.ok_or(format!("{at}: missing `ordering`"))?,
+            count: p.count.ok_or(format!("{at}: missing `count`"))?,
+            reason: p.reason.ok_or(format!("{at}: missing `reason`"))?,
+        };
+        if site.reason.trim().is_empty() {
+            return Err(format!("{at}: `reason` must not be empty"));
+        }
+        if !ATOMIC_ORDERINGS.contains(&site.ordering.as_str()) {
+            return Err(format!("{at}: unknown ordering `{}`", site.ordering));
+        }
+        Ok(site)
+    }
+
+    let mut sites = Vec::new();
+    let mut cur: Option<Partial> = None;
+    for (idx, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[site]]" {
+            if let Some(p) = cur.take() {
+                sites.push(finish(p)?);
+            }
+            cur = Some(Partial {
+                file: None,
+                ordering: None,
+                count: None,
+                reason: None,
+                line: idx + 1,
+            });
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or(format!("line {}: expected `key = value`", idx + 1))?;
+        let p = cur
+            .as_mut()
+            .ok_or(format!("line {}: key before any [[site]]", idx + 1))?;
+        let value = value.trim();
+        let parsed_str = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .map(str::to_string);
+        match key.trim() {
+            "file" => {
+                p.file =
+                    Some(parsed_str.ok_or(format!("line {}: `file` must be quoted", idx + 1))?)
+            }
+            "ordering" => {
+                p.ordering = Some(
+                    parsed_str.ok_or(format!("line {}: `ordering` must be quoted", idx + 1))?,
+                )
+            }
+            "reason" => {
+                p.reason =
+                    Some(parsed_str.ok_or(format!("line {}: `reason` must be quoted", idx + 1))?)
+            }
+            "count" => {
+                p.count = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("line {}: `count` must be an integer", idx + 1))?,
+                )
+            }
+            other => return Err(format!("line {}: unknown key `{other}`", idx + 1)),
+        }
+    }
+    if let Some(p) = cur.take() {
+        sites.push(finish(p)?);
+    }
+    Ok(sites)
+}
+
+/// Compare observed `Ordering::` sites against the allowlist: unlisted
+/// sites, count drift, and stale entries are all findings.
+pub fn lint_atomics(files: &[SourceFile], allowlist_src: &str) -> Vec<Finding> {
+    let sites = match parse_allowlist(allowlist_src) {
+        Ok(s) => s,
+        Err(e) => {
+            return vec![Finding {
+                file: "analyze/atomics.toml".to_string(),
+                line: 0,
+                lint: "atomic-ordering",
+                message: format!("allowlist parse error: {e}"),
+            }]
+        }
+    };
+    let mut allowed: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for s in &sites {
+        *allowed
+            .entry((s.file.clone(), s.ordering.clone()))
+            .or_insert(0) += s.count;
+    }
+    let mut observed: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for f in files {
+        for (ord, n) in count_atomics(f) {
+            observed.insert((f.rel.clone(), ord), n);
+        }
+    }
+
+    let mut out = Vec::new();
+    for ((file, ord), n) in &observed {
+        match allowed.get(&(file.clone(), ord.clone())) {
+            None => out.push(Finding {
+                file: file.clone(),
+                line: 0,
+                lint: "atomic-ordering",
+                message: format!(
+                    "{n} `Ordering::{ord}` site(s) not justified in analyze/atomics.toml"
+                ),
+            }),
+            Some(a) if a != n => out.push(Finding {
+                file: file.clone(),
+                line: 0,
+                lint: "atomic-ordering",
+                message: format!(
+                    "`Ordering::{ord}` count drifted: {n} in source, {a} justified — \
+                     re-audit and update analyze/atomics.toml"
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    for ((file, ord), a) in &allowed {
+        if !observed.contains_key(&(file.clone(), ord.clone())) {
+            out.push(Finding {
+                file: "analyze/atomics.toml".to_string(),
+                line: 0,
+                lint: "atomic-ordering",
+                message: format!(
+                    "stale entry: {file} has no `Ordering::{ord}` sites (justifies {a})"
+                ),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Lint 3: hot-path lock ban
+// ---------------------------------------------------------------------------
+
+const HOT_PATH_SUPPRESSION: &str = "lint:allow(hot-path-lock)";
+
+/// Hot-path modules where a blocking lock is a design violation: the
+/// request-buffer relaxation core and the parallel kernels.
+pub fn is_hot_path(rel: &str) -> bool {
+    rel.starts_with("crates/core/src/parallel")
+        || rel == "crates/core/src/reqbuf.rs"
+        || rel.starts_with("crates/gblas/src/parallel")
+}
+
+/// `Mutex`/`RwLock` in a hot-path file must carry an explicit
+/// `lint:allow(hot-path-lock): <reason>` on the same or previous line.
+pub fn lint_hot_path_locks(f: &SourceFile) -> Vec<Finding> {
+    if !is_hot_path(&f.rel) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (idx, raw) in f.lines.iter().enumerate() {
+        let code = code_portion(raw);
+        let hit = ["Mutex", "RwLock"]
+            .into_iter()
+            .find(|w| has_word(&code, w));
+        let Some(word) = hit else { continue };
+        let mut suppressed = raw.contains(HOT_PATH_SUPPRESSION);
+        let mut j = idx;
+        while !suppressed && j > 0 && is_comment_or_attr(&f.lines[j - 1]) {
+            j -= 1;
+            suppressed = f.lines[j].contains(HOT_PATH_SUPPRESSION);
+        }
+        if !suppressed {
+            out.push(Finding {
+                file: f.rel.clone(),
+                line: idx + 1,
+                lint: "hot-path-lock",
+                message: format!(
+                    "`{word}` in a hot-path module — relaxation paths are contention-free \
+                     by design; add `{HOT_PATH_SUPPRESSION}: <reason>` if deliberate"
+                ),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Lint 4: implementation dispatch / determinism coverage
+// ---------------------------------------------------------------------------
+
+/// Concatenated code of the `{ ... }` block opened by the first line at
+/// or after `start` containing `marker`. Empty string when not found.
+fn block_after(f: &SourceFile, marker: &str) -> String {
+    let Some(start) = f.lines.iter().position(|l| l.contains(marker)) else {
+        return String::new();
+    };
+    let mut depth = 0usize;
+    let mut seen_open = false;
+    let mut body = String::new();
+    for raw in &f.lines[start..] {
+        let code = code_portion(raw);
+        body.push_str(&code);
+        body.push('\n');
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    seen_open = true;
+                }
+                '}' => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        if seen_open && depth == 0 {
+            break;
+        }
+    }
+    body
+}
+
+/// Quoted string literals occurring on `=>` match-arm lines of a block.
+fn arm_literals(block: &str) -> Vec<(Vec<String>, String)> {
+    let mut out = Vec::new();
+    for line in block.lines() {
+        let Some((lhs, rhs)) = line.split_once("=>") else {
+            continue;
+        };
+        let mut lits = Vec::new();
+        let mut rest = lhs;
+        while let Some(open) = rest.find('"') {
+            let tail = &rest[open + 1..];
+            let Some(close) = tail.find('"') else { break };
+            lits.push(tail[..close].to_string());
+            rest = &tail[close + 1..];
+        }
+        if !lits.is_empty() {
+            out.push((lits, rhs.trim().to_string()));
+        }
+    }
+    out
+}
+
+/// Check the `Implementation` front door in `run.rs` against the
+/// determinism suite:
+///
+/// - every enum variant is dispatched (`Implementation::<V>` appears in
+///   the `run_with_budget` body);
+/// - every `parse()` alias maps to a dispatched variant;
+/// - every canonical `name()` literal appears quoted in
+///   `tests/determinism.rs`.
+///
+/// NB: `arm_literals` reads *raw* lines from the parse/name blocks, so
+/// this helper takes the raw source and re-slices it.
+pub fn lint_impl_coverage(run_rs: &SourceFile, determinism_src: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut finding = |message: String| {
+        out.push(Finding {
+            file: run_rs.rel.clone(),
+            line: 0,
+            lint: "impl-coverage",
+            message,
+        });
+    };
+
+    // Enum variants.
+    let enum_block = block_after(run_rs, "pub enum Implementation");
+    let mut variants: Vec<String> = Vec::new();
+    for line in enum_block.lines().skip(1) {
+        let t = line.trim().trim_end_matches(',');
+        if !t.is_empty()
+            && t.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+            && t.chars().all(|c| c.is_ascii_alphanumeric())
+        {
+            variants.push(t.to_string());
+        }
+    }
+    if variants.is_empty() {
+        finding("could not locate `pub enum Implementation` variants".to_string());
+        return out;
+    }
+
+    // Dispatch body.
+    let dispatch = block_after(run_rs, "pub fn run_with_budget");
+    if dispatch.is_empty() {
+        finding("could not locate `pub fn run_with_budget`".to_string());
+        return out;
+    }
+    for v in &variants {
+        if !has_word(&dispatch, &format!("Implementation::{v}")) {
+            finding(format!(
+                "variant `{v}` is not dispatched inside run_with_budget"
+            ));
+        }
+    }
+
+    // parse() aliases — raw lines needed for the string literals, so
+    // rebuild a raw block: from the `pub fn parse` line to its close.
+    let raw_src = run_rs.lines.join("\n");
+    let parse_raw = raw_block(&raw_src, "pub fn parse");
+    let mut any_alias = false;
+    for (aliases, rhs) in arm_literals(&parse_raw) {
+        let Some(vstart) = rhs.find("Implementation::") else {
+            continue;
+        };
+        let v: String = rhs[vstart + "Implementation::".len()..]
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric())
+            .collect();
+        any_alias = true;
+        if !variants.contains(&v) {
+            finding(format!(
+                "parse() aliases {aliases:?} map to unknown variant `{v}`"
+            ));
+        } else if !has_word(&dispatch, &format!("Implementation::{v}")) {
+            finding(format!(
+                "parse() aliases {aliases:?} reach `{v}`, which run_with_budget never dispatches"
+            ));
+        }
+    }
+    if !any_alias {
+        finding("could not locate parse() name aliases".to_string());
+    }
+
+    // name() canonical strings must be pinned in the determinism suite.
+    let name_raw = raw_block(&raw_src, "pub fn name");
+    let mut any_name = false;
+    for (lits, _) in arm_literals(&name_raw) {
+        // name() arms are `Variant => "literal"`, so the literal is on
+        // the rhs; arm_literals keyed on lhs literals skips them.
+        let _ = lits;
+    }
+    for line in name_raw.lines() {
+        let Some((_, rhs)) = line.split_once("=>") else {
+            continue;
+        };
+        let Some(open) = rhs.find('"') else { continue };
+        let tail = &rhs[open + 1..];
+        let Some(close) = tail.find('"') else { continue };
+        let name = &tail[..close];
+        any_name = true;
+        if !determinism_src.contains(&format!("\"{name}\"")) {
+            finding(format!(
+                "canonical name \"{name}\" is not covered as a literal in tests/determinism.rs"
+            ));
+        }
+    }
+    if !any_name {
+        finding("could not locate name() canonical strings".to_string());
+    }
+    out
+}
+
+/// Raw-text variant of [`block_after`]: lines from the one containing
+/// `marker` through the line where its brace block closes.
+fn raw_block(src: &str, marker: &str) -> String {
+    let lines: Vec<&str> = src.lines().collect();
+    let Some(start) = lines.iter().position(|l| l.contains(marker)) else {
+        return String::new();
+    };
+    let mut depth = 0usize;
+    let mut seen_open = false;
+    let mut out = String::new();
+    for raw in &lines[start..] {
+        out.push_str(raw);
+        out.push('\n');
+        for c in code_portion(raw).chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    seen_open = true;
+                }
+                '}' => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        if seen_open && depth == 0 {
+            break;
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Scanner + driver
+// ---------------------------------------------------------------------------
+
+fn excluded(rel: &str) -> bool {
+    rel.starts_with("vendor/")
+        || rel.starts_with("target/")
+        || rel.contains("/target/")
+        || rel.starts_with("crates/analyze")
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if excluded(&rel) {
+            continue;
+        }
+        if path.is_dir() {
+            walk(&path, root, out);
+        } else if rel.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Load every scanned `.rs` file under the repo root, sorted by path.
+pub fn load_sources(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut paths = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, root, &mut paths);
+        }
+    }
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for p in paths {
+        let src = fs::read_to_string(&p).map_err(|e| format!("{}: {e}", p.display()))?;
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(&p)
+            .to_string_lossy()
+            .replace('\\', "/");
+        files.push(SourceFile::from_str(&rel, &src));
+    }
+    Ok(files)
+}
+
+/// Run every lint against the repo at `root`.
+pub fn run_all(root: &Path) -> Result<Vec<Finding>, String> {
+    let files = load_sources(root)?;
+    let allowlist = fs::read_to_string(root.join("analyze/atomics.toml"))
+        .map_err(|e| format!("analyze/atomics.toml: {e}"))?;
+
+    let mut findings = Vec::new();
+    for f in &files {
+        findings.extend(lint_safety(f));
+        findings.extend(lint_hot_path_locks(f));
+    }
+    findings.extend(lint_atomics(&files, &allowlist));
+
+    let run_rs = files
+        .iter()
+        .find(|f| f.rel == "crates/core/src/run.rs")
+        .ok_or("crates/core/src/run.rs not found")?;
+    let determinism = fs::read_to_string(root.join("tests/determinism.rs"))
+        .map_err(|e| format!("tests/determinism.rs: {e}"))?;
+    findings.extend(lint_impl_coverage(run_rs, &determinism));
+
+    findings.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    Ok(findings)
+}
+
+/// Observed `Ordering::` sites across the repo, in `atomics.toml` entry
+/// order — the `--list-atomics` dump used to (re)populate the allowlist.
+pub fn list_atomics(root: &Path) -> Result<String, String> {
+    let files = load_sources(root)?;
+    let mut out = String::new();
+    for f in &files {
+        for (ord, n) in count_atomics(f) {
+            out.push_str(&format!(
+                "[[site]]\nfile = \"{}\"\nordering = \"{ord}\"\ncount = {n}\nreason = \"TODO\"\n\n",
+                f.rel
+            ));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sf(rel: &str, src: &str) -> SourceFile {
+        SourceFile::from_str(rel, src)
+    }
+
+    // -- lint 1 ----------------------------------------------------------
+
+    #[test]
+    fn flags_unsafe_without_safety_comment() {
+        let f = sf(
+            "crates/x/src/lib.rs",
+            "fn f(p: *mut u8) {\n    unsafe { *p = 0 };\n}\n",
+        );
+        let fs = lint_safety(&f);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].line, 2);
+        assert_eq!(fs[0].lint, "safety-comment");
+    }
+
+    #[test]
+    fn safety_comment_above_or_inline_is_accepted() {
+        let above = sf(
+            "a.rs",
+            "// SAFETY: p is valid for writes by contract.\nunsafe { *p = 0 };\n",
+        );
+        assert!(lint_safety(&above).is_empty());
+        let inline = sf("b.rs", "let v = unsafe { x.get() }; // SAFETY: unique owner\n");
+        assert!(lint_safety(&inline).is_empty());
+        let doc_section = sf(
+            "c.rs",
+            "/// # Safety\n/// Caller must outlive the scope.\n#[inline]\nunsafe fn g() {}\n",
+        );
+        assert!(lint_safety(&doc_section).is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_comment_or_string_is_ignored() {
+        let f = sf(
+            "a.rs",
+            "// this mentions unsafe casually\nlet s = \"unsafe\";\n",
+        );
+        assert!(lint_safety(&f).is_empty());
+    }
+
+    #[test]
+    fn non_adjacent_safety_comment_does_not_count() {
+        let f = sf(
+            "a.rs",
+            "// SAFETY: stale note\nlet x = 1;\nunsafe { drop_raw(x) };\n",
+        );
+        assert_eq!(lint_safety(&f).len(), 1);
+    }
+
+    // -- lint 2 ----------------------------------------------------------
+
+    const GOOD_LIST: &str = r#"
+# header
+[[site]]
+file = "crates/x/src/a.rs"
+ordering = "Relaxed"
+count = 2
+reason = "heuristic counter, never load-acquired"
+"#;
+
+    #[test]
+    fn atomics_clean_when_counts_match() {
+        let f = sf(
+            "crates/x/src/a.rs",
+            "a.fetch_add(1, Ordering::Relaxed);\nb.store(0, Ordering::Relaxed);\n",
+        );
+        assert!(lint_atomics(&[f], GOOD_LIST).is_empty());
+    }
+
+    #[test]
+    fn flags_unlisted_and_drifted_orderings() {
+        let unlisted = sf("crates/x/src/b.rs", "a.load(Ordering::SeqCst);\n");
+        let fs = lint_atomics(&[unlisted], GOOD_LIST);
+        // one unlisted site + one stale entry (a.rs has no sites at all)
+        assert_eq!(fs.len(), 2);
+        assert!(fs.iter().any(|f| f.message.contains("not justified")));
+        assert!(fs.iter().any(|f| f.message.contains("stale entry")));
+
+        let drifted = sf(
+            "crates/x/src/a.rs",
+            "a.fetch_add(1, Ordering::Relaxed);\n",
+        );
+        let fs = lint_atomics(&[drifted], GOOD_LIST);
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].message.contains("count drifted"));
+    }
+
+    #[test]
+    fn cmp_ordering_is_out_of_scope() {
+        let f = sf(
+            "crates/x/src/c.rs",
+            "match a.cmp(&b) { Ordering::Less => {} _ => {} }\n",
+        );
+        assert!(count_atomics(&f).is_empty());
+    }
+
+    #[test]
+    fn allowlist_rejects_empty_reason_and_bad_ordering() {
+        let empty = "[[site]]\nfile = \"a.rs\"\nordering = \"Relaxed\"\ncount = 1\nreason = \"\"\n";
+        assert!(parse_allowlist(empty).is_err());
+        let bad = "[[site]]\nfile = \"a.rs\"\nordering = \"Sequential\"\ncount = 1\nreason = \"x\"\n";
+        assert!(parse_allowlist(bad).is_err());
+    }
+
+    // -- lint 3 ----------------------------------------------------------
+
+    #[test]
+    fn flags_mutex_in_hot_path_and_honors_suppression() {
+        let bad = sf(
+            "crates/core/src/reqbuf.rs",
+            "use parking_lot::Mutex;\nstatic L: Mutex<()> = Mutex::new(());\n",
+        );
+        let fs = lint_hot_path_locks(&bad);
+        assert_eq!(fs.len(), 2);
+        assert!(fs.iter().all(|f| f.lint == "hot-path-lock"));
+
+        let ok = sf(
+            "crates/core/src/parallel_atomic.rs",
+            "// lint:allow(hot-path-lock): cold merge path only\nuse parking_lot::Mutex;\n",
+        );
+        assert!(lint_hot_path_locks(&ok).is_empty());
+
+        let elsewhere = sf("crates/core/src/buckets.rs", "use std::sync::Mutex;\n");
+        assert!(lint_hot_path_locks(&elsewhere).is_empty());
+    }
+
+    // -- lint 4 ----------------------------------------------------------
+
+    const MINI_RUN_RS: &str = r#"
+pub enum Implementation {
+    Canonical,
+    Fused,
+}
+impl Implementation {
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "delta" | "canonical" => Some(Implementation::Canonical),
+            "fused" => Some(Implementation::Fused),
+            _ => None,
+        }
+    }
+    pub fn name(self) -> &'static str {
+        match self {
+            Implementation::Canonical => "canonical",
+            Implementation::Fused => "fused",
+        }
+    }
+}
+pub fn run_with_budget(imp: Implementation) {
+    match imp {
+        Implementation::Canonical => {}
+        Implementation::Fused => {}
+    }
+}
+"#;
+
+    #[test]
+    fn impl_coverage_clean_on_complete_front_door() {
+        let run = sf("crates/core/src/run.rs", MINI_RUN_RS);
+        let det = "let names = [\"canonical\", \"fused\"];";
+        assert!(lint_impl_coverage(&run, det).is_empty());
+    }
+
+    #[test]
+    fn impl_coverage_flags_missing_dispatch_and_missing_test_literal() {
+        let broken = MINI_RUN_RS.replace(
+            "        Implementation::Fused => {}\n    }\n}",
+            "        _ => {}\n    }\n}",
+        );
+        let run = sf("crates/core/src/run.rs", &broken);
+        let det = "let names = [\"canonical\"];";
+        let fs = lint_impl_coverage(&run, det);
+        assert!(
+            fs.iter()
+                .any(|f| f.message.contains("`Fused` is not dispatched")),
+            "{fs:?}"
+        );
+        assert!(
+            fs.iter()
+                .any(|f| f.message.contains("\"fused\" is not covered")),
+            "{fs:?}"
+        );
+    }
+
+    // -- self-test: the repo itself is clean ------------------------------
+
+    #[test]
+    fn repo_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap();
+        let findings = run_all(&root).expect("lint run");
+        assert!(
+            findings.is_empty(),
+            "repo has lint findings:\n{}",
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! `sssp-analyze` — the workspace's repo-invariant lint, run in CI.
+//!
+//! ```text
+//! cargo run -p sssp-analyze                 # all lints; exit 1 on findings
+//! cargo run -p sssp-analyze -- --list-atomics  # dump observed Ordering:: sites
+//! cargo run -p sssp-analyze -- --root <dir>    # lint a different checkout
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut list = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list-atomics" => list = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag `{other}` (use --list-atomics, --root <dir>)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.canonicalize() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot resolve repo root {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if list {
+        return match sssp_analyze::list_atomics(&root) {
+            Ok(dump) => {
+                print!("{dump}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("sssp-analyze: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    match sssp_analyze::run_all(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("sssp-analyze: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("sssp-analyze: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("sssp-analyze: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

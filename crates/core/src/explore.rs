@@ -1,0 +1,273 @@
+//! Seeded bounded-preemption schedule exploration for the parallel
+//! implementations, driven by the `racecheck` happens-before tracker.
+//!
+//! [`crate::parallel_sim`] records the task decomposition a threaded run
+//! *would* create; this module goes one step further and actually
+//! **permutes** it: with [`taskpool::sched`] armed, every scoped task of
+//! a real run is executed under a controller that picks execution order
+//! (and, at instrumented chunk boundaries, mid-task preemption points)
+//! from a seeded RNG. Each `(seed, preemption budget)` pair is one
+//! deterministic adversarial schedule.
+//!
+//! For every explored schedule [`explore`] asserts the two halves of the
+//! determinism contract:
+//!
+//! 1. **No conflicting unordered accesses** — the racecheck session must
+//!    come back empty (taskpool's fork/join instrumentation is always
+//!    compiled; the per-element hooks in the relaxation loops need the
+//!    `racecheck` cargo feature, without which a schedule can still be
+//!    permuted but sees only the coarse-grained accesses).
+//! 2. **Bit-identical output** — distances must equal the sequential
+//!    fused reference bit for bit on *every* schedule, and distances and
+//!    stats must match the first explored seed (the repo-wide guarantee
+//!    the determinism suite checks per thread count, here checked per
+//!    schedule).
+//!
+//! Exploration forces the relaxation threshold to 1
+//! ([`crate::reqbuf::set_relax_threshold_override`]) so that the fig-4
+//! sized graphs CI can afford still take the parallel producer/merge
+//! paths instead of short-circuiting to the sequential scatter.
+
+use std::ops::Range;
+
+use graphdata::CsrGraph;
+use taskpool::ThreadPool;
+
+use crate::budget::RunBudget;
+use crate::engine::SsspEngine;
+use crate::guard::{GuardConfig, SsspError};
+use crate::run::{run_with_budget, Implementation};
+use crate::stats::SsspStats;
+
+/// Exploration bounds: which seeds to run and how adversarial each
+/// schedule may get.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// One schedule per seed. CI runs `0..64`; the in-tree default stays
+    /// small so plain `cargo test` wall-clock is unaffected.
+    pub seeds: Range<u64>,
+    /// Maximum mid-task preemptions per schedule (the CHESS bound: few
+    /// preemptions expose most races; the seed permutes task *order*
+    /// for free on top).
+    pub preemption_budget: u32,
+    /// Worker threads in the pool. Clamped to ≥ 2 — a 1-thread pool
+    /// makes every parallel path short-circuit to its sequential branch
+    /// and there would be nothing to explore.
+    pub threads: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            seeds: 0..8,
+            preemption_budget: 6,
+            threads: 2,
+        }
+    }
+}
+
+/// What an exploration saw: schedule count, every race (with the seed
+/// that produced it), every seed whose output diverged, and the total
+/// number of shadow-state events checked.
+#[derive(Debug, Default)]
+pub struct ExploreReport {
+    /// Schedules actually executed.
+    pub schedules: usize,
+    /// `(seed, race)` for every conflicting unordered access pair found.
+    pub races: Vec<(u64, racecheck::Race)>,
+    /// Seeds whose distances or stats differed from the fused reference
+    /// or from the first explored seed (or whose run failed outright).
+    pub divergent_seeds: Vec<u64>,
+    /// Total racecheck events across all schedules — a sanity signal
+    /// that instrumentation was actually exercised.
+    pub events: u64,
+}
+
+impl ExploreReport {
+    /// No races and no divergence on any explored schedule.
+    pub fn is_clean(&self) -> bool {
+        self.races.is_empty() && self.divergent_seeds.is_empty()
+    }
+}
+
+/// RAII: force the sequential/parallel cut-over to 1 for the duration of
+/// an exploration, restoring the default on drop (also on panic).
+struct ThresholdGuard;
+
+impl ThresholdGuard {
+    fn set() -> ThresholdGuard {
+        crate::reqbuf::set_relax_threshold_override(Some(1));
+        ThresholdGuard
+    }
+}
+
+impl Drop for ThresholdGuard {
+    fn drop(&mut self) {
+        crate::reqbuf::set_relax_threshold_override(None);
+    }
+}
+
+fn bits(dist: &[f64]) -> Vec<u64> {
+    dist.iter().map(|d| d.to_bits()).collect()
+}
+
+/// Run `imp` on `g` once per seed under the armed schedule controller,
+/// checking race-freedom and bit-identical output on every schedule.
+///
+/// The fused sequential reference is computed first, outside the tracing
+/// session and with the scheduler disarmed.
+pub fn explore(
+    imp: Implementation,
+    g: &CsrGraph,
+    source: usize,
+    delta: f64,
+    cfg: &ExploreConfig,
+) -> ExploreReport {
+    let reference = crate::fused::delta_stepping_fused(g, source, delta);
+    let ref_bits = bits(&reference.dist);
+    let pool = ThreadPool::with_threads(cfg.threads.max(2)).expect("pool");
+    let _threshold = ThresholdGuard::set();
+    // One session across all seeds (the session lock is not reentrant);
+    // per-seed isolation comes from `reset`.
+    let session = racecheck::Session::new();
+    let mut report = ExploreReport::default();
+    let mut first: Option<(Vec<u64>, SsspStats)> = None;
+    for seed in cfg.seeds.clone() {
+        session.reset();
+        taskpool::sched::arm(seed, cfg.preemption_budget);
+        let run = run_with_budget(
+            imp,
+            g,
+            source,
+            delta,
+            Some(&pool),
+            &GuardConfig::default(),
+            &mut RunBudget::unlimited(),
+        );
+        taskpool::sched::disarm();
+        report.schedules += 1;
+        report.events += session.events();
+        report
+            .races
+            .extend(session.take_races().into_iter().map(|r| (seed, r)));
+        match run {
+            Ok(rep) if rep.degraded.is_none() => {
+                let b = bits(&rep.result.dist);
+                if b != ref_bits {
+                    report.divergent_seeds.push(seed);
+                    continue;
+                }
+                match &first {
+                    None => first = Some((b, rep.result.stats)),
+                    Some((b0, s0)) => {
+                        if &b != b0 || &rep.result.stats != s0 {
+                            report.divergent_seeds.push(seed);
+                        }
+                    }
+                }
+            }
+            _ => report.divergent_seeds.push(seed),
+        }
+    }
+    report
+}
+
+/// The cancel-then-resume path under adversarial schedules: per seed,
+/// cancel a parallel-improved run after `cancel_epoch` budget checks,
+/// then resume its checkpoint through [`SsspEngine::resume_parallel_improved`]
+/// — both halves armed on the same seed — and require the stitched result
+/// to be bit-identical (distances *and* stats) to the fused reference.
+pub fn explore_cancel_resume(
+    g: &CsrGraph,
+    source: usize,
+    delta: f64,
+    cancel_epoch: u64,
+    cfg: &ExploreConfig,
+) -> ExploreReport {
+    let reference = crate::fused::delta_stepping_fused(g, source, delta);
+    let ref_bits = bits(&reference.dist);
+    let pool = ThreadPool::with_threads(cfg.threads.max(2)).expect("pool");
+    let _threshold = ThresholdGuard::set();
+    let session = racecheck::Session::new();
+    let mut report = ExploreReport::default();
+    for seed in cfg.seeds.clone() {
+        session.reset();
+        taskpool::sched::arm(seed, cfg.preemption_budget);
+        let outcome = (|| -> Result<(), ()> {
+            let err = crate::parallel_improved::delta_stepping_parallel_improved_checked(
+                &pool,
+                g,
+                source,
+                delta,
+                &mut RunBudget::unlimited().cancel_after(cancel_epoch),
+            )
+            .map(|_| ()) // completing before the cancel means the epoch was too late
+            .err()
+            .ok_or(())?;
+            let cp = match err {
+                SsspError::Cancelled { checkpoint } => checkpoint,
+                _ => return Err(()),
+            };
+            let mut engine = SsspEngine::new(g);
+            let (resumed, _) = engine
+                .resume_parallel_improved(&pool, &cp, &mut RunBudget::unlimited())
+                .map_err(|_| ())?;
+            // Improved is bit-identical to fused in distances and stats.
+            if bits(&resumed.dist) != ref_bits || resumed.stats != reference.stats {
+                return Err(());
+            }
+            Ok(())
+        })();
+        taskpool::sched::disarm();
+        report.schedules += 1;
+        report.events += session.events();
+        report
+            .races
+            .extend(session.take_races().into_iter().map(|r| (seed, r)));
+        if outcome.is_err() {
+            report.divergent_seeds.push(seed);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphdata::gen::grid2d;
+
+    #[test]
+    fn smoke_explore_improved_is_clean() {
+        let g = CsrGraph::from_edge_list(&grid2d(5, 5)).unwrap();
+        let cfg = ExploreConfig {
+            seeds: 0..3,
+            ..ExploreConfig::default()
+        };
+        let report = explore(Implementation::ParallelImproved, &g, 0, 1.0, &cfg);
+        assert_eq!(report.schedules, 3);
+        assert!(
+            report.is_clean(),
+            "races: {:?}, divergent: {:?}",
+            report.races,
+            report.divergent_seeds
+        );
+        assert!(report.events > 0, "instrumentation must have fired");
+    }
+
+    #[test]
+    fn smoke_cancel_resume_is_clean() {
+        let g = CsrGraph::from_edge_list(&grid2d(5, 5)).unwrap();
+        let cfg = ExploreConfig {
+            seeds: 0..2,
+            ..ExploreConfig::default()
+        };
+        let report = explore_cancel_resume(&g, 0, 1.0, 2, &cfg);
+        assert_eq!(report.schedules, 2);
+        assert!(
+            report.is_clean(),
+            "races: {:?}, divergent: {:?}",
+            report.races,
+            report.divergent_seeds
+        );
+    }
+}

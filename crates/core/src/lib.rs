@@ -45,6 +45,7 @@ pub mod checkpoint;
 pub mod delta;
 pub mod dijkstra;
 pub mod engine;
+pub mod explore;
 pub mod fused;
 pub mod gblas_impl;
 pub mod gblas_parallel;

@@ -25,6 +25,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use graphdata::CsrGraph;
+// lint:allow(hot-path-lock): preserved atomic baseline kept for benchmark
+// comparison; the lock is per-completed-chunk, not per-edge — see DESIGN §9.
 use parking_lot::Mutex;
 use taskpool::{scope, split_evenly, ThreadPool};
 
@@ -68,6 +70,15 @@ use crate::INF;
 /// itself.
 #[inline]
 pub fn atomic_min_f64(cell: &AtomicU64, value: f64) -> f64 {
+    // Modeled for the race checker as one AcqRel RMW event: the Acquire
+    // load + Release CAS pair is at least that strong on the winning
+    // path, and the read-only early return touches nothing but this cell.
+    #[cfg(feature = "racecheck")]
+    racecheck::atomic_rmw(
+        "atomic.req",
+        cell as *const AtomicU64,
+        racecheck::SyncOrd::AcqRel,
+    );
     let mut cur = cell.load(Ordering::Acquire);
     loop {
         let cur_f = f64::from_bits(cur);
@@ -132,6 +143,8 @@ fn relax_atomic(
         return;
     }
     let ranges = split_evenly(0..frontier.len(), pool.num_threads() * 4);
+    // lint:allow(hot-path-lock): locked once per completed chunk (the design
+    // reqbuf replaced); kept so BENCH_sssp.json can measure before/after.
     let parts: Mutex<Vec<(Vec<usize>, u64)>> = Mutex::new(Vec::with_capacity(ranges.len()));
     scope(pool, |s| {
         for range in ranges {
@@ -141,6 +154,11 @@ fn relax_atomic(
                 let mut processed = 0u64;
                 for p in range {
                     let v = frontier[p];
+                    #[cfg(feature = "racecheck")]
+                    {
+                        taskpool::sched::yield_point();
+                        racecheck::plain_read("sssp.dist", &dist[v] as *const f64);
+                    }
                     let tv = dist[v];
                     let (targets, weights) = edges(v);
                     for (&u, &w) in targets.iter().zip(weights.iter()) {
@@ -273,7 +291,7 @@ pub fn delta_stepping_parallel_atomic_checked(
                 &req,
                 &mut touched,
                 &mut result.stats.relaxations,
-                SEQ_THRESHOLD,
+                crate::reqbuf::effective_threshold(SEQ_THRESHOLD),
             );
             profile.relaxation += t0.elapsed();
 
@@ -283,11 +301,28 @@ pub fn delta_stepping_parallel_atomic_checked(
             for &u in &touched {
                 // Plain post-barrier reads: the scope join (see
                 // `atomic_min_f64`'s ordering notes) makes the workers'
-                // stores visible here even at `Relaxed`.
+                // stores visible here even at `Relaxed`. The racecheck
+                // hooks record exactly that claim — Relaxed accesses that
+                // must be ordered by the join edge alone.
+                #[cfg(feature = "racecheck")]
+                {
+                    racecheck::atomic_load(
+                        "atomic.req",
+                        &req[u] as *const AtomicU64,
+                        racecheck::SyncOrd::Relaxed,
+                    );
+                    racecheck::atomic_store(
+                        "atomic.req",
+                        &req[u] as *const AtomicU64,
+                        racecheck::SyncOrd::Relaxed,
+                    );
+                }
                 let cand = f64::from_bits(req[u].load(Ordering::Relaxed));
                 req[u].store(INF.to_bits(), Ordering::Relaxed);
                 if cand < result.dist[u] {
                     result.stats.improvements += 1;
+                    #[cfg(feature = "racecheck")]
+                    racecheck::plain_write("sssp.dist", &result.dist[u] as *const f64);
                     result.dist[u] = cand;
                     if bucket_of(cand, delta) == i {
                         frontier.push(u);
@@ -309,15 +344,30 @@ pub fn delta_stepping_parallel_atomic_checked(
             &req,
             &mut touched,
             &mut result.stats.relaxations,
-            SEQ_THRESHOLD,
+            crate::reqbuf::effective_threshold(SEQ_THRESHOLD),
         );
         profile.relaxation += t0.elapsed();
         let t0 = Instant::now();
         for &u in &touched {
+            #[cfg(feature = "racecheck")]
+            {
+                racecheck::atomic_load(
+                    "atomic.req",
+                    &req[u] as *const AtomicU64,
+                    racecheck::SyncOrd::Relaxed,
+                );
+                racecheck::atomic_store(
+                    "atomic.req",
+                    &req[u] as *const AtomicU64,
+                    racecheck::SyncOrd::Relaxed,
+                );
+            }
             let cand = f64::from_bits(req[u].load(Ordering::Relaxed));
             req[u].store(INF.to_bits(), Ordering::Relaxed);
             if cand < result.dist[u] {
                 result.stats.improvements += 1;
+                #[cfg(feature = "racecheck")]
+                racecheck::plain_write("sssp.dist", &result.dist[u] as *const f64);
                 result.dist[u] = cand;
             }
         }

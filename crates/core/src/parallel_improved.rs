@@ -362,6 +362,10 @@ fn improved_loop(
             relax.drain_requests(|u, cand| {
                 if cand < dist[u] {
                     stats.improvements += 1;
+                    // Conflicts with the producer tasks' dist reads across
+                    // phases — the join edge must order them.
+                    #[cfg(feature = "racecheck")]
+                    racecheck::plain_write("sssp.dist", &dist[u] as *const f64);
                     dist[u] = cand;
                     if bucket_of(cand, delta) == i {
                         frontier.push(u);
@@ -389,6 +393,8 @@ fn improved_loop(
         relax.drain_requests(|u, cand| {
             if cand < dist[u] {
                 stats.improvements += 1;
+                #[cfg(feature = "racecheck")]
+                racecheck::plain_write("sssp.dist", &dist[u] as *const f64);
                 dist[u] = cand;
             }
         });

@@ -31,6 +31,8 @@
 //! the caller, so multi-run users (the engine, bench loops) pay the
 //! allocations once.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use taskpool::{scope_with_buffers, split_evenly, ThreadPool};
 
 use crate::fused::LightHeavy;
@@ -39,6 +41,28 @@ use crate::INF;
 /// Edge-product count below which the sequential scatter beats task
 /// setup + merge.
 pub const SEQ_RELAX_THRESHOLD: usize = 512;
+
+/// Process-wide override of the sequential/parallel cut-over (0 = unset).
+/// The schedule explorer sets this to 1 so that even the fig-4-sized
+/// graphs it runs take the parallel producer/merge path — otherwise every
+/// explored schedule would short-circuit to the sequential branch and
+/// prove nothing. Relaxed: a plain configuration cell read at phase
+/// start; it carries no data.
+static SEQ_THRESHOLD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Override (or clear, with `None`) the sequential/parallel cut-over used
+/// by every relaxation path that does not pass an explicit threshold.
+pub fn set_relax_threshold_override(threshold: Option<usize>) {
+    SEQ_THRESHOLD_OVERRIDE.store(threshold.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The cut-over currently in force: the override if set, else `default`.
+pub(crate) fn effective_threshold(default: usize) -> usize {
+    match SEQ_THRESHOLD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => default,
+        t => t,
+    }
+}
 
 /// One producer task's sparse request buffer: parallel arrays of
 /// `(target, candidate)` plus the count of edge relaxations the task
@@ -139,7 +163,7 @@ pub fn relax_buffered(
         use_light,
         ws,
         relaxations,
-        SEQ_RELAX_THRESHOLD,
+        effective_threshold(SEQ_RELAX_THRESHOLD),
     )
 }
 
@@ -193,6 +217,14 @@ pub fn relax_buffered_with_threshold(
         let mut processed = 0u64;
         for p in range {
             let v = frontier[p];
+            #[cfg(feature = "racecheck")]
+            {
+                // Chunk-boundary interleaving + the shared-read the
+                // checker must prove ordered before the next phase's
+                // dist writes.
+                taskpool::sched::yield_point();
+                racecheck::plain_read("sssp.dist", &dist[v] as *const f64);
+            }
             let tv = dist[v];
             let (targets, weights) = edges(v);
             for (&u, &w) in targets.iter().zip(weights.iter()) {
@@ -209,6 +241,8 @@ pub fn relax_buffered_with_threshold(
     // before us.
     let RelaxWorkspace { req, touched, bufs } = ws;
     for buf in bufs.iter_mut().take(active) {
+        #[cfg(feature = "racecheck")]
+        racecheck::plain_read("scope_with_buffers.buf", &*buf as *const RequestBuf);
         for (&u, &c) in buf.tgt.iter().zip(buf.cand.iter()) {
             offer(req, touched, u, c);
         }

@@ -193,6 +193,11 @@ pub(crate) fn mask_write_vector<T: Scalar>(
     mask: Option<&VectorMask>,
     desc: Descriptor,
 ) {
+    // The single mutation point of every vector operation's output: any
+    // task reading `out` concurrently with this write is a race the
+    // checker must see.
+    #[cfg(feature = "racecheck")]
+    racecheck::plain_write("gblas.vec.out", &*out as *const Vector<T>);
     match mask {
         None => {
             if desc.complement_mask {
@@ -278,6 +283,8 @@ pub(crate) fn mask_write_matrix<T: Scalar>(
     mask: Option<&MatrixMask>,
     desc: Descriptor,
 ) {
+    #[cfg(feature = "racecheck")]
+    racecheck::plain_write("gblas.mat.out", &*out as *const Matrix<T>);
     match mask {
         None => {
             if desc.complement_mask {

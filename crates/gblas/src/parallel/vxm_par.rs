@@ -68,6 +68,13 @@ where
         let mut present = vec![false; ncols];
         let mut touched: Vec<usize> = Vec::new();
         for p in chunk {
+            #[cfg(feature = "racecheck")]
+            {
+                // Chunk-boundary interleaving + the shared frontier read
+                // every producer task performs.
+                taskpool::sched::yield_point();
+                racecheck::plain_read("gblas.vxm.u", &u.values()[p] as *const UD);
+            }
             let i = u.indices()[p];
             let uv = u.values()[p];
             let (cols, vals) = a.row(i);

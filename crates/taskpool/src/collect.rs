@@ -27,8 +27,14 @@ use crate::scope::scope;
 /// scope barrier has joined every task.
 struct Slot<T>(UnsafeCell<Option<T>>);
 
-// SAFETY: access discipline documented on the type; `T: Send` is required
-// because values move from worker threads to the caller.
+// SAFETY: `Sync` lets `&Slot` cross into worker threads, but the access
+// discipline documented on the type means there is never a concurrent
+// pair of accesses to the inner cell: task `k` is the unique writer of
+// slot `k` (enforced by construction in `scope_collect` — each index is
+// moved into exactly one closure), and the caller reads only after the
+// scope barrier, whose completion counter is a Release/Acquire edge.
+// `T: Send` is required because values move from worker threads to the
+// caller. The racecheck hooks below assert this discipline dynamically.
 unsafe impl<T: Send> Sync for Slot<T> {}
 
 /// Run `f(index, input)` as one scoped task per element of `inputs` and
@@ -59,12 +65,22 @@ where
         for (k, input) in inputs.into_iter().enumerate() {
             s.spawn(move || {
                 let value = f(k, input);
+                let cell = slots_ref[k].0.get();
+                racecheck::plain_write("scope_collect.slot", cell as *const Option<T>);
                 // SAFETY: slot `k` belongs to this task alone; the caller
                 // reads it only after `scope` joins all tasks.
-                unsafe { *slots_ref[k].0.get() = Some(value) };
+                unsafe { *cell = Some(value) };
             });
         }
     });
+    if racecheck::enabled() {
+        // Record the caller-side reads at the slots' real addresses
+        // *before* `into_iter` moves the elements; this is the access the
+        // join edges must order after every task's write.
+        for slot in &slots {
+            racecheck::plain_read("scope_collect.slot", slot.0.get() as *const Option<T>);
+        }
+    }
     slots
         .into_iter()
         .map(|slot| {
@@ -109,7 +125,10 @@ where
         // `iter_mut` hands out disjoint `&mut B`s, so every task owns its
         // buffer outright for the duration of the scope — no lock needed.
         for ((k, buf), input) in bufs.iter_mut().enumerate().zip(inputs) {
-            s.spawn(move || f(k, buf, input));
+            s.spawn(move || {
+                racecheck::plain_write("scope_with_buffers.buf", &*buf as *const B);
+                f(k, buf, input)
+            });
         }
     });
 }

@@ -41,6 +41,7 @@ mod join;
 mod parallel_for;
 mod pool;
 mod reduce;
+pub mod sched;
 mod scope;
 
 pub use collect::{scope_collect, scope_with_buffers};

@@ -36,7 +36,10 @@ impl Shared {
         self.panicked_tasks.fetch_add(1, Ordering::SeqCst);
     }
     pub(crate) fn push(&self, job: Job) {
-        self.pending.fetch_add(1, Ordering::SeqCst);
+        // Relaxed: `pending` is a never-loaded heuristic counter (see the
+        // field doc); the spawner-to-worker hand-off is ordered by the
+        // injector's own synchronization.
+        self.pending.fetch_add(1, Ordering::Relaxed);
         self.injector.push(job);
         self.wakeup.notify_one();
     }
@@ -49,7 +52,8 @@ impl Shared {
             match self.injector.steal() {
                 Steal::Success(job) => {
                     job();
-                    self.pending.fetch_sub(1, Ordering::SeqCst);
+                    // Relaxed: heuristic counter, never loaded (see push).
+                    self.pending.fetch_sub(1, Ordering::Relaxed);
                     return true;
                 }
                 Steal::Retry => continue,

@@ -28,11 +28,21 @@ struct ScopeState {
     panic: Mutex<Option<PanicPayload>>,
     done_lock: Mutex<()>,
     done: Condvar,
+    /// Racecheck task ids of every spawned task, consumed for the join
+    /// edges once the barrier has passed. Empty when tracing is off.
+    traced: Mutex<Vec<racecheck::TaskId>>,
+    /// Jobs withheld from the pool while the schedule explorer is armed;
+    /// drained through [`crate::sched::run_deferred`] by the barrier.
+    deferred: Mutex<Vec<Job>>,
 }
 
 impl ScopeState {
     fn task_finished(&self) {
-        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+        // Release pairs with the barrier's Acquire loads of `pending`:
+        // the decrement-to-zero publishes everything the task wrote (the
+        // RMW chain on `pending` carries intermediate decrements, as in
+        // `Arc::drop`).
+        if self.pending.fetch_sub(1, Ordering::Release) == 1 {
             let _guard = self.done_lock.lock();
             self.done.notify_all();
         }
@@ -55,14 +65,33 @@ impl<'pool, 'env> Scope<'pool, 'env> {
     where
         F: FnOnce() + Send + 'env,
     {
-        self.state.pending.fetch_add(1, Ordering::SeqCst);
+        // Relaxed: the spawner-to-worker hand-off is ordered by the
+        // injector push (or the deferred-queue mutex); this counter only
+        // needs the barrier-side Release/Acquire pairing in
+        // `task_finished` / `scope_impl`.
+        self.state.pending.fetch_add(1, Ordering::Relaxed);
+        // Fork edge: the child task's clock starts at the spawner's, so
+        // everything the spawner did before this line happens-before the
+        // task body.
+        let tid = racecheck::task_fork();
+        if let Some(t) = tid {
+            self.state.traced.lock().push(t);
+        }
         let state = Arc::clone(&self.state);
         let shared = Arc::clone(self.pool.shared());
         let task = move || {
+            if let Some(t) = tid {
+                racecheck::task_begin(t);
+            }
             let result = catch_unwind(AssertUnwindSafe(|| {
                 crate::fault::check_injected_fault();
                 f()
             }));
+            if let Some(t) = tid {
+                // After catch_unwind so the thread's task stack stays
+                // balanced even when the body panicked.
+                racecheck::task_end(t);
+            }
             if let Err(payload) = result {
                 shared.note_panicked_task();
                 let mut slot = state.panic.lock();
@@ -75,7 +104,13 @@ impl<'pool, 'env> Scope<'pool, 'env> {
         // SAFETY: `scope` blocks until `pending` reaches zero, so the closure
         // (and everything it borrows from `'env`) outlives its execution.
         let job: Job = unsafe { erase_lifetime(Box::new(task)) };
-        self.pool.shared().push(job);
+        if crate::sched::armed() {
+            // Schedule exploration: the barrier runs these under the
+            // seeded controller instead of the pool's workers.
+            self.state.deferred.lock().push(job);
+        } else {
+            self.pool.shared().push(job);
+        }
     }
 
     /// Number of worker threads in the underlying pool.
@@ -84,9 +119,16 @@ impl<'pool, 'env> Scope<'pool, 'env> {
     }
 }
 
-/// Erase the `'env` lifetime from a boxed task. Sound only because the scope
-/// joins all tasks before returning control to code that could invalidate
-/// `'env` borrows.
+/// Erase the `'env` lifetime from a boxed task.
+///
+/// # Safety
+///
+/// The returned [`Job`] pretends to be `'static` but may borrow from
+/// `'env`. The caller must guarantee the job finishes executing (or is
+/// dropped) before anything it borrows from `'env` is invalidated — i.e.
+/// only a scope that blocks on its completion counter may call this.
+/// The two `dyn` types differ only in the lifetime bound, so the
+/// transmute itself does not change layout.
 unsafe fn erase_lifetime<'env>(f: Box<dyn FnOnce() + Send + 'env>) -> Job {
     std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(f)
 }
@@ -106,6 +148,8 @@ where
         panic: Mutex::new(None),
         done_lock: Mutex::new(()),
         done: Condvar::new(),
+        traced: Mutex::new(Vec::new()),
+        deferred: Mutex::new(Vec::new()),
     });
     let scope_handle = Scope {
         pool,
@@ -114,18 +158,43 @@ where
     };
     let result = catch_unwind(AssertUnwindSafe(|| f(&scope_handle)));
 
+    // Run any jobs withheld for schedule exploration. This must happen
+    // regardless of whether the scheduler is *still* armed (disarming
+    // mid-scope must not strand jobs); `run_deferred` executes inline
+    // when disarmed. Tasks cannot spawn into this scope (the handle does
+    // not escape into task bodies), so one pass drains everything — the
+    // loop is belt-and-braces.
+    loop {
+        let jobs = std::mem::take(&mut *state.deferred.lock());
+        if jobs.is_empty() {
+            break;
+        }
+        crate::sched::run_deferred(jobs);
+    }
+
     // Wait for all tasks, helping with queued work while we wait.
-    while state.pending.load(Ordering::SeqCst) != 0 {
+    // Acquire pairs with the Release decrement in `task_finished`: seeing
+    // zero means every task's writes are visible to the code after the
+    // barrier.
+    while state.pending.load(Ordering::Acquire) != 0 {
         if pool.shared().try_run_one() {
             continue;
         }
         let mut guard = state.done_lock.lock();
-        if state.pending.load(Ordering::SeqCst) == 0 {
+        if state.pending.load(Ordering::Acquire) == 0 {
             break;
         }
         // Short timeout: a queued-but-unstolen job could otherwise leave us
         // parked while work sits in the injector.
         state.done.wait_for(&mut guard, Duration::from_millis(1));
+    }
+
+    // Join edges: everything each task did happens-before everything the
+    // caller does after the barrier.
+    if racecheck::enabled() {
+        for t in state.traced.lock().drain(..) {
+            racecheck::task_join(t);
+        }
     }
 
     let task_panic = state.panic.lock().take();

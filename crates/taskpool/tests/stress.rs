@@ -1,34 +1,48 @@
 //! Stress and property tests for the task pool: heavy concurrent load,
 //! deep nesting, randomized chunked computations checked against
 //! sequential references.
+//!
+//! Shared counters go through [`racecheck::TracedUsize`] instead of raw
+//! atomics, so the tests that open a [`racecheck::Session`] double as a
+//! happens-before smoke test: the same load that stresses the pool also
+//! asserts that every access pattern the pool promises to order really
+//! is ordered. Sessions serialize on a global lock, so only the three
+//! heavyweight tests take one; the proptests still run traced-but-
+//! unsessioned (plain `AcqRel` atomics when no session is active).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use proptest::prelude::*;
+use racecheck::{Session, TracedUsize};
 use taskpool::{join, par_chunks_mut, parallel_for_chunks, parallel_map_reduce, scope, ThreadPool};
 
 #[test]
 fn ten_thousand_tasks_across_many_scopes() {
-    let pool = ThreadPool::with_threads(4).unwrap();
-    let counter = AtomicUsize::new(0);
+    let pool = ThreadPool::with_threads(2).unwrap();
+    let session = Session::new();
+    let counter = TracedUsize::new(0);
     for _ in 0..100 {
         scope(&pool, |s| {
             for _ in 0..100 {
                 s.spawn(|| {
-                    counter.fetch_add(1, Ordering::Relaxed);
+                    counter.fetch_add(1);
                 });
             }
         });
     }
-    assert_eq!(counter.load(Ordering::Relaxed), 10_000);
+    let races = session.take_races();
+    assert!(races.is_empty(), "races under scope load: {races:?}");
+    assert_eq!(counter.load(), 10_000);
+    // Keep the tracker's per-task clock table bounded: one reset per
+    // hundred-scope burst, not one giant 10k-task session.
+    session.reset();
 }
 
 #[test]
 fn deep_nesting_does_not_deadlock() {
     let pool = ThreadPool::with_threads(2).unwrap();
-    fn recurse(pool: &ThreadPool, depth: usize, hits: &AtomicUsize) {
-        hits.fetch_add(1, Ordering::Relaxed);
+    fn recurse(pool: &ThreadPool, depth: usize, hits: &TracedUsize) {
+        hits.fetch_add(1);
         if depth == 0 {
             return;
         }
@@ -37,15 +51,19 @@ fn deep_nesting_does_not_deadlock() {
             s.spawn(|| recurse(pool, depth - 1, hits));
         });
     }
-    let hits = AtomicUsize::new(0);
+    let session = Session::new();
+    let hits = TracedUsize::new(0);
     recurse(&pool, 8, &hits);
-    assert_eq!(hits.load(Ordering::Relaxed), 2usize.pow(9) - 1);
+    let races = session.take_races();
+    assert!(races.is_empty(), "races under nested scopes: {races:?}");
+    assert_eq!(hits.load(), 2usize.pow(9) - 1);
 }
 
 #[test]
 fn concurrent_scopes_from_multiple_os_threads() {
-    let pool = Arc::new(ThreadPool::with_threads(3).unwrap());
-    let counter = Arc::new(AtomicUsize::new(0));
+    let pool = Arc::new(ThreadPool::with_threads(2).unwrap());
+    let session = Session::new();
+    let counter = Arc::new(TracedUsize::new(0));
     let mut handles = Vec::new();
     for _ in 0..4 {
         let pool = Arc::clone(&pool);
@@ -56,7 +74,7 @@ fn concurrent_scopes_from_multiple_os_threads() {
                     for _ in 0..10 {
                         let c = Arc::clone(&counter);
                         s.spawn(move || {
-                            c.fetch_add(1, Ordering::Relaxed);
+                            c.fetch_add(1);
                         });
                     }
                 });
@@ -66,7 +84,9 @@ fn concurrent_scopes_from_multiple_os_threads() {
     for h in handles {
         h.join().unwrap();
     }
-    assert_eq!(counter.load(Ordering::Relaxed), 4 * 50 * 10);
+    let races = session.take_races();
+    assert!(races.is_empty(), "races across OS threads: {races:?}");
+    assert_eq!(counter.load(), 4 * 50 * 10);
 }
 
 #[test]
@@ -123,13 +143,13 @@ proptest! {
         grain in 1usize..200,
     ) {
         let pool = ThreadPool::with_threads(3).unwrap();
-        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let hits: Vec<TracedUsize> = (0..n).map(|_| TracedUsize::new(0)).collect();
         let hits_ref = &hits;
         parallel_for_chunks(&pool, 0..n, grain, |r| {
             for i in r {
-                hits_ref[i].fetch_add(1, Ordering::Relaxed);
+                hits_ref[i].fetch_add(1);
             }
         });
-        prop_assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        prop_assert!(hits.iter().all(|h| h.load() == 1));
     }
 }

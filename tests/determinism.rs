@@ -5,10 +5,15 @@
 //! built to honour: requests are merged in spawn order, so no schedule
 //! interleaving can leak into the result.
 
+use std::str::FromStr;
+
 use graphdata::{paper_suite, suite::weighted_suite, CsrGraph, SuiteScale};
 use sssp_core::engine::SsspEngine;
 use sssp_core::result::SsspResult;
-use sssp_core::{fused, gblas_parallel, parallel, parallel_atomic, parallel_improved, RunBudget};
+use sssp_core::{
+    fused, gblas_parallel, parallel, parallel_atomic, parallel_improved, run_with_budget,
+    GuardConfig, Implementation, RunBudget,
+};
 use taskpool::ThreadPool;
 
 const RUNS: usize = 20;
@@ -109,6 +114,54 @@ fn engine_reuse_is_deterministic_and_matches_direct_calls() {
             engine.stats().split_hits as usize,
             RUNS * sources.len() - 1
         );
+    }
+}
+
+#[test]
+fn front_door_covers_every_impl_name_deterministically() {
+    // The shared front door must accept every canonical `--impl` name
+    // and give deterministic bits for each: this literal list is what
+    // `sssp-analyze`'s impl-coverage lint pins against `run.rs`, so a
+    // new Implementation variant cannot ship without being added here.
+    const NAMES: [&str; 6] = [
+        "canonical",
+        "fused",
+        "gblas",
+        "parallel",
+        "improved",
+        "improved-atomic",
+    ];
+    // Unit weights: the gblas implementation rejects zero-weight edges.
+    let d = paper_suite(SuiteScale::Smoke).remove(1);
+    let g = &d.graph;
+    let delta = 1.0;
+    let src = g.num_vertices() / 2;
+    let reference = fused::delta_stepping_fused(g, src, delta);
+
+    for name in NAMES {
+        let imp = Implementation::from_str(name).expect("front-door name must parse");
+        assert_eq!(imp.name(), name, "parse(name()) must round-trip");
+        for &threads in &THREADS {
+            let pool = ThreadPool::with_threads(threads).expect("pool");
+            for rep in 0..3 {
+                let rep_out = run_with_budget(
+                    imp,
+                    g,
+                    src,
+                    delta,
+                    Some(&pool),
+                    &GuardConfig::default(),
+                    &mut RunBudget::unlimited(),
+                )
+                .expect("valid inputs");
+                assert!(rep_out.degraded.is_none(), "{name}: degraded run");
+                assert_eq!(
+                    bits(&rep_out.result.dist),
+                    bits(&reference.dist),
+                    "{name}: distances diverged at {threads} thread(s), rep {rep}"
+                );
+            }
+        }
     }
 }
 

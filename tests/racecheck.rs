@@ -1,0 +1,188 @@
+//! Concurrency soundness suite: the happens-before race checker against
+//! both sides of the contract.
+//!
+//! Positive direction: every implementation dispatched by the shared
+//! front door stays race-free and bit-identical across seeded
+//! adversarial schedules (including a cancel-then-resume split run).
+//! Negative direction: deliberately unsound fixtures — the old
+//! fully-`Relaxed` `atomic_min` and an overlapping-chunk partition —
+//! MUST be flagged, proving the checker has teeth.
+//!
+//! Schedule count comes from `RACECHECK_SCHEDULES` (CI sets 64; the
+//! default stays small so plain `cargo test` wall-clock is unaffected).
+//! Each test opens a [`racecheck::Session`], which serializes them on
+//! the tracker's global lock, so no `--test-threads` pinning is needed
+//! for correctness — CI still pins to 1 to keep timings stable.
+//!
+//! Fine-grained per-element hooks in the relaxation loops need the
+//! `racecheck` cargo feature; without it the exploration still permutes
+//! schedules and checks output bits, over coarser-grained events.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use graphdata::gen::grid2d;
+use graphdata::CsrGraph;
+use racecheck::{Session, SyncOrd};
+use sssp_core::explore::{explore, explore_cancel_resume, ExploreConfig};
+use sssp_core::Implementation;
+use taskpool::{scope, ThreadPool};
+
+fn schedules() -> u64 {
+    std::env::var("RACECHECK_SCHEDULES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8)
+}
+
+fn small_graph() -> CsrGraph {
+    // Unit weights: the gblas implementation rejects zero-weight edges.
+    CsrGraph::from_edge_list(&grid2d(6, 6)).expect("grid")
+}
+
+/// The pre-soundness-pass relaxation primitive, reintroduced verbatim as
+/// a negative fixture: a fully `Relaxed` CAS min. Under C11 this is not
+/// a data race, but it leaves sibling RMWs unordered — exactly the
+/// discipline violation the checker bans (and what the audit replaced
+/// with the acquire/release chain in `parallel_atomic::atomic_min_f64`).
+fn atomic_min_relaxed(cell: &AtomicU64, val: f64) {
+    racecheck::atomic_rmw("fixture.req", cell as *const AtomicU64, SyncOrd::Relaxed);
+    let mut cur = cell.load(Ordering::Relaxed);
+    while f64::from_bits(cur) > val {
+        match cell.compare_exchange_weak(cur, val.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// The audited replacement, with hooks matching its real orderings.
+fn atomic_min_acqrel(cell: &AtomicU64, val: f64) {
+    racecheck::atomic_rmw("fixture.req", cell as *const AtomicU64, SyncOrd::AcqRel);
+    let mut cur = cell.load(Ordering::Acquire);
+    while f64::from_bits(cur) > val {
+        match cell.compare_exchange_weak(cur, val.to_bits(), Ordering::Release, Ordering::Acquire)
+        {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+#[test]
+fn relaxed_atomic_min_fixture_is_flagged() {
+    let pool = ThreadPool::with_threads(2).expect("pool");
+    let session = Session::new();
+    let cell = AtomicU64::new(f64::INFINITY.to_bits());
+    scope(&pool, |s| {
+        let cell = &cell;
+        s.spawn(move || atomic_min_relaxed(cell, 2.0));
+        s.spawn(move || atomic_min_relaxed(cell, 3.0));
+    });
+    let races = session.take_races();
+    assert!(
+        races
+            .iter()
+            .any(|r| r.label == "fixture.req" && r.kind == "write-write"),
+        "Relaxed/Relaxed atomic_min must be flagged as unordered, got: {races:?}"
+    );
+}
+
+#[test]
+fn acqrel_atomic_min_fixture_is_clean() {
+    let pool = ThreadPool::with_threads(2).expect("pool");
+    let session = Session::new();
+    let cell = AtomicU64::new(f64::INFINITY.to_bits());
+    scope(&pool, |s| {
+        let cell = &cell;
+        s.spawn(move || atomic_min_acqrel(cell, 2.0));
+        s.spawn(move || atomic_min_acqrel(cell, 3.0));
+    });
+    let races = session.take_races();
+    assert!(
+        races.is_empty(),
+        "acquire/release RMW chain must be ordered, got: {races:?}"
+    );
+}
+
+#[test]
+fn overlapping_chunk_partition_is_flagged() {
+    // A seeded "chunking bug": two tasks whose index ranges overlap by
+    // one element. Storage is atomic (no real UB while we demonstrate
+    // the logical race), but each element is *modeled* as the plain
+    // write a chunked kernel would perform.
+    let n = 64usize;
+    let mut seed = 0xDEAD_BEEF_u64;
+    let mut rng = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    let cut = 1 + (rng() as usize) % (n - 2);
+    let a = 0..cut + 1; // off-by-one: both tasks own index `cut`
+    let b = cut..n;
+    let cells: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+
+    let pool = ThreadPool::with_threads(2).expect("pool");
+    let session = Session::new();
+    scope(&pool, |s| {
+        for range in [a, b] {
+            let cells = &cells;
+            s.spawn(move || {
+                for i in range {
+                    racecheck::plain_write("fixture.chunk", &cells[i] as *const AtomicU64);
+                    cells[i].store(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let races = session.take_races();
+    assert!(
+        races
+            .iter()
+            .any(|r| r.label == "fixture.chunk" && r.kind == "write-write"),
+        "overlapping chunks must produce a write-write race, got: {races:?}"
+    );
+}
+
+#[test]
+fn all_implementations_are_race_free_across_schedules() {
+    let g = small_graph();
+    let cfg = ExploreConfig {
+        seeds: 0..schedules(),
+        ..ExploreConfig::default()
+    };
+    let mut total_events = 0u64;
+    for imp in Implementation::ALL {
+        let report = explore(imp, &g, 0, 1.0, &cfg);
+        assert_eq!(report.schedules as u64, schedules());
+        assert!(
+            report.is_clean(),
+            "{}: races {:?}, divergent seeds {:?}",
+            imp.name(),
+            report.races,
+            report.divergent_seeds
+        );
+        total_events += report.events;
+    }
+    // The parallel implementations must actually have been traced.
+    assert!(total_events > 0, "no shadow-state events recorded");
+}
+
+#[test]
+fn cancel_then_resume_is_race_free_and_bit_identical() {
+    let g = small_graph();
+    let cfg = ExploreConfig {
+        seeds: 0..schedules(),
+        ..ExploreConfig::default()
+    };
+    let report = explore_cancel_resume(&g, 0, 1.0, 2, &cfg);
+    assert_eq!(report.schedules as u64, schedules());
+    assert!(
+        report.is_clean(),
+        "cancel/resume: races {:?}, divergent seeds {:?}",
+        report.races,
+        report.divergent_seeds
+    );
+}
