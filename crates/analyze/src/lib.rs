@@ -246,6 +246,15 @@ pub fn parse_allowlist(src: &str) -> Result<Vec<AtomicSite>, String> {
         if site.reason.trim().is_empty() {
             return Err(format!("{at}: `reason` must not be empty"));
         }
+        // A placeholder reason defeats the lint's whole purpose: every
+        // entry must say why that ordering is sufficient at that site.
+        if site.reason.trim().starts_with("TODO") {
+            return Err(format!(
+                "{at}: `reason` is a TODO placeholder — write why `{}` is \
+                 sufficient for the {} site(s) in {}",
+                site.ordering, site.count, site.file
+            ));
+        }
         if !ATOMIC_ORDERINGS.contains(&site.ordering.as_str()) {
             return Err(format!("{at}: unknown ordering `{}`", site.ordering));
         }
@@ -703,13 +712,19 @@ pub fn run_all(root: &Path) -> Result<Vec<Finding>, String> {
 
 /// Observed `Ordering::` sites across the repo, in `atomics.toml` entry
 /// order — the `--list-atomics` dump used to (re)populate the allowlist.
+///
+/// The `reason` line is emitted commented out: an entry pasted verbatim
+/// fails [`parse_allowlist`] with a missing-`reason` error instead of
+/// slipping a placeholder justification past the lint (and
+/// [`parse_allowlist`] rejects literal `TODO` reasons besides).
 pub fn list_atomics(root: &Path) -> Result<String, String> {
     let files = load_sources(root)?;
     let mut out = String::new();
     for f in &files {
         for (ord, n) in count_atomics(f) {
             out.push_str(&format!(
-                "[[site]]\nfile = \"{}\"\nordering = \"{ord}\"\ncount = {n}\nreason = \"TODO\"\n\n",
+                "[[site]]\nfile = \"{}\"\nordering = \"{ord}\"\ncount = {n}\n\
+                 # reason = \"REQUIRED: why {ord} is sufficient at these sites\"\n\n",
                 f.rel
             ));
         }
@@ -826,6 +841,29 @@ reason = "heuristic counter, never load-acquired"
         assert!(parse_allowlist(empty).is_err());
         let bad = "[[site]]\nfile = \"a.rs\"\nordering = \"Sequential\"\ncount = 1\nreason = \"x\"\n";
         assert!(parse_allowlist(bad).is_err());
+    }
+
+    #[test]
+    fn allowlist_rejects_todo_placeholder_reasons() {
+        let todo =
+            "[[site]]\nfile = \"a.rs\"\nordering = \"Relaxed\"\ncount = 1\nreason = \"TODO\"\n";
+        let err = parse_allowlist(todo).unwrap_err();
+        assert!(err.contains("TODO placeholder"), "{err}");
+        let todo_ish = "[[site]]\nfile = \"a.rs\"\nordering = \"Relaxed\"\ncount = 1\n\
+                        reason = \"TODO: audit this later\"\n";
+        assert!(parse_allowlist(todo_ish).is_err());
+    }
+
+    #[test]
+    fn list_atomics_template_cannot_be_pasted_without_a_reason() {
+        // The dump's entry shape, as emitted by list_atomics: the reason
+        // line is a comment, so verbatim pasting fails with a
+        // missing-required-field error rather than parsing with a
+        // placeholder justification.
+        let template = "[[site]]\nfile = \"crates/x/src/a.rs\"\nordering = \"Relaxed\"\n\
+                        count = 2\n# reason = \"REQUIRED: why Relaxed is sufficient at these sites\"\n";
+        let err = parse_allowlist(template).unwrap_err();
+        assert!(err.contains("missing `reason`"), "{err}");
     }
 
     // -- lint 3 ----------------------------------------------------------

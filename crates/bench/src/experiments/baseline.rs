@@ -54,6 +54,14 @@ pub struct BenchEntry {
     /// Run statistics (identical across implementations by construction;
     /// recorded so a stats drift fails the regression check too).
     pub stats: SsspStats,
+    /// `true` when this graph's fused run finished under
+    /// [`MIN_TIMED_MS`] at *measurement* time: the entry is recorded as
+    /// `"timing": "stats-only"` in `BENCH_sssp.json` and the regression
+    /// check never compares its wall times, only its counters. Decided
+    /// when the baseline is generated — not re-derived from fresh
+    /// timings — so a graph near the floor cannot flap in and out of the
+    /// timing gate between CI runs.
+    pub stats_only: bool,
 }
 
 impl ToJson for BenchEntry {
@@ -67,6 +75,10 @@ impl ToJson for BenchEntry {
             ("threads", self.threads.to_json()),
             ("median_ms", self.median_ms.to_json()),
             ("min_ms", self.min_ms.to_json()),
+            (
+                "timing",
+                if self.stats_only { "stats-only" } else { "timed" }.to_json(),
+            ),
             ("relaxations", self.stats.relaxations.to_json()),
             ("improvements", self.stats.improvements.to_json()),
             ("buckets_processed", self.stats.buckets_processed.to_json()),
@@ -107,6 +119,21 @@ pub fn run(scale: SuiteScale, threads: usize, reps: Reps) -> Vec<BenchEntry> {
         assert_eq!(im.dist, dj.dist, "{}: improved disagrees with Dijkstra", d.name);
         assert_eq!(im.stats, fu.stats, "{}: stats drift", d.name);
 
+        let ms = |(med, min): (std::time::Duration, std::time::Duration)| {
+            (med.as_secs_f64() * 1e3, min.as_secs_f64() * 1e3)
+        };
+
+        // Measure fused first: its minimum decides — once, at baseline
+        // generation — whether this graph's entries are timing-eligible
+        // or stats-only.
+        let fused_t = ms(measure_median_min(
+            || {
+                std::hint::black_box(fused::delta_stepping_fused(g, src, DELTA));
+            },
+            reps,
+        ));
+        let stats_only = fused_t.1 < MIN_TIMED_MS;
+
         let entry = |impl_name: &str,
                      threads: usize,
                      (median_ms, min_ms): (f64, f64),
@@ -120,19 +147,10 @@ pub fn run(scale: SuiteScale, threads: usize, reps: Reps) -> Vec<BenchEntry> {
             median_ms,
             min_ms,
             stats,
+            stats_only,
         };
 
-        let ms = |(med, min): (std::time::Duration, std::time::Duration)| {
-            (med.as_secs_f64() * 1e3, min.as_secs_f64() * 1e3)
-        };
-
-        let t = measure_median_min(
-            || {
-                std::hint::black_box(fused::delta_stepping_fused(g, src, DELTA));
-            },
-            reps,
-        );
-        entries.push(entry(Implementation::Fused.name(), 1, ms(t), fu.stats.clone()));
+        entries.push(entry(Implementation::Fused.name(), 1, fused_t, fu.stats.clone()));
 
         let t = measure_median_min(
             || {
@@ -238,8 +256,12 @@ impl CheckReport {
 ///   graph, and the fresh ratio must not exceed the baseline ratio by
 ///   more than [`TOLERANCE`]. Minima (not medians) are compared —
 ///   interference only ever adds time, so the minimum is far more
-///   stable on shared machines — and graphs whose fused run is under
-///   [`MIN_TIMED_MS`] are excluded as pure noise.
+///   stable on shared machines. Graphs the baseline marks
+///   `"timing": "stats-only"` are never time-compared — the decision was
+///   made once when the baseline was generated, so a graph near the
+///   [`MIN_TIMED_MS`] floor cannot flake in and out of the gate as CI
+///   machines speed up or slow down. The dynamic floor still applies on
+///   top, for baselines predating the marker.
 ///
 /// Datapoints the baseline has but the fresh run is missing fail only
 /// when the fresh run covered that scale at all (a `--smoke` run
@@ -287,6 +309,20 @@ pub fn check_against(baseline: &Json, fresh: &[BenchEntry]) -> CheckReport {
         }
     }
 
+    // Graphs the baseline pinned as stats-only: timing never applies.
+    let base_stats_only: std::collections::BTreeSet<(String, String)> = entries
+        .iter()
+        .filter_map(|e| {
+            if e.get("timing").and_then(Json::as_str) != Some("stats-only") {
+                return None;
+            }
+            Some((
+                e.get("scale").and_then(Json::as_str)?.to_string(),
+                e.get("graph").and_then(Json::as_str)?.to_string(),
+            ))
+        })
+        .collect();
+
     // Timing gate on fused-normalized minima.
     let fresh_ratios = ratio_map(
         fresh
@@ -314,7 +350,10 @@ pub fn check_against(baseline: &Json, fresh: &[BenchEntry]) -> CheckReport {
             }
             continue;
         };
-        if *fused_ms < MIN_TIMED_MS || *base_fused_ms < MIN_TIMED_MS {
+        if base_stats_only.contains(&(scale.clone(), graph.clone()))
+            || *fused_ms < MIN_TIMED_MS
+            || *base_fused_ms < MIN_TIMED_MS
+        {
             report.skipped += 1;
             continue;
         }
@@ -401,6 +440,7 @@ mod tests {
             median_ms: ms,
             min_ms: ms,
             stats: SsspStats::default(),
+            stats_only: false,
         };
         let baseline_doc = to_document(&[mk("fused", 1.0), mk("improved", 2.0)]);
         // Fresh ratio 4.0 vs baseline 2.0: > 25% regression.
@@ -429,6 +469,7 @@ mod tests {
             median_ms: ms,
             min_ms: ms,
             stats: SsspStats::default(),
+            stats_only: false,
         };
         // Fused under MIN_TIMED_MS: even a 5x ratio blow-up is ignored —
         // microsecond wall times on a shared core are pure noise.
@@ -437,6 +478,42 @@ mod tests {
         assert!(report.passed(), "{:?}", report.failures);
         assert_eq!(report.skipped, 1);
         assert_eq!(report.timed, 0);
+    }
+
+    #[test]
+    fn baseline_stats_only_marker_pins_the_skip_regardless_of_fresh_times() {
+        let mk = |impl_name: &str, ms: f64, stats_only: bool| BenchEntry {
+            scale: "smoke".into(),
+            graph: "tiny".into(),
+            nv: 10,
+            ne: 20,
+            impl_name: impl_name.into(),
+            threads: 2,
+            median_ms: ms,
+            min_ms: ms,
+            stats: SsspStats::default(),
+            stats_only,
+        };
+        // The baseline recorded this graph as stats-only even though its
+        // times sit above the floor (say, the baseline machine was slow).
+        // A fresh run with any ratio — here a 10x blow-up on a fused time
+        // also above the floor — must still skip the timing gate: the
+        // marker, not the fresh measurement, decides.
+        let baseline_doc =
+            to_document(&[mk("fused", 2.0, true), mk("improved", 4.0, true)]);
+        let parsed = Json::parse(&baseline_doc.render()).unwrap();
+        let report = check_against(
+            &parsed,
+            &[mk("fused", 2.0, false), mk("improved", 40.0, false)],
+        );
+        assert!(report.passed(), "{:?}", report.failures);
+        assert_eq!(report.skipped, 1);
+        assert_eq!(report.timed, 0);
+        // And the marker round-trips through the JSON document.
+        let entries = parsed.get("entries").and_then(Json::as_arr).unwrap();
+        assert!(entries
+            .iter()
+            .all(|e| e.get("timing").and_then(Json::as_str) == Some("stats-only")));
     }
 
     #[test]
@@ -454,6 +531,7 @@ mod tests {
                 relaxations,
                 ..SsspStats::default()
             },
+            stats_only: true,
         };
         let baseline_doc = to_document(&[mk("fused", 100), mk("improved", 100)]);
         let report =

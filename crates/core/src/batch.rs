@@ -1,6 +1,6 @@
 //! The resilient batch front door: run many SSSP queries against one
 //! graph with bounded admission, per-job deadlines, and panic-isolated
-//! workers that degrade instead of dying.
+//! worker engines that degrade instead of dying.
 //!
 //! [`BatchRunner`] is the multi-source counterpart of
 //! [`run_with_budget`](crate::run::run_with_budget). It owns a bounded
@@ -19,12 +19,26 @@
 //!    reset because a worker died); only a second failure yields
 //!    [`BatchOutcome::Failed`].
 //!
-//! One batch, one graph: every worker shares the immutable
-//! [`CsrGraph`], so the queue holds only `(index, source)` pairs.
+//! One batch, one graph, **one split**: every worker drives an
+//! [`SsspEngine`] over a shared [`SplitCache`], so a same-Δ batch builds
+//! the light/heavy matrix split exactly once no matter how many workers
+//! drain the queue (the paper puts that filter at 35–40 % of runtime —
+//! it is the cost worth amortizing). Parallel implementations share one
+//! [`ThreadPool`]; if pool creation fails, the batch does not silently
+//! fall back — every affected job completes on the sequential fused path
+//! with its `degraded` flag set and the failure is reported in
+//! [`BatchReport::pool_degraded`].
+//!
+//! With [`BatchConfig::checkpoint_dir`] set, budget-stopped jobs persist
+//! their checkpoint to disk (`ckpt-<source>.bin`, the
+//! [`Checkpoint::to_bytes`] format) and a later batch — same process or
+//! a fresh one — resumes each from its file, landing on distances and
+//! stats bit-identical to an uninterrupted run.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use graphdata::CsrGraph;
@@ -32,9 +46,11 @@ use taskpool::ThreadPool;
 
 use crate::budget::{CancelToken, RunBudget};
 use crate::checkpoint::Checkpoint;
+use crate::engine::SsspEngine;
 use crate::guard::{GuardConfig, SsspError};
 use crate::result::SsspResult;
 use crate::run::{run_with_budget, Implementation};
+use crate::split_cache::{SplitCache, SplitCacheStats};
 
 /// Configuration for a [`BatchRunner`].
 #[derive(Debug, Clone)]
@@ -58,9 +74,13 @@ pub struct BatchConfig {
     pub cancel: Option<CancelToken>,
     /// Guard tunables for preflight and the epoch budget.
     pub guard: GuardConfig,
-    /// Threads per worker-owned [`ThreadPool`] when
+    /// Threads in the batch-shared [`ThreadPool`] used when
     /// [`BatchConfig::implementation`] is parallel.
     pub pool_threads: usize,
+    /// When set, budget-stopped jobs persist their checkpoint to
+    /// `<dir>/ckpt-<source>.bin` and later batches resume from those
+    /// files (deleting each on completion).
+    pub checkpoint_dir: Option<PathBuf>,
 }
 
 impl Default for BatchConfig {
@@ -74,6 +94,7 @@ impl Default for BatchConfig {
             cancel: None,
             guard: GuardConfig::default(),
             pool_threads: 2,
+            checkpoint_dir: None,
         }
     }
 }
@@ -82,14 +103,16 @@ impl Default for BatchConfig {
 #[derive(Debug, Clone)]
 pub enum BatchOutcome {
     /// The job ran to completion (possibly on the degraded sequential
-    /// path after a worker panic — see `degraded`).
+    /// path after a worker panic or a failed pool creation — see
+    /// `degraded`).
     Complete {
         /// Full distances and counters.
         result: SsspResult,
         /// The Δ actually used (after any configured fallback).
         delta: f64,
-        /// `Some(panic message)` when the result came from the
-        /// sequential-fused retry after a worker panic.
+        /// `Some(reason)` when the result came from the sequential-fused
+        /// path instead of the requested implementation: a worker panic
+        /// message, or the pool-creation failure.
         degraded: Option<String>,
     },
     /// The job was stopped by its budget (deadline, cancellation, or
@@ -100,6 +123,9 @@ pub enum BatchOutcome {
         checkpoint: Checkpoint,
         /// Human-readable stop reason (the underlying error display).
         reason: String,
+        /// Where the checkpoint was persisted, when
+        /// [`BatchConfig::checkpoint_dir`] is set and the save succeeded.
+        saved_to: Option<PathBuf>,
     },
     /// The job failed without a usable partial result (bad input, or a
     /// panic that survived the sequential retry).
@@ -141,6 +167,13 @@ impl BatchOutcome {
 pub struct BatchReport {
     /// `(source, outcome)` in submission order.
     pub jobs: Vec<(usize, BatchOutcome)>,
+    /// `Some(error)` when the shared [`ThreadPool`] could not be created
+    /// for a parallel implementation: every job then ran on the
+    /// sequential fused path and carries its own `degraded` flag.
+    pub pool_degraded: Option<String>,
+    /// Counters of the batch-shared split cache — a same-Δ batch shows
+    /// `builds == 1` here regardless of worker count.
+    pub split_cache: SplitCacheStats,
 }
 
 impl BatchReport {
@@ -179,8 +212,9 @@ impl BatchReport {
     }
 }
 
-/// Multi-source SSSP front door with admission control and panic
-/// isolation. See the module docs for the degradation ladder.
+/// Multi-source SSSP front door with admission control, a shared split
+/// cache, and panic isolation. See the module docs for the degradation
+/// ladder.
 ///
 /// ```
 /// use graphdata::{gen::grid2d, CsrGraph};
@@ -190,6 +224,8 @@ impl BatchReport {
 /// let runner = BatchRunner::new(BatchConfig::default());
 /// let report = runner.run(&g, &[0, 7, 35]);
 /// assert!(report.all_complete());
+/// // Three same-Δ jobs, one light/heavy split built.
+/// assert_eq!(report.split_cache.builds, 1);
 /// ```
 #[derive(Debug, Clone)]
 pub struct BatchRunner {
@@ -213,14 +249,21 @@ impl BatchRunner {
         &self.cfg
     }
 
+    /// The checkpoint file a given source persists to under `dir`.
+    pub fn checkpoint_path(dir: &Path, source: usize) -> PathBuf {
+        dir.join(format!("ckpt-{source}.bin"))
+    }
+
     /// Run one job per source and block until the whole batch settles.
     ///
     /// Admission is decided up front and deterministically: the first
     /// `queue_capacity` sources are accepted, the rest come back as
     /// [`BatchOutcome::Rejected`]. Accepted jobs are drained by
-    /// `workers` threads; each worker owns its own [`ThreadPool`] (for
-    /// parallel implementations), so one panicking pool cannot poison a
-    /// neighbour's jobs.
+    /// `workers` threads, each driving an [`SsspEngine`] over one shared
+    /// [`SplitCache`] and (for parallel implementations) one shared
+    /// [`ThreadPool`]. A failed pool creation degrades every job to the
+    /// sequential fused path — visibly, via
+    /// [`BatchReport::pool_degraded`] and per-job `degraded` flags.
     pub fn run(&self, g: &CsrGraph, sources: &[usize]) -> BatchReport {
         let mut outcomes: Vec<Option<BatchOutcome>> = Vec::with_capacity(sources.len());
         let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
@@ -238,21 +281,36 @@ impl BatchRunner {
         let queue = Mutex::new(queue);
         let outcomes = Mutex::new(outcomes);
 
+        // One pool for the whole batch. Creation failure is surfaced,
+        // not swallowed: jobs still run (sequential fused) but each is
+        // flagged degraded and the report carries the error.
+        let (pool, pool_degraded) = if self.cfg.implementation.is_parallel() {
+            match ThreadPool::with_threads(self.cfg.pool_threads) {
+                Ok(p) => (Some(p), None),
+                Err(e) => (None, Some(e.to_string())),
+            }
+        } else {
+            (None, None)
+        };
+        let cache = Arc::new(SplitCache::new());
+
         let workers = self.cfg.workers.min(accepted.max(1));
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
-                    // Per-worker pool: jobs on this worker survive a
-                    // neighbouring worker's panicked pool untouched.
-                    let pool = if self.cfg.implementation.is_parallel() {
-                        ThreadPool::with_threads(self.cfg.pool_threads).ok()
-                    } else {
-                        None
-                    };
+                    // Per-worker engine over the shared split cache: warm
+                    // workspaces stay thread-private, the expensive split
+                    // is fetched (or built exactly once) from the cache.
+                    let mut engine = SsspEngine::with_cache(g, Arc::clone(&cache));
                     loop {
                         let job = queue.lock().expect("queue lock").pop_front();
                         let Some((idx, source)) = job else { break };
-                        let outcome = self.run_job(g, pool.as_ref(), source);
+                        let outcome = self.run_job(
+                            &mut engine,
+                            pool.as_ref(),
+                            pool_degraded.as_deref(),
+                            source,
+                        );
                         outcomes.lock().expect("outcomes lock")[idx] = Some(outcome);
                     }
                 });
@@ -266,13 +324,85 @@ impl BatchRunner {
                 .copied()
                 .zip(outcomes.into_iter().map(|o| o.expect("every job settled")))
                 .collect(),
+            pool_degraded,
+            split_cache: cache.stats(),
         }
     }
 
-    /// One job through the degradation ladder.
-    fn run_job(&self, g: &CsrGraph, pool: Option<&ThreadPool>, source: usize) -> BatchOutcome {
+    /// One job: resume it from a persisted checkpoint when one exists,
+    /// otherwise run it fresh; either way, persist a budget stop.
+    fn run_job(
+        &self,
+        engine: &mut SsspEngine<'_>,
+        pool: Option<&ThreadPool>,
+        pool_unavailable: Option<&str>,
+        source: usize,
+    ) -> BatchOutcome {
+        let path = self
+            .cfg
+            .checkpoint_dir
+            .as_deref()
+            .map(|dir| Self::checkpoint_path(dir, source));
+        if let Some(path) = &path {
+            if path.exists() {
+                // An unreadable, foreign, or non-resumable file is not
+                // fatal: the job simply runs fresh (and overwrites it).
+                if let Ok(cp) = engine.load_checkpoint(path) {
+                    if cp.resumable && cp.source == source {
+                        let outcome = self.resume_job(engine, pool, &cp);
+                        return self.persist(engine, outcome, path);
+                    }
+                }
+            }
+        }
+        let outcome = self.fresh_job(engine, pool, pool_unavailable, source);
+        match path {
+            Some(path) => self.persist(engine, outcome, &path),
+            None => outcome,
+        }
+    }
+
+    /// A fresh run through the degradation ladder.
+    fn fresh_job(
+        &self,
+        engine: &mut SsspEngine<'_>,
+        pool: Option<&ThreadPool>,
+        pool_unavailable: Option<&str>,
+        source: usize,
+    ) -> BatchOutcome {
+        let g = engine.graph();
         let mut budget = self.job_budget(g);
-        // The ladder owns panic recovery: disable run_with_budget's
+
+        // Pool creation failed for a parallel implementation: complete
+        // the job sequentially, but say so.
+        if self.cfg.implementation.is_parallel() && pool.is_none() {
+            let message = format!(
+                "thread pool unavailable ({}); ran on the sequential fused path",
+                pool_unavailable.unwrap_or("no pool")
+            );
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                self.attempt(engine, None, Implementation::Fused, source, &self.cfg.guard, &mut budget)
+            }));
+            return match attempt {
+                Ok(Ok((result, delta, _))) => BatchOutcome::Complete {
+                    result,
+                    delta,
+                    degraded: Some(message),
+                },
+                Ok(Err(err)) => Self::error_outcome(err),
+                Err(payload) => {
+                    engine.reset_workspaces();
+                    BatchOutcome::Failed {
+                        error: format!(
+                            "{message}; the fallback panicked ({})",
+                            panic_message(payload)
+                        ),
+                    }
+                }
+            };
+        }
+
+        // The ladder owns panic recovery: disable the front door's
         // internal fused fallback so every panic surfaces here and the
         // retry policy lives in exactly one place.
         let first_cfg = GuardConfig {
@@ -280,55 +410,167 @@ impl BatchRunner {
             ..self.cfg.guard.clone()
         };
         let first = catch_unwind(AssertUnwindSafe(|| {
-            run_with_budget(
-                self.cfg.implementation,
-                g,
-                source,
-                self.cfg.delta,
-                pool,
-                &first_cfg,
-                &mut budget,
-            )
+            self.attempt(engine, pool, self.cfg.implementation, source, &first_cfg, &mut budget)
         }));
         let panic_reason = match first {
-            Ok(Ok(report)) => {
+            Ok(Ok((result, delta, degraded))) => {
                 return BatchOutcome::Complete {
-                    result: report.result,
-                    delta: report.delta,
-                    degraded: report.degraded,
+                    result,
+                    delta,
+                    degraded,
                 }
             }
             Ok(Err(SsspError::WorkerPanicked { message })) => message,
             Ok(Err(other)) => return Self::error_outcome(other),
-            Err(payload) => panic_message(payload),
+            Err(payload) => {
+                // The engine's workspaces may hold mid-run state.
+                engine.reset_workspaces();
+                panic_message(payload)
+            }
         };
         // Retry once on the sequential fused path: fresh epoch
         // allowance, inherited deadline and cancellation token.
         let mut retry = budget.retry_budget(g, self.cfg.delta, &self.cfg.guard);
         let second = catch_unwind(AssertUnwindSafe(|| {
-            run_with_budget(
-                Implementation::Fused,
-                g,
-                source,
-                self.cfg.delta,
-                None,
-                &self.cfg.guard,
-                &mut retry,
-            )
+            self.attempt(engine, None, Implementation::Fused, source, &self.cfg.guard, &mut retry)
         }));
         match second {
-            Ok(Ok(report)) => BatchOutcome::Complete {
-                result: report.result,
-                delta: report.delta,
+            Ok(Ok((result, delta, _))) => BatchOutcome::Complete {
+                result,
+                delta,
                 degraded: Some(panic_reason),
             },
             Ok(Err(err)) => Self::error_outcome(err),
-            Err(payload) => BatchOutcome::Failed {
-                error: format!(
-                    "worker panicked ({panic_reason}); sequential retry also panicked ({})",
-                    panic_message(payload)
-                ),
+            Err(payload) => {
+                engine.reset_workspaces();
+                BatchOutcome::Failed {
+                    error: format!(
+                        "worker panicked ({panic_reason}); sequential retry also panicked ({})",
+                        panic_message(payload)
+                    ),
+                }
+            }
+        }
+    }
+
+    /// One attempt of `implementation`. The engine-cached paths serve
+    /// the frontier family the engine speaks (fused, improved); the
+    /// other implementations go through the checked front door with the
+    /// shared pool.
+    #[allow(clippy::too_many_arguments)]
+    fn attempt(
+        &self,
+        engine: &mut SsspEngine<'_>,
+        pool: Option<&ThreadPool>,
+        implementation: Implementation,
+        source: usize,
+        cfg: &GuardConfig,
+        budget: &mut RunBudget,
+    ) -> Result<(SsspResult, f64, Option<String>), SsspError> {
+        match implementation {
+            Implementation::Fused => {
+                let delta = engine.preflight(source, self.cfg.delta, cfg)?;
+                let (result, _) = engine.run_fused(source, delta, budget)?;
+                Ok((result, delta, None))
+            }
+            Implementation::ParallelImproved if pool.is_some() => {
+                let delta = engine.preflight(source, self.cfg.delta, cfg)?;
+                let pool = pool.expect("guarded by the match arm");
+                let (result, _) = engine.run_parallel_improved(pool, source, delta, budget)?;
+                Ok((result, delta, None))
+            }
+            other => {
+                run_with_budget(other, engine.graph(), source, self.cfg.delta, pool, cfg, budget)
+                    .map(|r| (r.result, r.delta, r.degraded))
+            }
+        }
+    }
+
+    /// Continue a persisted checkpoint, with the same one-retry panic
+    /// ladder as a fresh run. Any resumable checkpoint continues on the
+    /// engine's frontier family — bit-identical to the uninterrupted run
+    /// by the family's construction.
+    fn resume_job(
+        &self,
+        engine: &mut SsspEngine<'_>,
+        pool: Option<&ThreadPool>,
+        cp: &Checkpoint,
+    ) -> BatchOutcome {
+        let g = engine.graph();
+        let mut budget = self.job_budget(g);
+        let first = catch_unwind(AssertUnwindSafe(|| match pool {
+            Some(pool) if self.cfg.implementation.is_parallel() => {
+                engine.resume_parallel_improved(pool, cp, &mut budget)
+            }
+            _ => engine.resume_fused(cp, &mut budget),
+        }));
+        let panic_reason = match first {
+            Ok(Ok((result, _))) => {
+                return BatchOutcome::Complete {
+                    result,
+                    delta: cp.delta,
+                    degraded: None,
+                }
+            }
+            Ok(Err(err)) => return Self::error_outcome(err),
+            Err(payload) => {
+                engine.reset_workspaces();
+                panic_message(payload)
+            }
+        };
+        let mut retry = budget.retry_budget(g, cp.delta, &self.cfg.guard);
+        let second =
+            catch_unwind(AssertUnwindSafe(|| engine.resume_fused(cp, &mut retry)));
+        match second {
+            Ok(Ok((result, _))) => BatchOutcome::Complete {
+                result,
+                delta: cp.delta,
+                degraded: Some(panic_reason),
             },
+            Ok(Err(err)) => Self::error_outcome(err),
+            Err(payload) => {
+                engine.reset_workspaces();
+                BatchOutcome::Failed {
+                    error: format!(
+                        "resume panicked ({panic_reason}); sequential retry also panicked ({})",
+                        panic_message(payload)
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Apply the durable-checkpoint policy to a settled outcome: persist
+    /// a resumable budget stop, clear the file once the job completes.
+    fn persist(
+        &self,
+        engine: &SsspEngine<'_>,
+        outcome: BatchOutcome,
+        path: &Path,
+    ) -> BatchOutcome {
+        match outcome {
+            BatchOutcome::Partial {
+                checkpoint,
+                reason,
+                ..
+            } if checkpoint.resumable => match engine.save_checkpoint(&checkpoint, path) {
+                Ok(()) => BatchOutcome::Partial {
+                    checkpoint,
+                    reason,
+                    saved_to: Some(path.to_path_buf()),
+                },
+                Err(e) => BatchOutcome::Partial {
+                    checkpoint,
+                    reason: format!("{reason}; checkpoint not persisted: {e}"),
+                    saved_to: None,
+                },
+            },
+            BatchOutcome::Complete { .. } => {
+                // A stale file must not resurrect a finished job.
+                let _ = std::fs::remove_file(path);
+                outcome
+            }
+            other => other,
         }
     }
 
@@ -347,7 +589,11 @@ impl BatchRunner {
     fn error_outcome(err: SsspError) -> BatchOutcome {
         let reason = err.to_string();
         match err.into_checkpoint() {
-            Some(checkpoint) => BatchOutcome::Partial { checkpoint, reason },
+            Some(checkpoint) => BatchOutcome::Partial {
+                checkpoint,
+                reason,
+                saved_to: None,
+            },
             None => BatchOutcome::Failed { error: reason },
         }
     }
@@ -381,6 +627,7 @@ mod tests {
         let report = runner.run(&g, &sources);
         assert!(report.all_complete());
         assert_eq!(report.jobs.len(), sources.len());
+        assert!(report.pool_degraded.is_none());
         for (source, outcome) in &report.jobs {
             match outcome {
                 BatchOutcome::Complete { result, degraded, .. } => {
@@ -390,6 +637,44 @@ mod tests {
                 other => panic!("source {source}: expected Complete, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn same_delta_batch_builds_the_split_exactly_once() {
+        let g = CsrGraph::from_edge_list(&grid2d(20, 20)).unwrap();
+        for implementation in [Implementation::Fused, Implementation::ParallelImproved] {
+            let runner = BatchRunner::new(BatchConfig {
+                implementation,
+                workers: 4,
+                ..BatchConfig::default()
+            });
+            let sources: Vec<usize> = (0..12).map(|i| i * 31 % 400).collect();
+            let report = runner.run(&g, &sources);
+            assert!(report.all_complete(), "{implementation:?}");
+            // The tentpole claim: 12 same-Δ jobs across 4 workers, one
+            // matrix filter.
+            assert_eq!(
+                report.split_cache.builds, 1,
+                "{implementation:?}: split must be built exactly once"
+            );
+            // How many of the other workers *hit* the cache depends on
+            // scheduling (a fast worker can drain the whole queue before
+            // the rest wake), so the hit count is asserted separately in
+            // `a_second_engine_on_the_shared_cache_hits_not_builds`.
+        }
+    }
+
+    #[test]
+    fn a_second_engine_on_the_shared_cache_hits_not_builds() {
+        let g = CsrGraph::from_edge_list(&grid2d(20, 20)).unwrap();
+        let cache = Arc::new(SplitCache::new());
+        let mut first = SsspEngine::with_cache(&g, Arc::clone(&cache));
+        let mut second = SsspEngine::with_cache(&g, Arc::clone(&cache));
+        first.run_fused(0, 1.0, &mut RunBudget::unlimited()).unwrap();
+        second.run_fused(399, 1.0, &mut RunBudget::unlimited()).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.builds, 1, "second engine must reuse the first's split");
+        assert_eq!(stats.hits, 1);
     }
 
     #[test]
@@ -421,8 +706,9 @@ mod tests {
             cp.validate(g.num_vertices()).unwrap();
             assert_eq!(cp.source, *source);
             match outcome {
-                BatchOutcome::Partial { reason, .. } => {
+                BatchOutcome::Partial { reason, saved_to, .. } => {
                     assert!(reason.contains("deadline"), "{reason}");
+                    assert!(saved_to.is_none(), "no checkpoint_dir configured");
                 }
                 _ => unreachable!(),
             }
@@ -470,6 +756,111 @@ mod tests {
             other => panic!("expected degraded Complete, got {other:?}"),
         }
         assert_eq!(report.degraded(), 1);
+    }
+
+    #[test]
+    fn failed_pool_creation_is_surfaced_not_swallowed() {
+        let g = grid();
+        let runner = BatchRunner::new(BatchConfig {
+            implementation: Implementation::ParallelImproved,
+            workers: 2,
+            ..BatchConfig::default()
+        });
+        taskpool::fault::arm_pool_creation_failure();
+        let report = runner.run(&g, &[0, 7, 35]);
+        taskpool::fault::disarm();
+        let pool_error = report.pool_degraded.as_ref().expect("pool failure must be reported");
+        assert!(pool_error.contains(taskpool::fault::INJECTED_POOL_FAILURE_MESSAGE));
+        // Every job still completes, correctly, and says it degraded.
+        assert!(report.all_complete());
+        assert_eq!(report.degraded(), report.jobs.len());
+        for (source, outcome) in &report.jobs {
+            match outcome {
+                BatchOutcome::Complete { result, degraded, .. } => {
+                    assert!(degraded.as_ref().unwrap().contains("thread pool unavailable"));
+                    assert_eq!(result.dist, dijkstra(&g, *source).dist, "source {source}");
+                }
+                other => panic!("expected Complete, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_dir_persists_partials_and_resumes_bit_identically() {
+        let g = CsrGraph::from_edge_list(&grid2d(12, 12)).unwrap();
+        let dir = std::env::temp_dir().join(format!("sssp-batch-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sources = [0usize, 77, 143];
+
+        // Uninterrupted reference runs.
+        let reference = BatchRunner::new(BatchConfig::default()).run(&g, &sources);
+        assert!(reference.all_complete());
+
+        // A zero deadline stops every job at its first budget check and
+        // persists the checkpoints.
+        let stopped = BatchRunner::new(BatchConfig {
+            deadline: Some(Duration::ZERO),
+            checkpoint_dir: Some(dir.clone()),
+            ..BatchConfig::default()
+        })
+        .run(&g, &sources);
+        assert_eq!(stopped.partial(), sources.len());
+        for (source, outcome) in &stopped.jobs {
+            match outcome {
+                BatchOutcome::Partial { saved_to, .. } => {
+                    let path = saved_to.as_ref().expect("checkpoint must be persisted");
+                    assert_eq!(*path, BatchRunner::checkpoint_path(&dir, *source));
+                    assert!(path.exists());
+                }
+                other => panic!("expected Partial, got {other:?}"),
+            }
+        }
+
+        // A later batch resumes each job from its file and matches the
+        // uninterrupted run bit-for-bit — distances AND stats.
+        let resumed = BatchRunner::new(BatchConfig {
+            checkpoint_dir: Some(dir.clone()),
+            ..BatchConfig::default()
+        })
+        .run(&g, &sources);
+        assert!(resumed.all_complete());
+        for ((source, reference), (_, resumed)) in reference.jobs.iter().zip(&resumed.jobs) {
+            let (BatchOutcome::Complete { result: a, .. }, BatchOutcome::Complete { result: b, .. }) =
+                (reference, resumed)
+            else {
+                panic!("source {source}: expected Complete pair");
+            };
+            assert_eq!(a.dist, b.dist, "source {source}");
+            assert_eq!(a.stats, b.stats, "source {source}");
+        }
+        // Completion cleans the files up.
+        for source in sources {
+            assert!(!BatchRunner::checkpoint_path(&dir, source).exists());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_file_falls_back_to_a_fresh_run() {
+        let g = grid();
+        let dir = std::env::temp_dir().join(format!("sssp-batch-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(BatchRunner::checkpoint_path(&dir, 0), b"not a checkpoint").unwrap();
+        let report = BatchRunner::new(BatchConfig {
+            checkpoint_dir: Some(dir.clone()),
+            ..BatchConfig::default()
+        })
+        .run(&g, &[0]);
+        assert!(report.all_complete());
+        match &report.jobs[0].1 {
+            BatchOutcome::Complete { result, .. } => {
+                assert_eq!(result.dist, dijkstra(&g, 0).dist);
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+        // The stale garbage is gone after completion.
+        assert!(!BatchRunner::checkpoint_path(&dir, 0).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -23,9 +23,21 @@
 //! map onto the frontier loop, so a resume could reproduce the distances
 //! but not their exact counter provenance.
 
+use graphdata::io::bytes::ByteReader;
+
 use crate::budget::BudgetStop;
 use crate::guard::SsspError;
 use crate::stats::SsspStats;
+
+/// Magic + version header of the serialized checkpoint format (the
+/// `graphdata` binary-format family: fixed little-endian layout behind an
+/// 8-byte magic; see [`Checkpoint::to_bytes`] for the full layout).
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"GBSSCKP1";
+
+/// Canonical implementation tags in wire order: the byte written for a
+/// checkpoint's `implementation` is the index into this table.
+const IMPLEMENTATION_TAGS: [&str; 6] =
+    ["canonical", "fused", "gblas", "parallel", "improved", "atomic"];
 
 /// Where inside a bucket the run was stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,7 +121,11 @@ impl Checkpoint {
     /// belong to. The resume entry points run this before trusting any
     /// index in the checkpoint.
     pub fn validate(&self, num_vertices: usize) -> Result<(), SsspError> {
-        let fail = |reason: &'static str| Err(SsspError::InvalidCheckpoint { reason });
+        let fail = |reason: &str| {
+            Err(SsspError::InvalidCheckpoint {
+                reason: reason.to_string(),
+            })
+        };
         if self.dist.len() != num_vertices {
             return fail("distance vector length does not match the graph");
         }
@@ -128,6 +144,189 @@ impl Checkpoint {
             return fail("bucket-start checkpoint carries a frontier");
         }
         Ok(())
+    }
+
+    /// Serialize to the versioned binary checkpoint format. All fields are
+    /// little-endian:
+    ///
+    /// ```text
+    /// magic        [u8; 8]  = b"GBSSCKP1"
+    /// fingerprint  u64      graph fingerprint ([`graphdata::CsrGraph::fingerprint`])
+    /// impl         u8       0 canonical, 1 fused, 2 gblas, 3 parallel,
+    ///                       4 improved, 5 atomic
+    /// stop_point   u8       0 bucket-start, 1 light-phase
+    /// resumable    u8       0 or 1
+    /// source       u64
+    /// delta        f64
+    /// bucket       u64      (settled_below certificate = bucket · Δ)
+    /// stats        5 × u64  buckets_processed, light_phases, heavy_phases,
+    ///                       relaxations, improvements
+    /// nv           u64
+    /// dist         nv × f64
+    /// nf           u64, frontier  nf × u64
+    /// ns           u64, settled   ns × u64
+    /// ```
+    ///
+    /// `fingerprint` binds the checkpoint to the graph it was taken
+    /// against; [`Checkpoint::from_bytes`] hands it back so the loader can
+    /// refuse to resume against a different graph.
+    pub fn to_bytes(&self, fingerprint: u64) -> Vec<u8> {
+        let mut buf =
+            Vec::with_capacity(8 + 8 + 3 + 24 + 40 + 8 * (self.dist.len() + 4));
+        buf.extend_from_slice(CHECKPOINT_MAGIC);
+        buf.extend_from_slice(&fingerprint.to_le_bytes());
+        let tag = IMPLEMENTATION_TAGS
+            .iter()
+            .position(|t| *t == self.implementation)
+            .expect("checkpoint implementation tag must be canonical") as u8;
+        buf.push(tag);
+        buf.push(match self.stop_point {
+            StopPoint::BucketStart => 0,
+            StopPoint::LightPhase => 1,
+        });
+        buf.push(u8::from(self.resumable));
+        buf.extend_from_slice(&(self.source as u64).to_le_bytes());
+        buf.extend_from_slice(&self.delta.to_le_bytes());
+        buf.extend_from_slice(&(self.bucket as u64).to_le_bytes());
+        for counter in [
+            self.stats.buckets_processed as u64,
+            self.stats.light_phases as u64,
+            self.stats.heavy_phases as u64,
+            self.stats.relaxations,
+            self.stats.improvements,
+        ] {
+            buf.extend_from_slice(&counter.to_le_bytes());
+        }
+        buf.extend_from_slice(&(self.dist.len() as u64).to_le_bytes());
+        for &d in &self.dist {
+            buf.extend_from_slice(&d.to_le_bytes());
+        }
+        for list in [&self.frontier, &self.settled] {
+            buf.extend_from_slice(&(list.len() as u64).to_le_bytes());
+            for &v in list {
+                buf.extend_from_slice(&(v as u64).to_le_bytes());
+            }
+        }
+        buf
+    }
+
+    /// Deserialize the [`Checkpoint::to_bytes`] format, returning the
+    /// checkpoint and the graph fingerprint it was saved against. Total:
+    /// every malformed input — truncated buffer, bad magic, unknown tags,
+    /// lying lengths, trailing garbage, or a checkpoint that fails its own
+    /// structural [`Checkpoint::validate`] — comes back as
+    /// [`SsspError::InvalidCheckpoint`], never a panic or a blind
+    /// allocation.
+    pub fn from_bytes(data: &[u8]) -> Result<(Checkpoint, u64), SsspError> {
+        let invalid = |reason: String| SsspError::InvalidCheckpoint { reason };
+        let mut cur = ByteReader::new(data);
+        let take_err = |e: graphdata::io::bytes::TruncatedRead| {
+            SsspError::InvalidCheckpoint {
+                reason: format!("serialized checkpoint {e}"),
+            }
+        };
+        let magic = cur.take::<8>("magic").map_err(take_err)?;
+        if &magic != CHECKPOINT_MAGIC {
+            return Err(invalid(format!(
+                "bad magic {magic:?}, expected {CHECKPOINT_MAGIC:?}"
+            )));
+        }
+        let fingerprint = cur.u64_le("graph fingerprint").map_err(take_err)?;
+        let tag = cur.u8("implementation tag").map_err(take_err)?;
+        let implementation = IMPLEMENTATION_TAGS
+            .get(tag as usize)
+            .copied()
+            .ok_or_else(|| invalid(format!("unknown implementation tag {tag}")))?;
+        let stop_point = match cur.u8("stop point").map_err(take_err)? {
+            0 => StopPoint::BucketStart,
+            1 => StopPoint::LightPhase,
+            other => return Err(invalid(format!("unknown stop point {other}"))),
+        };
+        let resumable = match cur.u8("resumable flag").map_err(take_err)? {
+            0 => false,
+            1 => true,
+            other => return Err(invalid(format!("resumable flag must be 0/1, got {other}"))),
+        };
+        let source = usize::try_from(cur.u64_le("source").map_err(take_err)?)
+            .map_err(|_| invalid("source overflows usize".to_string()))?;
+        let delta = cur.f64_le("delta").map_err(take_err)?;
+        let bucket = usize::try_from(cur.u64_le("bucket").map_err(take_err)?)
+            .map_err(|_| invalid("bucket overflows usize".to_string()))?;
+        let mut counters = [0u64; 5];
+        for (c, what) in counters.iter_mut().zip([
+            "buckets_processed",
+            "light_phases",
+            "heavy_phases",
+            "relaxations",
+            "improvements",
+        ]) {
+            *c = cur.u64_le(what).map_err(take_err)?;
+        }
+        let stats = SsspStats {
+            buckets_processed: usize::try_from(counters[0])
+                .map_err(|_| invalid("buckets_processed overflows usize".to_string()))?,
+            light_phases: usize::try_from(counters[1])
+                .map_err(|_| invalid("light_phases overflows usize".to_string()))?,
+            heavy_phases: usize::try_from(counters[2])
+                .map_err(|_| invalid("heavy_phases overflows usize".to_string()))?,
+            relaxations: counters[3],
+            improvements: counters[4],
+        };
+        let read_len = |what: &str, cur: &mut ByteReader<'_>| -> Result<usize, SsspError> {
+            let len = usize::try_from(cur.u64_le(what).map_err(take_err)?)
+                .map_err(|_| invalid(format!("{what} overflows usize")))?;
+            // A lying length must not trigger a huge allocation: the
+            // payload it claims has to fit in the bytes that remain.
+            let need = len
+                .checked_mul(8)
+                .ok_or_else(|| invalid(format!("{what} overflows the buffer")))?;
+            if cur.remaining() < need {
+                return Err(invalid(format!(
+                    "serialized checkpoint truncated: {what} claims {len} entries \
+                     ({need} bytes) but only {} bytes remain",
+                    cur.remaining()
+                )));
+            }
+            Ok(len)
+        };
+        let nv = read_len("distance count", &mut cur)?;
+        let mut dist = Vec::with_capacity(nv);
+        for _ in 0..nv {
+            dist.push(cur.f64_le("distance").map_err(take_err)?);
+        }
+        let mut lists = [Vec::new(), Vec::new()];
+        for (list, what) in lists.iter_mut().zip(["frontier length", "settled length"]) {
+            let len = read_len(what, &mut cur)?;
+            list.reserve(len);
+            for _ in 0..len {
+                let v = usize::try_from(cur.u64_le("vertex index").map_err(take_err)?)
+                    .map_err(|_| invalid("vertex index overflows usize".to_string()))?;
+                list.push(v);
+            }
+        }
+        if cur.remaining() != 0 {
+            return Err(invalid(format!(
+                "{} trailing bytes after the checkpoint payload",
+                cur.remaining()
+            )));
+        }
+        let [frontier, settled] = lists;
+        let cp = Checkpoint {
+            implementation,
+            source,
+            delta,
+            dist,
+            stats,
+            bucket,
+            stop_point,
+            frontier,
+            settled,
+            resumable,
+        };
+        // Self-consistency against its own vertex count; the caller still
+        // checks the fingerprint and real graph size.
+        cp.validate(cp.dist.len())?;
+        Ok((cp, fingerprint))
     }
 }
 
@@ -239,6 +438,78 @@ mod tests {
         bad.frontier = vec![1];
         // BucketStart must not carry a frontier.
         assert!(bad.validate(4).is_err());
+    }
+
+    #[test]
+    fn serialization_round_trips_every_field() {
+        let mut cp = sample();
+        cp.stats = SsspStats {
+            buckets_processed: 3,
+            light_phases: 9,
+            heavy_phases: 3,
+            relaxations: 41,
+            improvements: 17,
+        };
+        cp.stop_point = StopPoint::LightPhase;
+        cp.frontier = vec![1, 3];
+        cp.settled = vec![0];
+        let bytes = cp.to_bytes(0xdead_beef_cafe_f00d);
+        let (back, fp) = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(fp, 0xdead_beef_cafe_f00d);
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn every_implementation_tag_round_trips() {
+        for tag in ["canonical", "fused", "gblas", "parallel", "improved", "atomic"] {
+            let mut cp = sample();
+            cp.implementation = tag;
+            let (back, _) = Checkpoint::from_bytes(&cp.to_bytes(7)).unwrap();
+            assert_eq!(back.implementation, tag);
+        }
+    }
+
+    #[test]
+    fn truncated_and_corrupt_bytes_rejected_cleanly() {
+        let bytes = sample().to_bytes(42);
+        // Truncation at every prefix length is a clean error, not a panic.
+        for cut in 0..bytes.len() {
+            assert!(matches!(
+                Checkpoint::from_bytes(&bytes[..cut]),
+                Err(SsspError::InvalidCheckpoint { .. })
+            ));
+        }
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(matches!(
+            Checkpoint::from_bytes(&long),
+            Err(SsspError::InvalidCheckpoint { .. })
+        ));
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert!(Checkpoint::from_bytes(&bad).is_err());
+        // Unknown implementation tag / stop point / resumable flag.
+        for (offset, junk) in [(16usize, 99u8), (17, 7), (18, 2)] {
+            let mut bad = bytes.clone();
+            bad[offset] = junk;
+            assert!(
+                Checkpoint::from_bytes(&bad).is_err(),
+                "byte {offset} = {junk} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn lying_length_rejected_without_allocation_blowup() {
+        let mut bytes = sample().to_bytes(1);
+        // The distance-count field sits right after the fixed 83-byte
+        // header (8 magic + 8 fp + 3 tags + 24 scalars + 40 stats).
+        let dist_len_at = 8 + 8 + 3 + 24 + 40;
+        bytes[dist_len_at..dist_len_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = Checkpoint::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("distance count"), "{err}");
     }
 
     #[test]

@@ -5,14 +5,27 @@
 //! at 35–40 % of total runtime. A single query cannot avoid that cost, but
 //! multi-source workloads (bench loops, all-pairs sampling, the CLI's
 //! `--sources` mode) re-split the *same* matrix at the *same* Δ on every
-//! call. [`SsspEngine`] keys the split on Δ bits and builds it once; the
-//! per-run workspaces ([`FusedWorkspace`], [`ImprovedWorkspace`]) ride
-//! along so repeated runs allocate nothing after the first.
+//! call. [`SsspEngine`] builds each split once; the per-run workspaces
+//! ([`FusedWorkspace`], [`ImprovedWorkspace`]) ride along so repeated
+//! runs allocate nothing after the first.
 //!
-//! The engine borrows the graph for its whole lifetime, which makes the
-//! cache key trivially sound: a given engine can only ever see one graph,
-//! so `(graph, Δ)` collapses to `Δ.to_bits()`.
+//! Splits live in a shared [`SplitCache`] keyed by
+//! `(graph fingerprint, Δ.to_bits())`: an engine created with
+//! [`SsspEngine::new`] gets a private cache and behaves exactly as
+//! before, while engines created with [`SsspEngine::with_cache`] (one per
+//! batch worker) share one `Arc`'d store, so a same-Δ multi-source batch
+//! filters `A_L`/`A_H` exactly once no matter how many workers drain it.
+//! The fingerprint in the key is what makes sharing sound: a bare
+//! `Δ.to_bits()` key was only correct while the cache could see a single
+//! graph.
+//!
+//! Engines also speak the durable-checkpoint format:
+//! [`SsspEngine::save_checkpoint`] / [`SsspEngine::load_checkpoint`]
+//! persist a budget-stopped run to disk (bound to the graph by the same
+//! fingerprint) so a fresh process can resume it bit-identically.
 
+use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 use graphdata::CsrGraph;
@@ -29,6 +42,7 @@ use crate::parallel_improved::{
     split_light_heavy_chunked, ImprovedWorkspace,
 };
 use crate::result::SsspResult;
+use crate::split_cache::SplitCache;
 use crate::stats::PhaseProfile;
 
 /// Cache effectiveness counters, exposed for tests and bench reporting.
@@ -65,9 +79,16 @@ pub struct EngineStats {
 #[derive(Debug)]
 pub struct SsspEngine<'g> {
     g: &'g CsrGraph,
-    /// Δ-bits → split. Workloads use a handful of Δ values at most, so a
-    /// linear scan beats a hash map here.
-    splits: Vec<(u64, LightHeavy)>,
+    /// Content fingerprint of `g`, computed once at construction: the
+    /// graph half of every split-cache key and the binding stamp of
+    /// serialized checkpoints.
+    fingerprint: u64,
+    /// The split store, possibly shared with other engines.
+    cache: Arc<SplitCache>,
+    /// Δ-bits → shared split handles this engine already fetched, so the
+    /// steady state costs no lock. Workloads use a handful of Δ values at
+    /// most, so a linear scan beats a hash map here.
+    local: Vec<(u64, Arc<LightHeavy>)>,
     fused_ws: FusedWorkspace,
     improved_ws: ImprovedWorkspace,
     /// Cached verdict of the `O(|V| + |E|)` weight scan. The engine
@@ -78,12 +99,23 @@ pub struct SsspEngine<'g> {
 }
 
 impl<'g> SsspEngine<'g> {
-    /// An engine for `g` with empty cache and workspaces sized for `g`.
+    /// An engine for `g` with a private split cache and workspaces sized
+    /// for `g`.
     pub fn new(g: &'g CsrGraph) -> Self {
+        SsspEngine::with_cache(g, Arc::new(SplitCache::new()))
+    }
+
+    /// An engine for `g` borrowing splits from a shared `cache`. Entries
+    /// are keyed by `(g.fingerprint(), Δ.to_bits())`, so any number of
+    /// engines — even over different graphs — can share one store and a
+    /// same-Δ batch builds each split exactly once.
+    pub fn with_cache(g: &'g CsrGraph, cache: Arc<SplitCache>) -> Self {
         let n = g.num_vertices();
         SsspEngine {
             g,
-            splits: Vec::new(),
+            fingerprint: g.fingerprint(),
+            cache,
+            local: Vec::new(),
             fused_ws: FusedWorkspace::new(n),
             improved_ws: ImprovedWorkspace::new(n),
             weights_verdict: None,
@@ -96,16 +128,40 @@ impl<'g> SsspEngine<'g> {
         self.g
     }
 
+    /// The graph's content fingerprint (the cache-key and checkpoint
+    /// binding value).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The split store this engine draws from.
+    pub fn cache(&self) -> &Arc<SplitCache> {
+        &self.cache
+    }
+
     /// Cache counters so far.
     pub fn stats(&self) -> EngineStats {
         self.stats
     }
 
-    /// Drop all cached splits (workspaces are kept — they are graph-sized,
-    /// not Δ-dependent). The preflight verdict survives: the graph cannot
-    /// have changed under the engine's borrow.
+    /// Drop this graph's cached splits, both the engine-local handles and
+    /// the shared entries under this fingerprint (workspaces are kept —
+    /// they are graph-sized, not Δ-dependent). The preflight verdict
+    /// survives: the graph cannot have changed under the engine's borrow.
     pub fn clear_cache(&mut self) {
-        self.splits.clear();
+        self.local.clear();
+        self.cache.purge_fingerprint(self.fingerprint);
+    }
+
+    /// Re-allocate the run workspaces. Panic-isolating callers (the batch
+    /// runner) use this after catching a panic mid-run: the workspaces may
+    /// hold half-updated request buffers whose "all-INF when idle"
+    /// invariant no longer holds, and a fresh allocation is the cheap way
+    /// to restore it. Cached splits are immutable once built and survive.
+    pub fn reset_workspaces(&mut self) {
+        let n = self.g.num_vertices();
+        self.fused_ws = FusedWorkspace::new(n);
+        self.improved_ws = ImprovedWorkspace::new(n);
     }
 
     /// [`guard::preflight`] with the weight scan cached: the first call
@@ -136,28 +192,35 @@ impl<'g> SsspEngine<'g> {
         guard::resolve_delta(self.g, delta, cfg)
     }
 
-    /// Index of the split for `delta`, building it on a miss. Build time is
-    /// returned through `profile.matrix_filter`; cache hits add nothing.
-    fn split_index(
+    /// The split for `delta`, fetched from the shared cache and built on a
+    /// miss (by this engine or a concurrent sharer — whoever asks first).
+    /// Build time this engine actually paid is returned through
+    /// `profile.matrix_filter`; hits add nothing.
+    fn split_for(
         &mut self,
         pool: Option<&ThreadPool>,
         delta: f64,
         profile: &mut PhaseProfile,
-    ) -> usize {
+    ) -> Arc<LightHeavy> {
         let key = delta.to_bits();
-        if let Some(idx) = self.splits.iter().position(|(k, _)| *k == key) {
+        if let Some((_, lh)) = self.local.iter().find(|(k, _)| *k == key) {
             self.stats.split_hits += 1;
-            return idx;
+            return Arc::clone(lh);
         }
+        let g = self.g;
         let t0 = Instant::now();
-        let lh = match pool {
-            Some(pool) => split_light_heavy_chunked(pool, self.g, delta),
-            None => LightHeavy::build(self.g, delta),
-        };
-        profile.matrix_filter += t0.elapsed();
-        self.stats.split_builds += 1;
-        self.splits.push((key, lh));
-        self.splits.len() - 1
+        let (lh, built) = self.cache.get_or_build(self.fingerprint, key, || match pool {
+            Some(pool) => split_light_heavy_chunked(pool, g, delta),
+            None => LightHeavy::build(g, delta),
+        });
+        if built {
+            profile.matrix_filter += t0.elapsed();
+            self.stats.split_builds += 1;
+        } else {
+            self.stats.split_hits += 1;
+        }
+        self.local.push((key, Arc::clone(&lh)));
+        lh
     }
 
     /// Sequential fused delta-stepping through the cache. Bit-identical to
@@ -173,10 +236,9 @@ impl<'g> SsspEngine<'g> {
             return Err(SsspError::InvalidDelta { delta });
         }
         let mut profile = PhaseProfile::default();
-        let idx = self.split_index(None, delta, &mut profile);
-        let lh = &self.splits[idx].1;
+        let lh = self.split_for(None, delta, &mut profile);
         let (result, loop_profile) =
-            delta_stepping_fused_with(self.g, lh, source, delta, budget, &mut self.fused_ws)?;
+            delta_stepping_fused_with(self.g, &lh, source, delta, budget, &mut self.fused_ws)?;
         profile.relaxation += loop_profile.relaxation;
         profile.vector_ops += loop_profile.vector_ops;
         profile.matrix_filter += loop_profile.matrix_filter;
@@ -198,12 +260,11 @@ impl<'g> SsspEngine<'g> {
             return Err(SsspError::InvalidDelta { delta });
         }
         let mut profile = PhaseProfile::default();
-        let idx = self.split_index(Some(pool), delta, &mut profile);
-        let lh = &self.splits[idx].1;
+        let lh = self.split_for(Some(pool), delta, &mut profile);
         let (result, loop_profile) = delta_stepping_parallel_improved_with(
             pool,
             self.g,
-            lh,
+            &lh,
             source,
             delta,
             budget,
@@ -224,10 +285,9 @@ impl<'g> SsspEngine<'g> {
     ) -> Result<(SsspResult, PhaseProfile), SsspError> {
         cp.validate(self.g.num_vertices())?;
         let mut profile = PhaseProfile::default();
-        let idx = self.split_index(None, cp.delta, &mut profile);
-        let lh = &self.splits[idx].1;
+        let lh = self.split_for(None, cp.delta, &mut profile);
         let (result, loop_profile) =
-            delta_stepping_fused_resume_with(self.g, lh, cp, budget, &mut self.fused_ws)?;
+            delta_stepping_fused_resume_with(self.g, &lh, cp, budget, &mut self.fused_ws)?;
         profile.relaxation += loop_profile.relaxation;
         profile.vector_ops += loop_profile.vector_ops;
         profile.matrix_filter += loop_profile.matrix_filter;
@@ -244,12 +304,11 @@ impl<'g> SsspEngine<'g> {
     ) -> Result<(SsspResult, PhaseProfile), SsspError> {
         cp.validate(self.g.num_vertices())?;
         let mut profile = PhaseProfile::default();
-        let idx = self.split_index(Some(pool), cp.delta, &mut profile);
-        let lh = &self.splits[idx].1;
+        let lh = self.split_for(Some(pool), cp.delta, &mut profile);
         let (result, loop_profile) = delta_stepping_parallel_improved_resume_with(
             pool,
             self.g,
-            lh,
+            &lh,
             cp,
             budget,
             &mut self.improved_ws,
@@ -258,6 +317,48 @@ impl<'g> SsspEngine<'g> {
         profile.vector_ops += loop_profile.vector_ops;
         profile.matrix_filter += loop_profile.matrix_filter;
         Ok((result, profile))
+    }
+
+    /// Persist a checkpoint to `path` in the binary format of
+    /// [`Checkpoint::to_bytes`], stamped with this engine's graph
+    /// fingerprint. The write goes through a sibling temp file and an
+    /// atomic rename, so a crash mid-save leaves either the old file or
+    /// the new one — never a torn checkpoint.
+    pub fn save_checkpoint(&self, cp: &Checkpoint, path: &Path) -> Result<(), SsspError> {
+        cp.validate(self.g.num_vertices())?;
+        let io_err = |e: std::io::Error| SsspError::CheckpointIo {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        };
+        let bytes = cp.to_bytes(self.fingerprint);
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, &bytes).map_err(io_err)?;
+        std::fs::rename(&tmp, path).map_err(io_err)
+    }
+
+    /// Load a checkpoint saved by [`SsspEngine::save_checkpoint`] (in this
+    /// process or any other), refusing one whose fingerprint does not
+    /// match this engine's graph or whose structure fails
+    /// [`Checkpoint::validate`].
+    pub fn load_checkpoint(&self, path: &Path) -> Result<Checkpoint, SsspError> {
+        let bytes = std::fs::read(path).map_err(|e| SsspError::CheckpointIo {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let (cp, fingerprint) = Checkpoint::from_bytes(&bytes)?;
+        if fingerprint != self.fingerprint {
+            return Err(SsspError::InvalidCheckpoint {
+                reason: format!(
+                    "checkpoint was saved against graph fingerprint {fingerprint:#018x}, \
+                     this engine's graph is {:#018x}",
+                    self.fingerprint
+                ),
+            });
+        }
+        cp.validate(self.g.num_vertices())?;
+        Ok(cp)
     }
 }
 
@@ -395,6 +496,102 @@ mod tests {
             ));
         }
         assert_eq!(engine.stats().preflight_scans, 1);
+    }
+
+    #[test]
+    fn two_graphs_sharing_a_cache_at_equal_delta_stay_correct() {
+        // Regression for the bare-Δ cache key: with the fingerprint
+        // missing from the key, the second engine would silently relax
+        // over the first graph's split and return wrong distances.
+        let g1 = test_graph();
+        let mut el = gen::gnm(300, 2000, 43); // different seed → different topology
+        el.symmetrize();
+        graphdata::weights::assign_symmetric(
+            &mut el,
+            graphdata::WeightModel::UniformFloat { lo: 0.1, hi: 2.5 },
+            9,
+        );
+        let g2 = CsrGraph::from_edge_list(&el).unwrap();
+        assert_ne!(g1.fingerprint(), g2.fingerprint());
+
+        let cache = std::sync::Arc::new(SplitCache::new());
+        let mut e1 = SsspEngine::with_cache(&g1, std::sync::Arc::clone(&cache));
+        let mut e2 = SsspEngine::with_cache(&g2, std::sync::Arc::clone(&cache));
+        let budget = &mut RunBudget::unlimited();
+        let (r1, _) = e1.run_fused(0, 1.0, budget).unwrap();
+        let (r2, _) = e2.run_fused(0, 1.0, budget).unwrap();
+        assert_eq!(r1.dist, crate::dijkstra::dijkstra(&g1, 0).dist);
+        assert_eq!(r2.dist, crate::dijkstra::dijkstra(&g2, 0).dist);
+        // Equal Δ, different graphs: two distinct cache entries, no
+        // cross-graph hit.
+        assert_eq!(cache.stats().builds, 2);
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn shared_cache_serves_a_sibling_engine_without_rebuilding() {
+        let g = test_graph();
+        let cache = std::sync::Arc::new(SplitCache::new());
+        let mut e1 = SsspEngine::with_cache(&g, std::sync::Arc::clone(&cache));
+        let mut e2 = SsspEngine::with_cache(&g, std::sync::Arc::clone(&cache));
+        let budget = &mut RunBudget::unlimited();
+        let (r1, _) = e1.run_fused(0, 1.0, budget).unwrap();
+        let (r2, _) = e2.run_fused(0, 1.0, budget).unwrap();
+        assert_eq!(r1.dist, r2.dist);
+        assert_eq!(cache.stats().builds, 1);
+        assert_eq!(cache.stats().hits, 1);
+        // The second engine records the shared fetch as its own hit.
+        assert_eq!(e1.stats().split_builds, 1);
+        assert_eq!(e2.stats().split_builds, 0);
+        assert_eq!(e2.stats().split_hits, 1);
+    }
+
+    #[test]
+    fn checkpoint_survives_disk_round_trip_and_rejects_foreign_graphs() {
+        let g = test_graph();
+        let mut engine = SsspEngine::new(&g);
+        let full = engine.run_fused(3, 1.0, &mut RunBudget::unlimited()).unwrap().0;
+        let err = engine
+            .run_fused(3, 1.0, &mut RunBudget::unlimited().cancel_after(2))
+            .unwrap_err();
+        let cp = err.into_checkpoint().unwrap();
+
+        let dir = std::env::temp_dir().join(format!("sssp-engine-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cp.bin");
+        engine.save_checkpoint(&cp, &path).unwrap();
+        let loaded = engine.load_checkpoint(&path).unwrap();
+        assert_eq!(loaded, cp);
+        let (resumed, _) = engine.resume_fused(&loaded, &mut RunBudget::unlimited()).unwrap();
+        assert_eq!(resumed.dist, full.dist);
+        assert_eq!(resumed.stats, full.stats);
+
+        // A different graph refuses the file by fingerprint.
+        let other = CsrGraph::from_edge_list(&gen::grid2d(10, 10)).unwrap();
+        let foreign = SsspEngine::new(&other);
+        match foreign.load_checkpoint(&path) {
+            Err(SsspError::InvalidCheckpoint { reason }) => {
+                assert!(reason.contains("fingerprint"), "{reason}");
+            }
+            other => panic!("expected fingerprint rejection, got {other:?}"),
+        }
+
+        // Corrupting the payload is a clean InvalidCheckpoint.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 3);
+        let bad = dir.join("bad.bin");
+        std::fs::write(&bad, &bytes).unwrap();
+        assert!(matches!(
+            engine.load_checkpoint(&bad),
+            Err(SsspError::InvalidCheckpoint { .. })
+        ));
+        // A missing file is an I/O error, not a phantom checkpoint.
+        assert!(matches!(
+            engine.load_checkpoint(&dir.join("nope.bin")),
+            Err(SsspError::CheckpointIo { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -256,7 +256,7 @@ pub fn delta_stepping_fused_resume_with(
     cp.validate(g.num_vertices())?;
     if !cp.resumable {
         return Err(SsspError::InvalidCheckpoint {
-            reason: "checkpoint was emitted by a non-resumable implementation",
+            reason: "checkpoint was emitted by a non-resumable implementation".to_string(),
         });
     }
     fused_loop(g, lh, cp.source, cp.delta, budget, ws, Some(cp))

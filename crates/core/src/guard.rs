@@ -100,11 +100,20 @@ pub enum SsspError {
     },
     /// A checkpoint handed to a `resume_from` entry point is structurally
     /// inconsistent with the graph (wrong vertex count, out-of-bounds
-    /// indices, degenerate Δ) or was emitted by a non-resumable
-    /// implementation.
+    /// indices, degenerate Δ), was emitted by a non-resumable
+    /// implementation, or its serialized form is truncated/corrupt.
     InvalidCheckpoint {
         /// What failed validation.
-        reason: &'static str,
+        reason: String,
+    },
+    /// Reading or writing a checkpoint file failed at the I/O layer
+    /// (missing directory, permissions, disk full) — the checkpoint
+    /// itself may be fine.
+    CheckpointIo {
+        /// The file involved.
+        path: String,
+        /// The underlying I/O error.
+        message: String,
     },
     /// A worker task panicked during a parallel run and degradation to
     /// the sequential path was disabled.
@@ -201,6 +210,9 @@ impl fmt::Display for SsspError {
             ),
             SsspError::InvalidCheckpoint { reason } => {
                 write!(f, "cannot resume from checkpoint: {reason}")
+            }
+            SsspError::CheckpointIo { path, message } => {
+                write!(f, "checkpoint I/O failed for {path}: {message}")
             }
             SsspError::WorkerPanicked { message } => {
                 write!(f, "parallel worker panicked: {message}")

@@ -60,6 +60,7 @@ pub mod paths;
 pub mod result;
 pub mod run;
 pub mod schedule;
+pub mod split_cache;
 pub mod stats;
 pub mod validate;
 
@@ -69,6 +70,7 @@ pub use checkpoint::{Checkpoint, StopPoint};
 pub use guard::{GuardConfig, SsspError, Watchdog};
 pub use result::SsspResult;
 pub use run::{run_checked, run_with_budget, Implementation, RunReport};
+pub use split_cache::{SplitCache, SplitCacheStats};
 pub use stats::SsspStats;
 
 /// The distance value used for unreachable vertices.

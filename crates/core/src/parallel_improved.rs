@@ -238,7 +238,7 @@ pub fn delta_stepping_parallel_improved_resume_with(
     cp.validate(g.num_vertices())?;
     if !cp.resumable {
         return Err(SsspError::InvalidCheckpoint {
-            reason: "checkpoint was emitted by a non-resumable implementation",
+            reason: "checkpoint was emitted by a non-resumable implementation".to_string(),
         });
     }
     improved_loop(pool, g, lh, cp.source, cp.delta, budget, ws, Some(cp))

@@ -1,0 +1,188 @@
+//! The shared, graph-aware light/heavy split cache.
+//!
+//! The paper measures building `A_L` / `A_H` at 35–40 % of sequential
+//! runtime, which makes the split the one artifact worth sharing across a
+//! multi-source batch: every worker engine relaxing the same graph at the
+//! same Δ wants the same split. [`SplitCache`] is that shared store —
+//! `Arc`-handled, keyed by **`(graph fingerprint, Δ bits)`** so distinct
+//! graphs can never collide on a Δ value (the bug an engine-private,
+//! Δ-only key used to hide), with build-once semantics: when several
+//! engines request a missing entry concurrently, exactly one runs the
+//! `O(|E|)` filter and the rest block briefly and then clone the handle.
+//!
+//! Locking discipline: the map lock is held only to find/insert a slot
+//! and to bump counters — never across a split build. The build itself
+//! runs under the slot's [`OnceLock`], so concurrent requests for
+//! *different* keys never serialize against each other.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::fused::LightHeavy;
+
+/// Cache-wide effectiveness counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SplitCacheStats {
+    /// Splits actually built (cache misses that ran the matrix filter).
+    pub builds: usize,
+    /// Requests served from an already-built split.
+    pub hits: usize,
+}
+
+/// One cache entry: a build-once cell the winning requester fills.
+#[derive(Debug, Default)]
+struct SplitSlot {
+    cell: OnceLock<Arc<LightHeavy>>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// `(fingerprint, Δ bits) → slot`. Workloads touch a handful of
+    /// graphs × Δ values, so a linear scan beats a hash map.
+    slots: Vec<((u64, u64), Arc<SplitSlot>)>,
+    stats: SplitCacheStats,
+}
+
+/// Shared split store; see the module docs. Clone the surrounding
+/// [`Arc`] to hand the cache to another engine or worker thread.
+#[derive(Debug, Default)]
+pub struct SplitCache {
+    inner: Mutex<Inner>,
+}
+
+impl SplitCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SplitCache::default()
+    }
+
+    /// The split for `(fingerprint, delta_bits)`, running `build` if and
+    /// only if this call is the first to want it. Returns the shared
+    /// handle and whether *this* call built it (so callers can attribute
+    /// the filter time to themselves).
+    pub fn get_or_build(
+        &self,
+        fingerprint: u64,
+        delta_bits: u64,
+        build: impl FnOnce() -> LightHeavy,
+    ) -> (Arc<LightHeavy>, bool) {
+        let key = (fingerprint, delta_bits);
+        let slot = {
+            let mut inner = self.inner.lock().expect("split cache lock");
+            match inner.slots.iter().find(|(k, _)| *k == key) {
+                Some((_, slot)) => Arc::clone(slot),
+                None => {
+                    let slot = Arc::new(SplitSlot::default());
+                    inner.slots.push((key, Arc::clone(&slot)));
+                    slot
+                }
+            }
+        };
+        let mut built = false;
+        let lh = Arc::clone(slot.cell.get_or_init(|| {
+            built = true;
+            Arc::new(build())
+        }));
+        let mut inner = self.inner.lock().expect("split cache lock");
+        if built {
+            inner.stats.builds += 1;
+        } else {
+            inner.stats.hits += 1;
+        }
+        (lh, built)
+    }
+
+    /// Drop every entry belonging to `fingerprint` (an engine's
+    /// `clear_cache`). Outstanding `Arc<LightHeavy>` handles stay valid;
+    /// the next request rebuilds.
+    pub fn purge_fingerprint(&self, fingerprint: u64) {
+        let mut inner = self.inner.lock().expect("split cache lock");
+        inner.slots.retain(|((fp, _), _)| *fp != fingerprint);
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> SplitCacheStats {
+        self.inner.lock().expect("split cache lock").stats
+    }
+
+    /// Number of distinct `(graph, Δ)` entries currently cached (built or
+    /// in flight).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("split cache lock").slots.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphdata::{gen::grid2d, CsrGraph};
+
+    fn grid() -> CsrGraph {
+        CsrGraph::from_edge_list(&grid2d(4, 4)).unwrap()
+    }
+
+    #[test]
+    fn builds_once_per_key_and_counts_hits() {
+        let g = grid();
+        let fp = g.fingerprint();
+        let cache = SplitCache::new();
+        let (a, built_a) = cache.get_or_build(fp, 1.0f64.to_bits(), || LightHeavy::build(&g, 1.0));
+        let (b, built_b) = cache.get_or_build(fp, 1.0f64.to_bits(), || LightHeavy::build(&g, 1.0));
+        assert!(built_a);
+        assert!(!built_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        cache.get_or_build(fp, 2.0f64.to_bits(), || LightHeavy::build(&g, 2.0));
+        assert_eq!(cache.stats(), SplitCacheStats { builds: 2, hits: 1 });
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn distinct_fingerprints_do_not_collide_on_delta() {
+        let g = grid();
+        let cache = SplitCache::new();
+        let (_, first) = cache.get_or_build(1, 1.0f64.to_bits(), || LightHeavy::build(&g, 1.0));
+        let (_, second) = cache.get_or_build(2, 1.0f64.to_bits(), || LightHeavy::build(&g, 1.0));
+        assert!(first && second, "same Δ under different fingerprints must both build");
+        assert_eq!(cache.stats().builds, 2);
+    }
+
+    #[test]
+    fn purge_forces_rebuild_only_for_that_graph() {
+        let g = grid();
+        let cache = SplitCache::new();
+        cache.get_or_build(1, 1.0f64.to_bits(), || LightHeavy::build(&g, 1.0));
+        cache.get_or_build(2, 1.0f64.to_bits(), || LightHeavy::build(&g, 1.0));
+        cache.purge_fingerprint(1);
+        assert_eq!(cache.len(), 1);
+        let (_, rebuilt) = cache.get_or_build(1, 1.0f64.to_bits(), || LightHeavy::build(&g, 1.0));
+        let (_, cached) = cache.get_or_build(2, 1.0f64.to_bits(), || LightHeavy::build(&g, 1.0));
+        assert!(rebuilt);
+        assert!(!cached);
+    }
+
+    #[test]
+    fn concurrent_same_key_requests_build_exactly_once() {
+        let g = grid();
+        let fp = g.fingerprint();
+        let cache = SplitCache::new();
+        let builds: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let (cache, g) = (&cache, &g);
+                    scope.spawn(move || {
+                        let (_, built) =
+                            cache.get_or_build(fp, 1.0f64.to_bits(), || LightHeavy::build(g, 1.0));
+                        usize::from(built)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(builds, 1);
+        assert_eq!(cache.stats(), SplitCacheStats { builds: 1, hits: 7 });
+    }
+}

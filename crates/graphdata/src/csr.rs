@@ -175,6 +175,37 @@ impl CsrGraph {
         &self.weights
     }
 
+    /// Stable 64-bit content fingerprint: FNV-1a over the vertex count,
+    /// the offset array, the target array, and the raw weight bits.
+    /// Caches keyed across graphs (the shared split cache in `sssp-core`,
+    /// on-disk checkpoints) use it to tell two structurally different
+    /// graphs apart where a borrowed reference cannot — the same CSR
+    /// content always hashes to the same value, in this process or the
+    /// next. `O(|V| + |E|)`; callers are expected to compute it once and
+    /// keep it.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.num_vertices as u64);
+        for &o in &self.offsets {
+            mix(o as u64);
+        }
+        for &t in &self.targets {
+            mix(t as u64);
+        }
+        for &w in &self.weights {
+            mix(w.to_bits());
+        }
+        h
+    }
+
     /// Iterate all `(src, dst, weight)` edges in row-major order.
     pub fn iter_edges(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.num_vertices).flat_map(move |v| {
@@ -321,6 +352,31 @@ mod tests {
         let g = CsrGraph::from_raw_parts_unchecked(2, vec![0, 1, 1], vec![1], vec![f64::NAN]);
         assert_eq!(g.num_edges(), 1);
         assert!(g.weights()[0].is_nan());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_structure_and_weights() {
+        let g = sample();
+        assert_eq!(g.fingerprint(), sample().fingerprint());
+        let el = g.to_edge_list();
+        let rebuilt = CsrGraph::from_edge_list(&el).unwrap();
+        assert_eq!(g.fingerprint(), rebuilt.fingerprint());
+
+        // Different topology, same vertex count.
+        let other = CsrGraph::from_edge_list(&EdgeList::from_triples(vec![
+            (0, 1, 0.5),
+            (0, 2, 4.0),
+            (1, 3, 2.0),
+            (2, 3, 1.0),
+        ]))
+        .unwrap();
+        assert_ne!(g.fingerprint(), other.fingerprint());
+
+        // Same topology, one weight nudged.
+        let mut triples: Vec<_> = g.iter_edges().collect();
+        triples[0].2 += 0.25;
+        let reweighted = CsrGraph::from_edge_list(&EdgeList::from_triples(triples)).unwrap();
+        assert_ne!(g.fingerprint(), reweighted.fingerprint());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use crate::edge_list::EdgeList;
 use crate::error::GraphError;
+use crate::io::bytes::ByteReader;
 
 const MAGIC: &[u8; 8] = b"GBSSSP01";
 
@@ -31,59 +32,24 @@ pub fn write_binary(el: &EdgeList) -> Vec<u8> {
     buf
 }
 
-/// Bounds-checked little-endian reader over a byte slice.
-struct Cursor<'a> {
-    data: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn new(data: &'a [u8]) -> Self {
-        Cursor { data, pos: 0 }
-    }
-
-    fn remaining(&self) -> usize {
-        self.data.len() - self.pos
-    }
-
-    fn take<const N: usize>(&mut self, what: &str) -> Result<[u8; N], GraphError> {
-        match self.data.get(self.pos..self.pos + N) {
-            Some(chunk) => {
-                self.pos += N;
-                let mut out = [0u8; N];
-                out.copy_from_slice(chunk);
-                Ok(out)
-            }
-            None => Err(GraphError::InvalidGraph(format!(
-                "binary graph truncated reading {what}: need {N} bytes at offset {}, have {}",
-                self.pos,
-                self.remaining()
-            ))),
-        }
-    }
-
-    fn u64_le(&mut self, what: &str) -> Result<u64, GraphError> {
-        Ok(u64::from_le_bytes(self.take::<8>(what)?))
-    }
-
-    fn f64_le(&mut self, what: &str) -> Result<f64, GraphError> {
-        Ok(f64::from_le_bytes(self.take::<8>(what)?))
-    }
+/// Map a truncated read onto this format's error type.
+fn truncated(e: crate::io::bytes::TruncatedRead) -> GraphError {
+    GraphError::InvalidGraph(format!("binary graph {e}"))
 }
 
 /// Deserialize the binary format.
 pub fn read_binary(data: &[u8]) -> Result<EdgeList, GraphError> {
-    let mut cur = Cursor::new(data);
-    let magic = cur.take::<8>("magic")?;
+    let mut cur = ByteReader::new(data);
+    let magic = cur.take::<8>("magic").map_err(truncated)?;
     if &magic != MAGIC {
         return Err(GraphError::InvalidGraph(format!(
             "bad magic {:?}, expected {:?}",
             magic, MAGIC
         )));
     }
-    let nv = usize::try_from(cur.u64_le("vertex count")?)
+    let nv = usize::try_from(cur.u64_le("vertex count").map_err(truncated)?)
         .map_err(|_| GraphError::InvalidGraph("vertex count overflows usize".into()))?;
-    let ne = usize::try_from(cur.u64_le("edge count")?)
+    let ne = usize::try_from(cur.u64_le("edge count").map_err(truncated)?)
         .map_err(|_| GraphError::InvalidGraph("edge count overflows usize".into()))?;
     let need = ne
         .checked_mul(24)
@@ -96,9 +62,9 @@ pub fn read_binary(data: &[u8]) -> Result<EdgeList, GraphError> {
     }
     let mut el = EdgeList::new(nv);
     for i in 0..ne {
-        let src = cur.u64_le("edge source")? as usize;
-        let dst = cur.u64_le("edge target")? as usize;
-        let w = cur.f64_le("edge weight")?;
+        let src = cur.u64_le("edge source").map_err(truncated)? as usize;
+        let dst = cur.u64_le("edge target").map_err(truncated)? as usize;
+        let w = cur.f64_le("edge weight").map_err(truncated)?;
         if src >= nv || dst >= nv {
             return Err(GraphError::InvalidGraph(format!(
                 "edge {i} ({src}, {dst}) out of bounds for {nv} vertices"

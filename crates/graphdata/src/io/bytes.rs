@@ -1,0 +1,120 @@
+//! Bounds-checked little-endian byte reading, shared by every binary
+//! format in the workspace (graphs in [`super::binary`], checkpoints in
+//! `sssp-core`). The reader is total: running off the end of the buffer
+//! is a [`TruncatedRead`] value, never a panic.
+
+use std::fmt;
+
+/// A read past the end of the buffer: what was being read, where, and
+/// how much was actually left.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruncatedRead {
+    /// Label of the field being decoded when the buffer ran out.
+    pub what: String,
+    /// Bytes the field needed.
+    pub need: usize,
+    /// Byte offset the read started at.
+    pub offset: usize,
+    /// Bytes remaining at that offset.
+    pub have: usize,
+}
+
+impl fmt::Display for TruncatedRead {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "truncated reading {}: need {} bytes at offset {}, have {}",
+            self.what, self.need, self.offset, self.have
+        )
+    }
+}
+
+impl std::error::Error for TruncatedRead {}
+
+/// Bounds-checked little-endian reader over a byte slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader positioned at the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        ByteReader { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Read the next `N` bytes as a fixed array, advancing the cursor.
+    pub fn take<const N: usize>(&mut self, what: &str) -> Result<[u8; N], TruncatedRead> {
+        match self.data.get(self.pos..self.pos + N) {
+            Some(chunk) => {
+                let mut out = [0u8; N];
+                out.copy_from_slice(chunk);
+                self.pos += N;
+                Ok(out)
+            }
+            None => Err(TruncatedRead {
+                what: what.to_string(),
+                need: N,
+                offset: self.pos,
+                have: self.remaining(),
+            }),
+        }
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self, what: &str) -> Result<u8, TruncatedRead> {
+        Ok(self.take::<1>(what)?[0])
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64_le(&mut self, what: &str) -> Result<u64, TruncatedRead> {
+        Ok(u64::from_le_bytes(self.take::<8>(what)?))
+    }
+
+    /// Read a little-endian `f64`.
+    pub fn f64_le(&mut self, what: &str) -> Result<f64, TruncatedRead> {
+        Ok(f64::from_le_bytes(self.take::<8>(what)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_advance_and_bounds_check() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&7u64.to_le_bytes());
+        buf.extend_from_slice(&1.5f64.to_le_bytes());
+        buf.push(3);
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u64_le("a").unwrap(), 7);
+        assert_eq!(r.f64_le("b").unwrap(), 1.5);
+        assert_eq!(r.u8("c").unwrap(), 3);
+        assert_eq!(r.remaining(), 0);
+        let err = r.u64_le("d").unwrap_err();
+        assert_eq!(err.what, "d");
+        assert_eq!(err.offset, 17);
+        assert_eq!(err.have, 0);
+        assert!(err.to_string().contains("truncated reading d"));
+    }
+
+    #[test]
+    fn failed_read_does_not_advance() {
+        let mut r = ByteReader::new(&[1, 2, 3]);
+        assert!(r.u64_le("x").is_err());
+        assert_eq!(r.position(), 0);
+        assert_eq!(r.take::<3>("y").unwrap(), [1, 2, 3]);
+    }
+}

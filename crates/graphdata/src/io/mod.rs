@@ -2,9 +2,11 @@
 //! lists, and a compact binary format.
 
 pub mod binary;
+pub mod bytes;
 pub mod matrix_market;
 pub mod snap_tsv;
 
 pub use binary::{read_binary, write_binary};
+pub use bytes::{ByteReader, TruncatedRead};
 pub use matrix_market::{read_matrix_market, write_matrix_market};
 pub use snap_tsv::{read_snap_tsv, write_snap_tsv};

@@ -1,26 +1,36 @@
-//! Fault injection: a test hook that makes the Nth subsequently spawned
-//! scoped task panic.
+//! Fault injection: test hooks that make the Nth subsequently spawned
+//! scoped task panic, or make pool creation fail outright.
 //!
 //! Used to prove panic isolation and graceful degradation end-to-end
 //! (a fault-injected parallel SSSP run must fall back to the sequential
 //! path and still produce certified distances) without instrumenting
-//! production code paths. The hook is a process-global countdown checked
-//! at the start of every scoped task; it costs one relaxed atomic load
-//! when disarmed.
+//! production code paths. The panic hook is a process-global countdown
+//! checked at the start of every scoped task; it costs one relaxed
+//! atomic load when disarmed. The pool-failure hook makes every
+//! [`crate::ThreadPool::with_threads`] call fail while armed, so callers'
+//! "pool unavailable" paths can be exercised without exhausting OS
+//! threads for real.
 //!
-//! The hook is global state: arm it immediately before the call under
+//! The hooks are global state: arm one immediately before the call under
 //! test and disarm it right after, and do not run two fault-injection
 //! tests concurrently in one process.
 
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 
 /// Countdown until the injected panic: negative means disarmed, `n ≥ 0`
 /// means "the task that observes `n == 0` panics".
 static COUNTDOWN: AtomicI64 = AtomicI64::new(-1);
 
+/// Whether pool creation should fail. Checked once per
+/// `ThreadPool::with_threads` call; stays armed until [`disarm`].
+static POOL_FAILURE: AtomicBool = AtomicBool::new(false);
+
 /// Message carried by injected panics, so tests can assert the failure
 /// they observe is the one they injected.
 pub const INJECTED_PANIC_MESSAGE: &str = "taskpool: injected fault";
+
+/// Message carried by injected pool-creation failures.
+pub const INJECTED_POOL_FAILURE_MESSAGE: &str = "taskpool: injected pool-creation failure";
 
 /// Arm the hook: the `n`-th scoped task spawned from now on panics
 /// (`n = 0` → the very next task).
@@ -28,14 +38,27 @@ pub fn arm_panic_after(n: u64) {
     COUNTDOWN.store(n.min(i64::MAX as u64) as i64, Ordering::SeqCst);
 }
 
-/// Disarm the hook. Idempotent.
-pub fn disarm() {
-    COUNTDOWN.store(-1, Ordering::SeqCst);
+/// Arm the pool-failure hook: every `ThreadPool::with_threads` call
+/// fails with [`INJECTED_POOL_FAILURE_MESSAGE`] until [`disarm`].
+pub fn arm_pool_creation_failure() {
+    POOL_FAILURE.store(true, Ordering::SeqCst);
 }
 
-/// Whether the hook is currently armed.
+/// Disarm every hook. Idempotent.
+pub fn disarm() {
+    COUNTDOWN.store(-1, Ordering::SeqCst);
+    POOL_FAILURE.store(false, Ordering::SeqCst);
+}
+
+/// Whether any hook is currently armed.
 pub fn is_armed() -> bool {
-    COUNTDOWN.load(Ordering::SeqCst) >= 0
+    COUNTDOWN.load(Ordering::SeqCst) >= 0 || POOL_FAILURE.load(Ordering::SeqCst)
+}
+
+/// Called by `ThreadPool::with_threads`; `true` means this creation
+/// attempt must fail.
+pub(crate) fn pool_creation_failure_armed() -> bool {
+    POOL_FAILURE.load(Ordering::SeqCst)
 }
 
 /// Called at the start of every scoped task; panics if this task is the
@@ -66,6 +89,17 @@ mod tests {
         disarm();
         assert!(!is_armed());
         check_injected_fault(); // must not panic
+    }
+
+    #[test]
+    fn pool_failure_hook_arms_and_disarms() {
+        disarm();
+        assert!(!pool_creation_failure_armed());
+        arm_pool_creation_failure();
+        assert!(is_armed());
+        assert!(pool_creation_failure_armed());
+        disarm();
+        assert!(!pool_creation_failure_armed());
     }
 
     #[test]

@@ -102,6 +102,11 @@ impl ThreadPool {
         if threads == 0 {
             return Err(PoolError::ZeroThreads);
         }
+        if crate::fault::pool_creation_failure_armed() {
+            return Err(PoolError::SpawnFailed(
+                crate::fault::INJECTED_POOL_FAILURE_MESSAGE.to_string(),
+            ));
+        }
         let shared = Arc::new(Shared {
             injector: Injector::new(),
             pending: AtomicUsize::new(0),

@@ -11,6 +11,7 @@
 //! ```
 
 use std::io::BufReader;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -112,9 +113,13 @@ struct Options {
     /// Per-run (or per-job, in batch mode) wall-clock budget.
     deadline_ms: Option<u64>,
     /// `--sources` batch mode: worker threads for the [`BatchRunner`]
-    /// front door. Setting this (or `--deadline-ms`) routes `--sources`
-    /// through the batch runner instead of the single-engine loop.
+    /// front door. Setting this (or `--deadline-ms`, or
+    /// `--checkpoint-dir`) routes `--sources` through the batch runner
+    /// instead of the single-engine loop.
     batch_workers: Option<usize>,
+    /// Durable checkpoints: budget-stopped batch jobs persist to
+    /// `<dir>/ckpt-<source>.bin` and a rerun resumes from those files.
+    checkpoint_dir: Option<PathBuf>,
     threads: usize,
     symmetrize: bool,
     unit_weights: bool,
@@ -147,6 +152,10 @@ options:
   --batch-workers N        run --sources through the resilient batch runner
                            with N workers (any of the six --impl names;
                            panicking jobs retry once on sequential fused)
+  --checkpoint-dir DIR     batch mode: persist budget-stopped jobs to
+                           DIR/ckpt-<source>.bin and resume from existing
+                           files, so a rerun finishes exactly where a
+                           deadline-stopped run left off
   --delta X                bucket width (default: 1.0; 'ms' = Meyer-Sanders rule)
   --threads T              pool size for parallel impls (default 4)
   --symmetrize             add reverse edges
@@ -172,6 +181,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         delta: None,
         deadline_ms: None,
         batch_workers: None,
+        checkpoint_dir: None,
         threads: 4,
         symmetrize: false,
         unit_weights: false,
@@ -229,6 +239,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     return Err("bad --batch-workers: need at least one worker".to_string());
                 }
                 o.batch_workers = Some(n);
+            }
+            "--checkpoint-dir" => {
+                o.checkpoint_dir = Some(PathBuf::from(value(&mut i, "--checkpoint-dir")?));
             }
             "--threads" => {
                 o.threads = value(&mut i, "--threads")?
@@ -445,6 +458,11 @@ fn run_batch(o: &Options, g: &CsrGraph, delta: f64) -> Result<ExitCode, Failure>
         .implementation
         .parse::<Implementation>()
         .map_err(|e| Failure::Usage(format!("batch mode: {e}\n\n{USAGE}")))?;
+    if let Some(dir) = &o.checkpoint_dir {
+        std::fs::create_dir_all(dir).map_err(|e| {
+            Failure::Input(format!("cannot create --checkpoint-dir {}: {e}", dir.display()))
+        })?;
+    }
     let runner = BatchRunner::new(BatchConfig {
         implementation: imp,
         delta,
@@ -454,9 +472,13 @@ fn run_batch(o: &Options, g: &CsrGraph, delta: f64) -> Result<ExitCode, Failure>
         cancel: None,
         guard: GuardConfig::default(),
         pool_threads: o.threads,
+        checkpoint_dir: o.checkpoint_dir.clone(),
     });
     let t0 = std::time::Instant::now();
     let report = runner.run(g, &o.sources);
+    if let Some(e) = &report.pool_degraded {
+        eprintln!("warning: thread pool unavailable ({e}); batch ran on the sequential fused path");
+    }
     for (source, outcome) in &report.jobs {
         match outcome {
             BatchOutcome::Complete { result, degraded, .. } => {
@@ -475,13 +497,20 @@ fn run_batch(o: &Options, g: &CsrGraph, delta: f64) -> Result<ExitCode, Failure>
                     result.stats.relaxations
                 );
             }
-            BatchOutcome::Partial { checkpoint, reason } => {
+            BatchOutcome::Partial { checkpoint, reason, saved_to } => {
                 println!(
                     "source {source}: PARTIAL — {} of {} distances certified below {} ({reason})",
                     checkpoint.settled_count(),
                     g.num_vertices(),
                     checkpoint.settled_below()
                 );
+                if let Some(path) = saved_to {
+                    println!(
+                        "source {source}: checkpoint saved to {}; rerun with the same \
+                         --checkpoint-dir to resume",
+                        path.display()
+                    );
+                }
             }
             BatchOutcome::Failed { error } => {
                 println!("source {source}: FAILED — {error}");
@@ -492,13 +521,16 @@ fn run_batch(o: &Options, g: &CsrGraph, delta: f64) -> Result<ExitCode, Failure>
         }
     }
     println!(
-        "batch: {} complete ({} degraded), {} partial, {} failed, {} rejected in {:?}",
+        "batch: {} complete ({} degraded), {} partial, {} failed, {} rejected in {:?} \
+         | split cache: {} build(s), {} hit(s)",
         report.completed(),
         report.degraded(),
         report.partial(),
         report.failed(),
         report.rejected(),
-        t0.elapsed()
+        t0.elapsed(),
+        report.split_cache.builds,
+        report.split_cache.hits
     );
     Ok(if report.failed() > 0 || report.rejected() > 0 {
         ExitCode::from(EXIT_SSSP)
@@ -576,10 +608,10 @@ fn real_main() -> ExitCode {
     };
 
     if !o.sources.is_empty() {
-        // Deadline or explicit workers => the resilient batch front
-        // door; otherwise the single-engine loop with its shared split
-        // cache.
-        if o.deadline_ms.is_some() || o.batch_workers.is_some() {
+        // Deadline, explicit workers, or durable checkpoints => the
+        // resilient batch front door; otherwise the single-engine loop
+        // with its shared split cache.
+        if o.deadline_ms.is_some() || o.batch_workers.is_some() || o.checkpoint_dir.is_some() {
             return match run_batch(&o, &g, delta) {
                 Ok(code) => code,
                 Err(f) => f.report(),

@@ -173,6 +173,89 @@ fn panic_injection_at_every_task_boundary_degrades_to_exact_distances() {
     }
 }
 
+/// Property 2, through disk and across "processes": a run killed at an
+/// epoch boundary serializes its checkpoint; a fresh engine (standing in
+/// for a fresh process) reloads it and is killed again mid-resume; a
+/// third engine reloads *that* and runs to completion. The final
+/// distances and stats must bit-match the uninterrupted run on both
+/// resume paths, at whatever pool size `CHAOS_THREADS` selects (CI
+/// sweeps 1/2/4).
+#[test]
+fn checkpoint_survives_kill_reload_resume_cycles_through_disk() {
+    let _guard = CHAOS_LOCK.lock().unwrap();
+    let g = weighted_chaos_graph();
+    let pool = ThreadPool::with_threads(pool_threads()).unwrap();
+    let cfg = GuardConfig::default();
+    let (src, delta) = (1usize, 0.5);
+    let reference =
+        run_checked(Implementation::ParallelImproved, &g, src, delta, Some(&pool), &cfg)
+            .expect("valid input")
+            .result;
+    let dir = std::env::temp_dir().join(format!(
+        "sssp-chaos-ckpt-{}-t{}",
+        std::process::id(),
+        pool_threads()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cycle.bin");
+
+    for first_kill in [1u64, 3, 7] {
+        for parallel_resume in [false, true] {
+            // "Process 1": killed at epoch `first_kill`, saves, dies.
+            let mut budget = RunBudget::unlimited().cancel_after(first_kill);
+            let err = run_with_budget(
+                Implementation::ParallelImproved,
+                &g,
+                src,
+                delta,
+                Some(&pool),
+                &cfg,
+                &mut budget,
+            )
+            .expect_err("cancel inside the run must stop it");
+            let cp = err.into_checkpoint().expect("budget stop carries a checkpoint");
+            assert!(cp.resumable);
+            SsspEngine::new(&g).save_checkpoint(&cp, &path).unwrap();
+
+            // "Process 2": reloads, gets killed again mid-resume (or
+            // finishes, if little work remained).
+            let mut engine = SsspEngine::new(&g);
+            let cp = engine.load_checkpoint(&path).unwrap();
+            let mut budget = RunBudget::unlimited().cancel_after(2);
+            let second = if parallel_resume {
+                engine.resume_parallel_improved(&pool, &cp, &mut budget)
+            } else {
+                engine.resume_fused(&cp, &mut budget)
+            };
+            let result = match second {
+                Ok((result, _)) => result,
+                Err(err) => {
+                    let cp = err.into_checkpoint().expect("mid-resume stop carries a checkpoint");
+                    engine.save_checkpoint(&cp, &path).unwrap();
+                    // "Process 3": reloads the twice-interrupted state
+                    // and runs to completion.
+                    let mut engine = SsspEngine::new(&g);
+                    let cp = engine.load_checkpoint(&path).unwrap();
+                    let (result, _) = if parallel_resume {
+                        engine.resume_parallel_improved(&pool, &cp, &mut RunBudget::unlimited())
+                    } else {
+                        engine.resume_fused(&cp, &mut RunBudget::unlimited())
+                    }
+                    .expect("final resume must reconverge");
+                    result
+                }
+            };
+            let label = format!(
+                "kill at {first_kill}, parallel_resume={parallel_resume}, threads={}",
+                pool_threads()
+            );
+            assert_eq!(bits(&result.dist), bits(&reference.dist), "{label}");
+            assert_eq!(result.stats, reference.stats, "{label}");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn panic_then_budget_stop_still_yields_a_certified_checkpoint() {
     // The degraded sequential retry runs under the job's surviving

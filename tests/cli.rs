@@ -300,6 +300,65 @@ fn batch_mode_accepts_any_of_the_six_implementations() {
 }
 
 #[test]
+fn checkpoint_dir_persists_partials_and_a_rerun_resumes_to_completion() {
+    let dir = std::env::temp_dir().join(format!("sssp-cli-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let graph = ["--gen", "grid:20x20", "--sources", "0,100,399", "--impl", "fused"];
+
+    // Uninterrupted reference batch (checkpoints never involved).
+    let reference = sssp(&[&graph[..], &["--batch-workers", "1"][..]].concat());
+    assert!(reference.status.success(), "{}", stderr(&reference));
+    let reference_lines: Vec<String> = stdout(&reference)
+        .lines()
+        .filter(|l| l.starts_with("source "))
+        .map(str::to_string)
+        .collect();
+    assert_eq!(reference_lines.len(), 3);
+
+    // A zero deadline stops every job; the checkpoints land on disk.
+    let stopped = sssp(
+        &[&graph[..], &["--deadline-ms", "0", "--checkpoint-dir", dir.to_str().unwrap()]].concat(),
+    );
+    assert_eq!(stopped.status.code(), Some(5), "{}", stderr(&stopped));
+    let text = stdout(&stopped);
+    assert!(text.contains("checkpoint saved to"), "{text}");
+    for src in [0usize, 100, 399] {
+        assert!(dir.join(format!("ckpt-{src}.bin")).exists(), "missing ckpt-{src}.bin");
+    }
+
+    // Rerun with the same directory (no deadline): every job resumes
+    // from its file and the per-source results match the uninterrupted
+    // batch exactly.
+    let resumed = sssp(&[&graph[..], &["--checkpoint-dir", dir.to_str().unwrap()]].concat());
+    assert!(resumed.status.success(), "{}", stderr(&resumed));
+    let resumed_lines: Vec<String> = stdout(&resumed)
+        .lines()
+        .filter(|l| l.starts_with("source "))
+        .map(str::to_string)
+        .collect();
+    assert_eq!(resumed_lines, reference_lines);
+    // Completion cleans the checkpoint files up.
+    for src in [0usize, 100, 399] {
+        assert!(!dir.join(format!("ckpt-{src}.bin")).exists(), "stale ckpt-{src}.bin");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unwritable_checkpoint_dir_is_an_input_error() {
+    let out = sssp(&[
+        "--gen",
+        "grid:4x4",
+        "--sources",
+        "0,1",
+        "--checkpoint-dir",
+        "/dev/null/nope",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("--checkpoint-dir"), "{}", stderr(&out));
+}
+
+#[test]
 fn batch_mode_rejects_non_solver_implementations_as_usage_error() {
     let out = sssp(&[
         "--gen",
