@@ -1,6 +1,6 @@
 //! Repo-invariant lints for the sssp workspace, enforced in CI.
 //!
-//! Four invariants, all checked by plain line-level source scanning (no
+//! Five invariants, all checked by plain line-level source scanning (no
 //! external parser — the scans are deliberately syntactic so the tool
 //! has zero dependencies and sub-second runtime):
 //!
@@ -17,14 +17,20 @@
 //!    are out of scope by construction.
 //! 3. **`hot-path-lock`** — no `Mutex`/`RwLock` in the relaxation hot
 //!    paths (`crates/core/src/parallel*`, `crates/core/src/reqbuf.rs`,
-//!    `crates/gblas/src/parallel/`). Deliberate uses are suppressed with
-//!    a `lint:allow(hot-path-lock): <reason>` comment on the same or the
+//!    `crates/gblas/src/parallel/`) or the resident service
+//!    (`crates/serve/src/`). Deliberate uses are suppressed with a
+//!    `lint:allow(hot-path-lock): <reason>` comment on the same or the
 //!    preceding line.
 //! 4. **`impl-coverage`** — every name accepted by
 //!    `Implementation::parse` maps to a variant dispatched inside
 //!    `run_with_budget`, and every canonical `name()` string appears as
 //!    a literal in `tests/determinism.rs`, so no implementation can be
 //!    reachable from the CLI without being in the determinism suite.
+//! 5. **`wire-code-coverage`** — the resident service's
+//!    `SsspError`-to-wire-code mapping (`wire_code` in
+//!    `crates/serve/src/protocol.rs`) names every `SsspError` variant
+//!    explicitly and has no wildcard `_ =>` arm, so adding a solver
+//!    error forces a deliberate wire-code assignment.
 //!
 //! Scanned roots: `crates/`, `src/`, `tests/`, `examples/`. Excluded:
 //! `vendor/` (third-party stubs), `target/`, and `crates/analyze` itself
@@ -394,11 +400,14 @@ pub fn lint_atomics(files: &[SourceFile], allowlist_src: &str) -> Vec<Finding> {
 const HOT_PATH_SUPPRESSION: &str = "lint:allow(hot-path-lock)";
 
 /// Hot-path modules where a blocking lock is a design violation: the
-/// request-buffer relaxation core and the parallel kernels.
+/// request-buffer relaxation core, the parallel kernels, and the
+/// resident service (whose locks must all be request-rate control
+/// state, never per-edge — each deliberate one carries its reason).
 pub fn is_hot_path(rel: &str) -> bool {
     rel.starts_with("crates/core/src/parallel")
         || rel == "crates/core/src/reqbuf.rs"
         || rel.starts_with("crates/gblas/src/parallel")
+        || rel.starts_with("crates/serve/src/")
 }
 
 /// `Mutex`/`RwLock` in a hot-path file must carry an explicit
@@ -632,6 +641,90 @@ fn raw_block(src: &str, marker: &str) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Lint 5: SsspError ↔ wire-code mapping exhaustiveness
+// ---------------------------------------------------------------------------
+
+/// Variant names of the enum opened by `marker` in `f`: identifiers at
+/// brace depth 1 that start a (comment-stripped) line with an uppercase
+/// letter. Struct-variant field lines sit at depth 2 and are skipped.
+fn enum_variants_of(f: &SourceFile, marker: &str) -> Vec<String> {
+    let block = block_after(f, marker);
+    let mut depth = 0usize;
+    let mut out = Vec::new();
+    for line in block.lines() {
+        let t = line.trim();
+        if depth == 1 {
+            let name: String = t
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                out.push(name);
+            }
+        }
+        for c in line.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// The serve protocol's `wire_code` mapping must stay exhaustive over
+/// [`SsspError`]: every variant of the enum in `guard_rs` appears as an
+/// `SsspError::<V>` arm inside `pub fn wire_code` in `wire_rs`, and the
+/// match has **no** wildcard `_ =>` arm (which would silently bucket a
+/// future variant instead of forcing a new wire code).
+pub fn lint_wire_codes(guard_rs: &SourceFile, wire_rs: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut finding = |file: &str, message: String| {
+        out.push(Finding {
+            file: file.to_string(),
+            line: 0,
+            lint: "wire-code-coverage",
+            message,
+        });
+    };
+
+    let variants = enum_variants_of(guard_rs, "pub enum SsspError");
+    if variants.is_empty() {
+        finding(&guard_rs.rel, "could not locate `pub enum SsspError` variants".into());
+        return out;
+    }
+    let body = block_after(wire_rs, "pub fn wire_code");
+    if body.is_empty() {
+        finding(
+            &wire_rs.rel,
+            "could not locate `pub fn wire_code` — the SsspError wire mapping is gone".into(),
+        );
+        return out;
+    }
+    for v in &variants {
+        if !has_word(&body, &format!("SsspError::{v}")) {
+            finding(
+                &wire_rs.rel,
+                format!("`SsspError::{v}` has no arm in wire_code — assign it a wire code"),
+            );
+        }
+    }
+    for line in body.lines() {
+        let Some((lhs, _)) = line.split_once("=>") else { continue };
+        if lhs.trim() == "_" {
+            finding(
+                &wire_rs.rel,
+                "wire_code has a wildcard `_ =>` arm — new SsspError variants must fail \
+                 to compile here, not silently share a code"
+                    .into(),
+            );
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Scanner + driver
 // ---------------------------------------------------------------------------
 
@@ -705,6 +798,16 @@ pub fn run_all(root: &Path) -> Result<Vec<Finding>, String> {
     let determinism = fs::read_to_string(root.join("tests/determinism.rs"))
         .map_err(|e| format!("tests/determinism.rs: {e}"))?;
     findings.extend(lint_impl_coverage(run_rs, &determinism));
+
+    let guard_rs = files
+        .iter()
+        .find(|f| f.rel == "crates/core/src/guard.rs")
+        .ok_or("crates/core/src/guard.rs not found")?;
+    let protocol_rs = files
+        .iter()
+        .find(|f| f.rel == "crates/serve/src/protocol.rs")
+        .ok_or("crates/serve/src/protocol.rs not found")?;
+    findings.extend(lint_wire_codes(guard_rs, protocol_rs));
 
     findings.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
     Ok(findings)
@@ -944,6 +1047,68 @@ pub fn run_with_budget(imp: Implementation) {
                 .any(|f| f.message.contains("\"fused\" is not covered")),
             "{fs:?}"
         );
+    }
+
+    // -- lint 5 ----------------------------------------------------------
+
+    const MINI_GUARD_RS: &str = r#"
+pub enum SsspError {
+    InvalidDelta {
+        delta: f64,
+    },
+    Cancelled {
+        checkpoint: Box<Checkpoint>,
+    },
+    WorkerPanicked {
+        message: String,
+    },
+}
+"#;
+
+    const MINI_WIRE_RS: &str = r#"
+pub fn wire_code(err: &SsspError) -> u8 {
+    match err {
+        SsspError::InvalidDelta { .. } => 14,
+        SsspError::Cancelled { .. } => 16,
+        SsspError::WorkerPanicked { .. } => 20,
+    }
+}
+"#;
+
+    #[test]
+    fn wire_codes_clean_on_exhaustive_mapping() {
+        let guard = sf("crates/core/src/guard.rs", MINI_GUARD_RS);
+        let wire = sf("crates/serve/src/protocol.rs", MINI_WIRE_RS);
+        assert!(lint_wire_codes(&guard, &wire).is_empty());
+    }
+
+    #[test]
+    fn wire_codes_flag_missing_variant_and_wildcard_arm() {
+        let guard = sf("crates/core/src/guard.rs", MINI_GUARD_RS);
+        let lossy = MINI_WIRE_RS.replace(
+            "        SsspError::WorkerPanicked { .. } => 20,",
+            "        _ => 0,",
+        );
+        let wire = sf("crates/serve/src/protocol.rs", &lossy);
+        let fs = lint_wire_codes(&guard, &wire);
+        assert!(
+            fs.iter().any(|f| f.message.contains("`SsspError::WorkerPanicked` has no arm")),
+            "{fs:?}"
+        );
+        assert!(
+            fs.iter().any(|f| f.message.contains("wildcard `_ =>` arm")),
+            "{fs:?}"
+        );
+        assert!(fs.iter().all(|f| f.lint == "wire-code-coverage"));
+    }
+
+    #[test]
+    fn wire_codes_flag_a_missing_mapping_function_entirely() {
+        let guard = sf("crates/core/src/guard.rs", MINI_GUARD_RS);
+        let wire = sf("crates/serve/src/protocol.rs", "pub fn other() {}\n");
+        let fs = lint_wire_codes(&guard, &wire);
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].message.contains("could not locate `pub fn wire_code`"), "{fs:?}");
     }
 
     // -- self-test: the repo itself is clean ------------------------------

@@ -33,7 +33,15 @@
 //! their checkpoint to disk (`ckpt-<source>.bin`, the
 //! [`Checkpoint::to_bytes`] format) and a later batch — same process or
 //! a fresh one — resumes each from its file, landing on distances and
-//! stats bit-identical to an uninterrupted run.
+//! stats bit-identical to an uninterrupted run. The directory's
+//! [`CheckpointManifest`] (`manifest.bin`, the `GBSSMAN1` format) is
+//! kept in lockstep: a checkpoint file is written before its manifest
+//! entry, a completed job's entry is removed before its file is deleted,
+//! so a `kill -9` at any instant leaves at worst an orphaned checkpoint
+//! file — never a manifest entry pointing at a missing or torn file.
+//! Long-lived callers (the `sssp-serve` front end) drive the same
+//! machinery through [`BatchRunner::run_shared`], which reuses a
+//! caller-owned [`SplitCache`] and [`ThreadPool`] across batches.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -48,6 +56,7 @@ use crate::budget::{CancelToken, RunBudget};
 use crate::checkpoint::Checkpoint;
 use crate::engine::SsspEngine;
 use crate::guard::{GuardConfig, SsspError};
+use crate::manifest::{CheckpointManifest, ManifestEntry};
 use crate::result::SsspResult;
 use crate::run::{run_with_budget, Implementation};
 use crate::split_cache::{SplitCache, SplitCacheStats};
@@ -172,8 +181,16 @@ pub struct BatchReport {
     /// sequential fused path and carries its own `degraded` flag.
     pub pool_degraded: Option<String>,
     /// Counters of the batch-shared split cache — a same-Δ batch shows
-    /// `builds == 1` here regardless of worker count.
+    /// `builds == 1` here regardless of worker count. Under
+    /// [`BatchRunner::run_shared`] these are the *cumulative* counters
+    /// of the caller-owned cache, including eviction activity from the
+    /// byte-budget LRU policy.
     pub split_cache: SplitCacheStats,
+    /// `Some(error)` when [`BatchConfig::checkpoint_dir`] is set but its
+    /// manifest could not be loaded (corrupt or unreadable): the batch
+    /// still runs — falling back to per-file checkpoint discovery — but
+    /// the durable index could not be trusted and the caller should know.
+    pub manifest_error: Option<String>,
 }
 
 impl BatchReport {
@@ -265,6 +282,36 @@ impl BatchRunner {
     /// sequential fused path — visibly, via
     /// [`BatchReport::pool_degraded`] and per-job `degraded` flags.
     pub fn run(&self, g: &CsrGraph, sources: &[usize]) -> BatchReport {
+        // One pool for the whole batch. Creation failure is surfaced,
+        // not swallowed: jobs still run (sequential fused) but each is
+        // flagged degraded and the report carries the error.
+        let (pool, pool_degraded) = if self.cfg.implementation.is_parallel() {
+            match ThreadPool::with_threads(self.cfg.pool_threads) {
+                Ok(p) => (Some(p), None),
+                Err(e) => (None, Some(e.to_string())),
+            }
+        } else {
+            (None, None)
+        };
+        let cache = Arc::new(SplitCache::new());
+        self.run_shared(g, sources, &cache, pool.as_ref(), pool_degraded)
+    }
+
+    /// [`BatchRunner::run`] against caller-owned shared resources: the
+    /// split cache (possibly byte-budgeted, possibly warm from earlier
+    /// batches against other graphs) and the thread pool survive this
+    /// call, which is what lets a resident front end keep splits hot
+    /// across requests. `pool_degraded` carries the caller's
+    /// pool-creation failure, if any, so jobs degrade identically to
+    /// [`BatchRunner::run`].
+    pub fn run_shared(
+        &self,
+        g: &CsrGraph,
+        sources: &[usize],
+        cache: &Arc<SplitCache>,
+        pool: Option<&ThreadPool>,
+        pool_degraded: Option<String>,
+    ) -> BatchReport {
         let mut outcomes: Vec<Option<BatchOutcome>> = Vec::with_capacity(sources.len());
         let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
         for (idx, &source) in sources.iter().enumerate() {
@@ -281,18 +328,25 @@ impl BatchRunner {
         let queue = Mutex::new(queue);
         let outcomes = Mutex::new(outcomes);
 
-        // One pool for the whole batch. Creation failure is surfaced,
-        // not swallowed: jobs still run (sequential fused) but each is
-        // flagged degraded and the report carries the error.
-        let (pool, pool_degraded) = if self.cfg.implementation.is_parallel() {
-            match ThreadPool::with_threads(self.cfg.pool_threads) {
-                Ok(p) => (Some(p), None),
-                Err(e) => (None, Some(e.to_string())),
-            }
-        } else {
-            (None, None)
+        // The durable job index for the checkpoint directory. A corrupt
+        // or unreadable manifest does not kill the batch (per-file
+        // discovery still works) but is reported, never swallowed.
+        let (manifest, manifest_error) = match self.cfg.checkpoint_dir.as_deref() {
+            Some(dir) => match CheckpointManifest::load_or_default(dir) {
+                Ok(m) => (
+                    Some(ManifestState { dir: dir.to_path_buf(), manifest: Mutex::new(m) }),
+                    None,
+                ),
+                Err(e) => (
+                    Some(ManifestState {
+                        dir: dir.to_path_buf(),
+                        manifest: Mutex::new(CheckpointManifest::new()),
+                    }),
+                    Some(e.to_string()),
+                ),
+            },
+            None => (None, None),
         };
-        let cache = Arc::new(SplitCache::new());
 
         let workers = self.cfg.workers.min(accepted.max(1));
         std::thread::scope(|scope| {
@@ -301,15 +355,16 @@ impl BatchRunner {
                     // Per-worker engine over the shared split cache: warm
                     // workspaces stay thread-private, the expensive split
                     // is fetched (or built exactly once) from the cache.
-                    let mut engine = SsspEngine::with_cache(g, Arc::clone(&cache));
+                    let mut engine = SsspEngine::with_cache(g, Arc::clone(cache));
                     loop {
                         let job = queue.lock().expect("queue lock").pop_front();
                         let Some((idx, source)) = job else { break };
                         let outcome = self.run_job(
                             &mut engine,
-                            pool.as_ref(),
+                            pool,
                             pool_degraded.as_deref(),
                             source,
+                            manifest.as_ref(),
                         );
                         outcomes.lock().expect("outcomes lock")[idx] = Some(outcome);
                     }
@@ -326,17 +381,21 @@ impl BatchRunner {
                 .collect(),
             pool_degraded,
             split_cache: cache.stats(),
+            manifest_error,
         }
     }
 
-    /// One job: resume it from a persisted checkpoint when one exists,
-    /// otherwise run it fresh; either way, persist a budget stop.
+    /// One job: resume it from a persisted checkpoint when one exists —
+    /// located through the manifest first, falling back to the
+    /// conventional per-source file — otherwise run it fresh; either
+    /// way, persist a budget stop.
     fn run_job(
         &self,
         engine: &mut SsspEngine<'_>,
         pool: Option<&ThreadPool>,
         pool_unavailable: Option<&str>,
         source: usize,
+        manifest: Option<&ManifestState>,
     ) -> BatchOutcome {
         let path = self
             .cfg
@@ -344,20 +403,31 @@ impl BatchRunner {
             .as_deref()
             .map(|dir| Self::checkpoint_path(dir, source));
         if let Some(path) = &path {
-            if path.exists() {
+            let fingerprint = engine.graph().fingerprint();
+            // The manifest names the live checkpoint for this job; a
+            // directory without one (pre-manifest layouts, or a manifest
+            // that failed to load) falls back to the conventional path.
+            let candidate = manifest
+                .and_then(|m| {
+                    let locked = m.manifest.lock().expect("manifest lock");
+                    locked.find_source(fingerprint, source).map(|e| m.dir.join(&e.file))
+                })
+                .filter(|p| p.exists())
+                .or_else(|| path.exists().then(|| path.clone()));
+            if let Some(candidate) = candidate {
                 // An unreadable, foreign, or non-resumable file is not
                 // fatal: the job simply runs fresh (and overwrites it).
-                if let Ok(cp) = engine.load_checkpoint(path) {
+                if let Ok(cp) = engine.load_checkpoint(&candidate) {
                     if cp.resumable && cp.source == source {
                         let outcome = self.resume_job(engine, pool, &cp);
-                        return self.persist(engine, outcome, path);
+                        return self.persist(engine, outcome, path, source, manifest);
                     }
                 }
             }
         }
         let outcome = self.fresh_job(engine, pool, pool_unavailable, source);
         match path {
-            Some(path) => self.persist(engine, outcome, &path),
+            Some(path) => self.persist(engine, outcome, &path, source, manifest),
             None => outcome,
         }
     }
@@ -541,24 +611,40 @@ impl BatchRunner {
     }
 
     /// Apply the durable-checkpoint policy to a settled outcome: persist
-    /// a resumable budget stop, clear the file once the job completes.
+    /// a resumable budget stop (checkpoint file first, manifest entry
+    /// second), clear the manifest entry and then the file once the job
+    /// completes. The ordering is the crash contract from the
+    /// [`crate::manifest`] docs: the manifest never points at a missing
+    /// or torn checkpoint file.
     fn persist(
         &self,
         engine: &SsspEngine<'_>,
         outcome: BatchOutcome,
         path: &Path,
+        source: usize,
+        manifest: Option<&ManifestState>,
     ) -> BatchOutcome {
+        let fingerprint = engine.graph().fingerprint();
         match outcome {
             BatchOutcome::Partial {
                 checkpoint,
                 reason,
                 ..
             } if checkpoint.resumable => match engine.save_checkpoint(&checkpoint, path) {
-                Ok(()) => BatchOutcome::Partial {
-                    checkpoint,
-                    reason,
-                    saved_to: Some(path.to_path_buf()),
-                },
+                Ok(()) => {
+                    let reason = match manifest
+                        .map(|m| m.record(fingerprint, &checkpoint, path))
+                        .transpose()
+                    {
+                        Ok(_) => reason,
+                        Err(e) => format!("{reason}; manifest not updated: {e}"),
+                    };
+                    BatchOutcome::Partial {
+                        checkpoint,
+                        reason,
+                        saved_to: Some(path.to_path_buf()),
+                    }
+                }
                 Err(e) => BatchOutcome::Partial {
                     checkpoint,
                     reason: format!("{reason}; checkpoint not persisted: {e}"),
@@ -566,8 +652,16 @@ impl BatchRunner {
                 },
             },
             BatchOutcome::Complete { .. } => {
-                // A stale file must not resurrect a finished job.
-                let _ = std::fs::remove_file(path);
+                // A stale file must not resurrect a finished job. Drop
+                // the manifest entry first; if that durable step fails,
+                // keep the file so the manifest never dangles.
+                let manifest_clean = match manifest.map(|m| m.clear(fingerprint, source)) {
+                    Some(result) => result.is_ok(),
+                    None => true,
+                };
+                if manifest_clean {
+                    let _ = std::fs::remove_file(path);
+                }
                 outcome
             }
             other => other,
@@ -575,14 +669,13 @@ impl BatchRunner {
     }
 
     fn job_budget(&self, g: &CsrGraph) -> RunBudget {
-        let mut budget = RunBudget::for_run(g, self.cfg.delta, &self.cfg.guard);
-        if let Some(deadline) = self.cfg.deadline {
-            budget = budget.with_timeout(deadline);
-        }
-        if let Some(token) = &self.cfg.cancel {
-            budget = budget.with_cancel(token.clone());
-        }
-        budget
+        RunBudget::for_job(
+            g,
+            self.cfg.delta,
+            &self.cfg.guard,
+            self.cfg.deadline,
+            self.cfg.cancel.as_ref(),
+        )
     }
 
     /// Budget stops become checkpointed partials; everything else fails.
@@ -596,6 +689,45 @@ impl BatchRunner {
             },
             None => BatchOutcome::Failed { error: reason },
         }
+    }
+}
+
+/// The batch's live view of its checkpoint directory's manifest, shared
+/// across workers. Every mutation re-saves the file so the on-disk index
+/// is durable at each step, not just at batch exit (a `kill -9` between
+/// jobs must leave a trustworthy index).
+#[derive(Debug)]
+struct ManifestState {
+    dir: PathBuf,
+    manifest: Mutex<CheckpointManifest>,
+}
+
+impl ManifestState {
+    /// Record a freshly-persisted checkpoint (file already on disk) and
+    /// save the manifest.
+    fn record(&self, fingerprint: u64, cp: &Checkpoint, path: &Path) -> Result<(), SsspError> {
+        let file = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let mut locked = self.manifest.lock().expect("manifest lock");
+        locked.upsert(ManifestEntry {
+            fingerprint,
+            source: cp.source,
+            delta: cp.delta,
+            file,
+        });
+        locked.save(&CheckpointManifest::path_in(&self.dir))
+    }
+
+    /// Drop the entry for a completed job and save the manifest. A
+    /// directory that never recorded the job is a clean no-op.
+    fn clear(&self, fingerprint: u64, source: usize) -> Result<(), SsspError> {
+        let mut locked = self.manifest.lock().expect("manifest lock");
+        if locked.remove_source(fingerprint, source) {
+            locked.save(&CheckpointManifest::path_in(&self.dir))?;
+        }
+        Ok(())
     }
 }
 
@@ -837,6 +969,59 @@ mod tests {
         for source in sources {
             assert!(!BatchRunner::checkpoint_path(&dir, source).exists());
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_tracks_partials_and_drains_on_completion() {
+        let g = CsrGraph::from_edge_list(&grid2d(12, 12)).unwrap();
+        let dir = std::env::temp_dir().join(format!("sssp-batch-man-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sources = [0usize, 77, 143];
+
+        let stopped = BatchRunner::new(BatchConfig {
+            deadline: Some(Duration::ZERO),
+            checkpoint_dir: Some(dir.clone()),
+            ..BatchConfig::default()
+        })
+        .run(&g, &sources);
+        assert_eq!(stopped.partial(), sources.len());
+        assert!(stopped.manifest_error.is_none());
+        // Every interrupted job is indexed, each entry names a live file.
+        let m = CheckpointManifest::load_or_default(&dir).unwrap();
+        assert_eq!(m.len(), sources.len());
+        for source in sources {
+            let entry = m.find_source(g.fingerprint(), source).expect("indexed");
+            assert!(dir.join(&entry.file).exists(), "manifest entry must name a live file");
+        }
+
+        // Resume to completion: index and files both drain.
+        let resumed = BatchRunner::new(BatchConfig {
+            checkpoint_dir: Some(dir.clone()),
+            ..BatchConfig::default()
+        })
+        .run(&g, &sources);
+        assert!(resumed.all_complete());
+        assert!(CheckpointManifest::load_or_default(&dir).unwrap().is_empty());
+        for source in sources {
+            assert!(!BatchRunner::checkpoint_path(&dir, source).exists());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_manifest_is_reported_but_does_not_kill_the_batch() {
+        let g = grid();
+        let dir = std::env::temp_dir().join(format!("sssp-batch-badman-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(CheckpointManifest::path_in(&dir), b"garbage").unwrap();
+        let report = BatchRunner::new(BatchConfig {
+            checkpoint_dir: Some(dir.clone()),
+            ..BatchConfig::default()
+        })
+        .run(&g, &[0]);
+        assert!(report.all_complete());
+        assert!(report.manifest_error.is_some(), "corrupt manifest must be surfaced");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

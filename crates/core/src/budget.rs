@@ -127,6 +127,28 @@ impl RunBudget {
         RunBudget::from_watchdog(Watchdog::for_run(g, delta, cfg))
     }
 
+    /// The standard *job* budget shared by the batch runner and the serve
+    /// front end: the [`RunBudget::for_run`] epoch limit plus an optional
+    /// per-job deadline (counted from now, i.e. from job start — queue
+    /// wait must not consume it, so callers build this when the job
+    /// begins executing) and an optional cancellation token.
+    pub fn for_job(
+        g: &CsrGraph,
+        delta: f64,
+        cfg: &GuardConfig,
+        deadline: Option<Duration>,
+        cancel: Option<&CancelToken>,
+    ) -> Self {
+        let mut budget = RunBudget::for_run(g, delta, cfg);
+        if let Some(deadline) = deadline {
+            budget = budget.with_timeout(deadline);
+        }
+        if let Some(token) = cancel {
+            budget = budget.with_cancel(token.clone());
+        }
+        budget
+    }
+
     /// Add an absolute wall-clock deadline.
     pub fn with_deadline(mut self, deadline: Instant) -> Self {
         self.deadline = Some(deadline);

@@ -330,6 +330,34 @@ impl Checkpoint {
     }
 }
 
+/// Durable write shared by the checkpoint and manifest savers: write to a
+/// sibling `<path>.tmp`, then atomically rename over `path`, so a crash
+/// mid-save leaves either the old file or the new one — never a torn
+/// read. Any failure after the tmp file exists removes it before the
+/// original error is surfaced, so an interrupted save cannot leak
+/// orphans. The rename honors the
+/// [`taskpool::fault::arm_checkpoint_rename_failure`] test hook.
+pub(crate) fn atomic_write(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    if let Err(e) = std::fs::write(&tmp, bytes) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if taskpool::fault::take_checkpoint_rename_failure() {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(std::io::Error::other(
+            taskpool::fault::INJECTED_RENAME_FAILURE_MESSAGE,
+        ));
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    Ok(())
+}
+
 /// Borrowed view of a running implementation's state, used to build a
 /// [`Checkpoint`] at the instant a [`BudgetStop`] fires.
 #[derive(Debug, Clone, Copy)]

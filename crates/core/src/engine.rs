@@ -323,19 +323,15 @@ impl<'g> SsspEngine<'g> {
     /// [`Checkpoint::to_bytes`], stamped with this engine's graph
     /// fingerprint. The write goes through a sibling temp file and an
     /// atomic rename, so a crash mid-save leaves either the old file or
-    /// the new one — never a torn checkpoint.
+    /// the new one — never a torn checkpoint; a *failed* save cleans up
+    /// its temp file before surfacing the original error.
     pub fn save_checkpoint(&self, cp: &Checkpoint, path: &Path) -> Result<(), SsspError> {
         cp.validate(self.g.num_vertices())?;
-        let io_err = |e: std::io::Error| SsspError::CheckpointIo {
+        let bytes = cp.to_bytes(self.fingerprint);
+        crate::checkpoint::atomic_write(path, &bytes).map_err(|e| SsspError::CheckpointIo {
             path: path.display().to_string(),
             message: e.to_string(),
-        };
-        let bytes = cp.to_bytes(self.fingerprint);
-        let mut tmp = path.as_os_str().to_owned();
-        tmp.push(".tmp");
-        let tmp = std::path::PathBuf::from(tmp);
-        std::fs::write(&tmp, &bytes).map_err(io_err)?;
-        std::fs::rename(&tmp, path).map_err(io_err)
+        })
     }
 
     /// Load a checkpoint saved by [`SsspEngine::save_checkpoint`] (in this
@@ -591,6 +587,43 @@ mod tests {
             engine.load_checkpoint(&dir.join("nope.bin")),
             Err(SsspError::CheckpointIo { .. })
         ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_save_removes_its_temp_file_and_surfaces_the_error() {
+        let g = test_graph();
+        let mut engine = SsspEngine::new(&g);
+        let err = engine
+            .run_fused(3, 1.0, &mut RunBudget::unlimited().cancel_after(2))
+            .unwrap_err();
+        let cp = err.into_checkpoint().unwrap();
+        let dir = std::env::temp_dir().join(format!("sssp-engine-leak-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cp.bin");
+
+        // Injected rename failure: the save must fail with the injected
+        // error, and the orphaned `.tmp` must be cleaned up.
+        taskpool::fault::arm_checkpoint_rename_failure();
+        let err = engine.save_checkpoint(&cp, &path).unwrap_err();
+        taskpool::fault::disarm();
+        match err {
+            SsspError::CheckpointIo { message, .. } => {
+                assert!(
+                    message.contains(taskpool::fault::INJECTED_RENAME_FAILURE_MESSAGE),
+                    "{message}"
+                );
+            }
+            other => panic!("expected CheckpointIo, got {other:?}"),
+        }
+        let tmp = dir.join("cp.bin.tmp");
+        assert!(!tmp.exists(), "failed save leaked its temp file");
+        assert!(!path.exists(), "failed save must not produce a final file");
+
+        // The hook is one-shot: the next save succeeds normally.
+        engine.save_checkpoint(&cp, &path).unwrap();
+        assert!(path.exists());
+        assert!(!tmp.exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

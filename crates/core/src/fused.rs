@@ -76,6 +76,17 @@ impl LightHeavy {
         lh
     }
 
+    /// Heap bytes this split holds resident — what a byte-budgeted
+    /// [`crate::split_cache::SplitCache`] charges for the entry. Never
+    /// zero for a built split: `light_off`/`heavy_off` always hold
+    /// `|V| + 1 ≥ 1` entries each.
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.light_off.len() + self.heavy_off.len() + self.light_tgt.len() + self.heavy_tgt.len())
+            * size_of::<usize>()
+            + (self.light_w.len() + self.heavy_w.len()) * size_of::<f64>()
+    }
+
     /// Light out-edges of `v`.
     #[inline]
     pub fn light(&self, v: usize) -> (&[usize], &[f64]) {

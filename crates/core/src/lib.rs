@@ -51,6 +51,7 @@ pub mod gblas_impl;
 pub mod gblas_parallel;
 pub mod gblas_select;
 pub mod guard;
+pub mod manifest;
 pub mod parallel;
 pub mod parallel_atomic;
 pub mod parallel_improved;
@@ -68,6 +69,7 @@ pub use batch::{BatchConfig, BatchOutcome, BatchReport, BatchRunner};
 pub use budget::{BudgetStop, CancelToken, RunBudget};
 pub use checkpoint::{Checkpoint, StopPoint};
 pub use guard::{GuardConfig, SsspError, Watchdog};
+pub use manifest::{CheckpointManifest, ManifestEntry};
 pub use result::SsspResult;
 pub use run::{run_checked, run_with_budget, Implementation, RunReport};
 pub use split_cache::{SplitCache, SplitCacheStats};

@@ -1,0 +1,425 @@
+//! The cross-source checkpoint manifest: the durable index a crashed
+//! batch or server leaves behind so a fresh process knows **which** jobs
+//! were interrupted and where their checkpoints live.
+//!
+//! Individual [`crate::Checkpoint`] files are self-describing, but a
+//! directory of them is not: after a `kill -9` the restarting process
+//! must not guess which `ckpt-*.bin` files are live partials versus
+//! stale leftovers, and a resident server addressing many graphs needs
+//! the `(fingerprint, source, Δ)` coordinates of every interrupted job
+//! without parsing every file. The manifest records exactly that, in the
+//! same versioned little-endian binary family as the checkpoint format
+//! (`GBSSMAN1` beside `GBSSCKP1`), written with the same
+//! tmp+atomic-rename discipline.
+//!
+//! Crash-ordering contract (kept by [`crate::batch::BatchRunner`] and
+//! the serve front end): a checkpoint file is fully written **before**
+//! its manifest entry is saved, and a completed job's manifest entry is
+//! removed and saved **before** its checkpoint file is deleted. A crash
+//! between those steps therefore leaves, at worst, an orphaned
+//! checkpoint file no manifest entry points at — harmless — and never a
+//! manifest entry pointing at a missing or torn file.
+//!
+//! Entries carry a **bare file name**, resolved against the directory
+//! the manifest itself lives in; names with path separators or `..` are
+//! rejected at decode time so a hostile manifest cannot point a resume
+//! outside its own checkpoint directory.
+
+use std::path::{Path, PathBuf};
+
+use graphdata::io::bytes::ByteReader;
+
+use crate::guard::SsspError;
+
+/// Magic + version header of the serialized manifest format.
+pub const MANIFEST_MAGIC: &[u8; 8] = b"GBSSMAN1";
+
+/// Longest accepted checkpoint file name, in bytes. Generous for the
+/// `ckpt-<fingerprint>-<source>.bin` family while still bounding what a
+/// corrupt length field can demand.
+const MAX_FILE_NAME: usize = 255;
+
+/// One interrupted job: where its checkpoint lives and the job
+/// coordinates needed to match it to an incoming resume request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifestEntry {
+    /// Fingerprint of the graph the job ran against.
+    pub fingerprint: u64,
+    /// The job's source vertex.
+    pub source: usize,
+    /// The job's bucket width Δ (matched by exact bit pattern).
+    pub delta: f64,
+    /// Bare checkpoint file name, relative to the manifest's directory.
+    pub file: String,
+}
+
+impl ManifestEntry {
+    /// Identity key: jobs are one-per-`(graph, source, Δ)`.
+    fn key(&self) -> (u64, u64, u64) {
+        (self.fingerprint, self.source as u64, self.delta.to_bits())
+    }
+}
+
+/// Reject anything other than a bare, non-empty file name.
+fn validate_file_name(name: &str) -> Result<(), SsspError> {
+    let bad = |reason: String| SsspError::InvalidCheckpoint { reason };
+    if name.is_empty() || name.len() > MAX_FILE_NAME {
+        return Err(bad(format!(
+            "manifest file name length {} outside 1..={MAX_FILE_NAME}",
+            name.len()
+        )));
+    }
+    if name.contains(['/', '\\', '\0']) || name == "." || name == ".." {
+        return Err(bad(format!(
+            "manifest file name {name:?} is not a bare file name"
+        )));
+    }
+    Ok(())
+}
+
+/// The set of interrupted jobs in one checkpoint directory. See the
+/// module docs for the durability and crash-ordering contract.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CheckpointManifest {
+    entries: Vec<ManifestEntry>,
+}
+
+impl CheckpointManifest {
+    /// File name the manifest is stored under inside a checkpoint
+    /// directory. Deliberately outside the `ckpt-*.bin` namespace so
+    /// tooling that globs checkpoint files never mistakes the index for
+    /// a checkpoint.
+    pub const FILE_NAME: &'static str = "manifest.bin";
+
+    /// An empty manifest.
+    pub fn new() -> Self {
+        CheckpointManifest::default()
+    }
+
+    /// The manifest's path inside `dir`.
+    pub fn path_in(dir: &Path) -> PathBuf {
+        dir.join(Self::FILE_NAME)
+    }
+
+    /// All live entries, in insertion order (the deterministic resume
+    /// order a restarting process walks).
+    pub fn entries(&self) -> &[ManifestEntry] {
+        &self.entries
+    }
+
+    /// Number of interrupted jobs recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no interrupted jobs are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry for `(fingerprint, source, Δ)`, if one is recorded.
+    pub fn find(&self, fingerprint: u64, source: usize, delta: f64) -> Option<&ManifestEntry> {
+        let key = (fingerprint, source as u64, delta.to_bits());
+        self.entries.iter().find(|e| e.key() == key)
+    }
+
+    /// The first entry recorded for `(fingerprint, source)` at **any**
+    /// Δ — the lookup a fixed-configuration batch uses, where the Δ
+    /// fallback may have shifted a job's effective Δ away from the
+    /// configured one between the save and the resume.
+    pub fn find_source(&self, fingerprint: u64, source: usize) -> Option<&ManifestEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.fingerprint == fingerprint && e.source == source)
+    }
+
+    /// Remove every entry for `(fingerprint, source)` regardless of Δ;
+    /// returns whether any was recorded.
+    pub fn remove_source(&mut self, fingerprint: u64, source: usize) -> bool {
+        let before = self.entries.len();
+        self.entries
+            .retain(|e| !(e.fingerprint == fingerprint && e.source == source));
+        self.entries.len() != before
+    }
+
+    /// Insert `entry`, replacing any previous entry for the same
+    /// `(fingerprint, source, Δ)`.
+    pub fn upsert(&mut self, entry: ManifestEntry) {
+        match self.entries.iter_mut().find(|e| e.key() == entry.key()) {
+            Some(slot) => *slot = entry,
+            None => self.entries.push(entry),
+        }
+    }
+
+    /// Remove the entry for `(fingerprint, source, Δ)`; returns whether
+    /// one was recorded.
+    pub fn remove(&mut self, fingerprint: u64, source: usize, delta: f64) -> bool {
+        let key = (fingerprint, source as u64, delta.to_bits());
+        let before = self.entries.len();
+        self.entries.retain(|e| e.key() != key);
+        self.entries.len() != before
+    }
+
+    /// Serialize to the versioned binary manifest format. All fields are
+    /// little-endian:
+    ///
+    /// ```text
+    /// magic    [u8; 8]  = b"GBSSMAN1"
+    /// count    u64
+    /// entry × count:
+    ///   fingerprint  u64
+    ///   source       u64
+    ///   delta        f64
+    ///   name_len     u64   (1..=255)
+    ///   name         name_len × u8, UTF-8, bare file name
+    /// ```
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16 + self.entries.len() * 64);
+        buf.extend_from_slice(MANIFEST_MAGIC);
+        buf.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        for e in &self.entries {
+            buf.extend_from_slice(&e.fingerprint.to_le_bytes());
+            buf.extend_from_slice(&(e.source as u64).to_le_bytes());
+            buf.extend_from_slice(&e.delta.to_le_bytes());
+            buf.extend_from_slice(&(e.file.len() as u64).to_le_bytes());
+            buf.extend_from_slice(e.file.as_bytes());
+        }
+        buf
+    }
+
+    /// Deserialize the [`CheckpointManifest::to_bytes`] format. Total:
+    /// truncation, bad magic, lying lengths, non-UTF-8 or path-escaping
+    /// file names, duplicate keys, and trailing garbage all come back as
+    /// [`SsspError::InvalidCheckpoint`], never a panic or a blind
+    /// allocation.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, SsspError> {
+        let invalid = |reason: String| SsspError::InvalidCheckpoint { reason };
+        let take_err = |e: graphdata::io::bytes::TruncatedRead| SsspError::InvalidCheckpoint {
+            reason: format!("serialized manifest {e}"),
+        };
+        let mut cur = ByteReader::new(data);
+        let magic = cur.take::<8>("magic").map_err(take_err)?;
+        if &magic != MANIFEST_MAGIC {
+            return Err(invalid(format!(
+                "bad magic {magic:?}, expected {MANIFEST_MAGIC:?}"
+            )));
+        }
+        let count = usize::try_from(cur.u64_le("entry count").map_err(take_err)?)
+            .map_err(|_| invalid("entry count overflows usize".to_string()))?;
+        // A lying count must not trigger a huge allocation: each entry
+        // takes at least 33 bytes (three u64s, one f64, one name byte).
+        if count.checked_mul(33).is_none_or(|need| cur.remaining() < need) {
+            return Err(invalid(format!(
+                "serialized manifest truncated: {count} entries claimed but only {} bytes remain",
+                cur.remaining()
+            )));
+        }
+        let mut manifest = CheckpointManifest::new();
+        for _ in 0..count {
+            let fingerprint = cur.u64_le("fingerprint").map_err(take_err)?;
+            let source = usize::try_from(cur.u64_le("source").map_err(take_err)?)
+                .map_err(|_| invalid("source overflows usize".to_string()))?;
+            let delta = cur.f64_le("delta").map_err(take_err)?;
+            let name_len = usize::try_from(cur.u64_le("file name length").map_err(take_err)?)
+                .map_err(|_| invalid("file name length overflows usize".to_string()))?;
+            if name_len > MAX_FILE_NAME {
+                return Err(invalid(format!(
+                    "file name length {name_len} exceeds the {MAX_FILE_NAME}-byte bound"
+                )));
+            }
+            let mut raw = Vec::with_capacity(name_len);
+            for _ in 0..name_len {
+                raw.push(cur.u8("file name byte").map_err(take_err)?);
+            }
+            let file = String::from_utf8(raw)
+                .map_err(|_| invalid("file name is not UTF-8".to_string()))?;
+            validate_file_name(&file)?;
+            let entry = ManifestEntry { fingerprint, source, delta, file };
+            if manifest.find(fingerprint, source, delta).is_some() {
+                return Err(invalid(format!(
+                    "duplicate manifest entry for fingerprint {fingerprint:#018x}, \
+                     source {source}, delta {delta}"
+                )));
+            }
+            manifest.entries.push(entry);
+        }
+        if cur.remaining() != 0 {
+            return Err(invalid(format!(
+                "{} trailing bytes after the manifest payload",
+                cur.remaining()
+            )));
+        }
+        Ok(manifest)
+    }
+
+    /// Load the manifest stored at `path`.
+    pub fn load(path: &Path) -> Result<Self, SsspError> {
+        let bytes = std::fs::read(path).map_err(|e| SsspError::CheckpointIo {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// Load the manifest from `dir`, treating a missing file as an empty
+    /// manifest (a fresh or fully-drained checkpoint directory). Any
+    /// other failure — unreadable file, corrupt payload — is surfaced.
+    pub fn load_or_default(dir: &Path) -> Result<Self, SsspError> {
+        let path = Self::path_in(dir);
+        match std::fs::read(&path) {
+            Ok(bytes) => Self::from_bytes(&bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Self::new()),
+            Err(e) => Err(SsspError::CheckpointIo {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            }),
+        }
+    }
+
+    /// Persist to `path` with the same tmp+atomic-rename discipline as
+    /// checkpoint saves (including temp-file cleanup on failure).
+    pub fn save(&self, path: &Path) -> Result<(), SsspError> {
+        for e in &self.entries {
+            validate_file_name(&e.file)?;
+        }
+        crate::checkpoint::atomic_write(path, &self.to_bytes()).map_err(|e| {
+            SsspError::CheckpointIo {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CheckpointManifest {
+        let mut m = CheckpointManifest::new();
+        m.upsert(ManifestEntry {
+            fingerprint: 0xdead_beef,
+            source: 0,
+            delta: 0.5,
+            file: "ckpt-0.bin".to_string(),
+        });
+        m.upsert(ManifestEntry {
+            fingerprint: 0xdead_beef,
+            source: 100,
+            delta: 0.5,
+            file: "ckpt-100.bin".to_string(),
+        });
+        m.upsert(ManifestEntry {
+            fingerprint: 0xfeed_f00d,
+            source: 0,
+            delta: 1.0,
+            file: "ckpt-feedf00d-0.bin".to_string(),
+        });
+        m
+    }
+
+    #[test]
+    fn upsert_find_remove_key_on_fingerprint_source_delta() {
+        let mut m = sample();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.find(0xdead_beef, 100, 0.5).unwrap().file, "ckpt-100.bin");
+        // Same source under another graph or Δ is a distinct job.
+        assert!(m.find(0xfeed_f00d, 100, 0.5).is_none());
+        assert!(m.find(0xdead_beef, 100, 1.0).is_none());
+        // Upsert replaces in place.
+        m.upsert(ManifestEntry {
+            fingerprint: 0xdead_beef,
+            source: 100,
+            delta: 0.5,
+            file: "ckpt-100-v2.bin".to_string(),
+        });
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.find(0xdead_beef, 100, 0.5).unwrap().file, "ckpt-100-v2.bin");
+        assert!(m.remove(0xdead_beef, 100, 0.5));
+        assert!(!m.remove(0xdead_beef, 100, 0.5));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn serialization_round_trips_and_preserves_order() {
+        let m = sample();
+        let back = CheckpointManifest::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(back, m);
+        let empty = CheckpointManifest::new();
+        assert_eq!(CheckpointManifest::from_bytes(&empty.to_bytes()).unwrap(), empty);
+    }
+
+    #[test]
+    fn truncated_and_corrupt_bytes_rejected_cleanly() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(
+                    CheckpointManifest::from_bytes(&bytes[..cut]),
+                    Err(SsspError::InvalidCheckpoint { .. })
+                ),
+                "cut at {cut} must be rejected"
+            );
+        }
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(CheckpointManifest::from_bytes(&long).is_err());
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert!(CheckpointManifest::from_bytes(&bad).is_err());
+        // A lying entry count must fail before allocating.
+        let mut lying = bytes.clone();
+        lying[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = CheckpointManifest::from_bytes(&lying).unwrap_err();
+        assert!(err.to_string().contains("entries claimed"), "{err}");
+    }
+
+    #[test]
+    fn path_escaping_file_names_rejected_on_decode_and_save() {
+        for name in ["../evil.bin", "a/b.bin", "", ".", "..", "nul\0.bin"] {
+            let mut m = CheckpointManifest::new();
+            m.upsert(ManifestEntry {
+                fingerprint: 1,
+                source: 0,
+                delta: 1.0,
+                file: name.to_string(),
+            });
+            assert!(
+                CheckpointManifest::from_bytes(&m.to_bytes()).is_err(),
+                "{name:?} must be rejected on decode"
+            );
+            let path = std::env::temp_dir().join(format!(
+                "sssp-manifest-badname-{}.bin",
+                std::process::id()
+            ));
+            assert!(m.save(&path).is_err(), "{name:?} must be rejected on save");
+            assert!(!path.exists());
+        }
+    }
+
+    #[test]
+    fn duplicate_entries_rejected_on_decode() {
+        let mut m = sample();
+        // Force a duplicate past upsert by editing the raw entry list.
+        m.entries.push(m.entries[0].clone());
+        assert!(matches!(
+            CheckpointManifest::from_bytes(&m.to_bytes()),
+            Err(SsspError::InvalidCheckpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn disk_round_trip_and_missing_file_defaults_empty() {
+        let dir = std::env::temp_dir().join(format!("sssp-manifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(CheckpointManifest::load_or_default(&dir).unwrap().is_empty());
+        let m = sample();
+        m.save(&CheckpointManifest::path_in(&dir)).unwrap();
+        assert_eq!(CheckpointManifest::load_or_default(&dir).unwrap(), m);
+        assert_eq!(CheckpointManifest::load(&CheckpointManifest::path_in(&dir)).unwrap(), m);
+        // A torn/corrupt manifest is an error, not silently empty.
+        std::fs::write(CheckpointManifest::path_in(&dir), b"garbage").unwrap();
+        assert!(CheckpointManifest::load_or_default(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,31 @@
+//! Resident SSSP service: a long-lived TCP front end over the batch
+//! engine ([`sssp_core::BatchRunner`]), where graphs are loaded once and
+//! addressed by [`graphdata::CsrGraph::fingerprint`] across many
+//! requests — so the expensive artifacts (CSR build, light/heavy splits)
+//! amortise across a workload instead of being rebuilt per process.
+//!
+//! The crate is organised around a robustness spine:
+//!
+//! - [`protocol`] — the wire vocabulary: length-prefixed binary frames
+//!   plus a line-oriented text mode, typed error codes (an exhaustive
+//!   [`protocol::wire_code`] mapping from [`sssp_core::SsspError`]), and
+//!   the FNV-1a [`protocol::dist_digest`] bit-exactness certificate.
+//! - [`queue`] — bounded admission with a **shed-don't-queue** overload
+//!   policy: a request past the bound is refused immediately with a
+//!   deterministic `retry_after_ms` computed from observed service time,
+//!   never parked on an unbounded queue.
+//! - [`server`] — the accept loop, graph registry, worker pool, sticky
+//!   panic degradation, per-connection socket timeouts (a stalled reader
+//!   cannot wedge a worker), and manifest-driven crash-safe resume via
+//!   the per-graph checkpoint directories.
+//!
+//! The server process itself lives in `src/bin/sssp-serve.rs` at the
+//! workspace root; this crate holds everything testable in-process.
+
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use protocol::{Request, Response, ServerStats, SsspRequest};
+pub use queue::AdmissionQueue;
+pub use server::{ServerConfig, ServerHandle};

@@ -1,0 +1,816 @@
+//! The resident server: accept loop, graph registry, engine workers,
+//! and the robustness spine tying them together.
+//!
+//! ## Thread and failure topology
+//!
+//! - One **accept thread** hands each connection to its own detached
+//!   **handler thread**. Handlers own their sockets: engine workers
+//!   reply through an in-process channel and never touch a socket, so a
+//!   stalled or dead client can only ever cost its own handler. Socket
+//!   read/write timeouts bound even that — a reader that stops draining
+//!   a full distance dump trips the write timeout (the *writer budget*)
+//!   and the connection is dropped, counted in `writer_timeouts`.
+//! - `workers` **engine worker threads** drain the bounded
+//!   [`AdmissionQueue`]. Overload is shed at submission time with a
+//!   deterministic backoff hint (see [`crate::queue`]); admitted jobs
+//!   never wait behind an unbounded backlog.
+//! - Each job runs under the [`BatchRunner`] degradation ladder (panic →
+//!   one sequential-fused retry). A worker that observes a panic
+//!   degradation marks itself **poisoned**: every subsequent job it
+//!   runs uses the sequential-fused path and carries a degradation
+//!   notice in its reply, so a latent parallel bug turns into visible,
+//!   correct service instead of a crash loop.
+//!
+//! ## Crash-safe restart
+//!
+//! With a checkpoint directory configured, each graph gets the subdir
+//! `<dir>/<fingerprint-hex>/` holding its `ckpt-<source>.bin` files and
+//! the `GBSSMAN1` manifest maintained in lockstep by the batch layer. A
+//! killed server restarted on the same directory resumes interrupted
+//! jobs from their manifests bit-identically — certified by matching
+//! [`crate::protocol::dist_digest`] values.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::mpsc;
+// lint:allow(hot-path-lock): service control state is request-rate, not per-edge
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use graphdata::CsrGraph;
+use sssp_core::manifest::CheckpointManifest;
+use sssp_core::{
+    BatchConfig, BatchOutcome, BatchRunner, GuardConfig, Implementation, SsspError,
+};
+use taskpool::ThreadPool;
+
+use crate::protocol::{
+    self, code, dist_digest, parse_gen_spec, Partial, Request, Response, ServerStats,
+    SsspRequest, Summary, FRAME_SOH, TEXT_TERMINATOR,
+};
+use crate::queue::AdmissionQueue;
+
+/// Tunables of one [`start`]ed server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Engine worker threads draining the admission queue.
+    pub workers: usize,
+    /// Admission bound: waiting jobs past this are shed, never queued.
+    pub queue_capacity: usize,
+    /// Threads in the shared [`ThreadPool`] for parallel implementations.
+    pub pool_threads: usize,
+    /// Graph registry bound; loads past it are refused.
+    pub max_graphs: usize,
+    /// Concurrent connection bound; accepts past it are refused.
+    pub max_connections: usize,
+    /// Per-connection socket read timeout (idle clients are dropped).
+    pub read_timeout: Option<Duration>,
+    /// Per-connection socket write timeout — the slow-client writer
+    /// budget: a reader that stops draining loses its connection, not
+    /// the server a worker.
+    pub write_timeout: Option<Duration>,
+    /// Byte budget for the shared split cache (`None` = unbounded).
+    pub cache_bytes: Option<usize>,
+    /// Durable checkpoint root; per-graph subdirectories are created
+    /// beneath it on demand.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Whether HOLD/RELEASE are honoured (chaos-test levers).
+    pub debug_commands: bool,
+    /// Guard tunables inherited by every job.
+    pub guard: GuardConfig,
+    /// Δ applied when a request does not name one.
+    pub default_delta: f64,
+    /// Implementation applied when a request does not name one.
+    pub default_impl: Implementation,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 16,
+            pool_threads: 2,
+            max_graphs: 8,
+            max_connections: 64,
+            read_timeout: None,
+            write_timeout: Some(Duration::from_secs(10)),
+            cache_bytes: None,
+            checkpoint_dir: None,
+            debug_commands: false,
+            guard: GuardConfig::default(),
+            default_delta: 1.0,
+            default_impl: Implementation::Fused,
+        }
+    }
+}
+
+/// Monotonic counters and gauges behind one lock; the shutdown flag
+/// rides along so connection handlers and the accept loop share a
+/// single coherent view without extra atomics.
+#[derive(Default)]
+struct Gauges {
+    shutdown: bool,
+    connections_open: u64,
+    connections_total: u64,
+    jobs_completed: u64,
+    jobs_partial: u64,
+    jobs_failed: u64,
+    jobs_resumed: u64,
+    degraded_workers: u64,
+    writer_timeouts: u64,
+}
+
+/// One admitted job: the request plus the channel its handler waits on.
+struct Job {
+    request: SsspRequest,
+    reply: mpsc::Sender<Response>,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    // Registry reads/writes happen per request, never per edge.
+    // lint:allow(hot-path-lock): graph registry is request-rate control state
+    graphs: Mutex<HashMap<u64, Arc<CsrGraph>>>,
+    cache: Arc<sssp_core::SplitCache>,
+    pool: Option<ThreadPool>,
+    pool_degraded: Option<String>,
+    queue: AdmissionQueue<Job>,
+    // lint:allow(hot-path-lock): counters are touched per request/connection
+    gauges: Mutex<Gauges>,
+}
+
+impl Shared {
+    fn is_shutdown(&self) -> bool {
+        self.gauges.lock().expect("gauges").shutdown
+    }
+
+    fn stats(&self) -> ServerStats {
+        let (waiting, running, shed, admitted) = self.queue.counters();
+        let cache = self.cache.stats();
+        let graphs = self.graphs.lock().expect("graphs").len() as u64;
+        let g = self.gauges.lock().expect("gauges");
+        ServerStats {
+            pairs: vec![
+                ("graphs_loaded".into(), graphs),
+                ("jobs_completed".into(), g.jobs_completed),
+                ("jobs_partial".into(), g.jobs_partial),
+                ("jobs_failed".into(), g.jobs_failed),
+                ("jobs_resumed".into(), g.jobs_resumed),
+                ("jobs_shed".into(), shed),
+                ("jobs_admitted".into(), admitted),
+                ("queue_depth".into(), waiting),
+                ("queue_running".into(), running),
+                ("degraded_workers".into(), g.degraded_workers),
+                ("writer_timeouts".into(), g.writer_timeouts),
+                ("connections_open".into(), g.connections_open),
+                ("connections_total".into(), g.connections_total),
+                ("cache_builds".into(), cache.builds as u64),
+                ("cache_hits".into(), cache.hits as u64),
+                ("cache_evictions".into(), cache.evictions as u64),
+                ("cache_resident_bytes".into(), cache.resident_bytes as u64),
+            ],
+        }
+    }
+}
+
+/// Map a stringified solver failure back to its wire code by the stable
+/// Display prefix. Jobs crossing the batch layer arrive as strings; the
+/// *typed* path ([`protocol::wire_code`]) covers errors the server still
+/// holds as values.
+fn classify_failure(message: &str) -> u8 {
+    // The three weight errors share the "edge …" prefix and split on
+    // their distinguishing word.
+    if message.starts_with("edge") {
+        return if message.contains("non-finite") {
+            10
+        } else if message.contains("negative") {
+            11
+        } else {
+            12
+        };
+    }
+    const PREFIXES: [(&str, u8); 8] = [
+        ("source vertex", 13),
+        ("delta must be positive", 14),
+        ("iteration watchdog", 15),
+        ("run cancelled", 16),
+        ("deadline exceeded", 17),
+        ("cannot resume from checkpoint", 18),
+        ("checkpoint I/O failed", 19),
+        ("parallel worker panicked", 20),
+    ];
+    for (prefix, c) in PREFIXES {
+        if message.starts_with(prefix) {
+            return c;
+        }
+    }
+    code::JOB_FAILED
+}
+
+/// Run one admitted job on a worker. `poisoned` is the worker's sticky
+/// degradation state.
+fn run_job(shared: &Shared, req: &SsspRequest, poisoned: &mut Option<String>) -> Response {
+    let Some(g) = shared
+        .graphs
+        .lock()
+        .expect("graphs")
+        .get(&req.fingerprint)
+        .cloned()
+    else {
+        return Response::Error {
+            code: code::UNKNOWN_GRAPH,
+            message: format!("no loaded graph has fingerprint {:016x}", req.fingerprint),
+        };
+    };
+    if req.source >= g.num_vertices() {
+        let err = SsspError::SourceOutOfBounds {
+            source: req.source,
+            num_vertices: g.num_vertices(),
+        };
+        return Response::Error { code: protocol::wire_code(&err), message: err.to_string() };
+    }
+    let delta = req.delta.unwrap_or(shared.cfg.default_delta);
+    let requested = req.implementation.unwrap_or(shared.cfg.default_impl);
+    let implementation = if poisoned.is_some() { Implementation::Fused } else { requested };
+
+    let mut guard = shared.cfg.guard.clone();
+    if let Some(epochs) = req.epochs {
+        guard.max_ticks = epochs.max(1);
+    }
+    // Per-graph checkpoint subdir: fingerprints keep `ckpt-<source>.bin`
+    // names from colliding across graphs, and each subdir carries its
+    // own manifest.
+    let checkpoint_dir = match shared.cfg.checkpoint_dir.as_ref() {
+        Some(root) => {
+            let dir = root.join(format!("{:016x}", req.fingerprint));
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                return Response::Error {
+                    code: code::JOB_FAILED,
+                    message: format!("cannot create checkpoint dir {}: {e}", dir.display()),
+                };
+            }
+            Some(dir)
+        }
+        None => None,
+    };
+    // A manifest entry for this (graph, source) means the run below is a
+    // resume, not a cold start.
+    let resuming = checkpoint_dir
+        .as_deref()
+        .and_then(|d| CheckpointManifest::load_or_default(d).ok())
+        .is_some_and(|m| m.find_source(req.fingerprint, req.source).is_some());
+
+    let runner = BatchRunner::new(BatchConfig {
+        implementation,
+        delta,
+        workers: 1,
+        queue_capacity: 1,
+        deadline: req.deadline_ms.map(Duration::from_millis),
+        cancel: None,
+        guard,
+        pool_threads: shared.cfg.pool_threads,
+        checkpoint_dir,
+    });
+    let report = runner.run_shared(
+        &g,
+        &[req.source],
+        &shared.cache,
+        shared.pool.as_ref(),
+        shared.pool_degraded.clone(),
+    );
+    let Some((_, outcome)) = report.jobs.into_iter().next() else {
+        return Response::Error {
+            code: code::JOB_FAILED,
+            message: "batch returned no outcome".into(),
+        };
+    };
+
+    match outcome {
+        BatchOutcome::Complete { result, delta, degraded } => {
+            // A panic-degraded completion poisons this worker: all later
+            // jobs run sequential-fused with the notice attached.
+            if let Some(msg) = &degraded {
+                if msg.contains("panic") && poisoned.is_none() {
+                    *poisoned = Some(msg.clone());
+                    shared.gauges.lock().expect("gauges").degraded_workers += 1;
+                }
+            }
+            let mut g_ = shared.gauges.lock().expect("gauges");
+            g_.jobs_completed += 1;
+            if resuming {
+                g_.jobs_resumed += 1;
+            }
+            drop(g_);
+            let sticky = poisoned.as_ref().map(|why| {
+                format!("worker degraded to sequential-fused after panic: {why}")
+            });
+            Response::Summary(Summary {
+                fingerprint: req.fingerprint,
+                source: req.source,
+                delta,
+                reached: result.dist.iter().filter(|d| d.is_finite()).count() as u64,
+                stats: result.stats,
+                dist_fnv: dist_digest(&result.dist),
+                degraded: degraded.or(sticky),
+                full: req.full.then_some(result.dist),
+            })
+        }
+        BatchOutcome::Partial { checkpoint, reason, saved_to } => {
+            shared.gauges.lock().expect("gauges").jobs_partial += 1;
+            Response::Partial(Partial {
+                source: req.source,
+                delta: checkpoint.delta,
+                code: classify_failure(&reason),
+                settled: checkpoint.settled_count() as u64,
+                settled_below: checkpoint.settled_below(),
+                saved: saved_to
+                    .and_then(|p| p.file_name().map(|n| n.to_string_lossy().into_owned())),
+                reason,
+            })
+        }
+        BatchOutcome::Failed { error } => {
+            shared.gauges.lock().expect("gauges").jobs_failed += 1;
+            if error.contains("panic") && poisoned.is_none() {
+                *poisoned = Some(error.clone());
+                shared.gauges.lock().expect("gauges").degraded_workers += 1;
+            }
+            Response::Error { code: classify_failure(&error), message: error }
+        }
+        BatchOutcome::Rejected { .. } => Response::Overloaded { retry_after_ms: 0 },
+    }
+}
+
+fn handle_load(shared: &Shared, spec: &str) -> Response {
+    let el = match parse_gen_spec(spec) {
+        Ok(el) => el,
+        Err(e) => return Response::Error { code: code::LOAD_FAILED, message: e },
+    };
+    let g = match CsrGraph::from_edge_list(&el) {
+        Ok(g) => g,
+        Err(e) => {
+            return Response::Error { code: code::LOAD_FAILED, message: e.to_string() }
+        }
+    };
+    let fingerprint = g.fingerprint();
+    let (vertices, edges) = (g.num_vertices() as u64, g.num_edges() as u64);
+    let mut graphs = shared.graphs.lock().expect("graphs");
+    if !graphs.contains_key(&fingerprint) {
+        if graphs.len() >= shared.cfg.max_graphs {
+            return Response::Error {
+                code: code::GRAPH_TABLE_FULL,
+                message: format!(
+                    "graph registry is at its bound of {}; load refused",
+                    shared.cfg.max_graphs
+                ),
+            };
+        }
+        graphs.insert(fingerprint, Arc::new(g));
+    }
+    Response::Loaded { fingerprint, vertices, edges }
+}
+
+/// Dispatch one request from a connection handler. `Sssp` goes through
+/// admission; everything else is answered inline (control traffic must
+/// stay responsive even when the engine queue is full). Returns the
+/// response and whether the connection should close.
+fn dispatch(shared: &Shared, request: Request) -> (Response, bool) {
+    match request {
+        Request::Ping => (Response::Pong, false),
+        Request::Quit => (Response::Done, true),
+        Request::Stats => (Response::Stats(shared.stats()), false),
+        Request::Hold | Request::Release => {
+            if !shared.cfg.debug_commands {
+                return (
+                    Response::Error {
+                        code: code::DEBUG_DISABLED,
+                        message: "HOLD/RELEASE require --debug-commands".into(),
+                    },
+                    false,
+                );
+            }
+            if matches!(request, Request::Hold) {
+                shared.queue.hold();
+            } else {
+                shared.queue.release();
+            }
+            (Response::Done, false)
+        }
+        Request::LoadGen { spec } => (handle_load(shared, &spec), false),
+        Request::Sssp(req) => {
+            let (tx, rx) = mpsc::channel();
+            match shared.queue.submit(Job { request: req, reply: tx }) {
+                Err(retry_after_ms) if shared.is_shutdown() || retry_after_ms == 0 => (
+                    Response::Error {
+                        code: code::SHUTTING_DOWN,
+                        message: "server is shutting down".into(),
+                    },
+                    true,
+                ),
+                Err(retry_after_ms) => (Response::Overloaded { retry_after_ms }, false),
+                Ok(()) => match rx.recv() {
+                    Ok(resp) => (resp, false),
+                    // The queue was torn down with this job still in it.
+                    Err(_) => (
+                        Response::Error {
+                            code: code::SHUTTING_DOWN,
+                            message: "server shut down before the job ran".into(),
+                        },
+                        true,
+                    ),
+                },
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut poisoned: Option<String> = None;
+    while let Some(job) = shared.queue.pop() {
+        let started = Instant::now();
+        let response = run_job(shared, &job.request, &mut poisoned);
+        shared.queue.finish(started.elapsed());
+        // A dead handler (client gone) just drops the reply.
+        let _ = job.reply.send(response);
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+fn write_text(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    let mut out = String::new();
+    for line in protocol::render_response(resp) {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out.push_str(TEXT_TERMINATOR);
+    out.push('\n');
+    stream.write_all(out.as_bytes())
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(shared.cfg.read_timeout);
+    let _ = stream.set_write_timeout(shared.cfg.write_timeout);
+
+    // Mode sniff: a binary conversation opens with SOH (0x01), which no
+    // text command starts with.
+    let mut first = [0u8; 1];
+    if stream.read_exact(&mut first).is_err() {
+        return;
+    }
+    let result = if first[0] == FRAME_SOH {
+        handle_binary(shared, &mut stream)
+    } else {
+        handle_text(shared, first[0], &mut stream)
+    };
+    if let Err(e) = result {
+        if is_timeout(&e) {
+            shared.gauges.lock().expect("gauges").writer_timeouts += 1;
+        }
+    }
+}
+
+/// Binary conversation. The first frame's SOH byte was consumed by the
+/// mode sniff; later frames carry their own.
+fn handle_binary(shared: &Shared, stream: &mut TcpStream) -> std::io::Result<()> {
+    let mut first_frame = true;
+    loop {
+        let (op, payload) = match protocol::read_frame(stream, !first_frame) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        first_frame = false;
+        let (resp, close) = match protocol::decode_request(op, &payload) {
+            Ok(req) => dispatch(shared, req),
+            Err(message) => (Response::Error { code: code::BAD_REQUEST, message }, false),
+        };
+        let (rop, rpayload) = protocol::encode_response(&resp);
+        protocol::write_frame(stream, rop, &rpayload)?;
+        if close {
+            return Ok(());
+        }
+    }
+}
+
+/// Text conversation; `first` is the already-sniffed first byte.
+fn handle_text(shared: &Shared, first: u8, stream: &mut TcpStream) -> std::io::Result<()> {
+    let reader = stream.try_clone()?;
+    let lines = BufReader::new(std::io::Cursor::new(vec![first]).chain(reader)).lines();
+    for line in lines {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (resp, close) = match protocol::parse_request(line.trim()) {
+            Ok(req) => dispatch(shared, req),
+            Err(message) => (Response::Error { code: code::BAD_REQUEST, message }, false),
+        };
+        write_text(stream, &resp)?;
+        if close {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+/// A started server: its bound address plus the handles needed to stop
+/// it cleanly.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Counter snapshot, equivalent to a STATS request.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Stop accepting, drain workers, and join the service threads.
+    /// Queued-but-unstarted jobs are answered with a shutting-down
+    /// error; running jobs finish.
+    pub fn shutdown(mut self) {
+        self.shared.gauges.lock().expect("gauges").shutdown = true;
+        self.shared.queue.shutdown();
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Bind `addr` and start the service threads. Returns once the listener
+/// is live; the returned handle reports the bound address.
+pub fn start(cfg: ServerConfig, addr: impl ToSocketAddrs) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+
+    // One pool for the server's lifetime. Creation failure degrades
+    // every parallel job to sequential-fused — visibly, via the
+    // per-reply degradation notice — instead of failing startup.
+    let (pool, pool_degraded) = match ThreadPool::with_threads(cfg.pool_threads.max(1)) {
+        Ok(p) => (Some(p), None),
+        Err(e) => (None, Some(e.to_string())),
+    };
+    let cache = match cfg.cache_bytes {
+        Some(bytes) => Arc::new(sssp_core::SplitCache::with_byte_budget(bytes)),
+        None => Arc::new(sssp_core::SplitCache::new()),
+    };
+    let shared = Arc::new(Shared {
+        queue: AdmissionQueue::new(cfg.queue_capacity),
+        // lint:allow(hot-path-lock): registry is touched once per request
+        graphs: Mutex::new(HashMap::new()),
+        cache,
+        pool,
+        pool_degraded,
+        // lint:allow(hot-path-lock): counters are touched per request/connection
+        gauges: Mutex::new(Gauges::default()),
+        cfg,
+    });
+
+    let mut workers = Vec::new();
+    for _ in 0..shared.cfg.workers.max(1) {
+        let shared = Arc::clone(&shared);
+        workers.push(std::thread::spawn(move || worker_loop(&shared)));
+    }
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if shared.is_shutdown() {
+                    return;
+                }
+                let Ok(stream) = stream else { continue };
+                let over = {
+                    let mut g = shared.gauges.lock().expect("gauges");
+                    if g.connections_open >= shared.cfg.max_connections as u64 {
+                        true
+                    } else {
+                        g.connections_open += 1;
+                        g.connections_total += 1;
+                        false
+                    }
+                };
+                if over {
+                    // Refuse politely in text form; binary clients still
+                    // see a clean close.
+                    let mut s = stream;
+                    let _ = write_text(
+                        &mut s,
+                        &Response::Error {
+                            code: code::TOO_MANY_CONNECTIONS,
+                            message: "connection limit reached".into(),
+                        },
+                    );
+                    continue;
+                }
+                let shared2 = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    handle_connection(&shared2, stream);
+                    shared2.gauges.lock().expect("gauges").connections_open -= 1;
+                });
+            }
+        })
+    };
+
+    Ok(ServerHandle { addr, shared, accept: Some(accept), workers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn connect_text(addr: SocketAddr) -> TcpStream {
+        TcpStream::connect(addr).expect("connect")
+    }
+
+    /// Send one text request and collect the reply lines (without the
+    /// terminator).
+    fn ask(stream: &mut TcpStream, line: &str) -> Vec<String> {
+        stream.write_all(format!("{line}\n").as_bytes()).expect("send");
+        let mut reply = Vec::new();
+        let reader = stream.try_clone().expect("clone");
+        for l in BufReader::new(reader).lines() {
+            let l = l.expect("reply line");
+            if l == TEXT_TERMINATOR {
+                break;
+            }
+            reply.push(l);
+        }
+        reply
+    }
+
+    fn load_grid(stream: &mut TcpStream) -> u64 {
+        let reply = ask(stream, "LOAD GEN grid:6x6");
+        let line = &reply[0];
+        assert!(line.starts_with("LOADED"), "{line}");
+        let fp = line
+            .split_whitespace()
+            .find_map(|w| w.strip_prefix("fingerprint="))
+            .expect("fingerprint field");
+        u64::from_str_radix(fp, 16).expect("hex fingerprint")
+    }
+
+    #[test]
+    fn text_conversation_covers_load_run_and_stats() {
+        let server = start(ServerConfig::default(), "127.0.0.1:0").unwrap();
+        let mut c = connect_text(server.addr());
+        assert_eq!(ask(&mut c, "PING"), ["PONG"]);
+        let fp = load_grid(&mut c);
+        // Idempotent reload of the same graph.
+        assert_eq!(load_grid(&mut c), fp);
+
+        let ok = ask(&mut c, &format!("SSSP {fp:016x} 0"));
+        assert!(ok[0].starts_with("OK "), "{ok:?}");
+        assert!(ok[0].contains("reached=36"), "grid 6x6 fully reachable: {ok:?}");
+
+        let stats = ask(&mut c, "STATS");
+        assert!(stats.iter().any(|l| l == "graphs_loaded=1"), "{stats:?}");
+        assert!(stats.iter().any(|l| l == "jobs_completed=1"), "{stats:?}");
+        assert_eq!(ask(&mut c, "QUIT"), ["DONE"]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn binary_conversation_matches_text_results() {
+        let server = start(ServerConfig::default(), "127.0.0.1:0").unwrap();
+
+        let mut text = connect_text(server.addr());
+        let fp = load_grid(&mut text);
+        let ok = ask(&mut text, &format!("SSSP {fp:016x} 0"));
+        let text_fnv = ok[0]
+            .split_whitespace()
+            .find_map(|w| w.strip_prefix("dist_fnv="))
+            .map(|h| u64::from_str_radix(h, 16).unwrap())
+            .expect("dist_fnv field");
+
+        let mut bin = TcpStream::connect(server.addr()).unwrap();
+        let send = |s: &mut TcpStream, req: &Request| {
+            let (op, payload) = protocol::encode_request(req);
+            protocol::write_frame(s, op, &payload).unwrap();
+            let (rop, rpayload) = protocol::read_frame(s, true).unwrap();
+            protocol::decode_response(rop, &rpayload).unwrap()
+        };
+        assert_eq!(send(&mut bin, &Request::Ping), Response::Pong);
+        let resp = send(
+            &mut bin,
+            &Request::Sssp(SsspRequest {
+                fingerprint: fp,
+                source: 0,
+                delta: None,
+                deadline_ms: None,
+                epochs: None,
+                implementation: None,
+                full: true,
+            }),
+        );
+        let Response::Summary(s) = resp else { panic!("expected summary, got {resp:?}") };
+        assert_eq!(s.dist_fnv, text_fnv, "binary and text agree bit-for-bit");
+        let dist = s.full.expect("full dump requested");
+        assert_eq!(dist_digest(&dist), text_fnv);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_graphs_bad_requests_and_debug_gate_are_typed_errors() {
+        let server = start(ServerConfig::default(), "127.0.0.1:0").unwrap();
+        let mut c = connect_text(server.addr());
+        let missing = ask(&mut c, "SSSP 00000000000000ff 0");
+        assert!(
+            missing[0].starts_with(&format!("ERROR code={}", code::UNKNOWN_GRAPH)),
+            "{missing:?}"
+        );
+        let garbled = ask(&mut c, "FROB 1 2");
+        assert!(
+            garbled[0].starts_with(&format!("ERROR code={}", code::BAD_REQUEST)),
+            "{garbled:?}"
+        );
+        let held = ask(&mut c, "HOLD");
+        assert!(
+            held[0].starts_with(&format!("ERROR code={}", code::DEBUG_DISABLED)),
+            "debug commands are off by default: {held:?}"
+        );
+        let fp = load_grid(&mut c);
+        let oob = ask(&mut c, &format!("SSSP {fp:016x} 9999"));
+        assert!(oob[0].starts_with("ERROR code=13"), "{oob:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn epoch_budget_yields_a_certified_partial_with_a_saved_checkpoint() {
+        let dir = std::env::temp_dir().join(format!("serve-partial-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ServerConfig {
+            checkpoint_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        };
+        let server = start(cfg, "127.0.0.1:0").unwrap();
+        let mut c = connect_text(server.addr());
+        let fp = {
+            let reply = ask(&mut c, "LOAD GEN grid:40x40");
+            let fpw = reply[0]
+                .split_whitespace()
+                .find_map(|w| w.strip_prefix("fingerprint="))
+                .unwrap();
+            u64::from_str_radix(fpw, 16).unwrap()
+        };
+        let partial = ask(&mut c, &format!("SSSP {fp:016x} 0 epochs=3"));
+        assert!(partial[0].starts_with("PARTIAL"), "{partial:?}");
+        assert!(partial[0].contains("code=15"), "epoch budget is wire code 15: {partial:?}");
+        assert!(partial[0].contains("saved=ckpt-0.bin"), "{partial:?}");
+        let sub = dir.join(format!("{fp:016x}"));
+        assert!(sub.join("ckpt-0.bin").exists());
+        assert!(sub.join(CheckpointManifest::FILE_NAME).exists());
+
+        // Finishing the job drains both the checkpoint and its manifest
+        // entry, and counts as a resume.
+        let ok = ask(&mut c, &format!("SSSP {fp:016x} 0"));
+        assert!(ok[0].starts_with("OK "), "{ok:?}");
+        assert!(!sub.join("ckpt-0.bin").exists());
+        let stats = server.stats();
+        assert_eq!(stats.get("jobs_resumed"), Some(1));
+        assert_eq!(stats.get("jobs_partial"), Some(1));
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn classify_failure_inverts_display_strings() {
+        let cases: [(SsspError, u8); 5] = [
+            (SsspError::InvalidDelta { delta: -1.0 }, 14),
+            (SsspError::SourceOutOfBounds { source: 9, num_vertices: 3 }, 13),
+            (SsspError::InvalidCheckpoint { reason: "x".into() }, 18),
+            (
+                SsspError::CheckpointIo { path: "p".into(), message: "m".into() },
+                19,
+            ),
+            (SsspError::WorkerPanicked { message: "boom".into() }, 20),
+        ];
+        for (err, want) in cases {
+            assert_eq!(classify_failure(&err.to_string()), want, "{err}");
+            assert_eq!(protocol::wire_code(&err), want, "typed path agrees: {err}");
+        }
+        assert_eq!(classify_failure("something else entirely"), code::JOB_FAILED);
+    }
+}

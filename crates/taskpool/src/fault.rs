@@ -25,12 +25,20 @@ static COUNTDOWN: AtomicI64 = AtomicI64::new(-1);
 /// `ThreadPool::with_threads` call; stays armed until [`disarm`].
 static POOL_FAILURE: AtomicBool = AtomicBool::new(false);
 
+/// Whether the next checkpoint tmp→final rename should fail. Consumed by
+/// the caller (one-shot), so a single save attempt fails and the next
+/// succeeds.
+static RENAME_FAILURE: AtomicBool = AtomicBool::new(false);
+
 /// Message carried by injected panics, so tests can assert the failure
 /// they observe is the one they injected.
 pub const INJECTED_PANIC_MESSAGE: &str = "taskpool: injected fault";
 
 /// Message carried by injected pool-creation failures.
 pub const INJECTED_POOL_FAILURE_MESSAGE: &str = "taskpool: injected pool-creation failure";
+
+/// Message carried by injected checkpoint-rename failures.
+pub const INJECTED_RENAME_FAILURE_MESSAGE: &str = "taskpool: injected checkpoint-rename failure";
 
 /// Arm the hook: the `n`-th scoped task spawned from now on panics
 /// (`n = 0` → the very next task).
@@ -44,15 +52,32 @@ pub fn arm_pool_creation_failure() {
     POOL_FAILURE.store(true, Ordering::SeqCst);
 }
 
+/// Arm the checkpoint-rename hook: the next atomic tmp→final rename a
+/// checkpoint saver attempts fails with
+/// [`INJECTED_RENAME_FAILURE_MESSAGE`], leaving the tmp file behind for
+/// the saver's cleanup path to deal with. One-shot.
+pub fn arm_checkpoint_rename_failure() {
+    RENAME_FAILURE.store(true, Ordering::SeqCst);
+}
+
 /// Disarm every hook. Idempotent.
 pub fn disarm() {
     COUNTDOWN.store(-1, Ordering::SeqCst);
     POOL_FAILURE.store(false, Ordering::SeqCst);
+    RENAME_FAILURE.store(false, Ordering::SeqCst);
 }
 
 /// Whether any hook is currently armed.
 pub fn is_armed() -> bool {
-    COUNTDOWN.load(Ordering::SeqCst) >= 0 || POOL_FAILURE.load(Ordering::SeqCst)
+    COUNTDOWN.load(Ordering::SeqCst) >= 0
+        || POOL_FAILURE.load(Ordering::SeqCst)
+        || RENAME_FAILURE.load(Ordering::SeqCst)
+}
+
+/// Called by checkpoint savers immediately before the tmp→final rename;
+/// `true` means this rename attempt must fail (and the hook is consumed).
+pub fn take_checkpoint_rename_failure() -> bool {
+    RENAME_FAILURE.swap(false, Ordering::SeqCst)
 }
 
 /// Called by `ThreadPool::with_threads`; `true` means this creation
@@ -100,6 +125,17 @@ mod tests {
         assert!(pool_creation_failure_armed());
         disarm();
         assert!(!pool_creation_failure_armed());
+    }
+
+    #[test]
+    fn rename_failure_hook_is_one_shot() {
+        disarm();
+        assert!(!take_checkpoint_rename_failure());
+        arm_checkpoint_rename_failure();
+        assert!(is_armed());
+        assert!(take_checkpoint_rename_failure(), "armed hook fires once");
+        assert!(!take_checkpoint_rename_failure(), "and is consumed");
+        assert!(!is_armed());
     }
 
     #[test]

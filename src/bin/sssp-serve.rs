@@ -1,0 +1,230 @@
+//! `sssp-serve` — the resident SSSP service daemon, plus a tiny
+//! text-mode client for scripts and smoke tests.
+//!
+//! ```text
+//! sssp-serve [--listen ADDR] [--workers N] [--queue-capacity N]
+//!            [--threads N] [--cache-bytes N] [--checkpoint-dir DIR]
+//!            [--read-timeout-ms N] [--write-timeout-ms N]
+//!            [--max-graphs N] [--max-connections N]
+//!            [--delta F] [--impl NAME] [--debug-commands]
+//! sssp-serve client ADDR [LINE]...
+//! ```
+//!
+//! The daemon prints `sssp-serve: listening on <addr>` once the socket
+//! is bound (so a wrapper started with `--listen 127.0.0.1:0` can parse
+//! the ephemeral port) and then serves until killed. The `client`
+//! subcommand sends each LINE as one text-mode request and prints the
+//! reply lines up to (excluding) the `.` terminator; with no LINE it
+//! reads requests from stdin.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use sssp_core::Implementation;
+use sssp_serve::server::{start, ServerConfig};
+
+const USAGE: &str = "\
+usage:
+  sssp-serve [options]            start the daemon
+  sssp-serve client ADDR [LINE].. send text request(s), print replies
+
+options:
+  --listen ADDR          bind address (default 127.0.0.1:7464; port 0 = ephemeral)
+  --workers N            engine worker threads (default 2)
+  --queue-capacity N     admission bound; excess requests are shed (default 16)
+  --threads N            shared pool threads for parallel impls (default 2)
+  --cache-bytes N        split-cache byte budget (default unbounded)
+  --checkpoint-dir DIR   durable checkpoint root; enables crash-safe resume
+  --read-timeout-ms N    per-connection read timeout (default none)
+  --write-timeout-ms N   per-connection write timeout / slow-client budget
+                         (default 10000)
+  --max-graphs N         graph registry bound (default 8)
+  --max-connections N    concurrent connection bound (default 64)
+  --delta F              default bucket width (default 1.0)
+  --impl NAME            default implementation (default fused)
+  --debug-commands       honour HOLD/RELEASE (chaos-test levers)";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("sssp-serve: {msg}");
+    ExitCode::from(2)
+}
+
+fn run_client(addr: &str, lines: &[String]) -> ExitCode {
+    let stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("connect {addr}: {e}")),
+    };
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => return fail(&format!("clone stream: {e}")),
+    };
+    let mut reader = BufReader::new(stream).lines();
+    let mut ask = |line: &str| -> Result<(), String> {
+        writer
+            .write_all(format!("{line}\n").as_bytes())
+            .map_err(|e| format!("send: {e}"))?;
+        loop {
+            match reader.next() {
+                Some(Ok(l)) if l == sssp_serve::protocol::TEXT_TERMINATOR => return Ok(()),
+                Some(Ok(l)) => println!("{l}"),
+                Some(Err(e)) => return Err(format!("recv: {e}")),
+                None => return Err("server closed the connection".into()),
+            }
+        }
+    };
+    if lines.is_empty() {
+        for line in std::io::stdin().lock().lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => return fail(&format!("stdin: {e}")),
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Err(e) = ask(line.trim()) {
+                return fail(&e);
+            }
+        }
+    } else {
+        for line in lines {
+            if let Err(e) = ask(line) {
+                return fail(&e);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_server(args: &[String]) -> ExitCode {
+    let mut cfg = ServerConfig::default();
+    let mut listen = "127.0.0.1:7464".to_string();
+    let mut i = 0;
+    let num = |args: &[String], i: usize, what: &str| -> Result<u64, String> {
+        args.get(i + 1)
+            .ok_or_else(|| format!("{what} needs a value"))?
+            .parse()
+            .map_err(|_| format!("bad {what} value '{}'", args[i + 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => {
+                listen = match args.get(i + 1) {
+                    Some(a) => a.clone(),
+                    None => return fail("--listen needs a value"),
+                };
+                i += 1;
+            }
+            "--workers" => match num(args, i, "--workers") {
+                Ok(n) => {
+                    cfg.workers = n as usize;
+                    i += 1;
+                }
+                Err(e) => return fail(&e),
+            },
+            "--queue-capacity" => match num(args, i, "--queue-capacity") {
+                Ok(n) => {
+                    cfg.queue_capacity = n as usize;
+                    i += 1;
+                }
+                Err(e) => return fail(&e),
+            },
+            "--threads" => match num(args, i, "--threads") {
+                Ok(n) => {
+                    cfg.pool_threads = n as usize;
+                    i += 1;
+                }
+                Err(e) => return fail(&e),
+            },
+            "--cache-bytes" => match num(args, i, "--cache-bytes") {
+                Ok(n) => {
+                    cfg.cache_bytes = Some(n as usize);
+                    i += 1;
+                }
+                Err(e) => return fail(&e),
+            },
+            "--read-timeout-ms" => match num(args, i, "--read-timeout-ms") {
+                Ok(n) => {
+                    cfg.read_timeout = Some(Duration::from_millis(n));
+                    i += 1;
+                }
+                Err(e) => return fail(&e),
+            },
+            "--write-timeout-ms" => match num(args, i, "--write-timeout-ms") {
+                Ok(n) => {
+                    cfg.write_timeout = Some(Duration::from_millis(n));
+                    i += 1;
+                }
+                Err(e) => return fail(&e),
+            },
+            "--max-graphs" => match num(args, i, "--max-graphs") {
+                Ok(n) => {
+                    cfg.max_graphs = n as usize;
+                    i += 1;
+                }
+                Err(e) => return fail(&e),
+            },
+            "--max-connections" => match num(args, i, "--max-connections") {
+                Ok(n) => {
+                    cfg.max_connections = n as usize;
+                    i += 1;
+                }
+                Err(e) => return fail(&e),
+            },
+            "--checkpoint-dir" => {
+                cfg.checkpoint_dir = match args.get(i + 1) {
+                    Some(d) => Some(d.into()),
+                    None => return fail("--checkpoint-dir needs a value"),
+                };
+                i += 1;
+            }
+            "--delta" => {
+                cfg.default_delta = match args.get(i + 1).and_then(|a| a.parse().ok()) {
+                    Some(d) => d,
+                    None => return fail("--delta needs a number"),
+                };
+                i += 1;
+            }
+            "--impl" => {
+                cfg.default_impl = match args.get(i + 1).and_then(|a| Implementation::parse(a))
+                {
+                    Some(imp) => imp,
+                    None => return fail("--impl needs a known implementation name"),
+                };
+                i += 1;
+            }
+            "--debug-commands" => cfg.debug_commands = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown argument '{other}'\n\n{USAGE}")),
+        }
+        i += 1;
+    }
+    let handle = match start(cfg, listen.as_str()) {
+        Ok(h) => h,
+        Err(e) => return fail(&format!("bind {listen}: {e}")),
+    };
+    println!("sssp-serve: listening on {}", handle.addr());
+    let _ = std::io::stdout().flush();
+    // The daemon runs until killed; there is deliberately no in-band
+    // remote shutdown (crash-safety is the tested path).
+    loop {
+        std::thread::park();
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("client") => {
+            let Some(addr) = args.get(1) else {
+                return fail(&format!("client needs ADDR\n\n{USAGE}"));
+            };
+            run_client(addr, &args[2..])
+        }
+        _ => run_server(&args),
+    }
+}

@@ -126,6 +126,9 @@ struct Options {
     random_weights: bool,
     validate: bool,
     summary: bool,
+    /// Extend the batch split-cache report with eviction count and
+    /// resident bytes.
+    verbose: bool,
 }
 
 const USAGE: &str = "\
@@ -163,6 +166,8 @@ options:
   --random-weights         uniform weights in [0.1, 1.0), symmetric
   --validate               check the SSSP optimality certificate
   --summary                print statistics instead of every distance
+  --verbose                batch mode: extend the split-cache report with
+                           eviction count and resident bytes
   --help                   this text
 
 exit codes:
@@ -188,6 +193,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         random_weights: false,
         validate: false,
         summary: false,
+        verbose: false,
     };
     let mut i = 0;
     let value = |i: &mut usize, what: &str| -> Result<String, String> {
@@ -256,6 +262,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--random-weights" => o.random_weights = true,
             "--validate" => o.validate = true,
             "--summary" => o.summary = true,
+            "--verbose" => o.verbose = true,
             other if !other.starts_with('-') && o.input.is_none() => {
                 o.input = Some(other.to_string())
             }
@@ -520,9 +527,17 @@ fn run_batch(o: &Options, g: &CsrGraph, delta: f64) -> Result<ExitCode, Failure>
             }
         }
     }
+    let cache_detail = if o.verbose {
+        format!(
+            ", {} eviction(s), {} resident byte(s)",
+            report.split_cache.evictions, report.split_cache.resident_bytes
+        )
+    } else {
+        String::new()
+    };
     println!(
         "batch: {} complete ({} degraded), {} partial, {} failed, {} rejected in {:?} \
-         | split cache: {} build(s), {} hit(s)",
+         | split cache: {} build(s), {} hit(s){cache_detail}",
         report.completed(),
         report.degraded(),
         report.partial(),
