@@ -406,7 +406,9 @@ const HOT_PATH_SUPPRESSION: &str = "lint:allow(hot-path-lock)";
 pub fn is_hot_path(rel: &str) -> bool {
     rel.starts_with("crates/core/src/parallel")
         || rel == "crates/core/src/reqbuf.rs"
+        || rel == "crates/core/src/pull.rs"
         || rel.starts_with("crates/gblas/src/parallel")
+        || rel == "crates/gblas/src/direction.rs"
         || rel.starts_with("crates/serve/src/")
 }
 
@@ -989,6 +991,12 @@ reason = "heuristic counter, never load-acquired"
 
         let elsewhere = sf("crates/core/src/buckets.rs", "use std::sync::Mutex;\n");
         assert!(lint_hot_path_locks(&elsewhere).is_empty());
+
+        // The dense-pull kernel and the density oracle are hot paths too.
+        let pull = sf("crates/core/src/pull.rs", "use std::sync::Mutex;\n");
+        assert_eq!(lint_hot_path_locks(&pull).len(), 1);
+        let oracle = sf("crates/gblas/src/direction.rs", "use std::sync::RwLock;\n");
+        assert_eq!(lint_hot_path_locks(&oracle).len(), 1);
     }
 
     // -- lint 4 ----------------------------------------------------------

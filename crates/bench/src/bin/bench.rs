@@ -1,5 +1,6 @@
-//! Perf-regression harness: run the fig3/fig4 workloads across the
-//! fused, prior-atomic, and request-buffer implementations, emit
+//! Perf-regression harness: run the fig3/fig4 workloads (plus the
+//! bench-only road graphs) across the fused, prior-atomic, forced-push,
+//! and direction-optimized request-buffer implementations, emit
 //! `BENCH_sssp.json`, and optionally diff against a committed baseline.
 //!
 //! Usage:
@@ -48,7 +49,10 @@ fn main() {
     } else {
         &[SuiteScale::Smoke, SuiteScale::Default]
     };
-    println!("BENCH: fused vs improved-atomic vs improved (delta = 1, unit weights)");
+    println!(
+        "BENCH: fused vs improved-atomic vs improved-push vs improved \
+         (delta = 1, unit weights)"
+    );
     println!("threads: {threads}, scales: {}\n", if smoke { "smoke" } else { "smoke+default" });
 
     let mut entries = Vec::new();
@@ -65,16 +69,26 @@ fn main() {
     println!("{}", markdown_table(&baseline::HEADER, &table));
 
     // Headline: per-graph speedup of the request-buffer path over the
-    // prior atomic scheme at the same thread count (minima: stable on
-    // shared machines, see the check's doc).
-    for chunk in entries.chunks(3) {
-        let (atomic, improved) = (&chunk[1], &chunk[2]);
+    // prior atomic scheme, and of the direction oracle over forced push,
+    // at the same thread count (minima: stable on shared machines, see
+    // the check's doc).
+    for chunk in entries.chunks(4) {
+        let (atomic, push, improved) = (&chunk[1], &chunk[2], &chunk[3]);
         if improved.min_ms > 0.0 {
             println!(
                 "{}/{}: improved vs improved-atomic {:.2}x",
                 atomic.scale,
                 atomic.graph,
                 atomic.min_ms / improved.min_ms
+            );
+            let (push_epochs, pull_epochs) = improved.directions.unwrap_or((0, 0));
+            println!(
+                "{}/{}: direction oracle vs forced push {:.2}x ({} push / {} pull epochs)",
+                push.scale,
+                push.graph,
+                push.min_ms / improved.min_ms,
+                push_epochs,
+                pull_epochs
             );
         }
     }

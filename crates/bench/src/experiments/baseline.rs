@@ -1,22 +1,28 @@
 //! BASELINE — the tracked perf baseline behind `BENCH_sssp.json`.
 //!
 //! Times the fig3/fig4 workloads (the [`paper_suite`] graphs with unit
-//! weights, Δ = 1, highest-out-degree source) across three
-//! implementations:
+//! weights, Δ = 1, highest-out-degree source, plus the bench-only
+//! [`gate_extras`] road graphs) across four implementations:
 //!
 //! * `fused` — the sequential fused reference; every other entry is
 //!   normalized against it, so the regression check compares
 //!   machine-independent ratios rather than raw milliseconds;
 //! * `improved-atomic` — the prior parallel scheme (dense atomic request
 //!   vector, split rebuilt per call), kept as the "before" datapoint;
+//! * `improved-push` — the request-buffer path with the density oracle
+//!   pinned to push: the pre-direction-optimization behaviour, kept so
+//!   the oracle's win (or cost) per graph is a committed datapoint;
 //! * `improved` — the request-buffer rebuild driven through
-//!   [`SsspEngine`], which is the multi-source shape the engine exists
-//!   for: the light/heavy split is built once and every timed sample
-//!   hits the cache.
+//!   [`SsspEngine`] with automatic push/pull direction selection. Its
+//!   rows also record how many light epochs the oracle sent each way.
 //!
-//! All three are cross-checked for identical distances before timing.
+//! All four are cross-checked for identical distances (and push/pull for
+//! identical stats — the direction switch must be invisible) before
+//! anything is timed.
 
-use graphdata::{paper_suite, SuiteScale};
+use gblas::direction::{self, Direction};
+use graphdata::suite::Dataset;
+use graphdata::{gen, paper_suite, CsrGraph, SuiteScale};
 use sssp_core::engine::SsspEngine;
 use sssp_core::parallel_atomic::delta_stepping_parallel_atomic;
 use sssp_core::stats::SsspStats;
@@ -41,7 +47,8 @@ pub struct BenchEntry {
     pub nv: usize,
     /// Directed edge count.
     pub ne: usize,
-    /// Implementation name (`fused` / `improved-atomic` / `improved`).
+    /// Implementation name (`fused` / `improved-atomic` / `improved-push`
+    /// / `improved`).
     pub impl_name: String,
     /// Worker threads (1 for the sequential entry).
     pub threads: usize,
@@ -62,11 +69,16 @@ pub struct BenchEntry {
     /// timings — so a graph near the floor cannot flap in and out of the
     /// timing gate between CI runs.
     pub stats_only: bool,
+    /// For the auto-direction `improved` entry: how many light epochs the
+    /// density oracle sent each way, `(push, pull)`, observed on the
+    /// correctness-gate run. `None` for entries that never consult the
+    /// oracle or have it pinned.
+    pub directions: Option<(u64, u64)>,
 }
 
 impl ToJson for BenchEntry {
     fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("scale", self.scale.to_json()),
             ("graph", self.graph.to_json()),
             ("nv", self.nv.to_json()),
@@ -84,7 +96,12 @@ impl ToJson for BenchEntry {
             ("buckets_processed", self.stats.buckets_processed.to_json()),
             ("light_phases", self.stats.light_phases.to_json()),
             ("heavy_phases", self.stats.heavy_phases.to_json()),
-        ])
+        ];
+        if let Some((push, pull)) = self.directions {
+            fields.push(("push_epochs", push.to_json()));
+            fields.push(("pull_epochs", pull.to_json()));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -96,24 +113,64 @@ fn scale_name(scale: SuiteScale) -> &'static str {
     }
 }
 
+/// Bench-only datasets that feed the `--check` gate but are *not* part
+/// of [`paper_suite`] (whose composition is pinned by the suite tests):
+/// long thin grid "road" networks whose frontiers stay sparse for
+/// hundreds of epochs — the workload the push path must keep winning on,
+/// committed so the direction oracle is graded on both sides of its
+/// switch.
+pub fn gate_extras(scale: SuiteScale) -> Vec<Dataset> {
+    let road = |name: &str, width: usize, height: usize| Dataset {
+        name: name.to_string(),
+        family: "road",
+        graph: CsrGraph::from_edge_list(&gen::grid2d(width, height)).expect("grid is valid"),
+    };
+    match scale {
+        SuiteScale::Smoke => vec![road("road-256", 4, 64)],
+        SuiteScale::Default => vec![road("road-32768", 8, 4096)],
+        SuiteScale::Large => Vec::new(),
+    }
+}
+
+/// Pins the density oracle for the duration of a measurement block and
+/// restores automatic selection even if a sample panics.
+struct ForcedDirection;
+
+impl ForcedDirection {
+    fn new(dir: Direction) -> Self {
+        direction::set_direction_override(Some(dir));
+        ForcedDirection
+    }
+}
+
+impl Drop for ForcedDirection {
+    fn drop(&mut self) {
+        direction::set_direction_override(None);
+    }
+}
+
 /// Run the baseline workloads at `scale` with `threads` workers.
 pub fn run(scale: SuiteScale, threads: usize, reps: Reps) -> Vec<BenchEntry> {
     let pool = ThreadPool::with_threads(threads).expect("thread count validated by CLI");
     let sname = scale_name(scale);
     let mut entries = Vec::new();
-    for d in paper_suite(scale) {
+    for d in paper_suite(scale).into_iter().chain(gate_extras(scale)) {
         let g = &d.graph;
         let src = bench_source(g);
 
-        // Correctness gate: all three implementations must agree with
+        // Correctness gate: all four implementations must agree with
         // Dijkstra (and each other) before any of them is timed.
         let dj = dijkstra::dijkstra(g, src);
         let fu = fused::delta_stepping_fused(g, src, DELTA);
         let at = delta_stepping_parallel_atomic(&pool, g, src, DELTA);
         let mut engine = SsspEngine::new(g);
+        direction::reset_decision_counters();
         let (im, _) = engine
             .run_parallel_improved(&pool, src, DELTA, &mut RunBudget::unlimited())
             .expect("suite graphs are valid");
+        // One run's worth of oracle decisions, recorded on the auto entry
+        // so the committed baseline shows which graphs actually switch.
+        let decisions = direction::decision_counters();
         assert_eq!(fu.dist, dj.dist, "{}: fused disagrees with Dijkstra", d.name);
         assert_eq!(at.dist, dj.dist, "{}: atomic disagrees with Dijkstra", d.name);
         assert_eq!(im.dist, dj.dist, "{}: improved disagrees with Dijkstra", d.name);
@@ -148,6 +205,7 @@ pub fn run(scale: SuiteScale, threads: usize, reps: Reps) -> Vec<BenchEntry> {
             min_ms,
             stats,
             stats_only,
+            directions: None,
         };
 
         entries.push(entry(Implementation::Fused.name(), 1, fused_t, fu.stats.clone()));
@@ -165,6 +223,29 @@ pub fn run(scale: SuiteScale, threads: usize, reps: Reps) -> Vec<BenchEntry> {
             at.stats.clone(),
         ));
 
+        // Forced-push "before" datapoint: the same engine/cache-hot path
+        // with the oracle pinned to push, so the auto row's win (or
+        // cost) against the pre-direction-optimization behaviour is a
+        // committed number per graph.
+        {
+            let _pin = ForcedDirection::new(Direction::Push);
+            let (pu, _) = engine
+                .run_parallel_improved(&pool, src, DELTA, &mut RunBudget::unlimited())
+                .expect("already ran once above");
+            assert_eq!(pu.dist, dj.dist, "{}: forced push disagrees with Dijkstra", d.name);
+            assert_eq!(pu.stats, im.stats, "{}: direction switch leaked into stats", d.name);
+            let t = measure_median_min(
+                || {
+                    let (r, _) = engine
+                        .run_parallel_improved(&pool, src, DELTA, &mut RunBudget::unlimited())
+                        .expect("already ran once above");
+                    std::hint::black_box(r);
+                },
+                reps,
+            );
+            entries.push(entry("improved-push", threads, ms(t), pu.stats.clone()));
+        }
+
         // The engine already holds the Δ=1 split from the correctness
         // gate, so every timed sample exercises the cache-hit path —
         // the multi-source shape this PR optimizes for.
@@ -177,12 +258,14 @@ pub fn run(scale: SuiteScale, threads: usize, reps: Reps) -> Vec<BenchEntry> {
             },
             reps,
         );
-        entries.push(entry(
+        let mut auto_entry = entry(
             Implementation::ParallelImproved.name(),
             threads,
             ms(t),
             im.stats.clone(),
-        ));
+        );
+        auto_entry.directions = Some(decisions);
+        entries.push(auto_entry);
     }
     entries
 }
@@ -192,6 +275,16 @@ pub fn run(scale: SuiteScale, threads: usize, reps: Reps) -> Vec<BenchEntry> {
 pub fn to_document(entries: &[BenchEntry]) -> Json {
     Json::obj(vec![
         ("delta", DELTA.to_json()),
+        (
+            // The push/pull switch threshold the entries were measured
+            // under: pull when frontier_light_edges * denom >= total
+            // light edges.
+            "direction",
+            Json::obj(vec![(
+                "pull_edge_fraction_denom",
+                direction::PULL_EDGE_FRACTION_DENOM.to_json(),
+            )]),
+        ),
         ("entries", entries.to_json()),
     ])
 }
@@ -406,16 +499,23 @@ mod tests {
     #[test]
     fn smoke_run_produces_consistent_entries() {
         let entries = run(SuiteScale::Smoke, 2, Reps { warmup: 0, samples: 1 });
-        // 4 smoke graphs x 3 implementations.
-        assert_eq!(entries.len(), 12);
-        for chunk in entries.chunks(3) {
+        // (4 smoke graphs + 1 road gate extra) x 4 implementations.
+        assert_eq!(entries.len(), 20);
+        assert!(entries.iter().any(|e| e.graph == "road-256"));
+        for chunk in entries.chunks(4) {
             assert_eq!(chunk[0].impl_name, "fused");
             assert_eq!(chunk[1].impl_name, "improved-atomic");
-            assert_eq!(chunk[2].impl_name, "improved");
-            // All implementations agree on the counters.
-            assert_eq!(chunk[0].stats, chunk[1].stats, "{}", chunk[0].graph);
-            assert_eq!(chunk[0].stats, chunk[2].stats, "{}", chunk[0].graph);
+            assert_eq!(chunk[2].impl_name, "improved-push");
+            assert_eq!(chunk[3].impl_name, "improved");
+            // All implementations agree on the counters — the direction
+            // switch in particular must be invisible in the stats.
+            for e in &chunk[1..] {
+                assert_eq!(chunk[0].stats, e.stats, "{}/{}", e.graph, e.impl_name);
+            }
             assert!(chunk.iter().all(|e| e.median_ms >= 0.0));
+            // Only the auto entry records oracle decisions.
+            assert!(chunk[3].directions.is_some(), "{}", chunk[3].graph);
+            assert!(chunk[..3].iter().all(|e| e.directions.is_none()));
         }
     }
 
@@ -441,6 +541,7 @@ mod tests {
             min_ms: ms,
             stats: SsspStats::default(),
             stats_only: false,
+            directions: None,
         };
         let baseline_doc = to_document(&[mk("fused", 1.0), mk("improved", 2.0)]);
         // Fresh ratio 4.0 vs baseline 2.0: > 25% regression.
@@ -470,6 +571,7 @@ mod tests {
             min_ms: ms,
             stats: SsspStats::default(),
             stats_only: false,
+            directions: None,
         };
         // Fused under MIN_TIMED_MS: even a 5x ratio blow-up is ignored —
         // microsecond wall times on a shared core are pure noise.
@@ -493,6 +595,7 @@ mod tests {
             min_ms: ms,
             stats: SsspStats::default(),
             stats_only,
+            directions: None,
         };
         // The baseline recorded this graph as stats-only even though its
         // times sit above the floor (say, the baseline machine was slow).
@@ -532,6 +635,7 @@ mod tests {
                 ..SsspStats::default()
             },
             stats_only: true,
+            directions: None,
         };
         let baseline_doc = to_document(&[mk("fused", 100), mk("improved", 100)]);
         let report =

@@ -123,6 +123,11 @@ pub enum BatchOutcome {
         /// path instead of the requested implementation: a worker panic
         /// message, or the pool-creation failure.
         degraded: Option<String>,
+        /// Whether the degradation was caused by a *caught worker panic*
+        /// (as opposed to, say, an unavailable thread pool). This is the
+        /// typed marker: callers deciding whether a worker is suspect
+        /// must branch on it, never on the text of `degraded`.
+        degraded_by_panic: bool,
     },
     /// The job was stopped by its budget (deadline, cancellation, or
     /// epoch limit) and left a certified partial result behind.
@@ -141,6 +146,12 @@ pub enum BatchOutcome {
     Failed {
         /// Human-readable failure reason.
         error: String,
+        /// Whether a caught worker panic was involved in the failure —
+        /// the typed marker for poisoning decisions. Error *messages*
+        /// can legitimately contain the word "panic" (a checkpoint path,
+        /// a user-supplied graph name) without any panic having
+        /// happened; only this flag says one did.
+        panicked: bool,
     },
     /// Admission control refused the job: the queue was already at
     /// capacity when the batch was submitted.
@@ -458,6 +469,7 @@ impl BatchRunner {
                     result,
                     delta,
                     degraded: Some(message),
+                    degraded_by_panic: false,
                 },
                 Ok(Err(err)) => Self::error_outcome(err),
                 Err(payload) => {
@@ -467,6 +479,7 @@ impl BatchRunner {
                             "{message}; the fallback panicked ({})",
                             panic_message(payload)
                         ),
+                        panicked: true,
                     }
                 }
             };
@@ -484,10 +497,13 @@ impl BatchRunner {
         }));
         let panic_reason = match first {
             Ok(Ok((result, delta, degraded))) => {
+                // The first attempt runs with `degrade_on_panic` off, so
+                // any `degraded` notice here is a non-panic one.
                 return BatchOutcome::Complete {
                     result,
                     delta,
                     degraded,
+                    degraded_by_panic: false,
                 }
             }
             Ok(Err(SsspError::WorkerPanicked { message })) => message,
@@ -509,6 +525,7 @@ impl BatchRunner {
                 result,
                 delta,
                 degraded: Some(panic_reason),
+                degraded_by_panic: true,
             },
             Ok(Err(err)) => Self::error_outcome(err),
             Err(payload) => {
@@ -518,6 +535,7 @@ impl BatchRunner {
                         "worker panicked ({panic_reason}); sequential retry also panicked ({})",
                         panic_message(payload)
                     ),
+                    panicked: true,
                 }
             }
         }
@@ -580,6 +598,7 @@ impl BatchRunner {
                     result,
                     delta: cp.delta,
                     degraded: None,
+                    degraded_by_panic: false,
                 }
             }
             Ok(Err(err)) => return Self::error_outcome(err),
@@ -596,6 +615,7 @@ impl BatchRunner {
                 result,
                 delta: cp.delta,
                 degraded: Some(panic_reason),
+                degraded_by_panic: true,
             },
             Ok(Err(err)) => Self::error_outcome(err),
             Err(payload) => {
@@ -605,6 +625,7 @@ impl BatchRunner {
                         "resume panicked ({panic_reason}); sequential retry also panicked ({})",
                         panic_message(payload)
                     ),
+                    panicked: true,
                 }
             }
         }
@@ -678,16 +699,18 @@ impl BatchRunner {
         )
     }
 
-    /// Budget stops become checkpointed partials; everything else fails.
+    /// Budget stops become checkpointed partials; everything else fails,
+    /// carrying the typed panic marker when the error *is* a panic.
     fn error_outcome(err: SsspError) -> BatchOutcome {
         let reason = err.to_string();
+        let panicked = matches!(err, SsspError::WorkerPanicked { .. });
         match err.into_checkpoint() {
             Some(checkpoint) => BatchOutcome::Partial {
                 checkpoint,
                 reason,
                 saved_to: None,
             },
-            None => BatchOutcome::Failed { error: reason },
+            None => BatchOutcome::Failed { error: reason, panicked },
         }
     }
 }
@@ -880,9 +903,10 @@ mod tests {
         let report = runner.run(&g, &[0]);
         taskpool::fault::disarm();
         match &report.jobs[0].1 {
-            BatchOutcome::Complete { result, degraded, .. } => {
+            BatchOutcome::Complete { result, degraded, degraded_by_panic, .. } => {
                 let message = degraded.as_ref().expect("job must be marked degraded");
                 assert!(message.contains(taskpool::fault::INJECTED_PANIC_MESSAGE));
+                assert!(degraded_by_panic, "typed marker must identify the panic");
                 assert_eq!(result.dist, dijkstra(&g, 0).dist);
             }
             other => panic!("expected degraded Complete, got {other:?}"),
@@ -908,8 +932,9 @@ mod tests {
         assert_eq!(report.degraded(), report.jobs.len());
         for (source, outcome) in &report.jobs {
             match outcome {
-                BatchOutcome::Complete { result, degraded, .. } => {
+                BatchOutcome::Complete { result, degraded, degraded_by_panic, .. } => {
                     assert!(degraded.as_ref().unwrap().contains("thread pool unavailable"));
+                    assert!(!degraded_by_panic, "a missing pool is not a panic");
                     assert_eq!(result.dist, dijkstra(&g, *source).dist, "source {source}");
                 }
                 other => panic!("expected Complete, got {other:?}"),
@@ -1056,7 +1081,10 @@ mod tests {
         assert_eq!(report.completed(), 2);
         assert_eq!(report.failed(), 1);
         match &report.jobs[1].1 {
-            BatchOutcome::Failed { error } => assert!(error.contains("out of bounds")),
+            BatchOutcome::Failed { error, panicked } => {
+                assert!(error.contains("out of bounds"));
+                assert!(!panicked, "a bad source is not a panic");
+            }
             other => panic!("expected Failed, got {other:?}"),
         }
     }

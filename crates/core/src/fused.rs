@@ -15,21 +15,24 @@
 //! Unlike the GraphBLAS version, state lives in dense arrays (`Vec<f64>`,
 //! `Vec<bool>`) exactly like the paper's direct C implementation.
 
+use std::sync::OnceLock;
 use std::time::Instant;
 
+use gblas::direction::{self, Direction};
 use graphdata::CsrGraph;
 
 use crate::budget::RunBudget;
 use crate::checkpoint::{Checkpoint, LiveState, StopPoint};
 use crate::delta::bucket_of;
 use crate::guard::SsspError;
+use crate::pull::{self, PullIndex};
 use crate::result::SsspResult;
 use crate::stats::PhaseProfile;
 use crate::INF;
 
 /// The light/heavy split in CSR form — built in a single fused pass over
 /// the adjacency (vs. the four `GrB_apply` calls of Fig. 2).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct LightHeavy {
     /// Light-edge CSR offsets (`w ≤ Δ`), length `|V| + 1`.
     pub light_off: Vec<usize>,
@@ -43,6 +46,22 @@ pub struct LightHeavy {
     pub heavy_tgt: Vec<usize>,
     /// Heavy-edge weights.
     pub heavy_w: Vec<f64>,
+    /// Lazily built pull (CSC) index over the light edges, shared by
+    /// every frontier consumer of this split via [`Self::pull_index`].
+    pub(crate) pull: OnceLock<PullIndex>,
+}
+
+impl PartialEq for LightHeavy {
+    /// Split equality is CSR equality — the pull index is a cache
+    /// derived from the CSR fields and never participates.
+    fn eq(&self, other: &Self) -> bool {
+        self.light_off == other.light_off
+            && self.light_tgt == other.light_tgt
+            && self.light_w == other.light_w
+            && self.heavy_off == other.heavy_off
+            && self.heavy_tgt == other.heavy_tgt
+            && self.heavy_w == other.heavy_w
+    }
 }
 
 impl LightHeavy {
@@ -56,6 +75,7 @@ impl LightHeavy {
             heavy_off: Vec::with_capacity(n + 1),
             heavy_tgt: Vec::new(),
             heavy_w: Vec::new(),
+            pull: OnceLock::new(),
         };
         lh.light_off.push(0);
         lh.heavy_off.push(0);
@@ -79,7 +99,9 @@ impl LightHeavy {
     /// Heap bytes this split holds resident — what a byte-budgeted
     /// [`crate::split_cache::SplitCache`] charges for the entry. Never
     /// zero for a built split: `light_off`/`heavy_off` always hold
-    /// `|V| + 1 ≥ 1` entries each.
+    /// `|V| + 1 ≥ 1` entries each. The lazily built pull index is *not*
+    /// included — the cache charges entries at build time, so it is
+    /// reported separately via [`Self::pull_bytes`].
     pub fn resident_bytes(&self) -> usize {
         use std::mem::size_of;
         (self.light_off.len() + self.heavy_off.len() + self.light_tgt.len() + self.heavy_tgt.len())
@@ -111,6 +133,19 @@ impl LightHeavy {
     /// Total heavy edges.
     pub fn num_heavy(&self) -> usize {
         self.heavy_tgt.len()
+    }
+
+    /// The pull (CSC) index over the light edges, built on the first
+    /// dense epoch and cached for the lifetime of the split — repeated
+    /// runs and the split cache amortize it like the split itself.
+    pub fn pull_index(&self) -> &PullIndex {
+        self.pull.get_or_init(|| PullIndex::build(self))
+    }
+
+    /// Heap bytes held by the pull index (0 until a dense epoch builds
+    /// it). Reported by split-cache stats alongside [`Self::resident_bytes`].
+    pub fn pull_bytes(&self) -> usize {
+        self.pull.get().map_or(0, PullIndex::resident_bytes)
     }
 }
 
@@ -149,6 +184,9 @@ pub struct FusedWorkspace {
     reqs: ReqBuffer,
     frontier: Vec<usize>,
     settled: Vec<usize>,
+    /// Frontier bitmap for dense (pull) epochs — all-`false` between
+    /// phases, set and cleared by iterating the (sparse) frontier.
+    in_frontier: Vec<bool>,
 }
 
 impl std::fmt::Debug for FusedWorkspace {
@@ -166,6 +204,7 @@ impl FusedWorkspace {
             reqs: ReqBuffer::new(n),
             frontier: Vec::new(),
             settled: Vec::new(),
+            in_frontier: vec![false; n],
         }
     }
 
@@ -173,6 +212,9 @@ impl FusedWorkspace {
     pub fn ensure(&mut self, n: usize) {
         if self.reqs.req.len() < n {
             self.reqs.req.resize(n, INF);
+        }
+        if self.in_frontier.len() < n {
+            self.in_frontier.resize(n, false);
         }
     }
 }
@@ -302,6 +344,7 @@ fn fused_loop(
         reqs,
         frontier,
         settled,
+        in_frontier,
     } = ws;
     frontier.clear();
     settled.clear();
@@ -386,14 +429,46 @@ fn fused_loop(
                 .stop(stop));
             }
             result.stats.light_phases += 1;
-            // Fusion 1: t_Req = A_L^T (t ∘ t_Bi) in one scatter loop.
+            // Fusion 1: t_Req = A_L^T (t ∘ t_Bi). Sparse frontiers run
+            // the fused scatter loop; dense ones (per the shared density
+            // oracle) pull the light in-edges against a frontier bitmap
+            // instead — the request vector is bit-identical either way
+            // (see [`crate::pull`]), only the traversal order changes.
             let t0 = Instant::now();
-            for &v in frontier.iter() {
-                let tv = t[v];
-                let (targets, weights) = lh.light(v);
-                for (&u, &w) in targets.iter().zip(weights.iter()) {
-                    result.stats.relaxations += 1;
-                    reqs.offer(u, tv + w);
+            let frontier_edges: usize = frontier
+                .iter()
+                .map(|&v| lh.light_off[v + 1] - lh.light_off[v])
+                .sum();
+            if direction::choose(frontier_edges, lh.num_light()) == Direction::Pull {
+                let mut lower = INF;
+                for &v in frontier.iter() {
+                    in_frontier[v] = true;
+                    if t[v] < lower {
+                        lower = t[v];
+                    }
+                }
+                pull::pull_light_sequential(
+                    lh.pull_index(),
+                    t,
+                    in_frontier,
+                    lower,
+                    &mut reqs.req,
+                    &mut reqs.touched,
+                );
+                for &v in frontier.iter() {
+                    in_frontier[v] = false;
+                }
+                // Push counts one relaxation per frontier light edge;
+                // the pull pass covers exactly that edge set.
+                result.stats.relaxations += frontier_edges as u64;
+            } else {
+                for &v in frontier.iter() {
+                    let tv = t[v];
+                    let (targets, weights) = lh.light(v);
+                    for (&u, &w) in targets.iter().zip(weights.iter()) {
+                        result.stats.relaxations += 1;
+                        reqs.offer(u, tv + w);
+                    }
                 }
             }
             profile.relaxation += t0.elapsed();

@@ -159,6 +159,9 @@ pub fn sssp_delta_step_checked(
     };
 
     let min_plus = semiring::min_plus_f64();
+    // Pre-transposed A_L for dense (pull) epochs — built lazily on the
+    // first pull decision and reused for the rest of the run.
+    let mut alt: Option<Matrix<f64>> = None;
     loop {
         if let Err(stop) = budget.check() {
             return Err(stop_with(stop, &t, &result, i, StopPoint::BucketStart));
@@ -204,9 +207,24 @@ pub fn sssp_delta_step_checked(
                 return Err(stop_with(stop, &t, &result, i, StopPoint::LightPhase));
             }
             result.stats.light_phases += 1;
-            // tReq = A_L' (min.+) (t .* tBi)  (line 43).
-            ops::vxm(&mut t_req, None, None, &min_plus, &t_masked, &al, clear)
-                .expect("square matrix");
+            // tReq = A_L' (min.+) (t .* tBi)  (line 43). Sparse frontiers
+            // run the push `vxm`; dense ones (per the shared density
+            // oracle) run the pull form over the pre-transposed A_L —
+            // bit-identical for the (min,+) semiring, so the nvals-based
+            // stats are unchanged by the switch.
+            let frontier_edges: usize =
+                t_masked.iter().map(|(v, _)| al.row(v).0.len()).sum();
+            match gblas::direction::choose(frontier_edges, al.nvals()) {
+                gblas::Direction::Pull => {
+                    let at = alt.get_or_insert_with(|| ops::transpose(&al));
+                    ops::vxm_pull(&mut t_req, None, None, &min_plus, &t_masked, at, clear)
+                        .expect("square matrix");
+                }
+                gblas::Direction::Push => {
+                    ops::vxm(&mut t_req, None, None, &min_plus, &t_masked, &al, clear)
+                        .expect("square matrix");
+                }
+            }
             result.stats.relaxations += t_req.nvals() as u64;
 
             // s = s lor tB (line 45). Aliased in C; clone for Rust borrows.

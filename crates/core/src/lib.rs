@@ -55,6 +55,7 @@ pub mod manifest;
 pub mod parallel;
 pub mod parallel_atomic;
 pub mod parallel_improved;
+pub mod pull;
 pub mod reqbuf;
 pub mod parallel_sim;
 pub mod paths;

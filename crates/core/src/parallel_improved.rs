@@ -23,8 +23,10 @@
 //! and reuses this module's workspaces across calls via
 //! [`delta_stepping_parallel_improved_with`].
 
+use std::sync::OnceLock;
 use std::time::Instant;
 
+use gblas::direction::{self, Direction};
 use graphdata::CsrGraph;
 use taskpool::{scope_collect, split_evenly, ThreadPool};
 
@@ -36,6 +38,7 @@ use crate::guard::SsspError;
 use crate::reqbuf::{relax_buffered, RelaxWorkspace};
 use crate::result::SsspResult;
 use crate::stats::PhaseProfile;
+use crate::INF;
 
 /// Build the light/heavy split with fine-grained row chunks — every thread
 /// participates (vs. the two coarse tasks of the paper's scheme). Chunk
@@ -91,6 +94,7 @@ pub fn split_light_heavy_chunked(pool: &ThreadPool, g: &CsrGraph, delta: f64) ->
         heavy_off: Vec::with_capacity(n + 1),
         heavy_tgt: Vec::new(),
         heavy_w: Vec::new(),
+        pull: OnceLock::new(),
     };
     lh.light_off.push(0);
     lh.heavy_off.push(0);
@@ -116,6 +120,9 @@ pub struct ImprovedWorkspace {
     relax: RelaxWorkspace,
     frontier: Vec<usize>,
     settled: Vec<usize>,
+    /// Frontier bitmap for dense (pull) epochs — all-`false` between
+    /// phases, set and cleared by iterating the (sparse) frontier.
+    in_frontier: Vec<bool>,
 }
 
 impl ImprovedWorkspace {
@@ -125,12 +132,16 @@ impl ImprovedWorkspace {
             relax: RelaxWorkspace::new(n),
             frontier: Vec::new(),
             settled: Vec::new(),
+            in_frontier: vec![false; n],
         }
     }
 
     /// Grow (never shrink) to fit an `n`-vertex graph.
     pub fn ensure(&mut self, n: usize) {
         self.relax.ensure(n);
+        if self.in_frontier.len() < n {
+            self.in_frontier.resize(n, false);
+        }
     }
 }
 
@@ -273,6 +284,7 @@ fn improved_loop(
         relax,
         frontier,
         settled,
+        in_frontier,
     } = ws;
     frontier.clear();
     settled.clear();
@@ -342,16 +354,42 @@ fn improved_loop(
                 .stop(stop));
             }
             result.stats.light_phases += 1;
+            // Sparse frontiers push through the request buffers; dense
+            // ones (per the shared density oracle) pull the light
+            // in-edges against a frontier bitmap — the request vector
+            // and the sorted touched list are bit-identical either way
+            // (see [`crate::pull`]).
             let t0 = Instant::now();
-            relax_buffered(
-                pool,
-                lh,
-                &result.dist,
-                frontier,
-                true,
-                relax,
-                &mut result.stats.relaxations,
-            );
+            let frontier_edges: usize = frontier
+                .iter()
+                .map(|&v| lh.light_off[v + 1] - lh.light_off[v])
+                .sum();
+            if direction::choose(frontier_edges, lh.num_light()) == Direction::Pull {
+                let mut lower = INF;
+                for &v in frontier.iter() {
+                    in_frontier[v] = true;
+                    if result.dist[v] < lower {
+                        lower = result.dist[v];
+                    }
+                }
+                relax.pull_light(pool, lh.pull_index(), &result.dist, in_frontier, lower);
+                for &v in frontier.iter() {
+                    in_frontier[v] = false;
+                }
+                // Push counts one relaxation per frontier light edge;
+                // the pull pass covers exactly that edge set.
+                result.stats.relaxations += frontier_edges as u64;
+            } else {
+                relax_buffered(
+                    pool,
+                    lh,
+                    &result.dist,
+                    frontier,
+                    true,
+                    relax,
+                    &mut result.stats.relaxations,
+                );
+            }
             profile.relaxation += t0.elapsed();
 
             let t0 = Instant::now();

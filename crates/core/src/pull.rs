@@ -1,0 +1,401 @@
+//! The dense **pull** light-phase kernel (direction optimization).
+//!
+//! [`crate::reqbuf`] relaxes a frontier by *pushing*: scatter every
+//! frontier out-edge into per-task sparse buffers, then merge and sort.
+//! That is the right shape while the frontier is sparse, but in the
+//! "explosion" epochs of small-world graphs the frontier carries a large
+//! fraction of the light edges, and the scatter + merge + sort machinery
+//! is pure overhead. GraphBLAST's answer — and this module's — is to
+//! *pull*: scan candidate target vertices in index order and fold their
+//! light **in-edges** against a frontier bitmap. Sequential reads, no
+//! scatter, no merge, and the touched list comes out ascending for free.
+//!
+//! The direction decision itself lives in [`gblas::direction`] — one
+//! oracle shared by the fused loop, the request-buffer parallel loop,
+//! and the gblas `vxm` call site — so every consumer switches at the
+//! same deterministic boundary.
+//!
+//! ## Bit-identity with push
+//!
+//! For each target `v`, the pull pass min-folds exactly the candidate
+//! multiset `{ dist[u] + w : (u, v, w) ∈ A_L, u ∈ frontier }` that the
+//! push pass offers — `min` over the same finite candidates is
+//! order-insensitive bit for bit, so the resulting request vector is
+//! identical. The only divergence is the *touched set*: pull may skip a
+//! settled target that push would have touched with an unimprovable
+//! candidate. Both drains treat such entries as no-ops, so `dist`,
+//! improvements, and every other [`crate::stats::SsspStats`] field stay
+//! bit-identical across directions and thread counts (asserted by
+//! `tests/direction.rs`).
+//!
+//! The settled-skip is the float subtlety: we skip `v` iff
+//! `dist[v] <= lower`, where `lower` is the minimum frontier tentative
+//! distance. With non-negative weights, every candidate satisfies
+//! `dist[u] + w >= dist[u] >= lower` under round-to-nearest, so a
+//! skipped vertex could never have been improved. When the index holds
+//! any negative weight (preflight normally rejects those, but the kernel
+//! must not *silently* corrupt on garbage), the skip is disabled.
+
+use taskpool::{scope_with_buffers, split_evenly, ThreadPool};
+
+use crate::fused::LightHeavy;
+use crate::INF;
+
+/// Vertex count below which the sequential scan beats task setup. The
+/// pull pass is `O(n)` in scan cost regardless of frontier size, so the
+/// cut-over is on `n`, not on frontier edges. Shares the process-wide
+/// override with [`crate::reqbuf`] so the schedule explorer forces the
+/// parallel branch here too.
+pub const SEQ_PULL_THRESHOLD: usize = 2_048;
+
+/// The light sub-graph transposed into CSC — for each target vertex, its
+/// light **in-edges** `(source, weight)` with sources ascending. Built
+/// once per `(graph, Δ)` split (lazily, on the first dense epoch) and
+/// cached inside [`LightHeavy`], so repeated runs and the split cache
+/// amortize it exactly like the split itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PullIndex {
+    off: Vec<usize>,
+    src: Vec<usize>,
+    w: Vec<f64>,
+    /// Minimum light weight (`∞` when there are no light edges). The
+    /// settled-skip is only sound for non-negative weights; a negative
+    /// minimum disables it rather than corrupt results on inputs the
+    /// preflight would normally reject.
+    min_w: f64,
+}
+
+impl PullIndex {
+    /// Transpose the light CSR of `lh` by counting sort. Iterating
+    /// sources in ascending order fills each target's segment with
+    /// ascending sources — deterministic by construction.
+    pub fn build(lh: &LightHeavy) -> PullIndex {
+        let n = lh.light_off.len() - 1;
+        let m = lh.light_tgt.len();
+        let mut off = vec![0usize; n + 1];
+        for &t in &lh.light_tgt {
+            off[t + 1] += 1;
+        }
+        for v in 0..n {
+            off[v + 1] += off[v];
+        }
+        let mut src = vec![0usize; m];
+        let mut w = vec![0.0f64; m];
+        let mut cursor = off.clone();
+        let mut min_w = INF;
+        for u in 0..n {
+            for e in lh.light_off[u]..lh.light_off[u + 1] {
+                let t = lh.light_tgt[e];
+                let wt = lh.light_w[e];
+                if wt < min_w {
+                    min_w = wt;
+                }
+                src[cursor[t]] = u;
+                w[cursor[t]] = wt;
+                cursor[t] += 1;
+            }
+        }
+        PullIndex { off, src, w, min_w }
+    }
+
+    /// Number of (target) vertices the index covers.
+    pub fn num_vertices(&self) -> usize {
+        self.off.len() - 1
+    }
+
+    /// The light in-edges of `v`: `(sources, weights)`, sources ascending.
+    pub fn in_edges(&self, v: usize) -> (&[usize], &[f64]) {
+        let (lo, hi) = (self.off[v], self.off[v + 1]);
+        (&self.src[lo..hi], &self.w[lo..hi])
+    }
+
+    /// Heap bytes held by the index (for split-cache stats reporting).
+    pub fn resident_bytes(&self) -> usize {
+        self.off.capacity() * std::mem::size_of::<usize>()
+            + self.src.capacity() * std::mem::size_of::<usize>()
+            + self.w.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+/// Scan targets `[start, start + req.len())`, folding frontier in-edges
+/// into the `req` slice (indexed relative to `start`) and appending
+/// touched targets (absolute indices, ascending) to `touched`. The
+/// per-target offer logic mirrors `reqbuf`'s `offer` exactly: touch on
+/// the first candidate, min-fold the rest.
+#[allow(clippy::too_many_arguments)]
+fn pull_range(
+    idx: &PullIndex,
+    dist: &[f64],
+    in_frontier: &[bool],
+    lower: f64,
+    start: usize,
+    req: &mut [f64],
+    touched: &mut Vec<usize>,
+    hooked: bool,
+) {
+    let skip_settled = idx.min_w >= 0.0;
+    for (j, slot) in req.iter_mut().enumerate() {
+        let v = start + j;
+        #[cfg(feature = "racecheck")]
+        if hooked {
+            // Chunk-boundary interleaving + the shared reads the checker
+            // must prove ordered before the drain's dist writes.
+            taskpool::sched::yield_point();
+            racecheck::plain_read("sssp.dist", &dist[v] as *const f64);
+        }
+        #[cfg(not(feature = "racecheck"))]
+        let _ = hooked;
+        if skip_settled && dist[v] <= lower {
+            continue;
+        }
+        let (lo, hi) = (idx.off[v], idx.off[v + 1]);
+        for (&u, &w) in idx.src[lo..hi].iter().zip(idx.w[lo..hi].iter()) {
+            if !in_frontier[u] {
+                continue;
+            }
+            #[cfg(feature = "racecheck")]
+            if hooked {
+                racecheck::plain_read("sssp.dist", &dist[u] as *const f64);
+            }
+            let cand = dist[u] + w;
+            if *slot == INF {
+                #[cfg(feature = "racecheck")]
+                if hooked {
+                    racecheck::plain_write("pull.req", slot as *const f64);
+                }
+                touched.push(v);
+                *slot = cand;
+            } else if cand < *slot {
+                #[cfg(feature = "racecheck")]
+                if hooked {
+                    racecheck::plain_write("pull.req", slot as *const f64);
+                }
+                *slot = cand;
+            }
+        }
+    }
+}
+
+/// Sequential pull pass over all targets, for the fused loop and as the
+/// small-`n` fast path. `req` is the dense accumulator (≥ `n` long,
+/// all-`∞` outside `touched`); touched targets append ascending.
+pub fn pull_light_sequential(
+    idx: &PullIndex,
+    dist: &[f64],
+    in_frontier: &[bool],
+    lower: f64,
+    req: &mut [f64],
+    touched: &mut Vec<usize>,
+) {
+    let n = idx.num_vertices();
+    pull_range(idx, dist, in_frontier, lower, 0, &mut req[..n], touched, false);
+}
+
+/// Parallel pull pass: split the target range into contiguous chunks,
+/// hand each task a disjoint `&mut` slice of `req` (no atomics, no
+/// locks), and concatenate the per-chunk touched lists in range order —
+/// each is ascending over its own range, so the concatenation is
+/// globally ascending with **no merge and no sort**. Results are
+/// byte-identical to [`pull_light_sequential`] at any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn pull_light_parallel(
+    pool: &ThreadPool,
+    idx: &PullIndex,
+    dist: &[f64],
+    in_frontier: &[bool],
+    lower: f64,
+    req: &mut [f64],
+    touched: &mut Vec<usize>,
+    locals: &mut Vec<Vec<usize>>,
+    threshold: usize,
+) {
+    let n = idx.num_vertices();
+    if pool.num_threads() == 1 || n < threshold {
+        pull_range(idx, dist, in_frontier, lower, 0, &mut req[..n], touched, false);
+        return;
+    }
+
+    let pieces = (pool.num_threads() * 4).min(n);
+    let ranges = split_evenly(0..n, pieces);
+    let active = ranges.len();
+    let mut inputs: Vec<(usize, &mut [f64])> = Vec::with_capacity(active);
+    let mut rest = &mut req[..n];
+    for range in ranges {
+        let (head, tail) = rest.split_at_mut(range.len());
+        inputs.push((range.start, head));
+        rest = tail;
+    }
+    scope_with_buffers(pool, locals, inputs, |_, local, (start, slice)| {
+        local.clear();
+        pull_range(idx, dist, in_frontier, lower, start, slice, local, true);
+    });
+    for local in locals.iter().take(active) {
+        #[cfg(feature = "racecheck")]
+        racecheck::plain_read("scope_with_buffers.buf", &*local as *const Vec<usize>);
+        touched.extend_from_slice(local);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reqbuf::{relax_buffered_with_threshold, RelaxWorkspace};
+    use graphdata::{gen, CsrGraph};
+
+    fn workload() -> (CsrGraph, LightHeavy, Vec<f64>, Vec<usize>) {
+        let mut el = gen::gnm(600, 4_000, 13);
+        el.symmetrize();
+        graphdata::weights::assign_symmetric(
+            &mut el,
+            graphdata::WeightModel::UniformFloat { lo: 0.05, hi: 2.5 },
+            7,
+        );
+        let g = CsrGraph::from_edge_list(&el).unwrap();
+        let lh = LightHeavy::build(&g, 1.0);
+        let dist: Vec<f64> = (0..g.num_vertices()).map(|v| (v % 17) as f64 * 0.3).collect();
+        let frontier: Vec<usize> = (0..g.num_vertices()).step_by(3).collect();
+        (g, lh, dist, frontier)
+    }
+
+    fn bitmap(n: usize, frontier: &[usize]) -> Vec<bool> {
+        let mut b = vec![false; n];
+        for &v in frontier {
+            b[v] = true;
+        }
+        b
+    }
+
+    fn frontier_lower(dist: &[f64], frontier: &[usize]) -> f64 {
+        frontier.iter().fold(INF, |m, &v| if dist[v] < m { dist[v] } else { m })
+    }
+
+    /// The transpose really is the transpose: every light edge appears
+    /// exactly once, sources ascending per target.
+    #[test]
+    fn index_is_exact_transpose_with_sorted_sources() {
+        let (g, lh, _, _) = workload();
+        let idx = PullIndex::build(&lh);
+        assert_eq!(idx.num_vertices(), g.num_vertices());
+        let mut forward = Vec::new();
+        for u in 0..g.num_vertices() {
+            let (tgts, ws) = lh.light(u);
+            for (&t, &w) in tgts.iter().zip(ws.iter()) {
+                forward.push((t, u, w.to_bits()));
+            }
+        }
+        forward.sort_unstable();
+        let mut backward = Vec::new();
+        for v in 0..g.num_vertices() {
+            let (srcs, ws) = idx.in_edges(v);
+            assert!(srcs.windows(2).all(|p| p[0] <= p[1]), "sources ascending");
+            for (&u, &w) in srcs.iter().zip(ws.iter()) {
+                backward.push((v, u, w.to_bits()));
+            }
+        }
+        assert_eq!(forward, backward);
+        assert!(idx.min_w >= 0.05 && idx.min_w <= 2.5);
+        assert!(idx.resident_bytes() > 0);
+    }
+
+    /// Pull produces the same request vector as push, and its touched
+    /// list only ever omits push-touched entries that drain to no-ops.
+    #[test]
+    fn pull_matches_push_requests_bit_for_bit() {
+        let (g, lh, dist, frontier) = workload();
+        let n = g.num_vertices();
+        let pool = ThreadPool::with_threads(3).unwrap();
+
+        let mut push_ws = RelaxWorkspace::new(n);
+        let mut push_relax = 0u64;
+        relax_buffered_with_threshold(
+            &pool, &lh, &dist, &frontier, true, &mut push_ws, &mut push_relax, 0,
+        );
+        let push_touched: Vec<usize> = push_ws.touched().to_vec();
+        let mut push_req = vec![INF; n];
+        push_ws.drain_requests(|u, c| push_req[u] = c);
+
+        let idx = PullIndex::build(&lh);
+        let in_frontier = bitmap(n, &frontier);
+        let lower = frontier_lower(&dist, &frontier);
+        let mut pull_req = vec![INF; n];
+        let mut pull_touched = Vec::new();
+        pull_light_sequential(&idx, &dist, &in_frontier, lower, &mut pull_req, &mut pull_touched);
+
+        for &v in &pull_touched {
+            assert_eq!(pull_req[v].to_bits(), push_req[v].to_bits(), "v={v}");
+        }
+        // Entries push touched but pull skipped must be unimprovable
+        // (settled at or below the frontier lower bound).
+        for &v in &push_touched {
+            if !pull_touched.contains(&v) {
+                assert!(dist[v] <= lower, "pull skipped improvable v={v}");
+                assert!(push_req[v] >= dist[v], "skipped entry would have improved");
+            }
+        }
+        assert!(pull_touched.windows(2).all(|p| p[0] < p[1]), "ascending");
+    }
+
+    /// Parallel pull is byte-identical to sequential pull at 1/2/4
+    /// threads, including the touched order.
+    #[test]
+    fn parallel_pull_is_bit_identical_across_thread_counts() {
+        let (g, lh, dist, frontier) = workload();
+        let n = g.num_vertices();
+        let idx = PullIndex::build(&lh);
+        let in_frontier = bitmap(n, &frontier);
+        let lower = frontier_lower(&dist, &frontier);
+
+        let mut seq_req = vec![INF; n];
+        let mut seq_touched = Vec::new();
+        pull_light_sequential(&idx, &dist, &in_frontier, lower, &mut seq_req, &mut seq_touched);
+
+        for threads in [1, 2, 4] {
+            let pool = ThreadPool::with_threads(threads).unwrap();
+            let mut req = vec![INF; n];
+            let mut touched = Vec::new();
+            let mut locals = Vec::new();
+            pull_light_parallel(
+                &pool, &idx, &dist, &in_frontier, lower, &mut req, &mut touched, &mut locals, 1,
+            );
+            assert_eq!(touched, seq_touched, "{threads} threads");
+            let bits: Vec<u64> = req.iter().map(|x| x.to_bits()).collect();
+            let seq_bits: Vec<u64> = seq_req.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(bits, seq_bits, "{threads} threads");
+        }
+    }
+
+    /// A negative weight disables the settled-skip instead of silently
+    /// dropping improvements. Graph loading rejects negative weights, so
+    /// the index is built by hand — the kernel still must not corrupt.
+    #[test]
+    fn negative_weight_disables_settled_skip() {
+        // One in-edge 1 -> 0 with weight -0.5: vertex 0 is "settled" at
+        // 0.2 <= lower, yet improvable through the negative edge.
+        let idx = PullIndex {
+            off: vec![0, 1, 1],
+            src: vec![1],
+            w: vec![-0.5],
+            min_w: -0.5,
+        };
+        let dist = vec![0.2, 0.3];
+        let in_frontier = vec![false, true];
+        let mut req = vec![INF; 2];
+        let mut touched = Vec::new();
+        pull_light_sequential(&idx, &dist, &in_frontier, 0.2, &mut req, &mut touched);
+        assert_eq!(touched, vec![0]);
+        assert_eq!(req[0], -0.2);
+    }
+
+    #[test]
+    fn empty_frontier_touches_nothing() {
+        let (g, lh, dist, _) = workload();
+        let n = g.num_vertices();
+        let idx = PullIndex::build(&lh);
+        let in_frontier = vec![false; n];
+        let mut req = vec![INF; n];
+        let mut touched = Vec::new();
+        pull_light_sequential(&idx, &dist, &in_frontier, 0.0, &mut req, &mut touched);
+        assert!(touched.is_empty());
+        assert!(req.iter().all(|&x| x == INF));
+    }
+}

@@ -85,6 +85,8 @@ pub struct RelaxWorkspace {
     req: Vec<f64>,
     touched: Vec<usize>,
     bufs: Vec<RequestBuf>,
+    /// Per-task touched lists for the dense pull pass ([`Self::pull_light`]).
+    pull_locals: Vec<Vec<usize>>,
 }
 
 impl RelaxWorkspace {
@@ -94,6 +96,7 @@ impl RelaxWorkspace {
             req: vec![INF; n],
             touched: Vec::new(),
             bufs: Vec::new(),
+            pull_locals: Vec::new(),
         }
     }
 
@@ -120,6 +123,33 @@ impl RelaxWorkspace {
             f(u, cand);
         }
         self.touched.clear();
+    }
+
+    /// Fill the request accumulator by the dense **pull** pass instead of
+    /// the push scatter: scan every target's light in-edges against the
+    /// frontier bitmap (see [`crate::pull`]). The drain-side contract is
+    /// unchanged — `touched` comes out ascending and only touched entries
+    /// ever need resetting — and the resulting request vector is
+    /// bit-identical to [`relax_buffered`]'s over the same frontier.
+    pub fn pull_light(
+        &mut self,
+        pool: &ThreadPool,
+        idx: &crate::pull::PullIndex,
+        dist: &[f64],
+        in_frontier: &[bool],
+        lower: f64,
+    ) {
+        crate::pull::pull_light_parallel(
+            pool,
+            idx,
+            dist,
+            in_frontier,
+            lower,
+            &mut self.req,
+            &mut self.touched,
+            &mut self.pull_locals,
+            effective_threshold(crate::pull::SEQ_PULL_THRESHOLD),
+        );
     }
 
     /// Debug invariant: the accumulator is all-`∞` when no phase is in
@@ -239,7 +269,7 @@ pub fn relax_buffered_with_threshold(
     // Merge: fold buffers in spawn order — single-threaded, so plain
     // loads/stores; the scope barrier already ordered the buffer writes
     // before us.
-    let RelaxWorkspace { req, touched, bufs } = ws;
+    let RelaxWorkspace { req, touched, bufs, .. } = ws;
     for buf in bufs.iter_mut().take(active) {
         #[cfg(feature = "racecheck")]
         racecheck::plain_read("scope_with_buffers.buf", &*buf as *const RequestBuf);

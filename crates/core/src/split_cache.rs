@@ -40,6 +40,13 @@ pub struct SplitCacheStats {
     pub evictions: usize,
     /// Bytes currently held by built, still-resident entries.
     pub resident_bytes: usize,
+    /// Bytes held by lazily built pull (CSC) indexes attached to
+    /// resident entries. Summed live at query time: an index appears on
+    /// an entry's first dense (pull) epoch, after the entry itself was
+    /// accounted, and the eviction budget deliberately charges only the
+    /// split CSR (`resident_bytes`) — evicting the entry frees its pull
+    /// index with it.
+    pub pull_bytes: usize,
 }
 
 /// One cache entry: a build-once cell the winning requester fills.
@@ -198,9 +205,18 @@ impl SplitCache {
         inner.stats.resident_bytes -= freed;
     }
 
-    /// Counters so far.
+    /// Counters so far. `pull_bytes` is computed live over the resident
+    /// entries' lazily built pull indexes.
     pub fn stats(&self) -> SplitCacheStats {
-        self.inner.lock().expect("split cache lock").stats
+        let inner = self.inner.lock().expect("split cache lock");
+        let mut stats = inner.stats;
+        stats.pull_bytes = inner
+            .entries
+            .iter()
+            .filter_map(|e| e.slot.cell.get())
+            .map(|lh| lh.pull_bytes())
+            .sum();
+        stats
     }
 
     /// Number of distinct `(graph, Δ)` entries currently cached (built or
@@ -322,6 +338,7 @@ mod tests {
         let (lh, built) = cache.get_or_build(1, 1.0f64.to_bits(), || LightHeavy::build(&g, 1.0));
         assert!(built);
         assert!(lh.resident_bytes() > 1);
+        assert_eq!(cache.stats().pull_bytes, 0, "evicted entries report no pull bytes");
         let stats = cache.stats();
         assert_eq!(stats.evictions, 1);
         assert_eq!(stats.resident_bytes, 0);
@@ -329,6 +346,19 @@ mod tests {
         // The returned split is still usable — the budget bounds the
         // cache, not handed-out handles.
         assert_eq!(lh.light_off.len(), g.num_vertices() + 1);
+    }
+
+    #[test]
+    fn pull_bytes_reported_once_an_index_is_built() {
+        let g = grid();
+        let cache = SplitCache::new();
+        let (lh, _) = cache.get_or_build(1, 1.0f64.to_bits(), || LightHeavy::build(&g, 1.0));
+        assert_eq!(cache.stats().pull_bytes, 0, "no dense epoch yet");
+        let _ = lh.pull_index();
+        assert!(lh.pull_bytes() > 0);
+        assert_eq!(cache.stats().pull_bytes, lh.pull_bytes());
+        // The CSR accounting the eviction budget uses is unchanged.
+        assert_eq!(cache.stats().resident_bytes, lh.resident_bytes());
     }
 
     proptest! {

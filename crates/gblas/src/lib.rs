@@ -74,6 +74,7 @@
 //! ```
 
 pub mod descriptor;
+pub mod direction;
 pub mod error;
 pub mod mask;
 pub mod matrix;
@@ -83,6 +84,7 @@ pub mod types;
 pub mod vector;
 
 pub use descriptor::Descriptor;
+pub use direction::Direction;
 pub use error::{GblasError, Info};
 pub use mask::{MaskValue, MatrixMask, VectorMask};
 pub use matrix::Matrix;

@@ -55,4 +55,4 @@ pub use select::{select_matrix, select_vector};
 pub use semiring::{Semiring, SemiringPair};
 pub use transpose::transpose;
 pub use unary::{AInv, FnUnary, Identity, LNot, MInv, One, UnaryOp};
-pub use vxm::vxm;
+pub use vxm::{vxm, vxm_pull};

@@ -87,18 +87,31 @@ impl<T> AdmissionQueue<T> {
         }
         if s.queue.len() >= self.capacity {
             s.shed += 1;
-            let avg = s
-                .total_service_ms
-                .checked_div(s.completed)
-                .map_or(DEFAULT_SERVICE_MS, |a| a.max(1));
-            let backlog = s.queue.len() as u64 + s.running as u64 + 1;
-            return Err(avg.saturating_mul(backlog).max(1));
+            return Err(Self::backoff_hint(&s));
         }
         s.admitted += 1;
         s.queue.push_back(job);
         drop(s);
         self.ready.notify_one();
         Ok(())
+    }
+
+    /// The backoff hint the next shed submission would carry, computed
+    /// from the same observed-service-time formula the shed path uses —
+    /// without shedding anything. Always at least 1 ms, so a hint can
+    /// never collide with the shutdown sentinel `Err(0)`.
+    pub fn retry_hint(&self) -> u64 {
+        Self::backoff_hint(&self.state.lock().expect("admission queue poisoned"))
+    }
+
+    /// `max(1, avg_service_ms × (waiting + running + 1))` over `s`.
+    fn backoff_hint(s: &State<T>) -> u64 {
+        let avg = s
+            .total_service_ms
+            .checked_div(s.completed)
+            .map_or(DEFAULT_SERVICE_MS, |a| a.max(1));
+        let backlog = s.queue.len() as u64 + s.running as u64 + 1;
+        avg.saturating_mul(backlog).max(1)
     }
 
     /// Block until a job is dispatchable (or the queue shuts down —
@@ -182,6 +195,22 @@ mod tests {
         assert!(q.submit(2).is_ok());
         // avg 200ms × (1 waiting + 0 running + 1) = 400.
         assert_eq!(q.submit(3), Err(400));
+    }
+
+    #[test]
+    fn retry_hint_matches_the_shed_formula_and_is_never_zero() {
+        let q = AdmissionQueue::new(1);
+        // Fresh queue: 50ms default × (0 waiting + 0 running + 1).
+        assert_eq!(q.retry_hint(), DEFAULT_SERVICE_MS);
+        assert!(q.submit(1).is_ok());
+        // The advisory hint and the actual shed hint agree.
+        assert_eq!(q.submit(2).unwrap_err(), DEFAULT_SERVICE_MS * 2);
+        assert_eq!(q.retry_hint(), DEFAULT_SERVICE_MS * 2);
+        // Even a zero observed service time keeps the hint at ≥ 1, so it
+        // can never collide with the shutdown sentinel 0.
+        assert_eq!(q.pop(), Some(1));
+        q.finish(Duration::ZERO);
+        assert_eq!(q.retry_hint(), 1);
     }
 
     #[test]

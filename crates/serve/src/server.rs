@@ -287,13 +287,28 @@ fn run_job(shared: &Shared, req: &SsspRequest, poisoned: &mut Option<String>) ->
             message: "batch returned no outcome".into(),
         };
     };
+    outcome_response(shared, req, resuming, poisoned, outcome)
+}
 
+/// Map one settled [`BatchOutcome`] to its wire response, applying the
+/// worker-poisoning policy and bumping the job gauges. Split from
+/// [`run_job`] so the poisoning and overload edges are unit-testable
+/// without driving a live engine into them.
+fn outcome_response(
+    shared: &Shared,
+    req: &SsspRequest,
+    resuming: bool,
+    poisoned: &mut Option<String>,
+    outcome: BatchOutcome,
+) -> Response {
     match outcome {
-        BatchOutcome::Complete { result, delta, degraded } => {
+        BatchOutcome::Complete { result, delta, degraded, degraded_by_panic } => {
             // A panic-degraded completion poisons this worker: all later
-            // jobs run sequential-fused with the notice attached.
-            if let Some(msg) = &degraded {
-                if msg.contains("panic") && poisoned.is_none() {
+            // jobs run sequential-fused with the notice attached. The
+            // batch layer's *typed* marker decides — a degradation
+            // notice that merely mentions "panic" must not poison.
+            if degraded_by_panic && poisoned.is_none() {
+                if let Some(msg) = &degraded {
                     *poisoned = Some(msg.clone());
                     shared.gauges.lock().expect("gauges").degraded_workers += 1;
                 }
@@ -331,15 +346,23 @@ fn run_job(shared: &Shared, req: &SsspRequest, poisoned: &mut Option<String>) ->
                 reason,
             })
         }
-        BatchOutcome::Failed { error } => {
+        BatchOutcome::Failed { error, panicked } => {
             shared.gauges.lock().expect("gauges").jobs_failed += 1;
-            if error.contains("panic") && poisoned.is_none() {
+            // Same typed-marker rule as above: an error whose *text*
+            // contains "panic" (a checkpoint path, a user string) must
+            // not poison a healthy worker.
+            if panicked && poisoned.is_none() {
                 *poisoned = Some(error.clone());
                 shared.gauges.lock().expect("gauges").degraded_workers += 1;
             }
             Response::Error { code: classify_failure(&error), message: error }
         }
-        BatchOutcome::Rejected { .. } => Response::Overloaded { retry_after_ms: 0 },
+        // The queue's live backoff hint is always ≥ 1 ms, so this reply
+        // can never collide with the shutdown sentinel `retry_after_ms
+        // == 0` the dispatch path reserves (see `dispatch`).
+        BatchOutcome::Rejected { .. } => {
+            Response::Overloaded { retry_after_ms: shared.queue.retry_hint() }
+        }
     }
 }
 
@@ -793,6 +816,84 @@ mod tests {
         assert_eq!(stats.get("jobs_partial"), Some(1));
         server.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A `Shared` with no pool and no graphs — enough to exercise the
+    /// outcome-to-response mapping without sockets or workers.
+    fn bare_shared(queue_capacity: usize) -> Shared {
+        Shared {
+            cfg: ServerConfig::default(),
+            // lint:allow(hot-path-lock): test fixture mirroring the registry lock
+            graphs: Mutex::new(HashMap::new()),
+            cache: Arc::new(sssp_core::SplitCache::new()),
+            pool: None,
+            pool_degraded: None,
+            queue: AdmissionQueue::new(queue_capacity),
+            // lint:allow(hot-path-lock): test fixture mirroring the gauges lock
+            gauges: Mutex::new(Gauges::default()),
+        }
+    }
+
+    fn dummy_request() -> SsspRequest {
+        SsspRequest {
+            fingerprint: 0,
+            source: 0,
+            delta: None,
+            deadline_ms: None,
+            epochs: None,
+            implementation: None,
+            full: false,
+        }
+    }
+
+    #[test]
+    fn rejected_outcome_replies_with_a_live_hint_not_the_shutdown_sentinel() {
+        let shared = bare_shared(1);
+        let mut poisoned = None;
+        let resp = outcome_response(
+            &shared,
+            &dummy_request(),
+            false,
+            &mut poisoned,
+            BatchOutcome::Rejected { queue_capacity: 1 },
+        );
+        let Response::Overloaded { retry_after_ms } = resp else {
+            panic!("expected Overloaded, got {resp:?}");
+        };
+        assert!(retry_after_ms >= 1, "0 is the shutdown sentinel; a rejection must never use it");
+        assert_eq!(retry_after_ms, shared.queue.retry_hint(), "hint comes from the queue formula");
+    }
+
+    #[test]
+    fn non_panic_error_mentioning_panic_does_not_poison_the_worker() {
+        let shared = bare_shared(1);
+        let mut poisoned = None;
+        let resp = outcome_response(
+            &shared,
+            &dummy_request(),
+            false,
+            &mut poisoned,
+            BatchOutcome::Failed {
+                error: "checkpoint I/O failed at /srv/panic-drills/ckpt-0.bin: disk full".into(),
+                panicked: false,
+            },
+        );
+        assert!(matches!(resp, Response::Error { .. }));
+        assert!(poisoned.is_none(), "the word \"panic\" in an error message must not poison");
+        assert_eq!(shared.gauges.lock().unwrap().degraded_workers, 0);
+
+        // The typed marker — and only it — poisons.
+        let _ = outcome_response(
+            &shared,
+            &dummy_request(),
+            false,
+            &mut poisoned,
+            BatchOutcome::Failed { error: "worker panicked (boom)".into(), panicked: true },
+        );
+        assert!(poisoned.is_some(), "a typed panic must poison the worker");
+        let g = shared.gauges.lock().unwrap();
+        assert_eq!(g.degraded_workers, 1);
+        assert_eq!(g.jobs_failed, 2);
     }
 
     #[test]

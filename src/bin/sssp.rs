@@ -519,7 +519,7 @@ fn run_batch(o: &Options, g: &CsrGraph, delta: f64) -> Result<ExitCode, Failure>
                     );
                 }
             }
-            BatchOutcome::Failed { error } => {
+            BatchOutcome::Failed { error, .. } => {
                 println!("source {source}: FAILED — {error}");
             }
             BatchOutcome::Rejected { queue_capacity } => {

@@ -171,6 +171,39 @@ fn all_implementations_are_race_free_across_schedules() {
 }
 
 #[test]
+fn forced_pull_dense_kernel_is_race_free_across_schedules() {
+    // Drive the dense-pull parallel kernel — not the push scatter — under
+    // adversarial schedules. The explore harness already forces the
+    // sequential/parallel cut-over to 1, so pinning the density oracle to
+    // Pull puts every light phase on the chunked pull path, whose
+    // per-element hooks (`sssp.dist` reads, `pull.req` writes) the
+    // tracker then orders against the fork/join events.
+    struct PullGuard;
+    impl Drop for PullGuard {
+        fn drop(&mut self) {
+            gblas::direction::set_direction_override(None);
+        }
+    }
+    gblas::direction::set_direction_override(Some(gblas::Direction::Pull));
+    let _guard = PullGuard;
+
+    let g = small_graph();
+    let cfg = ExploreConfig {
+        seeds: 0..schedules(),
+        ..ExploreConfig::default()
+    };
+    let report = explore(Implementation::ParallelImproved, &g, 0, 1.0, &cfg);
+    assert_eq!(report.schedules as u64, schedules());
+    assert!(
+        report.is_clean(),
+        "forced-pull improved: races {:?}, divergent seeds {:?}",
+        report.races,
+        report.divergent_seeds
+    );
+    assert!(report.events > 0, "no shadow-state events recorded");
+}
+
+#[test]
 fn cancel_then_resume_is_race_free_and_bit_identical() {
     let g = small_graph();
     let cfg = ExploreConfig {
