@@ -1,6 +1,6 @@
 //! Repo-invariant lints for the sssp workspace, enforced in CI.
 //!
-//! Five invariants, all checked by plain line-level source scanning (no
+//! Six invariants, all checked by plain line-level source scanning (no
 //! external parser — the scans are deliberately syntactic so the tool
 //! has zero dependencies and sub-second runtime):
 //!
@@ -31,6 +31,12 @@
 //!    `crates/serve/src/protocol.rs`) names every `SsspError` variant
 //!    explicitly and has no wildcard `_ =>` arm, so adding a solver
 //!    error forces a deliberate wire-code assignment.
+//! 6. **`opcode-coverage`** — every wire opcode declared as a
+//!    `pub const NAME: u8` inside `pub mod opcode`
+//!    (`crates/serve/src/protocol.rs`) is referenced as `opcode::NAME`
+//!    at least twice outside the mod — in practice the encode arm and
+//!    the decode arm — so an opcode cannot be minted without both
+//!    directions of the frame codec handling it.
 //!
 //! Scanned roots: `crates/`, `src/`, `tests/`, `examples/`. Excluded:
 //! `vendor/` (third-party stubs), `target/`, and `crates/analyze` itself
@@ -727,6 +733,102 @@ pub fn lint_wire_codes(guard_rs: &SourceFile, wire_rs: &SourceFile) -> Vec<Findi
 }
 
 // ---------------------------------------------------------------------------
+// Lint 6: wire opcode reference coverage
+// ---------------------------------------------------------------------------
+
+/// Line span (0-based start, exclusive end) of the brace block opened
+/// by the first line containing `marker`, or `None` when absent.
+fn block_span(f: &SourceFile, marker: &str) -> Option<(usize, usize)> {
+    let start = f.lines.iter().position(|l| l.contains(marker))?;
+    let mut depth = 0usize;
+    let mut seen_open = false;
+    for (off, raw) in f.lines[start..].iter().enumerate() {
+        for c in code_portion(raw).chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    seen_open = true;
+                }
+                '}' => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        if seen_open && depth == 0 {
+            return Some((start, start + off + 1));
+        }
+    }
+    None
+}
+
+/// Every wire opcode declared in `pub mod opcode` must be *handled*:
+/// each `pub const NAME: u8` needs at least two `opcode::NAME`
+/// references outside the mod itself — in practice the encode arm and
+/// the decode arm of the frame codec — so a new opcode (like `HEALTH`
+/// or `DRAIN`) can never be declared without both directions of the
+/// binary framing knowing about it.
+pub fn lint_opcode_coverage(protocol_rs: &SourceFile, files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let Some((start, end)) = block_span(protocol_rs, "pub mod opcode") else {
+        return vec![Finding {
+            file: protocol_rs.rel.clone(),
+            line: 0,
+            lint: "opcode-coverage",
+            message: "could not locate `pub mod opcode` — the wire opcode table is gone".into(),
+        }];
+    };
+
+    // Declared opcodes: `pub const NAME: u8 = ...;` lines inside the mod.
+    let mut opcodes: Vec<(String, usize)> = Vec::new();
+    for (off, raw) in protocol_rs.lines[start..end].iter().enumerate() {
+        let code = code_portion(raw);
+        let t = code.trim_start();
+        let Some(rest) = t.strip_prefix("pub const ") else {
+            continue;
+        };
+        let Some((name, ty)) = rest.split_once(':') else {
+            continue;
+        };
+        if ty.trim_start().starts_with("u8") {
+            opcodes.push((name.trim().to_string(), start + off + 1));
+        }
+    }
+    if opcodes.is_empty() {
+        return vec![Finding {
+            file: protocol_rs.rel.clone(),
+            line: start + 1,
+            lint: "opcode-coverage",
+            message: "`pub mod opcode` declares no `pub const NAME: u8` opcodes".into(),
+        }];
+    }
+
+    for (name, decl_line) in opcodes {
+        let needle = format!("opcode::{name}");
+        let mut refs = 0usize;
+        for f in files {
+            for (idx, raw) in f.lines.iter().enumerate() {
+                if f.rel == protocol_rs.rel && idx >= start && idx < end {
+                    continue; // the declaration itself is not a use
+                }
+                refs += count_word(&code_portion(raw), &needle);
+            }
+        }
+        if refs < 2 {
+            out.push(Finding {
+                file: protocol_rs.rel.clone(),
+                line: decl_line,
+                lint: "opcode-coverage",
+                message: format!(
+                    "wire opcode `{name}` has {refs} `opcode::{name}` reference(s) outside \
+                     the mod — both the encode and decode arms of the frame codec (≥2 uses) \
+                     must handle it"
+                ),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Scanner + driver
 // ---------------------------------------------------------------------------
 
@@ -810,6 +912,7 @@ pub fn run_all(root: &Path) -> Result<Vec<Finding>, String> {
         .find(|f| f.rel == "crates/serve/src/protocol.rs")
         .ok_or("crates/serve/src/protocol.rs not found")?;
     findings.extend(lint_wire_codes(guard_rs, protocol_rs));
+    findings.extend(lint_opcode_coverage(protocol_rs, &files));
 
     findings.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
     Ok(findings)
@@ -1117,6 +1220,79 @@ pub fn wire_code(err: &SsspError) -> u8 {
         let fs = lint_wire_codes(&guard, &wire);
         assert_eq!(fs.len(), 1);
         assert!(fs[0].message.contains("could not locate `pub fn wire_code`"), "{fs:?}");
+    }
+
+    // -- lint 6 ----------------------------------------------------------
+
+    const MINI_PROTOCOL_RS: &str = r#"
+pub mod opcode {
+    /// Liveness probe.
+    pub const PING: u8 = 0x02;
+    /// Readiness/health probe.
+    pub const HEALTH: u8 = 0x09;
+}
+pub fn encode(op: u8) -> u8 {
+    match op {
+        0 => opcode::PING,
+        _ => opcode::HEALTH,
+    }
+}
+pub fn decode(op: u8) -> bool {
+    op == opcode::PING || op == opcode::HEALTH
+}
+"#;
+
+    #[test]
+    fn opcode_coverage_clean_when_every_opcode_is_encoded_and_decoded() {
+        let proto = sf("crates/serve/src/protocol.rs", MINI_PROTOCOL_RS);
+        let files = [sf("crates/serve/src/protocol.rs", MINI_PROTOCOL_RS)];
+        assert!(lint_opcode_coverage(&proto, &files).is_empty());
+    }
+
+    #[test]
+    fn opcode_coverage_flags_a_declared_but_half_wired_opcode() {
+        // HEALTH loses its decode arm: one reference left, below the
+        // two-sided (encode + decode) floor.
+        let half = MINI_PROTOCOL_RS.replace("op == opcode::PING || op == opcode::HEALTH", "op == opcode::PING && op == opcode::PING");
+        let proto = sf("crates/serve/src/protocol.rs", &half);
+        let files = [sf("crates/serve/src/protocol.rs", &half)];
+        let fs = lint_opcode_coverage(&proto, &files);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].lint, "opcode-coverage");
+        assert!(fs[0].message.contains("`HEALTH` has 1"), "{fs:?}");
+        // The finding points at the declaration line inside the mod.
+        assert!(fs[0].line > 0);
+    }
+
+    #[test]
+    fn opcode_coverage_counts_references_from_other_files_but_not_the_mod() {
+        // Strip decode entirely: PING and HEALTH keep one in-file
+        // reference each; a second file supplies HEALTH's other use, so
+        // only PING is flagged. Mentions inside the mod (the consts
+        // themselves) and in comments never count.
+        let enc_only = MINI_PROTOCOL_RS.replace(
+            "pub fn decode(op: u8) -> bool {\n    op == opcode::PING || op == opcode::HEALTH\n}",
+            "// decode gone; opcode::PING in a comment stays invisible\n",
+        );
+        let proto = sf("crates/serve/src/protocol.rs", &enc_only);
+        let files = [
+            sf("crates/serve/src/protocol.rs", &enc_only),
+            sf(
+                "crates/serve/src/server.rs",
+                "fn probe() -> u8 { crate::protocol::opcode::HEALTH }\n",
+            ),
+        ];
+        let fs = lint_opcode_coverage(&proto, &files);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("`PING` has 1"), "{fs:?}");
+    }
+
+    #[test]
+    fn opcode_coverage_flags_a_missing_opcode_mod() {
+        let proto = sf("crates/serve/src/protocol.rs", "pub fn other() {}\n");
+        let fs = lint_opcode_coverage(&proto, &[]);
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].message.contains("could not locate `pub mod opcode`"), "{fs:?}");
     }
 
     // -- self-test: the repo itself is clean ------------------------------

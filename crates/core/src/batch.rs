@@ -52,7 +52,7 @@ use std::time::Duration;
 use graphdata::CsrGraph;
 use taskpool::ThreadPool;
 
-use crate::budget::{CancelToken, RunBudget};
+use crate::budget::{CancelToken, ProgressGauge, RunBudget};
 use crate::checkpoint::Checkpoint;
 use crate::engine::SsspEngine;
 use crate::guard::{GuardConfig, SsspError};
@@ -81,6 +81,10 @@ pub struct BatchConfig {
     /// job at its next epoch boundary (each reports a checkpointed
     /// partial result) and makes queued jobs stop on their first check.
     pub cancel: Option<CancelToken>,
+    /// Epoch-progress gauge published by every job's budget checks, so
+    /// an external watchdog (the serve supervisor) can tell a slow job
+    /// from a wedged one. `None` costs nothing.
+    pub progress: Option<ProgressGauge>,
     /// Guard tunables for preflight and the epoch budget.
     pub guard: GuardConfig,
     /// Threads in the batch-shared [`ThreadPool`] used when
@@ -101,6 +105,7 @@ impl Default for BatchConfig {
             queue_capacity: 1024,
             deadline: None,
             cancel: None,
+            progress: None,
             guard: GuardConfig::default(),
             pool_threads: 2,
             checkpoint_dir: None,
@@ -199,9 +204,15 @@ pub struct BatchReport {
     pub split_cache: SplitCacheStats,
     /// `Some(error)` when [`BatchConfig::checkpoint_dir`] is set but its
     /// manifest could not be loaded (corrupt or unreadable): the batch
-    /// still runs — falling back to per-file checkpoint discovery — but
-    /// the durable index could not be trusted and the caller should know.
+    /// still runs — the index is rebuilt from the surviving checkpoint
+    /// files (see `quarantined`) — but the caller should know the
+    /// durable index was not trusted as found.
     pub manifest_error: Option<String>,
+    /// Files moved into the checkpoint directory's `quarantine/`
+    /// subdirectory during this batch: a torn manifest replaced by a
+    /// rebuild, and any `ckpt-*.bin` that failed to decode when a job
+    /// tried to resume from it.
+    pub quarantined: Vec<PathBuf>,
 }
 
 impl BatchReport {
@@ -340,21 +351,23 @@ impl BatchRunner {
         let outcomes = Mutex::new(outcomes);
 
         // The durable job index for the checkpoint directory. A corrupt
-        // or unreadable manifest does not kill the batch (per-file
-        // discovery still works) but is reported, never swallowed.
+        // or unreadable manifest does not kill the batch: the torn index
+        // is quarantined and rebuilt from the surviving checkpoint files
+        // (each is self-describing), and the incident is reported, never
+        // swallowed.
         let (manifest, manifest_error) = match self.cfg.checkpoint_dir.as_deref() {
             Some(dir) => match CheckpointManifest::load_or_default(dir) {
-                Ok(m) => (
-                    Some(ManifestState { dir: dir.to_path_buf(), manifest: Mutex::new(m) }),
-                    None,
-                ),
-                Err(e) => (
-                    Some(ManifestState {
-                        dir: dir.to_path_buf(),
-                        manifest: Mutex::new(CheckpointManifest::new()),
-                    }),
-                    Some(e.to_string()),
-                ),
+                Ok(m) => (Some(ManifestState::new(dir, m, Vec::new())), None),
+                Err(e) => match crate::manifest::recover_directory(dir) {
+                    Ok(r) => (
+                        Some(ManifestState::new(dir, r.manifest, r.quarantined)),
+                        Some(e.to_string()),
+                    ),
+                    Err(recovery) => (
+                        Some(ManifestState::new(dir, CheckpointManifest::new(), Vec::new())),
+                        Some(format!("{e}; recovery failed: {recovery}")),
+                    ),
+                },
             },
             None => (None, None),
         };
@@ -393,6 +406,9 @@ impl BatchRunner {
             pool_degraded,
             split_cache: cache.stats(),
             manifest_error,
+            quarantined: manifest
+                .map(|m| m.quarantined.into_inner().expect("quarantine list lock"))
+                .unwrap_or_default(),
         }
     }
 
@@ -426,13 +442,23 @@ impl BatchRunner {
                 .filter(|p| p.exists())
                 .or_else(|| path.exists().then(|| path.clone()));
             if let Some(candidate) = candidate {
-                // An unreadable, foreign, or non-resumable file is not
-                // fatal: the job simply runs fresh (and overwrites it).
-                if let Ok(cp) = engine.load_checkpoint(&candidate) {
-                    if cp.resumable && cp.source == source {
+                match engine.load_checkpoint(&candidate) {
+                    Ok(cp) if cp.resumable && cp.source == source => {
                         let outcome = self.resume_job(engine, pool, &cp);
                         return self.persist(engine, outcome, path, source, manifest);
                     }
+                    // A foreign or non-resumable file is not fatal: the
+                    // job simply runs fresh (and overwrites it).
+                    Ok(_) => {}
+                    // A torn or corrupt file is quarantined so the next
+                    // restart does not trip over it again; the job runs
+                    // fresh. Plain I/O errors leave the file in place.
+                    Err(SsspError::InvalidCheckpoint { .. }) => {
+                        if let Some(m) = manifest {
+                            m.quarantine(&candidate);
+                        }
+                    }
+                    Err(_) => {}
                 }
             }
         }
@@ -690,13 +716,17 @@ impl BatchRunner {
     }
 
     fn job_budget(&self, g: &CsrGraph) -> RunBudget {
-        RunBudget::for_job(
+        let budget = RunBudget::for_job(
             g,
             self.cfg.delta,
             &self.cfg.guard,
             self.cfg.deadline,
             self.cfg.cancel.as_ref(),
-        )
+        );
+        match &self.cfg.progress {
+            Some(gauge) => budget.with_progress(gauge.clone()),
+            None => budget,
+        }
     }
 
     /// Budget stops become checkpointed partials; everything else fails,
@@ -723,9 +753,39 @@ impl BatchRunner {
 struct ManifestState {
     dir: PathBuf,
     manifest: Mutex<CheckpointManifest>,
+    /// Files this batch moved into `quarantine/` (startup recovery plus
+    /// resume-time torn-file discoveries), drained into
+    /// [`BatchReport::quarantined`].
+    quarantined: Mutex<Vec<PathBuf>>,
 }
 
 impl ManifestState {
+    fn new(dir: &Path, manifest: CheckpointManifest, quarantined: Vec<PathBuf>) -> Self {
+        ManifestState {
+            dir: dir.to_path_buf(),
+            manifest: Mutex::new(manifest),
+            quarantined: Mutex::new(quarantined),
+        }
+    }
+
+    /// Move a torn checkpoint file into `quarantine/`, drop any manifest
+    /// entry naming it, and record the move. Failing to move it is not
+    /// fatal — the fresh run overwrites the file anyway.
+    fn quarantine(&self, path: &Path) {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if let Ok(moved) = crate::manifest::quarantine_file(&self.dir, path) {
+            let mut locked = self.manifest.lock().expect("manifest lock");
+            if locked.remove_file(&name) {
+                let _ = locked.save(&CheckpointManifest::path_in(&self.dir));
+            }
+            drop(locked);
+            self.quarantined.lock().expect("quarantine list lock").push(moved);
+        }
+    }
+
     /// Record a freshly-persisted checkpoint (file already on disk) and
     /// save the manifest.
     fn record(&self, fingerprint: u64, cp: &Checkpoint, path: &Path) -> Result<(), SsspError> {
@@ -1047,6 +1107,12 @@ mod tests {
         .run(&g, &[0]);
         assert!(report.all_complete());
         assert!(report.manifest_error.is_some(), "corrupt manifest must be surfaced");
+        // The torn index was quarantined, not left to trip the next
+        // restart, and the directory now loads cleanly.
+        assert_eq!(report.quarantined.len(), 1);
+        assert!(report.quarantined[0]
+            .starts_with(dir.join(crate::manifest::QUARANTINE_DIR)));
+        assert!(CheckpointManifest::load_or_default(&dir).is_ok());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1068,8 +1134,12 @@ mod tests {
             }
             other => panic!("expected Complete, got {other:?}"),
         }
-        // The stale garbage is gone after completion.
+        // The torn file was moved into quarantine, not merely deleted.
         assert!(!BatchRunner::checkpoint_path(&dir, 0).exists());
+        assert_eq!(report.quarantined.len(), 1);
+        assert!(report.quarantined[0].exists());
+        assert!(report.quarantined[0]
+            .starts_with(dir.join(crate::manifest::QUARANTINE_DIR)));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -21,7 +21,7 @@
 //! delta-stepping settled-bucket invariant) and — on the frontier-based
 //! implementations — allowing a bit-identical resume.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -50,6 +50,34 @@ impl CancelToken {
     /// Whether cancellation has been requested.
     pub fn is_cancelled(&self) -> bool {
         self.0.load(Ordering::Acquire)
+    }
+}
+
+/// A shareable epoch-progress gauge: the run publishes its tick count at
+/// every [`RunBudget::check`], and an external watchdog (the serve
+/// supervisor) reads it to tell a slow-but-advancing job from a wedged
+/// one. Cloning is cheap (one `Arc`); the gauge carries no data other
+/// than the monotone counter, so `Relaxed` ordering suffices — a stale
+/// read only delays a stall verdict by one scan.
+#[derive(Debug, Clone, Default)]
+pub struct ProgressGauge(Arc<AtomicU64>);
+
+impl ProgressGauge {
+    /// A fresh gauge reading zero.
+    pub fn new() -> Self {
+        ProgressGauge::default()
+    }
+
+    /// Publish an epoch count. Normally called from
+    /// [`RunBudget::check`]; public so watchdog tests can script a
+    /// gauge's trajectory directly.
+    pub fn publish(&self, ticks: u64) {
+        self.0.store(ticks, Ordering::Relaxed);
+    }
+
+    /// The last published epoch count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
     }
 }
 
@@ -96,6 +124,9 @@ pub struct RunBudget {
     /// Deterministic cancellation for tests: report [`BudgetStop::Cancelled`]
     /// once this many checks have passed.
     cancel_after_ticks: Option<u64>,
+    /// Epoch-progress gauge published at every check (see
+    /// [`ProgressGauge`]); `None` costs nothing.
+    progress: Option<ProgressGauge>,
 }
 
 impl RunBudget {
@@ -117,6 +148,7 @@ impl RunBudget {
             deadline: None,
             cancel: None,
             cancel_after_ticks: None,
+            progress: None,
         }
     }
 
@@ -170,6 +202,15 @@ impl RunBudget {
         self
     }
 
+    /// Attach an epoch-progress gauge (a clone; the caller keeps the
+    /// original to poll). Every [`RunBudget::check`] publishes the tick
+    /// count through it, so an external watchdog can distinguish a slow
+    /// job from a wedged one.
+    pub fn with_progress(mut self, gauge: ProgressGauge) -> Self {
+        self.progress = Some(gauge);
+        self
+    }
+
     /// Deterministic test hook: behave as if the cancel token flipped
     /// after `n` successful checks (`n = 0` → the very first check
     /// reports [`BudgetStop::Cancelled`]).
@@ -187,6 +228,7 @@ impl RunBudget {
             deadline: self.deadline,
             cancel: self.cancel.clone(),
             cancel_after_ticks: None,
+            progress: self.progress.clone(),
         }
     }
 
@@ -200,6 +242,9 @@ impl RunBudget {
         // Reuse the watchdog's tick counter as the epoch count; evaluate
         // its verdict last so cancellation/deadline win ties.
         let epoch_verdict = self.watchdog.tick();
+        if let Some(gauge) = &self.progress {
+            gauge.publish(self.watchdog.ticks());
+        }
         if let Some(token) = &self.cancel {
             if token.is_cancelled() {
                 return Err(BudgetStop::Cancelled);
@@ -311,6 +356,25 @@ mod tests {
             .with_deadline(Instant::now() - Duration::from_secs(1))
             .with_cancel(token);
         assert_eq!(b.check(), Err(BudgetStop::Cancelled));
+    }
+
+    #[test]
+    fn progress_gauge_follows_ticks_and_survives_retry() {
+        let gauge = ProgressGauge::new();
+        assert_eq!(gauge.get(), 0);
+        let mut b = RunBudget::unlimited().with_progress(gauge.clone());
+        for want in 1..=5 {
+            b.check().unwrap();
+            assert_eq!(gauge.get(), want);
+        }
+        // The retry budget resets ticks but keeps publishing through the
+        // same gauge, so the supervisor's view stays live across the
+        // sequential-fused retry.
+        use graphdata::gen::grid2d;
+        let g = CsrGraph::from_edge_list(&grid2d(3, 3)).unwrap();
+        let mut retry = b.retry_budget(&g, 1.0, &GuardConfig::default());
+        retry.check().unwrap();
+        assert_eq!(gauge.get(), 1);
     }
 
     #[test]

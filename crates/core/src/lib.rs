@@ -67,7 +67,7 @@ pub mod stats;
 pub mod validate;
 
 pub use batch::{BatchConfig, BatchOutcome, BatchReport, BatchRunner};
-pub use budget::{BudgetStop, CancelToken, RunBudget};
+pub use budget::{BudgetStop, CancelToken, ProgressGauge, RunBudget};
 pub use checkpoint::{Checkpoint, StopPoint};
 pub use guard::{GuardConfig, SsspError, Watchdog};
 pub use manifest::{CheckpointManifest, ManifestEntry};

@@ -24,6 +24,14 @@
 //! the manifest itself lives in; names with path separators or `..` are
 //! rejected at decode time so a hostile manifest cannot point a resume
 //! outside its own checkpoint directory.
+//!
+//! **Corruption quarantine** ([`recover_directory`]): a torn manifest or
+//! checkpoint file must degrade a restart to "that one job starts
+//! fresh", never to "the directory refuses to serve". Bad files are
+//! moved (atomic rename) into a `quarantine/` subdirectory for post-hoc
+//! inspection, and the manifest is rebuilt from the surviving valid
+//! `ckpt-*.bin` files — each checkpoint is self-describing (embedded
+//! fingerprint, source, Δ), so the index is always reconstructible.
 
 use std::path::{Path, PathBuf};
 
@@ -139,6 +147,15 @@ impl CheckpointManifest {
         let before = self.entries.len();
         self.entries
             .retain(|e| !(e.fingerprint == fingerprint && e.source == source));
+        self.entries.len() != before
+    }
+
+    /// Remove every entry pointing at `file` (a bare name); returns
+    /// whether any was recorded. Used by quarantine: once a checkpoint
+    /// file is moved aside, any entry naming it is a dangling pointer.
+    pub fn remove_file(&mut self, file: &str) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.file != file);
         self.entries.len() != before
     }
 
@@ -291,6 +308,128 @@ impl CheckpointManifest {
     }
 }
 
+/// Name of the quarantine subdirectory created inside a checkpoint
+/// directory by [`quarantine_file`].
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+/// What [`recover_directory`] did to make a checkpoint directory
+/// servable again.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// The manifest the directory should serve from (possibly rebuilt).
+    pub manifest: CheckpointManifest,
+    /// Files moved into `quarantine/`, in scan order.
+    pub quarantined: Vec<PathBuf>,
+    /// Whether the manifest was rebuilt (or pruned) rather than loaded
+    /// verbatim.
+    pub rebuilt: bool,
+}
+
+/// Move `path` into `<dir>/quarantine/` by atomic rename, creating the
+/// quarantine directory on first use. A name collision (the same file
+/// quarantined twice across restarts) gets a `-N` suffix rather than
+/// overwriting the earlier evidence. Returns the quarantined path.
+pub fn quarantine_file(dir: &Path, path: &Path) -> std::io::Result<PathBuf> {
+    let qdir = dir.join(QUARANTINE_DIR);
+    std::fs::create_dir_all(&qdir)?;
+    let name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other("quarantine target has no file name"))?;
+    let mut target = qdir.join(name);
+    let mut n = 1u32;
+    while target.exists() {
+        target = qdir.join(format!("{}-{n}", name.to_string_lossy()));
+        n += 1;
+    }
+    std::fs::rename(path, &target)?;
+    Ok(target)
+}
+
+/// Make `dir` servable no matter what a crash (or bit rot) left behind:
+///
+/// 1. Load the manifest; if it is torn or corrupt, quarantine it and
+///    start a rebuild from scratch.
+/// 2. Decode **every** `ckpt-*.bin` in the directory. Invalid files are
+///    quarantined and their manifest entries dropped; when rebuilding,
+///    valid resumable files are re-indexed from their embedded
+///    `(fingerprint, source, Δ)` coordinates.
+/// 3. Drop manifest entries whose file vanished, and persist the
+///    manifest if anything changed.
+///
+/// Never fails on corrupt *content* — only on I/O errors moving files or
+/// persisting the rebuilt manifest.
+pub fn recover_directory(dir: &Path) -> Result<RecoveryReport, SsspError> {
+    let io_err = |path: &Path, e: &dyn std::fmt::Display| SsspError::CheckpointIo {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    };
+    let mut report = RecoveryReport::default();
+    let manifest_path = CheckpointManifest::path_in(dir);
+    match CheckpointManifest::load_or_default(dir) {
+        Ok(m) => report.manifest = m,
+        Err(_) => {
+            // Torn or unreadable index: preserve the evidence and
+            // rebuild from the self-describing checkpoint files.
+            let moved =
+                quarantine_file(dir, &manifest_path).map_err(|e| io_err(&manifest_path, &e))?;
+            report.quarantined.push(moved);
+            report.rebuilt = true;
+        }
+    }
+    // Scan every checkpoint file, regardless of whether the manifest
+    // loaded: a valid manifest can still point at a torn file.
+    let entries = match std::fs::read_dir(dir) {
+        Ok(it) => it,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(report),
+        Err(e) => return Err(io_err(dir, &e)),
+    };
+    let mut changed = report.rebuilt;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(dir, &e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if !(name.starts_with("ckpt-") && name.ends_with(".bin")) {
+            continue;
+        }
+        let path = entry.path();
+        let bytes = std::fs::read(&path).map_err(|e| io_err(&path, &e))?;
+        match crate::checkpoint::Checkpoint::from_bytes(&bytes) {
+            Ok((cp, fingerprint)) => {
+                if report.rebuilt && cp.resumable {
+                    report.manifest.upsert(ManifestEntry {
+                        fingerprint,
+                        source: cp.source,
+                        delta: cp.delta,
+                        file: name.to_string(),
+                    });
+                }
+            }
+            Err(_) => {
+                let moved = quarantine_file(dir, &path).map_err(|e| io_err(&path, &e))?;
+                report.quarantined.push(moved);
+                if report.manifest.remove_file(name) {
+                    changed = true;
+                }
+            }
+        }
+    }
+    // A surviving entry whose file is gone (crash between entry save and
+    // file write never happens by the ordering contract, but an operator
+    // may have deleted files by hand) would wedge every resume attempt.
+    let before = report.manifest.len();
+    let dir_owned = dir.to_path_buf();
+    report
+        .manifest
+        .entries
+        .retain(|e| dir_owned.join(&e.file).exists());
+    changed |= report.manifest.len() != before;
+    if changed {
+        report.rebuilt = true;
+        report.manifest.save(&manifest_path)?;
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,6 +545,126 @@ mod tests {
             CheckpointManifest::from_bytes(&m.to_bytes()),
             Err(SsspError::InvalidCheckpoint { .. })
         ));
+    }
+
+    fn sample_checkpoint(source: usize, delta: f64) -> crate::checkpoint::Checkpoint {
+        crate::checkpoint::Checkpoint {
+            implementation: "fused",
+            source,
+            delta,
+            dist: vec![0.0, 1.0, f64::INFINITY],
+            stats: Default::default(),
+            bucket: 2,
+            stop_point: crate::checkpoint::StopPoint::BucketStart,
+            frontier: Vec::new(),
+            settled: Vec::new(),
+            resumable: true,
+        }
+    }
+
+    fn recovery_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sssp-recover-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn quarantine_file_renames_and_suffixes_collisions() {
+        let dir = recovery_dir("qfile");
+        for round in 0..3 {
+            let victim = dir.join("ckpt-0.bin");
+            std::fs::write(&victim, format!("bad {round}")).unwrap();
+            let moved = quarantine_file(&dir, &victim).unwrap();
+            assert!(!victim.exists());
+            assert!(moved.exists());
+            assert!(moved.starts_with(dir.join(QUARANTINE_DIR)));
+        }
+        // All three rounds kept distinct evidence files.
+        assert_eq!(std::fs::read_dir(dir.join(QUARANTINE_DIR)).unwrap().count(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_of_a_clean_directory_is_a_noop() {
+        let dir = recovery_dir("clean");
+        let cp = sample_checkpoint(0, 0.5);
+        std::fs::write(dir.join("ckpt-0.bin"), cp.to_bytes(7)).unwrap();
+        let mut m = CheckpointManifest::new();
+        m.upsert(ManifestEntry {
+            fingerprint: 7,
+            source: 0,
+            delta: 0.5,
+            file: "ckpt-0.bin".to_string(),
+        });
+        m.save(&CheckpointManifest::path_in(&dir)).unwrap();
+        let report = recover_directory(&dir).unwrap();
+        assert!(!report.rebuilt);
+        assert!(report.quarantined.is_empty());
+        assert_eq!(report.manifest, m);
+        assert!(!dir.join(QUARANTINE_DIR).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_manifest_is_quarantined_and_rebuilt_from_checkpoints() {
+        let dir = recovery_dir("torn-manifest");
+        std::fs::write(dir.join("ckpt-0.bin"), sample_checkpoint(0, 0.5).to_bytes(7)).unwrap();
+        std::fs::write(dir.join("ckpt-1.bin"), sample_checkpoint(1, 0.5).to_bytes(7)).unwrap();
+        std::fs::write(CheckpointManifest::path_in(&dir), b"garbage").unwrap();
+        let report = recover_directory(&dir).unwrap();
+        assert!(report.rebuilt);
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.manifest.len(), 2);
+        assert_eq!(report.manifest.find(7, 0, 0.5).unwrap().file, "ckpt-0.bin");
+        assert_eq!(report.manifest.find(7, 1, 0.5).unwrap().file, "ckpt-1.bin");
+        // The rebuilt index was persisted and round-trips.
+        assert_eq!(CheckpointManifest::load_or_default(&dir).unwrap(), report.manifest);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_checkpoint_is_quarantined_and_its_entry_dropped() {
+        let dir = recovery_dir("torn-ckpt");
+        std::fs::write(dir.join("ckpt-0.bin"), sample_checkpoint(0, 0.5).to_bytes(7)).unwrap();
+        std::fs::write(dir.join("ckpt-1.bin"), b"not a checkpoint").unwrap();
+        let mut m = CheckpointManifest::new();
+        for source in [0usize, 1] {
+            m.upsert(ManifestEntry {
+                fingerprint: 7,
+                source,
+                delta: 0.5,
+                file: format!("ckpt-{source}.bin"),
+            });
+        }
+        m.save(&CheckpointManifest::path_in(&dir)).unwrap();
+        let report = recover_directory(&dir).unwrap();
+        assert!(report.rebuilt);
+        assert_eq!(report.quarantined.len(), 1);
+        assert!(!dir.join("ckpt-1.bin").exists());
+        assert!(dir.join(QUARANTINE_DIR).join("ckpt-1.bin").exists());
+        assert_eq!(report.manifest.len(), 1);
+        assert!(report.manifest.find(7, 0, 0.5).is_some());
+        assert_eq!(CheckpointManifest::load_or_default(&dir).unwrap(), report.manifest);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dangling_manifest_entry_is_pruned() {
+        let dir = recovery_dir("dangling");
+        let mut m = CheckpointManifest::new();
+        m.upsert(ManifestEntry {
+            fingerprint: 7,
+            source: 3,
+            delta: 0.5,
+            file: "ckpt-3.bin".to_string(),
+        });
+        m.save(&CheckpointManifest::path_in(&dir)).unwrap();
+        let report = recover_directory(&dir).unwrap();
+        assert!(report.rebuilt);
+        assert!(report.quarantined.is_empty());
+        assert!(report.manifest.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -18,14 +18,24 @@
 //!   panic degradation, per-connection socket timeouts (a stalled reader
 //!   cannot wedge a worker), and manifest-driven crash-safe resume via
 //!   the per-graph checkpoint directories.
+//! - [`supervisor`] — the self-healing layer: per-worker health slots
+//!   (healthy → poisoned → recycled → permanently degraded), cooldown
+//!   recycling with exponential backoff, and a heartbeat watchdog that
+//!   cancels stalled jobs and retires wedged workers.
+//! - [`lock`] — poison-recovering mutex acquisition, so one panicking
+//!   handler costs one job rather than poisoning the daemon's shared
+//!   state forever.
 //!
 //! The server process itself lives in `src/bin/sssp-serve.rs` at the
 //! workspace root; this crate holds everything testable in-process.
 
+pub mod lock;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+pub mod supervisor;
 
 pub use protocol::{Request, Response, ServerStats, SsspRequest};
 pub use queue::AdmissionQueue;
 pub use server::{ServerConfig, ServerHandle};
+pub use supervisor::{HealthCounts, PoisonVerdict, SlotHealth, Supervisor, SupervisorConfig};

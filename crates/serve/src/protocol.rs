@@ -28,7 +28,8 @@
 //! SSSP <fingerprint-hex> <source> [delta=F] [deadline_ms=N] [epochs=N]
 //!      [impl=NAME] [full]
 //! STATS
-//! HOLD | RELEASE          (only with --debug-commands)
+//! HEALTH                  (supervision probe: worker health + drain state)
+//! HOLD | RELEASE | DRAIN  (only with --debug-commands)
 //! QUIT
 //! ```
 //!
@@ -142,10 +143,18 @@ pub enum Request {
     Sssp(SsspRequest),
     /// Server counters snapshot.
     Stats,
+    /// Supervision probe: worker health, recycle counters, drain state.
+    /// Always available (not debug-gated), so orchestrators can use it
+    /// as a readiness/liveness check.
+    Health,
     /// Pause worker dispatch (debug only; jobs queue but do not start).
     Hold,
     /// Resume worker dispatch (debug only).
     Release,
+    /// Begin a graceful drain (debug only): stop admitting, shed the
+    /// queue with live retry hints, cancel in-flight jobs to certified
+    /// partials. The same path SIGTERM takes, triggerable from a test.
+    Drain,
     /// Close this connection.
     Quit,
 }
@@ -210,6 +219,31 @@ impl ServerStats {
     }
 }
 
+/// Supervision snapshot carried by a `HEALTH` reply.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HealthReport {
+    /// Coarse verdict: `ok` (all workers healthy), `degraded` (at least
+    /// one worker poisoned or permanently degraded), or `draining`.
+    pub status: String,
+    /// Configured worker count.
+    pub workers: u64,
+    /// Workers currently healthy.
+    pub healthy: u64,
+    /// Workers currently poisoned (awaiting a cooldown recycle).
+    pub poisoned: u64,
+    /// Workers past the recycle budget, pinned to the sequential-fused
+    /// fallback forever.
+    pub permanently_degraded: u64,
+    /// Worker recycles performed since startup.
+    pub recycles_total: u64,
+    /// Jobs the heartbeat watchdog cancelled since startup.
+    pub watchdog_cancelled: u64,
+    /// Checkpoint/manifest files moved to `quarantine/` since startup.
+    pub quarantined_files: u64,
+    /// Whether a graceful drain is in progress.
+    pub draining: bool,
+}
+
 /// Everything the server can answer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -235,6 +269,8 @@ pub enum Response {
     },
     /// Counter snapshot.
     Stats(ServerStats),
+    /// Supervision snapshot.
+    Health(HealthReport),
     /// Typed failure (solver codes 10–20 via [`wire_code`], server codes
     /// ≥ 30 via [`code`]).
     Error {
@@ -312,8 +348,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     match verb {
         "PING" => Ok(Request::Ping),
         "STATS" => Ok(Request::Stats),
+        "HEALTH" => Ok(Request::Health),
         "HOLD" => Ok(Request::Hold),
         "RELEASE" => Ok(Request::Release),
+        "DRAIN" => Ok(Request::Drain),
         "QUIT" => Ok(Request::Quit),
         "LOAD" => {
             let kind = words.next().ok_or("LOAD needs GEN <spec>")?;
@@ -388,6 +426,19 @@ pub fn render_response(resp: &Response) -> Vec<String> {
             .iter()
             .map(|(name, value)| format!("{name}={value}"))
             .collect(),
+        Response::Health(h) => vec![format!(
+            "HEALTH status={} workers={} healthy={} poisoned={} permanently_degraded={} \
+             recycles_total={} watchdog_cancelled={} quarantined_files={} draining={}",
+            h.status,
+            h.workers,
+            h.healthy,
+            h.poisoned,
+            h.permanently_degraded,
+            h.recycles_total,
+            h.watchdog_cancelled,
+            h.quarantined_files,
+            h.draining
+        )],
         Response::Summary(s) => {
             let mut lines = Vec::new();
             if let Some(reason) = &s.degraded {
@@ -447,6 +498,10 @@ pub mod opcode {
     pub const RELEASE: u8 = 0x07;
     /// [`super::Request::Quit`]
     pub const QUIT: u8 = 0x08;
+    /// [`super::Request::Health`]
+    pub const HEALTH: u8 = 0x09;
+    /// [`super::Request::Drain`]
+    pub const DRAIN: u8 = 0x0a;
     /// [`super::Response::Pong`]
     pub const PONG: u8 = 0x82;
     /// [`super::Response::Loaded`]
@@ -463,6 +518,8 @@ pub mod opcode {
     pub const ERROR: u8 = 0x88;
     /// [`super::Response::Done`]
     pub const DONE: u8 = 0x89;
+    /// [`super::Response::Health`]
+    pub const HEALTH_REPLY: u8 = 0x8a;
 }
 
 fn push_u64(buf: &mut Vec<u8>, v: u64) {
@@ -539,8 +596,10 @@ pub fn encode_request(req: &Request) -> (u8, Vec<u8>) {
     match req {
         Request::Ping => (opcode::PING, buf),
         Request::Stats => (opcode::STATS, buf),
+        Request::Health => (opcode::HEALTH, buf),
         Request::Hold => (opcode::HOLD, buf),
         Request::Release => (opcode::RELEASE, buf),
+        Request::Drain => (opcode::DRAIN, buf),
         Request::Quit => (opcode::QUIT, buf),
         Request::LoadGen { spec } => {
             push_str(&mut buf, spec);
@@ -589,8 +648,10 @@ pub fn decode_request(op: u8, payload: &[u8]) -> Result<Request, String> {
     let req = match op {
         opcode::PING => Request::Ping,
         opcode::STATS => Request::Stats,
+        opcode::HEALTH => Request::Health,
         opcode::HOLD => Request::Hold,
         opcode::RELEASE => Request::Release,
+        opcode::DRAIN => Request::Drain,
         opcode::QUIT => Request::Quit,
         opcode::LOAD_GEN => Request::LoadGen { spec: r.string("gen spec")? },
         opcode::SSSP => {
@@ -654,6 +715,22 @@ pub fn encode_response(resp: &Response) -> (u8, Vec<u8>) {
                 push_u64(&mut buf, *value);
             }
             (opcode::STATS_REPLY, buf)
+        }
+        Response::Health(h) => {
+            push_str(&mut buf, &h.status);
+            for v in [
+                h.workers,
+                h.healthy,
+                h.poisoned,
+                h.permanently_degraded,
+                h.recycles_total,
+                h.watchdog_cancelled,
+                h.quarantined_files,
+            ] {
+                push_u64(&mut buf, v);
+            }
+            buf.push(u8::from(h.draining));
+            (opcode::HEALTH_REPLY, buf)
         }
         Response::Summary(s) => {
             push_u64(&mut buf, s.fingerprint);
@@ -727,6 +804,29 @@ pub fn decode_response(op: u8, payload: &[u8]) -> Result<Response, String> {
                 pairs.push((name, value));
             }
             Response::Stats(ServerStats { pairs })
+        }
+        opcode::HEALTH_REPLY => {
+            let status = r.string("health status")?;
+            let mut counters = [0u64; 7];
+            for c in counters.iter_mut() {
+                *c = r.u64("health counter")?;
+            }
+            let draining = match r.u8("draining flag")? {
+                0 => false,
+                1 => true,
+                other => return Err(format!("draining flag must be 0/1, got {other}")),
+            };
+            Response::Health(HealthReport {
+                status,
+                workers: counters[0],
+                healthy: counters[1],
+                poisoned: counters[2],
+                permanently_degraded: counters[3],
+                recycles_total: counters[4],
+                watchdog_cancelled: counters[5],
+                quarantined_files: counters[6],
+                draining,
+            })
         }
         opcode::SUMMARY => {
             let fingerprint = r.u64("fingerprint")?;
@@ -860,8 +960,10 @@ mod tests {
         let requests = [
             Request::Ping,
             Request::Stats,
+            Request::Health,
             Request::Hold,
             Request::Release,
+            Request::Drain,
             Request::Quit,
             Request::LoadGen { spec: "grid:8x8".into() },
             sample_sssp(),
@@ -881,6 +983,8 @@ mod tests {
         }
         // Text grammar covers the same vocabulary.
         assert_eq!(parse_request("PING").unwrap(), Request::Ping);
+        assert_eq!(parse_request("HEALTH").unwrap(), Request::Health);
+        assert_eq!(parse_request("DRAIN").unwrap(), Request::Drain);
         assert_eq!(
             parse_request("LOAD GEN grid:8x8").unwrap(),
             Request::LoadGen { spec: "grid:8x8".into() }
@@ -904,6 +1008,17 @@ mod tests {
             Response::Error { code: code::UNKNOWN_GRAPH, message: "no such graph".into() },
             Response::Stats(ServerStats {
                 pairs: vec![("shed".into(), 2), ("completed".into(), 9)],
+            }),
+            Response::Health(HealthReport {
+                status: "degraded".into(),
+                workers: 4,
+                healthy: 2,
+                poisoned: 1,
+                permanently_degraded: 1,
+                recycles_total: 7,
+                watchdog_cancelled: 3,
+                quarantined_files: 2,
+                draining: true,
             }),
             Response::Summary(Summary {
                 fingerprint: 7,
@@ -978,6 +1093,33 @@ mod tests {
         let mut long = payload.clone();
         long.push(0);
         assert!(decode_response(op, &long).is_err());
+
+        let (op, payload) = encode_response(&Response::Health(HealthReport {
+            status: "ok".into(),
+            workers: 2,
+            healthy: 2,
+            ..HealthReport::default()
+        }));
+        for cut in 0..payload.len() {
+            assert!(decode_response(op, &payload[..cut]).is_err(), "health cut {cut}");
+        }
+        // The draining byte is validated, not just truncation-checked.
+        let mut bad = payload.clone();
+        *bad.last_mut().unwrap() = 2;
+        assert!(decode_response(op, &bad).is_err(), "draining flag must be 0/1");
+    }
+
+    #[test]
+    fn health_renders_as_one_probe_line() {
+        let lines = render_response(&Response::Health(HealthReport {
+            status: "ok".into(),
+            workers: 2,
+            healthy: 2,
+            ..HealthReport::default()
+        }));
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].starts_with("HEALTH status=ok workers=2 healthy=2 "));
+        assert!(lines[0].ends_with("draining=false"));
     }
 
     #[test]

@@ -22,11 +22,24 @@
 //! `hold`/`release` freeze worker dispatch (submissions still admit and
 //! queue) — a debug-only lever the chaos tests use to fill the queue
 //! deterministically without racing the workers.
+//!
+//! Two ways the queue stops admitting, with different client-facing
+//! meanings:
+//!
+//! * [`drain`](AdmissionQueue::drain) — graceful shutdown in progress.
+//!   Submissions are shed with the **live** `retry_after_ms` hint (the
+//!   service is coming back; retry against the restarted instance), and
+//!   the waiting jobs are handed back to the caller to answer.
+//! * [`shutdown`](AdmissionQueue::shutdown) — the service is gone.
+//!   Submissions are shed with the sentinel hint `0` ("do not retry
+//!   here") and poppers wake with `None`.
 
 use std::collections::VecDeque;
 // lint:allow(hot-path-lock): admission control is request-rate, not per-edge
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Duration;
+
+use crate::lock;
 
 /// Assumed per-job service time before the first completion is observed.
 pub const DEFAULT_SERVICE_MS: u64 = 50;
@@ -40,6 +53,8 @@ struct State<T> {
     total_service_ms: u64,
     /// Dispatch frozen (debug HOLD)?
     held: bool,
+    /// Graceful drain in progress: shed submissions with a live hint.
+    draining: bool,
     shutdown: bool,
     /// Refused submissions (monotonic).
     shed: u64,
@@ -68,6 +83,7 @@ impl<T> AdmissionQueue<T> {
                 completed: 0,
                 total_service_ms: 0,
                 held: false,
+                draining: false,
                 shutdown: false,
                 shed: 0,
                 admitted: 0,
@@ -78,14 +94,15 @@ impl<T> AdmissionQueue<T> {
     }
 
     /// Submit a job. Admitted jobs queue in FIFO order; a submission
-    /// past the bound is shed with the `retry_after_ms` hint, and a
-    /// submission after [`shutdown`](Self::shutdown) is shed with hint 0.
+    /// past the bound — or during a [`drain`](Self::drain) — is shed
+    /// with the live `retry_after_ms` hint, and a submission after
+    /// [`shutdown`](Self::shutdown) is shed with hint 0.
     pub fn submit(&self, job: T) -> Result<(), u64> {
-        let mut s = self.state.lock().expect("admission queue poisoned");
+        let mut s = lock::recover(&self.state);
         if s.shutdown {
             return Err(0);
         }
-        if s.queue.len() >= self.capacity {
+        if s.draining || s.queue.len() >= self.capacity {
             s.shed += 1;
             return Err(Self::backoff_hint(&s));
         }
@@ -101,7 +118,7 @@ impl<T> AdmissionQueue<T> {
     /// without shedding anything. Always at least 1 ms, so a hint can
     /// never collide with the shutdown sentinel `Err(0)`.
     pub fn retry_hint(&self) -> u64 {
-        Self::backoff_hint(&self.state.lock().expect("admission queue poisoned"))
+        Self::backoff_hint(&lock::recover(&self.state))
     }
 
     /// `max(1, avg_service_ms × (waiting + running + 1))` over `s`.
@@ -118,7 +135,7 @@ impl<T> AdmissionQueue<T> {
     /// `None`). The popped job counts as running until
     /// [`finish`](Self::finish).
     pub fn pop(&self) -> Option<T> {
-        let mut s = self.state.lock().expect("admission queue poisoned");
+        let mut s = lock::recover(&self.state);
         loop {
             if s.shutdown {
                 return None;
@@ -129,14 +146,24 @@ impl<T> AdmissionQueue<T> {
                     return Some(job);
                 }
             }
-            s = self.ready.wait(s).expect("admission queue poisoned");
+            s = self.wait_recovered(s);
         }
+    }
+
+    /// `Condvar::wait` with the same poison recovery as
+    /// [`crate::lock::recover`]: a panic in another holder must not take
+    /// down the worker loop.
+    fn wait_recovered<'a>(&'a self, guard: MutexGuard<'a, State<T>>) -> MutexGuard<'a, State<T>> {
+        self.ready.wait(guard).unwrap_or_else(|poisoned| {
+            self.state.clear_poison();
+            poisoned.into_inner()
+        })
     }
 
     /// Record a popped job's completion and its service time (feeds the
     /// shed hint's running average).
     pub fn finish(&self, service: Duration) {
-        let mut s = self.state.lock().expect("admission queue poisoned");
+        let mut s = lock::recover(&self.state);
         s.running = s.running.saturating_sub(1);
         s.completed += 1;
         s.total_service_ms += service.as_millis() as u64;
@@ -144,24 +171,48 @@ impl<T> AdmissionQueue<T> {
 
     /// Freeze dispatch: `pop` blocks even with queued jobs.
     pub fn hold(&self) {
-        self.state.lock().expect("admission queue poisoned").held = true;
+        lock::recover(&self.state).held = true;
     }
 
     /// Unfreeze dispatch.
     pub fn release(&self) {
-        self.state.lock().expect("admission queue poisoned").held = false;
+        lock::recover(&self.state).held = false;
         self.ready.notify_all();
+    }
+
+    /// Begin a graceful drain: stop admitting (submissions shed with the
+    /// live hint — see module docs) and hand back every waiting job so
+    /// the caller can answer its client. Running jobs are untouched.
+    pub fn drain(&self) -> Vec<T> {
+        let mut s = lock::recover(&self.state);
+        s.draining = true;
+        let shed: Vec<T> = s.queue.drain(..).collect();
+        s.shed += shed.len() as u64;
+        drop(s);
+        self.ready.notify_all();
+        shed
+    }
+
+    /// Whether a drain is in progress.
+    pub fn is_draining(&self) -> bool {
+        lock::recover(&self.state).draining
+    }
+
+    /// Jobs popped but not yet finished (the drain loop polls this down
+    /// to zero).
+    pub fn running(&self) -> usize {
+        lock::recover(&self.state).running
     }
 
     /// Wake all poppers with `None`; subsequent submissions are shed.
     pub fn shutdown(&self) {
-        self.state.lock().expect("admission queue poisoned").shutdown = true;
+        lock::recover(&self.state).shutdown = true;
         self.ready.notify_all();
     }
 
     /// `(waiting, running, shed, admitted)` counters for STATS.
     pub fn counters(&self) -> (u64, u64, u64, u64) {
-        let s = self.state.lock().expect("admission queue poisoned");
+        let s = lock::recover(&self.state);
         (s.queue.len() as u64, s.running as u64, s.shed, s.admitted)
     }
 }
@@ -239,6 +290,40 @@ mod tests {
         q.shutdown();
         assert_eq!(popper.join().unwrap(), None::<i32>);
         assert_eq!(q.submit(1), Err(0));
+    }
+
+    /// The satellite fix: during a drain the service is *coming back*,
+    /// so shed submissions must carry the live retry hint, never the
+    /// shutdown sentinel 0.
+    #[test]
+    fn drain_sheds_waiting_jobs_and_submissions_get_a_live_hint() {
+        let q = AdmissionQueue::new(4);
+        q.hold();
+        assert!(q.submit(1).is_ok());
+        assert!(q.submit(2).is_ok());
+        let shed = q.drain();
+        assert_eq!(shed, vec![1, 2], "waiting jobs come back in FIFO order");
+        assert!(q.is_draining());
+        // Queue now empty, nothing running: live hint = 50 × (0+0+1).
+        let hint = q.submit(3).unwrap_err();
+        assert_eq!(hint, DEFAULT_SERVICE_MS);
+        assert!(hint > 0, "drain must never shed with the shutdown sentinel");
+        let (waiting, _, shed_count, admitted) = q.counters();
+        assert_eq!((waiting, shed_count, admitted), (0, 3, 2));
+        // Full shutdown still sheds with the sentinel.
+        q.shutdown();
+        assert_eq!(q.submit(4), Err(0));
+    }
+
+    #[test]
+    fn drain_leaves_running_jobs_untouched() {
+        let q = AdmissionQueue::new(4);
+        assert!(q.submit(1).is_ok());
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.drain().is_empty());
+        assert_eq!(q.running(), 1, "in-flight work survives the drain");
+        q.finish(Duration::from_millis(1));
+        assert_eq!(q.running(), 0);
     }
 
     #[test]

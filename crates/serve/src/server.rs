@@ -16,10 +16,20 @@
 //!   never wait behind an unbounded backlog.
 //! - Each job runs under the [`BatchRunner`] degradation ladder (panic →
 //!   one sequential-fused retry). A worker that observes a panic
-//!   degradation marks itself **poisoned**: every subsequent job it
-//!   runs uses the sequential-fused path and carries a degradation
-//!   notice in its reply, so a latent parallel bug turns into visible,
-//!   correct service instead of a crash loop.
+//!   degradation marks itself **poisoned** and retires; the
+//!   [`Supervisor`] respawns the slot with a fresh engine worker after
+//!   an exponential-backoff cooldown, so a latent parallel bug costs a
+//!   cooldown instead of degrading the slot for the process lifetime.
+//!   A slot that poisons more than `max_recycles` times is pinned
+//!   **permanently degraded** (sticky sequential-fused) — the escape
+//!   hatch for deterministic panics. Running jobs publish epoch
+//!   progress through a [`ProgressGauge`]; the supervisor's heartbeat
+//!   watchdog cancels a job that stops advancing and retires a worker
+//!   that wedges below its budget checks.
+//! - **Graceful drain** (SIGTERM in the binary, the debug `DRAIN` op
+//!   here): admission stops with live retry hints, waiting jobs are
+//!   shed, in-flight jobs are cancelled into certified partials whose
+//!   checkpoints persist, and [`ServerHandle::drain`] bounds the wait.
 //!
 //! ## Crash-safe restart
 //!
@@ -28,7 +38,11 @@
 //! the `GBSSMAN1` manifest maintained in lockstep by the batch layer. A
 //! killed server restarted on the same directory resumes interrupted
 //! jobs from their manifests bit-identically — certified by matching
-//! [`crate::protocol::dist_digest`] values.
+//! [`crate::protocol::dist_digest`] values. Startup (and every resume)
+//! runs checkpoint **quarantine**: a torn manifest or corrupt
+//! `ckpt-*.bin` is moved into the graph's `quarantine/` subdirectory
+//! and the manifest is rebuilt from the surviving valid files, so
+//! corruption costs one file, never the service.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -43,15 +57,18 @@ use std::time::{Duration, Instant};
 use graphdata::CsrGraph;
 use sssp_core::manifest::CheckpointManifest;
 use sssp_core::{
-    BatchConfig, BatchOutcome, BatchRunner, GuardConfig, Implementation, SsspError,
+    BatchConfig, BatchOutcome, BatchRunner, CancelToken, GuardConfig, Implementation,
+    ProgressGauge, SsspError,
 };
 use taskpool::ThreadPool;
 
+use crate::lock;
 use crate::protocol::{
-    self, code, dist_digest, parse_gen_spec, Partial, Request, Response, ServerStats,
-    SsspRequest, Summary, FRAME_SOH, TEXT_TERMINATOR,
+    self, code, dist_digest, parse_gen_spec, HealthReport, Partial, Request, Response,
+    ServerStats, SsspRequest, Summary, FRAME_SOH, TEXT_TERMINATOR,
 };
 use crate::queue::AdmissionQueue;
+use crate::supervisor::{PoisonVerdict, Supervisor, SupervisorConfig};
 
 /// Tunables of one [`start`]ed server.
 #[derive(Debug, Clone)]
@@ -85,6 +102,8 @@ pub struct ServerConfig {
     pub default_delta: f64,
     /// Implementation applied when a request does not name one.
     pub default_impl: Implementation,
+    /// Worker recycling and heartbeat-watchdog tunables.
+    pub supervisor: SupervisorConfig,
 }
 
 impl Default for ServerConfig {
@@ -103,6 +122,7 @@ impl Default for ServerConfig {
             guard: GuardConfig::default(),
             default_delta: 1.0,
             default_impl: Implementation::Fused,
+            supervisor: SupervisorConfig::default(),
         }
     }
 }
@@ -121,6 +141,7 @@ struct Gauges {
     jobs_resumed: u64,
     degraded_workers: u64,
     writer_timeouts: u64,
+    files_quarantined: u64,
 }
 
 /// One admitted job: the request plus the channel its handler waits on.
@@ -140,18 +161,24 @@ struct Shared {
     queue: AdmissionQueue<Job>,
     // lint:allow(hot-path-lock): counters are touched per request/connection
     gauges: Mutex<Gauges>,
+    supervisor: Supervisor,
+    /// Every worker thread ever spawned into a slot (initial plus
+    /// recycled generations); drained and joined at shutdown.
+    // lint:allow(hot-path-lock): touched at spawn/shutdown only
+    worker_handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Shared {
     fn is_shutdown(&self) -> bool {
-        self.gauges.lock().expect("gauges").shutdown
+        lock::recover(&self.gauges).shutdown
     }
 
     fn stats(&self) -> ServerStats {
         let (waiting, running, shed, admitted) = self.queue.counters();
         let cache = self.cache.stats();
-        let graphs = self.graphs.lock().expect("graphs").len() as u64;
-        let g = self.gauges.lock().expect("gauges");
+        let graphs = lock::recover(&self.graphs).len() as u64;
+        let health = self.supervisor.health();
+        let g = lock::recover(&self.gauges);
         ServerStats {
             pairs: vec![
                 ("graphs_loaded".into(), graphs),
@@ -171,8 +198,50 @@ impl Shared {
                 ("cache_hits".into(), cache.hits as u64),
                 ("cache_evictions".into(), cache.evictions as u64),
                 ("cache_resident_bytes".into(), cache.resident_bytes as u64),
+                ("workers_healthy".into(), health.healthy),
+                ("workers_poisoned".into(), health.poisoned),
+                ("workers_permanently_degraded".into(), health.permanently_degraded),
+                ("worker_recycles".into(), health.recycles_total),
+                ("watchdog_cancelled".into(), health.watchdog_cancelled),
+                ("files_quarantined".into(), g.files_quarantined),
             ],
         }
+    }
+
+    fn health_report(&self) -> HealthReport {
+        let counts = self.supervisor.health();
+        let draining = self.queue.is_draining();
+        let status = if draining {
+            "draining"
+        } else if counts.poisoned + counts.permanently_degraded > 0 {
+            "degraded"
+        } else {
+            "ok"
+        };
+        HealthReport {
+            status: status.into(),
+            workers: counts.workers,
+            healthy: counts.healthy,
+            poisoned: counts.poisoned,
+            permanently_degraded: counts.permanently_degraded,
+            recycles_total: counts.recycles_total,
+            watchdog_cancelled: counts.watchdog_cancelled,
+            quarantined_files: lock::recover(&self.gauges).files_quarantined,
+            draining,
+        }
+    }
+
+    /// Enter the graceful drain: admission sheds with live hints from
+    /// here on, every waiting job is answered `OVERLOADED` right now,
+    /// and in-flight jobs are cancelled so they stop at their next epoch
+    /// boundary as certified (and, with a checkpoint dir, persisted)
+    /// partials. Idempotent.
+    fn begin_drain(&self) {
+        let hint = self.queue.retry_hint();
+        for job in self.queue.drain() {
+            let _ = job.reply.send(Response::Overloaded { retry_after_ms: hint.max(1) });
+        }
+        self.supervisor.cancel_active();
     }
 }
 
@@ -211,15 +280,16 @@ fn classify_failure(message: &str) -> u8 {
 }
 
 /// Run one admitted job on a worker. `poisoned` is the worker's sticky
-/// degradation state.
-fn run_job(shared: &Shared, req: &SsspRequest, poisoned: &mut Option<String>) -> Response {
-    let Some(g) = shared
-        .graphs
-        .lock()
-        .expect("graphs")
-        .get(&req.fingerprint)
-        .cloned()
-    else {
+/// degradation state; `slot`/`generation` identify the worker to the
+/// supervisor for heartbeat registration.
+fn run_job(
+    shared: &Shared,
+    req: &SsspRequest,
+    poisoned: &mut Option<String>,
+    slot: usize,
+    generation: u64,
+) -> Response {
+    let Some(g) = lock::recover(&shared.graphs).get(&req.fingerprint).cloned() else {
         return Response::Error {
             code: code::UNKNOWN_GRAPH,
             message: format!("no loaded graph has fingerprint {:016x}", req.fingerprint),
@@ -263,16 +333,30 @@ fn run_job(shared: &Shared, req: &SsspRequest, poisoned: &mut Option<String>) ->
         .and_then(|d| CheckpointManifest::load_or_default(d).ok())
         .is_some_and(|m| m.find_source(req.fingerprint, req.source).is_some());
 
+    // Register with the heartbeat watchdog: the run publishes epoch
+    // progress through the gauge, and the token is the supervisor's
+    // cancel lever (stall verdicts, graceful drain).
+    let token = CancelToken::new();
+    let gauge = ProgressGauge::new();
+    shared.supervisor.job_started(
+        slot,
+        generation,
+        token.clone(),
+        gauge.clone(),
+        req.deadline_ms.map(Duration::from_millis),
+    );
+
     let runner = BatchRunner::new(BatchConfig {
         implementation,
         delta,
         workers: 1,
         queue_capacity: 1,
         deadline: req.deadline_ms.map(Duration::from_millis),
-        cancel: None,
+        cancel: Some(token),
         guard,
         pool_threads: shared.cfg.pool_threads,
         checkpoint_dir,
+        progress: Some(gauge),
     });
     let report = runner.run_shared(
         &g,
@@ -281,6 +365,9 @@ fn run_job(shared: &Shared, req: &SsspRequest, poisoned: &mut Option<String>) ->
         shared.pool.as_ref(),
         shared.pool_degraded.clone(),
     );
+    if !report.quarantined.is_empty() {
+        lock::recover(&shared.gauges).files_quarantined += report.quarantined.len() as u64;
+    }
     let Some((_, outcome)) = report.jobs.into_iter().next() else {
         return Response::Error {
             code: code::JOB_FAILED,
@@ -310,10 +397,10 @@ fn outcome_response(
             if degraded_by_panic && poisoned.is_none() {
                 if let Some(msg) = &degraded {
                     *poisoned = Some(msg.clone());
-                    shared.gauges.lock().expect("gauges").degraded_workers += 1;
+                    lock::recover(&shared.gauges).degraded_workers += 1;
                 }
             }
-            let mut g_ = shared.gauges.lock().expect("gauges");
+            let mut g_ = lock::recover(&shared.gauges);
             g_.jobs_completed += 1;
             if resuming {
                 g_.jobs_resumed += 1;
@@ -334,7 +421,7 @@ fn outcome_response(
             })
         }
         BatchOutcome::Partial { checkpoint, reason, saved_to } => {
-            shared.gauges.lock().expect("gauges").jobs_partial += 1;
+            lock::recover(&shared.gauges).jobs_partial += 1;
             Response::Partial(Partial {
                 source: req.source,
                 delta: checkpoint.delta,
@@ -347,13 +434,13 @@ fn outcome_response(
             })
         }
         BatchOutcome::Failed { error, panicked } => {
-            shared.gauges.lock().expect("gauges").jobs_failed += 1;
+            lock::recover(&shared.gauges).jobs_failed += 1;
             // Same typed-marker rule as above: an error whose *text*
             // contains "panic" (a checkpoint path, a user string) must
             // not poison a healthy worker.
             if panicked && poisoned.is_none() {
                 *poisoned = Some(error.clone());
-                shared.gauges.lock().expect("gauges").degraded_workers += 1;
+                lock::recover(&shared.gauges).degraded_workers += 1;
             }
             Response::Error { code: classify_failure(&error), message: error }
         }
@@ -379,7 +466,7 @@ fn handle_load(shared: &Shared, spec: &str) -> Response {
     };
     let fingerprint = g.fingerprint();
     let (vertices, edges) = (g.num_vertices() as u64, g.num_edges() as u64);
-    let mut graphs = shared.graphs.lock().expect("graphs");
+    let mut graphs = lock::recover(&shared.graphs);
     if !graphs.contains_key(&fingerprint) {
         if graphs.len() >= shared.cfg.max_graphs {
             return Response::Error {
@@ -404,20 +491,21 @@ fn dispatch(shared: &Shared, request: Request) -> (Response, bool) {
         Request::Ping => (Response::Pong, false),
         Request::Quit => (Response::Done, true),
         Request::Stats => (Response::Stats(shared.stats()), false),
-        Request::Hold | Request::Release => {
+        Request::Health => (Response::Health(shared.health_report()), false),
+        Request::Hold | Request::Release | Request::Drain => {
             if !shared.cfg.debug_commands {
                 return (
                     Response::Error {
                         code: code::DEBUG_DISABLED,
-                        message: "HOLD/RELEASE require --debug-commands".into(),
+                        message: "HOLD/RELEASE/DRAIN require --debug-commands".into(),
                     },
                     false,
                 );
             }
-            if matches!(request, Request::Hold) {
-                shared.queue.hold();
-            } else {
-                shared.queue.release();
+            match request {
+                Request::Hold => shared.queue.hold(),
+                Request::Release => shared.queue.release(),
+                _ => shared.begin_drain(),
             }
             (Response::Done, false)
         }
@@ -449,14 +537,46 @@ fn dispatch(shared: &Shared, request: Request) -> (Response, bool) {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+/// One engine worker generation serving `slot`. The sticky `poisoned`
+/// marker lives and dies with the thread: on a typed panic the worker
+/// reports to the supervisor and usually retires (the supervisor
+/// respawns the slot with a clean engine after its cooldown); only a
+/// permanently-degraded verdict keeps the marker — and the
+/// sequential-fused pinning — for the rest of the process.
+fn worker_loop(shared: &Shared, slot: usize, generation: u64) {
     let mut poisoned: Option<String> = None;
     while let Some(job) = shared.queue.pop() {
+        let was_poisoned = poisoned.is_some();
         let started = Instant::now();
-        let response = run_job(shared, &job.request, &mut poisoned);
+        let response = run_job(shared, &job.request, &mut poisoned, slot, generation);
         shared.queue.finish(started.elapsed());
+        // The watchdog's verdict on the job that just came back: a
+        // cancelled heartbeat means this worker stalled mid-run and is
+        // suspect even though it eventually returned.
+        if shared.supervisor.job_finished(slot, generation) && poisoned.is_none() {
+            poisoned = Some("watchdog: job heartbeat stalled".into());
+            lock::recover(&shared.gauges).degraded_workers += 1;
+        }
         // A dead handler (client gone) just drops the reply.
         let _ = job.reply.send(response);
+        if poisoned.is_some() && !was_poisoned {
+            let reason = poisoned.clone().unwrap_or_default();
+            if shared.supervisor.report_poisoned(slot, generation, &reason)
+                == PoisonVerdict::Retire
+            {
+                // The supervisor respawns this slot after its cooldown;
+                // a fresh thread means a clean, unpinned engine.
+                return;
+            }
+            // KeepServing: the slot is permanently degraded — keep the
+            // sticky marker and serve sequential-fused forever.
+        }
+        if !shared.supervisor.is_current(slot, generation) {
+            // Abandoned by the watchdog as wedged and already replaced:
+            // the reply above was still valid, but this thread must bow
+            // out rather than compete with its successor.
+            return;
+        }
     }
 }
 
@@ -492,7 +612,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     };
     if let Err(e) = result {
         if is_timeout(&e) {
-            shared.gauges.lock().expect("gauges").writer_timeouts += 1;
+            lock::recover(&shared.gauges).writer_timeouts += 1;
         }
     }
 }
@@ -551,7 +671,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -565,18 +685,57 @@ impl ServerHandle {
         self.shared.stats()
     }
 
+    /// Health snapshot, equivalent to a HEALTH request.
+    pub fn health(&self) -> HealthReport {
+        self.shared.health_report()
+    }
+
+    /// Enter the graceful drain (see [`ServerHandle::drain`] for the
+    /// bounded, blocking variant). Idempotent.
+    pub fn begin_drain(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// Whether a drain has been requested — by [`ServerHandle::begin_drain`]
+    /// or by a wire `DRAIN` op. The binary's signal loop polls this.
+    pub fn drain_requested(&self) -> bool {
+        self.shared.queue.is_draining()
+    }
+
+    /// Graceful drain with a deadline: stop admitting (waiting jobs are
+    /// shed with live retry hints), cancel in-flight jobs into certified
+    /// partials, wait up to `deadline` for them to reach their next
+    /// epoch boundary, then shut down. Returns whether every in-flight
+    /// job settled within the deadline.
+    pub fn drain(self, deadline: Duration) -> bool {
+        self.shared.begin_drain();
+        let start = Instant::now();
+        while self.shared.queue.running() > 0 && start.elapsed() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let clean = self.shared.queue.running() == 0;
+        self.shutdown();
+        clean
+    }
+
     /// Stop accepting, drain workers, and join the service threads.
     /// Queued-but-unstarted jobs are answered with a shutting-down
     /// error; running jobs finish.
     pub fn shutdown(mut self) {
-        self.shared.gauges.lock().expect("gauges").shutdown = true;
+        lock::recover(&self.shared.gauges).shutdown = true;
         self.shared.queue.shutdown();
         // Wake the accept loop so it observes the flag.
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept.take() {
             let _ = t.join();
         }
-        for t in self.workers.drain(..) {
+        // The supervisor joins before the workers so no new generation
+        // can be spawned after the handle list is drained.
+        if let Some(t) = self.supervisor.take() {
+            let _ = t.join();
+        }
+        let handles: Vec<_> = lock::recover(&self.shared.worker_handles).drain(..).collect();
+        for t in handles {
             let _ = t.join();
         }
     }
@@ -599,6 +758,17 @@ pub fn start(cfg: ServerConfig, addr: impl ToSocketAddrs) -> std::io::Result<Ser
         Some(bytes) => Arc::new(sssp_core::SplitCache::with_byte_budget(bytes)),
         None => Arc::new(sssp_core::SplitCache::new()),
     };
+    // Startup quarantine pass: every per-graph checkpoint subdir is
+    // checked, torn manifests and corrupt ckpt files are moved to
+    // `quarantine/`, and the manifests are rebuilt from the survivors —
+    // so a crash that tore a file delays startup by one scan instead of
+    // making the directory unservable.
+    let quarantined_at_startup = match cfg.checkpoint_dir.as_deref() {
+        Some(root) => quarantine_scan(root),
+        None => 0,
+    };
+    let workers = cfg.workers.max(1);
+    let supervisor_cfg = cfg.supervisor.clone();
     let shared = Arc::new(Shared {
         queue: AdmissionQueue::new(cfg.queue_capacity),
         // lint:allow(hot-path-lock): registry is touched once per request
@@ -607,15 +777,37 @@ pub fn start(cfg: ServerConfig, addr: impl ToSocketAddrs) -> std::io::Result<Ser
         pool,
         pool_degraded,
         // lint:allow(hot-path-lock): counters are touched per request/connection
-        gauges: Mutex::new(Gauges::default()),
+        gauges: Mutex::new(Gauges {
+            files_quarantined: quarantined_at_startup,
+            ..Gauges::default()
+        }),
+        supervisor: Supervisor::new(workers, supervisor_cfg),
+        // lint:allow(hot-path-lock): touched at spawn/shutdown only
+        worker_handles: Mutex::new(Vec::new()),
         cfg,
     });
 
-    let mut workers = Vec::new();
-    for _ in 0..shared.cfg.workers.max(1) {
-        let shared = Arc::clone(&shared);
-        workers.push(std::thread::spawn(move || worker_loop(&shared)));
+    for slot in 0..workers {
+        spawn_worker(&shared, slot, 0);
     }
+
+    // The supervisor thread: ticks the heartbeat watchdog and respawns
+    // poisoned slots whose cooldown has elapsed.
+    let supervisor = {
+        let shared = Arc::clone(&shared);
+        let interval = shared.cfg.supervisor.watchdog_interval.max(Duration::from_millis(1));
+        std::thread::spawn(move || loop {
+            std::thread::sleep(interval);
+            if shared.is_shutdown() {
+                return;
+            }
+            let now = Instant::now();
+            shared.supervisor.scan(now);
+            for (slot, generation) in shared.supervisor.claim_respawns(now) {
+                spawn_worker(&shared, slot, generation);
+            }
+        })
+    };
 
     let accept = {
         let shared = Arc::clone(&shared);
@@ -626,7 +818,7 @@ pub fn start(cfg: ServerConfig, addr: impl ToSocketAddrs) -> std::io::Result<Ser
                 }
                 let Ok(stream) = stream else { continue };
                 let over = {
-                    let mut g = shared.gauges.lock().expect("gauges");
+                    let mut g = lock::recover(&shared.gauges);
                     if g.connections_open >= shared.cfg.max_connections as u64 {
                         true
                     } else {
@@ -651,13 +843,59 @@ pub fn start(cfg: ServerConfig, addr: impl ToSocketAddrs) -> std::io::Result<Ser
                 let shared2 = Arc::clone(&shared);
                 std::thread::spawn(move || {
                     handle_connection(&shared2, stream);
-                    shared2.gauges.lock().expect("gauges").connections_open -= 1;
+                    lock::recover(&shared2.gauges).connections_open -= 1;
                 });
             }
         })
     };
 
-    Ok(ServerHandle { addr, shared, accept: Some(accept), workers })
+    Ok(ServerHandle { addr, shared, accept: Some(accept), supervisor: Some(supervisor) })
+}
+
+/// Spawn one engine worker generation into `slot` and record its handle
+/// for shutdown joining.
+fn spawn_worker(shared: &Arc<Shared>, slot: usize, generation: u64) {
+    let shared2 = Arc::clone(shared);
+    let handle = std::thread::spawn(move || worker_loop(&shared2, slot, generation));
+    lock::recover(&shared.worker_handles).push(handle);
+}
+
+/// Run [`sssp_core::manifest::recover_directory`] over every per-graph
+/// checkpoint subdir under `root`; returns how many files were moved to
+/// quarantine.
+fn quarantine_scan(root: &std::path::Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(root) else { return 0 };
+    let mut quarantined = 0u64;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        // Per-graph subdirs are 16 lowercase hex digits (the graph
+        // fingerprint); anything else — including `quarantine/` itself —
+        // is not ours to touch.
+        let is_graph_dir = path.is_dir()
+            && entry
+                .file_name()
+                .to_str()
+                .is_some_and(|n| n.len() == 16 && n.bytes().all(|b| b.is_ascii_hexdigit()));
+        if !is_graph_dir {
+            continue;
+        }
+        match sssp_core::manifest::recover_directory(&path) {
+            Ok(report) => {
+                for q in &report.quarantined {
+                    eprintln!(
+                        "sssp-serve: quarantined corrupt checkpoint data: {}",
+                        q.display()
+                    );
+                }
+                quarantined += report.quarantined.len() as u64;
+            }
+            Err(e) => eprintln!(
+                "sssp-serve: checkpoint recovery failed for {}: {e}",
+                path.display()
+            ),
+        }
+    }
+    quarantined
 }
 
 #[cfg(test)]
@@ -831,6 +1069,9 @@ mod tests {
             queue: AdmissionQueue::new(queue_capacity),
             // lint:allow(hot-path-lock): test fixture mirroring the gauges lock
             gauges: Mutex::new(Gauges::default()),
+            supervisor: Supervisor::new(1, SupervisorConfig::default()),
+            // lint:allow(hot-path-lock): test fixture mirroring the handle list lock
+            worker_handles: Mutex::new(Vec::new()),
         }
     }
 
@@ -894,6 +1135,142 @@ mod tests {
         let g = shared.gauges.lock().unwrap();
         assert_eq!(g.degraded_workers, 1);
         assert_eq!(g.jobs_failed, 2);
+    }
+
+    #[test]
+    fn health_probe_drain_op_and_live_hints_walk_the_drain_path() {
+        let cfg = ServerConfig { debug_commands: true, workers: 1, ..Default::default() };
+        let server = start(cfg, "127.0.0.1:0").unwrap();
+        let mut c = connect_text(server.addr());
+        let fp = load_grid(&mut c);
+        let h = server.health();
+        assert_eq!(h.status, "ok");
+        assert_eq!((h.workers, h.healthy, h.draining), (1, 1, false));
+        let probe = ask(&mut c, "HEALTH");
+        assert!(probe[0].starts_with("HEALTH status=ok workers=1 healthy=1 "), "{probe:?}");
+
+        // Park a job in the queue behind HOLD, then drain: the waiting
+        // job must be answered with a *live* retry hint, never the
+        // shutdown sentinel 0.
+        assert_eq!(ask(&mut c, "HOLD"), ["DONE"]);
+        let addr = server.addr();
+        let waiter = std::thread::spawn(move || {
+            let mut c2 = connect_text(addr);
+            ask(&mut c2, &format!("SSSP {fp:016x} 0"))
+        });
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.stats().get("queue_depth") != Some(1) {
+            assert!(Instant::now() < deadline, "job never queued");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(ask(&mut c, "DRAIN"), ["DONE"]);
+        let shed = waiter.join().unwrap();
+        assert!(shed[0].starts_with("OVERLOADED retry_after_ms="), "{shed:?}");
+        let hint: u64 = shed[0].split('=').nth(1).unwrap().parse().unwrap();
+        assert!(hint >= 1, "shed jobs get a live hint, not the shutdown sentinel");
+
+        // New submissions shed immediately, also with a live hint, and
+        // control traffic stays responsive.
+        let refused = ask(&mut c, &format!("SSSP {fp:016x} 0"));
+        assert!(refused[0].starts_with("OVERLOADED retry_after_ms="), "{refused:?}");
+        assert_eq!(ask(&mut c, "PING"), ["PONG"]);
+        let h = server.health();
+        assert_eq!(h.status, "draining");
+        assert!(h.draining);
+        assert!(server.drain_requested());
+        // Nothing is running, so the bounded drain completes clean.
+        assert!(server.drain(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn drain_is_debug_gated() {
+        let server = start(ServerConfig::default(), "127.0.0.1:0").unwrap();
+        let mut c = connect_text(server.addr());
+        let refused = ask(&mut c, "DRAIN");
+        assert!(
+            refused[0].starts_with(&format!("ERROR code={}", code::DEBUG_DISABLED)),
+            "{refused:?}"
+        );
+        assert!(!server.drain_requested());
+        server.shutdown();
+    }
+
+    /// The recycling chaos test: a panic-injected worker serves its job
+    /// degraded (sequential-fused retry), retires, and is replaced by a
+    /// fresh worker that serves the *requested* implementation again —
+    /// at every pool width the service runs with.
+    #[test]
+    fn panic_poisoned_worker_is_recycled_and_serves_the_requested_impl_again() {
+        for pool_threads in [1usize, 2, 4] {
+            let cfg = ServerConfig {
+                workers: 1,
+                pool_threads,
+                supervisor: SupervisorConfig {
+                    cooldown: Duration::from_millis(50),
+                    watchdog_interval: Duration::from_millis(5),
+                    ..SupervisorConfig::default()
+                },
+                ..ServerConfig::default()
+            };
+            let server = start(cfg, "127.0.0.1:0").unwrap();
+            let mut c = connect_text(server.addr());
+            let fp = load_grid(&mut c);
+
+            taskpool::fault::arm_panic_after(0);
+            let degraded = ask(&mut c, &format!("SSSP {fp:016x} 0 impl=improved"));
+            taskpool::fault::disarm();
+            assert!(
+                degraded[0].starts_with("DEGRADED"),
+                "injected panic must degrade ({pool_threads} threads): {degraded:?}"
+            );
+            assert!(degraded[1].starts_with("OK "), "{degraded:?}");
+
+            // The worker retired; the supervisor recycles the slot after
+            // its cooldown.
+            let deadline = Instant::now() + Duration::from_secs(20);
+            loop {
+                let stats = server.stats();
+                if stats.get("workers_healthy") == Some(1)
+                    && stats.get("worker_recycles") >= Some(1)
+                {
+                    break;
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "slot never recycled ({pool_threads} threads): {stats:?}"
+                );
+                std::thread::sleep(Duration::from_millis(10));
+            }
+
+            // A later job on the same connection gets the requested
+            // implementation, undegraded.
+            let ok = ask(&mut c, &format!("SSSP {fp:016x} 0 impl=improved"));
+            assert!(
+                ok[0].starts_with("OK "),
+                "recycled worker serves the requested impl ({pool_threads} threads): {ok:?}"
+            );
+            assert_eq!(server.health().status, "ok");
+            server.shutdown();
+        }
+    }
+
+    /// Satellite regression: a handler that panics while holding a
+    /// serve-layer lock poisons the mutex, and the next request still
+    /// gets served over the intact state.
+    #[test]
+    fn panicked_lock_holder_does_not_wedge_later_requests() {
+        let shared = bare_shared(1);
+        lock::recover(&shared.gauges).jobs_completed = 7;
+        taskpool::fault::arm_lock_poison();
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = shared.stats();
+        }));
+        assert!(crashed.is_err(), "armed hook must panic inside stats()");
+        // Whichever lock the injected panic landed on is poisoned now;
+        // the recovery helper still serves the next snapshot.
+        let stats = shared.stats();
+        assert_eq!(stats.get("jobs_completed"), Some(7));
+        assert_eq!(stats.get("files_quarantined"), Some(0));
     }
 
     #[test]

@@ -1,0 +1,513 @@
+//! Worker supervision for the resident service: the state machine that
+//! turns "a worker panicked once" from a process-lifetime degradation
+//! into a transient, observable incident.
+//!
+//! Each engine worker owns one **slot**. Slots walk a four-state
+//! machine:
+//!
+//! ```text
+//! healthy ──panic──▶ poisoned ──cooldown·2^recycles──▶ recycled (healthy,
+//!    ▲                  │                               fresh thread)
+//!    └──────────────────┘
+//! poisoned ──recycles ≥ max_recycles──▶ permanently-degraded
+//! ```
+//!
+//! * **healthy** — the worker serves the requested implementation.
+//! * **poisoned** — the worker saw a typed panic marker
+//!   ([`BatchOutcome`](sssp_core::BatchOutcome) `degraded_by_panic` /
+//!   `panicked`) and retired itself; no thread serves the slot while the
+//!   exponential-backoff cooldown runs.
+//! * **recycled** — the supervisor spawned a fresh worker thread (new
+//!   generation) into the slot; service of the requested implementation
+//!   resumes.
+//! * **permanently-degraded** — the slot poisoned more than
+//!   [`SupervisorConfig::max_recycles`] times; its worker keeps serving,
+//!   sticky on the sequential-fused path, and stops being recycled (the
+//!   escape hatch for a workload that panics deterministically).
+//!
+//! The supervisor also runs the **job heartbeat watchdog**: every
+//! running job registers its [`CancelToken`] and a [`ProgressGauge`]
+//! that the job's [`RunBudget`](sssp_core::RunBudget) bumps at each
+//! epoch check. A job whose gauge stops advancing for
+//! [`SupervisorConfig::heartbeat_grace`] (and which is past any
+//! wall-clock deadline it carries) is cancelled through its token — the
+//! run stops at the next epoch boundary with a certified partial — and
+//! the worker is treated as suspect. A worker that does not even reach
+//! the next epoch boundary (truly wedged inside a kernel) is abandoned:
+//! its slot is re-poisoned and respawned, and the stale thread's later
+//! reports are ignored by generation check.
+//!
+//! The struct is passive shared state plus cheap transitions; the
+//! driving thread (spawned by `server::start`) ticks
+//! [`Supervisor::scan`] and [`Supervisor::claim_respawns`].
+
+use std::sync::Mutex; // lint:allow(hot-path-lock): supervisor control plane, touched per job transition and per tick, never per edge relaxation
+use std::time::{Duration, Instant};
+
+use sssp_core::budget::{CancelToken, ProgressGauge};
+
+use crate::lock;
+
+/// Tunables for worker recycling and the job heartbeat watchdog.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Base cooldown before a poisoned slot is recycled; doubles per
+    /// recycle already served (exponential backoff).
+    pub cooldown: Duration,
+    /// After this many recycles, the next poisoning is permanent: the
+    /// slot keeps its degraded worker and is never recycled again.
+    pub max_recycles: u32,
+    /// How long a running job's progress gauge may stand still (past
+    /// its deadline, if it has one) before the watchdog cancels it.
+    pub heartbeat_grace: Duration,
+    /// How often the supervisor thread ticks.
+    pub watchdog_interval: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            cooldown: Duration::from_millis(200),
+            max_recycles: 5,
+            // Generous by default: epochs are sub-second on everything
+            // the service is sized for, and a false stall verdict
+            // cancels real work.
+            heartbeat_grace: Duration::from_secs(5),
+            watchdog_interval: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Where a slot stands in the supervision state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotHealth {
+    /// A live worker serves the requested implementation.
+    Healthy,
+    /// The worker retired after a panic; the slot awaits its cooldown.
+    Poisoned,
+    /// Recycled too often: the worker keeps serving, sticky
+    /// sequential-fused, and is never recycled again.
+    PermanentlyDegraded,
+}
+
+/// What a worker reporting a panic must do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoisonVerdict {
+    /// Exit the worker loop; the supervisor will respawn the slot after
+    /// its cooldown.
+    Retire,
+    /// Keep serving (sticky sequential-fused): the slot is permanently
+    /// degraded, or the report came from a stale generation.
+    KeepServing,
+}
+
+/// A running job, as the watchdog sees it.
+#[derive(Debug)]
+struct ActiveJob {
+    token: CancelToken,
+    progress: ProgressGauge,
+    started: Instant,
+    deadline: Option<Duration>,
+    last_progress: u64,
+    last_advance: Instant,
+    cancelled_by_watchdog: bool,
+}
+
+#[derive(Debug)]
+struct Slot {
+    health: SlotHealth,
+    /// Why the slot last left `Healthy` (sticky through recycling for
+    /// the HEALTH report).
+    reason: Option<String>,
+    /// When the slot entered `Poisoned` (cooldown anchor).
+    since: Instant,
+    recycles: u32,
+    /// Bumped on every respawn; reports from older generations are
+    /// ignored, so an abandoned wedged thread cannot poison its
+    /// replacement.
+    generation: u64,
+    active: Option<ActiveJob>,
+}
+
+impl Slot {
+    fn new(now: Instant) -> Self {
+        Slot {
+            health: SlotHealth::Healthy,
+            reason: None,
+            since: now,
+            recycles: 0,
+            generation: 0,
+            active: None,
+        }
+    }
+
+    fn backoff(&self, base: Duration) -> Duration {
+        // Exponential in recycles already served, saturating well below
+        // overflow; 2^16 × base is already "effectively never".
+        base.saturating_mul(1u32 << self.recycles.min(16))
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    slots: Vec<Slot>,
+    recycles_total: u64,
+    watchdog_cancelled: u64,
+}
+
+/// Aggregate health, the payload behind the `HEALTH` wire op and the
+/// supervision STATS gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HealthCounts {
+    /// Total worker slots.
+    pub workers: u64,
+    /// Slots with a live worker on the requested implementation.
+    pub healthy: u64,
+    /// Slots waiting out a post-panic cooldown.
+    pub poisoned: u64,
+    /// Slots pinned to sequential-fused forever.
+    pub permanently_degraded: u64,
+    /// Respawns performed over the process lifetime.
+    pub recycles_total: u64,
+    /// Jobs the heartbeat watchdog cancelled.
+    pub watchdog_cancelled: u64,
+}
+
+/// The supervision state shared by workers, the supervisor thread, and
+/// the wire front end. See the module docs for the state machine.
+#[derive(Debug)]
+pub struct Supervisor {
+    cfg: SupervisorConfig,
+    inner: Mutex<Inner>, // lint:allow(hot-path-lock): control plane, per-job not per-edge
+}
+
+impl Supervisor {
+    /// A supervisor over `workers` healthy slots.
+    pub fn new(workers: usize, cfg: SupervisorConfig) -> Self {
+        let now = Instant::now();
+        Supervisor {
+            cfg,
+            // lint:allow(hot-path-lock): control plane, per-job not per-edge
+            inner: Mutex::new(Inner {
+                slots: (0..workers.max(1)).map(|_| Slot::new(now)).collect(),
+                recycles_total: 0,
+                watchdog_cancelled: 0,
+            }),
+        }
+    }
+
+    /// The active tunables.
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.cfg
+    }
+
+    /// Number of slots.
+    pub fn workers(&self) -> usize {
+        lock::recover(&self.inner).slots.len()
+    }
+
+    /// A worker observed a typed panic marker on `slot`. Returns what
+    /// the worker must do; see [`PoisonVerdict`].
+    pub fn report_poisoned(&self, slot: usize, generation: u64, reason: &str) -> PoisonVerdict {
+        let mut inner = lock::recover(&self.inner);
+        let s = &mut inner.slots[slot];
+        if s.generation != generation {
+            // A stale thread outlived its replacement decision; it must
+            // just go away without touching the live slot.
+            return PoisonVerdict::Retire;
+        }
+        s.reason = Some(reason.to_string());
+        s.active = None;
+        if s.health == SlotHealth::PermanentlyDegraded {
+            return PoisonVerdict::KeepServing;
+        }
+        if s.recycles >= self.cfg.max_recycles {
+            s.health = SlotHealth::PermanentlyDegraded;
+            return PoisonVerdict::KeepServing;
+        }
+        s.health = SlotHealth::Poisoned;
+        s.since = Instant::now();
+        PoisonVerdict::Retire
+    }
+
+    /// Claim every poisoned slot whose backoff has elapsed: each is
+    /// transitioned back to `Healthy` under a fresh generation, and the
+    /// caller must spawn a worker thread for each `(slot, generation)`
+    /// returned.
+    pub fn claim_respawns(&self, now: Instant) -> Vec<(usize, u64)> {
+        let mut inner = lock::recover(&self.inner);
+        let cooldown = self.cfg.cooldown;
+        let mut due = Vec::new();
+        let mut recycled = 0u64;
+        for (idx, s) in inner.slots.iter_mut().enumerate() {
+            if s.health == SlotHealth::Poisoned
+                && now.saturating_duration_since(s.since) >= s.backoff(cooldown)
+            {
+                s.health = SlotHealth::Healthy;
+                s.recycles += 1;
+                s.generation += 1;
+                s.active = None;
+                recycled += 1;
+                due.push((idx, s.generation));
+            }
+        }
+        inner.recycles_total += recycled;
+        due
+    }
+
+    /// Register a job that just started executing on `slot`. The token
+    /// is the job's own cancel lever; the gauge is bumped by the job's
+    /// budget checks.
+    pub fn job_started(
+        &self,
+        slot: usize,
+        generation: u64,
+        token: CancelToken,
+        progress: ProgressGauge,
+        deadline: Option<Duration>,
+    ) {
+        let mut inner = lock::recover(&self.inner);
+        let s = &mut inner.slots[slot];
+        if s.generation != generation {
+            return;
+        }
+        let now = Instant::now();
+        s.active = Some(ActiveJob {
+            token,
+            progress,
+            started: now,
+            deadline,
+            last_progress: 0,
+            last_advance: now,
+            cancelled_by_watchdog: false,
+        });
+    }
+
+    /// Deregister `slot`'s job; returns whether the watchdog cancelled
+    /// it (the worker should then treat itself as suspect and report
+    /// poisoning).
+    pub fn job_finished(&self, slot: usize, generation: u64) -> bool {
+        let mut inner = lock::recover(&self.inner);
+        let s = &mut inner.slots[slot];
+        if s.generation != generation {
+            return false;
+        }
+        s.active
+            .take()
+            .map(|j| j.cancelled_by_watchdog)
+            .unwrap_or(false)
+    }
+
+    /// One watchdog pass over every active job:
+    ///
+    /// * progress advanced → note it, all good;
+    /// * stalled past `heartbeat_grace` (and past the job's deadline,
+    ///   when it carries one) → cancel through the job's token;
+    /// * *still* stalled a full grace after the cancel → the worker is
+    ///   not even reaching its next budget check: abandon it (poison the
+    ///   slot so [`Supervisor::claim_respawns`] replaces the thread; the
+    ///   wedged thread's eventual report is ignored by generation).
+    pub fn scan(&self, now: Instant) {
+        let grace = self.cfg.heartbeat_grace;
+        let mut inner = lock::recover(&self.inner);
+        let mut cancelled = 0u64;
+        for s in inner.slots.iter_mut() {
+            let Some(job) = s.active.as_mut() else { continue };
+            let p = job.progress.get();
+            if p > job.last_progress {
+                job.last_progress = p;
+                job.last_advance = now;
+                continue;
+            }
+            let stalled = now.saturating_duration_since(job.last_advance) >= grace;
+            if !stalled {
+                continue;
+            }
+            if !job.cancelled_by_watchdog {
+                let past_deadline = job
+                    .deadline
+                    .map(|d| now.saturating_duration_since(job.started) >= d)
+                    .unwrap_or(true);
+                if past_deadline {
+                    job.token.cancel();
+                    job.cancelled_by_watchdog = true;
+                    job.last_advance = now;
+                    cancelled += 1;
+                }
+            } else if s.health == SlotHealth::Healthy {
+                // Cancelled a full grace ago and still no epoch
+                // boundary: the thread is wedged below the budget
+                // checks. Abandon it.
+                s.reason = Some("watchdog: worker wedged past cancellation".to_string());
+                s.health = SlotHealth::Poisoned;
+                s.since = now;
+                s.active = None;
+            }
+        }
+        inner.watchdog_cancelled += cancelled;
+    }
+
+    /// Cancel every active job (graceful drain: in-flight work stops at
+    /// the next epoch boundary as certified partials).
+    pub fn cancel_active(&self) {
+        let inner = lock::recover(&self.inner);
+        for s in &inner.slots {
+            if let Some(job) = &s.active {
+                job.token.cancel();
+            }
+        }
+    }
+
+    /// Aggregate counts for HEALTH/STATS.
+    pub fn health(&self) -> HealthCounts {
+        let inner = lock::recover(&self.inner);
+        let mut counts = HealthCounts {
+            workers: inner.slots.len() as u64,
+            recycles_total: inner.recycles_total,
+            watchdog_cancelled: inner.watchdog_cancelled,
+            ..HealthCounts::default()
+        };
+        for s in &inner.slots {
+            match s.health {
+                SlotHealth::Healthy => counts.healthy += 1,
+                SlotHealth::Poisoned => counts.poisoned += 1,
+                SlotHealth::PermanentlyDegraded => counts.permanently_degraded += 1,
+            }
+        }
+        counts
+    }
+
+    /// Whether `generation` is still the live generation of `slot`. A
+    /// worker abandoned by the watchdog discovers here that it was
+    /// replaced and must exit instead of competing with its successor.
+    pub fn is_current(&self, slot: usize, generation: u64) -> bool {
+        lock::recover(&self.inner).slots[slot].generation == generation
+    }
+
+    /// The health of one slot (tests and diagnostics).
+    pub fn slot_health(&self, slot: usize) -> SlotHealth {
+        lock::recover(&self.inner).slots[slot].health
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_cfg() -> SupervisorConfig {
+        SupervisorConfig {
+            cooldown: Duration::from_millis(10),
+            max_recycles: 2,
+            heartbeat_grace: Duration::from_millis(30),
+            watchdog_interval: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn poison_retire_recycle_walks_the_state_machine() {
+        let sup = Supervisor::new(1, fast_cfg());
+        assert_eq!(sup.slot_health(0), SlotHealth::Healthy);
+        assert_eq!(sup.report_poisoned(0, 0, "boom"), PoisonVerdict::Retire);
+        assert_eq!(sup.slot_health(0), SlotHealth::Poisoned);
+        // Not due before the cooldown.
+        assert!(sup.claim_respawns(Instant::now()).is_empty());
+        std::thread::sleep(Duration::from_millis(15));
+        let due = sup.claim_respawns(Instant::now());
+        assert_eq!(due, vec![(0, 1)]);
+        assert_eq!(sup.slot_health(0), SlotHealth::Healthy);
+        let counts = sup.health();
+        assert_eq!(counts.recycles_total, 1);
+        assert_eq!(counts.healthy, 1);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps_at_permanent_degradation() {
+        let sup = Supervisor::new(1, fast_cfg());
+        // Recycle twice (max_recycles = 2), with the second cooldown
+        // observably longer than the first.
+        assert_eq!(sup.report_poisoned(0, 0, "p1"), PoisonVerdict::Retire);
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(sup.claim_respawns(Instant::now()), vec![(0, 1)]);
+        assert_eq!(sup.report_poisoned(0, 1, "p2"), PoisonVerdict::Retire);
+        std::thread::sleep(Duration::from_millis(15));
+        // One recycle served → backoff is 2×10ms; 15ms is not enough.
+        assert!(sup.claim_respawns(Instant::now()).is_empty());
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(sup.claim_respawns(Instant::now()), vec![(0, 2)]);
+        // Third poisoning: recycles (2) ≥ max_recycles (2) → permanent.
+        assert_eq!(sup.report_poisoned(0, 2, "p3"), PoisonVerdict::KeepServing);
+        assert_eq!(sup.slot_health(0), SlotHealth::PermanentlyDegraded);
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(sup.claim_respawns(Instant::now()).is_empty(), "permanent slots never respawn");
+        let counts = sup.health();
+        assert_eq!(counts.permanently_degraded, 1);
+        assert_eq!(counts.recycles_total, 2);
+    }
+
+    #[test]
+    fn stale_generation_reports_are_ignored() {
+        let sup = Supervisor::new(2, fast_cfg());
+        assert_eq!(sup.report_poisoned(1, 0, "boom"), PoisonVerdict::Retire);
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(sup.claim_respawns(Instant::now()), vec![(1, 1)]);
+        // The retired generation-0 thread reports again: told to go
+        // away, and the live slot stays healthy.
+        assert_eq!(sup.report_poisoned(1, 0, "late echo"), PoisonVerdict::Retire);
+        assert_eq!(sup.slot_health(1), SlotHealth::Healthy);
+        // Its job bookkeeping is ignored too.
+        sup.job_started(1, 0, CancelToken::new(), ProgressGauge::new(), None);
+        assert_eq!(sup.health().healthy, 2);
+        assert!(!sup.job_finished(1, 0));
+    }
+
+    #[test]
+    fn watchdog_cancels_a_stalled_job_then_abandons_a_wedged_worker() {
+        let sup = Supervisor::new(1, fast_cfg());
+        let token = CancelToken::new();
+        let gauge = ProgressGauge::new();
+        sup.job_started(0, 0, token.clone(), gauge.clone(), Some(Duration::from_millis(1)));
+        let t0 = Instant::now();
+        // Advancing progress is never cancelled, no matter how long it
+        // runs past its deadline.
+        for tick in 1..=3u64 {
+            gauge.publish(tick);
+            sup.scan(t0 + Duration::from_millis(40 * tick));
+            assert!(!token.is_cancelled());
+        }
+        // Now the gauge stands still (last advance seen at t0+120ms):
+        // the job survives inside the grace window and is cancelled
+        // through its token once the stall exceeds it.
+        sup.scan(t0 + Duration::from_millis(140));
+        assert!(!token.is_cancelled(), "stall shorter than grace is tolerated");
+        sup.scan(t0 + Duration::from_millis(160));
+        assert!(token.is_cancelled(), "stalled past grace and deadline");
+        assert_eq!(sup.health().watchdog_cancelled, 1);
+        // The cooperative path: the worker notices at its next epoch
+        // boundary and job_finished reports the watchdog verdict.
+        assert!(sup.job_finished(0, 0));
+
+        // The wedged path: a second job stalls, is cancelled, and never
+        // reaches another budget check — the slot is abandoned.
+        let token2 = CancelToken::new();
+        sup.job_started(0, 0, token2.clone(), ProgressGauge::new(), None);
+        let t1 = Instant::now();
+        sup.scan(t1 + Duration::from_millis(40));
+        assert!(token2.is_cancelled());
+        assert_eq!(sup.slot_health(0), SlotHealth::Healthy);
+        sup.scan(t1 + Duration::from_millis(80));
+        assert_eq!(sup.slot_health(0), SlotHealth::Poisoned, "wedged worker abandoned");
+    }
+
+    #[test]
+    fn cancel_active_hits_every_running_job() {
+        let sup = Supervisor::new(3, SupervisorConfig::default());
+        let tokens: Vec<CancelToken> = (0..3).map(|_| CancelToken::new()).collect();
+        for (slot, token) in tokens.iter().enumerate() {
+            sup.job_started(slot, 0, token.clone(), ProgressGauge::new(), None);
+        }
+        sup.cancel_active();
+        for token in &tokens {
+            assert!(token.is_cancelled());
+        }
+    }
+}

@@ -30,6 +30,15 @@ static POOL_FAILURE: AtomicBool = AtomicBool::new(false);
 /// succeeds.
 static RENAME_FAILURE: AtomicBool = AtomicBool::new(false);
 
+thread_local! {
+    /// Whether the next poison-recovering lock acquisition **on this
+    /// thread** should panic while holding the guard. Deliberately
+    /// thread-local, unlike the other hooks: the injected panic must
+    /// land in the arming test's own thread, never be stolen by an
+    /// unrelated thread that happens to take a lock concurrently.
+    static LOCK_POISON: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
 /// Message carried by injected panics, so tests can assert the failure
 /// they observe is the one they injected.
 pub const INJECTED_PANIC_MESSAGE: &str = "taskpool: injected fault";
@@ -39,6 +48,9 @@ pub const INJECTED_POOL_FAILURE_MESSAGE: &str = "taskpool: injected pool-creatio
 
 /// Message carried by injected checkpoint-rename failures.
 pub const INJECTED_RENAME_FAILURE_MESSAGE: &str = "taskpool: injected checkpoint-rename failure";
+
+/// Message carried by injected lock-poisoning panics.
+pub const INJECTED_LOCK_POISON_MESSAGE: &str = "taskpool: injected lock poison";
 
 /// Arm the hook: the `n`-th scoped task spawned from now on panics
 /// (`n = 0` → the very next task).
@@ -60,24 +72,43 @@ pub fn arm_checkpoint_rename_failure() {
     RENAME_FAILURE.store(true, Ordering::SeqCst);
 }
 
-/// Disarm every hook. Idempotent.
+/// Arm the lock-poison hook: the next poison-recovering lock
+/// acquisition (the serve layer's `lock::recover`) **on this thread**
+/// panics with [`INJECTED_LOCK_POISON_MESSAGE`] *while holding the
+/// guard*, poisoning the mutex for every later acquisition. One-shot
+/// and thread-local (see `LOCK_POISON`).
+pub fn arm_lock_poison() {
+    LOCK_POISON.with(|c| c.set(true));
+}
+
+/// Disarm every hook (including this thread's lock-poison arming).
+/// Idempotent.
 pub fn disarm() {
     COUNTDOWN.store(-1, Ordering::SeqCst);
     POOL_FAILURE.store(false, Ordering::SeqCst);
     RENAME_FAILURE.store(false, Ordering::SeqCst);
+    LOCK_POISON.with(|c| c.set(false));
 }
 
-/// Whether any hook is currently armed.
+/// Whether any hook is currently armed (lock poison: on this thread).
 pub fn is_armed() -> bool {
     COUNTDOWN.load(Ordering::SeqCst) >= 0
         || POOL_FAILURE.load(Ordering::SeqCst)
         || RENAME_FAILURE.load(Ordering::SeqCst)
+        || LOCK_POISON.with(|c| c.get())
 }
 
 /// Called by checkpoint savers immediately before the tmp→final rename;
 /// `true` means this rename attempt must fail (and the hook is consumed).
 pub fn take_checkpoint_rename_failure() -> bool {
     RENAME_FAILURE.swap(false, Ordering::SeqCst)
+}
+
+/// Called by poison-recovering lock helpers after acquiring the guard;
+/// `true` means this holder must panic (and this thread's hook is
+/// consumed).
+pub fn take_lock_poison() -> bool {
+    LOCK_POISON.with(|c| c.replace(false))
 }
 
 /// Called by `ThreadPool::with_threads`; `true` means this creation
@@ -135,6 +166,17 @@ mod tests {
         assert!(is_armed());
         assert!(take_checkpoint_rename_failure(), "armed hook fires once");
         assert!(!take_checkpoint_rename_failure(), "and is consumed");
+        assert!(!is_armed());
+    }
+
+    #[test]
+    fn lock_poison_hook_is_one_shot() {
+        disarm();
+        assert!(!take_lock_poison());
+        arm_lock_poison();
+        assert!(is_armed());
+        assert!(take_lock_poison(), "armed hook fires once");
+        assert!(!take_lock_poison(), "and is consumed");
         assert!(!is_armed());
     }
 

@@ -12,14 +12,21 @@
 //!
 //! The daemon prints `sssp-serve: listening on <addr>` once the socket
 //! is bound (so a wrapper started with `--listen 127.0.0.1:0` can parse
-//! the ephemeral port) and then serves until killed. The `client`
-//! subcommand sends each LINE as one text-mode request and prints the
-//! reply lines up to (excluding) the `.` terminator; with no LINE it
-//! reads requests from stdin.
+//! the ephemeral port) and then serves until it is told to stop. SIGTERM
+//! and SIGINT trigger a **graceful drain**: admission stops (waiting
+//! jobs are shed with live retry hints), in-flight jobs are cancelled
+//! into certified partials whose checkpoints persist, and the process
+//! exits 0 within `--drain-deadline-ms` — so an orchestrator's ordinary
+//! stop signal never loses certified work. The wire `DRAIN` op (behind
+//! `--debug-commands`) takes the same path. The `client` subcommand
+//! sends each LINE as one text-mode request and prints the reply lines
+//! up to (excluding) the `.` terminator; with no LINE it reads requests
+//! from stdin.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use sssp_core::Implementation;
@@ -44,7 +51,39 @@ options:
   --max-connections N    concurrent connection bound (default 64)
   --delta F              default bucket width (default 1.0)
   --impl NAME            default implementation (default fused)
-  --debug-commands       honour HOLD/RELEASE (chaos-test levers)";
+  --drain-deadline-ms N  bound on the SIGTERM/SIGINT graceful drain
+                         (default 5000)
+  --debug-commands       honour HOLD/RELEASE/DRAIN (chaos-test levers)";
+
+/// Set by the SIGTERM/SIGINT handler; the main loop polls it and runs
+/// the graceful drain. `Relaxed` suffices: the flag is the only data
+/// crossing the handler boundary and a poll-cycle of staleness is fine.
+static DRAIN_SIGNAL: AtomicBool = AtomicBool::new(false);
+
+// Raw signal(2) binding — no libc crate in the build, and the full
+// sigaction surface is overkill for flipping one flag.
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" fn on_stop_signal(_signum: i32) {
+    // Async-signal-safe: one relaxed atomic store, nothing else.
+    DRAIN_SIGNAL.store(true, Ordering::Relaxed);
+}
+
+fn install_stop_handlers() {
+    // SAFETY: `on_stop_signal` only performs an atomic store, which is
+    // async-signal-safe; `signal` itself is safe to call from the main
+    // thread before any other threads exist that could race the
+    // disposition change.
+    unsafe {
+        signal(SIGTERM, on_stop_signal as *const () as usize);
+        signal(SIGINT, on_stop_signal as *const () as usize);
+    }
+}
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("sssp-serve: {msg}");
@@ -100,6 +139,7 @@ fn run_client(addr: &str, lines: &[String]) -> ExitCode {
 fn run_server(args: &[String]) -> ExitCode {
     let mut cfg = ServerConfig::default();
     let mut listen = "127.0.0.1:7464".to_string();
+    let mut drain_deadline = Duration::from_millis(5000);
     let mut i = 0;
     let num = |args: &[String], i: usize, what: &str| -> Result<u64, String> {
         args.get(i + 1)
@@ -194,6 +234,13 @@ fn run_server(args: &[String]) -> ExitCode {
                 };
                 i += 1;
             }
+            "--drain-deadline-ms" => match num(args, i, "--drain-deadline-ms") {
+                Ok(n) => {
+                    drain_deadline = Duration::from_millis(n);
+                    i += 1;
+                }
+                Err(e) => return fail(&e),
+            },
             "--debug-commands" => cfg.debug_commands = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -203,16 +250,30 @@ fn run_server(args: &[String]) -> ExitCode {
         }
         i += 1;
     }
+    install_stop_handlers();
     let handle = match start(cfg, listen.as_str()) {
         Ok(h) => h,
         Err(e) => return fail(&format!("bind {listen}: {e}")),
     };
     println!("sssp-serve: listening on {}", handle.addr());
     let _ = std::io::stdout().flush();
-    // The daemon runs until killed; there is deliberately no in-band
-    // remote shutdown (crash-safety is the tested path).
+    // Serve until SIGTERM/SIGINT (or a wire DRAIN op) asks for the
+    // graceful drain; SIGKILL remains the crash-safety path the resume
+    // tests exercise.
     loop {
-        std::thread::park();
+        std::thread::sleep(Duration::from_millis(50));
+        if DRAIN_SIGNAL.load(Ordering::Relaxed) || handle.drain_requested() {
+            break;
+        }
+    }
+    eprintln!("sssp-serve: draining (deadline {} ms)", drain_deadline.as_millis());
+    let clean = handle.drain(drain_deadline);
+    if clean {
+        eprintln!("sssp-serve: drained clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("sssp-serve: drain deadline expired with jobs still running");
+        ExitCode::FAILURE
     }
 }
 

@@ -477,6 +477,7 @@ fn run_batch(o: &Options, g: &CsrGraph, delta: f64) -> Result<ExitCode, Failure>
         queue_capacity: o.sources.len(),
         deadline: o.deadline_ms.map(Duration::from_millis),
         cancel: None,
+        progress: None,
         guard: GuardConfig::default(),
         pool_threads: o.threads,
         checkpoint_dir: o.checkpoint_dir.clone(),
@@ -485,6 +486,9 @@ fn run_batch(o: &Options, g: &CsrGraph, delta: f64) -> Result<ExitCode, Failure>
     let report = runner.run(g, &o.sources);
     if let Some(e) = &report.pool_degraded {
         eprintln!("warning: thread pool unavailable ({e}); batch ran on the sequential fused path");
+    }
+    for path in &report.quarantined {
+        eprintln!("warning: quarantined corrupt checkpoint data: {}", path.display());
     }
     for (source, outcome) in &report.jobs {
         match outcome {

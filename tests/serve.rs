@@ -1,6 +1,7 @@
 //! Chaos tests for the resident SSSP service: overload shedding, the
-//! slow-client writer budget, and kill-9 crash recovery through the
-//! checkpoint manifest.
+//! slow-client writer budget, kill-9 crash recovery through the
+//! checkpoint manifest, the SIGTERM graceful drain, and checkpoint
+//! quarantine on restart.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -196,6 +197,21 @@ impl Daemon {
         self.child.kill().expect("kill -9");
         self.child.wait().expect("reap");
     }
+
+    /// SIGTERM — the graceful-drain path the daemon installs a handler
+    /// for.
+    fn sigterm(&self) {
+        let status = Command::new("kill")
+            .args(["-TERM", &self.child.id().to_string()])
+            .status()
+            .expect("run kill");
+        assert!(status.success(), "kill -TERM failed");
+    }
+
+    /// Wait for the daemon to exit on its own (e.g. after a drain).
+    fn wait_exit(mut self) -> std::process::ExitStatus {
+        self.child.wait().expect("wait for daemon exit")
+    }
 }
 
 impl Drop for Daemon {
@@ -277,4 +293,123 @@ fn kill9_restart_resumes_bit_identically_across_thread_counts() {
         revived.kill9();
         let _ = std::fs::remove_dir_all(&tmp);
     }
+}
+
+/// SIGTERM mid-job is a *graceful* drain: the in-flight run is cancelled
+/// into a certified partial whose checkpoint persists, the daemon exits
+/// 0 within its drain deadline, and a restart on the same directory
+/// resumes bit-identically (dist digest AND stats counters) to an
+/// uninterrupted cold run.
+#[test]
+fn sigterm_drains_to_certified_partials_and_resumes_bit_identically() {
+    let tmp = std::env::temp_dir().join(format!("serve-drain-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    let spec = "grid:300x300";
+    let query = |fp: u64| format!("SSSP {fp:016x} 0 delta=0.05");
+
+    // Uninterrupted cold run: the reference OK line.
+    let cold = Daemon::spawn(&["--impl", "improved"]);
+    let mut c = TcpStream::connect(cold.addr).unwrap();
+    let fp = load(&mut c, spec);
+    let want = ask(&mut c, &query(fp))[0].clone();
+    assert!(want.starts_with("OK "), "{want}");
+    cold.kill9();
+
+    // The victim gets SIGTERM while the job is running.
+    let dir = tmp.to_str().unwrap();
+    let victim = Daemon::spawn(&[
+        "--impl",
+        "improved",
+        "--checkpoint-dir",
+        dir,
+        "--drain-deadline-ms",
+        "15000",
+    ]);
+    let addr = victim.addr;
+    let mut c = TcpStream::connect(addr).unwrap();
+    assert_eq!(load(&mut c, spec), fp);
+    let line = query(fp);
+    let job = std::thread::spawn(move || {
+        let mut c2 = TcpStream::connect(addr).unwrap();
+        ask(&mut c2, &line)
+    });
+    wait_for_stat(addr, "queue_running", 1);
+    victim.sigterm();
+
+    // The blocked client gets a certified partial (wire code 16 =
+    // cancelled) with its checkpoint saved, not a dropped connection.
+    let reply = job.join().unwrap();
+    assert!(reply[0].starts_with("PARTIAL"), "{reply:?}");
+    assert_eq!(field(&reply[0], "code"), "16", "drain cancels, certified: {reply:?}");
+    assert_eq!(field(&reply[0], "saved"), "ckpt-0.bin");
+    let exit = victim.wait_exit();
+    assert!(exit.success(), "graceful drain must exit 0, got {exit:?}");
+    let subdir = tmp.join(format!("{fp:016x}"));
+    assert!(subdir.join("ckpt-0.bin").exists(), "checkpoint persisted through the drain");
+    assert!(subdir.join("manifest.bin").exists(), "manifest persisted through the drain");
+
+    // Restart on the same directory: the resumed run completes
+    // bit-identically to the cold reference.
+    let revived = Daemon::spawn(&["--impl", "improved", "--checkpoint-dir", dir]);
+    let mut c = TcpStream::connect(revived.addr).unwrap();
+    assert_eq!(load(&mut c, spec), fp);
+    let got = &ask(&mut c, &query(fp))[0];
+    assert_eq!(got, &want, "resume after drain is bit-identical");
+    assert_eq!(stat(revived.addr, "jobs_resumed"), 1);
+    revived.kill9();
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+/// Corruption quarantine: restart the daemon on a checkpoint directory
+/// whose manifest is torn and one of whose checkpoints is truncated.
+/// Both files move to `quarantine/`, the manifest is rebuilt from the
+/// survivors, and the server answers the next request — resuming from
+/// the surviving checkpoint.
+#[test]
+fn corrupt_checkpoint_and_torn_manifest_are_quarantined_on_restart() {
+    let tmp = std::env::temp_dir().join(format!("serve-quarantine-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    let dir = tmp.to_str().unwrap();
+
+    // Two interrupted jobs leave ckpt-0.bin and ckpt-7.bin plus the
+    // manifest; SIGKILL so nothing cleans up.
+    let victim = Daemon::spawn(&["--checkpoint-dir", dir]);
+    let mut c = TcpStream::connect(victim.addr).unwrap();
+    let fp = load(&mut c, "grid:40x40");
+    for s in [0usize, 7] {
+        let reply = ask(&mut c, &format!("SSSP {fp:016x} {s} epochs=3"));
+        assert!(reply[0].starts_with("PARTIAL"), "{reply:?}");
+        assert_eq!(field(&reply[0], "saved"), format!("ckpt-{s}.bin"));
+    }
+    victim.kill9();
+
+    // Tear the manifest (truncate mid-header) and truncate one
+    // checkpoint (a torn write).
+    let subdir = tmp.join(format!("{fp:016x}"));
+    let manifest = std::fs::read(subdir.join("manifest.bin")).unwrap();
+    std::fs::write(subdir.join("manifest.bin"), &manifest[..6]).unwrap();
+    let ckpt = std::fs::read(subdir.join("ckpt-0.bin")).unwrap();
+    std::fs::write(subdir.join("ckpt-0.bin"), &ckpt[..ckpt.len() / 2]).unwrap();
+
+    // Restart: the startup scan quarantines both files and rebuilds the
+    // manifest from the surviving ckpt-7.bin.
+    let revived = Daemon::spawn(&["--checkpoint-dir", dir]);
+    assert_eq!(stat(revived.addr, "files_quarantined"), 2);
+    let quarantine = subdir.join("quarantine");
+    assert!(quarantine.join("manifest.bin").exists(), "torn manifest quarantined");
+    assert!(quarantine.join("ckpt-0.bin").exists(), "truncated checkpoint quarantined");
+    assert!(subdir.join("ckpt-7.bin").exists(), "healthy checkpoint survives");
+
+    // The server answers: source 7 resumes from the survivor, source 0
+    // falls back to a clean cold run.
+    let mut c = TcpStream::connect(revived.addr).unwrap();
+    assert_eq!(load(&mut c, "grid:40x40"), fp);
+    let resumed = ask(&mut c, &format!("SSSP {fp:016x} 7"));
+    assert!(resumed[0].starts_with("OK "), "{resumed:?}");
+    let fresh = ask(&mut c, &format!("SSSP {fp:016x} 0"));
+    assert!(fresh[0].starts_with("OK "), "{fresh:?}");
+    assert_eq!(stat(revived.addr, "jobs_resumed"), 1);
+    assert_eq!(field(&resumed[0], "reached"), field(&fresh[0], "reached"));
+    revived.kill9();
+    let _ = std::fs::remove_dir_all(&tmp);
 }
