@@ -1,6 +1,6 @@
 //! Repo-invariant lints for the sssp workspace, enforced in CI.
 //!
-//! Six invariants, all checked by plain line-level source scanning (no
+//! Seven invariants, all checked by plain line-level source scanning (no
 //! external parser — the scans are deliberately syntactic so the tool
 //! has zero dependencies and sub-second runtime):
 //!
@@ -37,6 +37,14 @@
 //!    at least twice outside the mod — in practice the encode arm and
 //!    the decode arm — so an opcode cannot be minted without both
 //!    directions of the frame codec handling it.
+//! 7. **`lock-order`** — the resident service's locks form a declared
+//!    total order (`analyze/locks.toml`): every `Mutex`/`RwLock` field
+//!    under `crates/serve/src/` maps to a hierarchy level, acquisitions
+//!    go through `lock::recover("<name>", ...)` (never a bare
+//!    `.lock()`), and no site acquires a lock at or below the level of
+//!    a guard it already holds. Deliberate inversions carry a
+//!    `LOCKORDER: <reason>` comment. The static half of the deadlock
+//!    story — racecheck's acquisition-order graph is the dynamic half.
 //!
 //! Scanned roots: `crates/`, `src/`, `tests/`, `examples/`. Excluded:
 //! `vendor/` (third-party stubs), `target/`, and `crates/analyze` itself
@@ -233,6 +241,9 @@ pub struct AtomicSite {
     pub ordering: String,
     pub count: usize,
     pub reason: String,
+    /// 1-based line of the `[[site]]` header in the allowlist, so stale
+    /// entries are reported at the entry to delete.
+    pub line: usize,
 }
 
 /// Parse the TOML subset used by `analyze/atomics.toml`: comments,
@@ -254,6 +265,7 @@ pub fn parse_allowlist(src: &str) -> Result<Vec<AtomicSite>, String> {
             ordering: p.ordering.ok_or(format!("{at}: missing `ordering`"))?,
             count: p.count.ok_or(format!("{at}: missing `count`"))?,
             reason: p.reason.ok_or(format!("{at}: missing `reason`"))?,
+            line: p.line,
         };
         if site.reason.trim().is_empty() {
             return Err(format!("{at}: `reason` must not be empty"));
@@ -348,11 +360,13 @@ pub fn lint_atomics(files: &[SourceFile], allowlist_src: &str) -> Vec<Finding> {
             }]
         }
     };
-    let mut allowed: BTreeMap<(String, String), usize> = BTreeMap::new();
+    // (total count, line of the first [[site]] header) per (file, ordering).
+    let mut allowed: BTreeMap<(String, String), (usize, usize)> = BTreeMap::new();
     for s in &sites {
-        *allowed
+        let e = allowed
             .entry((s.file.clone(), s.ordering.clone()))
-            .or_insert(0) += s.count;
+            .or_insert((0, s.line));
+        e.0 += s.count;
     }
     let mut observed: BTreeMap<(String, String), usize> = BTreeMap::new();
     for f in files {
@@ -360,21 +374,35 @@ pub fn lint_atomics(files: &[SourceFile], allowlist_src: &str) -> Vec<Finding> {
             observed.insert((f.rel.clone(), ord), n);
         }
     }
+    // First source line mentioning `Ordering::<ord>`, so a finding
+    // points at an actual site rather than line 0.
+    let first_site_line = |file: &str, ord: &str| -> usize {
+        let needle = format!("Ordering::{ord}");
+        files
+            .iter()
+            .find(|f| f.rel == file)
+            .and_then(|f| {
+                f.lines
+                    .iter()
+                    .position(|raw| has_word(&code_portion(raw), &needle))
+            })
+            .map_or(0, |idx| idx + 1)
+    };
 
     let mut out = Vec::new();
     for ((file, ord), n) in &observed {
         match allowed.get(&(file.clone(), ord.clone())) {
             None => out.push(Finding {
                 file: file.clone(),
-                line: 0,
+                line: first_site_line(file, ord),
                 lint: "atomic-ordering",
                 message: format!(
                     "{n} `Ordering::{ord}` site(s) not justified in analyze/atomics.toml"
                 ),
             }),
-            Some(a) if a != n => out.push(Finding {
+            Some((a, _)) if a != n => out.push(Finding {
                 file: file.clone(),
-                line: 0,
+                line: first_site_line(file, ord),
                 lint: "atomic-ordering",
                 message: format!(
                     "`Ordering::{ord}` count drifted: {n} in source, {a} justified — \
@@ -384,11 +412,11 @@ pub fn lint_atomics(files: &[SourceFile], allowlist_src: &str) -> Vec<Finding> {
             Some(_) => {}
         }
     }
-    for ((file, ord), a) in &allowed {
+    for ((file, ord), (a, entry_line)) in &allowed {
         if !observed.contains_key(&(file.clone(), ord.clone())) {
             out.push(Finding {
                 file: "analyze/atomics.toml".to_string(),
-                line: 0,
+                line: *entry_line,
                 lint: "atomic-ordering",
                 message: format!(
                     "stale entry: {file} has no `Ordering::{ord}` sites (justifies {a})"
@@ -456,6 +484,16 @@ pub fn lint_hot_path_locks(f: &SourceFile) -> Vec<Finding> {
 // Lint 4: implementation dispatch / determinism coverage
 // ---------------------------------------------------------------------------
 
+/// 1-based line of the first line containing `marker`, or 0 when the
+/// marker is absent — so structural findings can point at the construct
+/// they are about instead of line 0.
+fn marker_line(f: &SourceFile, marker: &str) -> usize {
+    f.lines
+        .iter()
+        .position(|l| l.contains(marker))
+        .map_or(0, |idx| idx + 1)
+}
+
 /// Concatenated code of the `{ ... }` block opened by the first line at
 /// or after `start` containing `marker`. Empty string when not found.
 fn block_after(f: &SourceFile, marker: &str) -> String {
@@ -521,14 +559,18 @@ fn arm_literals(block: &str) -> Vec<(Vec<String>, String)> {
 /// this helper takes the raw source and re-slices it.
 pub fn lint_impl_coverage(run_rs: &SourceFile, determinism_src: &str) -> Vec<Finding> {
     let mut out = Vec::new();
-    let mut finding = |message: String| {
+    let mut finding = |line: usize, message: String| {
         out.push(Finding {
             file: run_rs.rel.clone(),
-            line: 0,
+            line,
             lint: "impl-coverage",
             message,
         });
     };
+    let enum_line = marker_line(run_rs, "pub enum Implementation");
+    let dispatch_line = marker_line(run_rs, "pub fn run_with_budget");
+    let parse_line = marker_line(run_rs, "pub fn parse");
+    let name_line = marker_line(run_rs, "pub fn name");
 
     // Enum variants.
     let enum_block = block_after(run_rs, "pub enum Implementation");
@@ -543,19 +585,19 @@ pub fn lint_impl_coverage(run_rs: &SourceFile, determinism_src: &str) -> Vec<Fin
         }
     }
     if variants.is_empty() {
-        finding("could not locate `pub enum Implementation` variants".to_string());
+        finding(enum_line, "could not locate `pub enum Implementation` variants".to_string());
         return out;
     }
 
     // Dispatch body.
     let dispatch = block_after(run_rs, "pub fn run_with_budget");
     if dispatch.is_empty() {
-        finding("could not locate `pub fn run_with_budget`".to_string());
+        finding(dispatch_line, "could not locate `pub fn run_with_budget`".to_string());
         return out;
     }
     for v in &variants {
         if !has_word(&dispatch, &format!("Implementation::{v}")) {
-            finding(format!(
+            finding(dispatch_line, format!(
                 "variant `{v}` is not dispatched inside run_with_budget"
             ));
         }
@@ -576,17 +618,17 @@ pub fn lint_impl_coverage(run_rs: &SourceFile, determinism_src: &str) -> Vec<Fin
             .collect();
         any_alias = true;
         if !variants.contains(&v) {
-            finding(format!(
+            finding(parse_line, format!(
                 "parse() aliases {aliases:?} map to unknown variant `{v}`"
             ));
         } else if !has_word(&dispatch, &format!("Implementation::{v}")) {
-            finding(format!(
+            finding(parse_line, format!(
                 "parse() aliases {aliases:?} reach `{v}`, which run_with_budget never dispatches"
             ));
         }
     }
     if !any_alias {
-        finding("could not locate parse() name aliases".to_string());
+        finding(parse_line, "could not locate parse() name aliases".to_string());
     }
 
     // name() canonical strings must be pinned in the determinism suite.
@@ -607,13 +649,13 @@ pub fn lint_impl_coverage(run_rs: &SourceFile, determinism_src: &str) -> Vec<Fin
         let name = &tail[..close];
         any_name = true;
         if !determinism_src.contains(&format!("\"{name}\"")) {
-            finding(format!(
+            finding(name_line, format!(
                 "canonical name \"{name}\" is not covered as a literal in tests/determinism.rs"
             ));
         }
     }
     if !any_name {
-        finding("could not locate name() canonical strings".to_string());
+        finding(name_line, "could not locate name() canonical strings".to_string());
     }
     out
 }
@@ -688,41 +730,50 @@ fn enum_variants_of(f: &SourceFile, marker: &str) -> Vec<String> {
 /// future variant instead of forcing a new wire code).
 pub fn lint_wire_codes(guard_rs: &SourceFile, wire_rs: &SourceFile) -> Vec<Finding> {
     let mut out = Vec::new();
-    let mut finding = |file: &str, message: String| {
+    let mut finding = |file: &str, line: usize, message: String| {
         out.push(Finding {
             file: file.to_string(),
-            line: 0,
+            line,
             lint: "wire-code-coverage",
             message,
         });
     };
+    let fn_line = marker_line(wire_rs, "pub fn wire_code");
 
     let variants = enum_variants_of(guard_rs, "pub enum SsspError");
     if variants.is_empty() {
-        finding(&guard_rs.rel, "could not locate `pub enum SsspError` variants".into());
-        return out;
-    }
-    let body = block_after(wire_rs, "pub fn wire_code");
-    if body.is_empty() {
         finding(
-            &wire_rs.rel,
-            "could not locate `pub fn wire_code` — the SsspError wire mapping is gone".into(),
+            &guard_rs.rel,
+            marker_line(guard_rs, "pub enum SsspError"),
+            "could not locate `pub enum SsspError` variants".into(),
         );
         return out;
     }
+    let Some((start, end)) = block_span(wire_rs, "pub fn wire_code") else {
+        finding(
+            &wire_rs.rel,
+            0,
+            "could not locate `pub fn wire_code` — the SsspError wire mapping is gone".into(),
+        );
+        return out;
+    };
+    let body = block_after(wire_rs, "pub fn wire_code");
     for v in &variants {
         if !has_word(&body, &format!("SsspError::{v}")) {
             finding(
                 &wire_rs.rel,
+                fn_line,
                 format!("`SsspError::{v}` has no arm in wire_code — assign it a wire code"),
             );
         }
     }
-    for line in body.lines() {
-        let Some((lhs, _)) = line.split_once("=>") else { continue };
+    for (off, raw) in wire_rs.lines[start..end].iter().enumerate() {
+        let code = code_portion(raw);
+        let Some((lhs, _)) = code.split_once("=>") else { continue };
         if lhs.trim() == "_" {
             finding(
                 &wire_rs.rel,
+                start + off + 1,
                 "wire_code has a wildcard `_ =>` arm — new SsspError variants must fail \
                  to compile here, not silently share a code"
                     .into(),
@@ -829,6 +880,396 @@ pub fn lint_opcode_coverage(protocol_rs: &SourceFile, files: &[SourceFile]) -> V
 }
 
 // ---------------------------------------------------------------------------
+// Lint 7: serve-layer lock hierarchy
+// ---------------------------------------------------------------------------
+
+/// Escape hatch for a deliberate ordering inversion: a `LOCKORDER:
+/// <reason>` comment on the acquisition line or the contiguous comment
+/// block above it suppresses the violation (the guard is still tracked,
+/// so locks taken *under* it keep being checked).
+pub const LOCK_ORDER_SUPPRESSION: &str = "LOCKORDER:";
+
+/// One `[[lock]]` entry from `analyze/locks.toml`: a named lock field
+/// with its position in the total acquisition order (lower levels are
+/// acquired first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockDecl {
+    /// The name passed to `lock::recover("<name>", ...)` at every
+    /// acquisition site.
+    pub name: String,
+    /// Repo-relative file declaring the field.
+    pub file: String,
+    /// The struct field holding the `Mutex`/`RwLock`.
+    pub field: String,
+    /// Hierarchy level; a thread holding level L may only acquire
+    /// strictly greater levels.
+    pub level: u32,
+    /// Why the lock sits at this level.
+    pub reason: String,
+    /// 1-based line of the `[[lock]]` header in the order file.
+    pub line: usize,
+}
+
+/// Parse `analyze/locks.toml` (same TOML subset as [`parse_allowlist`]):
+/// `[[lock]]` sections with `name`/`file`/`field` strings, an integer
+/// `level`, and a non-placeholder `reason`. Names, levels, and
+/// `(file, field)` pairs must all be unique — the file declares a total
+/// order, and two locks on one level would make "strictly greater"
+/// unsatisfiable for a legitimate nesting.
+pub fn parse_lock_order(src: &str) -> Result<Vec<LockDecl>, String> {
+    struct Partial {
+        name: Option<String>,
+        file: Option<String>,
+        field: Option<String>,
+        level: Option<u32>,
+        reason: Option<String>,
+        line: usize,
+    }
+    fn finish(p: Partial) -> Result<LockDecl, String> {
+        let at = format!("[[lock]] at line {}", p.line);
+        let decl = LockDecl {
+            name: p.name.ok_or(format!("{at}: missing `name`"))?,
+            file: p.file.ok_or(format!("{at}: missing `file`"))?,
+            field: p.field.ok_or(format!("{at}: missing `field`"))?,
+            level: p.level.ok_or(format!("{at}: missing `level`"))?,
+            reason: p.reason.ok_or(format!("{at}: missing `reason`"))?,
+            line: p.line,
+        };
+        if decl.reason.trim().is_empty() {
+            return Err(format!("{at}: `reason` must not be empty"));
+        }
+        if decl.reason.trim().starts_with("TODO") {
+            return Err(format!(
+                "{at}: `reason` is a TODO placeholder — write why `{}` sits at level {}",
+                decl.name, decl.level
+            ));
+        }
+        Ok(decl)
+    }
+
+    let mut decls: Vec<LockDecl> = Vec::new();
+    let mut cur: Option<Partial> = None;
+    for (idx, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[lock]]" {
+            if let Some(p) = cur.take() {
+                decls.push(finish(p)?);
+            }
+            cur = Some(Partial {
+                name: None,
+                file: None,
+                field: None,
+                level: None,
+                reason: None,
+                line: idx + 1,
+            });
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or(format!("line {}: expected `key = value`", idx + 1))?;
+        let p = cur
+            .as_mut()
+            .ok_or(format!("line {}: key before any [[lock]]", idx + 1))?;
+        let value = value.trim();
+        let parsed_str = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .map(str::to_string);
+        let key = key.trim();
+        match key {
+            "name" | "file" | "field" | "reason" => {
+                let v = parsed_str.ok_or(format!("line {}: `{key}` must be quoted", idx + 1))?;
+                match key {
+                    "name" => p.name = Some(v),
+                    "file" => p.file = Some(v),
+                    "field" => p.field = Some(v),
+                    _ => p.reason = Some(v),
+                }
+            }
+            "level" => {
+                p.level = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("line {}: `level` must be an integer", idx + 1))?,
+                )
+            }
+            other => return Err(format!("line {}: unknown key `{other}`", idx + 1)),
+        }
+    }
+    if let Some(p) = cur.take() {
+        decls.push(finish(p)?);
+    }
+    for (i, a) in decls.iter().enumerate() {
+        for b in &decls[i + 1..] {
+            if a.name == b.name {
+                return Err(format!("duplicate lock name `{}`", a.name));
+            }
+            if a.level == b.level {
+                return Err(format!(
+                    "`{}` and `{}` share level {} — the order must be total",
+                    a.name, b.name, a.level
+                ));
+            }
+            if a.file == b.file && a.field == b.field {
+                return Err(format!("duplicate entry for {}::{}", a.file, a.field));
+            }
+        }
+    }
+    Ok(decls)
+}
+
+/// Whether the acquisition at `f.lines[idx]` carries a `LOCKORDER:`
+/// justification on the same line or in the comment block above.
+fn lock_order_suppressed(f: &SourceFile, idx: usize) -> bool {
+    if f.lines[idx].contains(LOCK_ORDER_SUPPRESSION) {
+        return true;
+    }
+    let mut j = idx;
+    while j > 0 && is_comment_or_attr(&f.lines[j - 1]) {
+        j -= 1;
+        if f.lines[j].contains(LOCK_ORDER_SUPPRESSION) {
+            return true;
+        }
+    }
+    false
+}
+
+/// The lock field declared on `code`, if any: an optionally-`pub` struct
+/// field whose type mentions `Mutex<` or `RwLock<` (never `MutexGuard`,
+/// never a `Mutex::new` initializer, never a `&Mutex<T>` fn parameter).
+fn lock_field_decl(code: &str) -> Option<String> {
+    let t = code.trim_start();
+    let t = t.strip_prefix("pub ").unwrap_or(t);
+    let (name, ty) = t.split_once(':')?;
+    let name = name.trim();
+    if name.is_empty() || !name.bytes().all(is_ident_byte) {
+        return None;
+    }
+    let ty = ty.trim_start();
+    // References are fn parameters, not owned fields.
+    if ty.starts_with('&') {
+        return None;
+    }
+    (ty.contains("Mutex<") || ty.contains("RwLock<")).then(|| name.to_string())
+}
+
+/// Lock names acquired on this line: every `recover("<name>"` call. The
+/// name is read from the raw line (string contents are blanked in the
+/// code portion), but only when the code portion actually calls
+/// `recover` — a comment mentioning it does not count.
+fn acquired_names(raw: &str, code: &str) -> Vec<String> {
+    if !has_word(code, "recover") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut rest = raw;
+    while let Some(pos) = rest.find("recover(\"") {
+        let tail = &rest[pos + "recover(\"".len()..];
+        let Some(close) = tail.find('"') else { break };
+        out.push(tail[..close].to_string());
+        rest = &tail[close + 1..];
+    }
+    out
+}
+
+/// Enforce the declared total lock order over the resident service:
+///
+/// - every `Mutex`/`RwLock` field under `crates/serve/src/` has a
+///   `[[lock]]` entry (and every entry matches a live field);
+/// - every declared lock is actually acquired somewhere via
+///   `lock::recover("<name>", ...)`, and never via a bare
+///   `.lock()`/`.read()`/`.write()` on the field (those bypass poison
+///   recovery and the runtime lock-order graph);
+/// - no site acquires a lock whose level is ≤ the level of any guard
+///   still live at that point. Guard liveness is tracked syntactically:
+///   a `let`-bound guard lives to the end of its block (or an explicit
+///   `drop(var)`); a temporary dies within its statement.
+///
+/// Locks acquired under names not in the order file (test-local
+/// mutexes) are deliberately untracked.
+pub fn lint_lock_order(files: &[SourceFile], order_src: &str) -> Vec<Finding> {
+    let decls = match parse_lock_order(order_src) {
+        Ok(d) => d,
+        Err(e) => {
+            return vec![Finding {
+                file: "analyze/locks.toml".to_string(),
+                line: 0,
+                lint: "lock-order",
+                message: format!("lock order parse error: {e}"),
+            }]
+        }
+    };
+    let by_name: BTreeMap<&str, &LockDecl> =
+        decls.iter().map(|d| (d.name.as_str(), d)).collect();
+    let mut out = Vec::new();
+
+    // Field coverage: serve-layer lock fields ↔ [[lock]] entries.
+    let mut seen_fields: Vec<(&str, String)> = Vec::new();
+    for f in files {
+        if !f.rel.starts_with("crates/serve/src/") {
+            continue;
+        }
+        for (idx, raw) in f.lines.iter().enumerate() {
+            let code = code_portion(raw);
+            let Some(field) = lock_field_decl(&code) else { continue };
+            seen_fields.push((&f.rel, field.clone()));
+            if !decls.iter().any(|d| d.file == f.rel && d.field == field) {
+                out.push(Finding {
+                    file: f.rel.clone(),
+                    line: idx + 1,
+                    lint: "lock-order",
+                    message: format!(
+                        "lock field `{field}` has no [[lock]] entry in analyze/locks.toml — \
+                         assign it a hierarchy level"
+                    ),
+                });
+            }
+        }
+    }
+    for d in &decls {
+        if !seen_fields.iter().any(|(rel, field)| *rel == d.file && *field == d.field) {
+            out.push(Finding {
+                file: "analyze/locks.toml".to_string(),
+                line: d.line,
+                lint: "lock-order",
+                message: format!(
+                    "stale [[lock]] entry `{}`: no `{}: Mutex<...>` field in {}",
+                    d.name, d.field, d.file
+                ),
+            });
+        }
+    }
+
+    // Acquisition scan: order violations, recover() bypasses, and
+    // never-acquired names.
+    let mut names_acquired: Vec<&str> = Vec::new();
+    for f in files {
+        struct Held<'a> {
+            depth: usize,
+            decl: &'a LockDecl,
+            var: Option<String>,
+            line: usize,
+        }
+        let mut held: Vec<Held> = Vec::new();
+        let mut depth = 0usize;
+        for (idx, raw) in f.lines.iter().enumerate() {
+            let code = code_portion(raw);
+            for name in acquired_names(raw, &code) {
+                let Some(decl) = by_name.get(name.as_str()).copied() else {
+                    continue; // test-local mutex; untracked by design
+                };
+                if !names_acquired.contains(&decl.name.as_str()) {
+                    names_acquired.push(&decl.name);
+                }
+                if !lock_order_suppressed(f, idx) {
+                    for h in &held {
+                        if decl.level <= h.decl.level {
+                            out.push(Finding {
+                                file: f.rel.clone(),
+                                line: idx + 1,
+                                lint: "lock-order",
+                                message: format!(
+                                    "acquires `{}` (level {}) while holding `{}` (level {}, \
+                                     taken line {}) — the order file requires strictly \
+                                     increasing levels; reorder, or justify with `{}`",
+                                    decl.name,
+                                    decl.level,
+                                    h.decl.name,
+                                    h.decl.level,
+                                    h.line,
+                                    LOCK_ORDER_SUPPRESSION
+                                ),
+                            });
+                        }
+                    }
+                }
+                // A `let`-bound guard outlives the statement; anything
+                // else — including `let Some(x) = recover(..).get(..)`
+                // destructurings, whose guard is a temporary — dies with
+                // it. Uppercase-initial "bindings" are enum patterns.
+                let t = code.trim_start();
+                if let Some(rest) = t.strip_prefix("let ") {
+                    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+                    let var: String = rest
+                        .bytes()
+                        .take_while(|b| is_ident_byte(*b))
+                        .map(char::from)
+                        .collect();
+                    if var != "_"
+                        && !var.is_empty()
+                        && !var.as_bytes()[0].is_ascii_uppercase()
+                    {
+                        held.push(Held {
+                            depth,
+                            decl,
+                            var: Some(var),
+                            line: idx + 1,
+                        });
+                    }
+                }
+            }
+            // Direct acquisition on a declared field bypasses recover().
+            for d in &decls {
+                if d.file != f.rel {
+                    continue;
+                }
+                for method in ["lock", "read", "write"] {
+                    if code.contains(&format!(".{}.{method}()", d.field))
+                        && !lock_order_suppressed(f, idx)
+                    {
+                        out.push(Finding {
+                            file: f.rel.clone(),
+                            line: idx + 1,
+                            lint: "lock-order",
+                            message: format!(
+                                "acquires `{}` via bare `.{method}()` — route it through \
+                                 `lock::recover(\"{}\", ...)` so poison recovery and the \
+                                 lock-order graph see it",
+                                d.name, d.name
+                            ),
+                        });
+                    }
+                }
+            }
+            // Explicit drops release their guard mid-block.
+            if has_word(&code, "drop") {
+                held.retain(|h| match &h.var {
+                    Some(v) => !code.contains(&format!("drop({v})")),
+                    None => true,
+                });
+            }
+            for c in code.chars() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => depth = depth.saturating_sub(1),
+                    _ => {}
+                }
+            }
+            // A guard bound at depth d dies when its block closes.
+            held.retain(|h| h.depth <= depth);
+        }
+    }
+    for d in &decls {
+        if !names_acquired.contains(&d.name.as_str()) {
+            out.push(Finding {
+                file: "analyze/locks.toml".to_string(),
+                line: d.line,
+                lint: "lock-order",
+                message: format!(
+                    "`{}` is declared but never acquired via `lock::recover(\"{}\", ...)`",
+                    d.name, d.name
+                ),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Scanner + driver
 // ---------------------------------------------------------------------------
 
@@ -887,6 +1328,8 @@ pub fn run_all(root: &Path) -> Result<Vec<Finding>, String> {
     let files = load_sources(root)?;
     let allowlist = fs::read_to_string(root.join("analyze/atomics.toml"))
         .map_err(|e| format!("analyze/atomics.toml: {e}"))?;
+    let lock_order = fs::read_to_string(root.join("analyze/locks.toml"))
+        .map_err(|e| format!("analyze/locks.toml: {e}"))?;
 
     let mut findings = Vec::new();
     for f in &files {
@@ -894,6 +1337,7 @@ pub fn run_all(root: &Path) -> Result<Vec<Finding>, String> {
         findings.extend(lint_hot_path_locks(f));
     }
     findings.extend(lint_atomics(&files, &allowlist));
+    findings.extend(lint_lock_order(&files, &lock_order));
 
     let run_rs = files
         .iter()
@@ -1293,6 +1737,204 @@ pub fn decode(op: u8) -> bool {
         let fs = lint_opcode_coverage(&proto, &[]);
         assert_eq!(fs.len(), 1);
         assert!(fs[0].message.contains("could not locate `pub mod opcode`"), "{fs:?}");
+    }
+
+    // -- lint 7 ----------------------------------------------------------
+
+    const MINI_LOCKS_TOML: &str = r#"
+[[lock]]
+name = "queue.state"
+file = "crates/serve/src/queue.rs"
+field = "state"
+level = 10
+reason = "innermost"
+
+[[lock]]
+name = "gauges"
+file = "crates/serve/src/server.rs"
+field = "gauges"
+level = 40
+reason = "terminal"
+"#;
+
+    const MINI_QUEUE_RS: &str = "\
+pub struct Q {\n    state: Mutex<u32>,\n}\n\
+impl Q {\n    fn touch(&self) {\n        let s = lock::recover(\"queue.state\", &self.state);\n    }\n}\n";
+
+    const MINI_SERVER_RS: &str = "\
+pub struct S {\n    gauges: Mutex<u32>,\n}\n\
+impl S {\n    fn ordered(&self, q: &Q) {\n        let s = lock::recover(\"queue.state\", &q.state);\n        let g = lock::recover(\"gauges\", &self.gauges);\n    }\n}\n";
+
+    #[test]
+    fn lock_order_clean_on_an_ordered_repo() {
+        let files = [
+            sf("crates/serve/src/queue.rs", MINI_QUEUE_RS),
+            sf("crates/serve/src/server.rs", MINI_SERVER_RS),
+        ];
+        let fs = lint_lock_order(&files, MINI_LOCKS_TOML);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    /// The negative fixture: a snippet that takes the locks in inverted
+    /// order must be flagged, with both levels and the holding site in
+    /// the message.
+    #[test]
+    fn lock_order_flags_an_inverted_acquisition() {
+        let inverted = "\
+pub struct S {\n    gauges: Mutex<u32>,\n}\n\
+impl S {\n    fn inverted(&self, q: &Q) {\n        let g = lock::recover(\"gauges\", &self.gauges);\n        let s = lock::recover(\"queue.state\", &q.state);\n    }\n}\n";
+        let files = [
+            sf("crates/serve/src/queue.rs", MINI_QUEUE_RS),
+            sf("crates/serve/src/server.rs", inverted),
+        ];
+        let fs = lint_lock_order(&files, MINI_LOCKS_TOML);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].lint, "lock-order");
+        assert_eq!(fs[0].file, "crates/serve/src/server.rs");
+        assert_eq!(fs[0].line, 7);
+        assert!(
+            fs[0].message.contains("`queue.state` (level 10)")
+                && fs[0].message.contains("`gauges` (level 40"),
+            "{fs:?}"
+        );
+    }
+
+    #[test]
+    fn lock_order_honors_the_lockorder_escape_hatch_and_keeps_tracking() {
+        // The justified inversion in f() is accepted; the identical
+        // unjustified one in g() is still flagged.
+        let locks = concat!(
+            "[[lock]]\nname = \"a\"\nfile = \"crates/serve/src/x.rs\"\nfield = \"a_lock\"\n",
+            "level = 10\nreason = \"first\"\n",
+            "[[lock]]\nname = \"b\"\nfile = \"crates/serve/src/x.rs\"\nfield = \"b_lock\"\n",
+            "level = 20\nreason = \"second\"\n",
+        );
+        let src = "\
+pub struct X {\n    a_lock: Mutex<u32>,\n    b_lock: Mutex<u32>,\n}\n\
+impl X {\n    fn f(&self) {\n        let b = lock::recover(\"b\", &self.b_lock);\n        // LOCKORDER: drain answers clients before counters update\n        let a = lock::recover(\"a\", &self.a_lock);\n    }\n    fn g(&self) {\n        let b = lock::recover(\"b\", &self.b_lock);\n        let a = lock::recover(\"a\", &self.a_lock);\n    }\n}\n";
+        let files = [sf("crates/serve/src/x.rs", src)];
+        let fs = lint_lock_order(&files, locks);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].line, 13, "only the unjustified inversion in g() is flagged");
+    }
+
+    #[test]
+    fn lock_order_releases_on_drop_and_block_close() {
+        let locks = concat!(
+            "[[lock]]\nname = \"a\"\nfile = \"crates/serve/src/x.rs\"\nfield = \"a_lock\"\n",
+            "level = 10\nreason = \"first\"\n",
+            "[[lock]]\nname = \"b\"\nfile = \"crates/serve/src/x.rs\"\nfield = \"b_lock\"\n",
+            "level = 20\nreason = \"second\"\n",
+        );
+        // b is taken first both times, but once behind a drop() and once
+        // in a closed block — a is acquired with nothing held.
+        let src = "\
+pub struct X {\n    a_lock: Mutex<u32>,\n    b_lock: Mutex<u32>,\n}\n\
+impl X {\n    fn dropped(&self) {\n        let b = lock::recover(\"b\", &self.b_lock);\n        drop(b);\n        let a = lock::recover(\"a\", &self.a_lock);\n    }\n    fn scoped(&self) {\n        {\n            let b = lock::recover(\"b\", &self.b_lock);\n        }\n        let a = lock::recover(\"a\", &self.a_lock);\n    }\n}\n";
+        let files = [sf("crates/serve/src/x.rs", src)];
+        let fs = lint_lock_order(&files, locks);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn lock_order_flags_unmapped_fields_stale_entries_and_bare_locks() {
+        let files = [
+            sf(
+                "crates/serve/src/queue.rs",
+                "pub struct Q {\n    state: Mutex<u32>,\n    extra: RwLock<u32>,\n}\n\
+                 impl Q {\n    fn f(&self) {\n        let s = lock::recover(\"queue.state\", &self.state);\n        let x = self.state.lock().unwrap();\n    }\n}\n",
+            ),
+            // server.rs (and its gauges field) gone entirely.
+            sf("crates/serve/src/other.rs", "fn nothing() {}\n"),
+        ];
+        let fs = lint_lock_order(&files, MINI_LOCKS_TOML);
+        assert!(
+            fs.iter().any(|f| f.message.contains("`extra` has no [[lock]] entry")),
+            "{fs:?}"
+        );
+        assert!(
+            fs.iter().any(|f| f.file == "analyze/locks.toml"
+                && f.message.contains("stale [[lock]] entry `gauges`")),
+            "{fs:?}"
+        );
+        assert!(
+            fs.iter().any(|f| f.file == "analyze/locks.toml"
+                && f.message.contains("`gauges` is declared but never acquired")),
+            "{fs:?}"
+        );
+        assert!(
+            fs.iter()
+                .any(|f| f.line == 8 && f.message.contains("bare `.lock()`")),
+            "{fs:?}"
+        );
+    }
+
+    #[test]
+    fn lock_order_ignores_guards_mutex_new_and_fn_params() {
+        // None of these lines declare a lock field: a MutexGuard field,
+        // a Mutex::new initializer, a &Mutex parameter, a let binding.
+        let src = "\
+pub struct G<'a> {\n    inner: Option<MutexGuard<'a, u32>>,\n}\n\
+fn build() {\n    let s = Something { state: Mutex::new(0) };\n}\n\
+fn takes(m: &Mutex<u32>) {}\n\
+fn local() {\n    let state: Mutex<u32> = Mutex::new(0);\n}\n";
+        let files = [sf("crates/serve/src/lockish.rs", src)];
+        let locks = "";
+        let fs = lint_lock_order(&files, locks);
+        // `let state: Mutex<u32>` is a local, not a field — but the
+        // declframe heuristic sees `state: Mutex<`. The `let ` prefix
+        // must exempt it.
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn lock_order_file_rejects_duplicates_and_placeholders() {
+        let dup_level = concat!(
+            "[[lock]]\nname = \"a\"\nfile = \"f.rs\"\nfield = \"a\"\nlevel = 10\nreason = \"x\"\n",
+            "[[lock]]\nname = \"b\"\nfile = \"f.rs\"\nfield = \"b\"\nlevel = 10\nreason = \"y\"\n",
+        );
+        assert!(parse_lock_order(dup_level).unwrap_err().contains("share level 10"));
+        let dup_name = concat!(
+            "[[lock]]\nname = \"a\"\nfile = \"f.rs\"\nfield = \"a\"\nlevel = 10\nreason = \"x\"\n",
+            "[[lock]]\nname = \"a\"\nfile = \"g.rs\"\nfield = \"b\"\nlevel = 20\nreason = \"y\"\n",
+        );
+        assert!(parse_lock_order(dup_name).unwrap_err().contains("duplicate lock name"));
+        let todo = "[[lock]]\nname = \"a\"\nfile = \"f.rs\"\nfield = \"a\"\nlevel = 10\nreason = \"TODO\"\n";
+        assert!(parse_lock_order(todo).unwrap_err().contains("TODO placeholder"));
+        let unparsed = lint_lock_order(&[], "level = 1\n");
+        assert_eq!(unparsed.len(), 1);
+        assert!(unparsed[0].message.contains("parse error"), "{unparsed:?}");
+    }
+
+    // -- findings carry real lines (satellite) ----------------------------
+
+    #[test]
+    fn atomics_findings_point_at_a_source_line_and_the_toml_entry() {
+        let unlisted = sf(
+            "crates/x/src/b.rs",
+            "// comment\nfn f(a: &AtomicU64) {\n    a.load(Ordering::SeqCst);\n}\n",
+        );
+        let fs = lint_atomics(&[unlisted], GOOD_LIST);
+        let site = fs.iter().find(|f| f.message.contains("not justified")).unwrap();
+        assert_eq!((site.file.as_str(), site.line), ("crates/x/src/b.rs", 3));
+        // GOOD_LIST's [[site]] header sits on line 3 of the literal.
+        let stale = fs.iter().find(|f| f.message.contains("stale entry")).unwrap();
+        assert_eq!((stale.file.as_str(), stale.line), ("analyze/atomics.toml", 3));
+    }
+
+    #[test]
+    fn wire_code_findings_point_at_the_mapping() {
+        let guard = sf("crates/core/src/guard.rs", MINI_GUARD_RS);
+        let lossy = MINI_WIRE_RS.replace(
+            "        SsspError::WorkerPanicked { .. } => 20,",
+            "        _ => 0,",
+        );
+        let wire = sf("crates/serve/src/protocol.rs", &lossy);
+        let fs = lint_wire_codes(&guard, &wire);
+        let missing = fs.iter().find(|f| f.message.contains("has no arm")).unwrap();
+        assert_eq!(missing.line, 2, "points at `pub fn wire_code`");
+        let wildcard = fs.iter().find(|f| f.message.contains("wildcard")).unwrap();
+        assert_eq!(wildcard.line, 6, "points at the `_ =>` arm itself");
     }
 
     // -- self-test: the repo itself is clean ------------------------------

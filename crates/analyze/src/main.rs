@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cargo run -p sssp-analyze                 # all lints; exit 1 on findings
+//! cargo run -p sssp-analyze -- --json          # findings as a JSON array
 //! cargo run -p sssp-analyze -- --list-atomics  # dump observed Ordering:: sites
 //! cargo run -p sssp-analyze -- --root <dir>    # lint a different checkout
 //! ```
@@ -9,13 +10,50 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use sssp_analyze::Finding;
+
+/// Minimal JSON string escaping — the four characters that can occur in
+/// file paths and lint messages (`"`, `\`, newline, tab) plus the rest
+/// of the control range. No dependency needed for output this shape.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn print_json(findings: &[Finding]) {
+    println!("[");
+    for (i, f) in findings.iter().enumerate() {
+        let comma = if i + 1 < findings.len() { "," } else { "" };
+        println!(
+            "  {{\"file\": \"{}\", \"line\": {}, \"lint\": \"{}\", \"message\": \"{}\"}}{comma}",
+            json_escape(&f.file),
+            f.line,
+            json_escape(f.lint),
+            json_escape(&f.message)
+        );
+    }
+    println!("]");
+}
+
 fn main() -> ExitCode {
     let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
     let mut list = false;
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--list-atomics" => list = true,
+            "--json" => json = true,
             "--root" => match args.next() {
                 Some(dir) => root = PathBuf::from(dir),
                 None => {
@@ -24,7 +62,7 @@ fn main() -> ExitCode {
                 }
             },
             other => {
-                eprintln!("unknown flag `{other}` (use --list-atomics, --root <dir>)");
+                eprintln!("unknown flag `{other}` (use --json, --list-atomics, --root <dir>)");
                 return ExitCode::from(2);
             }
         }
@@ -50,16 +88,26 @@ fn main() -> ExitCode {
         };
     }
 
+    // Exit code is nonzero iff findings are non-empty (2 on harness
+    // errors), in both output modes — CI keys off the code, not the text.
     match sssp_analyze::run_all(&root) {
         Ok(findings) if findings.is_empty() => {
-            println!("sssp-analyze: clean");
+            if json {
+                print_json(&findings);
+            } else {
+                println!("sssp-analyze: clean");
+            }
             ExitCode::SUCCESS
         }
         Ok(findings) => {
-            for f in &findings {
-                println!("{f}");
+            if json {
+                print_json(&findings);
+            } else {
+                for f in &findings {
+                    println!("{f}");
+                }
+                println!("sssp-analyze: {} finding(s)", findings.len());
             }
-            println!("sssp-analyze: {} finding(s)", findings.len());
             ExitCode::FAILURE
         }
         Err(e) => {

@@ -23,6 +23,16 @@
 //!    the determinism suite checks per thread count, here checked per
 //!    schedule).
 //!
+//! Alongside races, each explored schedule drains the tracker's
+//! lock-acquisition-order graph: any AB-BA cycle the schedule produced
+//! is reported as a potential deadlock with both acquisition sites.
+//!
+//! Every failure prints the exact `(seed, preemption budget)` pair and
+//! the `RACECHECK_SCHEDULE=<seed>:<budget>` incantation that replays it
+//! deterministically; [`ExploreConfig::from_env`] honors that variable
+//! (plus `RACECHECK_SEED` and `RACECHECK_SCHEDULES`) so a CI hit
+//! reproduces locally without bisection.
+//!
 //! Exploration forces the relaxation threshold to 1
 //! ([`crate::reqbuf::set_relax_threshold_override`]) so that the fig-4
 //! sized graphs CI can afford still take the parallel producer/merge
@@ -66,6 +76,43 @@ impl Default for ExploreConfig {
     }
 }
 
+impl ExploreConfig {
+    /// The default config, overridden by the replay environment
+    /// variables every failure report names:
+    ///
+    /// - `RACECHECK_SCHEDULE=<seed>:<budget>` — replay exactly one
+    ///   schedule (the form a failure prints);
+    /// - `RACECHECK_SEED=<seed>` — one seed under the default budget;
+    /// - `RACECHECK_SCHEDULES=<n>` — explore seeds `0..n` (CI sets 64).
+    ///
+    /// Malformed values fall through to the next variable rather than
+    /// silently exploring nothing.
+    pub fn from_env() -> ExploreConfig {
+        let mut cfg = ExploreConfig::default();
+        if let Some((seed, budget)) = std::env::var("RACECHECK_SCHEDULE")
+            .ok()
+            .and_then(|s| match s.split_once(':') {
+                Some((seed, budget)) => Some((seed.parse().ok()?, budget.parse().ok()?)),
+                None => Some((s.parse().ok()?, cfg.preemption_budget)),
+            })
+        {
+            cfg.seeds = seed..seed + 1;
+            cfg.preemption_budget = budget;
+        } else if let Some(seed) = std::env::var("RACECHECK_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            cfg.seeds = seed..seed + 1;
+        } else if let Some(n) = std::env::var("RACECHECK_SCHEDULES")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            cfg.seeds = 0..n;
+        }
+        cfg
+    }
+}
+
 /// What an exploration saw: schedule count, every race (with the seed
 /// that produced it), every seed whose output diverged, and the total
 /// number of shadow-state events checked.
@@ -75,6 +122,9 @@ pub struct ExploreReport {
     pub schedules: usize,
     /// `(seed, race)` for every conflicting unordered access pair found.
     pub races: Vec<(u64, racecheck::Race)>,
+    /// `(seed, cycle)` for every lock-acquisition-order cycle (potential
+    /// deadlock) the dynamic graph detected.
+    pub deadlocks: Vec<(u64, racecheck::LockCycle)>,
     /// Seeds whose distances or stats differed from the fused reference
     /// or from the first explored seed (or whose run failed outright).
     pub divergent_seeds: Vec<u64>,
@@ -84,10 +134,20 @@ pub struct ExploreReport {
 }
 
 impl ExploreReport {
-    /// No races and no divergence on any explored schedule.
+    /// No races, no lock-order cycles, and no divergence on any
+    /// explored schedule.
     pub fn is_clean(&self) -> bool {
-        self.races.is_empty() && self.divergent_seeds.is_empty()
+        self.races.is_empty() && self.deadlocks.is_empty() && self.divergent_seeds.is_empty()
     }
+}
+
+/// Every failure names the exact schedule to replay, so a CI hit can be
+/// reproduced locally with one env var and no bisection.
+fn replay_hint(what: &str, seed: u64, budget: u32) {
+    eprintln!(
+        "racecheck: {what} at seed {seed} (preemption budget {budget}); \
+         replay with RACECHECK_SCHEDULE={seed}:{budget}"
+    );
 }
 
 /// RAII: force the sequential/parallel cut-over to 1 for the duration of
@@ -147,26 +207,38 @@ pub fn explore(
         taskpool::sched::disarm();
         report.schedules += 1;
         report.events += session.events();
+        let races = session.take_races();
+        let deadlocks = session.take_deadlocks();
+        if !races.is_empty() {
+            replay_hint("conflicting unordered accesses", seed, cfg.preemption_budget);
+        }
+        if !deadlocks.is_empty() {
+            replay_hint("lock-order cycle", seed, cfg.preemption_budget);
+        }
+        report.races.extend(races.into_iter().map(|r| (seed, r)));
         report
-            .races
-            .extend(session.take_races().into_iter().map(|r| (seed, r)));
-        match run {
+            .deadlocks
+            .extend(deadlocks.into_iter().map(|d| (seed, d)));
+        let diverged = match run {
             Ok(rep) if rep.degraded.is_none() => {
                 let b = bits(&rep.result.dist);
                 if b != ref_bits {
-                    report.divergent_seeds.push(seed);
-                    continue;
-                }
-                match &first {
-                    None => first = Some((b, rep.result.stats)),
-                    Some((b0, s0)) => {
-                        if &b != b0 || &rep.result.stats != s0 {
-                            report.divergent_seeds.push(seed);
+                    true
+                } else {
+                    match &first {
+                        None => {
+                            first = Some((b, rep.result.stats));
+                            false
                         }
+                        Some((b0, s0)) => &b != b0 || &rep.result.stats != s0,
                     }
                 }
             }
-            _ => report.divergent_seeds.push(seed),
+            _ => true,
+        };
+        if diverged {
+            replay_hint("divergent output", seed, cfg.preemption_budget);
+            report.divergent_seeds.push(seed);
         }
     }
     report
@@ -221,10 +293,20 @@ pub fn explore_cancel_resume(
         taskpool::sched::disarm();
         report.schedules += 1;
         report.events += session.events();
+        let races = session.take_races();
+        let deadlocks = session.take_deadlocks();
+        if !races.is_empty() {
+            replay_hint("conflicting unordered accesses", seed, cfg.preemption_budget);
+        }
+        if !deadlocks.is_empty() {
+            replay_hint("lock-order cycle", seed, cfg.preemption_budget);
+        }
+        report.races.extend(races.into_iter().map(|r| (seed, r)));
         report
-            .races
-            .extend(session.take_races().into_iter().map(|r| (seed, r)));
+            .deadlocks
+            .extend(deadlocks.into_iter().map(|d| (seed, d)));
         if outcome.is_err() {
+            replay_hint("divergent cancel/resume output", seed, cfg.preemption_budget);
             report.divergent_seeds.push(seed);
         }
     }

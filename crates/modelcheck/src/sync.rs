@@ -1,0 +1,352 @@
+//! Shim synchronization primitives.
+//!
+//! With the `modelcheck` feature on (the default for this crate), every
+//! operation on these types is a scheduling point driven by
+//! [`crate::exec`]'s controller: the calling thread parks until the
+//! explorer hands it the baton, performs exactly one observable step
+//! against the central model state, and hands the baton back. Blocking
+//! (`lock` on a held mutex, `wait` on a condvar) is modeled as a status
+//! the explorer can see — which is precisely what makes deadlocks
+//! detectable rather than merely hang-inducing.
+//!
+//! With `--no-default-features`, each type is a zero-cost newtype over
+//! its `std::sync` counterpart, so protocol code written against these
+//! shims runs at full speed outside the model.
+//!
+//! Memory-model note: the shims are sequentially consistent — every op
+//! is a global step on the central state. That is stronger than the
+//! hardware model, which is the right direction for checking
+//! lock-protected protocol cores (the serve layer has no lock-free
+//! algorithms; its atomics are flags and counters).
+
+#[cfg(feature = "modelcheck")]
+mod modeled {
+    use std::hash::{Hash, Hasher};
+    use std::sync::Arc;
+
+    use crate::exec::{current_thread, ExecInner, Status};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut s = std::collections::hash_map::DefaultHasher::new();
+        v.hash(&mut s);
+        s.finish()
+    }
+
+    fn me() -> usize {
+        current_thread().expect("modelcheck shim used outside a model thread")
+    }
+
+    /// A model mutex. `T: Hash` so the protected value feeds the
+    /// explorer's state key: two interleavings that leave the core in
+    /// the same state merge in the search tree.
+    pub struct Mutex<T> {
+        exec: Arc<ExecInner>,
+        id: usize,
+        // Uncontended by construction: model-level ownership is
+        // exclusive before this lock is ever touched.
+        data: Arc<std::sync::Mutex<T>>,
+    }
+
+    impl<T> Clone for Mutex<T> {
+        fn clone(&self) -> Self {
+            Mutex { exec: Arc::clone(&self.exec), id: self.id, data: Arc::clone(&self.data) }
+        }
+    }
+
+    impl<T: Hash> Mutex<T> {
+        pub(crate) fn register(exec: &Arc<ExecInner>, value: T) -> Self {
+            let id = exec.register_mutex(hash_of(&value));
+            Mutex { exec: Arc::clone(exec), id, data: Arc::new(std::sync::Mutex::new(value)) }
+        }
+
+        /// Acquire. One scheduling point; blocks (as a model status) if
+        /// another model thread owns the mutex.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            let idx = me();
+            self.exec.op(idx, "lock", self.id, |c| {
+                let mx = &mut c.mutexes[self.id];
+                if mx.owner.is_none() {
+                    mx.owner = Some(idx);
+                    Some(())
+                } else {
+                    c.threads[idx].status = Status::BlockedOnMutex(self.id);
+                    None
+                }
+            });
+            MutexGuard { m: self, inner: Some(self.data.lock().unwrap()) }
+        }
+
+        pub(crate) fn release(&self, idx: usize, new_hash: u64) {
+            self.exec.op(idx, "unlock", self.id, |c| {
+                let mx = &mut c.mutexes[self.id];
+                debug_assert_eq!(mx.owner, Some(idx), "release by non-owner");
+                mx.owner = None;
+                mx.val_hash = new_hash;
+                // Everyone blocked on this mutex races to reacquire.
+                for t in c.threads.iter_mut() {
+                    if t.status == Status::BlockedOnMutex(self.id) {
+                        t.status = Status::Runnable;
+                    }
+                }
+                Some(())
+            });
+        }
+    }
+
+    /// Guard for a model mutex. Dropping it is a scheduling point (the
+    /// release is an observable step that wakes blocked threads).
+    pub struct MutexGuard<'a, T: Hash> {
+        m: &'a Mutex<T>,
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+    }
+
+    impl<T: Hash> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard present until drop")
+        }
+    }
+
+    impl<T: Hash> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard present until drop")
+        }
+    }
+
+    impl<T: Hash> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            // Hash before releasing the data lock: model ownership is
+            // still ours, so no other thread can be mutating.
+            let new_hash = hash_of(&**self.inner.as_ref().expect("guard present"));
+            let idx = me();
+            self.inner = None;
+            self.m.release(idx, new_hash);
+        }
+    }
+
+    /// A model condvar. `notify_one` is modeled as `notify_all` (sound
+    /// for wait-in-a-loop callers: extra wakeups re-check the predicate
+    /// and go back to sleep). Spurious wakeups are not injected.
+    pub struct Condvar {
+        exec: Arc<ExecInner>,
+        id: usize,
+    }
+
+    impl Clone for Condvar {
+        fn clone(&self) -> Self {
+            Condvar { exec: Arc::clone(&self.exec), id: self.id }
+        }
+    }
+
+    impl Condvar {
+        pub(crate) fn register(exec: &Arc<ExecInner>) -> Self {
+            Condvar { exec: Arc::clone(exec), id: exec.register_condvar() }
+        }
+
+        /// Atomically release the guard's mutex and sleep on this
+        /// condvar; reacquire before returning. The release+sleep is a
+        /// single scheduling point — there is no lost-wakeup window, as
+        /// with a real condvar.
+        pub fn wait<'a, T: Hash>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            let idx = me();
+            let m = guard.m;
+            let mid = m.id;
+            // Hash + drop the data guard by hand: the model release is
+            // folded into the wait op below, not a separate step.
+            let mut g = guard;
+            let new_hash = hash_of(&*g);
+            g.inner = None;
+            std::mem::forget(g);
+            self.exec.op(idx, "wait", self.id, |c| {
+                let mx = &mut c.mutexes[mid];
+                debug_assert_eq!(mx.owner, Some(idx), "wait without holding the mutex");
+                mx.owner = None;
+                mx.val_hash = new_hash;
+                for t in c.threads.iter_mut() {
+                    if t.status == Status::BlockedOnMutex(mid) {
+                        t.status = Status::Runnable;
+                    }
+                }
+                c.cv_waiters[self.id].push(idx);
+                c.threads[idx].status = Status::BlockedOnCondvar(self.id);
+                Some(())
+            });
+            // Notified (status set Runnable by a notify op): reacquire.
+            m.lock()
+        }
+
+        pub fn notify_one(&self) {
+            self.notify_all();
+        }
+
+        pub fn notify_all(&self) {
+            let idx = me();
+            self.exec.op(idx, "notify", self.id, |c| {
+                let waiters = std::mem::take(&mut c.cv_waiters[self.id]);
+                for w in waiters {
+                    debug_assert_eq!(c.threads[w].status, Status::BlockedOnCondvar(self.id));
+                    c.threads[w].status = Status::Runnable;
+                }
+                Some(())
+            });
+        }
+    }
+
+    /// A model atomic counter. Sequentially consistent; every access is
+    /// a scheduling point. No `Ordering` parameters — the model has only
+    /// one ordering, and taking the std signature would imply relaxed
+    /// semantics the explorer does not simulate.
+    pub struct AtomicUsize {
+        exec: Arc<ExecInner>,
+        id: usize,
+    }
+
+    impl Clone for AtomicUsize {
+        fn clone(&self) -> Self {
+            AtomicUsize { exec: Arc::clone(&self.exec), id: self.id }
+        }
+    }
+
+    impl AtomicUsize {
+        pub(crate) fn register(exec: &Arc<ExecInner>, v: usize) -> Self {
+            AtomicUsize { exec: Arc::clone(exec), id: exec.register_cell(v) }
+        }
+
+        pub fn load(&self) -> usize {
+            let idx = me();
+            self.exec.op(idx, "load", self.id, |c| Some(c.cells[self.id]))
+        }
+
+        pub fn store(&self, v: usize) {
+            let idx = me();
+            self.exec.op(idx, "store", self.id, |c| {
+                c.cells[self.id] = v;
+                Some(())
+            });
+        }
+
+        /// Returns the previous value.
+        pub fn fetch_add(&self, v: usize) -> usize {
+            let idx = me();
+            self.exec.op(idx, "fetch_add", self.id, |c| {
+                let old = c.cells[self.id];
+                c.cells[self.id] = old.wrapping_add(v);
+                Some(old)
+            })
+        }
+
+        /// Single-step compare-exchange; returns `Ok(old)` on success,
+        /// `Err(actual)` otherwise.
+        pub fn compare_exchange(&self, expect: usize, new: usize) -> Result<usize, usize> {
+            let idx = me();
+            self.exec.op(idx, "cas", self.id, |c| {
+                let old = c.cells[self.id];
+                Some(if old == expect {
+                    c.cells[self.id] = new;
+                    Ok(old)
+                } else {
+                    Err(old)
+                })
+            })
+        }
+    }
+}
+
+#[cfg(feature = "modelcheck")]
+pub use modeled::{AtomicUsize, Condvar, Mutex, MutexGuard};
+
+/// Zero-cost std passthroughs, compiled with `--no-default-features`.
+/// Same API surface as the modeled shims so instrumented code needs no
+/// cfgs of its own.
+#[cfg(not(feature = "modelcheck"))]
+mod passthrough {
+    use std::sync::PoisonError;
+
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Self {
+            Mutex(std::sync::Mutex::new(value))
+        }
+
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            MutexGuard(self.0.lock().unwrap_or_else(PoisonError::into_inner))
+        }
+    }
+
+    pub struct MutexGuard<'a, T>(std::sync::MutexGuard<'a, T>);
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.0
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.0
+        }
+    }
+
+    pub struct Condvar(std::sync::Condvar);
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl Condvar {
+        pub fn new() -> Self {
+            Condvar(std::sync::Condvar::new())
+        }
+
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            MutexGuard(self.0.wait(guard.0).unwrap_or_else(PoisonError::into_inner))
+        }
+
+        pub fn notify_one(&self) {
+            self.0.notify_one();
+        }
+
+        pub fn notify_all(&self) {
+            self.0.notify_all();
+        }
+    }
+
+    /// Sequentially consistent passthrough: the modeled API has no
+    /// `Ordering` parameters, so the strongest ordering is the only
+    /// faithful translation.
+    pub struct AtomicUsize(std::sync::atomic::AtomicUsize);
+
+    impl AtomicUsize {
+        pub fn new(v: usize) -> Self {
+            AtomicUsize(std::sync::atomic::AtomicUsize::new(v))
+        }
+
+        pub fn load(&self) -> usize {
+            self.0.load(std::sync::atomic::Ordering::SeqCst)
+        }
+
+        pub fn store(&self, v: usize) {
+            self.0.store(v, std::sync::atomic::Ordering::SeqCst)
+        }
+
+        pub fn fetch_add(&self, v: usize) -> usize {
+            self.0.fetch_add(v, std::sync::atomic::Ordering::SeqCst)
+        }
+
+        pub fn compare_exchange(&self, expect: usize, new: usize) -> Result<usize, usize> {
+            self.0.compare_exchange(
+                expect,
+                new,
+                std::sync::atomic::Ordering::SeqCst,
+                std::sync::atomic::Ordering::SeqCst,
+            )
+        }
+    }
+}
+
+#[cfg(not(feature = "modelcheck"))]
+pub use passthrough::{AtomicUsize, Condvar, Mutex, MutexGuard};

@@ -1,0 +1,299 @@
+//! Model-checking the serve layer's three protocol cores.
+//!
+//! Each test drives a `sssp_serve::proto` core through every
+//! interleaving the bounded DFS reaches (thousands of distinct
+//! schedules per protocol — the counts are asserted and printed) and
+//! checks the protocol's invariants *inside* the model threads, so a
+//! violation surfaces as a panic trace with the exact schedule.
+//!
+//! The models mirror the production wrappers' locking: one shim mutex
+//! where `queue.rs`/`supervisor.rs` hold one `std::sync::Mutex`, a shim
+//! condvar where the admission queue parks poppers, shim atomics where
+//! the wrapper uses flags. What is *not* modeled (clocks, job payloads,
+//! thread spawning) enters as plain values, exactly as the cores
+//! receive them in production.
+
+use modelcheck::{explore, Config};
+use sssp_serve::proto::drain::{PopDecision, QueueCore, SubmitDecision};
+use sssp_serve::proto::recover::acquire_recovering;
+use sssp_serve::proto::slot::{PoisonVerdict, ScanVerdict, SlotCore, SlotHealth};
+
+/// Floor demanded by the exploration-coverage acceptance bar: each
+/// protocol must be exercised under well over 10³ distinct schedules.
+const MIN_INTERLEAVINGS: u64 = 1_000;
+
+// ---------------------------------------------------------------------------
+// Protocol 1: slot respawn vs. bow-out (supervisor.rs)
+// ---------------------------------------------------------------------------
+
+/// Watchdog abandonment racing the wedged gen-0 worker's own bow-out
+/// and the supervisor's respawn scan, with a fresh gen-1 worker joining
+/// once respawned. Invariants, checked under the slot lock:
+///
+/// - at most one respawn is claimed per Healthy→Poisoned transition;
+/// - `generation` is monotone and bumps by exactly 1 per respawn;
+/// - a stale-generation report/finish/start never mutates the slot.
+#[test]
+fn slot_respawn_race_has_no_double_respawn_and_stale_threads_never_mutate() {
+    let report = explore(Config::default(), |env| {
+        // (core, poisonings, respawns): the counters live under the same
+        // lock as the core so the respawns ≤ poisonings comparison is
+        // exact at every step.
+        let slot = env.mutex({
+            let mut s = SlotCore::new(0);
+            assert!(s.job_started(0, 0, None));
+            (s, 0u64, 0u64)
+        });
+
+        // Watchdog: two-strike scan (cancel, then abandon), then two
+        // respawn attempts — the supervisor tick loop, inlined.
+        {
+            let slot = slot.clone();
+            env.spawn(move || {
+                for now in [40u64, 80, 120] {
+                    let mut g = slot.lock();
+                    let was = g.0.health;
+                    let v = g.0.scan(now, 0, 30);
+                    if v == ScanVerdict::Abandon {
+                        assert_eq!(was, SlotHealth::Healthy, "abandon re-poisons a healthy slot");
+                        assert_eq!(g.0.health, SlotHealth::Poisoned);
+                        g.1 += 1;
+                    }
+                }
+                for now in [121u64, 200] {
+                    let mut g = slot.lock();
+                    let gen_before = g.0.generation;
+                    if let Some(fresh) = g.0.claim_respawn(now, 1) {
+                        g.2 += 1;
+                        assert_eq!(fresh, gen_before + 1, "respawn bumps the generation by 1");
+                        assert_eq!(g.0.health, SlotHealth::Healthy);
+                        assert!(g.2 <= g.1, "claimed more respawns than poisonings");
+                    }
+                    assert!(g.0.generation >= gen_before, "generation went backwards");
+                }
+            });
+        }
+
+        // The wedged gen-0 worker, finally reaching its bow-out path:
+        // deregister the job, then report the panic. If the slot moved
+        // on (respawned to gen 1), neither call may change anything.
+        {
+            let slot = slot.clone();
+            env.spawn(move || {
+                let mut g = slot.lock();
+                let before = g.0.clone();
+                let cancelled = g.0.job_finished(0);
+                if before.generation != 0 {
+                    assert!(!cancelled, "stale finish must report nothing");
+                    assert_eq!(g.0, before, "stale finish must not mutate the slot");
+                }
+                drop(g);
+
+                let mut g = slot.lock();
+                let before = g.0.clone();
+                let v = g.0.report_poisoned(0, 90, 5, "wedged");
+                if before.generation != 0 {
+                    assert_eq!(v, PoisonVerdict::Retire, "stale workers just go away");
+                    assert_eq!(g.0, before, "stale report must not mutate the slot");
+                } else if before.health == SlotHealth::Healthy
+                    && g.0.health == SlotHealth::Poisoned
+                {
+                    g.1 += 1;
+                }
+            });
+        }
+
+        // The replacement gen-1 worker: once the slot is respawned it
+        // registers its first job — which the stale thread above must
+        // never be able to clobber.
+        {
+            let slot = slot.clone();
+            env.spawn(move || {
+                let mut g = slot.lock();
+                if g.0.generation == 1 && g.0.health == SlotHealth::Healthy {
+                    assert!(g.0.job_started(1, 150, None), "live generation must register");
+                    assert!(g.0.active.is_some());
+                }
+            });
+        }
+    });
+
+    println!("slot protocol: {report}");
+    assert!(report.is_clean(), "{report}");
+    assert!(
+        report.executions > MIN_INTERLEAVINGS && report.distinct_states > MIN_INTERLEAVINGS,
+        "exploration too shallow: {report}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Protocol 2: queue drain vs. submit/pop (queue.rs)
+// ---------------------------------------------------------------------------
+
+/// Two submitters race a popper and a drainer (begin_drain → shutdown →
+/// notify_all) over the admission core, mirroring `AdmissionQueue`'s
+/// single-mutex-plus-condvar shape. Invariants, checked in-model:
+///
+/// - every `Shed` hint is ≥ 1 and `Refuse` (sentinel 0) happens only
+///   after `shutdown` ran — the hint-0 bug class is unreachable;
+/// - conservation: `admitted == dispatched + drained + waiting`, and the
+///   modeled job storage always matches `waiting`;
+/// - the popper never deadlocks: no interleaving loses its wakeup.
+#[test]
+fn queue_drain_never_sheds_the_shutdown_sentinel_and_no_wakeup_is_lost() {
+    let report = explore(Config::default(), |env| {
+        // (core, stored_jobs, dispatched, drained, shutdown_ran)
+        let q = env.mutex((QueueCore::new(2), 0usize, 0u64, 0u64, false));
+        let cv = env.condvar();
+
+        fn check(g: &(QueueCore, usize, u64, u64, bool)) {
+            let (waiting, _, _, admitted) = g.0.counters();
+            assert_eq!(waiting as usize, g.1, "job storage out of sync with the core");
+            assert_eq!(admitted, g.2 + g.3 + waiting, "conservation violated");
+        }
+
+        for _ in 0..2 {
+            let (q, cv) = (q.clone(), cv.clone());
+            env.spawn(move || {
+                let mut g = q.lock();
+                match g.0.on_submit() {
+                    SubmitDecision::Admit => {
+                        g.1 += 1;
+                        check(&g);
+                        drop(g);
+                        cv.notify_one();
+                    }
+                    SubmitDecision::Shed { retry_after_ms } => {
+                        assert!(retry_after_ms >= 1, "live shed carried the shutdown sentinel");
+                        assert!(!g.4, "post-shutdown submissions must Refuse, not Shed");
+                    }
+                    SubmitDecision::Refuse => {
+                        assert!(g.4, "Refuse before shutdown ran");
+                    }
+                }
+            });
+        }
+
+        // Popper: dispatch-until-Closed with a condvar wait, the exact
+        // loop shape `pop_job` uses. Reaching Closed under every
+        // schedule *is* the lost-wakeup proof — a lost wakeup shows up
+        // as a deadlock trace.
+        {
+            let (q, cv) = (q.clone(), cv.clone());
+            env.spawn(move || {
+                let mut g = q.lock();
+                loop {
+                    match g.0.try_dispatch() {
+                        PopDecision::Dispatch => {
+                            assert!(g.1 > 0, "dispatch with empty job storage");
+                            g.1 -= 1;
+                            g.2 += 1;
+                            g.0.on_finish(5);
+                            check(&g);
+                        }
+                        PopDecision::Closed => break,
+                        PopDecision::Wait => g = cv.wait(g),
+                    }
+                }
+            });
+        }
+
+        // Drainer: graceful drain, then shutdown, then wake everyone —
+        // the SIGTERM path in server.rs.
+        env.spawn(move || {
+            let mut g = q.lock();
+            let n = g.0.begin_drain();
+            assert!(n <= g.1, "drained more jobs than stored");
+            g.1 -= n;
+            g.3 += n as u64;
+            check(&g);
+            drop(g);
+
+            let mut g = q.lock();
+            g.0.shutdown();
+            g.4 = true;
+            drop(g);
+            cv.notify_all();
+        });
+    });
+
+    println!("queue protocol: {report}");
+    assert!(report.is_clean(), "{report}");
+    assert!(
+        report.executions > MIN_INTERLEAVINGS && report.distinct_states > MIN_INTERLEAVINGS,
+        "exploration too shallow: {report}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Protocol 3: poison recovery vs. racing poisoners (lock.rs)
+// ---------------------------------------------------------------------------
+
+/// Two poisoning holders (increment, then "panic" — set the poison flag
+/// while holding, as a std guard drop does during unwind) race two
+/// recoverers going through `acquire_recovering`. Invariants:
+///
+/// - every recovered acquisition observes a clear flag before touching
+///   state (the flag never leaks to a holder);
+/// - the protected counter stays consistent: when the last thread
+///   leaves, it equals the number of increments, poisoned or not.
+#[test]
+fn acquire_recovering_always_yields_a_clean_lock_under_racing_poisoners() {
+    let report = explore(Config::default(), |env| {
+        // (counter, holders_done) — a panic costs the holder's job only,
+        // never the data's consistency.
+        let m = env.mutex((0u64, 0u64));
+        let poison = env.atomic(0);
+
+        for _ in 0..2 {
+            let (m, poison) = (m.clone(), poison.clone());
+            env.spawn(move || {
+                let mut g = m.lock();
+                g.0 += 1;
+                g.1 += 1;
+                if g.1 == 4 {
+                    assert_eq!(g.0, 4, "increments lost across poisonings");
+                }
+                // The "panic": the poison flag is set while the lock is
+                // still held, exactly when a std guard poisons on unwind.
+                poison.store(1);
+            });
+        }
+
+        for _ in 0..2 {
+            let (m, poison) = (m.clone(), poison.clone());
+            env.spawn(move || {
+                let mut g = {
+                    let poison = poison.clone();
+                    acquire_recovering(
+                        || {
+                            let g = m.lock();
+                            if poison.load() == 1 {
+                                Err(g)
+                            } else {
+                                Ok(g)
+                            }
+                        },
+                        || poison.store(0),
+                    )
+                };
+                // The contract recover() builds on: the guard handed out
+                // is never itself poisoned. Nothing can re-poison here —
+                // poisoning requires holding the mutex we hold.
+                assert_eq!(poison.load(), 0, "acquire_recovering leaked the poison flag");
+                g.0 += 1;
+                g.1 += 1;
+                if g.1 == 4 {
+                    assert_eq!(g.0, 4, "increments lost across poisonings");
+                }
+            });
+        }
+    });
+
+    println!("recover protocol: {report}");
+    assert!(report.is_clean(), "{report}");
+    assert!(
+        report.executions > MIN_INTERLEAVINGS && report.distinct_states > MIN_INTERLEAVINGS,
+        "exploration too shallow: {report}"
+    );
+}

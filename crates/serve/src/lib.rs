@@ -24,12 +24,17 @@
 //!   cancels stalled jobs and retires wedged workers.
 //! - [`lock`] — poison-recovering mutex acquisition, so one panicking
 //!   handler costs one job rather than poisoning the daemon's shared
-//!   state forever.
+//!   state forever; every acquisition feeds racecheck's lock-order
+//!   graph for lockdep-style deadlock detection.
+//! - [`proto`] — the pure-logic cores of the three riskiest protocols
+//!   (slot respawn, queue drain, poison recovery), extracted so
+//!   `crates/modelcheck` can exhaustively explore their interleavings.
 //!
 //! The server process itself lives in `src/bin/sssp-serve.rs` at the
 //! workspace root; this crate holds everything testable in-process.
 
 pub mod lock;
+pub mod proto;
 pub mod protocol;
 pub mod queue;
 pub mod server;

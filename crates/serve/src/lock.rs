@@ -1,34 +1,111 @@
-//! Poison-recovering mutex acquisition for the serve layer.
+//! Poison-recovering, deadlock-instrumented mutex acquisition for the
+//! serve layer.
 //!
 //! The daemon's shared state — admission queue, gauges, graph registry,
 //! supervisor slots — is all monotonic counters, flags, and maps that
 //! stay internally consistent at every instant a lock is released. A
 //! panic while holding one of those locks therefore must not take down
 //! every later request with a `PoisonError` (the std default): the data
-//! is fine, only the flag is set. [`recover`] clears the poison flag and
-//! hands the guard out, so one crashed handler costs one job, never the
-//! daemon.
+//! is fine, only the flag is set. [`recover`] clears the poison flag
+//! (the policy lives in [`crate::proto::recover`], where the model
+//! checker races it against concurrent poisoners) and hands the guard
+//! out, so one crashed handler costs one job, never the daemon.
+//!
+//! Every acquisition is also reported to `racecheck`'s lock-order
+//! graph: [`recover`] is `#[track_caller]`, so the recorded acquisition
+//! site is the *caller's* `file:line`, and the [`Guard`] wrapper
+//! reports the release when it drops. Under a racecheck session (the
+//! schedule explorer, the chaos tests) this feeds lockdep-style cycle
+//! detection — an AB-BA pair is reported with both witness sites even
+//! if the deadlock never manifests. Without a session the hooks are one
+//! relaxed atomic load.
 //!
 //! For tests, the helper consumes the one-shot
 //! [`taskpool::fault::arm_lock_poison`] hook: the next acquisition
 //! panics *while holding the guard*, poisoning the mutex for real, and
 //! the regression test asserts the following acquisitions recover.
 
+use std::ops::{Deref, DerefMut};
 // lint:allow(hot-path-lock): poison-recovery helper for the coarse serve-layer locks
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+use crate::proto::recover::acquire_recovering;
+
+/// A recovered mutex guard: derefs to the protected state and reports
+/// the release to the lock-order graph when dropped.
+#[derive(Debug)]
+pub struct Guard<'a, T> {
+    inner: Option<MutexGuard<'a, T>>,
+    name: &'static str,
+    addr: usize,
+}
+
+impl<T> Deref for Guard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present until drop/wait")
+    }
+}
+
+impl<T> DerefMut for Guard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present until drop/wait")
+    }
+}
+
+impl<T> Drop for Guard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.is_some() {
+            racecheck::lock_released(self.addr);
+        }
+    }
+}
 
 /// Acquire `m`, recovering (and clearing) poison left by a panicking
-/// earlier holder. See the module docs for why this is sound here.
+/// earlier holder, and record the acquisition (named `name`, sited at
+/// the caller) in the lock-order graph. See the module docs for why
+/// recovery is sound here.
 // lint:allow(hot-path-lock): poison-recovery helper for the coarse serve-layer locks
-pub fn recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    let guard = m.lock().unwrap_or_else(|poisoned| {
-        m.clear_poison();
-        poisoned.into_inner()
-    });
+#[track_caller]
+pub fn recover<'a, T>(name: &'static str, m: &'a Mutex<T>) -> Guard<'a, T> {
+    let guard = acquire_recovering(
+        || m.lock().map_err(PoisonError::into_inner),
+        || m.clear_poison(),
+    );
     if taskpool::fault::take_lock_poison() {
         panic!("{}", taskpool::fault::INJECTED_LOCK_POISON_MESSAGE);
     }
-    guard
+    // lint:allow(hot-path-lock): pointer identity only, no acquisition here
+    let addr = m as *const Mutex<T> as usize;
+    racecheck::lock_acquired(name, addr);
+    Guard {
+        inner: Some(guard),
+        name,
+        addr,
+    }
+}
+
+/// `Condvar::wait` through a [`Guard`], with the same poison recovery
+/// as [`recover`] and correct lock-order bookkeeping: the mutex leaves
+/// the held set for the duration of the wait (the thread really does
+/// not hold it) and re-enters it on wake.
+// lint:allow(hot-path-lock): condvar wait on the request-rate control lock
+#[track_caller]
+pub fn wait_recovered<'a, T>(cv: &Condvar, m: &'a Mutex<T>, mut g: Guard<'a, T>) -> Guard<'a, T> {
+    let (name, addr) = (g.name, g.addr);
+    let inner = g.inner.take().expect("guard present until drop/wait");
+    racecheck::lock_released(addr);
+    drop(g);
+    let inner = cv.wait(inner).unwrap_or_else(|poisoned| {
+        m.clear_poison();
+        poisoned.into_inner()
+    });
+    racecheck::lock_acquired(name, addr);
+    Guard {
+        inner: Some(inner),
+        name,
+        addr,
+    }
 }
 
 #[cfg(test)]
@@ -43,17 +120,46 @@ mod tests {
     fn recover_clears_poison_and_preserves_state() {
         // lint:allow(hot-path-lock): test fixture
         let m = Mutex::new(41u64);
-        *recover(&m) += 1;
+        *recover("m", &m) += 1;
         taskpool::fault::arm_lock_poison();
         let crashed = catch_unwind(AssertUnwindSafe(|| {
-            let _g = recover(&m);
+            let _g = recover("m", &m);
         }));
         assert!(crashed.is_err(), "armed hook must panic while holding the guard");
         assert!(m.is_poisoned(), "the panic really poisoned the mutex");
         // The hook is one-shot, so this acquisition succeeds — and sees
         // the state written before the crash, intact.
-        assert_eq!(*recover(&m), 42);
+        assert_eq!(*recover("m", &m), 42);
         assert!(!m.is_poisoned(), "poison cleared for plain lock() users too");
         assert_eq!(*m.lock().unwrap(), 42);
+    }
+
+    /// The acquisition site recorded in the lock-order graph is the
+    /// `recover` *call site* (via `#[track_caller]`), and the guard
+    /// drop balances the held set.
+    #[test]
+    fn recover_feeds_the_lock_order_graph_with_caller_sites() {
+        // lint:allow(hot-path-lock): test fixture
+        let a = Mutex::new(());
+        // lint:allow(hot-path-lock): test fixture
+        let b = Mutex::new(());
+        let session = racecheck::Session::new();
+        {
+            let _ga = recover("lock-a", &a);
+            let _gb = recover("lock-b", &b); // edge a→b
+        }
+        {
+            let _gb = recover("lock-b", &b);
+            let _ga = recover("lock-a", &a); // LOCKORDER: deliberate inversion — this test proves the detector sees it
+        }
+        let deadlocks = session.take_deadlocks();
+        assert_eq!(deadlocks.len(), 1, "{deadlocks:?}");
+        let cycle = &deadlocks[0];
+        assert_eq!(cycle.edges.len(), 2);
+        for e in &cycle.edges {
+            assert_eq!(e.held.file, file!(), "site must be the caller, not lock.rs internals");
+            assert!(e.held.line > 0);
+        }
+        drop(session);
     }
 }

@@ -1,0 +1,259 @@
+//! The admission queue's decision core: admit/shed/drain/shutdown
+//! bookkeeping with no job storage, no mutex, and no condvar.
+//!
+//! [`crate::queue::AdmissionQueue`] keeps a `QueueCore` plus a
+//! `VecDeque` of the actual jobs under one lock; every policy decision
+//! — admit or shed, which hint, dispatch or wait — is made here, on
+//! plain counters. That split is what lets the model checker prove the
+//! **hint-0 invariant** (the PR-8 bug class) rather than regression-test
+//! it: a shed during a graceful [`QueueCore::begin_drain`] always
+//! carries a live `retry_after_ms ≥ 1`, and the shutdown sentinel `0`
+//! is issued iff [`QueueCore::shutdown`] ran — under *every*
+//! interleaving of submitters, poppers, and the drainer, not just the
+//! ones a chaos test happens to sample.
+//!
+//! The second machine-checked invariant is job conservation:
+//! `admitted == dispatched + drained + waiting` at every step (with
+//! `dispatched == running + completed`).
+
+/// Assumed per-job service time before the first completion is
+/// observed (keeps the first shed wave reproducible in tests).
+pub const DEFAULT_SERVICE_MS: u64 = 50;
+
+/// What [`QueueCore::on_submit`] decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitDecision {
+    /// Admitted: the caller must enqueue the job and signal a popper.
+    Admit,
+    /// Shed (queue full or draining) with a live backoff hint, ≥ 1 by
+    /// construction so it can never collide with the shutdown sentinel.
+    Shed {
+        /// `max(1, avg_service_ms × (waiting + running + 1))`.
+        retry_after_ms: u64,
+    },
+    /// The service is gone ([`QueueCore::shutdown`] ran): shed with the
+    /// sentinel hint `0`, "do not retry here".
+    Refuse,
+}
+
+/// What [`QueueCore::try_dispatch`] decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PopDecision {
+    /// A job is dispatchable: the caller must dequeue it.
+    Dispatch,
+    /// Shut down: poppers wake with `None`.
+    Closed,
+    /// Nothing dispatchable (empty, or dispatch held): wait.
+    Wait,
+}
+
+/// The admission queue's pure state (see module docs). `waiting`
+/// mirrors the wrapper's job deque length — the wrapper asserts that on
+/// every transition.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueueCore {
+    capacity: usize,
+    waiting: usize,
+    running: usize,
+    completed: u64,
+    total_service_ms: u64,
+    held: bool,
+    draining: bool,
+    shutdown: bool,
+    shed: u64,
+    admitted: u64,
+}
+
+impl QueueCore {
+    /// A core admitting at most `capacity` waiting jobs (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        QueueCore {
+            capacity: capacity.max(1),
+            waiting: 0,
+            running: 0,
+            completed: 0,
+            total_service_ms: 0,
+            held: false,
+            draining: false,
+            shutdown: false,
+            shed: 0,
+            admitted: 0,
+        }
+    }
+
+    /// `max(1, avg_service_ms × (waiting + running + 1))`: the backlog
+    /// ahead of a new submission, plus the job itself, at the observed
+    /// per-job service time ([`DEFAULT_SERVICE_MS`] before the first
+    /// completion). Never 0, so a live hint can never collide with the
+    /// shutdown sentinel.
+    pub fn backoff_hint(&self) -> u64 {
+        let avg = self
+            .total_service_ms
+            .checked_div(self.completed)
+            .map_or(DEFAULT_SERVICE_MS, |a| a.max(1));
+        let backlog = self.waiting as u64 + self.running as u64 + 1;
+        avg.saturating_mul(backlog).max(1)
+    }
+
+    /// Decide a submission's fate and update the counters.
+    pub fn on_submit(&mut self) -> SubmitDecision {
+        if self.shutdown {
+            return SubmitDecision::Refuse;
+        }
+        if self.draining || self.waiting >= self.capacity {
+            self.shed += 1;
+            return SubmitDecision::Shed {
+                retry_after_ms: self.backoff_hint(),
+            };
+        }
+        self.admitted += 1;
+        self.waiting += 1;
+        SubmitDecision::Admit
+    }
+
+    /// Decide whether a popper gets a job, gets `None`, or waits.
+    pub fn try_dispatch(&mut self) -> PopDecision {
+        if self.shutdown {
+            return PopDecision::Closed;
+        }
+        if !self.held && self.waiting > 0 {
+            self.waiting -= 1;
+            self.running += 1;
+            return PopDecision::Dispatch;
+        }
+        PopDecision::Wait
+    }
+
+    /// Record a dispatched job's completion and its service time (feeds
+    /// the hint's running average).
+    pub fn on_finish(&mut self, service_ms: u64) {
+        self.running = self.running.saturating_sub(1);
+        self.completed += 1;
+        self.total_service_ms += service_ms;
+    }
+
+    /// Freeze/unfreeze dispatch (the debug HOLD lever).
+    pub fn set_held(&mut self, held: bool) {
+        self.held = held;
+    }
+
+    /// Begin a graceful drain: stop admitting (later submissions shed
+    /// with the live hint) and shed every waiting job back to the
+    /// caller. Returns how many the caller must drain from its storage.
+    pub fn begin_drain(&mut self) -> usize {
+        self.draining = true;
+        let n = self.waiting;
+        self.shed += n as u64;
+        self.waiting = 0;
+        n
+    }
+
+    /// The service is gone: poppers get [`PopDecision::Closed`], and
+    /// submissions get the sentinel [`SubmitDecision::Refuse`].
+    pub fn shutdown(&mut self) {
+        self.shutdown = true;
+    }
+
+    /// Whether a drain is in progress.
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Jobs dispatched but not yet finished.
+    pub fn running(&self) -> usize {
+        self.running
+    }
+
+    /// Jobs admitted and not yet dispatched or drained.
+    pub fn waiting(&self) -> usize {
+        self.waiting
+    }
+
+    /// `(waiting, running, shed, admitted)` for STATS.
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        (
+            self.waiting as u64,
+            self.running as u64,
+            self.shed,
+            self.admitted,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admit_until_capacity_then_shed_with_live_hints() {
+        let mut q = QueueCore::new(2);
+        assert_eq!(q.on_submit(), SubmitDecision::Admit);
+        assert_eq!(q.on_submit(), SubmitDecision::Admit);
+        // 50ms default × (2 waiting + 0 running + 1) = 150.
+        assert_eq!(q.on_submit(), SubmitDecision::Shed { retry_after_ms: 150 });
+        assert_eq!(q.counters(), (2, 0, 1, 2));
+    }
+
+    #[test]
+    fn hint_is_never_zero_even_at_zero_observed_service_time() {
+        let mut q = QueueCore::new(1);
+        assert_eq!(q.on_submit(), SubmitDecision::Admit);
+        assert_eq!(q.try_dispatch(), PopDecision::Dispatch);
+        q.on_finish(0);
+        assert_eq!(q.backoff_hint(), 1);
+    }
+
+    #[test]
+    fn drain_sheds_waiting_and_later_submissions_carry_live_hints() {
+        let mut q = QueueCore::new(4);
+        assert_eq!(q.on_submit(), SubmitDecision::Admit);
+        assert_eq!(q.on_submit(), SubmitDecision::Admit);
+        assert_eq!(q.begin_drain(), 2);
+        assert!(q.is_draining());
+        assert_eq!(q.waiting(), 0);
+        match q.on_submit() {
+            SubmitDecision::Shed { retry_after_ms } => assert!(retry_after_ms >= 1),
+            other => panic!("drain must shed with a live hint, got {other:?}"),
+        }
+        q.shutdown();
+        assert_eq!(q.on_submit(), SubmitDecision::Refuse);
+        assert_eq!(q.try_dispatch(), PopDecision::Closed);
+    }
+
+    #[test]
+    fn hold_defers_dispatch_without_refusing_admission() {
+        let mut q = QueueCore::new(4);
+        q.set_held(true);
+        assert_eq!(q.on_submit(), SubmitDecision::Admit);
+        assert_eq!(q.try_dispatch(), PopDecision::Wait);
+        q.set_held(false);
+        assert_eq!(q.try_dispatch(), PopDecision::Dispatch);
+    }
+
+    #[test]
+    fn conservation_holds_across_a_mixed_history() {
+        let mut q = QueueCore::new(3);
+        let mut dispatched = 0u64;
+        let mut drained = 0u64;
+        for step in 0..50u64 {
+            match step % 5 {
+                0..=2 => {
+                    q.on_submit();
+                }
+                3 => {
+                    if q.try_dispatch() == PopDecision::Dispatch {
+                        dispatched += 1;
+                        q.on_finish(step);
+                    }
+                }
+                _ => {
+                    if step == 44 {
+                        drained += q.begin_drain() as u64;
+                    }
+                }
+            }
+            let (waiting, _, _, admitted) = q.counters();
+            assert_eq!(admitted, dispatched + drained + waiting, "step {step}");
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Pure-logic protocol cores for the serve layer's concurrency.
+//!
+//! Each module here is the *decision* half of one lock-and-signal
+//! protocol, extracted from its I/O half so `crates/modelcheck` can
+//! drive it through every interleaving a DFS explorer can reach:
+//!
+//! - [`slot`] — the supervisor slot state machine (generation-checked
+//!   respawn vs. abandoned-thread bow-out), on abstract `u64` tick time
+//!   instead of `Instant`;
+//! - [`drain`] — the admission queue's admit/shed/drain/shutdown
+//!   bookkeeping (the hint-0 bug class: a drain must never shed with
+//!   the shutdown sentinel `0`), without the job storage or condvar;
+//! - [`recover`] — the poison-recovering lock acquisition policy,
+//!   generic over the lock so the model checker can race poisoners
+//!   against it on a shim mutex.
+//!
+//! The production wrappers ([`crate::supervisor`], [`crate::queue`],
+//! [`crate::lock`]) own the real clocks, threads, condvars, and cancel
+//! tokens and delegate every state transition here, so what the model
+//! checker certifies is the code that actually runs. Every core derives
+//! `Hash`: the model checker's state-space pruning hashes the shared
+//! state at each scheduling point. See DESIGN.md §16 for how to add a
+//! new protocol without breaking the lints.
+
+pub mod drain;
+pub mod recover;
+pub mod slot;

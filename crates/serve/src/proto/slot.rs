@@ -1,0 +1,297 @@
+//! The supervisor slot state machine, on abstract `u64` tick time.
+//!
+//! One [`SlotCore`] is the decision half of one worker slot in
+//! [`crate::supervisor::Supervisor`]: the four-state health machine
+//! (healthy → poisoned → recycled → permanently-degraded), the
+//! generation check that makes stale threads bow out, and the
+//! two-strike heartbeat watchdog (cancel a stalled job, then abandon
+//! the worker if it never reaches another budget check). The wrapper
+//! owns `Instant`s, `CancelToken`s, and `ProgressGauge`s and converts
+//! them to ticks / observed progress values at the call boundary.
+//!
+//! The invariants the model checker drives through every interleaving:
+//!
+//! 1. a report from a stale generation never mutates the slot (the
+//!    abandoned thread's bow-out cannot poison its replacement);
+//! 2. `generation` is strictly monotonic, bumped exactly once per
+//!    respawn, and a respawn happens only from `Poisoned`;
+//! 3. `PermanentlyDegraded` is sticky — no transition leaves it;
+//! 4. at most one respawn is claimed per poisoning.
+
+/// Where a slot stands in the supervision state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlotHealth {
+    /// A live worker serves the requested implementation.
+    Healthy,
+    /// The worker retired after a panic; the slot awaits its cooldown.
+    Poisoned,
+    /// Recycled too often: the worker keeps serving, sticky
+    /// sequential-fused, and is never recycled again.
+    PermanentlyDegraded,
+}
+
+/// What a worker reporting a panic must do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoisonVerdict {
+    /// Exit the worker loop; the supervisor will respawn the slot after
+    /// its cooldown.
+    Retire,
+    /// Keep serving (sticky sequential-fused): the slot is permanently
+    /// degraded, or the report came from a stale generation.
+    KeepServing,
+}
+
+/// What one watchdog scan of a slot decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScanVerdict {
+    /// Progress advanced, stall within grace, or no active job.
+    Ok,
+    /// Stalled past grace (and past any deadline): the caller must
+    /// cancel the job through its token.
+    Cancel,
+    /// Still stalled a full grace after the cancel — the worker never
+    /// reached another budget check. The slot has been re-poisoned; the
+    /// caller must treat the thread as abandoned.
+    Abandon,
+}
+
+/// A running job, as the watchdog's decision logic sees it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct JobCore {
+    started_tick: u64,
+    deadline_ticks: Option<u64>,
+    last_progress: u64,
+    last_advance_tick: u64,
+    /// Whether the watchdog already cancelled this job (the worker
+    /// learns it from [`SlotCore::job_finished`]).
+    pub cancelled_by_watchdog: bool,
+}
+
+/// One slot's pure supervision state (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SlotCore {
+    /// Current health (the state machine node).
+    pub health: SlotHealth,
+    /// Why the slot last left `Healthy` (sticky through recycling).
+    pub reason: Option<String>,
+    /// When the slot entered `Poisoned` (cooldown anchor).
+    since_tick: u64,
+    /// Respawns already served.
+    pub recycles: u32,
+    /// Bumped on every respawn; reports from older generations are
+    /// ignored.
+    pub generation: u64,
+    /// The registered running job, if any.
+    pub active: Option<JobCore>,
+}
+
+impl SlotCore {
+    /// A healthy, generation-0 slot.
+    pub fn new(now: u64) -> Self {
+        SlotCore {
+            health: SlotHealth::Healthy,
+            reason: None,
+            since_tick: now,
+            recycles: 0,
+            generation: 0,
+            active: None,
+        }
+    }
+
+    /// Exponential backoff in recycles already served, saturating well
+    /// below overflow; `2^16 ×` base is already "effectively never".
+    pub fn backoff(&self, base: u64) -> u64 {
+        base.saturating_mul(1u64 << self.recycles.min(16))
+    }
+
+    /// A worker observed a typed panic marker. Returns what the worker
+    /// must do; a stale `generation` leaves the slot untouched.
+    pub fn report_poisoned(
+        &mut self,
+        generation: u64,
+        now: u64,
+        max_recycles: u32,
+        reason: &str,
+    ) -> PoisonVerdict {
+        if self.generation != generation {
+            // A stale thread outlived its replacement decision; it must
+            // just go away without touching the live slot.
+            return PoisonVerdict::Retire;
+        }
+        self.reason = Some(reason.to_string());
+        self.active = None;
+        if self.health == SlotHealth::PermanentlyDegraded {
+            return PoisonVerdict::KeepServing;
+        }
+        if self.recycles >= max_recycles {
+            self.health = SlotHealth::PermanentlyDegraded;
+            return PoisonVerdict::KeepServing;
+        }
+        self.health = SlotHealth::Poisoned;
+        self.since_tick = now;
+        PoisonVerdict::Retire
+    }
+
+    /// If this slot is poisoned and its backoff has elapsed, transition
+    /// back to `Healthy` under a fresh generation and return it (the
+    /// caller must spawn a worker for `(slot, generation)`).
+    pub fn claim_respawn(&mut self, now: u64, cooldown: u64) -> Option<u64> {
+        if self.health == SlotHealth::Poisoned
+            && now.saturating_sub(self.since_tick) >= self.backoff(cooldown)
+        {
+            self.health = SlotHealth::Healthy;
+            self.recycles += 1;
+            self.generation += 1;
+            self.active = None;
+            return Some(self.generation);
+        }
+        None
+    }
+
+    /// Register a job that just started on this slot; a stale
+    /// generation registers nothing (returns `false`).
+    pub fn job_started(&mut self, generation: u64, now: u64, deadline: Option<u64>) -> bool {
+        if self.generation != generation {
+            return false;
+        }
+        self.active = Some(JobCore {
+            started_tick: now,
+            deadline_ticks: deadline,
+            last_progress: 0,
+            last_advance_tick: now,
+            cancelled_by_watchdog: false,
+        });
+        true
+    }
+
+    /// Deregister this slot's job; returns whether the watchdog
+    /// cancelled it (the worker should then treat itself as suspect).
+    /// A stale generation deregisters nothing.
+    pub fn job_finished(&mut self, generation: u64) -> bool {
+        if self.generation != generation {
+            return false;
+        }
+        self.active
+            .take()
+            .map(|j| j.cancelled_by_watchdog)
+            .unwrap_or(false)
+    }
+
+    /// One watchdog pass, fed the job's current progress reading:
+    ///
+    /// * progress advanced → note it, [`ScanVerdict::Ok`];
+    /// * stalled past `grace` (and past the job's deadline, when it
+    ///   carries one) → [`ScanVerdict::Cancel`]; the caller cancels
+    ///   through the job's token;
+    /// * *still* stalled a full grace after the cancel → re-poison the
+    ///   slot and report [`ScanVerdict::Abandon`].
+    pub fn scan(&mut self, now: u64, progress: u64, grace: u64) -> ScanVerdict {
+        let Some(job) = self.active.as_mut() else {
+            return ScanVerdict::Ok;
+        };
+        if progress > job.last_progress {
+            job.last_progress = progress;
+            job.last_advance_tick = now;
+            return ScanVerdict::Ok;
+        }
+        let stalled = now.saturating_sub(job.last_advance_tick) >= grace;
+        if !stalled {
+            return ScanVerdict::Ok;
+        }
+        if !job.cancelled_by_watchdog {
+            let past_deadline = job
+                .deadline_ticks
+                .map(|d| now.saturating_sub(job.started_tick) >= d)
+                .unwrap_or(true);
+            if past_deadline {
+                job.cancelled_by_watchdog = true;
+                job.last_advance_tick = now;
+                return ScanVerdict::Cancel;
+            }
+        } else if self.health == SlotHealth::Healthy {
+            // Cancelled a full grace ago and still no epoch boundary:
+            // the thread is wedged below the budget checks. Abandon it.
+            self.reason = Some("watchdog: worker wedged past cancellation".to_string());
+            self.health = SlotHealth::Poisoned;
+            self.since_tick = now;
+            self.active = None;
+            return ScanVerdict::Abandon;
+        }
+        ScanVerdict::Ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poison_then_respawn_bumps_the_generation_once() {
+        let mut s = SlotCore::new(0);
+        assert_eq!(s.report_poisoned(0, 10, 5, "boom"), PoisonVerdict::Retire);
+        assert_eq!(s.health, SlotHealth::Poisoned);
+        assert_eq!(s.claim_respawn(10, 20), None, "cooldown not elapsed");
+        assert_eq!(s.claim_respawn(30, 20), Some(1));
+        assert_eq!(s.health, SlotHealth::Healthy);
+        assert_eq!(s.claim_respawn(100, 20), None, "healthy slots never respawn");
+    }
+
+    #[test]
+    fn stale_generation_reports_leave_the_slot_untouched() {
+        let mut s = SlotCore::new(0);
+        assert_eq!(s.report_poisoned(0, 1, 5, "p"), PoisonVerdict::Retire);
+        assert_eq!(s.claim_respawn(100, 1), Some(1));
+        let before = s.clone();
+        assert_eq!(s.report_poisoned(0, 200, 5, "late echo"), PoisonVerdict::Retire);
+        assert_eq!(s, before, "stale report must not mutate anything");
+        assert!(!s.job_started(0, 200, None));
+        assert!(!s.job_finished(0));
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn backoff_doubles_per_recycle_and_degradation_is_sticky() {
+        let mut s = SlotCore::new(0);
+        assert_eq!(s.backoff(10), 10);
+        let mut now = 0;
+        for gen in 0..2u64 {
+            assert_eq!(s.report_poisoned(gen, now, 2, "p"), PoisonVerdict::Retire);
+            now += s.backoff(10);
+            assert_eq!(s.claim_respawn(now, 10), Some(gen + 1));
+        }
+        assert_eq!(s.backoff(10), 40, "two recycles → 4× base");
+        // Third poisoning: recycles (2) ≥ max_recycles (2) → permanent.
+        assert_eq!(s.report_poisoned(2, now, 2, "p3"), PoisonVerdict::KeepServing);
+        assert_eq!(s.health, SlotHealth::PermanentlyDegraded);
+        assert_eq!(s.claim_respawn(now + 1_000_000, 10), None);
+        assert_eq!(
+            s.report_poisoned(2, now, 2, "p4"),
+            PoisonVerdict::KeepServing,
+            "degradation is sticky"
+        );
+        assert_eq!(s.health, SlotHealth::PermanentlyDegraded);
+    }
+
+    #[test]
+    fn watchdog_two_strike_path() {
+        let mut s = SlotCore::new(0);
+        assert!(s.job_started(0, 0, Some(1)));
+        // Advancing progress is never cancelled.
+        assert_eq!(s.scan(40, 1, 30), ScanVerdict::Ok);
+        assert_eq!(s.scan(60, 1, 30), ScanVerdict::Ok, "stall shorter than grace");
+        assert_eq!(s.scan(80, 1, 30), ScanVerdict::Cancel, "stalled past grace");
+        assert_eq!(s.scan(90, 1, 30), ScanVerdict::Ok, "second grace window running");
+        assert_eq!(s.scan(120, 1, 30), ScanVerdict::Abandon, "wedged past cancel");
+        assert_eq!(s.health, SlotHealth::Poisoned);
+        assert!(s.active.is_none());
+    }
+
+    #[test]
+    fn cooperative_cancel_is_reported_through_job_finished() {
+        let mut s = SlotCore::new(0);
+        assert!(s.job_started(0, 0, None));
+        assert_eq!(s.scan(100, 0, 30), ScanVerdict::Cancel);
+        assert!(s.job_finished(0), "worker learns the watchdog verdict");
+        assert!(!s.job_finished(0), "second finish sees no job");
+    }
+}

@@ -8,6 +8,12 @@
 //! early shedding keeps latency flat for admitted work and pushes the
 //! wait out to clients who can see it and act on it.
 //!
+//! Every admit/shed/dispatch decision is made by the pure
+//! [`QueueCore`](crate::proto::drain::QueueCore); this wrapper owns the
+//! job storage, the mutex, and the condvar. The split is what lets
+//! `crates/modelcheck` prove the hint invariants below over every
+//! interleaving instead of sampling them.
+//!
 //! The backoff hint is deterministic given the queue state:
 //!
 //! ```text
@@ -36,30 +42,28 @@
 
 use std::collections::VecDeque;
 // lint:allow(hot-path-lock): admission control is request-rate, not per-edge
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
 use crate::lock;
+use crate::proto::drain::{PopDecision, QueueCore, SubmitDecision};
 
-/// Assumed per-job service time before the first completion is observed.
-pub const DEFAULT_SERVICE_MS: u64 = 50;
+pub use crate::proto::drain::DEFAULT_SERVICE_MS;
 
 struct State<T> {
-    queue: VecDeque<T>,
-    /// Jobs popped but not yet `finish`ed.
-    running: usize,
-    /// Completed-job count and summed service time, for the average.
-    completed: u64,
-    total_service_ms: u64,
-    /// Dispatch frozen (debug HOLD)?
-    held: bool,
-    /// Graceful drain in progress: shed submissions with a live hint.
-    draining: bool,
-    shutdown: bool,
-    /// Refused submissions (monotonic).
-    shed: u64,
-    /// Admitted submissions (monotonic).
-    admitted: u64,
+    /// The decision core; `core.waiting()` mirrors `jobs.len()`.
+    core: QueueCore,
+    jobs: VecDeque<T>,
+}
+
+impl<T> State<T> {
+    fn check_mirror(&self) {
+        debug_assert_eq!(
+            self.core.waiting(),
+            self.jobs.len(),
+            "QueueCore.waiting must mirror the job deque"
+        );
+    }
 }
 
 /// Bounded MPMC admission queue (see module docs).
@@ -69,7 +73,6 @@ pub struct AdmissionQueue<T> {
     // lint:allow(hot-path-lock): admission control runs per request, not per edge
     state: Mutex<State<T>>,
     ready: Condvar,
-    capacity: usize,
 }
 
 impl<T> AdmissionQueue<T> {
@@ -78,18 +81,10 @@ impl<T> AdmissionQueue<T> {
         AdmissionQueue {
             // lint:allow(hot-path-lock): one lock acquisition per request lifecycle event
             state: Mutex::new(State {
-                queue: VecDeque::new(),
-                running: 0,
-                completed: 0,
-                total_service_ms: 0,
-                held: false,
-                draining: false,
-                shutdown: false,
-                shed: 0,
-                admitted: 0,
+                core: QueueCore::new(capacity),
+                jobs: VecDeque::new(),
             }),
             ready: Condvar::new(),
-            capacity: capacity.max(1),
         }
     }
 
@@ -98,19 +93,18 @@ impl<T> AdmissionQueue<T> {
     /// with the live `retry_after_ms` hint, and a submission after
     /// [`shutdown`](Self::shutdown) is shed with hint 0.
     pub fn submit(&self, job: T) -> Result<(), u64> {
-        let mut s = lock::recover(&self.state);
-        if s.shutdown {
-            return Err(0);
+        let mut s = lock::recover("queue.state", &self.state);
+        match s.core.on_submit() {
+            SubmitDecision::Refuse => Err(0),
+            SubmitDecision::Shed { retry_after_ms } => Err(retry_after_ms),
+            SubmitDecision::Admit => {
+                s.jobs.push_back(job);
+                s.check_mirror();
+                drop(s);
+                self.ready.notify_one();
+                Ok(())
+            }
         }
-        if s.draining || s.queue.len() >= self.capacity {
-            s.shed += 1;
-            return Err(Self::backoff_hint(&s));
-        }
-        s.admitted += 1;
-        s.queue.push_back(job);
-        drop(s);
-        self.ready.notify_one();
-        Ok(())
     }
 
     /// The backoff hint the next shed submission would carry, computed
@@ -118,65 +112,45 @@ impl<T> AdmissionQueue<T> {
     /// without shedding anything. Always at least 1 ms, so a hint can
     /// never collide with the shutdown sentinel `Err(0)`.
     pub fn retry_hint(&self) -> u64 {
-        Self::backoff_hint(&lock::recover(&self.state))
-    }
-
-    /// `max(1, avg_service_ms × (waiting + running + 1))` over `s`.
-    fn backoff_hint(s: &State<T>) -> u64 {
-        let avg = s
-            .total_service_ms
-            .checked_div(s.completed)
-            .map_or(DEFAULT_SERVICE_MS, |a| a.max(1));
-        let backlog = s.queue.len() as u64 + s.running as u64 + 1;
-        avg.saturating_mul(backlog).max(1)
+        lock::recover("queue.state", &self.state).core.backoff_hint()
     }
 
     /// Block until a job is dispatchable (or the queue shuts down —
     /// `None`). The popped job counts as running until
     /// [`finish`](Self::finish).
     pub fn pop(&self) -> Option<T> {
-        let mut s = lock::recover(&self.state);
+        let mut s = lock::recover("queue.state", &self.state);
         loop {
-            if s.shutdown {
-                return None;
-            }
-            if !s.held {
-                if let Some(job) = s.queue.pop_front() {
-                    s.running += 1;
+            match s.core.try_dispatch() {
+                PopDecision::Closed => return None,
+                PopDecision::Dispatch => {
+                    let job = s.jobs.pop_front().expect("core dispatched from empty deque");
+                    s.check_mirror();
                     return Some(job);
                 }
+                PopDecision::Wait => {
+                    s = lock::wait_recovered(&self.ready, &self.state, s);
+                }
             }
-            s = self.wait_recovered(s);
         }
-    }
-
-    /// `Condvar::wait` with the same poison recovery as
-    /// [`crate::lock::recover`]: a panic in another holder must not take
-    /// down the worker loop.
-    fn wait_recovered<'a>(&'a self, guard: MutexGuard<'a, State<T>>) -> MutexGuard<'a, State<T>> {
-        self.ready.wait(guard).unwrap_or_else(|poisoned| {
-            self.state.clear_poison();
-            poisoned.into_inner()
-        })
     }
 
     /// Record a popped job's completion and its service time (feeds the
     /// shed hint's running average).
     pub fn finish(&self, service: Duration) {
-        let mut s = lock::recover(&self.state);
-        s.running = s.running.saturating_sub(1);
-        s.completed += 1;
-        s.total_service_ms += service.as_millis() as u64;
+        lock::recover("queue.state", &self.state)
+            .core
+            .on_finish(service.as_millis() as u64);
     }
 
     /// Freeze dispatch: `pop` blocks even with queued jobs.
     pub fn hold(&self) {
-        lock::recover(&self.state).held = true;
+        lock::recover("queue.state", &self.state).core.set_held(true);
     }
 
     /// Unfreeze dispatch.
     pub fn release(&self) {
-        lock::recover(&self.state).held = false;
+        lock::recover("queue.state", &self.state).core.set_held(false);
         self.ready.notify_all();
     }
 
@@ -184,10 +158,11 @@ impl<T> AdmissionQueue<T> {
     /// live hint — see module docs) and hand back every waiting job so
     /// the caller can answer its client. Running jobs are untouched.
     pub fn drain(&self) -> Vec<T> {
-        let mut s = lock::recover(&self.state);
-        s.draining = true;
-        let shed: Vec<T> = s.queue.drain(..).collect();
-        s.shed += shed.len() as u64;
+        let mut s = lock::recover("queue.state", &self.state);
+        let n = s.core.begin_drain();
+        let shed: Vec<T> = s.jobs.drain(..).collect();
+        debug_assert_eq!(n, shed.len(), "core drained a different count than the deque held");
+        s.check_mirror();
         drop(s);
         self.ready.notify_all();
         shed
@@ -195,25 +170,24 @@ impl<T> AdmissionQueue<T> {
 
     /// Whether a drain is in progress.
     pub fn is_draining(&self) -> bool {
-        lock::recover(&self.state).draining
+        lock::recover("queue.state", &self.state).core.is_draining()
     }
 
     /// Jobs popped but not yet finished (the drain loop polls this down
     /// to zero).
     pub fn running(&self) -> usize {
-        lock::recover(&self.state).running
+        lock::recover("queue.state", &self.state).core.running()
     }
 
     /// Wake all poppers with `None`; subsequent submissions are shed.
     pub fn shutdown(&self) {
-        lock::recover(&self.state).shutdown = true;
+        lock::recover("queue.state", &self.state).core.shutdown();
         self.ready.notify_all();
     }
 
     /// `(waiting, running, shed, admitted)` counters for STATS.
     pub fn counters(&self) -> (u64, u64, u64, u64) {
-        let s = lock::recover(&self.state);
-        (s.queue.len() as u64, s.running as u64, s.shed, s.admitted)
+        lock::recover("queue.state", &self.state).core.counters()
     }
 }
 

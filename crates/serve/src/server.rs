@@ -170,15 +170,15 @@ struct Shared {
 
 impl Shared {
     fn is_shutdown(&self) -> bool {
-        lock::recover(&self.gauges).shutdown
+        lock::recover("gauges", &self.gauges).shutdown
     }
 
     fn stats(&self) -> ServerStats {
         let (waiting, running, shed, admitted) = self.queue.counters();
         let cache = self.cache.stats();
-        let graphs = lock::recover(&self.graphs).len() as u64;
+        let graphs = lock::recover("graphs", &self.graphs).len() as u64;
         let health = self.supervisor.health();
-        let g = lock::recover(&self.gauges);
+        let g = lock::recover("gauges", &self.gauges);
         ServerStats {
             pairs: vec![
                 ("graphs_loaded".into(), graphs),
@@ -226,7 +226,7 @@ impl Shared {
             permanently_degraded: counts.permanently_degraded,
             recycles_total: counts.recycles_total,
             watchdog_cancelled: counts.watchdog_cancelled,
-            quarantined_files: lock::recover(&self.gauges).files_quarantined,
+            quarantined_files: lock::recover("gauges", &self.gauges).files_quarantined,
             draining,
         }
     }
@@ -289,7 +289,7 @@ fn run_job(
     slot: usize,
     generation: u64,
 ) -> Response {
-    let Some(g) = lock::recover(&shared.graphs).get(&req.fingerprint).cloned() else {
+    let Some(g) = lock::recover("graphs", &shared.graphs).get(&req.fingerprint).cloned() else {
         return Response::Error {
             code: code::UNKNOWN_GRAPH,
             message: format!("no loaded graph has fingerprint {:016x}", req.fingerprint),
@@ -366,7 +366,7 @@ fn run_job(
         shared.pool_degraded.clone(),
     );
     if !report.quarantined.is_empty() {
-        lock::recover(&shared.gauges).files_quarantined += report.quarantined.len() as u64;
+        lock::recover("gauges", &shared.gauges).files_quarantined += report.quarantined.len() as u64;
     }
     let Some((_, outcome)) = report.jobs.into_iter().next() else {
         return Response::Error {
@@ -397,10 +397,10 @@ fn outcome_response(
             if degraded_by_panic && poisoned.is_none() {
                 if let Some(msg) = &degraded {
                     *poisoned = Some(msg.clone());
-                    lock::recover(&shared.gauges).degraded_workers += 1;
+                    lock::recover("gauges", &shared.gauges).degraded_workers += 1;
                 }
             }
-            let mut g_ = lock::recover(&shared.gauges);
+            let mut g_ = lock::recover("gauges", &shared.gauges);
             g_.jobs_completed += 1;
             if resuming {
                 g_.jobs_resumed += 1;
@@ -421,7 +421,7 @@ fn outcome_response(
             })
         }
         BatchOutcome::Partial { checkpoint, reason, saved_to } => {
-            lock::recover(&shared.gauges).jobs_partial += 1;
+            lock::recover("gauges", &shared.gauges).jobs_partial += 1;
             Response::Partial(Partial {
                 source: req.source,
                 delta: checkpoint.delta,
@@ -434,13 +434,13 @@ fn outcome_response(
             })
         }
         BatchOutcome::Failed { error, panicked } => {
-            lock::recover(&shared.gauges).jobs_failed += 1;
+            lock::recover("gauges", &shared.gauges).jobs_failed += 1;
             // Same typed-marker rule as above: an error whose *text*
             // contains "panic" (a checkpoint path, a user string) must
             // not poison a healthy worker.
             if panicked && poisoned.is_none() {
                 *poisoned = Some(error.clone());
-                lock::recover(&shared.gauges).degraded_workers += 1;
+                lock::recover("gauges", &shared.gauges).degraded_workers += 1;
             }
             Response::Error { code: classify_failure(&error), message: error }
         }
@@ -466,7 +466,7 @@ fn handle_load(shared: &Shared, spec: &str) -> Response {
     };
     let fingerprint = g.fingerprint();
     let (vertices, edges) = (g.num_vertices() as u64, g.num_edges() as u64);
-    let mut graphs = lock::recover(&shared.graphs);
+    let mut graphs = lock::recover("graphs", &shared.graphs);
     if !graphs.contains_key(&fingerprint) {
         if graphs.len() >= shared.cfg.max_graphs {
             return Response::Error {
@@ -555,7 +555,7 @@ fn worker_loop(shared: &Shared, slot: usize, generation: u64) {
         // suspect even though it eventually returned.
         if shared.supervisor.job_finished(slot, generation) && poisoned.is_none() {
             poisoned = Some("watchdog: job heartbeat stalled".into());
-            lock::recover(&shared.gauges).degraded_workers += 1;
+            lock::recover("gauges", &shared.gauges).degraded_workers += 1;
         }
         // A dead handler (client gone) just drops the reply.
         let _ = job.reply.send(response);
@@ -612,7 +612,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     };
     if let Err(e) = result {
         if is_timeout(&e) {
-            lock::recover(&shared.gauges).writer_timeouts += 1;
+            lock::recover("gauges", &shared.gauges).writer_timeouts += 1;
         }
     }
 }
@@ -722,7 +722,7 @@ impl ServerHandle {
     /// Queued-but-unstarted jobs are answered with a shutting-down
     /// error; running jobs finish.
     pub fn shutdown(mut self) {
-        lock::recover(&self.shared.gauges).shutdown = true;
+        lock::recover("gauges", &self.shared.gauges).shutdown = true;
         self.shared.queue.shutdown();
         // Wake the accept loop so it observes the flag.
         let _ = TcpStream::connect(self.addr);
@@ -734,7 +734,7 @@ impl ServerHandle {
         if let Some(t) = self.supervisor.take() {
             let _ = t.join();
         }
-        let handles: Vec<_> = lock::recover(&self.shared.worker_handles).drain(..).collect();
+        let handles: Vec<_> = lock::recover("worker_handles", &self.shared.worker_handles).drain(..).collect();
         for t in handles {
             let _ = t.join();
         }
@@ -818,7 +818,7 @@ pub fn start(cfg: ServerConfig, addr: impl ToSocketAddrs) -> std::io::Result<Ser
                 }
                 let Ok(stream) = stream else { continue };
                 let over = {
-                    let mut g = lock::recover(&shared.gauges);
+                    let mut g = lock::recover("gauges", &shared.gauges);
                     if g.connections_open >= shared.cfg.max_connections as u64 {
                         true
                     } else {
@@ -843,7 +843,7 @@ pub fn start(cfg: ServerConfig, addr: impl ToSocketAddrs) -> std::io::Result<Ser
                 let shared2 = Arc::clone(&shared);
                 std::thread::spawn(move || {
                     handle_connection(&shared2, stream);
-                    lock::recover(&shared2.gauges).connections_open -= 1;
+                    lock::recover("gauges", &shared2.gauges).connections_open -= 1;
                 });
             }
         })
@@ -857,7 +857,7 @@ pub fn start(cfg: ServerConfig, addr: impl ToSocketAddrs) -> std::io::Result<Ser
 fn spawn_worker(shared: &Arc<Shared>, slot: usize, generation: u64) {
     let shared2 = Arc::clone(shared);
     let handle = std::thread::spawn(move || worker_loop(&shared2, slot, generation));
-    lock::recover(&shared.worker_handles).push(handle);
+    lock::recover("worker_handles", &shared.worker_handles).push(handle);
 }
 
 /// Run [`sssp_core::manifest::recover_directory`] over every per-graph
@@ -1121,7 +1121,7 @@ mod tests {
         );
         assert!(matches!(resp, Response::Error { .. }));
         assert!(poisoned.is_none(), "the word \"panic\" in an error message must not poison");
-        assert_eq!(shared.gauges.lock().unwrap().degraded_workers, 0);
+        assert_eq!(lock::recover("gauges", &shared.gauges).degraded_workers, 0);
 
         // The typed marker — and only it — poisons.
         let _ = outcome_response(
@@ -1132,7 +1132,7 @@ mod tests {
             BatchOutcome::Failed { error: "worker panicked (boom)".into(), panicked: true },
         );
         assert!(poisoned.is_some(), "a typed panic must poison the worker");
-        let g = shared.gauges.lock().unwrap();
+        let g = lock::recover("gauges", &shared.gauges);
         assert_eq!(g.degraded_workers, 1);
         assert_eq!(g.jobs_failed, 2);
     }
@@ -1260,7 +1260,7 @@ mod tests {
     #[test]
     fn panicked_lock_holder_does_not_wedge_later_requests() {
         let shared = bare_shared(1);
-        lock::recover(&shared.gauges).jobs_completed = 7;
+        lock::recover("gauges", &shared.gauges).jobs_completed = 7;
         taskpool::fault::arm_lock_poison();
         let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let _ = shared.stats();

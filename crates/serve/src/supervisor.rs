@@ -37,9 +37,12 @@
 //! its slot is re-poisoned and respawned, and the stale thread's later
 //! reports are ignored by generation check.
 //!
-//! The struct is passive shared state plus cheap transitions; the
-//! driving thread (spawned by `server::start`) ticks
-//! [`Supervisor::scan`] and [`Supervisor::claim_respawns`].
+//! Every transition is decided by the pure
+//! [`SlotCore`](crate::proto::slot::SlotCore) (on `u64` millisecond
+//! ticks, which is what lets `crates/modelcheck` drive it exhaustively);
+//! this wrapper owns the `Instant` clock, the cancel tokens, and the
+//! progress gauges. The driving thread (spawned by `server::start`)
+//! ticks [`Supervisor::scan`] and [`Supervisor::claim_respawns`].
 
 use std::sync::Mutex; // lint:allow(hot-path-lock): supervisor control plane, touched per job transition and per tick, never per edge relaxation
 use std::time::{Duration, Instant};
@@ -47,6 +50,9 @@ use std::time::{Duration, Instant};
 use sssp_core::budget::{CancelToken, ProgressGauge};
 
 use crate::lock;
+use crate::proto::slot::{ScanVerdict, SlotCore};
+
+pub use crate::proto::slot::{PoisonVerdict, SlotHealth};
 
 /// Tunables for worker recycling and the job heartbeat watchdog.
 #[derive(Debug, Clone)]
@@ -78,74 +84,15 @@ impl Default for SupervisorConfig {
     }
 }
 
-/// Where a slot stands in the supervision state machine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SlotHealth {
-    /// A live worker serves the requested implementation.
-    Healthy,
-    /// The worker retired after a panic; the slot awaits its cooldown.
-    Poisoned,
-    /// Recycled too often: the worker keeps serving, sticky
-    /// sequential-fused, and is never recycled again.
-    PermanentlyDegraded,
-}
-
-/// What a worker reporting a panic must do next.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PoisonVerdict {
-    /// Exit the worker loop; the supervisor will respawn the slot after
-    /// its cooldown.
-    Retire,
-    /// Keep serving (sticky sequential-fused): the slot is permanently
-    /// degraded, or the report came from a stale generation.
-    KeepServing,
-}
-
-/// A running job, as the watchdog sees it.
-#[derive(Debug)]
-struct ActiveJob {
-    token: CancelToken,
-    progress: ProgressGauge,
-    started: Instant,
-    deadline: Option<Duration>,
-    last_progress: u64,
-    last_advance: Instant,
-    cancelled_by_watchdog: bool,
-}
-
+/// One slot: the pure decision core plus the real-world levers the
+/// verdicts act on.
 #[derive(Debug)]
 struct Slot {
-    health: SlotHealth,
-    /// Why the slot last left `Healthy` (sticky through recycling for
-    /// the HEALTH report).
-    reason: Option<String>,
-    /// When the slot entered `Poisoned` (cooldown anchor).
-    since: Instant,
-    recycles: u32,
-    /// Bumped on every respawn; reports from older generations are
-    /// ignored, so an abandoned wedged thread cannot poison its
-    /// replacement.
-    generation: u64,
-    active: Option<ActiveJob>,
-}
-
-impl Slot {
-    fn new(now: Instant) -> Self {
-        Slot {
-            health: SlotHealth::Healthy,
-            reason: None,
-            since: now,
-            recycles: 0,
-            generation: 0,
-            active: None,
-        }
-    }
-
-    fn backoff(&self, base: Duration) -> Duration {
-        // Exponential in recycles already served, saturating well below
-        // overflow; 2^16 × base is already "effectively never".
-        base.saturating_mul(1u32 << self.recycles.min(16))
-    }
+    core: SlotCore,
+    /// The active job's cancel lever, present iff `core.active` is.
+    token: Option<CancelToken>,
+    /// The active job's heartbeat source, present iff `core.active` is.
+    gauge: Option<ProgressGauge>,
 }
 
 #[derive(Debug, Default)]
@@ -178,22 +125,36 @@ pub struct HealthCounts {
 #[derive(Debug)]
 pub struct Supervisor {
     cfg: SupervisorConfig,
+    /// Anchor for the `Instant` → tick conversion the cores run on.
+    epoch: Instant,
     inner: Mutex<Inner>, // lint:allow(hot-path-lock): control plane, per-job not per-edge
 }
 
 impl Supervisor {
     /// A supervisor over `workers` healthy slots.
     pub fn new(workers: usize, cfg: SupervisorConfig) -> Self {
-        let now = Instant::now();
         Supervisor {
             cfg,
+            epoch: Instant::now(),
             // lint:allow(hot-path-lock): control plane, per-job not per-edge
             inner: Mutex::new(Inner {
-                slots: (0..workers.max(1)).map(|_| Slot::new(now)).collect(),
+                slots: (0..workers.max(1))
+                    .map(|_| Slot {
+                        core: SlotCore::new(0),
+                        token: None,
+                        gauge: None,
+                    })
+                    .collect(),
                 recycles_total: 0,
                 watchdog_cancelled: 0,
             }),
         }
+    }
+
+    /// Millisecond ticks since construction — the time base the pure
+    /// cores run on.
+    fn ticks(&self, now: Instant) -> u64 {
+        now.saturating_duration_since(self.epoch).as_millis() as u64
     }
 
     /// The active tunables.
@@ -203,31 +164,21 @@ impl Supervisor {
 
     /// Number of slots.
     pub fn workers(&self) -> usize {
-        lock::recover(&self.inner).slots.len()
+        lock::recover("supervisor.inner", &self.inner).slots.len()
     }
 
     /// A worker observed a typed panic marker on `slot`. Returns what
     /// the worker must do; see [`PoisonVerdict`].
     pub fn report_poisoned(&self, slot: usize, generation: u64, reason: &str) -> PoisonVerdict {
-        let mut inner = lock::recover(&self.inner);
+        let now = self.ticks(Instant::now());
+        let mut inner = lock::recover("supervisor.inner", &self.inner);
         let s = &mut inner.slots[slot];
-        if s.generation != generation {
-            // A stale thread outlived its replacement decision; it must
-            // just go away without touching the live slot.
-            return PoisonVerdict::Retire;
+        let verdict = s.core.report_poisoned(generation, now, self.cfg.max_recycles, reason);
+        if s.core.active.is_none() {
+            s.token = None;
+            s.gauge = None;
         }
-        s.reason = Some(reason.to_string());
-        s.active = None;
-        if s.health == SlotHealth::PermanentlyDegraded {
-            return PoisonVerdict::KeepServing;
-        }
-        if s.recycles >= self.cfg.max_recycles {
-            s.health = SlotHealth::PermanentlyDegraded;
-            return PoisonVerdict::KeepServing;
-        }
-        s.health = SlotHealth::Poisoned;
-        s.since = Instant::now();
-        PoisonVerdict::Retire
+        verdict
     }
 
     /// Claim every poisoned slot whose backoff has elapsed: each is
@@ -235,20 +186,17 @@ impl Supervisor {
     /// caller must spawn a worker thread for each `(slot, generation)`
     /// returned.
     pub fn claim_respawns(&self, now: Instant) -> Vec<(usize, u64)> {
-        let mut inner = lock::recover(&self.inner);
-        let cooldown = self.cfg.cooldown;
+        let now = self.ticks(now);
+        let cooldown = self.cfg.cooldown.as_millis() as u64;
+        let mut inner = lock::recover("supervisor.inner", &self.inner);
         let mut due = Vec::new();
         let mut recycled = 0u64;
         for (idx, s) in inner.slots.iter_mut().enumerate() {
-            if s.health == SlotHealth::Poisoned
-                && now.saturating_duration_since(s.since) >= s.backoff(cooldown)
-            {
-                s.health = SlotHealth::Healthy;
-                s.recycles += 1;
-                s.generation += 1;
-                s.active = None;
+            if let Some(generation) = s.core.claim_respawn(now, cooldown) {
+                s.token = None;
+                s.gauge = None;
                 recycled += 1;
-                due.push((idx, s.generation));
+                due.push((idx, generation));
             }
         }
         inner.recycles_total += recycled;
@@ -266,36 +214,28 @@ impl Supervisor {
         progress: ProgressGauge,
         deadline: Option<Duration>,
     ) {
-        let mut inner = lock::recover(&self.inner);
+        let now = self.ticks(Instant::now());
+        let deadline = deadline.map(|d| d.as_millis() as u64);
+        let mut inner = lock::recover("supervisor.inner", &self.inner);
         let s = &mut inner.slots[slot];
-        if s.generation != generation {
-            return;
+        if s.core.job_started(generation, now, deadline) {
+            s.token = Some(token);
+            s.gauge = Some(progress);
         }
-        let now = Instant::now();
-        s.active = Some(ActiveJob {
-            token,
-            progress,
-            started: now,
-            deadline,
-            last_progress: 0,
-            last_advance: now,
-            cancelled_by_watchdog: false,
-        });
     }
 
     /// Deregister `slot`'s job; returns whether the watchdog cancelled
     /// it (the worker should then treat itself as suspect and report
     /// poisoning).
     pub fn job_finished(&self, slot: usize, generation: u64) -> bool {
-        let mut inner = lock::recover(&self.inner);
+        let mut inner = lock::recover("supervisor.inner", &self.inner);
         let s = &mut inner.slots[slot];
-        if s.generation != generation {
-            return false;
+        let cancelled = s.core.job_finished(generation);
+        if s.core.active.is_none() {
+            s.token = None;
+            s.gauge = None;
         }
-        s.active
-            .take()
-            .map(|j| j.cancelled_by_watchdog)
-            .unwrap_or(false)
+        cancelled
     }
 
     /// One watchdog pass over every active job:
@@ -308,40 +248,27 @@ impl Supervisor {
     ///   slot so [`Supervisor::claim_respawns`] replaces the thread; the
     ///   wedged thread's eventual report is ignored by generation).
     pub fn scan(&self, now: Instant) {
-        let grace = self.cfg.heartbeat_grace;
-        let mut inner = lock::recover(&self.inner);
+        let now = self.ticks(now);
+        let grace = self.cfg.heartbeat_grace.as_millis() as u64;
+        let mut inner = lock::recover("supervisor.inner", &self.inner);
         let mut cancelled = 0u64;
         for s in inner.slots.iter_mut() {
-            let Some(job) = s.active.as_mut() else { continue };
-            let p = job.progress.get();
-            if p > job.last_progress {
-                job.last_progress = p;
-                job.last_advance = now;
-                continue;
-            }
-            let stalled = now.saturating_duration_since(job.last_advance) >= grace;
-            if !stalled {
-                continue;
-            }
-            if !job.cancelled_by_watchdog {
-                let past_deadline = job
-                    .deadline
-                    .map(|d| now.saturating_duration_since(job.started) >= d)
-                    .unwrap_or(true);
-                if past_deadline {
-                    job.token.cancel();
-                    job.cancelled_by_watchdog = true;
-                    job.last_advance = now;
+            let progress = match (&s.core.active, &s.gauge) {
+                (Some(_), Some(g)) => g.get(),
+                _ => continue,
+            };
+            match s.core.scan(now, progress, grace) {
+                ScanVerdict::Ok => {}
+                ScanVerdict::Cancel => {
+                    if let Some(token) = &s.token {
+                        token.cancel();
+                    }
                     cancelled += 1;
                 }
-            } else if s.health == SlotHealth::Healthy {
-                // Cancelled a full grace ago and still no epoch
-                // boundary: the thread is wedged below the budget
-                // checks. Abandon it.
-                s.reason = Some("watchdog: worker wedged past cancellation".to_string());
-                s.health = SlotHealth::Poisoned;
-                s.since = now;
-                s.active = None;
+                ScanVerdict::Abandon => {
+                    s.token = None;
+                    s.gauge = None;
+                }
             }
         }
         inner.watchdog_cancelled += cancelled;
@@ -350,17 +277,17 @@ impl Supervisor {
     /// Cancel every active job (graceful drain: in-flight work stops at
     /// the next epoch boundary as certified partials).
     pub fn cancel_active(&self) {
-        let inner = lock::recover(&self.inner);
+        let inner = lock::recover("supervisor.inner", &self.inner);
         for s in &inner.slots {
-            if let Some(job) = &s.active {
-                job.token.cancel();
+            if let (Some(_), Some(token)) = (&s.core.active, &s.token) {
+                token.cancel();
             }
         }
     }
 
     /// Aggregate counts for HEALTH/STATS.
     pub fn health(&self) -> HealthCounts {
-        let inner = lock::recover(&self.inner);
+        let inner = lock::recover("supervisor.inner", &self.inner);
         let mut counts = HealthCounts {
             workers: inner.slots.len() as u64,
             recycles_total: inner.recycles_total,
@@ -368,7 +295,7 @@ impl Supervisor {
             ..HealthCounts::default()
         };
         for s in &inner.slots {
-            match s.health {
+            match s.core.health {
                 SlotHealth::Healthy => counts.healthy += 1,
                 SlotHealth::Poisoned => counts.poisoned += 1,
                 SlotHealth::PermanentlyDegraded => counts.permanently_degraded += 1,
@@ -381,12 +308,12 @@ impl Supervisor {
     /// worker abandoned by the watchdog discovers here that it was
     /// replaced and must exit instead of competing with its successor.
     pub fn is_current(&self, slot: usize, generation: u64) -> bool {
-        lock::recover(&self.inner).slots[slot].generation == generation
+        lock::recover("supervisor.inner", &self.inner).slots[slot].core.generation == generation
     }
 
     /// The health of one slot (tests and diagnostics).
     pub fn slot_health(&self, slot: usize) -> SlotHealth {
-        lock::recover(&self.inner).slots[slot].health
+        lock::recover("supervisor.inner", &self.inner).slots[slot].core.health
     }
 }
 

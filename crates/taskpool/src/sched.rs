@@ -52,12 +52,20 @@ pub fn arm(seed: u64, preemption_budget: u32) {
     let mut st = unpoison(STATE.lock());
     st.rng = seed | 1; // xorshift state must be non-zero
     st.preempt_left = preemption_budget;
-    ARMED.store(true, Ordering::SeqCst);
+    // Relaxed: the flag only gates instrumentation. All schedule state
+    // crosses through the STATE mutex, and the spawn→worker job handoff
+    // (the pool queue's mutex) already orders this store before any
+    // task's first yield point; extra fencing here adds nothing the
+    // Relaxed `armed()` fast path could observe.
+    ARMED.store(true, Ordering::Relaxed);
 }
 
 /// Disarm the scheduler; spawns go straight to the pool again.
 pub fn disarm() {
-    ARMED.store(false, Ordering::SeqCst);
+    // Relaxed: disarm runs after the scope join barrier, so no task is
+    // left to observe the flag; a hypothetical stale `true` would only
+    // send one spawn through the (empty) deferred path.
+    ARMED.store(false, Ordering::Relaxed);
 }
 
 /// Whether the schedule explorer is currently driving execution.

@@ -9,10 +9,13 @@
 //! MUST be flagged, proving the checker has teeth.
 //!
 //! Schedule count comes from `RACECHECK_SCHEDULES` (CI sets 64; the
-//! default stays small so plain `cargo test` wall-clock is unaffected).
-//! Each test opens a [`racecheck::Session`], which serializes them on
-//! the tracker's global lock, so no `--test-threads` pinning is needed
-//! for correctness — CI still pins to 1 to keep timings stable.
+//! default stays small so plain `cargo test` wall-clock is unaffected);
+//! a failure names its schedule, and `RACECHECK_SCHEDULE=<seed>:<budget>`
+//! or `RACECHECK_SEED=<seed>` replays exactly that one (see
+//! [`ExploreConfig::from_env`]). Each test opens a
+//! [`racecheck::Session`], which serializes them on the tracker's global
+//! lock, so no `--test-threads` pinning is needed for correctness — CI
+//! still pins to 1 to keep timings stable.
 //!
 //! Fine-grained per-element hooks in the relaxation loops need the
 //! `racecheck` cargo feature; without it the exploration still permutes
@@ -27,11 +30,8 @@ use sssp_core::explore::{explore, explore_cancel_resume, ExploreConfig};
 use sssp_core::Implementation;
 use taskpool::{scope, ThreadPool};
 
-fn schedules() -> u64 {
-    std::env::var("RACECHECK_SCHEDULES")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8)
+fn env_config() -> ExploreConfig {
+    ExploreConfig::from_env()
 }
 
 fn small_graph() -> CsrGraph {
@@ -146,22 +146,65 @@ fn overlapping_chunk_partition_is_flagged() {
     );
 }
 
+/// The dynamic half of the deadlock story (the static half is
+/// sssp-analyze's lock-order lint): two tasks acquire a pair of
+/// virtual locks in opposite orders — hook calls only, no real blocking,
+/// so the fixture can never hang the suite. The acquisition-order graph
+/// must report the AB-BA cycle under *every* explored seed: the edges
+/// are recorded whichever task runs first, which is exactly why the
+/// graph catches deadlocks that never manifested in the run.
+#[test]
+fn ab_ba_lock_order_fixture_is_flagged_under_every_seed() {
+    let cfg = env_config();
+    let pool = ThreadPool::with_threads(2).expect("pool");
+    let session = Session::new();
+    // Virtual addresses: distinct, stable, and backed by nothing.
+    let addr_a = 0x1000usize;
+    let addr_b = 0x2000usize;
+    for seed in cfg.seeds.clone() {
+        session.reset();
+        taskpool::sched::arm(seed, cfg.preemption_budget);
+        scope(&pool, |s| {
+            s.spawn(move || {
+                racecheck::lock_acquired("fixture.A", addr_a);
+                racecheck::lock_acquired("fixture.B", addr_b);
+                racecheck::lock_released(addr_b);
+                racecheck::lock_released(addr_a);
+            });
+            s.spawn(move || {
+                racecheck::lock_acquired("fixture.B", addr_b);
+                racecheck::lock_acquired("fixture.A", addr_a);
+                racecheck::lock_released(addr_a);
+                racecheck::lock_released(addr_b);
+            });
+        });
+        taskpool::sched::disarm();
+        let deadlocks = session.take_deadlocks();
+        assert!(
+            deadlocks.iter().any(|c| {
+                let names: Vec<&str> = c.edges.iter().map(|e| e.acquired.name).collect();
+                names.contains(&"fixture.A") && names.contains(&"fixture.B")
+            }),
+            "seed {seed}: AB-BA cycle must be flagged, got: {deadlocks:?}"
+        );
+        assert!(session.lock_edges() >= 2, "seed {seed}: both edges must be recorded");
+    }
+}
+
 #[test]
 fn all_implementations_are_race_free_across_schedules() {
     let g = small_graph();
-    let cfg = ExploreConfig {
-        seeds: 0..schedules(),
-        ..ExploreConfig::default()
-    };
+    let cfg = env_config();
     let mut total_events = 0u64;
     for imp in Implementation::ALL {
         let report = explore(imp, &g, 0, 1.0, &cfg);
-        assert_eq!(report.schedules as u64, schedules());
+        assert_eq!(report.schedules as u64, cfg.seeds.end - cfg.seeds.start);
         assert!(
             report.is_clean(),
-            "{}: races {:?}, divergent seeds {:?}",
+            "{}: races {:?}, deadlocks {:?}, divergent seeds {:?}",
             imp.name(),
             report.races,
+            report.deadlocks,
             report.divergent_seeds
         );
         total_events += report.events;
@@ -188,16 +231,14 @@ fn forced_pull_dense_kernel_is_race_free_across_schedules() {
     let _guard = PullGuard;
 
     let g = small_graph();
-    let cfg = ExploreConfig {
-        seeds: 0..schedules(),
-        ..ExploreConfig::default()
-    };
+    let cfg = env_config();
     let report = explore(Implementation::ParallelImproved, &g, 0, 1.0, &cfg);
-    assert_eq!(report.schedules as u64, schedules());
+    assert_eq!(report.schedules as u64, cfg.seeds.end - cfg.seeds.start);
     assert!(
         report.is_clean(),
-        "forced-pull improved: races {:?}, divergent seeds {:?}",
+        "forced-pull improved: races {:?}, deadlocks {:?}, divergent seeds {:?}",
         report.races,
+        report.deadlocks,
         report.divergent_seeds
     );
     assert!(report.events > 0, "no shadow-state events recorded");
@@ -206,16 +247,14 @@ fn forced_pull_dense_kernel_is_race_free_across_schedules() {
 #[test]
 fn cancel_then_resume_is_race_free_and_bit_identical() {
     let g = small_graph();
-    let cfg = ExploreConfig {
-        seeds: 0..schedules(),
-        ..ExploreConfig::default()
-    };
+    let cfg = env_config();
     let report = explore_cancel_resume(&g, 0, 1.0, 2, &cfg);
-    assert_eq!(report.schedules as u64, schedules());
+    assert_eq!(report.schedules as u64, cfg.seeds.end - cfg.seeds.start);
     assert!(
         report.is_clean(),
-        "cancel/resume: races {:?}, divergent seeds {:?}",
+        "cancel/resume: races {:?}, deadlocks {:?}, divergent seeds {:?}",
         report.races,
+        report.deadlocks,
         report.divergent_seeds
     );
 }
