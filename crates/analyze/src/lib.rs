@@ -434,13 +434,15 @@ pub fn lint_atomics(files: &[SourceFile], allowlist_src: &str) -> Vec<Finding> {
 const HOT_PATH_SUPPRESSION: &str = "lint:allow(hot-path-lock)";
 
 /// Hot-path modules where a blocking lock is a design violation: the
-/// request-buffer relaxation core, the parallel kernels, and the
-/// resident service (whose locks must all be request-rate control
-/// state, never per-edge — each deliberate one carries its reason).
+/// request-buffer relaxation core, the parallel kernels, the
+/// generalized stepping loop, and the resident service (whose locks
+/// must all be request-rate control state, never per-edge — each
+/// deliberate one carries its reason).
 pub fn is_hot_path(rel: &str) -> bool {
     rel.starts_with("crates/core/src/parallel")
         || rel == "crates/core/src/reqbuf.rs"
         || rel == "crates/core/src/pull.rs"
+        || rel == "crates/core/src/stepping.rs"
         || rel.starts_with("crates/gblas/src/parallel")
         || rel == "crates/gblas/src/direction.rs"
         || rel.starts_with("crates/serve/src/")
@@ -1544,6 +1546,11 @@ reason = "heuristic counter, never load-acquired"
         assert_eq!(lint_hot_path_locks(&pull).len(), 1);
         let oracle = sf("crates/gblas/src/direction.rs", "use std::sync::RwLock;\n");
         assert_eq!(lint_hot_path_locks(&oracle).len(), 1);
+
+        // The generalized stepping loop joined the ban with the
+        // strategy framework: its extraction scan is per-vertex work.
+        let stepping = sf("crates/core/src/stepping.rs", "use std::sync::Mutex;\n");
+        assert_eq!(lint_hot_path_locks(&stepping).len(), 1);
     }
 
     // -- lint 4 ----------------------------------------------------------

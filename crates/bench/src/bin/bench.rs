@@ -23,7 +23,7 @@
 
 use graphdata::SuiteScale;
 use sssp_bench::experiments::{
-    ablation_select, baseline, datasets, delta_sweep, fig3, fig4, phase_profile,
+    ablation_select, baseline, datasets, delta_sweep, fig3, fig4, phase_profile, stepping,
 };
 use sssp_bench::{markdown_table, write_csv, write_json, Reps};
 
@@ -92,6 +92,41 @@ fn main() {
             );
         }
     }
+
+    // Generalized-stepping strategy gate: real-weighted rmat/er graphs,
+    // one row per strategy. Grouped after the baseline headline so the
+    // chunks(4) walk above only ever sees baseline rows.
+    println!(
+        "\nSTEPPING: fused vs classic vs rho:{} vs delta-star:{} (delta = {}, real weights)",
+        stepping::RHO,
+        stepping::DELTA_STAR_FACTOR,
+        stepping::DELTA,
+    );
+    let mut stepping_entries = Vec::new();
+    for &scale in scales {
+        let reps = match scale {
+            SuiteScale::Smoke => Reps { warmup: 3, samples: 15 },
+            _ => Reps { warmup: 1, samples: 3 },
+        };
+        stepping_entries.extend(stepping::run(scale, threads, reps));
+    }
+    let table = baseline::to_table(&stepping_entries);
+    println!("{}", markdown_table(&baseline::HEADER, &table));
+    for chunk in stepping_entries.chunks(4) {
+        let (classic, rho) = (&chunk[1], &chunk[2]);
+        println!(
+            "{}/{}: rho-stepping does {:.2}x the relaxations of classic delta=1{}",
+            rho.scale,
+            rho.graph,
+            rho.stats.relaxations as f64 / classic.stats.relaxations as f64,
+            if rho.min_ms > 0.0 && classic.min_ms > 0.0 {
+                format!(" at {:.2}x the time", rho.min_ms / classic.min_ms)
+            } else {
+                String::new()
+            },
+        );
+    }
+    entries.extend(stepping_entries);
 
     if let Some(path) = &check_path {
         let text = std::fs::read_to_string(path)

@@ -105,7 +105,9 @@ impl ToJson for BenchEntry {
     }
 }
 
-fn scale_name(scale: SuiteScale) -> &'static str {
+/// Canonical lowercase name for a suite scale, shared with the
+/// stepping strategy gate.
+pub fn scale_name(scale: SuiteScale) -> &'static str {
     match scale {
         SuiteScale::Smoke => "smoke",
         SuiteScale::Default => "default",

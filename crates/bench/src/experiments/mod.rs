@@ -7,6 +7,7 @@ pub mod delta_sweep;
 pub mod fig3;
 pub mod fig4;
 pub mod phase_profile;
+pub mod stepping;
 
 use graphdata::SuiteScale;
 

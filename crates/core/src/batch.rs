@@ -60,6 +60,7 @@ use crate::manifest::{CheckpointManifest, ManifestEntry};
 use crate::result::SsspResult;
 use crate::run::{run_with_budget, Implementation};
 use crate::split_cache::{SplitCache, SplitCacheStats};
+use crate::stepping::SteppingStrategy;
 
 /// Configuration for a [`BatchRunner`].
 #[derive(Debug, Clone)]
@@ -69,6 +70,15 @@ pub struct BatchConfig {
     pub implementation: Implementation,
     /// Bucket width Δ for every job.
     pub delta: f64,
+    /// Frontier-extraction strategy for every job. `Classic` keeps the
+    /// historical behavior (the bucket implementations selected by
+    /// [`BatchConfig::implementation`]); ρ / Δ* route every job through
+    /// the generalized stepping loop — pooled when `implementation` is
+    /// parallel, sequential otherwise, bit-identical either way. The
+    /// panic-retry ladder falls back to the *sequential* path of the
+    /// same strategy, so a retried job still answers with the strategy
+    /// the caller asked for.
+    pub strategy: SteppingStrategy,
     /// Worker threads draining the queue. Clamped to at least 1.
     pub workers: usize,
     /// Admission bound: a batch submitting more jobs than this sees the
@@ -101,6 +111,7 @@ impl Default for BatchConfig {
         BatchConfig {
             implementation: Implementation::Fused,
             delta: 1.0,
+            strategy: SteppingStrategy::Classic,
             workers: 2,
             queue_capacity: 1024,
             deadline: None,
@@ -581,6 +592,18 @@ impl BatchRunner {
         cfg: &GuardConfig,
         budget: &mut RunBudget,
     ) -> Result<(SsspResult, f64, Option<String>), SsspError> {
+        if self.cfg.strategy != SteppingStrategy::Classic {
+            // Generalized strategies bypass the Implementation table: the
+            // stepping loop is the implementation, pooled or sequential by
+            // whether this attempt still has the pool (the retry ladder
+            // passes `None`, landing on the bit-identical sequential path
+            // of the *same* strategy).
+            let delta = engine.preflight(source, self.cfg.delta, cfg)?;
+            let pool = pool.filter(|_| implementation.is_parallel());
+            let (result, _) =
+                engine.run_stepping(pool, source, delta, self.cfg.strategy, budget)?;
+            return Ok((result, delta, None));
+        }
         match implementation {
             Implementation::Fused => {
                 let delta = engine.preflight(source, self.cfg.delta, cfg)?;
@@ -612,12 +635,13 @@ impl BatchRunner {
     ) -> BatchOutcome {
         let g = engine.graph();
         let mut budget = self.job_budget(g);
-        let first = catch_unwind(AssertUnwindSafe(|| match pool {
-            Some(pool) if self.cfg.implementation.is_parallel() => {
-                engine.resume_parallel_improved(pool, cp, &mut budget)
-            }
-            _ => engine.resume_fused(cp, &mut budget),
-        }));
+        // `resume_stepping` routes by the checkpoint itself: a stepping
+        // checkpoint re-enters the generalized loop, a classic one goes to
+        // the bucket resume paths — so mixed directories (a strategy
+        // change between batches) resume every file correctly.
+        let pool = pool.filter(|_| self.cfg.implementation.is_parallel());
+        let first =
+            catch_unwind(AssertUnwindSafe(|| engine.resume_stepping(pool, cp, &mut budget)));
         let panic_reason = match first {
             Ok(Ok((result, _))) => {
                 return BatchOutcome::Complete {
@@ -635,7 +659,7 @@ impl BatchRunner {
         };
         let mut retry = budget.retry_budget(g, cp.delta, &self.cfg.guard);
         let second =
-            catch_unwind(AssertUnwindSafe(|| engine.resume_fused(cp, &mut retry)));
+            catch_unwind(AssertUnwindSafe(|| engine.resume_stepping(None, cp, &mut retry)));
         match second {
             Ok(Ok((result, _))) => BatchOutcome::Complete {
                 result,
@@ -890,6 +914,108 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.builds, 1, "second engine must reuse the first's split");
         assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn strategy_batches_complete_with_correct_distances() {
+        let g = CsrGraph::from_edge_list(&grid2d(12, 12)).unwrap();
+        let sources = [0usize, 77, 143];
+        for implementation in [Implementation::Fused, Implementation::ParallelImproved] {
+            for strategy in [SteppingStrategy::Rho(32), SteppingStrategy::DeltaStar(4.0)] {
+                let report = BatchRunner::new(BatchConfig {
+                    implementation,
+                    strategy,
+                    workers: 2,
+                    ..BatchConfig::default()
+                })
+                .run(&g, &sources);
+                assert!(report.all_complete(), "{implementation:?} {strategy}");
+                assert_eq!(report.split_cache.builds, 1, "{implementation:?} {strategy}");
+                for (source, outcome) in &report.jobs {
+                    match outcome {
+                        BatchOutcome::Complete { result, degraded, .. } => {
+                            assert!(degraded.is_none());
+                            assert_eq!(
+                                result.dist,
+                                dijkstra(&g, *source).dist,
+                                "{implementation:?} {strategy} source {source}"
+                            );
+                        }
+                        other => panic!("expected Complete, got {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_partials_persist_and_resume_bit_identically() {
+        let g = CsrGraph::from_edge_list(&grid2d(12, 12)).unwrap();
+        let dir = std::env::temp_dir().join(format!("sssp-batch-strat-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sources = [0usize, 77, 143];
+        let strategy = SteppingStrategy::Rho(16);
+
+        let reference = BatchRunner::new(BatchConfig {
+            strategy,
+            ..BatchConfig::default()
+        })
+        .run(&g, &sources);
+        assert!(reference.all_complete());
+
+        let stopped = BatchRunner::new(BatchConfig {
+            strategy,
+            deadline: Some(Duration::ZERO),
+            checkpoint_dir: Some(dir.clone()),
+            ..BatchConfig::default()
+        })
+        .run(&g, &sources);
+        assert_eq!(stopped.partial(), sources.len());
+        for (_, outcome) in &stopped.jobs {
+            let cp = outcome.checkpoint().unwrap();
+            assert_eq!(cp.implementation, "stepping");
+            assert_eq!(cp.stepping.map(|st| st.strategy), Some(strategy));
+        }
+
+        let resumed = BatchRunner::new(BatchConfig {
+            strategy,
+            checkpoint_dir: Some(dir.clone()),
+            ..BatchConfig::default()
+        })
+        .run(&g, &sources);
+        assert!(resumed.all_complete());
+        for ((source, a), (_, b)) in reference.jobs.iter().zip(&resumed.jobs) {
+            let (BatchOutcome::Complete { result: a, .. }, BatchOutcome::Complete { result: b, .. }) =
+                (a, b)
+            else {
+                panic!("source {source}: expected Complete pair");
+            };
+            assert_eq!(a.dist, b.dist, "source {source}");
+            assert_eq!(a.stats, b.stats, "source {source}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn strategy_panic_retries_sequentially_with_the_same_strategy() {
+        let g = grid();
+        let runner = BatchRunner::new(BatchConfig {
+            implementation: Implementation::ParallelImproved,
+            strategy: SteppingStrategy::DeltaStar(2.0),
+            workers: 1,
+            ..BatchConfig::default()
+        });
+        taskpool::fault::arm_panic_after(0);
+        let report = runner.run(&g, &[0]);
+        taskpool::fault::disarm();
+        match &report.jobs[0].1 {
+            BatchOutcome::Complete { result, degraded, degraded_by_panic, .. } => {
+                assert!(degraded.is_some());
+                assert!(degraded_by_panic);
+                assert_eq!(result.dist, dijkstra(&g, 0).dist);
+            }
+            other => panic!("expected degraded Complete, got {other:?}"),
+        }
     }
 
     #[test]

@@ -108,6 +108,7 @@ pub fn delta_stepping_canonical_checked(
                 frontier: &[],
                 settled: &[],
                 resumable: false,
+                stepping: None,
             }
             .stop(stop));
         }
@@ -135,6 +136,7 @@ pub fn delta_stepping_canonical_checked(
                     frontier: &batch,
                     settled: &settled,
                     resumable: false,
+                    stepping: None,
                 }
                 .stop(stop));
             }

@@ -28,16 +28,19 @@ use graphdata::io::bytes::ByteReader;
 use crate::budget::BudgetStop;
 use crate::guard::SsspError;
 use crate::stats::SsspStats;
+use crate::stepping::SteppingStrategy;
 
 /// Magic + version header of the serialized checkpoint format (the
 /// `graphdata` binary-format family: fixed little-endian layout behind an
 /// 8-byte magic; see [`Checkpoint::to_bytes`] for the full layout).
-pub const CHECKPOINT_MAGIC: &[u8; 8] = b"GBSSCKP1";
+/// Version 2 appends the stepping section; version-1 files are rejected
+/// by the magic check rather than misread.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"GBSSCKP2";
 
 /// Canonical implementation tags in wire order: the byte written for a
 /// checkpoint's `implementation` is the index into this table.
-const IMPLEMENTATION_TAGS: [&str; 6] =
-    ["canonical", "fused", "gblas", "parallel", "improved", "atomic"];
+const IMPLEMENTATION_TAGS: [&str; 7] =
+    ["canonical", "fused", "gblas", "parallel", "improved", "atomic", "stepping"];
 
 /// Where inside a bucket the run was stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +54,22 @@ pub enum StopPoint {
     LightPhase,
 }
 
+/// Loop state specific to the generalized stepping implementations
+/// (`crate::stepping`): the extraction strategy, the certified settled
+/// bound, and the current range's exclusive threshold. The classic bucket
+/// implementations carry `None` — their bound is `bucket · Δ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SteppingState {
+    /// The frontier-extraction strategy the run was using.
+    pub strategy: SteppingStrategy,
+    /// Exclusive certificate bound: every `dist[v] < bound` is final.
+    pub bound: f64,
+    /// Exclusive upper end of the range being drained (`[bound,
+    /// threshold)`); equals `bound` at [`StopPoint::BucketStart`], where
+    /// no range has been extracted yet.
+    pub threshold: f64,
+}
+
 /// The state an interrupted run leaves behind.
 ///
 /// Invariants (established by the emitting implementation, checked again
@@ -58,7 +77,9 @@ pub enum StopPoint {
 ///
 /// * `dist[v] < settled_below` implies `dist[v]` is the final
 ///   shortest-path distance from `source` to `v`;
-/// * `settled_below == bucket as f64 * delta`;
+/// * `settled_below == bucket as f64 * delta` for the classic bucket
+///   implementations, and the extracted-range bound
+///   ([`SteppingState::bound`]) for generalized stepping checkpoints;
 /// * when `stop_point == StopPoint::BucketStart`, `frontier` and
 ///   `settled` are empty;
 /// * when `resumable`, replaying the frontier loop from this state is
@@ -90,15 +111,24 @@ pub struct Checkpoint {
     /// Whether the frontier loop can be resumed bit-identically from this
     /// checkpoint (true for the fused/parallel/improved/atomic family).
     pub resumable: bool,
+    /// Generalized-stepping loop state; `None` for the classic bucket
+    /// implementations.
+    pub stepping: Option<SteppingState>,
 }
 
 impl Checkpoint {
     /// The partial-result certificate: every `dist[v]` strictly below this
-    /// bound is the final shortest-path distance (the bucket invariant —
-    /// all buckets before `bucket` have been emptied, and relaxations out
-    /// of bucket `i` can only produce values `≥ i·Δ`).
+    /// bound is the final shortest-path distance. For the classic bucket
+    /// implementations that is the bucket invariant — all buckets before
+    /// `bucket` have been emptied, and relaxations out of bucket `i` can
+    /// only produce values `≥ i·Δ`. For generalized stepping runs the
+    /// bound is the extracted-range bound: every range below
+    /// [`SteppingState::bound`] has been drained to a fixpoint.
     pub fn settled_below(&self) -> f64 {
-        self.bucket as f64 * self.delta
+        match &self.stepping {
+            Some(st) => st.bound,
+            None => self.bucket as f64 * self.delta,
+        }
     }
 
     /// Number of vertices whose distance is certified final.
@@ -143,6 +173,29 @@ impl Checkpoint {
         {
             return fail("bucket-start checkpoint carries a frontier");
         }
+        match (self.implementation, &self.stepping) {
+            ("stepping", None) => {
+                return fail("stepping checkpoint is missing its stepping state")
+            }
+            (other, Some(_)) if other != "stepping" => {
+                return fail("non-stepping checkpoint carries stepping state")
+            }
+            _ => {}
+        }
+        if let Some(st) = &self.stepping {
+            if st.strategy == SteppingStrategy::Classic {
+                return fail("classic runs do not carry stepping state");
+            }
+            if st.strategy.validate().is_err() {
+                return fail("degenerate stepping-strategy parameter");
+            }
+            if st.bound.is_nan() || st.bound < 0.0 {
+                return fail("stepping bound must be non-negative");
+            }
+            if st.threshold.is_nan() || st.threshold < st.bound {
+                return fail("stepping threshold must be at least the bound");
+            }
+        }
         Ok(())
     }
 
@@ -150,10 +203,10 @@ impl Checkpoint {
     /// little-endian:
     ///
     /// ```text
-    /// magic        [u8; 8]  = b"GBSSCKP1"
+    /// magic        [u8; 8]  = b"GBSSCKP2"
     /// fingerprint  u64      graph fingerprint ([`graphdata::CsrGraph::fingerprint`])
     /// impl         u8       0 canonical, 1 fused, 2 gblas, 3 parallel,
-    ///                       4 improved, 5 atomic
+    ///                       4 improved, 5 atomic, 6 stepping
     /// stop_point   u8       0 bucket-start, 1 light-phase
     /// resumable    u8       0 or 1
     /// source       u64
@@ -165,6 +218,10 @@ impl Checkpoint {
     /// dist         nv × f64
     /// nf           u64, frontier  nf × u64
     /// ns           u64, settled   ns × u64
+    /// stepping     u8            0 none, 1 rho, 2 delta-star, 3 classic
+    ///   (when ≠ 0) param      f64   ρ (integral) or the Δ* fusion factor
+    ///              bound      f64   certified settled bound
+    ///              threshold  f64   current range's exclusive threshold
     /// ```
     ///
     /// `fingerprint` binds the checkpoint to the graph it was taken
@@ -205,6 +262,20 @@ impl Checkpoint {
             buf.extend_from_slice(&(list.len() as u64).to_le_bytes());
             for &v in list {
                 buf.extend_from_slice(&(v as u64).to_le_bytes());
+            }
+        }
+        match &self.stepping {
+            None => buf.push(0),
+            Some(st) => {
+                let (tag, param) = match st.strategy {
+                    SteppingStrategy::Rho(rho) => (1u8, rho as f64),
+                    SteppingStrategy::DeltaStar(k) => (2, k),
+                    SteppingStrategy::Classic => (3, 0.0),
+                };
+                buf.push(tag);
+                buf.extend_from_slice(&param.to_le_bytes());
+                buf.extend_from_slice(&st.bound.to_le_bytes());
+                buf.extend_from_slice(&st.threshold.to_le_bytes());
             }
         }
         buf
@@ -304,6 +375,32 @@ impl Checkpoint {
                 list.push(v);
             }
         }
+        let stepping = match cur.u8("stepping tag").map_err(take_err)? {
+            0 => None,
+            tag @ 1..=3 => {
+                let param = cur.f64_le("stepping parameter").map_err(take_err)?;
+                let bound = cur.f64_le("stepping bound").map_err(take_err)?;
+                let threshold = cur.f64_le("stepping threshold").map_err(take_err)?;
+                let strategy = match tag {
+                    1 => {
+                        if !(param.is_finite() && param >= 1.0 && param.fract() == 0.0)
+                            || param > usize::MAX as f64
+                        {
+                            return Err(invalid(format!("rho parameter {param} is not a count")));
+                        }
+                        SteppingStrategy::Rho(param as usize)
+                    }
+                    2 => SteppingStrategy::DeltaStar(param),
+                    _ => SteppingStrategy::Classic,
+                };
+                Some(SteppingState {
+                    strategy,
+                    bound,
+                    threshold,
+                })
+            }
+            other => return Err(invalid(format!("unknown stepping tag {other}"))),
+        };
         if cur.remaining() != 0 {
             return Err(invalid(format!(
                 "{} trailing bytes after the checkpoint payload",
@@ -322,6 +419,7 @@ impl Checkpoint {
             frontier,
             settled,
             resumable,
+            stepping,
         };
         // Self-consistency against its own vertex count; the caller still
         // checks the fingerprint and real graph size.
@@ -383,6 +481,9 @@ pub struct LiveState<'a> {
     /// Whether this implementation's checkpoints support bit-identical
     /// resume.
     pub resumable: bool,
+    /// Generalized-stepping loop state (`None` for the classic bucket
+    /// implementations).
+    pub stepping: Option<SteppingState>,
 }
 
 impl LiveState<'_> {
@@ -399,6 +500,7 @@ impl LiveState<'_> {
             frontier: self.frontier.to_vec(),
             settled: self.settled.to_vec(),
             resumable: self.resumable,
+            stepping: self.stepping,
         }
     }
 
@@ -435,7 +537,19 @@ mod tests {
             frontier: Vec::new(),
             settled: Vec::new(),
             resumable: true,
+            stepping: None,
         }
+    }
+
+    fn stepping_sample() -> Checkpoint {
+        let mut cp = sample();
+        cp.implementation = "stepping";
+        cp.stepping = Some(SteppingState {
+            strategy: SteppingStrategy::Rho(64),
+            bound: 1.0,
+            threshold: 1.0,
+        });
+        cp
     }
 
     #[test]
@@ -498,6 +612,65 @@ mod tests {
     }
 
     #[test]
+    fn stepping_state_round_trips_and_owns_the_settled_bound() {
+        let mut cp = stepping_sample();
+        cp.stop_point = StopPoint::LightPhase;
+        cp.frontier = vec![2];
+        cp.settled = vec![0, 1];
+        cp.stepping = Some(SteppingState {
+            strategy: SteppingStrategy::DeltaStar(4.0),
+            bound: 0.5,
+            threshold: 2.5,
+        });
+        // The certificate bound comes from the stepping state, not
+        // bucket · Δ (which would be 1.0 here).
+        assert_eq!(cp.settled_below(), 0.5);
+        assert_eq!(cp.settled_count(), 2); // 0.0 and 0.4
+        let (back, fp) = Checkpoint::from_bytes(&cp.to_bytes(99)).unwrap();
+        assert_eq!(fp, 99);
+        assert_eq!(back, cp);
+
+        let mut rho = stepping_sample();
+        rho.stepping = Some(SteppingState {
+            strategy: SteppingStrategy::Rho(1 << 20),
+            bound: 1.0,
+            threshold: 1.0,
+        });
+        let (back, _) = Checkpoint::from_bytes(&rho.to_bytes(1)).unwrap();
+        assert_eq!(back, rho);
+    }
+
+    #[test]
+    fn validate_enforces_stepping_consistency() {
+        assert!(stepping_sample().validate(4).is_ok());
+        // "stepping" implementation must carry stepping state...
+        let mut bad = stepping_sample();
+        bad.stepping = None;
+        assert!(bad.validate(4).is_err());
+        // ...and classic implementations must not.
+        let mut bad = sample();
+        bad.stepping = stepping_sample().stepping;
+        assert!(bad.validate(4).is_err());
+        // Degenerate strategy parameters are rejected.
+        for strategy in [SteppingStrategy::Rho(0), SteppingStrategy::DeltaStar(0.0)] {
+            let mut bad = stepping_sample();
+            bad.stepping.as_mut().unwrap().strategy = strategy;
+            assert!(bad.validate(4).is_err(), "{strategy:?}");
+        }
+        // Classic never appears inside stepping state.
+        let mut bad = stepping_sample();
+        bad.stepping.as_mut().unwrap().strategy = SteppingStrategy::Classic;
+        assert!(bad.validate(4).is_err());
+        // The threshold can never sit below the certified bound.
+        let mut bad = stepping_sample();
+        bad.stepping.as_mut().unwrap().threshold = 0.25;
+        assert!(bad.validate(4).is_err());
+        let mut bad = stepping_sample();
+        bad.stepping.as_mut().unwrap().bound = f64::NAN;
+        assert!(bad.validate(4).is_err());
+    }
+
+    #[test]
     fn truncated_and_corrupt_bytes_rejected_cleanly() {
         let bytes = sample().to_bytes(42);
         // Truncation at every prefix length is a clean error, not a panic.
@@ -557,6 +730,7 @@ mod tests {
             frontier: &frontier,
             settled: &settled,
             resumable: true,
+            stepping: None,
         };
         match live.stop(BudgetStop::Cancelled) {
             SsspError::Cancelled { checkpoint } => {

@@ -44,6 +44,9 @@ use crate::parallel_improved::{
 use crate::result::SsspResult;
 use crate::split_cache::SplitCache;
 use crate::stats::PhaseProfile;
+use crate::stepping::{
+    stepping_resume_with, stepping_with, SteppingStrategy, SteppingWorkspace,
+};
 
 /// Cache effectiveness counters, exposed for tests and bench reporting.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +94,7 @@ pub struct SsspEngine<'g> {
     local: Vec<(u64, Arc<LightHeavy>)>,
     fused_ws: FusedWorkspace,
     improved_ws: ImprovedWorkspace,
+    stepping_ws: SteppingWorkspace,
     /// Cached verdict of the `O(|V| + |E|)` weight scan. The engine
     /// borrows the graph immutably for its whole lifetime, so the verdict
     /// can never go stale.
@@ -118,6 +122,7 @@ impl<'g> SsspEngine<'g> {
             local: Vec::new(),
             fused_ws: FusedWorkspace::new(n),
             improved_ws: ImprovedWorkspace::new(n),
+            stepping_ws: SteppingWorkspace::new(n),
             weights_verdict: None,
             stats: EngineStats::default(),
         }
@@ -162,6 +167,7 @@ impl<'g> SsspEngine<'g> {
         let n = self.g.num_vertices();
         self.fused_ws = FusedWorkspace::new(n);
         self.improved_ws = ImprovedWorkspace::new(n);
+        self.stepping_ws = SteppingWorkspace::new(n);
     }
 
     /// [`guard::preflight`] with the weight scan cached: the first call
@@ -313,6 +319,77 @@ impl<'g> SsspEngine<'g> {
             budget,
             &mut self.improved_ws,
         )?;
+        profile.relaxation += loop_profile.relaxation;
+        profile.vector_ops += loop_profile.vector_ops;
+        profile.matrix_filter += loop_profile.matrix_filter;
+        Ok((result, profile))
+    }
+
+    /// Run under any [`SteppingStrategy`] through the cache. `Classic`
+    /// dispatches to the bucket implementations ([`SsspEngine::run_fused`]
+    /// sequentially, [`SsspEngine::run_parallel_improved`] with a pool) —
+    /// they *are* the classic strategy; ρ and Δ* go through the
+    /// generalized loop, sequentially or pooled by whether `pool` is
+    /// given. Distances and stats are bit-identical across thread counts
+    /// and the pool-less path for every strategy.
+    pub fn run_stepping(
+        &mut self,
+        pool: Option<&ThreadPool>,
+        source: usize,
+        delta: f64,
+        strategy: SteppingStrategy,
+        budget: &mut RunBudget,
+    ) -> Result<(SsspResult, PhaseProfile), SsspError> {
+        strategy.validate()?;
+        if strategy == SteppingStrategy::Classic {
+            return match pool {
+                Some(pool) => self.run_parallel_improved(pool, source, delta, budget),
+                None => self.run_fused(source, delta, budget),
+            };
+        }
+        if !(delta > 0.0 && delta.is_finite()) {
+            return Err(SsspError::InvalidDelta { delta });
+        }
+        let mut profile = PhaseProfile::default();
+        let lh = self.split_for(pool, delta, &mut profile);
+        let (result, loop_profile) = stepping_with(
+            self.g,
+            &lh,
+            source,
+            delta,
+            strategy,
+            pool,
+            budget,
+            &mut self.stepping_ws,
+        )?;
+        profile.relaxation += loop_profile.relaxation;
+        profile.vector_ops += loop_profile.vector_ops;
+        profile.matrix_filter += loop_profile.matrix_filter;
+        Ok((result, profile))
+    }
+
+    /// Resume an interrupted run of any implementation, routed by the
+    /// checkpoint itself: generalized-stepping checkpoints (carrying a
+    /// [`crate::checkpoint::SteppingState`]) re-enter the stepping loop,
+    /// classic bucket checkpoints go to the fused / parallel-improved
+    /// resume paths. Bit-identical to the uninterrupted run.
+    pub fn resume_stepping(
+        &mut self,
+        pool: Option<&ThreadPool>,
+        cp: &Checkpoint,
+        budget: &mut RunBudget,
+    ) -> Result<(SsspResult, PhaseProfile), SsspError> {
+        cp.validate(self.g.num_vertices())?;
+        if cp.stepping.is_none() {
+            return match pool {
+                Some(pool) => self.resume_parallel_improved(pool, cp, budget),
+                None => self.resume_fused(cp, budget),
+            };
+        }
+        let mut profile = PhaseProfile::default();
+        let lh = self.split_for(pool, cp.delta, &mut profile);
+        let (result, loop_profile) =
+            stepping_resume_with(self.g, &lh, cp, pool, budget, &mut self.stepping_ws)?;
         profile.relaxation += loop_profile.relaxation;
         profile.vector_ops += loop_profile.vector_ops;
         profile.matrix_filter += loop_profile.matrix_filter;
@@ -541,6 +618,74 @@ mod tests {
         assert_eq!(e1.stats().split_builds, 1);
         assert_eq!(e2.stats().split_builds, 0);
         assert_eq!(e2.stats().split_hits, 1);
+    }
+
+    #[test]
+    fn stepping_strategies_share_the_split_cache_and_match_dijkstra() {
+        let g = test_graph();
+        let pool = ThreadPool::with_threads(4).unwrap();
+        let mut engine = SsspEngine::new(&g);
+        let dj = crate::dijkstra::dijkstra(&g, 0);
+        for strategy in [
+            SteppingStrategy::Classic,
+            SteppingStrategy::Rho(64),
+            SteppingStrategy::DeltaStar(4.0),
+        ] {
+            let (seq, _) = engine
+                .run_stepping(None, 0, 1.0, strategy, &mut RunBudget::unlimited())
+                .unwrap();
+            assert_eq!(seq.dist, dj.dist, "{strategy} sequential");
+            let (par, _) = engine
+                .run_stepping(Some(&pool), 0, 1.0, strategy, &mut RunBudget::unlimited())
+                .unwrap();
+            assert_eq!(par.dist, dj.dist, "{strategy} pooled");
+        }
+        // One Δ, six runs across three strategies: a single split build.
+        assert_eq!(engine.stats().split_builds, 1);
+        assert_eq!(engine.stats().split_hits, 5);
+    }
+
+    #[test]
+    fn stepping_checkpoint_round_trips_through_disk_and_resume() {
+        let g = test_graph();
+        let mut engine = SsspEngine::new(&g);
+        let strategy = SteppingStrategy::Rho(32);
+        let full = engine
+            .run_stepping(None, 3, 1.0, strategy, &mut RunBudget::unlimited())
+            .unwrap()
+            .0;
+        let err = engine
+            .run_stepping(None, 3, 1.0, strategy, &mut RunBudget::unlimited().cancel_after(4))
+            .unwrap_err();
+        let cp = err.into_checkpoint().unwrap();
+        assert_eq!(cp.implementation, "stepping");
+        assert_eq!(cp.stepping.map(|st| st.strategy), Some(strategy));
+
+        let dir = std::env::temp_dir().join(format!("sssp-stepping-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cp.bin");
+        engine.save_checkpoint(&cp, &path).unwrap();
+        let loaded = engine.load_checkpoint(&path).unwrap();
+        assert_eq!(loaded, cp);
+        // The router sends stepping checkpoints to the generalized loop
+        // and classic ones to the bucket resume paths.
+        let (resumed, _) = engine
+            .resume_stepping(None, &loaded, &mut RunBudget::unlimited())
+            .unwrap();
+        assert_eq!(resumed.dist, full.dist);
+        assert_eq!(resumed.stats, full.stats);
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        let classic_full = engine.run_fused(3, 1.0, &mut RunBudget::unlimited()).unwrap().0;
+        let err = engine
+            .run_fused(3, 1.0, &mut RunBudget::unlimited().cancel_after(2))
+            .unwrap_err();
+        let classic_cp = err.into_checkpoint().unwrap();
+        let (resumed, _) = engine
+            .resume_stepping(None, &classic_cp, &mut RunBudget::unlimited())
+            .unwrap();
+        assert_eq!(resumed.dist, classic_full.dist);
+        assert_eq!(resumed.stats, classic_full.stats);
     }
 
     #[test]

@@ -382,6 +382,7 @@ fn fused_loop(
                     frontier: &[],
                     settled: &[],
                     resumable: true,
+                    stepping: None,
                 }
                 .stop(stop));
             }
@@ -425,6 +426,7 @@ fn fused_loop(
                     frontier,
                     settled,
                     resumable: true,
+                    stepping: None,
                 }
                 .stop(stop));
             }

@@ -154,6 +154,7 @@ pub fn sssp_delta_step_checked(
             frontier: &[],
             settled: &[],
             resumable: false,
+            stepping: None,
         }
         .stop(stop)
     };

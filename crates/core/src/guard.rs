@@ -72,6 +72,12 @@ pub enum SsspError {
         /// The rejected Δ (may be NaN).
         delta: f64,
     },
+    /// A stepping-strategy parameter is degenerate: ρ = 0 for ρ-stepping,
+    /// or a zero/negative/non-finite Δ* for Δ*-stepping.
+    InvalidStrategy {
+        /// What was wrong with the requested strategy.
+        reason: String,
+    },
     /// The watchdog tripped: the run exceeded the epoch budget derived
     /// from the theoretical maximum for a valid input. Indicates
     /// malformed state (e.g. a negative-weight cycle smuggled past
@@ -177,6 +183,9 @@ impl fmt::Display for SsspError {
             ),
             SsspError::InvalidDelta { delta } => {
                 write!(f, "delta must be positive and finite, got {delta}")
+            }
+            SsspError::InvalidStrategy { reason } => {
+                write!(f, "invalid stepping strategy: {reason}")
             }
             SsspError::IterationLimitExceeded { ticks, limit, checkpoint } => {
                 write!(
@@ -296,7 +305,7 @@ pub fn resolve_delta(g: &CsrGraph, delta: f64, cfg: &GuardConfig) -> Result<f64,
     if delta.is_finite() && delta > 0.0 {
         Ok(delta)
     } else if cfg.delta_fallback {
-        Ok(DeltaStrategy::MeyerSanders.resolve(g))
+        DeltaStrategy::MeyerSanders.resolve(g)
     } else {
         Err(SsspError::InvalidDelta { delta })
     }

@@ -30,7 +30,7 @@
 //! use sssp_core::{delta::DeltaStrategy, fused, dijkstra};
 //!
 //! let g = CsrGraph::from_edge_list(&grid2d(8, 8)).unwrap();
-//! let ds = fused::delta_stepping_fused(&g, 0, DeltaStrategy::Unit.resolve(&g));
+//! let ds = fused::delta_stepping_fused(&g, 0, DeltaStrategy::Unit.resolve(&g).unwrap());
 //! let dj = dijkstra::dijkstra(&g, 0);
 //! assert_eq!(ds.dist, dj.dist);
 //! assert_eq!(ds.dist[63], 14.0); // Manhattan distance across the grid
@@ -64,6 +64,7 @@ pub mod run;
 pub mod schedule;
 pub mod split_cache;
 pub mod stats;
+pub mod stepping;
 pub mod validate;
 
 pub use batch::{BatchConfig, BatchOutcome, BatchReport, BatchRunner};
@@ -75,6 +76,7 @@ pub use result::SsspResult;
 pub use run::{run_checked, run_with_budget, Implementation, RunReport};
 pub use split_cache::{SplitCache, SplitCacheStats};
 pub use stats::SsspStats;
+pub use stepping::SteppingStrategy;
 
 /// The distance value used for unreachable vertices.
 pub const INF: f64 = f64::INFINITY;

@@ -559,6 +559,7 @@ mod tests {
             frontier: Vec::new(),
             settled: Vec::new(),
             resumable: true,
+            stepping: None,
         }
     }
 

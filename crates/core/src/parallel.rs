@@ -186,6 +186,7 @@ pub fn delta_stepping_parallel_checked(
                 frontier: &[],
                 settled: &[],
                 resumable: true,
+                stepping: None,
             }
             .stop(stop));
         }
@@ -215,6 +216,7 @@ pub fn delta_stepping_parallel_checked(
                     frontier: &frontier,
                     settled: &settled,
                     resumable: true,
+                    stepping: None,
                 }
                 .stop(stop));
             }

@@ -248,6 +248,7 @@ pub fn delta_stepping_parallel_atomic_checked(
                 frontier: &[],
                 settled: &[],
                 resumable: true,
+                stepping: None,
             }
             .stop(stop));
         }
@@ -277,6 +278,7 @@ pub fn delta_stepping_parallel_atomic_checked(
                     frontier: &frontier,
                     settled: &settled,
                     resumable: true,
+                    stepping: None,
                 }
                 .stop(stop));
             }

@@ -319,6 +319,7 @@ fn improved_loop(
                     frontier: &[],
                     settled: &[],
                     resumable: true,
+                    stepping: None,
                 }
                 .stop(stop));
             }
@@ -350,6 +351,7 @@ fn improved_loop(
                     frontier,
                     settled,
                     resumable: true,
+                    stepping: None,
                 }
                 .stop(stop));
             }

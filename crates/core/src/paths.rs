@@ -6,6 +6,11 @@
 //! `dist[v] = dist[u] + w(u, v)` (certificate condition 3), and walking
 //! witnesses backwards yields a shortest path. This module makes the
 //! GraphBLAS result as useful as Dijkstra-with-parents.
+//!
+//! The witness scan is `O(|E|)`; callers answering many targets against
+//! one result should build a [`Parents`] handle once and reuse it —
+//! [`shortest_path`] pays the full scan on every call and exists for the
+//! one-shot case only.
 
 use graphdata::CsrGraph;
 
@@ -22,6 +27,13 @@ pub fn parents_from_distances(g: &CsrGraph, result: &SsspResult, eps: f64) -> Ve
     let d = &result.dist;
     let slack = |x: f64| eps * x.abs().max(1.0);
     for (u, v, w) in g.iter_edges() {
+        // A vertex must not witness itself: a zero-weight self-loop
+        // trivially satisfies d[v] + 0 = d[v] within slack, and taking it
+        // as the witness (parent[v] = v) severs v from the real tree —
+        // reconstruction then spins on v until the length guard trips.
+        if u == v {
+            continue;
+        }
         if d[u].is_finite() && d[v].is_finite() && (d[u] + w - d[v]).abs() <= slack(d[v]) {
             // u witnesses v; keep the smallest witness for determinism.
             if v != result.source && (parent[v] == usize::MAX || u < parent[v]) {
@@ -32,8 +44,69 @@ pub fn parents_from_distances(g: &CsrGraph, result: &SsspResult, eps: f64) -> Ve
     parent
 }
 
+/// A parent tree built once from one result's distances, answering any
+/// number of target queries without re-scanning the edges. The `O(|E|)`
+/// witness scan happens in [`Parents::build`]; each [`Parents::path_to`]
+/// is then `O(path length)`.
+#[derive(Debug, Clone)]
+pub struct Parents {
+    source: usize,
+    parent: Vec<usize>,
+}
+
+impl Parents {
+    /// Run the witness scan once. `eps` is the relative float slack, as
+    /// for [`parents_from_distances`].
+    pub fn build(g: &CsrGraph, result: &SsspResult, eps: f64) -> Parents {
+        Parents {
+            source: result.source,
+            parent: parents_from_distances(g, result, eps),
+        }
+    }
+
+    /// The source this tree hangs from.
+    pub fn source(&self) -> usize {
+        self.source
+    }
+
+    /// The witness predecessor of `v` (`source` maps to itself), or
+    /// `None` when `v` is unreachable or out of bounds.
+    pub fn parent_of(&self, v: usize) -> Option<usize> {
+        match self.parent.get(v) {
+            Some(&p) if p != usize::MAX => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Reconstruct the shortest path `source → target`. Returns `None`
+    /// when `target` is unreachable, out of bounds, or the underlying
+    /// distances were not a valid certificate (a broken witness chain).
+    pub fn path_to(&self, target: usize) -> Option<Vec<usize>> {
+        if target >= self.parent.len() || self.parent[target] == usize::MAX {
+            return None;
+        }
+        let mut path = vec![target];
+        let mut cur = target;
+        while cur != self.source {
+            let p = self.parent[cur];
+            if p == usize::MAX || path.len() > self.parent.len() {
+                // Inconsistent distances (no witness): not a valid
+                // certificate.
+                return None;
+            }
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
 /// Reconstruct a shortest path `source → target` from a distance vector.
 /// Returns the vertex sequence, or `None` when `target` is unreachable.
+///
+/// One-shot convenience: this rebuilds the full parent tree (`O(|E|)`)
+/// per call. For repeated targets, build a [`Parents`] once instead.
 pub fn shortest_path(
     g: &CsrGraph,
     result: &SsspResult,
@@ -43,20 +116,7 @@ pub fn shortest_path(
     if !result.dist[target].is_finite() {
         return None;
     }
-    let parent = parents_from_distances(g, result, eps);
-    let mut path = vec![target];
-    let mut cur = target;
-    while cur != result.source {
-        let p = parent[cur];
-        if p == usize::MAX || path.len() > g.num_vertices() {
-            // Inconsistent distances (no witness): not a valid certificate.
-            return None;
-        }
-        path.push(p);
-        cur = p;
-    }
-    path.reverse();
-    Some(path)
+    Parents::build(g, result, eps).path_to(target)
 }
 
 /// Total weight of a vertex path (`None` if some hop is not an edge).
@@ -99,6 +159,25 @@ mod tests {
     }
 
     #[test]
+    fn parents_handle_reused_across_targets() {
+        let g = CsrGraph::from_edge_list(&grid2d(6, 6)).unwrap();
+        let r = delta_stepping_fused(&g, 0, 1.0);
+        let parents = Parents::build(&g, &r, 1e-12);
+        assert_eq!(parents.source(), 0);
+        for target in 0..g.num_vertices() {
+            // One O(E) scan serves every target; answers match the
+            // one-shot front door exactly.
+            assert_eq!(
+                parents.path_to(target),
+                shortest_path(&g, &r, target, 1e-12),
+                "target {target}"
+            );
+        }
+        assert_eq!(parents.parent_of(0), Some(0));
+        assert_eq!(parents.path_to(g.num_vertices() + 5), None);
+    }
+
+    #[test]
     fn weighted_graph_picks_the_cheap_route() {
         let el = EdgeList::from_triples(vec![
             (0, 1, 10.0),
@@ -111,6 +190,20 @@ mod tests {
     }
 
     #[test]
+    fn zero_weight_self_loop_is_not_its_own_witness() {
+        // Regression: a zero-weight self-loop satisfies d[v] + 0 = d[v],
+        // and v < any other witness, so the old scan set parent[1] = 1
+        // and reconstruction looped until the length guard bailed with
+        // None for a perfectly reachable vertex.
+        let el = EdgeList::from_triples(vec![(0, 1, 1.0), (1, 1, 0.0), (1, 2, 1.0)]);
+        let g = CsrGraph::from_edge_list(&el).unwrap();
+        let r = delta_stepping_fused(&g, 0, 1.0);
+        let parent = parents_from_distances(&g, &r, 1e-12);
+        assert_eq!(parent[1], 0);
+        assert_eq!(shortest_path(&g, &r, 2, 1e-12), Some(vec![0, 1, 2]));
+    }
+
+    #[test]
     fn unreachable_is_none() {
         let mut el = EdgeList::from_triples(vec![(0, 1, 1.0)]);
         el.ensure_vertices(3);
@@ -119,6 +212,7 @@ mod tests {
         assert_eq!(shortest_path(&g, &r, 2, 1e-12), None);
         let parent = parents_from_distances(&g, &r, 1e-12);
         assert_eq!(parent[2], usize::MAX);
+        assert_eq!(Parents::build(&g, &r, 1e-12).path_to(2), None);
     }
 
     #[test]

@@ -170,6 +170,31 @@ fn offer(req: &mut [f64], touched: &mut Vec<usize>, u: usize, cand: f64) {
     }
 }
 
+/// The sequential scatter alone, for callers without a thread pool (the
+/// generalized stepping loop's pool-less path). Identical output contract
+/// to [`relax_buffered`] — same offers into the accumulator, touched list
+/// sorted ascending — and bit-identical to both of its branches (see
+/// `touched_order_identical_across_branches`), so a pool-less run and a
+/// pooled run of the same loop agree exactly.
+pub fn relax_sequential(
+    lh: &LightHeavy,
+    dist: &[f64],
+    frontier: &[usize],
+    use_light: bool,
+    ws: &mut RelaxWorkspace,
+    relaxations: &mut u64,
+) {
+    for &v in frontier {
+        let tv = dist[v];
+        let (targets, weights) = if use_light { lh.light(v) } else { lh.heavy(v) };
+        for (&u, &w) in targets.iter().zip(weights.iter()) {
+            offer(&mut ws.req, &mut ws.touched, u, tv + w);
+        }
+        *relaxations += targets.len() as u64;
+    }
+    ws.touched.sort_unstable();
+}
+
 /// Relax the light or heavy edges of `frontier` into the workspace's
 /// request accumulator using per-task sparse buffers.
 ///

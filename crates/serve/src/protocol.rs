@@ -26,7 +26,7 @@
 //! PING
 //! LOAD GEN grid:40x40
 //! SSSP <fingerprint-hex> <source> [delta=F] [deadline_ms=N] [epochs=N]
-//!      [impl=NAME] [full]
+//!      [impl=NAME] [strategy=NAME[:PARAM]] [full]
 //! STATS
 //! HEALTH                  (supervision probe: worker health + drain state)
 //! HOLD | RELEASE | DRAIN  (only with --debug-commands)
@@ -36,11 +36,11 @@
 //! ## Error codes
 //!
 //! Solver errors map 1:1 from [`SsspError`] through [`wire_code`]
-//! (codes 10–20, exhaustive by construction — the repo lint
+//! (codes 10–21, exhaustive by construction — the repo lint
 //! `wire-code-coverage` rejects a wildcard arm). Server-level conditions
 //! use codes ≥ 30 ([`code`] constants).
 
-use sssp_core::{Implementation, SsspError, SsspStats};
+use sssp_core::{Implementation, SsspError, SsspStats, SteppingStrategy};
 
 /// First byte of every binary frame; doubles as the mode-sniffing byte.
 pub const FRAME_SOH: u8 = 0x01;
@@ -73,7 +73,7 @@ pub mod code {
     pub const JOB_FAILED: u8 = 37;
 }
 
-/// The exhaustive [`SsspError`] → wire-code mapping (codes 10–20). Every
+/// The exhaustive [`SsspError`] → wire-code mapping (codes 10–21). Every
 /// solver error a reply can carry has exactly one code; adding a variant
 /// to [`SsspError`] is a compile error here, not a silent `_ =>` bucket
 /// (and the repo lint checks no wildcard arm sneaks in).
@@ -90,6 +90,7 @@ pub fn wire_code(err: &SsspError) -> u8 {
         SsspError::InvalidCheckpoint { .. } => 18,
         SsspError::CheckpointIo { .. } => 19,
         SsspError::WorkerPanicked { .. } => 20,
+        SsspError::InvalidStrategy { .. } => 21,
     }
 }
 
@@ -125,6 +126,10 @@ pub struct SsspRequest {
     pub epochs: Option<u64>,
     /// Implementation override; the server default applies when absent.
     pub implementation: Option<Implementation>,
+    /// Stepping-strategy override (`classic`, `rho[:N]`,
+    /// `delta-star[:K]`); the server default (classic) applies when
+    /// absent.
+    pub strategy: Option<SteppingStrategy>,
     /// Whether to include the full distance vector in the reply.
     pub full: bool,
 }
@@ -377,6 +382,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 deadline_ms: None,
                 epochs: None,
                 implementation: None,
+                strategy: None,
                 full: false,
             };
             for opt in words {
@@ -396,6 +402,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                         Implementation::parse(v)
                             .ok_or_else(|| format!("unknown implementation '{v}'"))?,
                     );
+                } else if let Some(v) = opt.strip_prefix("strategy=") {
+                    req.strategy = Some(SteppingStrategy::parse(v)?);
                 } else {
                     return Err(format!("unknown SSSP option '{opt}'"));
                 }
@@ -624,6 +632,9 @@ pub fn encode_request(req: &Request) -> (u8, Vec<u8>) {
             if r.full {
                 flags |= 16;
             }
+            if r.strategy.is_some() {
+                flags |= 32;
+            }
             buf.push(flags);
             if let Some(d) = r.delta {
                 push_f64(&mut buf, d);
@@ -636,6 +647,9 @@ pub fn encode_request(req: &Request) -> (u8, Vec<u8>) {
             }
             if let Some(imp) = r.implementation {
                 push_str(&mut buf, imp.name());
+            }
+            if let Some(strategy) = r.strategy {
+                push_str(&mut buf, &strategy.to_string());
             }
             (opcode::SSSP, buf)
         }
@@ -671,6 +685,12 @@ pub fn decode_request(op: u8, payload: &[u8]) -> Result<Request, String> {
             } else {
                 None
             };
+            let strategy = if flags & 32 != 0 {
+                let s = r.string("strategy")?;
+                Some(SteppingStrategy::parse(&s)?)
+            } else {
+                None
+            };
             Request::Sssp(SsspRequest {
                 fingerprint,
                 source,
@@ -678,6 +698,7 @@ pub fn decode_request(op: u8, payload: &[u8]) -> Result<Request, String> {
                 deadline_ms,
                 epochs,
                 implementation,
+                strategy,
                 full: flags & 16 != 0,
             })
         }
@@ -951,6 +972,7 @@ mod tests {
             deadline_ms: Some(250),
             epochs: Some(3),
             implementation: Some(Implementation::ParallelImproved),
+            strategy: Some(SteppingStrategy::Rho(512)),
             full: true,
         })
     }
@@ -974,6 +996,7 @@ mod tests {
                 deadline_ms: None,
                 epochs: None,
                 implementation: None,
+                strategy: None,
                 full: false,
             }),
         ];
@@ -991,7 +1014,8 @@ mod tests {
         );
         assert_eq!(
             parse_request(
-                "SSSP deadbeefcafef00d 42 delta=0.5 deadline_ms=250 epochs=3 impl=improved full"
+                "SSSP deadbeefcafef00d 42 delta=0.5 deadline_ms=250 epochs=3 impl=improved \
+                 strategy=rho:512 full"
             )
             .unwrap(),
             sample_sssp()
@@ -1131,6 +1155,8 @@ mod tests {
             ("SSSP zzz 0", "bad fingerprint"),
             ("SSSP 1f", "source"),
             ("SSSP 1f 0 impl=frobnicate", "unknown implementation"),
+            ("SSSP 1f 0 strategy=bogus", "unknown strategy"),
+            ("SSSP 1f 0 strategy=rho:0", "rho must be at least 1"),
             ("SSSP 1f 0 frob=1", "unknown SSSP option"),
         ] {
             let err = parse_request(line).unwrap_err();
@@ -1145,6 +1171,7 @@ mod tests {
             SsspError::SourceOutOfBounds { source: 9, num_vertices: 4 },
             SsspError::InvalidCheckpoint { reason: "x".into() },
             SsspError::WorkerPanicked { message: "x".into() },
+            SsspError::InvalidStrategy { reason: "x".into() },
         ];
         let codes: Vec<u8> = errs.iter().map(wire_code).collect();
         let mut unique = codes.clone();

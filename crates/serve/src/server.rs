@@ -58,7 +58,7 @@ use graphdata::CsrGraph;
 use sssp_core::manifest::CheckpointManifest;
 use sssp_core::{
     BatchConfig, BatchOutcome, BatchRunner, CancelToken, GuardConfig, Implementation,
-    ProgressGauge, SsspError,
+    ProgressGauge, SsspError, SteppingStrategy,
 };
 use taskpool::ThreadPool;
 
@@ -305,6 +305,16 @@ fn run_job(
     let delta = req.delta.unwrap_or(shared.cfg.default_delta);
     let requested = req.implementation.unwrap_or(shared.cfg.default_impl);
     let implementation = if poisoned.is_some() { Implementation::Fused } else { requested };
+    // A poisoned worker also drops any generalized strategy: its pinned
+    // sequential-fused path is the classic family.
+    let strategy = if poisoned.is_some() {
+        SteppingStrategy::Classic
+    } else {
+        req.strategy.unwrap_or(SteppingStrategy::Classic)
+    };
+    if let Err(err) = strategy.validate() {
+        return Response::Error { code: protocol::wire_code(&err), message: err.to_string() };
+    }
 
     let mut guard = shared.cfg.guard.clone();
     if let Some(epochs) = req.epochs {
@@ -349,6 +359,7 @@ fn run_job(
     let runner = BatchRunner::new(BatchConfig {
         implementation,
         delta,
+        strategy,
         workers: 1,
         queue_capacity: 1,
         deadline: req.deadline_ms.map(Duration::from_millis),
@@ -983,6 +994,7 @@ mod tests {
                 deadline_ms: None,
                 epochs: None,
                 implementation: None,
+                strategy: None,
                 full: true,
             }),
         );
@@ -1083,6 +1095,7 @@ mod tests {
             deadline_ms: None,
             epochs: None,
             implementation: None,
+            strategy: None,
             full: false,
         }
     }

@@ -27,7 +27,7 @@ fn main() {
     el.ensure_vertices(6);
     let g = CsrGraph::from_edge_list(&el).expect("valid graph");
     let source = 0;
-    let delta = DeltaStrategy::Unit.resolve(&g);
+    let delta = DeltaStrategy::Unit.resolve(&g).expect("valid delta");
 
     println!("graph: {} vertices, {} edges, delta = {delta}", g.num_vertices(), g.num_edges());
 

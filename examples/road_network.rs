@@ -46,7 +46,7 @@ fn main() {
         "{:<12} {:>10} {:>10} {:>14} {:>12}",
         "delta", "buckets", "phases", "relaxations", "time"
     );
-    let ms = DeltaStrategy::MeyerSanders.resolve(&g);
+    let ms = DeltaStrategy::MeyerSanders.resolve(&g).expect("valid delta");
     for (label, delta) in [
         ("0.125", 0.125),
         ("0.25", 0.25),

@@ -22,6 +22,7 @@ use sssp_core::guard::preflight;
 use sssp_core::{
     bellman_ford, dijkstra, gblas_parallel, gblas_select, run_with_budget, validate, BatchConfig,
     BatchOutcome, BatchRunner, GuardConfig, Implementation, RunBudget, SsspError, SsspResult,
+    SteppingStrategy,
 };
 use taskpool::ThreadPool;
 
@@ -97,7 +98,9 @@ fn sssp_failure(e: SsspError) -> Failure {
 #[derive(Clone, Copy)]
 enum DeltaArg {
     Value(f64),
-    MeyerSanders,
+    /// A derived rule (`ms` = Meyer–Sanders, `adaptive` = load-time
+    /// sampling), resolved once the graph is loaded.
+    Strategy(DeltaStrategy),
 }
 
 struct Options {
@@ -110,6 +113,11 @@ struct Options {
     /// one [`SsspEngine`], so the light/heavy split is built once.
     sources: Vec<usize>,
     delta: Option<DeltaArg>,
+    /// Frontier-extraction strategy: classic Δ-buckets (default), or the
+    /// generalized ρ-stepping / Δ*-stepping loops. Applies to the
+    /// stepping family (fused/improved) in single, multi-source, and
+    /// batch modes.
+    strategy: SteppingStrategy,
     /// Per-run (or per-job, in batch mode) wall-clock budget.
     deadline_ms: Option<u64>,
     /// `--sources` batch mode: worker threads for the [`BatchRunner`]
@@ -159,7 +167,14 @@ options:
                            DIR/ckpt-<source>.bin and resume from existing
                            files, so a rerun finishes exactly where a
                            deadline-stopped run left off
-  --delta X                bucket width (default: 1.0; 'ms' = Meyer-Sanders rule)
+  --delta X                bucket width (default: 1.0; 'ms' = Meyer-Sanders rule;
+                           'adaptive' = sampled weight/degree rule)
+  --strategy NAME          frontier extraction: classic (default) |
+                           rho[:N] (the N nearest tentative vertices, default
+                           2048) | delta-star[:K] (fuse K consecutive buckets,
+                           default 4). rho/delta-star apply to --impl fused
+                           or improved, sequential or pooled, and are
+                           bit-identical across thread counts
   --threads T              pool size for parallel impls (default 4)
   --symmetrize             add reverse edges
   --unit-weights           overwrite weights with 1.0
@@ -184,6 +199,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         source: 0,
         sources: Vec::new(),
         delta: None,
+        strategy: SteppingStrategy::Classic,
         deadline_ms: None,
         batch_workers: None,
         checkpoint_dir: None,
@@ -224,11 +240,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--delta" => {
                 let v = value(&mut i, "--delta")?;
-                o.delta = Some(if v == "ms" {
-                    DeltaArg::MeyerSanders
-                } else {
-                    DeltaArg::Value(v.parse().map_err(|_| "bad --delta".to_string())?)
+                o.delta = Some(match v.as_str() {
+                    "ms" => DeltaArg::Strategy(DeltaStrategy::MeyerSanders),
+                    "adaptive" => DeltaArg::Strategy(DeltaStrategy::Adaptive),
+                    _ => DeltaArg::Value(v.parse().map_err(|_| "bad --delta".to_string())?),
                 });
+            }
+            "--strategy" => {
+                o.strategy = SteppingStrategy::parse(&value(&mut i, "--strategy")?)
+                    .map_err(|e| format!("bad --strategy: {e}"))?;
             }
             "--deadline-ms" => {
                 o.deadline_ms = Some(
@@ -350,6 +370,37 @@ fn load(path: &str, format: Option<&str>) -> Result<EdgeList, String> {
 }
 
 fn run(o: &Options, g: &CsrGraph, delta: f64) -> Result<SsspResult, Failure> {
+    // Generalized strategies (rho / delta-star) run through the engine's
+    // stepping entry point — sequential for fused, pooled for improved —
+    // with the same preflight and budget discipline as the classic path.
+    if o.strategy != SteppingStrategy::Classic {
+        let owned_pool;
+        let pool = match o.implementation.as_str() {
+            "fused" => None,
+            "improved" | "parallel-improved" => {
+                owned_pool = ThreadPool::with_threads(o.threads)
+                    .map_err(|e| Failure::Input(e.to_string()))?;
+                Some(&owned_pool)
+            }
+            other => {
+                return Err(Failure::Usage(format!(
+                    "--strategy {} supports --impl fused or improved, got '{other}'",
+                    o.strategy
+                )))
+            }
+        };
+        let cfg = GuardConfig::default();
+        let mut engine = SsspEngine::new(g);
+        let delta = engine.preflight(o.source, delta, &cfg).map_err(Failure::Sssp)?;
+        let mut budget = RunBudget::for_run(g, delta, &cfg);
+        if let Some(ms) = o.deadline_ms {
+            budget = budget.with_timeout(Duration::from_millis(ms));
+        }
+        let (result, _) = engine
+            .run_stepping(pool, o.source, delta, o.strategy, &mut budget)
+            .map_err(sssp_failure)?;
+        return Ok(result);
+    }
     // The six delta-stepping implementations go through the hardened
     // front door: preflight validation, run budget (epoch limit plus the
     // --deadline-ms wall clock), panic degradation. Name parsing is the
@@ -427,8 +478,12 @@ fn run_multi(o: &Options, g: &CsrGraph, delta: f64) -> Result<(), Failure> {
         let mut budget = RunBudget::for_run(g, delta, &cfg);
         let t1 = std::time::Instant::now();
         let (result, _) = match &mode {
-            Mode::Fused => engine.run_fused(src, delta, &mut budget),
-            Mode::Improved(pool) => engine.run_parallel_improved(pool, src, delta, &mut budget),
+            // run_stepping dispatches Classic to the bucket loops, so the
+            // historical --sources behavior is unchanged byte-for-byte.
+            Mode::Fused => engine.run_stepping(None, src, delta, o.strategy, &mut budget),
+            Mode::Improved(pool) => {
+                engine.run_stepping(Some(pool), src, delta, o.strategy, &mut budget)
+            }
         }
         .map_err(Failure::Sssp)?;
         let elapsed = t1.elapsed();
@@ -473,6 +528,7 @@ fn run_batch(o: &Options, g: &CsrGraph, delta: f64) -> Result<ExitCode, Failure>
     let runner = BatchRunner::new(BatchConfig {
         implementation: imp,
         delta,
+        strategy: o.strategy,
         workers: o.batch_workers.unwrap_or(2),
         queue_capacity: o.sources.len(),
         deadline: o.deadline_ms.map(Duration::from_millis),
@@ -621,7 +677,10 @@ fn real_main() -> ExitCode {
         .report();
     }
     let delta = match o.delta {
-        Some(DeltaArg::MeyerSanders) => DeltaStrategy::MeyerSanders.resolve(&g),
+        Some(DeltaArg::Strategy(s)) => match s.resolve(&g) {
+            Ok(d) => d,
+            Err(e) => return Failure::Sssp(e).report(),
+        },
         Some(DeltaArg::Value(d)) => d,
         None => 1.0,
     };

@@ -68,7 +68,7 @@ fn all_implementations_agree_on_weighted_suite_across_deltas() {
         let g = &d.graph;
         let src = 0;
         let truth = dijkstra::dijkstra(g, src);
-        let ms = DeltaStrategy::MeyerSanders.resolve(g);
+        let ms = DeltaStrategy::MeyerSanders.resolve(g).expect("valid delta");
         for delta in [0.25, 1.0, ms] {
             let ca = canonical::delta_stepping_canonical(g, src, delta);
             assert!(
